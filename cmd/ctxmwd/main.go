@@ -1,0 +1,108 @@
+// Command ctxmwd runs the context middleware as a network daemon: context
+// sources and applications connect over TCP and speak the line-delimited
+// JSON protocol of internal/daemon.
+//
+//	ctxmwd -addr 127.0.0.1:7654 -app callforward -strategy D-BAD
+//
+// -app selects the bundled constraint/situation sets (callforward, rfid);
+// -strategy selects the resolution strategy (D-BAD, D-LAT, D-ALL, D-RAND,
+// OPT-R). The daemon stops on SIGINT/SIGTERM after draining connections.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ctxres/internal/apps/callforward"
+	"ctxres/internal/apps/rfidmon"
+	"ctxres/internal/constraint"
+	"ctxres/internal/daemon"
+	"ctxres/internal/experiment"
+	"ctxres/internal/middleware"
+	"ctxres/internal/simspace"
+	"ctxres/internal/situation"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ctxmwd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	srv, err := setup(args)
+	if err != nil {
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("ctxmwd: shutting down")
+	srv.Shutdown()
+	return nil
+}
+
+// setup parses flags, builds the middleware, and starts the daemon.
+func setup(args []string) (*daemon.Server, error) {
+	fs := flag.NewFlagSet("ctxmwd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7654", "listen address")
+		app      = fs.String("app", "callforward", "application profile: callforward or rfid")
+		strategy = fs.String("strategy", "D-BAD", "resolution strategy: D-BAD, D-LAT, D-ALL, D-RAND, OPT-R")
+		seed     = fs.Int64("seed", 1, "seed for randomized strategies")
+		constrs  = fs.String("constraints", "", "load the constraint set from this file instead of the app profile")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	checker, engine, err := profile(*app)
+	if err != nil {
+		return nil, err
+	}
+	if *constrs != "" {
+		f, err := os.Open(*constrs)
+		if err != nil {
+			return nil, err
+		}
+		loaded, err := constraint.LoadCheckerFrom(f, nil)
+		closeErr := f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", *constrs, err)
+		}
+		if closeErr != nil {
+			return nil, closeErr
+		}
+		checker = loaded
+	}
+	strat, err := experiment.NewStrategy(experiment.StrategyName(*strategy),
+		rand.New(rand.NewSource(*seed)), nil)
+	if err != nil {
+		return nil, err
+	}
+	mw := middleware.New(checker, strat, middleware.WithSituations(engine))
+	srv, err := daemon.Serve(*addr, mw, engine)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("ctxmwd: serving %s application with %s on %s\n",
+		*app, strat.Name(), srv.Addr())
+	return srv, nil
+}
+
+func profile(app string) (*constraint.Checker, *situation.Engine, error) {
+	switch app {
+	case "callforward":
+		floor := simspace.OfficeFloor()
+		return callforward.Checker(floor), callforward.Engine(floor), nil
+	case "rfid":
+		return rfidmon.Checker(), rfidmon.Engine(), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown app profile %q (want callforward or rfid)", app)
+	}
+}

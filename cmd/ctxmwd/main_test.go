@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ctxres/internal/ctx"
+	"ctxres/internal/daemon"
+)
+
+func TestProfiles(t *testing.T) {
+	for _, app := range []string{"callforward", "rfid"} {
+		checker, engine, err := profile(app)
+		if err != nil {
+			t.Fatalf("profile(%s): %v", app, err)
+		}
+		if len(checker.Constraints()) != 5 {
+			t.Fatalf("%s constraints = %d", app, len(checker.Constraints()))
+		}
+		if len(engine.Situations()) != 3 {
+			t.Fatalf("%s situations = %d", app, len(engine.Situations()))
+		}
+	}
+	if _, _, err := profile("bogus"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestSetupServesAndResponds(t *testing.T) {
+	srv, err := setup([]string{"-addr", "127.0.0.1:0", "-app", "rfid", "-strategy", "D-LAT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	client, err := daemon.Dial(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	if _, err := setup([]string{"-app", "bogus"}); err == nil {
+		t.Fatal("bad app accepted")
+	}
+	if _, err := setup([]string{"-strategy", "bogus"}); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+	if _, err := setup([]string{"-constraints", "/does/not/exist"}); err == nil {
+		t.Fatal("missing constraints file accepted")
+	}
+	if _, err := setup([]string{"-addr", "256.256.256.256:1"}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestSetupWithConstraintsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "set.ctx")
+	content := `constraint velocity
+forall a: location .
+  forall b: location .
+    (sameSubject(a, b) and streamAdjacent(a, b)) implies velocityBelow(a, b, 1.5)
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := setup([]string{"-addr", "127.0.0.1:0", "-constraints", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	client, err := daemon.Dial(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	t0 := time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+	mk := func(id string, seq uint64, x float64) *ctx.Context {
+		return ctx.NewLocation("peter", t0.Add(time.Duration(seq)*time.Second),
+			ctx.Point{X: x},
+			ctx.WithID(ctx.ID(id)), ctx.WithSeq(seq), ctx.WithSource("s"))
+	}
+	if _, err := client.Submit(mk("a", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	vios, err := client.Submit(mk("b", 2, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vios) != 1 || vios[0].Constraint != "velocity" {
+		t.Fatalf("violations = %+v, want the loaded constraint to fire", vios)
+	}
+
+	// The bad constraints-file branch.
+	badPath := filepath.Join(dir, "bad.ctx")
+	if err := os.WriteFile(badPath, []byte("constraint x\nnope(a)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup([]string{"-addr", "127.0.0.1:0", "-constraints", badPath}); err == nil {
+		t.Fatal("bad constraints file accepted")
+	}
+}

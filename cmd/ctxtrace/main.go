@@ -1,0 +1,215 @@
+// Command ctxtrace generates, inspects and replays context-stream traces:
+//
+//	ctxtrace gen -app callforward -rate 0.2 -seed 7 -out trace.jsonl
+//	ctxtrace info -in trace.jsonl
+//	ctxtrace replay -in trace.jsonl -addr 127.0.0.1:7654 -window 2
+//
+// gen captures one experiment workload (with ground truth) as JSON lines;
+// info summarizes a trace; replay feeds it to a running ctxmwd daemon,
+// using each context after the configured window, and prints the daemon's
+// resolution statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"ctxres/internal/ctx"
+	"ctxres/internal/daemon"
+	"ctxres/internal/experiment"
+	"ctxres/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ctxtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ctxtrace gen|info|replay [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:], out)
+	case "info":
+		return runInfo(args[1:], out)
+	case "replay":
+		return runReplay(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen, info or replay)", args[0])
+	}
+}
+
+func runGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ctxtrace gen", flag.ContinueOnError)
+	var (
+		app  = fs.String("app", "callforward", "workload: callforward or rfid")
+		rate = fs.Float64("rate", 0.2, "controlled error rate")
+		seed = fs.Int64("seed", 1, "workload seed")
+		path = fs.String("out", "trace.jsonl", "output file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := appSpec(*app)
+	if err != nil {
+		return err
+	}
+	w, err := spec.NewWorkload(*rate, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*path)
+	if err != nil {
+		return err
+	}
+	tw := trace.NewWriter(f)
+	if err := tw.WriteWorkload(w.Steps); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := tw.Flush(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d steps, %d contexts (%d corrupted) to %s\n",
+		len(w.Steps), w.Contexts(), w.CorruptedContexts(), *path)
+	return nil
+}
+
+func runInfo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ctxtrace info", flag.ContinueOnError)
+	path := fs.String("in", "trace.jsonl", "trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	steps, err := readTrace(*path)
+	if err != nil {
+		return err
+	}
+	total, corrupted := 0, 0
+	kinds := map[ctx.Kind]int{}
+	var first, last time.Time
+	for _, step := range steps {
+		for _, c := range step {
+			total++
+			if c.Truth.Corrupted {
+				corrupted++
+			}
+			kinds[c.Kind]++
+			if first.IsZero() || c.Timestamp.Before(first) {
+				first = c.Timestamp
+			}
+			if c.Timestamp.After(last) {
+				last = c.Timestamp
+			}
+		}
+	}
+	fmt.Fprintf(out, "%s: %d steps, %d contexts (%d corrupted, %.1f%%)\n",
+		*path, len(steps), total, corrupted, pct(corrupted, total))
+	for k, n := range kinds {
+		fmt.Fprintf(out, "  kind %-12s %d\n", k, n)
+	}
+	if !first.IsZero() {
+		fmt.Fprintf(out, "  spans %s → %s (%s)\n",
+			first.Format(time.RFC3339), last.Format(time.RFC3339), last.Sub(first))
+	}
+	return nil
+}
+
+func runReplay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ctxtrace replay", flag.ContinueOnError)
+	var (
+		path   = fs.String("in", "trace.jsonl", "trace file")
+		addr   = fs.String("addr", "127.0.0.1:7654", "daemon address")
+		window = fs.Int("window", 2, "steps before a context is used")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *window < 0 {
+		return fmt.Errorf("window must be non-negative")
+	}
+	steps, err := readTrace(*path)
+	if err != nil {
+		return err
+	}
+	client, err := daemon.Dial(*addr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	detected, delivered, rejected := 0, 0, 0
+	use := func(step []*ctx.Context) {
+		for _, c := range step {
+			if _, err := client.Use(c.ID); err != nil {
+				rejected++
+			} else {
+				delivered++
+			}
+		}
+	}
+	for i, step := range steps {
+		for _, c := range step {
+			vios, err := client.Submit(c)
+			if err != nil {
+				return fmt.Errorf("submit step %d: %w", i, err)
+			}
+			detected += len(vios)
+		}
+		if j := i - *window; j >= 0 {
+			use(steps[j])
+		}
+	}
+	for j := len(steps) - *window; j < len(steps); j++ {
+		if j >= 0 {
+			use(steps[j])
+		}
+	}
+	mwStats, poolStats, err := client.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "replayed %d steps: %d inconsistencies detected, "+
+		"%d delivered, %d rejected\n", len(steps), detected, delivered, rejected)
+	fmt.Fprintf(out, "daemon totals: %+v\npool: %+v\n", mwStats, poolStats)
+	return nil
+}
+
+func readTrace(path string) ([][]*ctx.Context, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+func appSpec(app string) (experiment.AppSpec, error) {
+	switch app {
+	case "callforward":
+		return experiment.CallForwardingApp(), nil
+	case "rfid":
+		return experiment.RFIDApp(), nil
+	default:
+		return experiment.AppSpec{}, fmt.Errorf("unknown app %q", app)
+	}
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

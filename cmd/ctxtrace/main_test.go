@@ -1,0 +1,93 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ctxres/internal/apps/callforward"
+	"ctxres/internal/daemon"
+	"ctxres/internal/middleware"
+	"ctxres/internal/simspace"
+	"ctxres/internal/strategy"
+)
+
+func TestGenInfoReplayPipeline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+
+	// gen
+	var out strings.Builder
+	err := run([]string{"gen", "-app", "callforward", "-rate", "0.2",
+		"-seed", "7", "-out", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 200 steps") {
+		t.Fatalf("gen output: %s", out.String())
+	}
+
+	// info
+	out.Reset()
+	if err := run([]string{"info", "-in", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"200 steps", "kind location", "corrupted"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("info output missing %q:\n%s", want, text)
+		}
+	}
+
+	// replay against a live daemon
+	floor := simspace.OfficeFloor()
+	mw := middleware.New(callforward.Checker(floor), strategy.NewDropBad())
+	srv, err := daemon.Serve("127.0.0.1:0", mw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	out.Reset()
+	err = run([]string{"replay", "-in", path, "-addr", srv.Addr().String(),
+		"-window", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text = out.String()
+	if !strings.Contains(text, "replayed 200 steps") {
+		t.Fatalf("replay output:\n%s", text)
+	}
+	stats := mw.Stats()
+	if stats.Submitted != 200 {
+		t.Fatalf("daemon submitted = %d", stats.Submitted)
+	}
+	if stats.Detected == 0 || stats.Discarded == 0 {
+		t.Fatalf("daemon resolved nothing: %+v", stats)
+	}
+	if stats.Delivered+stats.Rejected != 200 {
+		t.Fatalf("uses do not add up: %+v", stats)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+	if err := run([]string{"dance"}, &out); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"gen", "-app", "bogus"}, &out); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := run([]string{"info", "-in", "/does/not/exist"}, &out); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+	if err := run([]string{"replay", "-in", "/does/not/exist"}, &out); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+	if err := run([]string{"replay", "-window", "-1"}, &out); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Call Forwarding: the full application loop over the network daemon. A
+// badge-tracker source submits Peter's (noisy) locations to a middleware
+// daemon over TCP; the application side uses contexts and reacts to
+// situation changes by re-routing Peter's incoming calls — desk phone in
+// his office, voicemail in the meeting room, nearest phone elsewhere.
+//
+//	go run ./examples/callforwarding
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"ctxres/internal/apps/callforward"
+	"ctxres/internal/daemon"
+	"ctxres/internal/middleware"
+	"ctxres/internal/simspace"
+	"ctxres/internal/strategy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	floor := simspace.OfficeFloor()
+	engine := callforward.Engine(floor)
+	mw := middleware.New(callforward.Checker(floor), strategy.NewDropBad(),
+		middleware.WithSituations(engine))
+
+	srv, err := daemon.Serve("127.0.0.1:0", mw, engine)
+	if err != nil {
+		return err
+	}
+	defer srv.Shutdown()
+	fmt.Printf("middleware daemon on %s (drop-bad strategy)\n\n", srv.Addr())
+
+	// The badge-tracker source and the application are separate clients,
+	// as they would be in a deployed system.
+	source, err := daemon.Dial(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer source.Close()
+	app, err := daemon.Dial(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+
+	cfg := callforward.DefaultWorkload(0.2) // 20% error rate
+	cfg.Steps = 120
+	stream, err := callforward.Generate(cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		return err
+	}
+
+	routing := "unknown"
+	route := func(active map[string]bool) string {
+		switch {
+		case active["cf-in-meeting"]:
+			return "voicemail (in meeting)"
+		case active["cf-at-desk"]:
+			return "desk phone (in office)"
+		case active["cf-reachable"]:
+			return "nearest phone (in building)"
+		default:
+			return "mobile (away)"
+		}
+	}
+
+	detected := 0
+	for i, c := range stream {
+		vios, err := source.Submit(c)
+		if err != nil {
+			return fmt.Errorf("submit step %d: %w", i, err)
+		}
+		detected += len(vios)
+
+		// The application uses the context two steps behind the stream
+		// (the resolution window) and checks the routing decision.
+		if i >= 2 {
+			if _, err := app.Use(stream[i-2].ID); err != nil {
+				// Discarded as inconsistent: the application skips it.
+				continue
+			}
+			active, err := app.Situations()
+			if err != nil {
+				return err
+			}
+			if r := route(active); r != routing {
+				routing = r
+				fmt.Printf("t=%3ds  calls now routed to %s\n",
+					i*int(callforward.SampleStep.Seconds()), routing)
+			}
+		}
+	}
+
+	mwStats, _, err := app.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d contexts submitted, %d inconsistencies detected, "+
+		"%d delivered, %d discarded\n",
+		mwStats.Submitted, mwStats.Detected, mwStats.Delivered, mwStats.Discarded)
+	return nil
+}

@@ -1,0 +1,3 @@
+module ctxres
+
+go 1.22

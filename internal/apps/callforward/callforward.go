@@ -1,0 +1,247 @@
+// Package callforward implements the Call Forwarding application of the
+// paper's experiments, adapted from Want et al.'s Active Badge location
+// system: people wear badges, a tracking substrate estimates their
+// locations, and incoming calls are forwarded to the phone nearest the
+// callee. The package supplies the application's five consistency
+// constraints and three situations (Section 4.1: "five consistency
+// constraints … and three situations … selected for being popular in the
+// user study"), plus the workload generator that drives the experiments.
+package callforward
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/errmodel"
+	"ctxres/internal/landmarc"
+	"ctxres/internal/simspace"
+	"ctxres/internal/situation"
+)
+
+// Subject is the tracked person of the bundled scenario.
+const Subject = "peter"
+
+// Default workload parameters.
+const (
+	// WalkSpeed is Peter's nominal speed in m/s; the paper's velocity
+	// constraint allows up to 150% of it for error tolerance.
+	WalkSpeed = 1.0
+	// VelocityLimit is 150% of the nominal speed.
+	VelocityLimit = 1.5 * WalkSpeed
+	// SampleStep is the tracking period.
+	SampleStep = 2 * time.Second
+	// ContextTTL is each location context's available period: stale
+	// locations stop driving situations after five tracking periods.
+	ContextTTL = 5 * SampleStep
+)
+
+// Constraints returns the application's five consistency constraints over
+// location contexts.
+func Constraints(floor *simspace.FloorPlan) []*constraint.Constraint {
+	extent := constraint.Rect{MinX: 0, MinY: 0, MaxX: floor.Width, MaxY: floor.Height}
+	restricted := constraint.Rect{MinX: 34, MinY: 12, MaxX: 40, MaxY: 20} // server room
+
+	pairPremise := func(reach uint64) constraint.Formula {
+		return constraint.And(
+			constraint.SameSubject("a", "b"),
+			constraint.StreamWithin("a", "b", reach),
+		)
+	}
+	// Velocity estimated over stream pairs must stay under the limit.
+	velocity := func(name string, reach uint64) *constraint.Constraint {
+		return &constraint.Constraint{
+			Name: name,
+			Doc: fmt.Sprintf("walking velocity over stream pairs within reach %d "+
+				"must stay below 150%% of nominal speed", reach),
+			Formula: constraint.Forall("a", ctx.KindLocation,
+				constraint.Forall("b", ctx.KindLocation,
+					constraint.Implies(pairPremise(reach),
+						constraint.VelocityBelow("a", "b", VelocityLimit)))),
+		}
+	}
+
+	return []*constraint.Constraint{
+		velocity("cf-velocity-adjacent", 1),
+		velocity("cf-velocity-skip1", 2),
+		{
+			Name: "cf-feasible-area",
+			Doc:  "every tracked location falls inside the building extent",
+			Formula: constraint.Forall("a", ctx.KindLocation,
+				constraint.WithinArea("a", extent)),
+		},
+		{
+			Name: "cf-restricted-area",
+			Doc:  "the subject is not permitted in the server room",
+			Formula: constraint.Forall("a", ctx.KindLocation,
+				constraint.Implies(constraint.SubjectIs("a", Subject),
+					constraint.OutsideArea("a", restricted))),
+		},
+		{
+			Name: "cf-concurrent-agreement",
+			Doc:  "near-simultaneous locations of one subject agree within 4 m",
+			Formula: constraint.Forall("a", ctx.KindLocation,
+				constraint.Forall("b", ctx.KindLocation,
+					constraint.Implies(
+						constraint.And(
+							constraint.SameSubject("a", "b"),
+							constraint.Distinct("a", "b"),
+							constraint.WithinGap("a", "b", time.Second),
+						),
+						constraint.DistBelow("a", "b", 4)))),
+		},
+	}
+}
+
+// Situations returns the application's three situations: where to route an
+// incoming call.
+func Situations(floor *simspace.FloorPlan) []*situation.Situation {
+	office, _ := floor.Room("office-a")
+	meeting, _ := floor.Room("meeting")
+	inRoom := func(r simspace.Room) constraint.Formula {
+		return constraint.Exists("a", ctx.KindLocation,
+			constraint.And(
+				constraint.SubjectIs("a", Subject),
+				constraint.WithinArea("a", constraint.Rect{
+					MinX: r.Min.X, MinY: r.Min.Y, MaxX: r.Max.X, MaxY: r.Max.Y,
+				}),
+			))
+	}
+	return []*situation.Situation{
+		{
+			Name:    "cf-at-desk",
+			Doc:     "Peter is in his office: ring the desk phone",
+			Formula: inRoom(office),
+		},
+		{
+			Name:    "cf-in-meeting",
+			Doc:     "Peter is in the meeting room: forward to voicemail",
+			Formula: inRoom(meeting),
+		},
+		{
+			Name: "cf-reachable",
+			Doc:  "Peter is somewhere in the building: forwarding possible",
+			Formula: constraint.Exists("a", ctx.KindLocation,
+				constraint.And(
+					constraint.SubjectIs("a", Subject),
+					constraint.WithinArea("a", constraint.Rect{
+						MinX: 0, MinY: 0, MaxX: floor.Width, MaxY: floor.Height,
+					}),
+				)),
+		},
+	}
+}
+
+// Engine builds a situation engine with the application's situations.
+func Engine(floor *simspace.FloorPlan) *situation.Engine {
+	e := situation.NewEngine()
+	for _, s := range Situations(floor) {
+		e.MustRegister(s)
+	}
+	return e
+}
+
+// Checker builds a checker with the application's constraints.
+func Checker(floor *simspace.FloorPlan) *constraint.Checker {
+	ch := constraint.NewChecker()
+	for _, c := range Constraints(floor) {
+		ch.MustRegister(c)
+	}
+	return ch
+}
+
+// WorkloadConfig parameterizes the generated context stream.
+type WorkloadConfig struct {
+	// Steps is the number of tracking samples.
+	Steps int
+	// ErrorRate is the controlled corruption probability per context.
+	ErrorRate float64
+	// TrackingNoise enables the LANDMARC estimation substrate; when false
+	// the stream carries ground-truth positions (plus injected errors
+	// only), which keeps unit tests deterministic.
+	TrackingNoise bool
+	// Start is the logical start time.
+	Start time.Time
+}
+
+// DefaultWorkload returns the configuration the experiments use.
+func DefaultWorkload(errorRate float64) WorkloadConfig {
+	return WorkloadConfig{
+		Steps:     200,
+		ErrorRate: errorRate,
+		Start:     time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC),
+	}
+}
+
+// Walk returns Peter's tour of the office floor: desk → meeting → lounge →
+// lab and back.
+func Walk(floor *simspace.FloorPlan) *simspace.Walker {
+	officeA, _ := floor.Room("office-a")
+	meeting, _ := floor.Room("meeting")
+	lounge, _ := floor.Room("lounge")
+	lab, _ := floor.Room("lab")
+	return simspace.MustWalker(Subject, WalkSpeed,
+		officeA.Center(),
+		ctx.Point{X: officeA.Center().X, Y: 10}, // corridor
+		ctx.Point{X: meeting.Center().X, Y: 10},
+		meeting.Center(),
+		ctx.Point{X: meeting.Center().X, Y: 10},
+		ctx.Point{X: lab.Center().X, Y: 10},
+		lab.Center(),
+		ctx.Point{X: lab.Center().X, Y: 10},
+		ctx.Point{X: lounge.Center().X, Y: 10},
+		lounge.Center(),
+		ctx.Point{X: officeA.Center().X, Y: 10},
+	)
+}
+
+// Generate produces the context stream of one experiment group: one
+// location context per step, estimated (optionally) by LANDMARC and then
+// corrupted at the configured error rate. The returned contexts carry
+// ground truth in Truth; the slice is a prototype — clone before feeding a
+// middleware.
+func Generate(cfg WorkloadConfig, rng *rand.Rand) ([]*ctx.Context, error) {
+	floor := simspace.OfficeFloor()
+	walker := Walk(floor)
+
+	var field *landmarc.Field
+	if cfg.TrackingNoise {
+		var err error
+		field, err = landmarc.GridField(floor.Width, floor.Height, 4,
+			landmarc.DefaultRadio(), 4)
+		if err != nil {
+			return nil, fmt.Errorf("landmarc field: %w", err)
+		}
+	}
+	injector, err := errmodel.NewInjector(cfg.ErrorRate, rng)
+	if err != nil {
+		return nil, fmt.Errorf("injector: %w", err)
+	}
+	// Jumps comparable to the per-step velocity budget (1.5 m/s × 2 s =
+	// 3 m): large enough that most corruptions violate a velocity pair,
+	// small enough that a jump roughly along the walking direction can
+	// stay consistent with the *previous* location and only clash with
+	// later ones — the Scenario-B ambiguity of Figure 2 that separates
+	// the strategies.
+	injector.Register(ctx.KindLocation, errmodel.LocationJump(3, 8))
+
+	out := make([]*ctx.Context, 0, cfg.Steps)
+	for i := 0; i < cfg.Steps; i++ {
+		at := cfg.Start.Add(time.Duration(i) * SampleStep)
+		truth := walker.PositionAt(at.Sub(cfg.Start))
+		pos := truth
+		if field != nil {
+			pos = field.Estimate(truth, rng)
+		}
+		c := ctx.NewLocation(Subject, at, pos,
+			ctx.WithSource("badge-tracker"),
+			ctx.WithSeq(uint64(i+1)),
+			ctx.WithTTL(ContextTTL),
+		)
+		injector.Apply(c)
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package callforward
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/simspace"
+)
+
+func TestConstraintsRegister(t *testing.T) {
+	floor := simspace.OfficeFloor()
+	ch := Checker(floor)
+	if got := len(ch.Constraints()); got != 5 {
+		t.Fatalf("constraints = %d, want 5", got)
+	}
+	if !ch.Relevant(ctx.KindLocation) {
+		t.Fatal("location not relevant")
+	}
+}
+
+func TestSituationsRegister(t *testing.T) {
+	floor := simspace.OfficeFloor()
+	e := Engine(floor)
+	if got := len(e.Situations()); got != 3 {
+		t.Fatalf("situations = %d, want 3", got)
+	}
+}
+
+func TestCleanTraceHasNoViolations(t *testing.T) {
+	// Rule 1 sanity: an uncorrupted, noise-free trace never violates any
+	// of the application's constraints.
+	floor := simspace.OfficeFloor()
+	ch := Checker(floor)
+	cfg := DefaultWorkload(0) // no injected error, no tracking noise
+	cfg.Steps = 150
+	cs, err := Generate(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := constraint.NewSliceUniverse(cs)
+	if vios := ch.Check(u); len(vios) != 0 {
+		t.Fatalf("clean trace produced %d violations, e.g. %v", len(vios), vios[0])
+	}
+}
+
+func TestCorruptedTraceDetectable(t *testing.T) {
+	floor := simspace.OfficeFloor()
+	ch := Checker(floor)
+	cfg := DefaultWorkload(0.3)
+	cfg.Steps = 150
+	cs, err := Generate(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, c := range cs {
+		if c.Truth.Corrupted {
+			corrupted++
+		}
+	}
+	if corrupted < 20 {
+		t.Fatalf("only %d corrupted contexts at rate 0.3", corrupted)
+	}
+	vios := ch.Check(constraint.NewSliceUniverse(cs))
+	if len(vios) == 0 {
+		t.Fatal("corrupted trace produced no violations")
+	}
+	// Every violation involves at least one corrupted context (Rule 1).
+	for _, v := range vios {
+		any := false
+		for _, m := range v.Link.Contexts() {
+			if m.Truth.Corrupted {
+				any = true
+				break
+			}
+		}
+		if !any {
+			t.Fatalf("violation %v involves no corrupted context", v)
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultWorkload(0.2)
+	cfg.Steps = 40
+	a, err := Generate(cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		pa, _ := ctx.LocationPoint(a[i])
+		pb, _ := ctx.LocationPoint(b[i])
+		if pa != pb || a[i].Truth.Corrupted != b[i].Truth.Corrupted {
+			t.Fatalf("step %d differs: %v/%v vs %v/%v",
+				i, pa, a[i].Truth.Corrupted, pb, b[i].Truth.Corrupted)
+		}
+	}
+}
+
+func TestGenerateWithTrackingNoise(t *testing.T) {
+	cfg := DefaultWorkload(0)
+	cfg.Steps = 30
+	cfg.TrackingNoise = true
+	cs, err := Generate(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 30 {
+		t.Fatalf("steps = %d", len(cs))
+	}
+	// Estimates should differ from the exact path but stay in the building.
+	floor := simspace.OfficeFloor()
+	walker := Walk(floor)
+	exact := 0
+	for i, c := range cs {
+		p, ok := ctx.LocationPoint(c)
+		if !ok {
+			t.Fatal("missing coordinates")
+		}
+		truth := walker.PositionAt(time.Duration(i) * SampleStep)
+		if p == truth {
+			exact++
+		}
+	}
+	if exact == len(cs) {
+		t.Fatal("tracking noise produced exact positions")
+	}
+}
+
+func TestWalkStaysInBuilding(t *testing.T) {
+	floor := simspace.OfficeFloor()
+	w := Walk(floor)
+	for i := 0; i < 500; i++ {
+		p := w.PositionAt(time.Duration(i) * time.Second)
+		if !floor.Contains(p) {
+			t.Fatalf("walker left the building at %v", p)
+		}
+	}
+}
+
+func TestSituationsReactToDeliveredLocations(t *testing.T) {
+	floor := simspace.OfficeFloor()
+	e := Engine(floor)
+	office, _ := floor.Room("office-a")
+	at := time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+	inOffice := ctx.NewLocation(Subject, at, office.Center())
+	u := constraint.NewSliceUniverse([]*ctx.Context{inOffice})
+	e.Evaluate(u, at)
+	if !e.Active("cf-at-desk") || !e.Active("cf-reachable") {
+		t.Fatal("desk situations not active")
+	}
+	if e.Active("cf-in-meeting") {
+		t.Fatal("meeting active in office")
+	}
+	meeting, _ := floor.Room("meeting")
+	inMeeting := ctx.NewLocation(Subject, at.Add(time.Second), meeting.Center())
+	e.Evaluate(constraint.NewSliceUniverse([]*ctx.Context{inMeeting}), at.Add(time.Second))
+	if !e.Active("cf-in-meeting") || e.Active("cf-at-desk") {
+		t.Fatal("situation transition wrong")
+	}
+}

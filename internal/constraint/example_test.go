@@ -1,0 +1,63 @@
+package constraint_test
+
+import (
+	"fmt"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+)
+
+// ExampleChecker builds the paper's velocity constraint, checks the
+// Figure 1 trace, and prints the detected inconsistencies.
+func ExampleChecker() {
+	checker := constraint.NewChecker()
+	checker.MustRegister(&constraint.Constraint{
+		Name: "velocity-limit",
+		Formula: constraint.Forall("a", ctx.KindLocation,
+			constraint.Forall("b", ctx.KindLocation,
+				constraint.Implies(
+					constraint.And(
+						constraint.SameSubject("a", "b"),
+						constraint.StreamWithin("a", "b", 1),
+					),
+					constraint.VelocityBelow("a", "b", 1.5),
+				))),
+	})
+
+	start := time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+	var trace []*ctx.Context
+	for i, x := range []float64{0, 1, 9, 3, 4} { // d3 jumps off the path
+		trace = append(trace, ctx.NewLocation("peter",
+			start.Add(time.Duration(i)*time.Second),
+			ctx.Point{X: x},
+			ctx.WithID(ctx.ID(fmt.Sprintf("d%d", i+1))),
+			ctx.WithSeq(uint64(i+1)),
+			ctx.WithSource("badge-tracker"),
+		))
+	}
+
+	for _, v := range checker.Check(constraint.NewSliceUniverse(trace)) {
+		fmt.Println(v)
+	}
+	// Output:
+	// velocity-limit(d2, d3)
+	// velocity-limit(d3, d4)
+}
+
+// ExampleParser parses the same constraint from its textual form.
+func ExampleParser() {
+	parser := constraint.NewParser()
+	f, err := parser.Parse(`
+		forall a: location .
+		  forall b: location .
+		    (sameSubject(a, b) and streamAdjacent(a, b))
+		      implies velocityBelow(a, b, 1.5)`)
+	if err != nil {
+		fmt.Println("parse error:", err)
+		return
+	}
+	fmt.Println(constraint.Eval(f, constraint.NewSliceUniverse(nil)).Satisfied)
+	// Output:
+	// true
+}

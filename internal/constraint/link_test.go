@@ -1,0 +1,123 @@
+package constraint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ctxres/internal/ctx"
+)
+
+func TestNewLinkCanonical(t *testing.T) {
+	a := mkLoc(t, "b-ctx", 1, 0, 0)
+	b := mkLoc(t, "a-ctx", 2, 0, 0)
+	l := NewLink(a, b, nil, a) // nil dropped, duplicate collapsed
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	cs := l.Contexts()
+	if cs[0].ID != "a-ctx" || cs[1].ID != "b-ctx" {
+		t.Fatalf("not sorted: %v", l)
+	}
+	if l.Key() != "a-ctx|b-ctx" {
+		t.Fatalf("Key = %q", l.Key())
+	}
+	if l.String() != "(a-ctx, b-ctx)" {
+		t.Fatalf("String = %q", l.String())
+	}
+}
+
+func TestLinkContains(t *testing.T) {
+	a := mkLoc(t, "x", 1, 0, 0)
+	l := NewLink(a)
+	if !l.Contains("x") || l.Contains("y") {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestLinkUnion(t *testing.T) {
+	a := mkLoc(t, "a", 1, 0, 0)
+	b := mkLoc(t, "b", 2, 0, 0)
+	c := mkLoc(t, "c", 3, 0, 0)
+	u := NewLink(a, b).Union(NewLink(b, c))
+	if u.Len() != 3 || u.Key() != "a|b|c" {
+		t.Fatalf("Union = %v", u)
+	}
+}
+
+func TestLinkSetDedup(t *testing.T) {
+	a := mkLoc(t, "a", 1, 0, 0)
+	b := mkLoc(t, "b", 2, 0, 0)
+	s := NewLinkSet(NewLink(a, b), NewLink(b, a), NewLink(a))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Add(NewLink(b)) {
+		t.Fatal("new link rejected")
+	}
+	if s.Add(NewLink(a, b)) {
+		t.Fatal("duplicate accepted")
+	}
+	if got := len(s.Links()); got != 3 {
+		t.Fatalf("Links len = %d", got)
+	}
+}
+
+func TestLinkSetZeroValueUsable(t *testing.T) {
+	var s LinkSet
+	a := mkLoc(t, "a", 1, 0, 0)
+	if !s.Add(NewLink(a)) {
+		t.Fatal("Add on zero LinkSet failed")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestCrossLinksEmptySides(t *testing.T) {
+	a := mkLoc(t, "a", 1, 0, 0)
+	la := []Link{NewLink(a)}
+	if got := crossLinks(nil, la); len(got) != 1 {
+		t.Fatalf("crossLinks(nil, la) = %v", got)
+	}
+	if got := crossLinks(la, nil); len(got) != 1 {
+		t.Fatalf("crossLinks(la, nil) = %v", got)
+	}
+}
+
+func TestCrossLinksCombines(t *testing.T) {
+	a := mkLoc(t, "a", 1, 0, 0)
+	b := mkLoc(t, "b", 2, 0, 0)
+	c := mkLoc(t, "c", 3, 0, 0)
+	got := crossLinks([]Link{NewLink(a), NewLink(b)}, []Link{NewLink(c)})
+	if len(got) != 2 {
+		t.Fatalf("crossLinks = %v", got)
+	}
+	keys := map[string]bool{got[0].Key(): true, got[1].Key(): true}
+	if !keys["a|c"] || !keys["b|c"] {
+		t.Fatalf("crossLinks keys = %v", keys)
+	}
+}
+
+// Property: link construction is order-insensitive and idempotent.
+func TestLinkCanonicalProperty(t *testing.T) {
+	mk := func(ids []uint8) Link {
+		cs := make([]*ctx.Context, len(ids))
+		for i, id := range ids {
+			cs[i] = mkLoc(t, string(rune('a'+id%26)), uint64(i), 0, 0)
+		}
+		return NewLink(cs...)
+	}
+	f := func(ids []uint8) bool {
+		l1 := mk(ids)
+		// reversed order
+		rev := make([]uint8, len(ids))
+		for i, id := range ids {
+			rev[len(ids)-1-i] = id
+		}
+		l2 := mk(rev)
+		return l1.Key() == l2.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package constraint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// LoadConstraints reads a constraint-set file and returns the parsed
+// constraints in file order. The format is block-based:
+//
+//	# Comments start with '#'; blank lines separate blocks.
+//
+//	constraint velocity-limit
+//	doc walking velocity must stay under 150% of nominal
+//	forall a: location .
+//	  forall b: location .
+//	    (sameSubject(a, b) and streamWithin(a, b, 2))
+//	      implies velocityBelow(a, b, 1.5)
+//
+//	constraint feasible-area
+//	forall a: location . withinArea(a, 0, 0, 40, 20)
+//
+// Each block starts with "constraint NAME", optionally followed by a
+// "doc …" line; the remaining lines form the formula.
+func LoadConstraints(r io.Reader, parser *Parser) ([]*Constraint, error) {
+	if parser == nil {
+		parser = NewParser()
+	}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 4096), 1<<20)
+
+	var out []*Constraint
+	var name, doc string
+	var formula strings.Builder
+	line := 0
+	blockLine := 0
+
+	flush := func() error {
+		if name == "" && formula.Len() == 0 {
+			return nil
+		}
+		if name == "" {
+			return fmt.Errorf("line %d: formula without a \"constraint NAME\" header", blockLine)
+		}
+		if strings.TrimSpace(formula.String()) == "" {
+			return fmt.Errorf("constraint %q (line %d): empty formula", name, blockLine)
+		}
+		c, err := parser.ParseConstraint(name, doc, formula.String())
+		if err != nil {
+			return fmt.Errorf("line %d: %w", blockLine, err)
+		}
+		out = append(out, c)
+		name, doc = "", ""
+		formula.Reset()
+		return nil
+	}
+
+	for scanner.Scan() {
+		line++
+		text := scanner.Text()
+		trimmed := strings.TrimSpace(text)
+		switch {
+		case trimmed == "":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(trimmed, "#"):
+			// comment
+		case strings.HasPrefix(trimmed, "constraint "):
+			if name != "" || formula.Len() > 0 {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+			name = strings.TrimSpace(strings.TrimPrefix(trimmed, "constraint "))
+			if name == "" {
+				return nil, fmt.Errorf("line %d: constraint header without a name", line)
+			}
+			blockLine = line
+		case strings.HasPrefix(trimmed, "doc "):
+			if name == "" {
+				return nil, fmt.Errorf("line %d: doc line outside a constraint block", line)
+			}
+			doc = strings.TrimSpace(strings.TrimPrefix(trimmed, "doc "))
+		default:
+			if name == "" {
+				return nil, fmt.Errorf("line %d: formula without a \"constraint NAME\" header", line)
+			}
+			formula.WriteString(text)
+			formula.WriteByte('\n')
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("read constraints: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadCheckerFrom builds a checker from a constraint-set file.
+func LoadCheckerFrom(r io.Reader, parser *Parser) (*Checker, error) {
+	constraints, err := LoadConstraints(r, parser)
+	if err != nil {
+		return nil, err
+	}
+	if len(constraints) == 0 {
+		return nil, fmt.Errorf("constraint set is empty")
+	}
+	ch := NewChecker()
+	for _, c := range constraints {
+		if err := ch.Register(c); err != nil {
+			return nil, err
+		}
+	}
+	return ch, nil
+}

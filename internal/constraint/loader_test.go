@@ -1,0 +1,109 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"ctxres/internal/ctx"
+)
+
+const sampleSet = `
+# Call Forwarding constraint set (sample).
+
+constraint velocity-limit
+doc walking velocity must stay under 150% of nominal
+forall a: location .
+  forall b: location .
+    (sameSubject(a, b) and streamWithin(a, b, 2))
+      implies velocityBelow(a, b, 1.5)
+
+constraint feasible-area
+forall a: location . withinArea(a, 0, 0, 40, 20)
+`
+
+func TestLoadConstraints(t *testing.T) {
+	cs, err := LoadConstraints(strings.NewReader(sampleSet), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("constraints = %d", len(cs))
+	}
+	if cs[0].Name != "velocity-limit" ||
+		cs[0].Doc != "walking velocity must stay under 150% of nominal" {
+		t.Fatalf("first = %+v", cs[0])
+	}
+	if cs[1].Name != "feasible-area" || cs[1].Doc != "" {
+		t.Fatalf("second = %+v", cs[1])
+	}
+}
+
+func TestLoadCheckerFrom(t *testing.T) {
+	ch, err := LoadCheckerFrom(strings.NewReader(sampleSet), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ch.Constraints()); got != 2 {
+		t.Fatalf("registered = %d", got)
+	}
+	// The loaded set detects the Figure 1 violations.
+	u, _ := figure1Universe(t)
+	if vios := ch.Check(u); len(vios) == 0 {
+		t.Fatal("loaded constraints detect nothing")
+	}
+	if !ch.Relevant(ctx.KindLocation) {
+		t.Fatal("location not relevant")
+	}
+}
+
+func TestLoadConstraintsNoTrailingBlank(t *testing.T) {
+	src := "constraint c1\nforall a: location . true"
+	cs, err := LoadConstraints(strings.NewReader(src), nil)
+	if err != nil || len(cs) != 1 {
+		t.Fatalf("cs=%v err=%v", cs, err)
+	}
+}
+
+func TestLoadConstraintsBackToBackBlocks(t *testing.T) {
+	// A new "constraint" header flushes the previous block even without a
+	// blank line.
+	src := "constraint c1\nforall a: location . true\nconstraint c2\ntrue"
+	cs, err := LoadConstraints(strings.NewReader(src), nil)
+	if err != nil || len(cs) != 2 {
+		t.Fatalf("cs=%v err=%v", cs, err)
+	}
+}
+
+func TestLoadConstraintsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"formula without header", "forall a: location . true"},
+		{"doc without header", "doc lonely"},
+		{"header without name", "constraint \ntrue"},
+		{"empty formula", "constraint c1\n\nconstraint c2\ntrue"},
+		{"parse error", "constraint c1\nforall a location true"},
+		{"unknown predicate", "constraint c1\nnope(a)"},
+		{"duplicate names", "constraint c1\ntrue\n\nconstraint c1\ntrue"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.name == "duplicate names" {
+				if _, err := LoadCheckerFrom(strings.NewReader(tt.src), nil); err == nil {
+					t.Fatal("accepted")
+				}
+				return
+			}
+			if _, err := LoadConstraints(strings.NewReader(tt.src), nil); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+}
+
+func TestLoadCheckerEmptySet(t *testing.T) {
+	if _, err := LoadCheckerFrom(strings.NewReader("# nothing\n"), nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}

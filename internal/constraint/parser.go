@@ -1,0 +1,408 @@
+package constraint
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+
+	"ctxres/internal/ctx"
+)
+
+// This file implements a small textual language for consistency
+// constraints, so daemon deployments can load constraint sets from
+// configuration instead of Go code:
+//
+//	forall a: location .
+//	  forall b: location .
+//	    (sameSubject(a, b) and streamWithin(a, b, 2))
+//	      implies velocityBelow(a, b, 1.5)
+//
+// Grammar (precedence low → high; implies is right-associative):
+//
+//	formula  := quant | impl
+//	quant    := ("forall" | "exists") IDENT ":" KIND "." formula
+//	impl     := or ("implies" formula)?
+//	or       := and ("or" and)*
+//	and      := unary ("and" unary)*
+//	unary    := "not" unary | "(" formula ")" | atom | quant
+//	atom     := IDENT "(" args ")" | "true" | "false"
+//	args     := (arg ("," arg)*)?
+//	arg      := IDENT | NUMBER | STRING | DURATION
+//
+// Predicates resolve against a registry; RegisterStdPredicates installs
+// the library of predicates.go.
+
+// PredicateFactory builds a predicate formula from parsed arguments.
+type PredicateFactory func(args []Arg) (Formula, error)
+
+// ArgKind tags a parsed predicate argument.
+type ArgKind int
+
+// Argument kinds.
+const (
+	ArgVar ArgKind = iota + 1
+	ArgNumber
+	ArgString
+	ArgDuration
+)
+
+// Arg is one parsed predicate argument.
+type Arg struct {
+	Kind ArgKind
+	Var  string
+	Num  float64
+	Str  string
+	Dur  time.Duration
+}
+
+// Parse errors.
+var (
+	ErrParse            = errors.New("constraint parse error")
+	ErrUnknownPredicate = errors.New("unknown predicate")
+)
+
+// Parser parses the textual constraint language against a predicate
+// registry.
+type Parser struct {
+	predicates map[string]PredicateFactory
+}
+
+// NewParser returns a parser with the standard predicate library
+// registered.
+func NewParser() *Parser {
+	p := &Parser{predicates: make(map[string]PredicateFactory)}
+	p.registerStd()
+	return p
+}
+
+// RegisterPredicate installs (or replaces) a predicate factory.
+func (p *Parser) RegisterPredicate(name string, f PredicateFactory) {
+	p.predicates[name] = f
+}
+
+// Parse parses one closed formula.
+func (p *Parser) Parse(input string) (Formula, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	ps := &parseState{parser: p, toks: toks}
+	f, err := ps.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if !ps.eof() {
+		return nil, fmt.Errorf("%w: trailing input at %q", ErrParse, ps.peek().text)
+	}
+	if err := checkClosed(f, map[string]bool{}); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ParseConstraint parses "name: formula" into a registrable constraint.
+func (p *Parser) ParseConstraint(name, doc, input string) (*Constraint, error) {
+	f, err := p.Parse(input)
+	if err != nil {
+		return nil, fmt.Errorf("constraint %q: %w", name, err)
+	}
+	return &Constraint{Name: name, Doc: doc, Formula: f}, nil
+}
+
+// --- lexer -----------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota + 1
+	tokNumber
+	tokString
+	tokDuration
+	tokLParen
+	tokRParen
+	tokComma
+	tokColon
+	tokDot
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	dur  time.Duration
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	rs := []rune(input)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, token{kind: tokLParen, text: "("})
+			i++
+		case r == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")"})
+			i++
+		case r == ',':
+			toks = append(toks, token{kind: tokComma, text: ","})
+			i++
+		case r == ':':
+			toks = append(toks, token{kind: tokColon, text: ":"})
+			i++
+		case r == '.':
+			toks = append(toks, token{kind: tokDot, text: "."})
+			i++
+		case r == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(rs) && rs[j] != '"' {
+				sb.WriteRune(rs[j])
+				j++
+			}
+			if j >= len(rs) {
+				return nil, fmt.Errorf("%w: unterminated string", ErrParse)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String()})
+			i = j + 1
+		case unicode.IsDigit(r) || r == '-' || r == '+':
+			j := i
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.' ||
+				rs[j] == '-' || rs[j] == '+' || rs[j] == 'e' || rs[j] == 'E') {
+				j++
+			}
+			numText := string(rs[i:j])
+			// A trailing unit suffix turns the number into a duration.
+			k := j
+			for k < len(rs) && unicode.IsLetter(rs[k]) {
+				k++
+			}
+			if k > j {
+				if d, err := time.ParseDuration(numText + string(rs[j:k])); err == nil {
+					toks = append(toks, token{kind: tokDuration, text: string(rs[i:k]), dur: d})
+					i = k
+					continue
+				}
+			}
+			n, err := strconv.ParseFloat(numText, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad number %q", ErrParse, numText)
+			}
+			toks = append(toks, token{kind: tokNumber, text: numText, num: n})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) ||
+				rs[j] == '_' || rs[j] == '-' || rs[j] == '.') {
+				j++
+			}
+			// Identifiers may not end with '.': that dot terminates a
+			// quantifier body ("forall a: location . …").
+			for j > i && rs[j-1] == '.' {
+				j--
+			}
+			toks = append(toks, token{kind: tokIdent, text: string(rs[i:j])})
+			i = j
+		default:
+			return nil, fmt.Errorf("%w: unexpected character %q", ErrParse, string(r))
+		}
+	}
+	return toks, nil
+}
+
+// --- parser ----------------------------------------------------------------
+
+type parseState struct {
+	parser *Parser
+	toks   []token
+	pos    int
+}
+
+func (ps *parseState) eof() bool   { return ps.pos >= len(ps.toks) }
+func (ps *parseState) peek() token { return ps.toks[ps.pos] }
+func (ps *parseState) next() token { t := ps.toks[ps.pos]; ps.pos++; return t }
+func (ps *parseState) atIdent(s string) bool {
+	return !ps.eof() && ps.peek().kind == tokIdent && ps.peek().text == s
+}
+
+func (ps *parseState) expect(kind tokKind, what string) (token, error) {
+	if ps.eof() {
+		return token{}, fmt.Errorf("%w: expected %s, found end of input", ErrParse, what)
+	}
+	t := ps.next()
+	if t.kind != kind {
+		return token{}, fmt.Errorf("%w: expected %s, found %q", ErrParse, what, t.text)
+	}
+	return t, nil
+}
+
+func (ps *parseState) parseFormula() (Formula, error) {
+	if ps.atIdent("forall") || ps.atIdent("exists") {
+		return ps.parseQuantifier()
+	}
+	return ps.parseImplies()
+}
+
+func (ps *parseState) parseQuantifier() (Formula, error) {
+	kw := ps.next().text
+	v, err := ps.expect(tokIdent, "quantified variable")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ps.expect(tokColon, `":"`); err != nil {
+		return nil, err
+	}
+	kind, err := ps.expect(tokIdent, "context kind")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ps.expect(tokDot, `"."`); err != nil {
+		return nil, err
+	}
+	body, err := ps.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if kw == "forall" {
+		return Forall(v.text, ctx.Kind(kind.text), body), nil
+	}
+	return Exists(v.text, ctx.Kind(kind.text), body), nil
+}
+
+func (ps *parseState) parseImplies() (Formula, error) {
+	lhs, err := ps.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if ps.atIdent("implies") {
+		ps.next()
+		rhs, err := ps.parseFormula() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return Implies(lhs, rhs), nil
+	}
+	return lhs, nil
+}
+
+func (ps *parseState) parseOr() (Formula, error) {
+	first, err := ps.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Formula{first}
+	for ps.atIdent("or") {
+		ps.next()
+		f, err := ps.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, f)
+	}
+	if len(parts) == 1 {
+		return first, nil
+	}
+	return Or(parts...), nil
+}
+
+func (ps *parseState) parseAnd() (Formula, error) {
+	first, err := ps.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Formula{first}
+	for ps.atIdent("and") {
+		ps.next()
+		f, err := ps.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, f)
+	}
+	if len(parts) == 1 {
+		return first, nil
+	}
+	return And(parts...), nil
+}
+
+func (ps *parseState) parseUnary() (Formula, error) {
+	if ps.eof() {
+		return nil, fmt.Errorf("%w: unexpected end of input", ErrParse)
+	}
+	if ps.atIdent("not") {
+		ps.next()
+		f, err := ps.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	}
+	if ps.atIdent("forall") || ps.atIdent("exists") {
+		return ps.parseQuantifier()
+	}
+	if ps.peek().kind == tokLParen {
+		ps.next()
+		f, err := ps.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ps.expect(tokRParen, `")"`); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	return ps.parseAtom()
+}
+
+func (ps *parseState) parseAtom() (Formula, error) {
+	name, err := ps.expect(tokIdent, "predicate name")
+	if err != nil {
+		return nil, err
+	}
+	switch name.text {
+	case "true":
+		return True(), nil
+	case "false":
+		return False(), nil
+	}
+	if _, err := ps.expect(tokLParen, `"(" after predicate name`); err != nil {
+		return nil, err
+	}
+	var args []Arg
+	for !ps.eof() && ps.peek().kind != tokRParen {
+		t := ps.next()
+		switch t.kind {
+		case tokIdent:
+			args = append(args, Arg{Kind: ArgVar, Var: t.text})
+		case tokNumber:
+			args = append(args, Arg{Kind: ArgNumber, Num: t.num})
+		case tokString:
+			args = append(args, Arg{Kind: ArgString, Str: t.text})
+		case tokDuration:
+			args = append(args, Arg{Kind: ArgDuration, Dur: t.dur})
+		default:
+			return nil, fmt.Errorf("%w: unexpected argument %q", ErrParse, t.text)
+		}
+		if !ps.eof() && ps.peek().kind == tokComma {
+			ps.next()
+		}
+	}
+	if _, err := ps.expect(tokRParen, `")"`); err != nil {
+		return nil, err
+	}
+	factory, ok := ps.parser.predicates[name.text]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPredicate, name.text)
+	}
+	f, err := factory(args)
+	if err != nil {
+		return nil, fmt.Errorf("predicate %s: %w", name.text, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,203 @@
+package constraint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ctxres/internal/ctx"
+)
+
+const velocityDSL = `
+forall a: location .
+  forall b: location .
+    (sameSubject(a, b) and streamWithin(a, b, 2))
+      implies velocityBelow(a, b, 1.5)`
+
+func TestParseVelocityConstraint(t *testing.T) {
+	p := NewParser()
+	f, err := p.Parse(velocityDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parsed formula must behave exactly like the hand-built one on
+	// the Figure 1 scenario.
+	u, _ := figure1Universe(t)
+	r := Eval(f, u)
+	if r.Satisfied {
+		t.Fatal("parsed constraint did not detect the scenario violations")
+	}
+	keys := map[string]bool{}
+	for _, l := range r.Links {
+		keys[l.Key()] = true
+	}
+	for _, want := range []string{"d1|d3", "d2|d3", "d3|d4", "d3|d5"} {
+		if !keys[want] {
+			t.Fatalf("missing link %s in %v", want, keys)
+		}
+	}
+}
+
+func TestParseRegistersInChecker(t *testing.T) {
+	p := NewParser()
+	c, err := p.ParseConstraint("vel", "velocity limit", velocityDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := NewChecker()
+	if err := ch.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Relevant(ctx.KindLocation) {
+		t.Fatal("parsed constraint not relevant to location")
+	}
+}
+
+func TestParseOperatorsAndLiterals(t *testing.T) {
+	p := NewParser()
+	cases := []string{
+		`true`,
+		`false`,
+		`not true`,
+		`forall a: location . true`,
+		`exists a: location . subjectIs(a, "peter")`,
+		`forall a: location . (true or false)`,
+		`forall a: location . (true and not false or true)`,
+		`forall a: location . withinArea(a, 0, 0, 40, 20)`,
+		`forall a: location . outsideArea(a, 34, 12, 40, 20)`,
+		`forall a: rfid.read . kindIs(a, "rfid.read")`,
+		`forall a: rfid.read . fieldEquals(a, "zone", "zone-1")`,
+		`forall a: rfid.read . forall b: rfid.read . fieldsEqual(a, b, "zone")`,
+		`forall a: rfid.read . forall b: rfid.read . fieldsDiffer(a, b, "zone")`,
+		`forall a: location . forall b: location . withinGap(a, b, 3s)`,
+		`forall a: location . forall b: location . withinGap(a, b, 1.5)`,
+		`forall a: location . forall b: location . before(a, b) implies distinct(a, b)`,
+		`forall a: location . forall b: location . streamAdjacent(a, b) implies distBelow(a, b, 5)`,
+	}
+	for _, src := range cases {
+		if _, err := p.Parse(src); err != nil {
+			t.Errorf("Parse(%q) failed: %v", src, err)
+		}
+	}
+}
+
+func TestParseImpliesRightAssociative(t *testing.T) {
+	p := NewParser()
+	// a implies b implies c ≡ a implies (b implies c): with a=true,
+	// b=false the whole formula is vacuously true.
+	f, err := p.Parse(`true implies false implies false`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Eval(f, NewSliceUniverse(nil)); !r.Satisfied {
+		t.Fatal("right associativity broken: (true→(false→false)) must hold")
+	}
+}
+
+func TestParsePrecedenceAndOverOr(t *testing.T) {
+	p := NewParser()
+	// true or false and false ≡ true or (false and false) → true.
+	f, err := p.Parse(`true or false and false`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Eval(f, NewSliceUniverse(nil)).Satisfied {
+		t.Fatal("precedence broken: or must bind looser than and")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	p := NewParser()
+	cases := []struct {
+		src  string
+		want error
+	}{
+		{``, ErrParse},
+		{`(`, ErrParse},
+		{`forall`, ErrParse},
+		{`forall a location . true`, ErrParse},
+		{`forall a: location true`, ErrParse},
+		{`true )`, ErrParse},
+		{`nosuchpred(a)`, ErrUnknownPredicate},
+		{`forall a: location . sameSubject(a)`, ErrParse}, // arity
+		{`forall a: location . subjectIs(a, 42)`, ErrParse},
+		{`forall a: location . withinArea(a, 0, 0, 40)`, ErrParse},
+		{`velocityBelow(a, b, 1.5)`, ErrFreeVar},
+		{`"unterminated`, ErrParse},
+		{`forall a: location . velocityBelow(a, a, 1e)`, ErrParse},
+		{`@`, ErrParse},
+	}
+	for _, tt := range cases {
+		_, err := p.Parse(tt.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded", tt.src)
+			continue
+		}
+		// Arity/type failures are wrapped parse-level errors; accept
+		// either the specific sentinel or a plain non-nil error when the
+		// sentinel is ErrParse.
+		if tt.want != ErrParse && !errors.Is(err, tt.want) {
+			t.Errorf("Parse(%q) = %v, want %v", tt.src, err, tt.want)
+		}
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	p := NewParser()
+	f, err := p.Parse(`forall a: location . forall b: location . withinGap(a, b, 1500ms)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f.String(), "withinGap[1.5s]") {
+		t.Fatalf("duration not parsed: %s", f)
+	}
+}
+
+func TestParseCustomPredicate(t *testing.T) {
+	p := NewParser()
+	p.RegisterPredicate("always", func(args []Arg) (Formula, error) {
+		if len(args) != 0 {
+			return nil, errors.New("no arguments")
+		}
+		return True(), nil
+	})
+	f, err := p.Parse(`always()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Eval(f, NewSliceUniverse(nil)).Satisfied {
+		t.Fatal("custom predicate not satisfied")
+	}
+}
+
+func TestParsedMatchesHandBuiltOnWorkload(t *testing.T) {
+	// The DSL version of the running-example constraint must produce the
+	// same violations as the Go-built one across a random-ish trace.
+	p := NewParser()
+	parsed, err := p.ParseConstraint("vel-dsl", "", velocityDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handBuilt := velocityConstraint("vel-go", 2, 1.5)
+
+	cs := make([]*ctx.Context, 0, 20)
+	x := 0.0
+	for i := 0; i < 20; i++ {
+		x += 1
+		if i%5 == 4 {
+			x += 7 // corruption
+		}
+		cs = append(cs, mkLoc(t, string(rune('a'+i)), uint64(i+1), x, 0))
+	}
+	u := NewSliceUniverse(cs)
+
+	chA := NewChecker()
+	chA.MustRegister(parsed)
+	chB := NewChecker()
+	chB.MustRegister(handBuilt)
+	viosA := violationKeys(chA.Check(u))
+	viosB := violationKeys(chB.Check(u))
+	if !equalStrings(viosA, viosB) {
+		t.Fatalf("parsed %v != hand-built %v", viosA, viosB)
+	}
+}

@@ -1,0 +1,188 @@
+package constraint
+
+import (
+	"fmt"
+	"time"
+
+	"ctxres/internal/ctx"
+)
+
+// This file provides a library of reusable predicate builders covering the
+// constraint shapes the paper's user study produced: velocity limits,
+// feasible areas, adjacency in a context stream, identity checks, and RFID
+// plausibility checks.
+
+// SameSubject holds when both bound contexts concern the same subject.
+func SameSubject(a, b string) Formula {
+	return Pred("sameSubject", func(bound []*ctx.Context) bool {
+		return bound[0].Subject != "" && bound[0].Subject == bound[1].Subject
+	}, a, b)
+}
+
+// Distinct holds when the two bound contexts are different instances.
+func Distinct(a, b string) Formula {
+	return Pred("distinct", func(bound []*ctx.Context) bool {
+		return bound[0].ID != bound[1].ID
+	}, a, b)
+}
+
+// Before holds when a's timestamp is strictly before b's (ties broken by
+// sequence number so a context never precedes itself).
+func Before(a, b string) Formula {
+	return Pred("before", func(bound []*ctx.Context) bool {
+		x, y := bound[0], bound[1]
+		if x.Timestamp.Equal(y.Timestamp) {
+			return x.Seq < y.Seq
+		}
+		return x.Timestamp.Before(y.Timestamp)
+	}, a, b)
+}
+
+// WithinGap holds when the two contexts' timestamps differ by at most gap.
+func WithinGap(a, b string, gap time.Duration) Formula {
+	name := fmt.Sprintf("withinGap[%s]", gap)
+	return Pred(name, func(bound []*ctx.Context) bool {
+		d := bound[1].Timestamp.Sub(bound[0].Timestamp)
+		if d < 0 {
+			d = -d
+		}
+		return d <= gap
+	}, a, b)
+}
+
+// StreamAdjacent holds when b directly follows a in the same source's
+// stream (consecutive sequence numbers). This captures the paper's
+// "adjacent location pair" notion.
+func StreamAdjacent(a, b string) Formula {
+	return Pred("streamAdjacent", func(bound []*ctx.Context) bool {
+		x, y := bound[0], bound[1]
+		return x.Source == y.Source && y.Seq == x.Seq+1
+	}, a, b)
+}
+
+// StreamWithin holds when b follows a in the same source's stream within
+// at most reach steps (reach=1 is adjacency; reach=2 adds the paper's
+// "separated by one intermediate location" pairs of Section 3.1).
+func StreamWithin(a, b string, reach uint64) Formula {
+	name := fmt.Sprintf("streamWithin[%d]", reach)
+	return Pred(name, func(bound []*ctx.Context) bool {
+		x, y := bound[0], bound[1]
+		return x.Source == y.Source && y.Seq > x.Seq && y.Seq-x.Seq <= reach
+	}, a, b)
+}
+
+// VelocityBelow holds when the walking speed implied by moving from a to b
+// is at most limit metres/second. Contexts without coordinates or with
+// coincident timestamps vacuously satisfy the predicate (no speed defined).
+func VelocityBelow(a, b string, limit float64) Formula {
+	name := fmt.Sprintf("velocityBelow[%.3g m/s]", limit)
+	return Pred(name, func(bound []*ctx.Context) bool {
+		v, ok := ctx.Velocity(bound[0], bound[1])
+		if !ok {
+			return true
+		}
+		return v <= limit
+	}, a, b)
+}
+
+// Rect is an axis-aligned rectangle (feasible area).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether p falls inside the rectangle (inclusive).
+func (r Rect) Contains(p ctx.Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// WithinArea holds when the bound location context falls inside the
+// feasible area. Non-location contexts vacuously satisfy it.
+func WithinArea(a string, area Rect) Formula {
+	name := fmt.Sprintf("withinArea[%g,%g..%g,%g]", area.MinX, area.MinY, area.MaxX, area.MaxY)
+	return Pred(name, func(bound []*ctx.Context) bool {
+		p, ok := ctx.LocationPoint(bound[0])
+		if !ok {
+			return true
+		}
+		return area.Contains(p)
+	}, a)
+}
+
+// OutsideArea holds when the bound location context falls outside the
+// forbidden area. Non-location contexts vacuously satisfy it.
+func OutsideArea(a string, area Rect) Formula {
+	name := fmt.Sprintf("outsideArea[%g,%g..%g,%g]", area.MinX, area.MinY, area.MaxX, area.MaxY)
+	return Pred(name, func(bound []*ctx.Context) bool {
+		p, ok := ctx.LocationPoint(bound[0])
+		if !ok {
+			return true
+		}
+		return !area.Contains(p)
+	}, a)
+}
+
+// FieldEquals holds when the bound context's named field equals want.
+func FieldEquals(a, field string, want ctx.Value) Formula {
+	name := fmt.Sprintf("fieldEquals[%s=%s]", field, want)
+	return Pred(name, func(bound []*ctx.Context) bool {
+		v, ok := bound[0].Field(field)
+		return ok && v.Equal(want)
+	}, a)
+}
+
+// FieldsDiffer holds when the two bound contexts disagree on the named
+// field (both must carry it for the predicate to trigger a difference;
+// missing fields vacuously satisfy).
+func FieldsDiffer(a, b, field string) Formula {
+	name := fmt.Sprintf("fieldsDiffer[%s]", field)
+	return Pred(name, func(bound []*ctx.Context) bool {
+		va, okA := bound[0].Field(field)
+		vb, okB := bound[1].Field(field)
+		if !okA || !okB {
+			return true
+		}
+		return !va.Equal(vb)
+	}, a, b)
+}
+
+// FieldsEqual holds when the two bound contexts agree on the named field.
+// Missing fields violate (the comparison is meaningful only when present).
+func FieldsEqual(a, b, field string) Formula {
+	name := fmt.Sprintf("fieldsEqual[%s]", field)
+	return Pred(name, func(bound []*ctx.Context) bool {
+		va, okA := bound[0].Field(field)
+		vb, okB := bound[1].Field(field)
+		return okA && okB && va.Equal(vb)
+	}, a, b)
+}
+
+// DistBelow holds when the Euclidean distance between two location
+// contexts is at most limit metres. Non-location contexts vacuously hold.
+func DistBelow(a, b string, limit float64) Formula {
+	name := fmt.Sprintf("distBelow[%.3g m]", limit)
+	return Pred(name, func(bound []*ctx.Context) bool {
+		pa, okA := ctx.LocationPoint(bound[0])
+		pb, okB := ctx.LocationPoint(bound[1])
+		if !okA || !okB {
+			return true
+		}
+		return pa.Dist(pb) <= limit
+	}, a, b)
+}
+
+// SubjectIs holds when the bound context concerns the given subject.
+func SubjectIs(a, subject string) Formula {
+	name := fmt.Sprintf("subjectIs[%s]", subject)
+	return Pred(name, func(bound []*ctx.Context) bool {
+		return bound[0].Subject == subject
+	}, a)
+}
+
+// KindIs holds when the bound context has the given kind. Quantifiers
+// already restrict by kind; this is useful inside mixed-kind predicates.
+func KindIs(a string, kind ctx.Kind) Formula {
+	name := fmt.Sprintf("kindIs[%s]", kind)
+	return Pred(name, func(bound []*ctx.Context) bool {
+		return bound[0].Kind == kind
+	}, a)
+}

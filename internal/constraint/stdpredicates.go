@@ -1,0 +1,206 @@
+package constraint
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ctxres/internal/ctx"
+)
+
+// registerStd installs the predicate library of predicates.go under their
+// textual names, with argument validation.
+func (p *Parser) registerStd() {
+	p.RegisterPredicate("sameSubject", vars2(SameSubject))
+	p.RegisterPredicate("distinct", vars2(Distinct))
+	p.RegisterPredicate("before", vars2(Before))
+	p.RegisterPredicate("withinGap", func(args []Arg) (Formula, error) {
+		a, b, rest, err := twoVars(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		gap, err := durArg(rest[0])
+		if err != nil {
+			return nil, err
+		}
+		return WithinGap(a, b, gap), nil
+	})
+	p.RegisterPredicate("streamAdjacent", vars2(StreamAdjacent))
+	p.RegisterPredicate("streamWithin", func(args []Arg) (Formula, error) {
+		a, b, rest, err := twoVars(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		n, err := numArg(rest[0])
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, errors.New("reach must be non-negative")
+		}
+		return StreamWithin(a, b, uint64(n)), nil
+	})
+	p.RegisterPredicate("velocityBelow", func(args []Arg) (Formula, error) {
+		a, b, rest, err := twoVars(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		limit, err := numArg(rest[0])
+		if err != nil {
+			return nil, err
+		}
+		return VelocityBelow(a, b, limit), nil
+	})
+	p.RegisterPredicate("distBelow", func(args []Arg) (Formula, error) {
+		a, b, rest, err := twoVars(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		limit, err := numArg(rest[0])
+		if err != nil {
+			return nil, err
+		}
+		return DistBelow(a, b, limit), nil
+	})
+	p.RegisterPredicate("withinArea", areaPredicate(WithinArea))
+	p.RegisterPredicate("outsideArea", areaPredicate(OutsideArea))
+	p.RegisterPredicate("subjectIs", func(args []Arg) (Formula, error) {
+		v, rest, err := oneVar(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		s, err := strArg(rest[0])
+		if err != nil {
+			return nil, err
+		}
+		return SubjectIs(v, s), nil
+	})
+	p.RegisterPredicate("kindIs", func(args []Arg) (Formula, error) {
+		v, rest, err := oneVar(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		s, err := strArg(rest[0])
+		if err != nil {
+			return nil, err
+		}
+		return KindIs(v, ctx.Kind(s)), nil
+	})
+	p.RegisterPredicate("fieldEquals", func(args []Arg) (Formula, error) {
+		v, rest, err := oneVar(args, 2)
+		if err != nil {
+			return nil, err
+		}
+		field, err := strArg(rest[0])
+		if err != nil {
+			return nil, err
+		}
+		val, err := valueArg(rest[1])
+		if err != nil {
+			return nil, err
+		}
+		return FieldEquals(v, field, val), nil
+	})
+	p.RegisterPredicate("fieldsEqual", fieldPair(FieldsEqual))
+	p.RegisterPredicate("fieldsDiffer", fieldPair(FieldsDiffer))
+}
+
+func vars2(build func(a, b string) Formula) PredicateFactory {
+	return func(args []Arg) (Formula, error) {
+		a, b, _, err := twoVars(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return build(a, b), nil
+	}
+}
+
+func fieldPair(build func(a, b, field string) Formula) PredicateFactory {
+	return func(args []Arg) (Formula, error) {
+		a, b, rest, err := twoVars(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		field, err := strArg(rest[0])
+		if err != nil {
+			return nil, err
+		}
+		return build(a, b, field), nil
+	}
+}
+
+func areaPredicate(build func(a string, r Rect) Formula) PredicateFactory {
+	return func(args []Arg) (Formula, error) {
+		v, rest, err := oneVar(args, 4)
+		if err != nil {
+			return nil, err
+		}
+		nums := make([]float64, 4)
+		for i, a := range rest {
+			n, err := numArg(a)
+			if err != nil {
+				return nil, err
+			}
+			nums[i] = n
+		}
+		return build(v, Rect{MinX: nums[0], MinY: nums[1], MaxX: nums[2], MaxY: nums[3]}), nil
+	}
+}
+
+func oneVar(args []Arg, extra int) (v string, rest []Arg, err error) {
+	if len(args) != 1+extra {
+		return "", nil, fmt.Errorf("want %d arguments, got %d", 1+extra, len(args))
+	}
+	if args[0].Kind != ArgVar {
+		return "", nil, errors.New("first argument must be a variable")
+	}
+	return args[0].Var, args[1:], nil
+}
+
+func twoVars(args []Arg, extra int) (a, b string, rest []Arg, err error) {
+	if len(args) != 2+extra {
+		return "", "", nil, fmt.Errorf("want %d arguments, got %d", 2+extra, len(args))
+	}
+	if args[0].Kind != ArgVar || args[1].Kind != ArgVar {
+		return "", "", nil, errors.New("first two arguments must be variables")
+	}
+	return args[0].Var, args[1].Var, args[2:], nil
+}
+
+func numArg(a Arg) (float64, error) {
+	if a.Kind != ArgNumber {
+		return 0, errors.New("argument must be a number")
+	}
+	return a.Num, nil
+}
+
+func strArg(a Arg) (string, error) {
+	if a.Kind != ArgString {
+		return "", errors.New("argument must be a string")
+	}
+	return a.Str, nil
+}
+
+func durArg(a Arg) (time.Duration, error) {
+	switch a.Kind {
+	case ArgDuration:
+		return a.Dur, nil
+	case ArgNumber:
+		// Bare numbers are seconds.
+		return time.Duration(a.Num * float64(time.Second)), nil
+	default:
+		return 0, errors.New("argument must be a duration")
+	}
+}
+
+// valueArg converts a literal argument to a context field value.
+func valueArg(a Arg) (ctx.Value, error) {
+	switch a.Kind {
+	case ArgString:
+		return ctx.String(a.Str), nil
+	case ArgNumber:
+		return ctx.Float(a.Num), nil
+	default:
+		return ctx.Value{}, errors.New("argument must be a string or number literal")
+	}
+}

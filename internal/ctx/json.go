@@ -1,0 +1,145 @@
+package ctx
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+)
+
+// valueJSON is the wire form of a Value: a kind tag plus one payload field.
+type valueJSON struct {
+	Kind string   `json:"kind"`
+	Str  *string  `json:"str,omitempty"`
+	Num  *float64 `json:"num,omitempty"`
+	Bool *bool    `json:"bool,omitempty"`
+}
+
+// MarshalJSON encodes the value with an explicit kind tag so int/float and
+// empty/missing distinctions survive the round trip.
+func (v Value) MarshalJSON() ([]byte, error) {
+	out := valueJSON{Kind: v.kind.String()}
+	switch v.kind {
+	case KindString:
+		out.Str = &v.str
+	case KindInt, KindFloat:
+		if math.IsNaN(v.num) || math.IsInf(v.num, 0) {
+			return nil, fmt.Errorf("marshal value: non-finite number %v", v.num)
+		}
+		out.Num = &v.num
+	case KindBool:
+		out.Bool = &v.flag
+	default:
+		return nil, fmt.Errorf("marshal value: invalid kind %d", int(v.kind))
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the wire form.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var in valueJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("unmarshal value: %w", err)
+	}
+	switch in.Kind {
+	case "string":
+		if in.Str == nil {
+			return fmt.Errorf("unmarshal value: string kind without str payload")
+		}
+		*v = String(*in.Str)
+	case "int":
+		if in.Num == nil {
+			return fmt.Errorf("unmarshal value: int kind without num payload")
+		}
+		*v = Int(int64(*in.Num))
+	case "float":
+		if in.Num == nil {
+			return fmt.Errorf("unmarshal value: float kind without num payload")
+		}
+		*v = Float(*in.Num)
+	case "bool":
+		if in.Bool == nil {
+			return fmt.Errorf("unmarshal value: bool kind without bool payload")
+		}
+		*v = Bool(*in.Bool)
+	default:
+		return fmt.Errorf("unmarshal value: unknown kind %q", in.Kind)
+	}
+	return nil
+}
+
+// contextJSON is the wire form of a Context. State is carried for
+// diagnostics; the receiving middleware re-derives life-cycle state.
+type contextJSON struct {
+	ID        ID               `json:"id"`
+	Kind      Kind             `json:"kind"`
+	Source    string           `json:"source,omitempty"`
+	Subject   string           `json:"subject,omitempty"`
+	Timestamp string           `json:"timestamp"`
+	TTLMillis int64            `json:"ttlMillis,omitempty"`
+	Seq       uint64           `json:"seq,omitempty"`
+	Fields    map[string]Value `json:"fields,omitempty"`
+	Corrupted bool             `json:"corrupted,omitempty"`
+	State     string           `json:"state,omitempty"`
+}
+
+// MarshalJSON encodes the context for the wire.
+func (c *Context) MarshalJSON() ([]byte, error) {
+	return json.Marshal(contextJSON{
+		ID:        c.ID,
+		Kind:      c.Kind,
+		Source:    c.Source,
+		Subject:   c.Subject,
+		Timestamp: c.Timestamp.UTC().Format(timeLayout),
+		TTLMillis: c.TTL.Milliseconds(),
+		Seq:       c.Seq,
+		Fields:    c.Fields,
+		Corrupted: c.Truth.Corrupted,
+		State:     c.state.String(),
+	})
+}
+
+const timeLayout = "2006-01-02T15:04:05.000000000Z07:00"
+
+// UnmarshalJSON decodes a wire context. The decoded context is Undecided
+// regardless of the sender's state: life-cycle decisions are local to each
+// middleware.
+func (c *Context) UnmarshalJSON(data []byte) error {
+	var in contextJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("unmarshal context: %w", err)
+	}
+	ts, err := parseTime(in.Timestamp)
+	if err != nil {
+		return fmt.Errorf("unmarshal context %s: %w", in.ID, err)
+	}
+	*c = Context{
+		ID:        in.ID,
+		Kind:      in.Kind,
+		Source:    in.Source,
+		Subject:   in.Subject,
+		Timestamp: ts,
+		TTL:       millis(in.TTLMillis),
+		Seq:       in.Seq,
+		Fields:    in.Fields,
+		Truth:     Truth{Corrupted: in.Corrupted},
+		state:     Undecided,
+	}
+	if c.Fields == nil {
+		c.Fields = map[string]Value{}
+	}
+	return c.Validate()
+}
+
+func parseTime(s string) (t time.Time, err error) {
+	for _, layout := range []string{timeLayout, time.RFC3339Nano, time.RFC3339} {
+		if t, err = time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("parse timestamp %q: %w", s, err)
+}
+
+func millis(ms int64) time.Duration {
+	return time.Duration(ms) * time.Millisecond
+}

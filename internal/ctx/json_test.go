@@ -1,0 +1,190 @@
+package ctx
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	values := []Value{
+		String(""),
+		String("hello world"),
+		String(`quotes " and \ slashes`),
+		Int(0),
+		Int(-42),
+		Int(1 << 40),
+		Float(3.25),
+		Float(-0.0001),
+		Bool(true),
+		Bool(false),
+	}
+	for _, v := range values {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back.Kind() != v.Kind() || !back.Equal(v) {
+			t.Fatalf("round trip %v → %s → %v", v, data, back)
+		}
+	}
+}
+
+func TestValueJSONRejectsInvalid(t *testing.T) {
+	if _, err := json.Marshal(Value{}); err == nil {
+		t.Fatal("invalid value marshalled")
+	}
+	if _, err := json.Marshal(Float(math.NaN())); err == nil {
+		t.Fatal("NaN marshalled")
+	}
+	if _, err := json.Marshal(Float(math.Inf(1))); err == nil {
+		t.Fatal("Inf marshalled")
+	}
+	bad := []string{
+		`{"kind":"weird"}`,
+		`{"kind":"string"}`,
+		`{"kind":"int"}`,
+		`{"kind":"float"}`,
+		`{"kind":"bool"}`,
+		`{invalid`,
+	}
+	for _, s := range bad {
+		var v Value
+		if err := json.Unmarshal([]byte(s), &v); err == nil {
+			t.Fatalf("unmarshalled %q", s)
+		}
+	}
+}
+
+func TestContextJSONRoundTrip(t *testing.T) {
+	c := New(KindLocation, t0.Add(123*time.Millisecond), map[string]Value{
+		"x":    Float(3.5),
+		"y":    Float(-2),
+		"zone": String("office"),
+		"ok":   Bool(true),
+		"n":    Int(7),
+	},
+		WithID("ctx-1"),
+		WithSource("tracker"),
+		WithSubject("peter"),
+		WithTTL(1500*time.Millisecond),
+		WithSeq(42),
+	)
+	c.Truth.Corrupted = true
+
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Context
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != c.ID || back.Kind != c.Kind || back.Source != c.Source ||
+		back.Subject != c.Subject || back.Seq != c.Seq || back.TTL != c.TTL {
+		t.Fatalf("header mismatch: %+v vs %+v", back, c)
+	}
+	if !back.Timestamp.Equal(c.Timestamp) {
+		t.Fatalf("timestamp %v != %v", back.Timestamp, c.Timestamp)
+	}
+	if !back.Truth.Corrupted {
+		t.Fatal("corrupted flag lost")
+	}
+	if back.State() != Undecided {
+		t.Fatalf("state = %v, want undecided on receipt", back.State())
+	}
+	if len(back.Fields) != len(c.Fields) {
+		t.Fatalf("fields = %v", back.Fields)
+	}
+	for k, v := range c.Fields {
+		if bv, ok := back.Fields[k]; !ok || !bv.Equal(v) {
+			t.Fatalf("field %s: %v vs %v", k, bv, v)
+		}
+	}
+}
+
+func TestContextJSONStateNotImported(t *testing.T) {
+	c := New(KindLocation, t0, nil, WithID("c1"))
+	if err := c.SetState(Inconsistent); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"state":"inconsistent"`) {
+		t.Fatalf("state not exported: %s", data)
+	}
+	var back Context
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.State() != Undecided {
+		t.Fatalf("state imported: %v", back.State())
+	}
+}
+
+func TestContextJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"kind":"location","timestamp":"2008-06-17T09:00:00Z"}`, // no id
+		`{"id":"a","timestamp":"2008-06-17T09:00:00Z"}`,          // no kind
+		`{"id":"a","kind":"location","timestamp":"bogus"}`,
+		`{"id":"a","kind":"location"}`, // no timestamp
+		`{nope`,
+	}
+	for _, s := range cases {
+		var c Context
+		if err := json.Unmarshal([]byte(s), &c); err == nil {
+			t.Fatalf("unmarshalled %q", s)
+		}
+	}
+}
+
+func TestContextJSONAcceptsRFC3339(t *testing.T) {
+	var c Context
+	data := `{"id":"a","kind":"location","timestamp":"2008-06-17T09:00:00+08:00"}`
+	if err := json.Unmarshal([]byte(data), &c); err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2008, 6, 17, 1, 0, 0, 0, time.UTC)
+	if !c.Timestamp.Equal(want) {
+		t.Fatalf("timestamp = %v", c.Timestamp)
+	}
+}
+
+// Property: every constructible context round-trips through JSON.
+func TestContextJSONRoundTripProperty(t *testing.T) {
+	f := func(x, y float64, subj string, seq uint64, ttlMS uint32) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0
+		}
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			y = 0
+		}
+		c := NewLocation(subj, t0.Add(time.Duration(seq)*time.Millisecond),
+			Point{X: x, Y: y},
+			WithSeq(seq), WithTTL(time.Duration(ttlMS)*time.Millisecond))
+		data, err := json.Marshal(c)
+		if err != nil {
+			return false
+		}
+		var back Context
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		p1, ok1 := LocationPoint(c)
+		p2, ok2 := LocationPoint(&back)
+		return ok1 && ok2 && p1 == p2 && back.Subject == c.Subject &&
+			back.Timestamp.Equal(c.Timestamp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package ctx
+
+import (
+	"math"
+	"time"
+)
+
+// Field names used by location contexts.
+const (
+	FieldX     = "x"
+	FieldY     = "y"
+	FieldFloor = "floor"
+	FieldZone  = "zone"
+)
+
+// Point is a 2D position in metres.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Dist returns the Euclidean distance to o.
+func (p Point) Dist(o Point) float64 {
+	return math.Hypot(p.X-o.X, p.Y-o.Y)
+}
+
+// Add returns the vector sum p+o.
+func (p Point) Add(o Point) Point { return Point{p.X + o.X, p.Y + o.Y} }
+
+// Sub returns the vector difference p-o.
+func (p Point) Sub(o Point) Point { return Point{p.X - o.X, p.Y - o.Y} }
+
+// Scale returns p scaled by f.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// Norm returns the Euclidean length of p as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// NewLocation builds a location context for subject at point p.
+func NewLocation(subject string, at time.Time, p Point, opts ...Option) *Context {
+	fields := map[string]Value{
+		FieldX: Float(p.X),
+		FieldY: Float(p.Y),
+	}
+	opts = append([]Option{WithSubject(subject)}, opts...)
+	return New(KindLocation, at, fields, opts...)
+}
+
+// LocationPoint extracts the (x, y) point from a location context; ok is
+// false for non-location contexts or missing coordinates.
+func LocationPoint(c *Context) (Point, bool) {
+	if c == nil || c.Kind != KindLocation {
+		return Point{}, false
+	}
+	x, okX := c.FloatField(FieldX)
+	y, okY := c.FloatField(FieldY)
+	if !okX || !okY {
+		return Point{}, false
+	}
+	return Point{X: x, Y: y}, true
+}
+
+// Velocity estimates the speed (m/s) implied by moving between two location
+// contexts. It returns ok=false when either context lacks coordinates or
+// the timestamps coincide (speed undefined).
+func Velocity(a, b *Context) (speed float64, ok bool) {
+	pa, okA := LocationPoint(a)
+	pb, okB := LocationPoint(b)
+	if !okA || !okB {
+		return 0, false
+	}
+	dt := b.Timestamp.Sub(a.Timestamp).Seconds()
+	if dt < 0 {
+		dt = -dt
+	}
+	if dt == 0 {
+		return 0, false
+	}
+	return pa.Dist(pb) / dt, true
+}

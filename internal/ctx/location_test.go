@@ -1,0 +1,104 @@
+package ctx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{3, 4}
+	if got := p.Norm(); got != 5 {
+		t.Fatalf("Norm = %v", got)
+	}
+	if got := p.Dist(Point{0, 0}); got != 5 {
+		t.Fatalf("Dist = %v", got)
+	}
+	if got := p.Add(Point{1, 1}); got != (Point{4, 5}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := p.Sub(Point{1, 1}); got != (Point{2, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{6, 8}) {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestNewLocationAndPoint(t *testing.T) {
+	c := NewLocation("peter", t0, Point{1.5, -2.5})
+	if c.Kind != KindLocation || c.Subject != "peter" {
+		t.Fatalf("unexpected context %v", c)
+	}
+	p, ok := LocationPoint(c)
+	if !ok || p != (Point{1.5, -2.5}) {
+		t.Fatalf("LocationPoint = %v, %v", p, ok)
+	}
+}
+
+func TestLocationPointRejects(t *testing.T) {
+	if _, ok := LocationPoint(nil); ok {
+		t.Fatal("nil accepted")
+	}
+	other := New(KindPresence, t0, map[string]Value{FieldX: Float(1), FieldY: Float(2)})
+	if _, ok := LocationPoint(other); ok {
+		t.Fatal("non-location kind accepted")
+	}
+	missing := New(KindLocation, t0, map[string]Value{FieldX: Float(1)})
+	if _, ok := LocationPoint(missing); ok {
+		t.Fatal("missing y accepted")
+	}
+	badType := New(KindLocation, t0, map[string]Value{FieldX: String("a"), FieldY: Float(2)})
+	if _, ok := LocationPoint(badType); ok {
+		t.Fatal("non-numeric x accepted")
+	}
+}
+
+func TestVelocity(t *testing.T) {
+	a := NewLocation("p", t0, Point{0, 0})
+	b := NewLocation("p", t0.Add(2*time.Second), Point{6, 8})
+	v, ok := Velocity(a, b)
+	if !ok || v != 5 {
+		t.Fatalf("Velocity = %v, %v, want 5", v, ok)
+	}
+	// Order-independent.
+	v2, ok := Velocity(b, a)
+	if !ok || v2 != 5 {
+		t.Fatalf("Velocity reversed = %v, %v", v2, ok)
+	}
+}
+
+func TestVelocityUndefined(t *testing.T) {
+	a := NewLocation("p", t0, Point{0, 0})
+	b := NewLocation("p", t0, Point{1, 1})
+	if _, ok := Velocity(a, b); ok {
+		t.Fatal("velocity defined for coincident timestamps")
+	}
+	c := New(KindPresence, t0, nil)
+	if _, ok := Velocity(a, c); ok {
+		t.Fatal("velocity defined for non-location context")
+	}
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality.
+func TestPointDistMetricProperty(t *testing.T) {
+	clamp := func(f float64) float64 {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0
+		}
+		return math.Mod(f, 1e6)
+	}
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Point{clamp(ax), clamp(ay)}
+		b := Point{clamp(bx), clamp(by)}
+		c := Point{clamp(cx), clamp(cy)}
+		if math.Abs(a.Dist(b)-b.Dist(a)) > 1e-9 {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package ctx defines the context model used throughout ctxres: typed
+// context values, the context record itself, and the four-state life cycle
+// of Figure 8 of the paper (undecided, consistent, bad, inconsistent).
+//
+// A "context" is a piece of information that captures a characteristic of
+// the computing environment, e.g. "Peter is at (3.5, 7.2)" or "tag T17 was
+// read by reader R2". Contexts are produced by distributed sources, may be
+// noisy, and carry a limited available period after which they expire.
+package ctx
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// ValueKind enumerates the dynamic types a context field can hold.
+type ValueKind int
+
+// Supported field value kinds.
+const (
+	KindString ValueKind = iota + 1
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k ValueKind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a dynamically typed field value. The zero Value is invalid; use
+// the String/Int/Float/Bool constructors. Value is comparable and small
+// enough to pass by value.
+type Value struct {
+	kind ValueKind
+	str  string
+	num  float64 // holds int64 (exact for |v| < 2^53) and float payloads
+	flag bool
+}
+
+// String constructs a string Value.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// Int constructs an integer Value.
+func Int(i int64) Value { return Value{kind: KindInt, num: float64(i)} }
+
+// Float constructs a floating-point Value.
+func Float(f float64) Value { return Value{kind: KindFloat, num: f} }
+
+// Bool constructs a boolean Value.
+func Bool(b bool) Value { return Value{kind: KindBool, flag: b} }
+
+// Kind reports the dynamic kind of the value.
+func (v Value) Kind() ValueKind { return v.kind }
+
+// IsValid reports whether the value was built by one of the constructors.
+func (v Value) IsValid() bool { return v.kind != 0 }
+
+// Str returns the string payload; ok is false if the kind differs.
+func (v Value) Str() (s string, ok bool) {
+	if v.kind != KindString {
+		return "", false
+	}
+	return v.str, true
+}
+
+// Int returns the integer payload; ok is false if the kind differs.
+func (v Value) Int() (i int64, ok bool) {
+	if v.kind != KindInt {
+		return 0, false
+	}
+	return int64(v.num), true
+}
+
+// Float returns the numeric payload. Both int and float kinds succeed, so
+// constraints can treat numbers uniformly.
+func (v Value) Float() (f float64, ok bool) {
+	if v.kind != KindFloat && v.kind != KindInt {
+		return 0, false
+	}
+	return v.num, true
+}
+
+// Bool returns the boolean payload; ok is false if the kind differs.
+func (v Value) Bool() (b bool, ok bool) {
+	if v.kind != KindBool {
+		return false, false
+	}
+	return v.flag, true
+}
+
+// Equal reports deep equality between two values. Numeric values compare
+// across int/float kinds (Int(2) equals Float(2.0)); NaN never equals.
+func (v Value) Equal(o Value) bool {
+	if !v.IsValid() || !o.IsValid() {
+		return false
+	}
+	vn, vNum := v.Float()
+	on, oNum := o.Float()
+	if vNum && oNum {
+		return vn == on
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindString:
+		return v.str == o.str
+	case KindBool:
+		return v.flag == o.flag
+	default:
+		return false
+	}
+}
+
+// Less reports strict ordering for values of comparable kinds. Numbers order
+// numerically across int/float; strings lexicographically. Mixed or
+// unordered kinds report false.
+func (v Value) Less(o Value) bool {
+	vn, vNum := v.Float()
+	on, oNum := o.Float()
+	if vNum && oNum {
+		return vn < on
+	}
+	if v.kind == KindString && o.kind == KindString {
+		return v.str < o.str
+	}
+	return false
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.kind {
+	case KindString:
+		return strconv.Quote(v.str)
+	case KindInt:
+		return strconv.FormatInt(int64(v.num), 10)
+	case KindFloat:
+		if math.IsInf(v.num, 0) || math.IsNaN(v.num) {
+			return fmt.Sprintf("%v", v.num)
+		}
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.flag)
+	default:
+		return "<invalid>"
+	}
+}

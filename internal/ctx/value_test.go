@@ -1,0 +1,213 @@
+package ctx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		kind ValueKind
+	}{
+		{"string", String("hi"), KindString},
+		{"int", Int(42), KindInt},
+		{"float", Float(3.5), KindFloat},
+		{"bool", Bool(true), KindBool},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Kind(); got != tt.kind {
+				t.Fatalf("Kind() = %v, want %v", got, tt.kind)
+			}
+			if !tt.v.IsValid() {
+				t.Fatal("IsValid() = false, want true")
+			}
+		})
+	}
+}
+
+func TestValueZeroInvalid(t *testing.T) {
+	var v Value
+	if v.IsValid() {
+		t.Fatal("zero Value reported valid")
+	}
+	if v.Equal(Int(0)) {
+		t.Fatal("zero Value equals Int(0)")
+	}
+	if Int(0).Equal(v) {
+		t.Fatal("Int(0) equals zero Value")
+	}
+}
+
+func TestValueStr(t *testing.T) {
+	if s, ok := String("abc").Str(); !ok || s != "abc" {
+		t.Fatalf("Str() = %q, %v", s, ok)
+	}
+	if _, ok := Int(1).Str(); ok {
+		t.Fatal("Int.Str() ok = true")
+	}
+}
+
+func TestValueInt(t *testing.T) {
+	if i, ok := Int(-7).Int(); !ok || i != -7 {
+		t.Fatalf("Int() = %d, %v", i, ok)
+	}
+	if _, ok := Float(1.5).Int(); ok {
+		t.Fatal("Float.Int() ok = true")
+	}
+}
+
+func TestValueFloatAcceptsInt(t *testing.T) {
+	if f, ok := Int(4).Float(); !ok || f != 4 {
+		t.Fatalf("Int(4).Float() = %v, %v", f, ok)
+	}
+	if f, ok := Float(2.25).Float(); !ok || f != 2.25 {
+		t.Fatalf("Float(2.25).Float() = %v, %v", f, ok)
+	}
+	if _, ok := Bool(true).Float(); ok {
+		t.Fatal("Bool.Float() ok = true")
+	}
+}
+
+func TestValueBool(t *testing.T) {
+	if b, ok := Bool(true).Bool(); !ok || !b {
+		t.Fatalf("Bool() = %v, %v", b, ok)
+	}
+	if _, ok := String("true").Bool(); ok {
+		t.Fatal("String.Bool() ok = true")
+	}
+}
+
+func TestValueEqualCrossNumeric(t *testing.T) {
+	if !Int(2).Equal(Float(2.0)) {
+		t.Fatal("Int(2) != Float(2.0)")
+	}
+	if Int(2).Equal(Float(2.5)) {
+		t.Fatal("Int(2) == Float(2.5)")
+	}
+	if Int(1).Equal(Bool(true)) {
+		t.Fatal("Int(1) == Bool(true)")
+	}
+	if !String("x").Equal(String("x")) {
+		t.Fatal("identical strings unequal")
+	}
+	if String("x").Equal(String("y")) {
+		t.Fatal("distinct strings equal")
+	}
+	if !Bool(false).Equal(Bool(false)) {
+		t.Fatal("identical bools unequal")
+	}
+}
+
+func TestValueEqualNaN(t *testing.T) {
+	if Float(math.NaN()).Equal(Float(math.NaN())) {
+		t.Fatal("NaN equals NaN")
+	}
+}
+
+func TestValueLess(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Value
+		want bool
+	}{
+		{"int lt int", Int(1), Int(2), true},
+		{"int ge int", Int(2), Int(2), false},
+		{"int lt float", Int(1), Float(1.5), true},
+		{"float lt int", Float(0.5), Int(1), true},
+		{"string lt", String("a"), String("b"), true},
+		{"string ge", String("b"), String("a"), false},
+		{"mixed", String("a"), Int(1), false},
+		{"bool unordered", Bool(false), Bool(true), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Less(tt.b); got != tt.want {
+				t.Fatalf("Less(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{String("hi"), `"hi"`},
+		{Int(5), "5"},
+		{Float(2.5), "2.5"},
+		{Bool(true), "true"},
+		{Value{}, "<invalid>"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestValueKindString(t *testing.T) {
+	kinds := map[ValueKind]string{
+		KindString:   "string",
+		KindInt:      "int",
+		KindFloat:    "float",
+		KindBool:     "bool",
+		ValueKind(0): "invalid",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("ValueKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+// Property: Equal is reflexive for every valid numeric or string payload.
+func TestValueEqualReflexiveProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool) bool {
+		if math.IsNaN(fl) {
+			fl = 0
+		}
+		vals := []Value{Int(i), Float(fl), String(s), Bool(b)}
+		for _, v := range vals {
+			if !v.Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Less is irreflexive and asymmetric over ints.
+func TestValueLessOrderProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		if va.Less(va) {
+			return false
+		}
+		if va.Less(vb) && vb.Less(va) {
+			return false
+		}
+		// Trichotomy: exactly one of <, ==, > holds.
+		n := 0
+		if va.Less(vb) {
+			n++
+		}
+		if vb.Less(va) {
+			n++
+		}
+		if va.Equal(vb) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ctxres/internal/ctx"
+	"ctxres/internal/middleware"
+	"ctxres/internal/pool"
+)
+
+// Client is a synchronous protocol client. It is safe for concurrent use;
+// requests are serialized over one connection.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	scanner *bufio.Scanner
+	timeout time.Duration
+}
+
+// RemoteError is a failure reported by the server (as opposed to a
+// transport failure).
+type RemoteError struct {
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "daemon: " + e.Message }
+
+// Dial connects to a server. timeout bounds each round trip; zero means no
+// deadline.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout(timeout))
+	if err != nil {
+		return nil, fmt.Errorf("daemon: dial %s: %w", addr, err)
+	}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 4096), MaxLineBytes)
+	return &Client{conn: conn, scanner: scanner, timeout: timeout}, nil
+}
+
+func dialTimeout(t time.Duration) time.Duration {
+	if t <= 0 {
+		return 10 * time.Second
+	}
+	return t
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := SetConnDeadline(c.conn, c.timeout); err != nil {
+		return Response{}, fmt.Errorf("daemon: set deadline: %w", err)
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, fmt.Errorf("daemon: marshal request: %w", err)
+	}
+	payload = append(payload, '\n')
+	if _, err := c.conn.Write(payload); err != nil {
+		return Response{}, fmt.Errorf("daemon: write: %w", err)
+	}
+	if !c.scanner.Scan() {
+		if err := c.scanner.Err(); err != nil {
+			return Response{}, fmt.Errorf("daemon: read: %w", err)
+		}
+		return Response{}, errors.New("daemon: connection closed")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.scanner.Bytes(), &resp); err != nil {
+		return Response{}, fmt.Errorf("daemon: decode response: %w", err)
+	}
+	if !resp.OK {
+		return Response{}, &RemoteError{Message: resp.Error}
+	}
+	return resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(Request{Op: OpPing})
+	return err
+}
+
+// Submit sends a context addition change and returns the inconsistencies
+// it introduced.
+func (c *Client) Submit(cc *ctx.Context) ([]WireViolation, error) {
+	resp, err := c.roundTrip(Request{Op: OpSubmit, Context: cc})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Violations, nil
+}
+
+// Use performs a context deletion change for the identified context.
+func (c *Client) Use(id ctx.ID) (*ctx.Context, error) {
+	resp, err := c.roundTrip(Request{Op: OpUse, ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Context, nil
+}
+
+// UseLatest uses the newest available context of the given kind/subject.
+func (c *Client) UseLatest(kind ctx.Kind, subject string) (*ctx.Context, error) {
+	resp, err := c.roundTrip(Request{Op: OpUseLatest, Kind: kind, Subject: subject})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Context, nil
+}
+
+// Stats fetches middleware and pool counters.
+func (c *Client) Stats() (middleware.Stats, pool.Stats, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return middleware.Stats{}, pool.Stats{}, err
+	}
+	var mw middleware.Stats
+	var pl pool.Stats
+	if resp.Middleware != nil {
+		mw = *resp.Middleware
+	}
+	if resp.Pool != nil {
+		pl = *resp.Pool
+	}
+	return mw, pl, nil
+}
+
+// Situations fetches the current activation state of every situation.
+func (c *Client) Situations() (map[string]bool, error) {
+	resp, err := c.roundTrip(Request{Op: OpSituations})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Active, nil
+}

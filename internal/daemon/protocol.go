@@ -1,0 +1,80 @@
+// Package daemon exposes a middleware instance over TCP, realizing the
+// paper's setting of distributed context sources feeding one management
+// service: sources connect and submit contexts; applications connect and
+// use contexts and query situations.
+//
+// The protocol is line-delimited JSON: one request object per line, one
+// response object per line, over a plain TCP connection. It is
+// deliberately simple — the paper's contribution is the resolution
+// service, not the transport.
+package daemon
+
+import (
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/middleware"
+	"ctxres/internal/pool"
+)
+
+// Op names the request operations.
+type Op string
+
+// Supported operations.
+const (
+	OpPing       Op = "ping"
+	OpSubmit     Op = "submit"
+	OpUse        Op = "use"
+	OpUseLatest  Op = "use-latest"
+	OpStats      Op = "stats"
+	OpSituations Op = "situations"
+)
+
+// Request is one client request.
+type Request struct {
+	Op Op `json:"op"`
+	// Context is the submitted context (OpSubmit).
+	Context *ctx.Context `json:"context,omitempty"`
+	// ID selects a context (OpUse).
+	ID ctx.ID `json:"id,omitempty"`
+	// Kind and Subject select the newest matching context (OpUseLatest).
+	Kind    ctx.Kind `json:"kind,omitempty"`
+	Subject string   `json:"subject,omitempty"`
+}
+
+// WireViolation is a violation with context IDs only (contexts stay on the
+// server).
+type WireViolation struct {
+	Constraint string   `json:"constraint"`
+	Contexts   []ctx.ID `json:"contexts"`
+}
+
+func toWire(vios []constraint.Violation) []WireViolation {
+	out := make([]WireViolation, 0, len(vios))
+	for _, v := range vios {
+		w := WireViolation{Constraint: v.Constraint}
+		for _, c := range v.Link.Contexts() {
+			w.Contexts = append(w.Contexts, c.ID)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Response is one server response.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Violations reports the inconsistencies a submission introduced.
+	Violations []WireViolation `json:"violations,omitempty"`
+	// Context is the delivered context (OpUse / OpUseLatest).
+	Context *ctx.Context `json:"context,omitempty"`
+	// Middleware and Pool are counter snapshots (OpStats).
+	Middleware *middleware.Stats `json:"middleware,omitempty"`
+	Pool       *pool.Stats       `json:"pool,omitempty"`
+	// Active maps situation names to their current activation (OpSituations).
+	Active map[string]bool `json:"active,omitempty"`
+}
+
+func errResponse(err error) Response {
+	return Response{OK: false, Error: err.Error()}
+}

@@ -1,0 +1,197 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ctxres/internal/middleware"
+	"ctxres/internal/situation"
+)
+
+// Server serves the middleware protocol on a TCP listener. Create it with
+// Serve and stop it with Shutdown; every connection goroutine is joined on
+// shutdown.
+type Server struct {
+	mw     *middleware.Middleware
+	engine *situation.Engine // optional; nil disables OpSituations detail
+	ln     net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// MaxLineBytes bounds a single request/response line.
+const MaxLineBytes = 1 << 20
+
+// ErrServerClosed reports an operation on a stopped server.
+var ErrServerClosed = errors.New("daemon: server closed")
+
+// Serve starts accepting connections on addr (e.g. "127.0.0.1:7654"; use
+// port 0 for an ephemeral port) and returns the running server.
+func Serve(addr string, mw *middleware.Middleware, engine *situation.Engine) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		mw:     mw,
+		engine: engine,
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with ephemeral ports).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Shutdown stops accepting, closes every live connection, and waits for
+// all connection goroutines to exit. It is idempotent.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	_ = s.ln.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	close(s.done)
+}
+
+// Done is closed once the server has fully stopped.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(conn)
+	defer conn.Close()
+
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 4096), MaxLineBytes)
+	writer := bufio.NewWriter(conn)
+	enc := json.NewEncoder(writer)
+
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = errResponse(fmt.Errorf("bad request: %w", err))
+		} else {
+			resp = s.handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := writer.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{OK: true}
+	case OpSubmit:
+		if req.Context == nil {
+			return errResponse(errors.New("submit: missing context"))
+		}
+		vios, err := s.mw.Submit(req.Context)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{OK: true, Violations: toWire(vios)}
+	case OpUse:
+		c, err := s.mw.Use(req.ID)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{OK: true, Context: c}
+	case OpUseLatest:
+		if req.Kind == "" {
+			return errResponse(errors.New("use-latest: missing kind"))
+		}
+		c, err := s.mw.UseLatest(req.Kind, req.Subject)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{OK: true, Context: c}
+	case OpStats:
+		mwStats := s.mw.Stats()
+		poolStats := s.mw.Pool().Stats()
+		return Response{OK: true, Middleware: &mwStats, Pool: &poolStats}
+	case OpSituations:
+		active := make(map[string]bool)
+		if s.engine != nil {
+			for _, sit := range s.engine.Situations() {
+				active[sit.Name] = s.engine.Active(sit.Name)
+			}
+		}
+		return Response{OK: true, Active: active}
+	default:
+		return errResponse(fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+// SetConnDeadline is a hook for tests to exercise timeout paths; production
+// connections have no deadline (sources stream indefinitely).
+func SetConnDeadline(conn net.Conn, d time.Duration) error {
+	if d <= 0 {
+		return conn.SetDeadline(time.Time{})
+	}
+	return conn.SetDeadline(time.Now().Add(d))
+}

@@ -1,0 +1,178 @@
+package errmodel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ctxres/internal/ctx"
+)
+
+var t0 = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+
+func TestNewInjectorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := NewInjector(bad, rng); !errors.Is(err, ErrBadRate) {
+			t.Fatalf("rate %v: err = %v", bad, err)
+		}
+	}
+	if _, err := NewInjector(0.2, nil); !errors.Is(err, ErrNilRNG) {
+		t.Fatalf("err = %v", err)
+	}
+	in, err := NewInjector(0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Rate() != 0.2 {
+		t.Fatalf("Rate = %v", in.Rate())
+	}
+}
+
+func TestApplyRateControl(t *testing.T) {
+	in, err := NewInjector(0.3, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Register(ctx.KindLocation, LocationJump(5, 10))
+	corrupted := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		c := ctx.NewLocation("p", t0, ctx.Point{X: 1, Y: 2})
+		if in.Apply(c) {
+			corrupted++
+			if !c.Truth.Corrupted {
+				t.Fatal("corrupted without mark")
+			}
+			if c.Truth.Original == nil {
+				t.Fatal("original not preserved")
+			}
+			if ox := c.Truth.Original[ctx.FieldX]; !ox.Equal(ctx.Float(1)) {
+				t.Fatalf("original x = %v", ox)
+			}
+		}
+	}
+	got := float64(corrupted) / n
+	if got < 0.27 || got > 0.33 {
+		t.Fatalf("corruption rate = %v, want ≈0.30", got)
+	}
+}
+
+func TestApplySkipsUnregisteredKind(t *testing.T) {
+	in, err := NewInjector(1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctx.New(ctx.KindPresence, t0, nil)
+	if in.Apply(c) {
+		t.Fatal("unregistered kind corrupted")
+	}
+}
+
+func TestApplyNilAndAlreadyCorrupted(t *testing.T) {
+	in, err := NewInjector(0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Apply(nil) {
+		t.Fatal("nil corrupted")
+	}
+	ghost := ctx.New(ctx.KindRFIDRead, t0, nil)
+	ghost.Truth.Corrupted = true
+	if !in.Apply(ghost) {
+		t.Fatal("pre-corrupted context not reported")
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	in, err := NewInjector(1, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Register(ctx.KindLocation, LocationJump(5, 10))
+	batch := []*ctx.Context{
+		ctx.NewLocation("p", t0, ctx.Point{}),
+		ctx.NewLocation("p", t0, ctx.Point{}),
+		ctx.New(ctx.KindPresence, t0, nil), // unregistered kind
+	}
+	if got := in.ApplyAll(batch); got != 2 {
+		t.Fatalf("ApplyAll = %d, want 2", got)
+	}
+}
+
+func TestLocationJumpDistanceRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	corrupt := LocationJump(5, 10)
+	for i := 0; i < 200; i++ {
+		c := ctx.NewLocation("p", t0, ctx.Point{X: 3, Y: 4})
+		corrupt(c, rng)
+		p, ok := ctx.LocationPoint(c)
+		if !ok {
+			t.Fatal("location fields destroyed")
+		}
+		d := p.Dist(ctx.Point{X: 3, Y: 4})
+		if d < 5-1e-9 || d > 10+1e-9 {
+			t.Fatalf("jump distance %v outside [5,10]", d)
+		}
+	}
+}
+
+func TestLocationJumpIgnoresNonLocation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	corrupt := LocationJump(5, 10)
+	c := ctx.New(ctx.KindPresence, t0, map[string]ctx.Value{"v": ctx.Int(1)})
+	corrupt(c, rng)
+	if v, _ := c.Field("v"); !v.Equal(ctx.Int(1)) {
+		t.Fatal("non-location mutated")
+	}
+}
+
+func TestZoneSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	corrupt := ZoneSwap([]string{"zone-1", "zone-2", "zone-3"})
+	for i := 0; i < 100; i++ {
+		c := ctx.New(ctx.KindRFIDRead, t0, map[string]ctx.Value{
+			"zone":   ctx.String("zone-1"),
+			"reader": ctx.String("reader-zone-1"),
+		})
+		corrupt(c, rng)
+		z, _ := c.StrField("zone")
+		if z == "zone-1" {
+			t.Fatal("zone unchanged")
+		}
+		r, _ := c.StrField("reader")
+		if r != "reader-"+z {
+			t.Fatalf("reader %q inconsistent with zone %q", r, z)
+		}
+	}
+}
+
+func TestZoneSwapNoAlternative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	corrupt := ZoneSwap([]string{"zone-1"})
+	c := ctx.New(ctx.KindRFIDRead, t0, map[string]ctx.Value{"zone": ctx.String("zone-1")})
+	corrupt(c, rng)
+	if z, _ := c.StrField("zone"); z != "zone-1" {
+		t.Fatal("zone changed without alternatives")
+	}
+}
+
+func TestFieldScramble(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	corrupt := FieldScramble("status", []string{"ok", "warn", "fail"})
+	c := ctx.New(ctx.KindPresence, t0, map[string]ctx.Value{"status": ctx.String("ok")})
+	corrupt(c, rng)
+	s, _ := c.StrField("status")
+	if s == "ok" {
+		t.Fatal("field unchanged")
+	}
+	// Empty candidate list is a no-op.
+	none := FieldScramble("status", nil)
+	d := ctx.New(ctx.KindPresence, t0, map[string]ctx.Value{"status": ctx.String("ok")})
+	none(d, rng)
+	if s, _ := d.StrField("status"); s != "ok" {
+		t.Fatal("no-op scramble mutated")
+	}
+}

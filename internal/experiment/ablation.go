@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ctxres/internal/apps/callforward"
+	"ctxres/internal/constraint"
+	"ctxres/internal/metrics"
+	"ctxres/internal/simspace"
+	"ctxres/internal/stats"
+)
+
+// AblationConfig parameterizes the design-choice ablation runs, all on the
+// Call Forwarding application at a 20% error rate.
+type AblationConfig struct {
+	Groups  int
+	Seed    int64
+	ErrRate float64
+}
+
+// DefaultAblationConfig returns the standard setting.
+func DefaultAblationConfig() AblationConfig {
+	return AblationConfig{Groups: 8, Seed: 20080617, ErrRate: 0.2}
+}
+
+// AblationPoint is one ablation variant's averaged normalized metrics.
+type AblationPoint struct {
+	Name       string
+	CtxUseRate stats.Summary
+	SitActRate stats.Summary
+	// CorruptedLeak is the number of corrupted contexts delivered to the
+	// application — the quality cost the two headline rates cannot show
+	// (a zero-length window scores 100% on both while resolving nothing).
+	CorruptedLeak stats.Summary
+	// RemovalRecall is the fraction of corrupted contexts discarded.
+	RemovalRecall stats.Summary
+}
+
+// AblationResult aggregates all ablation variants.
+type AblationResult struct {
+	Points []AblationPoint
+}
+
+// RunAblations measures the design choices DESIGN.md calls out:
+//
+//   - Resolution window: UseDelay 0 (a context is used immediately, which
+//     Section 5.3 predicts reduces drop-bad to drop-latest behaviour) vs
+//     the default window vs a longer one.
+//   - Bad-marking: drop-bad with Case-2 bad-marking disabled.
+//   - Constraint reach: adjacent-only velocity pairs vs the Section 3.1
+//     refinement that also checks skip-1 pairs.
+func RunAblations(cfg AblationConfig) (AblationResult, error) {
+	if cfg.Groups <= 0 {
+		cfg.Groups = DefaultAblationConfig().Groups
+	}
+	if cfg.ErrRate == 0 {
+		cfg.ErrRate = DefaultAblationConfig().ErrRate
+	}
+
+	var out AblationResult
+	base := CallForwardingApp()
+
+	variants := []struct {
+		name     string
+		spec     AppSpec
+		strat    StrategyName
+		useDelay int
+	}{
+		{"D-BAD window=2 (default)", base, DBad, DefaultUseDelay},
+		{"D-BAD window=0 (≈ D-LAT)", base, DBad, 0},
+		{"D-BAD window=5", base, DBad, 5},
+		{"D-LAT window=2", base, DLat, DefaultUseDelay},
+		{"D-BAD no bad-marking", base, DBadNoB, DefaultUseDelay},
+		{"D-BAD adjacent-only constraints", adjacentOnlyApp(), DBad, DefaultUseDelay},
+	}
+
+	for _, v := range variants {
+		var ctxUse, sitAct, leak, recall []float64
+		for g := 0; g < cfg.Groups; g++ {
+			seed := cfg.Seed + int64(g)
+			norm, err := runAblationGroup(v.spec, cfg.ErrRate, v.strat, v.useDelay, seed)
+			if err != nil {
+				return AblationResult{}, fmt.Errorf("%s group %d: %w", v.name, g, err)
+			}
+			ctxUse = append(ctxUse, norm.CtxUseRate)
+			sitAct = append(sitAct, norm.SitActRate)
+			leak = append(leak, float64(norm.Rates.UsedCorrupted))
+			recall = append(recall, norm.Rates.RemovalRecall)
+		}
+		out.Points = append(out.Points, AblationPoint{
+			Name:          v.name,
+			CtxUseRate:    stats.Summarize(ctxUse),
+			SitActRate:    stats.Summarize(sitAct),
+			CorruptedLeak: stats.Summarize(leak),
+			RemovalRecall: stats.Summarize(recall),
+		})
+	}
+	return out, nil
+}
+
+type ablationGroupResult struct {
+	CtxUseRate float64
+	SitActRate float64
+	Rates      metrics.Rates
+}
+
+func runAblationGroup(spec AppSpec, errRate float64, name StrategyName, useDelay int, seed int64) (normOut ablationGroupResult, err error) {
+	wlRNG := randSource(seed)
+	w, err := spec.NewWorkload(errRate, wlRNG)
+	if err != nil {
+		return normOut, err
+	}
+	w.UseDelay = useDelay
+	baseline, err := RunOnce(spec, w, OptR, randSource(seed+1), false)
+	if err != nil {
+		return normOut, err
+	}
+	res, err := RunOnce(spec, w, name, randSource(seed+1), false)
+	if err != nil {
+		return normOut, err
+	}
+	if baseline.Rates.UsedExpected > 0 {
+		normOut.CtxUseRate = float64(res.Rates.UsedExpected) / float64(baseline.Rates.UsedExpected)
+	} else {
+		normOut.CtxUseRate = 1
+	}
+	if baseline.Rates.Activations > 0 {
+		normOut.SitActRate = float64(res.Rates.Activations) / float64(baseline.Rates.Activations)
+	} else {
+		normOut.SitActRate = 1
+	}
+	normOut.Rates = res.Rates
+	return normOut, nil
+}
+
+// adjacentOnlyApp is the Call Forwarding app without the Section 3.1
+// refinement: the skip-1 velocity constraint is removed, so count values
+// discriminate less.
+func adjacentOnlyApp() AppSpec {
+	floor := simspace.OfficeFloor()
+	spec := CallForwardingApp()
+	spec.Name = "call-forwarding/adjacent-only"
+	spec.NewChecker = func() *constraint.Checker {
+		ch := constraint.NewChecker()
+		for _, c := range callforward.Constraints(floor) {
+			if c.Name == "cf-velocity-skip1" {
+				continue
+			}
+			ch.MustRegister(c)
+		}
+		return ch
+	}
+	return spec
+}
+
+// FormatAblations renders the ablation table.
+func FormatAblations(r AblationResult) string {
+	var b strings.Builder
+	b.WriteString("Design-choice ablations — Call Forwarding, err_rate 20%\n")
+	fmt.Fprintf(&b, "  %-36s %12s %12s %10s %8s\n",
+		"variant", "ctxUseRate", "sitActRate", "corrLeak", "recall")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-36s %11.1f%% %11.1f%% %10.1f %7.1f%%\n",
+			p.Name, p.CtxUseRate.Mean*100, p.SitActRate.Mean*100,
+			p.CorruptedLeak.Mean, p.RemovalRecall.Mean*100)
+	}
+	return b.String()
+}
+
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	res, err := RunAblations(AblationConfig{Groups: 3, Seed: 5, ErrRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := make(map[string]AblationPoint, len(res.Points))
+	for _, p := range res.Points {
+		points[p.Name] = p
+	}
+	def, ok := points["D-BAD window=2 (default)"]
+	if !ok {
+		t.Fatalf("missing default point; have %v", names(res))
+	}
+	zero, ok := points["D-BAD window=0 (≈ D-LAT)"]
+	if !ok {
+		t.Fatal("missing window=0 point")
+	}
+	noBad, ok := points["D-BAD no bad-marking"]
+	if !ok {
+		t.Fatal("missing no-bad-marking point")
+	}
+
+	// A zero window disables deferred resolution: corrupted contexts leak
+	// to the application and recall collapses.
+	if zero.CorruptedLeak.Mean <= def.CorruptedLeak.Mean {
+		t.Fatalf("window=0 leak %.1f not above default %.1f",
+			zero.CorruptedLeak.Mean, def.CorruptedLeak.Mean)
+	}
+	if zero.RemovalRecall.Mean >= def.RemovalRecall.Mean {
+		t.Fatalf("window=0 recall %.2f not below default %.2f",
+			zero.RemovalRecall.Mean, def.RemovalRecall.Mean)
+	}
+	// Disabling bad-marking loses most deferred discards.
+	if noBad.RemovalRecall.Mean >= def.RemovalRecall.Mean {
+		t.Fatalf("no-bad-marking recall %.2f not below default %.2f",
+			noBad.RemovalRecall.Mean, def.RemovalRecall.Mean)
+	}
+
+	text := FormatAblations(res)
+	for _, want := range []string{"variant", "ctxUseRate", "corrLeak", "recall", "window=0"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func names(res AblationResult) []string {
+	out := make([]string, 0, len(res.Points))
+	for _, p := range res.Points {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+func TestAblationsDefaultsApplied(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// Zero-value config picks up the defaults rather than dividing by
+	// zero or running zero groups.
+	res, err := RunAblations(AblationConfig{Groups: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range res.Points {
+		if p.CtxUseRate.N != 1 {
+			t.Fatalf("groups = %d", p.CtxUseRate.N)
+		}
+	}
+}

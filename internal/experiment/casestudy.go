@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ctxres/internal/apps/callforward"
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/errmodel"
+	"ctxres/internal/landmarc"
+	"ctxres/internal/simspace"
+	"ctxres/internal/situation"
+	"ctxres/internal/stats"
+)
+
+// CaseStudyConfig parameterizes the Section 5.2 Landmarc case study: a
+// walker tracked by the LANDMARC substrate under realistic channel noise,
+// gross errors injected at a controlled rate, resolved by drop-bad.
+type CaseStudyConfig struct {
+	// Steps is the number of tracking samples per group.
+	Steps int
+	// Groups is the number of independent repetitions.
+	Groups int
+	// Seed is the base seed.
+	Seed int64
+	// ErrorRate is the gross-error injection rate.
+	ErrorRate float64
+	// JumpMin/JumpMax bound the injected displacement in metres.
+	JumpMin, JumpMax float64
+	// NoiseSigma is the LANDMARC channel shadowing in dB.
+	NoiseSigma float64
+	// GridSpacing is the reference-tag pitch in metres.
+	GridSpacing float64
+	// VelocityLimit is the case-study velocity tolerance in m/s, chosen to
+	// absorb estimation noise while catching gross errors (the paper's
+	// "150% for error tolerance" scaled for the noisy substrate).
+	VelocityLimit float64
+	// UseDelay is the window (in steps) before the application uses a
+	// context.
+	UseDelay int
+}
+
+// DefaultCaseStudyConfig returns the calibrated configuration.
+func DefaultCaseStudyConfig() CaseStudyConfig {
+	return CaseStudyConfig{
+		Steps:         300,
+		Groups:        10,
+		Seed:          20080617,
+		ErrorRate:     0.2,
+		JumpMin:       15,
+		JumpMax:       35,
+		NoiseSigma:    1.0,
+		GridSpacing:   2,
+		VelocityLimit: 3.5,
+		UseDelay:      DefaultUseDelay,
+	}
+}
+
+// CaseStudyResult aggregates the case-study measurements over all groups.
+type CaseStudyResult struct {
+	// SurvivalRate: fraction of correct location contexts not discarded
+	// (paper: 96.5%).
+	SurvivalRate stats.Summary
+	// RemovalPrecision: fraction of discarded contexts that were indeed
+	// incorrect (paper: 84.7%).
+	RemovalPrecision stats.Summary
+	// Rule1Rate: fraction of audited inconsistencies containing a
+	// corrupted context (paper: Rule 1 always held).
+	Rule1Rate stats.Summary
+	// Rule2PrimeRate: fraction where some corrupted member out-counted
+	// every expected member (paper: 91.7%).
+	Rule2PrimeRate stats.Summary
+	// MeanTrackingError is the LANDMARC estimation error on expected
+	// contexts, for reference.
+	MeanTrackingError stats.Summary
+}
+
+// caseStudyChecker builds the velocity constraints used by the case study.
+func caseStudyChecker(limit float64) *constraint.Checker {
+	ch := constraint.NewChecker()
+	pair := func(name string, reach uint64) *constraint.Constraint {
+		return &constraint.Constraint{
+			Name: name,
+			Doc:  "case-study velocity constraint over the tracked stream",
+			Formula: constraint.Forall("a", ctx.KindLocation,
+				constraint.Forall("b", ctx.KindLocation,
+					constraint.Implies(
+						constraint.And(
+							constraint.SameSubject("a", "b"),
+							constraint.StreamWithin("a", "b", reach),
+						),
+						constraint.VelocityBelow("a", "b", limit)))),
+		}
+	}
+	ch.MustRegister(pair("cs-velocity-adjacent", 1))
+	ch.MustRegister(pair("cs-velocity-skip1", 2))
+	return ch
+}
+
+// caseStudyWorkload generates one group's LANDMARC-tracked stream.
+func caseStudyWorkload(cfg CaseStudyConfig, rng *rand.Rand) (Workload, float64, error) {
+	floor := simspace.OfficeFloor()
+	walker := callforward.Walk(floor)
+	radio := landmarc.DefaultRadio()
+	radio.ShadowSigma = cfg.NoiseSigma
+	field, err := landmarc.GridField(floor.Width, floor.Height, cfg.GridSpacing, radio, 4)
+	if err != nil {
+		return Workload{}, 0, fmt.Errorf("landmarc field: %w", err)
+	}
+	injector, err := errmodel.NewInjector(cfg.ErrorRate, rng)
+	if err != nil {
+		return Workload{}, 0, fmt.Errorf("injector: %w", err)
+	}
+	injector.Register(ctx.KindLocation, errmodel.LocationJump(cfg.JumpMin, cfg.JumpMax))
+
+	start := time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+	steps := make([][]*ctx.Context, 0, cfg.Steps)
+	trackErrSum, trackErrN := 0.0, 0
+	for i := 0; i < cfg.Steps; i++ {
+		at := start.Add(time.Duration(i) * callforward.SampleStep)
+		truth := walker.PositionAt(at.Sub(start))
+		est := field.Estimate(truth, rng)
+		c := ctx.NewLocation(callforward.Subject, at, est,
+			ctx.WithSource("landmarc"),
+			ctx.WithSeq(uint64(i+1)),
+			ctx.WithTTL(callforward.ContextTTL),
+		)
+		if !injector.Apply(c) {
+			trackErrSum += truth.Dist(est)
+			trackErrN++
+		}
+		steps = append(steps, []*ctx.Context{c})
+	}
+	meanErr := 0.0
+	if trackErrN > 0 {
+		meanErr = trackErrSum / float64(trackErrN)
+	}
+	return Workload{Steps: steps, UseDelay: cfg.UseDelay}, meanErr, nil
+}
+
+// RunCaseStudy reproduces the Section 5.2 study with the drop-bad strategy.
+func RunCaseStudy(cfg CaseStudyConfig) (CaseStudyResult, error) {
+	spec := AppSpec{
+		Name:       "landmarc-case-study",
+		NewChecker: func() *constraint.Checker { return caseStudyChecker(cfg.VelocityLimit) },
+		NewEngine:  situation.NewEngine,
+	}
+	var survival, precision, rule1, rule2p, trackErr []float64
+	for g := 0; g < cfg.Groups; g++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(g)))
+		w, meanErr, err := caseStudyWorkload(cfg, rng)
+		if err != nil {
+			return CaseStudyResult{}, fmt.Errorf("group %d: %w", g, err)
+		}
+		res, err := RunOnce(spec, w, DBad, rng, true)
+		if err != nil {
+			return CaseStudyResult{}, fmt.Errorf("group %d: %w", g, err)
+		}
+		survival = append(survival, res.Rates.SurvivalRate)
+		precision = append(precision, res.Rates.RemovalPrecision)
+		rule1 = append(rule1, res.Audit.Rule1Rate())
+		rule2p = append(rule2p, res.Audit.Rule2PrimeRate())
+		trackErr = append(trackErr, meanErr)
+	}
+	return CaseStudyResult{
+		SurvivalRate:      stats.Summarize(survival),
+		RemovalPrecision:  stats.Summarize(precision),
+		Rule1Rate:         stats.Summarize(rule1),
+		Rule2PrimeRate:    stats.Summarize(rule2p),
+		MeanTrackingError: stats.Summarize(trackErr),
+	}, nil
+}

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCaseStudyReproducesPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study is slow")
+	}
+	cfg := DefaultCaseStudyConfig()
+	cfg.Groups = 3
+	cfg.Steps = 200
+	res, err := RunCaseStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shapes, not absolute numbers (paper: 96.5% / 84.7% / 100% / 91.7%).
+	if res.SurvivalRate.Mean < 0.85 {
+		t.Fatalf("survival rate %.3f too low", res.SurvivalRate.Mean)
+	}
+	if res.RemovalPrecision.Mean < 0.6 {
+		t.Fatalf("removal precision %.3f too low", res.RemovalPrecision.Mean)
+	}
+	if res.Rule1Rate.Mean < 0.9 {
+		t.Fatalf("Rule 1 rate %.3f too low", res.Rule1Rate.Mean)
+	}
+	if res.Rule2PrimeRate.Mean < 0.6 || res.Rule2PrimeRate.Mean > 1.0001 {
+		t.Fatalf("Rule 2' rate %.3f out of range", res.Rule2PrimeRate.Mean)
+	}
+	if res.MeanTrackingError.Mean <= 0 || res.MeanTrackingError.Mean > 5 {
+		t.Fatalf("mean tracking error %.3f implausible", res.MeanTrackingError.Mean)
+	}
+	text := FormatCaseStudy(res)
+	for _, want := range []string{"survival rate", "removal precision", "Rule 1", "Rule 2'", "96.5%"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("case study rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCaseStudyWorkloadShape(t *testing.T) {
+	cfg := DefaultCaseStudyConfig()
+	cfg.Steps = 50
+	w, meanErr, err := caseStudyWorkload(cfg, newTestRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Steps) != 50 {
+		t.Fatalf("steps = %d", len(w.Steps))
+	}
+	if meanErr <= 0 {
+		t.Fatalf("mean tracking error = %v", meanErr)
+	}
+	corrupted := w.CorruptedContexts()
+	if corrupted == 0 || corrupted == w.Contexts() {
+		t.Fatalf("corrupted = %d of %d", corrupted, w.Contexts())
+	}
+}
+
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(12345)) }

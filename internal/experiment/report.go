@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatFigure renders a reproduced figure as the two panels the paper
+// plots: context use rate (top) and situation activation rate (bottom),
+// per strategy and error rate, in percent.
+func FormatFigure(f FigureResult, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s application\n", title, f.App)
+	b.WriteString(formatPanel(f, "ctxUseRate (%)", func(p PointResult) float64 {
+		return p.CtxUseRate.Mean * 100
+	}))
+	b.WriteString(formatPanel(f, "sitActRate (%)", func(p PointResult) float64 {
+		return p.SitActRate.Mean * 100
+	}))
+	return b.String()
+}
+
+func formatPanel(f FigureResult, label string, value func(PointResult) float64) string {
+	rates := figureRates(f)
+	strategies := figureStrategies(f)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n  %s\n", label)
+	b.WriteString("  strategy")
+	for _, r := range rates {
+		fmt.Fprintf(&b, "%10.0f%%", r*100)
+	}
+	b.WriteByte('\n')
+	for _, s := range strategies {
+		fmt.Fprintf(&b, "  %-8s", s)
+		for _, r := range rates {
+			p, ok := f.Point(r, s)
+			if !ok {
+				b.WriteString("         —")
+				continue
+			}
+			fmt.Fprintf(&b, "%10.1f", value(p))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FigureCSV renders a reproduced figure as CSV: one row per point with
+// both metrics and confidence intervals.
+func FigureCSV(f FigureResult) string {
+	var b strings.Builder
+	b.WriteString("app,errRate,strategy,ctxUseRate,ctxUseCI95,sitActRate,sitActCI95,groups\n")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%s,%.2f,%s,%.4f,%.4f,%.4f,%.4f,%d\n",
+			f.App, p.ErrRate, p.Strategy,
+			p.CtxUseRate.Mean, p.CtxUseRate.CI95,
+			p.SitActRate.Mean, p.SitActRate.CI95,
+			p.CtxUseRate.N)
+	}
+	return b.String()
+}
+
+// PaperCaseStudy holds the values the paper reports for Section 5.2.
+var PaperCaseStudy = struct {
+	SurvivalRate     float64
+	RemovalPrecision float64
+	Rule1Rate        float64
+	Rule2PrimeRate   float64
+}{
+	SurvivalRate:     0.965,
+	RemovalPrecision: 0.847,
+	Rule1Rate:        1.0,
+	Rule2PrimeRate:   0.917,
+}
+
+// FormatCaseStudy renders the case study as a paper-vs-measured table.
+func FormatCaseStudy(r CaseStudyResult) string {
+	var b strings.Builder
+	b.WriteString("Section 5.2 case study — LANDMARC tracking with D-BAD\n")
+	fmt.Fprintf(&b, "  mean tracking error (expected contexts): %.2f m\n\n", r.MeanTrackingError.Mean)
+	fmt.Fprintf(&b, "  %-28s %10s %12s\n", "measure", "paper", "measured")
+	row := func(name string, paper float64, s fmt.Stringer) {
+		fmt.Fprintf(&b, "  %-28s %9.1f%% %12s\n", name, paper*100, s)
+	}
+	row("context survival rate", PaperCaseStudy.SurvivalRate, pct(r.SurvivalRate.Mean))
+	row("removal precision", PaperCaseStudy.RemovalPrecision, pct(r.RemovalPrecision.Mean))
+	row("Rule 1 held", PaperCaseStudy.Rule1Rate, pct(r.Rule1Rate.Mean))
+	row("Rule 2' held", PaperCaseStudy.Rule2PrimeRate, pct(r.Rule2PrimeRate.Mean))
+	return b.String()
+}
+
+type pct float64
+
+func (p pct) String() string { return fmt.Sprintf("%.1f%%", float64(p)*100) }
+
+func figureRates(f FigureResult) []float64 {
+	seen := map[float64]bool{}
+	var rates []float64
+	for _, p := range f.Points {
+		if !seen[p.ErrRate] {
+			seen[p.ErrRate] = true
+			rates = append(rates, p.ErrRate)
+		}
+	}
+	sort.Float64s(rates)
+	return rates
+}
+
+func figureStrategies(f FigureResult) []StrategyName {
+	seen := map[StrategyName]bool{}
+	var names []StrategyName
+	for _, p := range f.Points {
+		if !seen[p.Strategy] {
+			seen[p.Strategy] = true
+			names = append(names, p.Strategy)
+		}
+	}
+	return names
+}

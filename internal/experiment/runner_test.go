@@ -1,0 +1,254 @@
+package experiment
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewStrategyKnownNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range []StrategyName{OptR, DBad, DLat, DAll, DRand, DBadNoB} {
+		s, err := NewStrategy(name, rng, nil)
+		if err != nil {
+			t.Fatalf("NewStrategy(%s): %v", name, err)
+		}
+		if s == nil {
+			t.Fatalf("NewStrategy(%s) returned nil", name)
+		}
+	}
+	if _, err := NewStrategy("bogus", rng, nil); !errors.Is(err, ErrUnknownStrategy) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWorkloadCounters(t *testing.T) {
+	spec := CallForwardingApp()
+	w, err := spec.NewWorkload(0.3, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Contexts() != 200 {
+		t.Fatalf("Contexts = %d", w.Contexts())
+	}
+	c := w.CorruptedContexts()
+	if c < 35 || c > 90 {
+		t.Fatalf("CorruptedContexts = %d at rate 0.3", c)
+	}
+}
+
+func TestRunOnceOracleUsesAllExpected(t *testing.T) {
+	spec := CallForwardingApp()
+	w, err := spec.NewWorkload(0.2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOnce(spec, w, OptR, rand.New(rand.NewSource(8)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUsed := w.Contexts() - w.CorruptedContexts()
+	if res.Rates.UsedContexts != wantUsed {
+		t.Fatalf("OPT-R used %d, want %d (all expected)", res.Rates.UsedContexts, wantUsed)
+	}
+	if res.Rates.UsedCorrupted != 0 {
+		t.Fatalf("OPT-R used %d corrupted contexts", res.Rates.UsedCorrupted)
+	}
+	if res.Rates.SurvivalRate != 1 || res.Rates.RemovalPrecision != 1 {
+		t.Fatalf("OPT-R rates = %+v", res.Rates)
+	}
+}
+
+func TestRunOnceRepeatableOnSharedWorkload(t *testing.T) {
+	// Running two strategies (or the same strategy twice) over one
+	// workload must not interfere: contexts are cloned per run.
+	spec := CallForwardingApp()
+	w, err := spec.NewWorkload(0.2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunOnce(spec, w, DBad, rand.New(rand.NewSource(1)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOnce(spec, w, DBad, rand.New(rand.NewSource(1)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rates != b.Rates {
+		t.Fatalf("repeat run diverged: %+v vs %+v", a.Rates, b.Rates)
+	}
+}
+
+func TestRunGroupNormalizesAgainstOracle(t *testing.T) {
+	spec := CallForwardingApp()
+	group, err := RunGroup(spec, 0.2, ComparedStrategies(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := group.Norm[OptR]; n.CtxUseRate != 1 || n.SitActRate != 1 {
+		t.Fatalf("OPT-R normalized to %+v, want 100%%", n)
+	}
+	for _, s := range []StrategyName{DBad, DLat, DAll} {
+		n, ok := group.Norm[s]
+		if !ok {
+			t.Fatalf("missing %s", s)
+		}
+		if n.CtxUseRate <= 0 || n.CtxUseRate > 1.2 {
+			t.Fatalf("%s ctxUseRate = %v out of plausible range", s, n.CtxUseRate)
+		}
+	}
+}
+
+func TestRunGroupAddsBaselineWhenMissing(t *testing.T) {
+	spec := CallForwardingApp()
+	group, err := RunGroup(spec, 0.1, []StrategyName{DLat}, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := group.Runs[OptR]; !ok {
+		t.Fatal("baseline not added")
+	}
+}
+
+// TestFigureShapeCallForwarding is the headline reproduction check on a
+// reduced configuration: the paper's ordering OPT-R ≥ D-BAD > D-LAT and
+// D-BAD > D-ALL must hold, with D-LAT/D-ALL substantially reduced.
+func TestFigureShapeCallForwarding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure reproduction is slow")
+	}
+	cfg := FigureConfig{
+		ErrRates:   []float64{0.2, 0.4},
+		Groups:     6,
+		Seed:       99,
+		Strategies: ComparedStrategies(),
+	}
+	fig, err := RunFigure(CallForwardingApp(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFigureShape(t, fig, cfg)
+}
+
+func TestFigureShapeRFID(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure reproduction is slow")
+	}
+	cfg := FigureConfig{
+		ErrRates:   []float64{0.2, 0.4},
+		Groups:     6,
+		Seed:       7,
+		Strategies: ComparedStrategies(),
+	}
+	fig, err := RunFigure(RFIDApp(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFigureShape(t, fig, cfg)
+}
+
+func assertFigureShape(t *testing.T, fig FigureResult, cfg FigureConfig) {
+	t.Helper()
+	for _, rate := range cfg.ErrRates {
+		opt, _ := fig.Point(rate, OptR)
+		dbad, _ := fig.Point(rate, DBad)
+		dlat, _ := fig.Point(rate, DLat)
+		dall, _ := fig.Point(rate, DAll)
+		if opt.CtxUseRate.Mean != 1 {
+			t.Fatalf("rate %v: OPT-R ctxUse = %v", rate, opt.CtxUseRate.Mean)
+		}
+		if dbad.CtxUseRate.Mean <= dlat.CtxUseRate.Mean {
+			t.Fatalf("rate %v: D-BAD (%.3f) not above D-LAT (%.3f) on ctxUse",
+				rate, dbad.CtxUseRate.Mean, dlat.CtxUseRate.Mean)
+		}
+		if dbad.CtxUseRate.Mean <= dall.CtxUseRate.Mean {
+			t.Fatalf("rate %v: D-BAD (%.3f) not above D-ALL (%.3f) on ctxUse",
+				rate, dbad.CtxUseRate.Mean, dall.CtxUseRate.Mean)
+		}
+		if dall.CtxUseRate.Mean >= dlat.CtxUseRate.Mean {
+			t.Fatalf("rate %v: D-ALL (%.3f) not the worst (D-LAT %.3f)",
+				rate, dall.CtxUseRate.Mean, dlat.CtxUseRate.Mean)
+		}
+		// D-BAD should land close to the oracle, the baselines well below.
+		if dbad.CtxUseRate.Mean < 0.75 {
+			t.Fatalf("rate %v: D-BAD ctxUse = %.3f, implausibly low", rate, dbad.CtxUseRate.Mean)
+		}
+	}
+}
+
+func TestFormatFigureRendering(t *testing.T) {
+	fig := FigureResult{App: "demo"}
+	cfg := FigureConfig{ErrRates: []float64{0.1}, Groups: 2, Seed: 3,
+		Strategies: []StrategyName{OptR, DLat}}
+	var err error
+	fig, err = RunFigure(CallForwardingApp(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatFigure(fig, "Figure 9")
+	for _, want := range []string{"Figure 9", "ctxUseRate", "sitActRate", "OPT-R", "D-LAT"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, text)
+		}
+	}
+	csv := FigureCSV(fig)
+	if !strings.Contains(csv, "app,errRate,strategy") ||
+		!strings.Contains(csv, "call-forwarding,0.10,OPT-R") {
+		t.Fatalf("csv malformed:\n%s", csv)
+	}
+}
+
+// TestFigureDeterministicPerSeed guards the repository's reproducibility
+// promise: the same seed yields bit-identical figures.
+func TestFigureDeterministicPerSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := FigureConfig{ErrRates: []float64{0.2}, Groups: 2, Seed: 555,
+		Strategies: ComparedStrategies()}
+	a, err := RunFigure(CallForwardingApp(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure(CallForwardingApp(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ")
+	}
+	for i := range a.Points {
+		pa, pb := a.Points[i], b.Points[i]
+		if pa.CtxUseRate.Mean != pb.CtxUseRate.Mean ||
+			pa.SitActRate.Mean != pb.SitActRate.Mean {
+			t.Fatalf("point %d differs: %+v vs %+v", i, pa, pb)
+		}
+	}
+}
+
+// TestRunOnceStrategiesShareStream verifies the controlled-comparison
+// property: every strategy in a group sees the identical context stream
+// (ground truth and payloads), so differences are attributable to the
+// strategies alone.
+func TestRunOnceStrategiesShareStream(t *testing.T) {
+	spec := CallForwardingApp()
+	group, err := RunGroup(spec, 0.3, ComparedStrategies(), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All strategies saw the same submissions: Used + Discarded + leftover
+	// cannot exceed the workload, and OPT-R's discards equal the
+	// ground-truth corrupted count.
+	base := group.Baseline
+	if base.DiscardedContexts == 0 {
+		t.Fatal("baseline discarded nothing at 30% error rate")
+	}
+	for name, rates := range group.Runs {
+		if rates.UsedExpected > base.UsedExpected {
+			t.Fatalf("%s used more expected contexts (%d) than the oracle (%d)",
+				name, rates.UsedExpected, base.UsedExpected)
+		}
+	}
+}

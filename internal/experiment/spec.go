@@ -1,0 +1,190 @@
+// Package experiment reproduces the paper's evaluation: the 320-group
+// strategy comparison behind Figures 9 and 10 (context use rate and
+// situation activation rate versus error rate, for OPT-R, D-BAD, D-LAT and
+// D-ALL on the Call Forwarding and RFID data anomalies applications), the
+// Landmarc case study of Section 5.2 (context survival rate, removal
+// precision), and the heuristic-rule-holding study.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ctxres/internal/apps/callforward"
+	"ctxres/internal/apps/rfidmon"
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/inconsistency"
+	"ctxres/internal/simspace"
+	"ctxres/internal/situation"
+	"ctxres/internal/strategy"
+)
+
+// StrategyName identifies a resolution strategy in reports and configs.
+type StrategyName string
+
+// The compared strategies. OPT-R is always the normalization baseline.
+const (
+	OptR    StrategyName = "OPT-R"
+	DBad    StrategyName = "D-BAD"
+	DLat    StrategyName = "D-LAT"
+	DAll    StrategyName = "D-ALL"
+	DRand   StrategyName = "D-RAND"
+	POld    StrategyName = "P-OLD"       // user policy: discard the oldest
+	DBadImp StrategyName = "D-BAD+I"     // extension: impact-aware ties
+	DBadNoB StrategyName = "D-BAD/nobad" // ablation: bad-marking disabled
+)
+
+// ComparedStrategies returns the paper's four strategies in report order.
+func ComparedStrategies() []StrategyName {
+	return []StrategyName{OptR, DBad, DLat, DAll}
+}
+
+// ExtendedStrategies adds the strategies the paper mentions but does not
+// plot (drop-random, a user policy) and the future-work extension
+// (impact-aware tie resolution).
+func ExtendedStrategies() []StrategyName {
+	return []StrategyName{OptR, DBad, DBadImp, DLat, DAll, DRand, POld}
+}
+
+// ParseStrategies parses a comma-separated strategy list ("D-BAD,D-LAT").
+func ParseStrategies(list string) ([]StrategyName, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, errors.New("empty strategy list")
+	}
+	var out []StrategyName
+	for _, part := range strings.Split(list, ",") {
+		name := StrategyName(strings.TrimSpace(part))
+		if _, err := NewStrategy(name, rand.New(rand.NewSource(1)), nil); err != nil {
+			return nil, err
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// ErrUnknownStrategy reports an unrecognized strategy name.
+var ErrUnknownStrategy = errors.New("unknown strategy")
+
+// NewStrategy instantiates a strategy by name. rng is used by randomized
+// strategies; audit (optional) is wired into drop-bad variants.
+func NewStrategy(name StrategyName, rng *rand.Rand, audit *inconsistency.RuleAudit) (strategy.Strategy, error) {
+	var opts []strategy.DropBadOption
+	if audit != nil {
+		opts = append(opts, strategy.WithRuleAudit(audit))
+	}
+	switch name {
+	case OptR:
+		return strategy.NewOracle(), nil
+	case DBad:
+		return strategy.NewDropBad(opts...), nil
+	case DBadNoB:
+		return strategy.NewDropBad(append(opts, strategy.WithoutBadMarking())...), nil
+	case DLat:
+		return strategy.NewDropLatest(), nil
+	case DAll:
+		return strategy.NewDropAll(), nil
+	case DRand:
+		return strategy.NewDropRandom(rng), nil
+	case POld:
+		return strategy.NewPolicy(string(POld), strategy.PreferOldestVictim()), nil
+	case DBadImp:
+		return strategy.NewImpactAwareDropBad(strategy.FreshnessImpact(), opts...), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStrategy, name)
+	}
+}
+
+// Workload is one experiment group's context stream: contexts grouped into
+// submission steps. The contexts are prototypes shared across strategy
+// runs; Clone() them before feeding a middleware.
+type Workload struct {
+	Steps [][]*ctx.Context
+	// UseDelay is how many steps after submission the application uses a
+	// context — the paper's "time window" before a context is used (zero
+	// reduces drop-bad to drop-latest behaviour; Section 5.3).
+	UseDelay int
+}
+
+// Contexts returns the total number of contexts in the workload.
+func (w Workload) Contexts() int {
+	n := 0
+	for _, s := range w.Steps {
+		n += len(s)
+	}
+	return n
+}
+
+// CorruptedContexts returns the ground-truth number of corrupted contexts.
+func (w Workload) CorruptedContexts() int {
+	n := 0
+	for _, s := range w.Steps {
+		for _, c := range s {
+			if c.Truth.Corrupted {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// AppSpec describes one application under test: its constraint and
+// situation sets and its workload generator.
+type AppSpec struct {
+	// Name labels the application in reports ("call-forwarding", "rfid").
+	Name string
+	// NewChecker builds a fresh checker with the app's constraints.
+	NewChecker func() *constraint.Checker
+	// NewEngine builds a fresh situation engine with the app's situations.
+	NewEngine func() *situation.Engine
+	// NewWorkload generates one experiment group's stream at the given
+	// controlled error rate.
+	NewWorkload func(errRate float64, rng *rand.Rand) (Workload, error)
+}
+
+// DefaultUseDelay is the time window (in steps) before an application uses
+// a context.
+const DefaultUseDelay = 2
+
+// CallForwardingApp returns the Call Forwarding application spec
+// (Figure 9's subject).
+func CallForwardingApp() AppSpec {
+	floor := simspace.OfficeFloor()
+	return AppSpec{
+		Name:       "call-forwarding",
+		NewChecker: func() *constraint.Checker { return callforward.Checker(floor) },
+		NewEngine:  func() *situation.Engine { return callforward.Engine(floor) },
+		NewWorkload: func(errRate float64, rng *rand.Rand) (Workload, error) {
+			cfg := callforward.DefaultWorkload(errRate)
+			cs, err := callforward.Generate(cfg, rng)
+			if err != nil {
+				return Workload{}, err
+			}
+			steps := make([][]*ctx.Context, len(cs))
+			for i, c := range cs {
+				steps[i] = []*ctx.Context{c}
+			}
+			return Workload{Steps: steps, UseDelay: DefaultUseDelay}, nil
+		},
+	}
+}
+
+// RFIDApp returns the RFID data anomalies application spec (Figure 10's
+// subject).
+func RFIDApp() AppSpec {
+	return AppSpec{
+		Name:       "rfid",
+		NewChecker: rfidmon.Checker,
+		NewEngine:  rfidmon.Engine,
+		NewWorkload: func(errRate float64, rng *rand.Rand) (Workload, error) {
+			cfg := rfidmon.DefaultWorkload(errRate)
+			cycles, err := rfidmon.Generate(cfg, rng)
+			if err != nil {
+				return Workload{}, err
+			}
+			return Workload{Steps: cycles, UseDelay: DefaultUseDelay}, nil
+		},
+	}
+}

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseStrategies(t *testing.T) {
+	names, err := ParseStrategies("OPT-R, D-BAD ,D-LAT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []StrategyName{OptR, DBad, DLat}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+	if _, err := ParseStrategies(""); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := ParseStrategies("D-BAD,bogus"); !errors.Is(err, ErrUnknownStrategy) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExtendedStrategiesAllConstructible(t *testing.T) {
+	for _, n := range ExtendedStrategies() {
+		if _, err := NewStrategy(n, newTestRNG(), nil); err != nil {
+			t.Fatalf("NewStrategy(%s): %v", n, err)
+		}
+	}
+}
+
+func TestAppSpecsSane(t *testing.T) {
+	for _, spec := range []AppSpec{CallForwardingApp(), RFIDApp()} {
+		if spec.Name == "" {
+			t.Fatal("empty app name")
+		}
+		ch := spec.NewChecker()
+		if len(ch.Constraints()) != 5 {
+			t.Fatalf("%s: %d constraints", spec.Name, len(ch.Constraints()))
+		}
+		eng := spec.NewEngine()
+		if len(eng.Situations()) != 3 {
+			t.Fatalf("%s: %d situations", spec.Name, len(eng.Situations()))
+		}
+		w, err := spec.NewWorkload(0.1, newTestRNG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Contexts() == 0 || w.UseDelay != DefaultUseDelay {
+			t.Fatalf("%s: workload %d contexts, delay %d",
+				spec.Name, w.Contexts(), w.UseDelay)
+		}
+	}
+}
+
+func TestExtendedFigureSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := FigureConfig{
+		ErrRates:   []float64{0.3},
+		Groups:     2,
+		Seed:       17,
+		Strategies: ExtendedStrategies(),
+	}
+	fig, err := RunFigure(CallForwardingApp(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every extended strategy produced a point, and the unreliable ones
+	// (random, policy) land below drop-bad.
+	dbad, _ := fig.Point(0.3, DBad)
+	for _, n := range []StrategyName{DRand, POld} {
+		p, ok := fig.Point(0.3, n)
+		if !ok {
+			t.Fatalf("missing %s", n)
+		}
+		if p.CtxUseRate.Mean >= dbad.CtxUseRate.Mean {
+			t.Fatalf("%s (%.3f) not below D-BAD (%.3f)",
+				n, p.CtxUseRate.Mean, dbad.CtxUseRate.Mean)
+		}
+	}
+}

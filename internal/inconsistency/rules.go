@@ -1,0 +1,93 @@
+package inconsistency
+
+import "ctxres/internal/ctx"
+
+// RuleAudit measures how often the paper's heuristic rules hold over a run,
+// using the experiment-only ground truth (Truth.Corrupted). It backs the
+// Section 5.2 study: "Rule 1 always held, and Rule 2' held in 91.7% cases".
+//
+// Rule 1: a set of expected contexts does not form any inconsistency —
+// equivalently, every detected inconsistency involves at least one
+// corrupted context.
+//
+// Rule 2: in every inconsistency, every corrupted member has a strictly
+// larger count value than any expected member.
+//
+// Rule 2' (relaxed): in every inconsistency, at least one corrupted member
+// has a strictly larger count value than any expected member.
+type RuleAudit struct {
+	// Checked is the number of inconsistencies audited.
+	Checked int
+	// Rule1Held counts inconsistencies containing ≥1 corrupted context.
+	Rule1Held int
+	// Rule2Held counts inconsistencies satisfying Rule 2.
+	Rule2Held int
+	// Rule2PrimeHeld counts inconsistencies satisfying Rule 2'.
+	Rule2PrimeHeld int
+}
+
+// Observe audits one inconsistency against the count values the tracker
+// holds at observation time. Call it after the inconsistency (and its
+// peers) have been added to the tracker, so counts reflect the full Σ.
+func (a *RuleAudit) Observe(t *Tracker, in Inconsistency) {
+	a.Checked++
+
+	maxExpected := -1
+	maxCorrupted := -1
+	allCorruptedAbove := true
+	anyCorrupted := false
+	for _, c := range in.Link.Contexts() {
+		n := t.Count(c.ID)
+		if c.Truth.Corrupted {
+			anyCorrupted = true
+			if n > maxCorrupted {
+				maxCorrupted = n
+			}
+		} else if n > maxExpected {
+			maxExpected = n
+		}
+	}
+	if anyCorrupted {
+		a.Rule1Held++
+	}
+	if !anyCorrupted {
+		return // rules 2 and 2' are about corrupted members; vacuously fail
+	}
+	for _, c := range in.Link.Contexts() {
+		if c.Truth.Corrupted && maxExpected >= 0 && t.Count(c.ID) <= maxExpected {
+			allCorruptedAbove = false
+			break
+		}
+	}
+	if allCorruptedAbove {
+		a.Rule2Held++
+	}
+	if maxCorrupted > maxExpected {
+		a.Rule2PrimeHeld++
+	}
+}
+
+// Rate helpers return the fraction of audited inconsistencies for which
+// each rule held; 1.0 when nothing was audited (vacuous truth).
+func (a *RuleAudit) Rule1Rate() float64      { return rate(a.Rule1Held, a.Checked) }
+func (a *RuleAudit) Rule2Rate() float64      { return rate(a.Rule2Held, a.Checked) }
+func (a *RuleAudit) Rule2PrimeRate() float64 { return rate(a.Rule2PrimeHeld, a.Checked) }
+
+func rate(held, total int) float64 {
+	if total == 0 {
+		return 1
+	}
+	return float64(held) / float64(total)
+}
+
+// CorruptedMembers returns the IDs of the corrupted contexts in a link,
+// using ground truth — a helper for the oracle strategy and metrics.
+func CorruptedMembers(in Inconsistency) []ctx.ID {
+	var out []ctx.ID
+	for _, c := range in.Link.Contexts() {
+		if c.Truth.Corrupted {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}

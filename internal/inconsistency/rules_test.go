@@ -1,0 +1,131 @@
+package inconsistency
+
+import (
+	"math"
+	"testing"
+
+	"ctxres/internal/ctx"
+)
+
+func corrupted(id string) *ctx.Context {
+	c := mk(id)
+	c.Truth.Corrupted = true
+	return c
+}
+
+func TestRuleAuditAllRulesHold(t *testing.T) {
+	// d3 corrupted with count 4; every expected context has count 1.
+	tr := NewTracker()
+	d3 := corrupted("d3")
+	others := []*ctx.Context{mk("d1"), mk("d2"), mk("d4"), mk("d5")}
+	var incs []Inconsistency
+	for _, o := range others {
+		in := inc("vel", d3, o)
+		tr.Add(in)
+		incs = append(incs, in)
+	}
+	var audit RuleAudit
+	for _, in := range incs {
+		audit.Observe(tr, in)
+	}
+	if audit.Checked != 4 {
+		t.Fatalf("Checked = %d", audit.Checked)
+	}
+	if audit.Rule1Rate() != 1 || audit.Rule2Rate() != 1 || audit.Rule2PrimeRate() != 1 {
+		t.Fatalf("rates = %v %v %v", audit.Rule1Rate(), audit.Rule2Rate(), audit.Rule2PrimeRate())
+	}
+}
+
+func TestRuleAuditRule1Violated(t *testing.T) {
+	// An inconsistency among expected contexts only: Rule 1 fails (false
+	// report), and Rules 2/2' vacuously fail too.
+	tr := NewTracker()
+	in := inc("vel", mk("e1"), mk("e2"))
+	tr.Add(in)
+	var audit RuleAudit
+	audit.Observe(tr, in)
+	if audit.Rule1Held != 0 || audit.Rule2Held != 0 || audit.Rule2PrimeHeld != 0 {
+		t.Fatalf("audit = %+v", audit)
+	}
+}
+
+func TestRuleAuditRule2FailsButPrimeHolds(t *testing.T) {
+	// Two corrupted contexts c1 (count 3) and c2 (count 1); expected e
+	// (count 1). In inconsistency {c1, c2, e}: Rule 2 fails because c2's
+	// count does not exceed e's, but Rule 2' holds via c1.
+	tr := NewTracker()
+	c1, c2, e := corrupted("c1"), corrupted("c2"), mk("e")
+	target := inc("x", c1, c2, e)
+	tr.Add(target)
+	// Boost c1's count with extra inconsistencies.
+	tr.Add(inc("x", c1, corrupted("z1")))
+	tr.Add(inc("x", c1, corrupted("z2")))
+	var audit RuleAudit
+	audit.Observe(tr, target)
+	if audit.Rule2Held != 0 {
+		t.Fatal("Rule 2 held unexpectedly")
+	}
+	if audit.Rule2PrimeHeld != 1 {
+		t.Fatal("Rule 2' did not hold")
+	}
+	if audit.Rule1Held != 1 {
+		t.Fatal("Rule 1 did not hold")
+	}
+}
+
+func TestRuleAuditTieFailsPrime(t *testing.T) {
+	// Corrupted and expected tie on count → Rule 2' fails (needs strict >).
+	tr := NewTracker()
+	c, e := corrupted("c"), mk("e")
+	in := inc("x", c, e)
+	tr.Add(in)
+	var audit RuleAudit
+	audit.Observe(tr, in)
+	if audit.Rule2PrimeHeld != 0 {
+		t.Fatal("Rule 2' held on a tie")
+	}
+}
+
+func TestRuleAuditAllCorruptedMembers(t *testing.T) {
+	// Inconsistency whose members are all corrupted: Rules 2 and 2' hold
+	// (no expected member to dominate).
+	tr := NewTracker()
+	in := inc("x", corrupted("c1"), corrupted("c2"))
+	tr.Add(in)
+	var audit RuleAudit
+	audit.Observe(tr, in)
+	if audit.Rule2Held != 1 || audit.Rule2PrimeHeld != 1 {
+		t.Fatalf("audit = %+v", audit)
+	}
+}
+
+func TestRuleRatesVacuous(t *testing.T) {
+	var audit RuleAudit
+	if audit.Rule1Rate() != 1 || audit.Rule2Rate() != 1 || audit.Rule2PrimeRate() != 1 {
+		t.Fatal("empty audit rates not vacuously 1")
+	}
+}
+
+func TestRuleRatesFraction(t *testing.T) {
+	audit := RuleAudit{Checked: 3, Rule1Held: 3, Rule2Held: 1, Rule2PrimeHeld: 2}
+	if audit.Rule1Rate() != 1 {
+		t.Fatalf("Rule1Rate = %v", audit.Rule1Rate())
+	}
+	if math.Abs(audit.Rule2Rate()-1.0/3) > 1e-12 {
+		t.Fatalf("Rule2Rate = %v", audit.Rule2Rate())
+	}
+	if math.Abs(audit.Rule2PrimeRate()-2.0/3) > 1e-12 {
+		t.Fatalf("Rule2PrimeRate = %v", audit.Rule2PrimeRate())
+	}
+}
+
+func TestCorruptedMembers(t *testing.T) {
+	in := inc("x", corrupted("c1"), mk("e1"), corrupted("c2"))
+	got := CorruptedMembers(in)
+	if len(got) != 2 || got[0] != "c1" || got[1] != "c2" {
+		t.Fatalf("CorruptedMembers = %v", got)
+	}
+	if got := CorruptedMembers(inc("x", mk("e1"))); len(got) != 0 {
+		t.Fatalf("CorruptedMembers = %v", got)
+	}
+}

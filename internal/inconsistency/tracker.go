@@ -1,0 +1,234 @@
+// Package inconsistency maintains the set Σ of tracked context
+// inconsistencies and the count function of Section 3.2 of the paper: each
+// count value tells how many tracked inconsistencies a context currently
+// participates in. The set is dynamic: context addition changes add newly
+// detected inconsistencies; context deletion changes (a context being used
+// by an application) resolve and remove every inconsistency involving that
+// context.
+//
+// The package also provides the rule auditor used by the Section 5.2 case
+// study to measure how often Heuristic Rules 1, 2 and 2' hold in practice.
+package inconsistency
+
+import (
+	"sort"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+)
+
+// Inconsistency is one detected, not-yet-resolved context inconsistency.
+// Per Section 3.2, Σ ⊆ P(P(C)): an inconsistency is identified by the SET
+// of contexts forming it, not by the constraint that reported it — the same
+// context set violating several constraints is one inconsistency, so count
+// values measure distinct conflicting sets.
+type Inconsistency struct {
+	// Constraint names the first consistency constraint that reported the
+	// inconsistency (informational; not part of the identity).
+	Constraint string
+	// Link holds the contexts forming the inconsistency.
+	Link constraint.Link
+}
+
+// Key returns the canonical identity: the link alone.
+func (in Inconsistency) Key() string { return in.Link.Key() }
+
+// String renders the inconsistency for diagnostics.
+func (in Inconsistency) String() string { return in.Constraint + in.Link.String() }
+
+// FromViolation converts a checker violation into a tracked inconsistency.
+func FromViolation(v constraint.Violation) Inconsistency {
+	return Inconsistency{Constraint: v.Constraint, Link: v.Link}
+}
+
+// Tracker is the set Σ of tracked context inconsistencies plus the derived
+// count values. It is not safe for concurrent use; the middleware
+// serializes access.
+type Tracker struct {
+	byKey     map[string]Inconsistency
+	order     []string            // insertion order of keys, for determinism
+	counts    map[ctx.ID]int      // count function: inconsistencies per context
+	byContext map[ctx.ID][]string // inconsistency keys involving a context
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	t := &Tracker{}
+	t.Reset()
+	return t
+}
+
+// Reset empties Σ and all count values.
+func (t *Tracker) Reset() {
+	t.byKey = make(map[string]Inconsistency)
+	t.order = nil
+	t.counts = make(map[ctx.ID]int)
+	t.byContext = make(map[ctx.ID][]string)
+}
+
+// Add inserts a newly detected inconsistency (context addition change).
+// It reports whether the inconsistency was new.
+func (t *Tracker) Add(in Inconsistency) bool {
+	key := in.Key()
+	if _, dup := t.byKey[key]; dup {
+		return false
+	}
+	t.byKey[key] = in
+	t.order = append(t.order, key)
+	for _, c := range in.Link.Contexts() {
+		t.counts[c.ID]++
+		t.byContext[c.ID] = append(t.byContext[c.ID], key)
+	}
+	return true
+}
+
+// AddViolations inserts every violation as a tracked inconsistency and
+// returns the number of newly added ones.
+func (t *Tracker) AddViolations(vios []constraint.Violation) int {
+	added := 0
+	for _, v := range vios {
+		if t.Add(FromViolation(v)) {
+			added++
+		}
+	}
+	return added
+}
+
+// Len returns the number of tracked inconsistencies.
+func (t *Tracker) Len() int { return len(t.byKey) }
+
+// Count returns the count value of the given context: how many tracked
+// inconsistencies it participates in. Contexts not involved in any tracked
+// inconsistency have count zero.
+func (t *Tracker) Count(id ctx.ID) int { return t.counts[id] }
+
+// Counts returns a copy of the full count function (only non-zero entries).
+func (t *Tracker) Counts() map[ctx.ID]int {
+	out := make(map[ctx.ID]int, len(t.counts))
+	for id, n := range t.counts {
+		out[id] = n
+	}
+	return out
+}
+
+// All returns the tracked inconsistencies in insertion order.
+func (t *Tracker) All() []Inconsistency {
+	out := make([]Inconsistency, 0, len(t.order))
+	for _, key := range t.order {
+		out = append(out, t.byKey[key])
+	}
+	return out
+}
+
+// Involving returns the tracked inconsistencies the context participates
+// in, in insertion order.
+func (t *Tracker) Involving(id ctx.ID) []Inconsistency {
+	keys := t.byContext[id]
+	out := make([]Inconsistency, 0, len(keys))
+	for _, key := range keys {
+		if in, ok := t.byKey[key]; ok {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// Involved reports whether the context participates in any tracked
+// inconsistency.
+func (t *Tracker) Involved(id ctx.ID) bool { return t.counts[id] > 0 }
+
+// MaxCountMembers returns the contexts of the inconsistency that carry the
+// largest count value among its members, in ID order.
+func (t *Tracker) MaxCountMembers(in Inconsistency) []*ctx.Context {
+	members := in.Link.Contexts()
+	best := 0
+	for _, c := range members {
+		if n := t.counts[c.ID]; n > best {
+			best = n
+		}
+	}
+	var out []*ctx.Context
+	for _, c := range members {
+		if t.counts[c.ID] == best {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// HasLargestCount reports whether the context's count value is the (or tied
+// for the) largest among the members of the inconsistency.
+func (t *Tracker) HasLargestCount(id ctx.ID, in Inconsistency) bool {
+	mine := t.counts[id]
+	for _, c := range in.Link.Contexts() {
+		if t.counts[c.ID] > mine {
+			return false
+		}
+	}
+	return in.Link.Contains(id)
+}
+
+// HasStrictlyLargestCount reports whether the context's count value
+// strictly exceeds every other member's — the "likeliest incorrect"
+// condition of the drop-bad strategy. On a tie the context is not likelier
+// incorrect than its tied peer, so this reports false.
+func (t *Tracker) HasStrictlyLargestCount(id ctx.ID, in Inconsistency) bool {
+	if !in.Link.Contains(id) {
+		return false
+	}
+	mine := t.counts[id]
+	for _, c := range in.Link.Contexts() {
+		if c.ID != id && t.counts[c.ID] >= mine {
+			return false
+		}
+	}
+	return true
+}
+
+// Resolve removes the inconsistency from Σ (it has been resolved) and
+// decrements the member counts. It reports whether it was tracked.
+func (t *Tracker) Resolve(in Inconsistency) bool {
+	key := in.Key()
+	tracked, ok := t.byKey[key]
+	if !ok {
+		return false
+	}
+	delete(t.byKey, key)
+	for i, k := range t.order {
+		if k == key {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	for _, c := range tracked.Link.Contexts() {
+		t.counts[c.ID]--
+		if t.counts[c.ID] <= 0 {
+			delete(t.counts, c.ID)
+		}
+		t.byContext[c.ID] = removeKey(t.byContext[c.ID], key)
+		if len(t.byContext[c.ID]) == 0 {
+			delete(t.byContext, c.ID)
+		}
+	}
+	return true
+}
+
+// ResolveInvolving removes every tracked inconsistency involving the
+// context (context deletion change) and returns them in insertion order.
+func (t *Tracker) ResolveInvolving(id ctx.ID) []Inconsistency {
+	involved := t.Involving(id)
+	for _, in := range involved {
+		t.Resolve(in)
+	}
+	return involved
+}
+
+func removeKey(keys []string, key string) []string {
+	for i, k := range keys {
+		if k == key {
+			return append(keys[:i], keys[i+1:]...)
+		}
+	}
+	return keys
+}

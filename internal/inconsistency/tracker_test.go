@@ -1,0 +1,272 @@
+package inconsistency
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+)
+
+var t0 = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+
+func mk(id string) *ctx.Context {
+	return ctx.NewLocation("peter", t0, ctx.Point{}, ctx.WithID(ctx.ID(id)))
+}
+
+func inc(name string, cs ...*ctx.Context) Inconsistency {
+	return Inconsistency{Constraint: name, Link: constraint.NewLink(cs...)}
+}
+
+// figure5ScenarioA builds Σ = {(d1,d3),(d2,d3),(d3,d4),(d3,d5)} from the
+// paper's Figure 5, Scenario A.
+func figure5ScenarioA() (*Tracker, map[string]*ctx.Context) {
+	cs := map[string]*ctx.Context{}
+	for _, id := range []string{"d1", "d2", "d3", "d4", "d5"} {
+		cs[id] = mk(id)
+	}
+	t := NewTracker()
+	t.Add(inc("vel", cs["d1"], cs["d3"]))
+	t.Add(inc("vel", cs["d2"], cs["d3"]))
+	t.Add(inc("vel", cs["d3"], cs["d4"]))
+	t.Add(inc("vel", cs["d3"], cs["d5"]))
+	return t, cs
+}
+
+func TestCountValuesFigure5ScenarioA(t *testing.T) {
+	tr, _ := figure5ScenarioA()
+	want := map[ctx.ID]int{"d1": 1, "d2": 1, "d3": 4, "d4": 1, "d5": 1}
+	got := tr.Counts()
+	if len(got) != len(want) {
+		t.Fatalf("Counts = %v, want %v", got, want)
+	}
+	for id, n := range want {
+		if got[id] != n {
+			t.Fatalf("Count(%s) = %d, want %d", id, got[id], n)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestCountValuesFigure5ScenarioB(t *testing.T) {
+	// Σ = {(d3,d4),(d3,d5)} → counts d3:2, d4:1, d5:1.
+	tr := NewTracker()
+	d3, d4, d5 := mk("d3"), mk("d4"), mk("d5")
+	tr.Add(inc("vel", d3, d4))
+	tr.Add(inc("vel", d3, d5))
+	if tr.Count("d3") != 2 || tr.Count("d4") != 1 || tr.Count("d5") != 1 {
+		t.Fatalf("counts = %v", tr.Counts())
+	}
+	if tr.Count("d1") != 0 {
+		t.Fatal("uninvolved context has non-zero count")
+	}
+}
+
+func TestAddDeduplicates(t *testing.T) {
+	tr := NewTracker()
+	a, b := mk("a"), mk("b")
+	if !tr.Add(inc("vel", a, b)) {
+		t.Fatal("first add rejected")
+	}
+	if tr.Add(inc("vel", b, a)) {
+		t.Fatal("duplicate (reordered) accepted")
+	}
+	if tr.Count("a") != 1 {
+		t.Fatalf("Count inflated by duplicate: %d", tr.Count("a"))
+	}
+	// Per Section 3.2, Σ ⊆ P(P(C)): the same context set reported by a
+	// different constraint is the SAME inconsistency.
+	if tr.Add(inc("area", a, b)) {
+		t.Fatal("same link under a different constraint treated as distinct")
+	}
+	if tr.Count("a") != 1 {
+		t.Fatalf("Count = %d, want 1", tr.Count("a"))
+	}
+}
+
+func TestAddViolations(t *testing.T) {
+	tr := NewTracker()
+	a, b := mk("a"), mk("b")
+	vios := []constraint.Violation{
+		{Constraint: "vel", Link: constraint.NewLink(a, b)},
+		{Constraint: "vel", Link: constraint.NewLink(a, b)}, // dup
+	}
+	if got := tr.AddViolations(vios); got != 1 {
+		t.Fatalf("AddViolations = %d, want 1", got)
+	}
+}
+
+func TestInvolving(t *testing.T) {
+	tr, _ := figure5ScenarioA()
+	got := tr.Involving("d3")
+	if len(got) != 4 {
+		t.Fatalf("Involving(d3) len = %d", len(got))
+	}
+	if got2 := tr.Involving("d1"); len(got2) != 1 || !got2[0].Link.Contains("d1") {
+		t.Fatalf("Involving(d1) = %v", got2)
+	}
+	if tr.Involving("ghost") != nil && len(tr.Involving("ghost")) != 0 {
+		t.Fatal("Involving(ghost) non-empty")
+	}
+	if !tr.Involved("d3") || tr.Involved("ghost") {
+		t.Fatal("Involved wrong")
+	}
+}
+
+func TestMaxCountMembers(t *testing.T) {
+	tr, cs := figure5ScenarioA()
+	in := inc("vel", cs["d3"], cs["d4"])
+	maxes := tr.MaxCountMembers(in)
+	if len(maxes) != 1 || maxes[0].ID != "d3" {
+		t.Fatalf("MaxCountMembers = %v", maxes)
+	}
+}
+
+func TestMaxCountMembersTie(t *testing.T) {
+	tr := NewTracker()
+	a, b := mk("a"), mk("b")
+	in := inc("vel", a, b)
+	tr.Add(in)
+	maxes := tr.MaxCountMembers(in)
+	if len(maxes) != 2 || maxes[0].ID != "a" || maxes[1].ID != "b" {
+		t.Fatalf("tie MaxCountMembers = %v", maxes)
+	}
+}
+
+func TestHasLargestCount(t *testing.T) {
+	tr, cs := figure5ScenarioA()
+	in := inc("vel", cs["d3"], cs["d4"])
+	if !tr.HasLargestCount("d3", in) {
+		t.Fatal("d3 not largest")
+	}
+	if tr.HasLargestCount("d4", in) {
+		t.Fatal("d4 reported largest")
+	}
+	if tr.HasLargestCount("d5", in) {
+		t.Fatal("non-member reported largest")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	tr, cs := figure5ScenarioA()
+	in := inc("vel", cs["d3"], cs["d4"])
+	if !tr.Resolve(in) {
+		t.Fatal("Resolve rejected tracked inconsistency")
+	}
+	if tr.Resolve(in) {
+		t.Fatal("Resolve accepted untracked inconsistency")
+	}
+	if tr.Count("d3") != 3 || tr.Count("d4") != 0 {
+		t.Fatalf("counts after resolve = %v", tr.Counts())
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestResolveInvolving(t *testing.T) {
+	tr, _ := figure5ScenarioA()
+	removed := tr.ResolveInvolving("d3")
+	if len(removed) != 4 {
+		t.Fatalf("removed %d inconsistencies", len(removed))
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after resolving all", tr.Len())
+	}
+	if len(tr.Counts()) != 0 {
+		t.Fatalf("counts leak: %v", tr.Counts())
+	}
+	// Resolving an uninvolved context is a no-op.
+	if got := tr.ResolveInvolving("ghost"); len(got) != 0 {
+		t.Fatalf("ResolveInvolving(ghost) = %v", got)
+	}
+}
+
+func TestResolveInvolvingPartial(t *testing.T) {
+	tr, _ := figure5ScenarioA()
+	removed := tr.ResolveInvolving("d1")
+	if len(removed) != 1 {
+		t.Fatalf("removed = %v", removed)
+	}
+	if tr.Count("d3") != 3 {
+		t.Fatalf("Count(d3) = %d, want 3", tr.Count("d3"))
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr, _ := figure5ScenarioA()
+	tr.Reset()
+	if tr.Len() != 0 || len(tr.Counts()) != 0 {
+		t.Fatal("Reset left state")
+	}
+}
+
+func TestAllInsertionOrder(t *testing.T) {
+	tr := NewTracker()
+	a, b, c := mk("a"), mk("b"), mk("c")
+	in1, in2 := inc("vel", a, b), inc("vel", b, c)
+	tr.Add(in1)
+	tr.Add(in2)
+	all := tr.All()
+	if len(all) != 2 || all[0].Key() != in1.Key() || all[1].Key() != in2.Key() {
+		t.Fatalf("All = %v", all)
+	}
+}
+
+func TestKeyAndString(t *testing.T) {
+	a, b := mk("a"), mk("b")
+	in := inc("vel", b, a)
+	if in.Key() != "a|b" {
+		t.Fatalf("Key = %q", in.Key())
+	}
+	if in.String() != "vel(a, b)" {
+		t.Fatalf("String = %q", in.String())
+	}
+}
+
+// Property: the count invariant — for every context, Count equals the
+// number of tracked inconsistencies whose link contains it — holds under
+// arbitrary interleavings of Add and ResolveInvolving.
+func TestCountInvariantProperty(t *testing.T) {
+	contexts := make([]*ctx.Context, 8)
+	for i := range contexts {
+		contexts[i] = mk(string(rune('a' + i)))
+	}
+	f := func(ops []uint16) bool {
+		tr := NewTracker()
+		for _, op := range ops {
+			i := int(op) % len(contexts)
+			j := int(op>>4) % len(contexts)
+			if i == j {
+				j = (j + 1) % len(contexts)
+			}
+			if op%3 == 0 {
+				tr.ResolveInvolving(contexts[i].ID)
+			} else {
+				tr.Add(inc("c", contexts[i], contexts[j]))
+			}
+			// Verify the invariant after every operation.
+			recount := make(map[ctx.ID]int)
+			for _, in := range tr.All() {
+				for _, c := range in.Link.Contexts() {
+					recount[c.ID]++
+				}
+			}
+			for _, c := range contexts {
+				if tr.Count(c.ID) != recount[c.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package integration wires the whole system together the way a deployment
+// would: workload generators → source runners → TCP daemon → middleware
+// with drop-bad → application clients using contexts and polling
+// situations.
+package integration
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ctxres/internal/apps/callforward"
+	"ctxres/internal/ctx"
+	"ctxres/internal/daemon"
+	"ctxres/internal/experiment"
+	"ctxres/internal/middleware"
+	"ctxres/internal/simspace"
+	"ctxres/internal/source"
+	"ctxres/internal/strategy"
+)
+
+func TestEndToEndCallForwarding(t *testing.T) {
+	floor := simspace.OfficeFloor()
+	engine := callforward.Engine(floor)
+	mw := middleware.New(callforward.Checker(floor), strategy.NewDropBad(),
+		middleware.WithSituations(engine))
+	srv, err := daemon.Serve("127.0.0.1:0", mw, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	// Generate the workload up front (ground truth retained), then stream
+	// it through a managed source over TCP.
+	spec := experiment.CallForwardingApp()
+	w, err := spec.NewWorkload(0.2, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sourceClient, err := daemon.Dial(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sourceClient.Close()
+
+	var mu sync.Mutex
+	var submitted []*ctx.Context
+	submit := func(c *ctx.Context) error {
+		if _, err := sourceClient.Submit(c); err != nil {
+			return err
+		}
+		mu.Lock()
+		submitted = append(submitted, c)
+		mu.Unlock()
+		return nil
+	}
+	runner, err := source.NewRunner(source.Replay(w.Steps), submit, 500*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runner.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The application uses contexts from a second connection, trailing the
+	// source by a small window, and polls situations.
+	appClient, err := daemon.Dial(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer appClient.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	used, rejected := 0, 0
+	cursor := 0
+	sawSituation := false
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		avail := len(submitted)
+		var next *ctx.Context
+		if cursor < avail-2 { // 2-context window
+			next = submitted[cursor]
+		}
+		mu.Unlock()
+		if next == nil {
+			done, _ := runner.Stats()
+			if done >= w.Contexts() && cursor >= done-2 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		cursor++
+		if _, err := appClient.Use(next.ID); err != nil {
+			rejected++
+		} else {
+			used++
+		}
+		if active, err := appClient.Situations(); err == nil {
+			for _, on := range active {
+				if on {
+					sawSituation = true
+				}
+			}
+		}
+	}
+	runner.Stop()
+
+	nSubmitted, nFailed := runner.Stats()
+	if nFailed != 0 {
+		t.Fatalf("source failures: %d", nFailed)
+	}
+	if nSubmitted != w.Contexts() {
+		t.Fatalf("submitted %d of %d", nSubmitted, w.Contexts())
+	}
+	if used == 0 {
+		t.Fatal("application used nothing")
+	}
+	if rejected == 0 {
+		t.Fatal("no context was rejected despite 20% corruption — resolution inactive?")
+	}
+	if !sawSituation {
+		t.Fatal("no situation ever active")
+	}
+	stats := mw.Stats()
+	if stats.Detected == 0 || stats.Discarded == 0 {
+		t.Fatalf("middleware resolved nothing: %+v", stats)
+	}
+	t.Logf("e2e: %+v, app used %d rejected %d", stats, used, rejected)
+}
+
+func TestEndToEndMultipleSources(t *testing.T) {
+	// Several independent subjects stream concurrently; per-subject
+	// velocity constraints must not interfere across subjects.
+	floor := simspace.OfficeFloor()
+	mw := middleware.New(callforward.Checker(floor), strategy.NewDropBad())
+	srv, err := daemon.Serve("127.0.0.1:0", mw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	const subjects = 3
+	var runners []*source.Runner
+	for s := 0; s < subjects; s++ {
+		client, err := daemon.Dial(srv.Addr().String(), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = client.Close() })
+		subject := string(rune('A' + s))
+		seq := uint64(0)
+		gen := source.GeneratorFunc(func(at time.Time) []*ctx.Context {
+			seq++
+			if seq > 30 {
+				return nil
+			}
+			return []*ctx.Context{ctx.NewLocation("p"+subject, at,
+				ctx.Point{X: float64(seq)},
+				ctx.WithSeq(seq), ctx.WithSource("src-"+subject))}
+		})
+		r, err := source.NewRunner(gen, func(c *ctx.Context) error {
+			_, err := client.Submit(c)
+			return err
+		}, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		runners = append(runners, r)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		total := 0
+		for _, r := range runners {
+			n, _ := r.Stats()
+			total += n
+		}
+		if total >= subjects*30 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, r := range runners {
+		r.Stop()
+	}
+	stats := mw.Stats()
+	if stats.Submitted != subjects*30 {
+		t.Fatalf("submitted = %d, want %d", stats.Submitted, subjects*30)
+	}
+	// Clean per-subject walks at 1 m-ish per tick with sub-second ticks…
+	// timestamps are wall-clock here, so velocities are huge; but each
+	// subject's stream is internally consistent in seq terms only if the
+	// constraint fires on time, not seq. The middleware must simply not
+	// crash and must keep subjects independent; detection counts are
+	// workload-dependent, so just sanity-check the pool.
+	if mw.Pool().Len() != subjects*30 {
+		t.Fatalf("pool = %d", mw.Pool().Len())
+	}
+}

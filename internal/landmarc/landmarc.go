@@ -1,0 +1,179 @@
+// Package landmarc implements the LANDMARC indoor location algorithm of
+// Ni, Liu, Lau & Patil ("LANDMARC: Indoor Location Sensing Using Active
+// RFID", ACM Wireless Networks 2004), the location-tracking substrate of
+// the paper's case study (Section 5.2).
+//
+// LANDMARC deploys fixed RFID *reference tags* on a grid with known
+// positions alongside the *tracking tags* carried by people. Several
+// readers measure received signal strength (RSS) from every tag. A tracking
+// tag's position is estimated as the weighted centroid of its k nearest
+// reference tags in signal space, with weights proportional to 1/E², where
+// E is the signal-space Euclidean distance.
+//
+// Since the original evaluation used physical RFID hardware, this package
+// also supplies the radio substrate: a log-distance path-loss model with
+// Gaussian shadowing noise, which reproduces the estimation-error behaviour
+// the algorithm is known for (metre-scale error, occasionally worse under
+// noise bursts).
+package landmarc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ctxres/internal/ctx"
+)
+
+// RadioModel is a log-distance path-loss channel:
+//
+//	RSS(d) = TxPower − 10·PathLossExp·log10(max(d, d0)/d0) + N(0, ShadowSigma²)
+type RadioModel struct {
+	// TxPower is the received power at the reference distance, in dBm.
+	TxPower float64
+	// PathLossExp is the path-loss exponent (≈2 free space, 2.5–4 indoor).
+	PathLossExp float64
+	// RefDist is the reference distance d0 in metres.
+	RefDist float64
+	// ShadowSigma is the standard deviation of log-normal shadowing in dB.
+	ShadowSigma float64
+}
+
+// DefaultRadio returns indoor-plausible channel parameters.
+func DefaultRadio() RadioModel {
+	return RadioModel{TxPower: -30, PathLossExp: 2.8, RefDist: 1, ShadowSigma: 2.0}
+}
+
+// RSS computes the received signal strength over distance d, drawing
+// shadowing noise from rng (pass nil for the deterministic mean).
+func (m RadioModel) RSS(d float64, rng *rand.Rand) float64 {
+	if d < m.RefDist {
+		d = m.RefDist
+	}
+	rss := m.TxPower - 10*m.PathLossExp*math.Log10(d/m.RefDist)
+	if rng != nil && m.ShadowSigma > 0 {
+		rss += rng.NormFloat64() * m.ShadowSigma
+	}
+	return rss
+}
+
+// Field is a deployed LANDMARC installation: readers and reference tags at
+// known positions over a shared radio model.
+type Field struct {
+	readers []ctx.Point
+	refTags []ctx.Point
+	radio   RadioModel
+	k       int
+}
+
+// Field construction errors.
+var (
+	ErrNoReaders = errors.New("landmarc field needs at least one reader")
+	ErrNoRefTags = errors.New("landmarc field needs at least k reference tags")
+	ErrBadK      = errors.New("k must be positive")
+)
+
+// NewField builds a field. k is the number of signal-space neighbours used
+// for estimation (the original paper found k=4 best).
+func NewField(readers, refTags []ctx.Point, radio RadioModel, k int) (*Field, error) {
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	if len(readers) == 0 {
+		return nil, ErrNoReaders
+	}
+	if len(refTags) < k {
+		return nil, fmt.Errorf("%w (have %d, k=%d)", ErrNoRefTags, len(refTags), k)
+	}
+	return &Field{
+		readers: append([]ctx.Point(nil), readers...),
+		refTags: append([]ctx.Point(nil), refTags...),
+		radio:   radio,
+		k:       k,
+	}, nil
+}
+
+// GridField deploys readers at the corners of a w×h area and reference
+// tags on a regular grid with the given spacing — the canonical LANDMARC
+// deployment.
+func GridField(w, h, spacing float64, radio RadioModel, k int) (*Field, error) {
+	if spacing <= 0 {
+		return nil, errors.New("grid spacing must be positive")
+	}
+	readers := []ctx.Point{{X: 0, Y: 0}, {X: w, Y: 0}, {X: 0, Y: h}, {X: w, Y: h}}
+	var refs []ctx.Point
+	for x := 0.0; x <= w; x += spacing {
+		for y := 0.0; y <= h; y += spacing {
+			refs = append(refs, ctx.Point{X: x, Y: y})
+		}
+	}
+	return NewField(readers, refs, radio, k)
+}
+
+// Readers returns the reader positions (copy).
+func (f *Field) Readers() []ctx.Point { return append([]ctx.Point(nil), f.readers...) }
+
+// RefTags returns the reference tag positions (copy).
+func (f *Field) RefTags() []ctx.Point { return append([]ctx.Point(nil), f.refTags...) }
+
+// K returns the neighbour count used in estimation.
+func (f *Field) K() int { return f.k }
+
+// signatures measures the RSS vector (one entry per reader) of a tag at p.
+func (f *Field) signature(p ctx.Point, rng *rand.Rand) []float64 {
+	sig := make([]float64, len(f.readers))
+	for i, r := range f.readers {
+		sig[i] = f.radio.RSS(p.Dist(r), rng)
+	}
+	return sig
+}
+
+// Estimate runs one LANDMARC measurement-estimation cycle for a tracking
+// tag at ground-truth position truth: it samples RSS vectors for the
+// tracking tag and all reference tags from the noisy channel, then returns
+// the k-nearest-neighbour weighted-centroid estimate.
+func (f *Field) Estimate(truth ctx.Point, rng *rand.Rand) ctx.Point {
+	target := f.signature(truth, rng)
+
+	type neighbour struct {
+		pos ctx.Point
+		e   float64
+	}
+	ns := make([]neighbour, len(f.refTags))
+	for j, ref := range f.refTags {
+		sig := f.signature(ref, rng)
+		sum := 0.0
+		for i := range sig {
+			d := target[i] - sig[i]
+			sum += d * d
+		}
+		ns[j] = neighbour{pos: ref, e: math.Sqrt(sum)}
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].e < ns[j].e })
+
+	const eps = 1e-9
+	var wsum float64
+	var est ctx.Point
+	for _, n := range ns[:f.k] {
+		w := 1 / (n.e*n.e + eps)
+		wsum += w
+		est = est.Add(n.pos.Scale(w))
+	}
+	return est.Scale(1 / wsum)
+}
+
+// MeanError estimates the field's mean location error by running n
+// estimation cycles at positions drawn uniformly from the w×h extent.
+func (f *Field) MeanError(w, h float64, n int, rng *rand.Rand) float64 {
+	if n <= 0 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		truth := ctx.Point{X: rng.Float64() * w, Y: rng.Float64() * h}
+		total += truth.Dist(f.Estimate(truth, rng))
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,193 @@
+package landmarc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ctxres/internal/ctx"
+)
+
+func TestRadioMonotoneDecreasing(t *testing.T) {
+	m := DefaultRadio()
+	prev := math.Inf(1)
+	for _, d := range []float64{1, 2, 5, 10, 20, 50} {
+		rss := m.RSS(d, nil)
+		if rss >= prev {
+			t.Fatalf("RSS(%v) = %v not decreasing (prev %v)", d, rss, prev)
+		}
+		prev = rss
+	}
+}
+
+func TestRadioClampsBelowRefDist(t *testing.T) {
+	m := DefaultRadio()
+	if m.RSS(0, nil) != m.RSS(m.RefDist, nil) {
+		t.Fatal("RSS not clamped below reference distance")
+	}
+	if m.RSS(m.RefDist, nil) != m.TxPower {
+		t.Fatalf("RSS at d0 = %v, want TxPower %v", m.RSS(m.RefDist, nil), m.TxPower)
+	}
+}
+
+func TestRadioNoiseSeedDeterminism(t *testing.T) {
+	m := DefaultRadio()
+	a := m.RSS(5, rand.New(rand.NewSource(1)))
+	b := m.RSS(5, rand.New(rand.NewSource(1)))
+	if a != b {
+		t.Fatal("same seed, different RSS")
+	}
+	c := m.RSS(5, rand.New(rand.NewSource(2)))
+	if a == c {
+		t.Fatal("different seeds produced identical noise (suspicious)")
+	}
+}
+
+func TestNewFieldValidation(t *testing.T) {
+	radio := DefaultRadio()
+	refs := []ctx.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}}
+	readers := []ctx.Point{{X: 0, Y: 0}}
+	if _, err := NewField(readers, refs, radio, 0); !errors.Is(err, ErrBadK) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewField(nil, refs, radio, 2); !errors.Is(err, ErrNoReaders) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewField(readers, refs[:1], radio, 2); !errors.Is(err, ErrNoRefTags) {
+		t.Fatalf("err = %v", err)
+	}
+	f, err := NewField(readers, refs, radio, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.K() != 4 || len(f.Readers()) != 1 || len(f.RefTags()) != 4 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestGridFieldLayout(t *testing.T) {
+	f, err := GridField(10, 10, 5, DefaultRadio(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Readers()); got != 4 {
+		t.Fatalf("readers = %d", got)
+	}
+	if got := len(f.RefTags()); got != 9 { // 3×3 grid at spacing 5
+		t.Fatalf("refTags = %d", got)
+	}
+	if _, err := GridField(10, 10, 0, DefaultRadio(), 4); err == nil {
+		t.Fatal("zero spacing accepted")
+	}
+}
+
+func TestEstimateNoiselessAtRefTag(t *testing.T) {
+	// Without noise, a tag exactly on a reference tag has signal distance
+	// 0 to it, so the estimate lands (almost) on that reference tag.
+	radio := RadioModel{TxPower: -30, PathLossExp: 2.8, RefDist: 1, ShadowSigma: 0}
+	f, err := GridField(20, 20, 4, radio, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ctx.Point{X: 8, Y: 12} // on the grid
+	est := f.Estimate(truth, nil)
+	if est.Dist(truth) > 0.5 {
+		t.Fatalf("noiseless estimate %v too far from truth %v", est, truth)
+	}
+}
+
+func TestEstimateAccuracyWithNoise(t *testing.T) {
+	// With realistic noise the mean error should be metre-scale: well
+	// under half the deployment size, and nonzero.
+	f, err := GridField(20, 20, 4, DefaultRadio(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	mean := f.MeanError(20, 20, 200, rng)
+	if mean <= 0.01 {
+		t.Fatalf("mean error %v suspiciously small", mean)
+	}
+	if mean > 6 {
+		t.Fatalf("mean error %v too large for a 20 m field", mean)
+	}
+}
+
+func TestEstimateStaysNearField(t *testing.T) {
+	// The weighted centroid of reference tags can never leave their
+	// bounding box.
+	f, err := GridField(20, 20, 4, DefaultRadio(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		truth := ctx.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		est := f.Estimate(truth, rng)
+		if est.X < -1e-9 || est.X > 20+1e-9 || est.Y < -1e-9 || est.Y > 20+1e-9 {
+			t.Fatalf("estimate %v outside deployment", est)
+		}
+	}
+}
+
+func TestDenserGridImprovesAccuracy(t *testing.T) {
+	// LANDMARC's central claim: more reference tags (denser grid) improve
+	// accuracy. Compare spacing 10 vs spacing 2 on the same seed.
+	coarse, err := GridField(20, 20, 10, DefaultRadio(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := GridField(20, 20, 2, DefaultRadio(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCoarse := coarse.MeanError(20, 20, 300, rand.New(rand.NewSource(11)))
+	errDense := dense.MeanError(20, 20, 300, rand.New(rand.NewSource(11)))
+	if errDense >= errCoarse {
+		t.Fatalf("dense grid error %v not better than coarse %v", errDense, errCoarse)
+	}
+}
+
+func TestMeanErrorZeroSamples(t *testing.T) {
+	f, err := GridField(10, 10, 5, DefaultRadio(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.MeanError(10, 10, 0, rand.New(rand.NewSource(1))); got != 0 {
+		t.Fatalf("MeanError(0 samples) = %v", got)
+	}
+}
+
+func TestKNeighbourSensitivity(t *testing.T) {
+	// Ni et al. report k=4 as the sweet spot: k=1 is noisy (single
+	// nearest reference tag), very large k oversmooths. Check that k=4
+	// beats k=1 on the same seeds.
+	radio := DefaultRadio()
+	mean := func(k int, seed int64) float64 {
+		f, err := GridField(20, 20, 4, radio, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.MeanError(20, 20, 400, rand.New(rand.NewSource(seed)))
+	}
+	e1 := mean(1, 31)
+	e4 := mean(4, 31)
+	if e4 >= e1 {
+		t.Fatalf("k=4 error %.3f not better than k=1 error %.3f", e4, e1)
+	}
+}
+
+func TestEstimateDeterministicWithoutNoise(t *testing.T) {
+	radio := RadioModel{TxPower: -30, PathLossExp: 2.8, RefDist: 1, ShadowSigma: 0}
+	f, err := GridField(20, 20, 4, radio, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ctx.Point{X: 7.3, Y: 11.1}
+	a := f.Estimate(p, nil)
+	b := f.Estimate(p, nil)
+	if a != b {
+		t.Fatalf("noiseless estimates differ: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/middleware"
+	"ctxres/internal/strategy"
+)
+
+var t0 = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func velocityChecker(tb testing.TB) *constraint.Checker {
+	tb.Helper()
+	ch := constraint.NewChecker()
+	ch.MustRegister(&constraint.Constraint{
+		Name: "vel",
+		Formula: constraint.Forall("a", ctx.KindLocation,
+			constraint.Forall("b", ctx.KindLocation,
+				constraint.Implies(
+					constraint.And(
+						constraint.SameSubject("a", "b"),
+						constraint.StreamWithin("a", "b", 1),
+					),
+					constraint.VelocityBelow("a", "b", 1.5),
+				))),
+	})
+	return ch
+}
+
+func loc(id string, seq uint64, x float64, corrupted bool) *ctx.Context {
+	c := ctx.NewLocation("peter", t0.Add(time.Duration(seq)*time.Second),
+		ctx.Point{X: x},
+		ctx.WithID(ctx.ID(id)), ctx.WithSeq(seq), ctx.WithSource("tracker"))
+	c.Truth.Corrupted = corrupted
+	return c
+}
+
+func TestCollectorCountsThroughMiddleware(t *testing.T) {
+	col := NewCollector()
+	m := middleware.New(velocityChecker(t), strategy.NewDropLatest(),
+		middleware.WithHooks(col.Hooks()))
+	// d3 corrupted: jumps. Drop-latest discards d3 on arrival.
+	for _, c := range []*ctx.Context{
+		loc("d1", 1, 0, false),
+		loc("d2", 2, 1, false),
+		loc("d3", 3, 9, true),
+		loc("d4", 4, 3, false),
+	} {
+		if _, err := m.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []ctx.ID{"d1", "d2", "d4"} {
+		if _, err := m.Use(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if col.Submitted() != 4 || col.SubmittedCorrupted() != 1 {
+		t.Fatalf("submissions: %d/%d", col.Submitted(), col.SubmittedCorrupted())
+	}
+	if col.UsedContexts() != 3 || col.UsedExpected() != 3 || col.UsedCorrupted() != 0 {
+		t.Fatalf("used: %d/%d/%d", col.UsedContexts(), col.UsedExpected(), col.UsedCorrupted())
+	}
+	if col.Discarded() != 1 {
+		t.Fatalf("discarded = %d", col.Discarded())
+	}
+	if !almost(col.SurvivalRate(), 1) {
+		t.Fatalf("SurvivalRate = %v", col.SurvivalRate())
+	}
+	if !almost(col.RemovalPrecision(), 1) {
+		t.Fatalf("RemovalPrecision = %v", col.RemovalPrecision())
+	}
+	if !almost(col.RemovalRecall(), 1) {
+		t.Fatalf("RemovalRecall = %v", col.RemovalRecall())
+	}
+	if col.Detected() != 1 {
+		t.Fatalf("Detected = %d", col.Detected())
+	}
+}
+
+func TestCollectorPenalizesWrongDiscards(t *testing.T) {
+	col := NewCollector()
+	m := middleware.New(velocityChecker(t), strategy.NewDropAll(),
+		middleware.WithHooks(col.Hooks()))
+	// Drop-all discards d2 (expected) and d3 (corrupted).
+	for _, c := range []*ctx.Context{
+		loc("d1", 1, 0, false),
+		loc("d2", 2, 1, false),
+		loc("d3", 3, 9, true),
+	} {
+		if _, err := m.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if col.Discarded() != 2 {
+		t.Fatalf("discarded = %d", col.Discarded())
+	}
+	if !almost(col.SurvivalRate(), 0.5) { // 1 of 2 expected lost
+		t.Fatalf("SurvivalRate = %v", col.SurvivalRate())
+	}
+	if !almost(col.RemovalPrecision(), 0.5) { // 1 of 2 discards was corrupted
+		t.Fatalf("RemovalPrecision = %v", col.RemovalPrecision())
+	}
+}
+
+func TestVacuousRates(t *testing.T) {
+	col := NewCollector()
+	if col.SurvivalRate() != 1 || col.RemovalPrecision() != 1 || col.RemovalRecall() != 1 {
+		t.Fatal("vacuous rates not 1")
+	}
+}
+
+func TestSnapshotAndNormalize(t *testing.T) {
+	run := Rates{UsedContexts: 85, UsedExpected: 80, Activations: 9}
+	baseline := Rates{UsedContexts: 100, UsedExpected: 100, Activations: 12}
+	n := Normalize(run, baseline)
+	if !almost(n.CtxUseRate, 0.8) {
+		t.Fatalf("CtxUseRate = %v", n.CtxUseRate)
+	}
+	if !almost(n.SitActRate, 0.75) {
+		t.Fatalf("SitActRate = %v", n.SitActRate)
+	}
+	// Degenerate baseline with no activations: 0/0 → 1.
+	n2 := Normalize(Rates{}, Rates{})
+	if n2.CtxUseRate != 1 || n2.SitActRate != 1 {
+		t.Fatalf("degenerate normalize = %+v", n2)
+	}
+}
+
+func TestSnapshotFields(t *testing.T) {
+	col := NewCollector()
+	col.onAccept(loc("a", 1, 0, false))
+	col.onDeliver(loc("a", 1, 0, false))
+	col.onDiscard(loc("b", 2, 9, true), middleware.ReasonOnAddition)
+	r := col.Snapshot(3)
+	if r.UsedContexts != 1 || r.Activations != 3 || r.DiscardedContexts != 1 {
+		t.Fatalf("Snapshot = %+v", r)
+	}
+	if !almost(r.RemovalPrecision, 1) {
+		t.Fatalf("RemovalPrecision = %v", r.RemovalPrecision)
+	}
+}

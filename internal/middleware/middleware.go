@@ -1,0 +1,326 @@
+// Package middleware implements the Cabot-style context-management
+// middleware the paper's experiments run on: distributed context sources
+// submit contexts; a consistency checker detects inconsistencies against
+// registered constraints; a pluggable resolution strategy decides which
+// contexts to discard; applications use contexts and evaluate situations
+// over what was delivered.
+//
+// The engine is synchronous and deterministic: time is the logical time
+// carried by context timestamps, and all randomness lives in the sources
+// and strategies. Package bus layers asynchronous ingestion on top for the
+// daemon and long-running examples.
+package middleware
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/pool"
+	"ctxres/internal/situation"
+	"ctxres/internal/strategy"
+)
+
+// Use errors.
+var (
+	ErrNotFound     = errors.New("context not found")
+	ErrDiscarded    = errors.New("context was discarded")
+	ErrExpired      = errors.New("context has expired")
+	ErrInconsistent = errors.New("context judged inconsistent on use")
+)
+
+// DiscardReason explains why the middleware dropped a context.
+type DiscardReason int
+
+// Discard reasons.
+const (
+	ReasonOnAddition DiscardReason = iota + 1 // strategy discarded at addition time
+	ReasonOnUse                               // strategy refused delivery at use time
+)
+
+// String names the reason.
+func (r DiscardReason) String() string {
+	switch r {
+	case ReasonOnAddition:
+		return "on-addition"
+	case ReasonOnUse:
+		return "on-use"
+	default:
+		return "invalid"
+	}
+}
+
+// Hooks receive life-cycle notifications; any field may be nil. Hooks run
+// under the middleware lock: they must be fast and must not call back into
+// the middleware.
+type Hooks struct {
+	// OnAccept fires when a submitted context is admitted (either directly
+	// consistent or buffered for checking).
+	OnAccept func(c *ctx.Context)
+	// OnDetect fires for each inconsistency a submission introduces.
+	OnDetect func(v constraint.Violation)
+	// OnDiscard fires when a context is discarded.
+	OnDiscard func(c *ctx.Context, reason DiscardReason)
+	// OnDeliver fires when a context is successfully used.
+	OnDeliver func(c *ctx.Context)
+	// OnExpire fires when a buffered context expires before use.
+	OnExpire func(c *ctx.Context)
+}
+
+// Stats is a snapshot of middleware counters.
+type Stats struct {
+	Submitted  int `json:"submitted"`
+	Detected   int `json:"detected"` // inconsistencies reported by the checker
+	Discarded  int `json:"discarded"`
+	Delivered  int `json:"delivered"` // successful uses
+	Rejected   int `json:"rejected"`  // uses refused as inconsistent
+	Expired    int `json:"expired"`
+	Situations int `json:"situations"` // activation events
+}
+
+// Middleware is the context-management engine. All public methods are safe
+// for concurrent use; internally they serialize on one mutex, matching the
+// paper's single resolution service.
+type Middleware struct {
+	mu         sync.Mutex
+	checker    *constraint.Checker
+	strat      strategy.Strategy
+	pool       *pool.Pool
+	situations *situation.Engine
+	hooks      Hooks
+	clock      time.Time
+	stats      Stats
+}
+
+// Option configures the middleware.
+type Option func(*Middleware)
+
+// WithHooks installs life-cycle hooks.
+func WithHooks(h Hooks) Option {
+	return func(m *Middleware) { m.hooks = h }
+}
+
+// WithSituations installs a situation engine evaluated over the delivered
+// view after every successful use.
+func WithSituations(e *situation.Engine) Option {
+	return func(m *Middleware) { m.situations = e }
+}
+
+// New builds a middleware around a checker and a resolution strategy.
+func New(checker *constraint.Checker, strat strategy.Strategy, opts ...Option) *Middleware {
+	m := &Middleware{
+		checker: checker,
+		strat:   strat,
+		pool:    pool.New(),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// Pool exposes the context repository (read-mostly access for apps/tests).
+func (m *Middleware) Pool() *pool.Pool { return m.pool }
+
+// Strategy returns the installed resolution strategy.
+func (m *Middleware) Strategy() strategy.Strategy { return m.strat }
+
+// Now returns the middleware's logical clock: the latest context timestamp
+// seen so far.
+func (m *Middleware) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock
+}
+
+// Submit processes a context addition change: the context is validated,
+// expiry is swept, and — if any constraint is relevant to its kind — it is
+// checked and the strategy consulted. It returns the inconsistencies the
+// submission introduced.
+func (m *Middleware) Submit(c *ctx.Context) ([]constraint.Violation, error) {
+	if c == nil {
+		return nil, errors.New("submit: nil context")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("submit: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if c.Timestamp.After(m.clock) {
+		m.clock = c.Timestamp
+	}
+	m.sweepLocked()
+
+	m.stats.Submitted++
+
+	if !m.checker.Relevant(c.Kind) {
+		// Part 1 fast path: irrelevant to every constraint — directly
+		// consistent and immediately available.
+		if err := c.SetState(ctx.Consistent); err != nil {
+			return nil, fmt.Errorf("submit %s: %w", c.ID, err)
+		}
+		if err := m.pool.Add(c); err != nil {
+			return nil, fmt.Errorf("submit: %w", err)
+		}
+		if m.hooks.OnAccept != nil {
+			m.hooks.OnAccept(c)
+		}
+		return nil, nil
+	}
+
+	if err := m.pool.Add(c); err != nil {
+		return nil, fmt.Errorf("submit: %w", err)
+	}
+	if m.hooks.OnAccept != nil {
+		m.hooks.OnAccept(c)
+	}
+	vios := m.checker.CheckAddition(m.pool.CheckingUniverse(), c)
+	m.stats.Detected += len(vios)
+	if m.hooks.OnDetect != nil {
+		for _, v := range vios {
+			m.hooks.OnDetect(v)
+		}
+	}
+	out := m.strat.OnAddition(c, vios)
+	m.applyLocked(out, ReasonOnAddition)
+	return vios, nil
+}
+
+// Use processes a context deletion change: the application asks to consume
+// the identified context. On success the context is returned and counted
+// as used; situations are re-evaluated over the delivered view.
+func (m *Middleware) Use(id ctx.ID) (*ctx.Context, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.useLocked(id)
+}
+
+// UseLatest finds the newest available context of the given kind and
+// subject (empty subject matches any) and uses it. It returns ErrNotFound
+// when nothing matches.
+func (m *Middleware) UseLatest(kind ctx.Kind, subject string) (*ctx.Context, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	for _, c := range m.pool.AvailableByKind(kind) { // newest first
+		if subject != "" && c.Subject != subject {
+			continue
+		}
+		return m.useLocked(c.ID)
+	}
+	return nil, fmt.Errorf("use latest %s/%s: %w", kind, subject, ErrNotFound)
+}
+
+func (m *Middleware) useLocked(id ctx.ID) (*ctx.Context, error) {
+	m.sweepLocked()
+	c, ok := m.pool.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("use %s: %w", id, ErrNotFound)
+	}
+	if m.pool.Discarded(id) {
+		return nil, fmt.Errorf("use %s: %w", id, ErrDiscarded)
+	}
+	if c.Expired(m.clock) {
+		return nil, fmt.Errorf("use %s: %w", id, ErrExpired)
+	}
+	if m.pool.Used(id) {
+		// Already consumed once: re-reads are free and do not re-enter the
+		// resolution process.
+		return c, nil
+	}
+
+	usable, out := m.strat.OnUse(c)
+	m.applyLocked(out, ReasonOnUse)
+	if !usable {
+		m.stats.Rejected++
+		return nil, fmt.Errorf("use %s: %w", id, ErrInconsistent)
+	}
+	if !c.State().Terminal() {
+		if err := c.SetState(ctx.Consistent); err != nil {
+			return nil, fmt.Errorf("use %s: %w", id, err)
+		}
+	}
+	if err := m.pool.MarkUsed(id); err != nil {
+		return nil, fmt.Errorf("use: %w", err)
+	}
+	m.stats.Delivered++
+	if m.hooks.OnDeliver != nil {
+		m.hooks.OnDeliver(c)
+	}
+	m.evaluateSituationsLocked()
+	return c, nil
+}
+
+// EvaluateSituations forces a situation evaluation over the delivered view
+// (normally done automatically after each delivery) and returns the
+// transitions.
+func (m *Middleware) EvaluateSituations() []situation.Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evaluateSituationsLocked()
+}
+
+func (m *Middleware) evaluateSituationsLocked() []situation.Event {
+	if m.situations == nil {
+		return nil
+	}
+	u := constraint.NewSliceUniverse(m.pool.Delivered())
+	events := m.situations.Evaluate(u, m.clock)
+	for _, ev := range events {
+		if ev.Type == situation.Activated {
+			m.stats.Situations++
+		}
+	}
+	return events
+}
+
+// AdvanceTo moves the logical clock forward (e.g. to expire contexts at
+// the end of a run) and sweeps expiry. Moving backwards is a no-op.
+func (m *Middleware) AdvanceTo(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now.After(m.clock) {
+		m.clock = now
+	}
+	m.sweepLocked()
+}
+
+func (m *Middleware) sweepLocked() {
+	for _, c := range m.pool.SweepExpired(m.clock) {
+		m.stats.Expired++
+		m.strat.OnExpire(c)
+		if m.hooks.OnExpire != nil {
+			m.hooks.OnExpire(c)
+		}
+	}
+}
+
+func (m *Middleware) applyLocked(out strategy.Outcome, reason DiscardReason) {
+	for _, d := range out.Discard {
+		if m.pool.Discarded(d.ID) {
+			continue
+		}
+		if err := m.pool.Discard(d.ID); err != nil {
+			continue // context unknown to the pool (strategy-internal)
+		}
+		if !d.State().Terminal() {
+			// Undecided or bad → inconsistent; both transitions are legal.
+			_ = d.SetState(ctx.Inconsistent)
+		}
+		m.stats.Discarded++
+		if m.hooks.OnDiscard != nil {
+			m.hooks.OnDiscard(d, reason)
+		}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Middleware) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,283 @@
+// Package pool stores the middleware's contexts and realizes the life-cycle
+// views the paper's resolution model needs:
+//
+//   - the checking buffer: contexts that are alive (neither discarded nor
+//     expired) and not yet used — the universe consistency constraints
+//     quantify over;
+//   - the available view: contexts applications may read — delivered (used)
+//     or decided-consistent contexts that have not expired. Per Section 3.2,
+//     a context deletion change only removes a context from checking; the
+//     context remains available until its own available period passes.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+)
+
+// Errors returned by pool operations.
+var (
+	ErrNotFound  = errors.New("context not found")
+	ErrDuplicate = errors.New("context already in pool")
+)
+
+type entry struct {
+	c         *ctx.Context
+	used      bool
+	discarded bool
+	expired   bool
+}
+
+func (e *entry) inChecking() bool { return !e.used && !e.discarded && !e.expired }
+func (e *entry) available() bool  { return !e.discarded && !e.expired }
+
+// Pool is a concurrency-safe context repository.
+type Pool struct {
+	mu      sync.RWMutex
+	entries map[ctx.ID]*entry
+	order   []ctx.ID // insertion order for deterministic iteration
+
+	// counters
+	added     int
+	discarded int
+	expired   int
+	used      int
+}
+
+// New returns an empty pool.
+func New() *Pool {
+	return &Pool{entries: make(map[ctx.ID]*entry)}
+}
+
+// Add inserts a context. Duplicate IDs are rejected.
+func (p *Pool) Add(c *ctx.Context) error {
+	if c == nil {
+		return errors.New("add: nil context")
+	}
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("add %s: %w", c.ID, err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.entries[c.ID]; dup {
+		return fmt.Errorf("add %s: %w", c.ID, ErrDuplicate)
+	}
+	p.entries[c.ID] = &entry{c: c}
+	p.order = append(p.order, c.ID)
+	p.added++
+	return nil
+}
+
+// Get returns the context regardless of its life-cycle flags.
+func (p *Pool) Get(id ctx.ID) (*ctx.Context, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	e, ok := p.entries[id]
+	if !ok {
+		return nil, false
+	}
+	return e.c, true
+}
+
+// MarkUsed records a context deletion change: the context leaves the
+// checking buffer but stays available until expiry.
+func (p *Pool) MarkUsed(id ctx.ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[id]
+	if !ok {
+		return fmt.Errorf("mark used %s: %w", id, ErrNotFound)
+	}
+	if !e.used {
+		e.used = true
+		p.used++
+	}
+	return nil
+}
+
+// Discard removes the context from both checking and availability.
+func (p *Pool) Discard(id ctx.ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[id]
+	if !ok {
+		return fmt.Errorf("discard %s: %w", id, ErrNotFound)
+	}
+	if !e.discarded {
+		e.discarded = true
+		p.discarded++
+	}
+	return nil
+}
+
+// Discarded reports whether the context has been discarded.
+func (p *Pool) Discarded(id ctx.ID) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	e, ok := p.entries[id]
+	return ok && e.discarded
+}
+
+// Used reports whether the context has been used.
+func (p *Pool) Used(id ctx.ID) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	e, ok := p.entries[id]
+	return ok && e.used
+}
+
+// SweepExpired marks every entry whose available period has passed at now
+// and returns those that expired while still in the checking buffer
+// (unused and undiscarded), so the resolution strategy can release their
+// tracked state.
+func (p *Pool) SweepExpired(now time.Time) []*ctx.Context {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var fromChecking []*ctx.Context
+	for _, id := range p.order {
+		e := p.entries[id]
+		if e.expired || !e.c.Expired(now) {
+			continue
+		}
+		if e.inChecking() {
+			fromChecking = append(fromChecking, e.c)
+		}
+		e.expired = true
+		p.expired++
+	}
+	return fromChecking
+}
+
+// Checking returns the checking buffer in insertion order.
+func (p *Pool) Checking() []*ctx.Context {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []*ctx.Context
+	for _, id := range p.order {
+		if e := p.entries[id]; e.inChecking() {
+			out = append(out, e.c)
+		}
+	}
+	return out
+}
+
+// CheckingUniverse returns the checking buffer as a constraint universe.
+func (p *Pool) CheckingUniverse() *constraint.SliceUniverse {
+	return constraint.NewSliceUniverse(p.Checking())
+}
+
+// Available returns the contexts applications may read, in insertion order.
+func (p *Pool) Available() []*ctx.Context {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []*ctx.Context
+	for _, id := range p.order {
+		if e := p.entries[id]; e.available() {
+			out = append(out, e.c)
+		}
+	}
+	return out
+}
+
+// Delivered returns the contexts applications have actually consumed (used
+// and still available) in insertion order — the view situations are
+// evaluated over.
+func (p *Pool) Delivered() []*ctx.Context {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []*ctx.Context
+	for _, id := range p.order {
+		if e := p.entries[id]; e.used && e.available() {
+			out = append(out, e.c)
+		}
+	}
+	return out
+}
+
+// AvailableBySubject filters the available view by subject, newest first.
+func (p *Pool) AvailableBySubject(subject string) []*ctx.Context {
+	out := filter(p.Available(), func(c *ctx.Context) bool { return c.Subject == subject })
+	sort.Sort(sort.Reverse(ctx.ByTimestamp(out)))
+	return out
+}
+
+// AvailableByKind filters the available view by kind, newest first.
+func (p *Pool) AvailableByKind(kind ctx.Kind) []*ctx.Context {
+	out := filter(p.Available(), func(c *ctx.Context) bool { return c.Kind == kind })
+	sort.Sort(sort.Reverse(ctx.ByTimestamp(out)))
+	return out
+}
+
+// Stats is a snapshot of pool counters.
+type Stats struct {
+	Added     int `json:"added"`
+	Discarded int `json:"discarded"`
+	Expired   int `json:"expired"`
+	Used      int `json:"used"`
+	Checking  int `json:"checking"`
+	Available int `json:"available"`
+}
+
+// Stats returns current counters.
+func (p *Pool) Stats() Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	s := Stats{
+		Added:     p.added,
+		Discarded: p.discarded,
+		Expired:   p.expired,
+		Used:      p.used,
+	}
+	for _, e := range p.entries {
+		if e.inChecking() {
+			s.Checking++
+		}
+		if e.available() {
+			s.Available++
+		}
+	}
+	return s
+}
+
+// Len returns the total number of stored contexts (any state).
+func (p *Pool) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.entries)
+}
+
+// Compact drops discarded and expired entries to bound memory in long
+// runs. It returns the number of entries removed.
+func (p *Pool) Compact() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keep := p.order[:0]
+	removed := 0
+	for _, id := range p.order {
+		e := p.entries[id]
+		if e.discarded || e.expired {
+			delete(p.entries, id)
+			removed++
+			continue
+		}
+		keep = append(keep, id)
+	}
+	p.order = keep
+	return removed
+}
+
+func filter(in []*ctx.Context, keep func(*ctx.Context) bool) []*ctx.Context {
+	var out []*ctx.Context
+	for _, c := range in {
+		if keep(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package pool
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ctxres/internal/ctx"
+)
+
+var t0 = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+
+func mk(id string, opts ...ctx.Option) *ctx.Context {
+	opts = append([]ctx.Option{ctx.WithID(ctx.ID(id))}, opts...)
+	return ctx.NewLocation("peter", t0, ctx.Point{}, opts...)
+}
+
+func TestAddAndGet(t *testing.T) {
+	p := New()
+	c := mk("a")
+	if err := p.Add(c); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := p.Get("a")
+	if !ok || got.ID != "a" {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if _, ok := p.Get("missing"); ok {
+		t.Fatal("missing found")
+	}
+}
+
+func TestAddRejectsNilInvalidDuplicate(t *testing.T) {
+	p := New()
+	if err := p.Add(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	bad := mk("b")
+	bad.Kind = ""
+	if err := p.Add(bad); !errors.Is(err, ctx.ErrNoKind) {
+		t.Fatalf("invalid accepted: %v", err)
+	}
+	c := mk("a")
+	if err := p.Add(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(mk("a")); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate accepted: %v", err)
+	}
+}
+
+func TestCheckingAndAvailableViews(t *testing.T) {
+	p := New()
+	a, b, c := mk("a"), mk("b"), mk("c")
+	for _, x := range []*ctx.Context{a, b, c} {
+		if err := p.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(p.Checking()); got != 3 {
+		t.Fatalf("Checking = %d", got)
+	}
+	if err := p.MarkUsed("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Discard("b"); err != nil {
+		t.Fatal(err)
+	}
+	checking := p.Checking()
+	if len(checking) != 1 || checking[0].ID != "c" {
+		t.Fatalf("Checking = %v", checking)
+	}
+	avail := p.Available()
+	if len(avail) != 2 { // a (used) and c (undecided) remain available
+		t.Fatalf("Available = %v", avail)
+	}
+	if p.Discarded("a") || !p.Discarded("b") {
+		t.Fatal("Discarded flags wrong")
+	}
+	if !p.Used("a") || p.Used("c") {
+		t.Fatal("Used flags wrong")
+	}
+}
+
+func TestMarkUsedAndDiscardErrors(t *testing.T) {
+	p := New()
+	if err := p.MarkUsed("x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := p.Discard("x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIdempotentMarkUsedDiscard(t *testing.T) {
+	p := New()
+	if err := p.Add(mk("a")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.MarkUsed("a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Discard("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Stats()
+	if s.Used != 1 || s.Discarded != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestSweepExpired(t *testing.T) {
+	p := New()
+	shortLived := mk("s", ctx.WithTTL(5*time.Second))
+	eternal := mk("e")
+	usedShort := mk("u", ctx.WithTTL(5*time.Second))
+	for _, c := range []*ctx.Context{shortLived, eternal, usedShort} {
+		if err := p.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.MarkUsed("u"); err != nil {
+		t.Fatal(err)
+	}
+	fromChecking := p.SweepExpired(t0.Add(10 * time.Second))
+	if len(fromChecking) != 1 || fromChecking[0].ID != "s" {
+		t.Fatalf("fromChecking = %v, want only s (u expired outside checking)", fromChecking)
+	}
+	if got := p.Stats().Expired; got != 2 {
+		t.Fatalf("Expired = %d, want 2", got)
+	}
+	// Second sweep is a no-op.
+	if again := p.SweepExpired(t0.Add(20 * time.Second)); len(again) != 0 {
+		t.Fatalf("second sweep = %v", again)
+	}
+	avail := p.Available()
+	if len(avail) != 1 || avail[0].ID != "e" {
+		t.Fatalf("Available = %v", avail)
+	}
+}
+
+func TestCheckingUniverse(t *testing.T) {
+	p := New()
+	if err := p.Add(mk("a")); err != nil {
+		t.Fatal(err)
+	}
+	u := p.CheckingUniverse()
+	if got := len(u.ContextsOfKind(ctx.KindLocation)); got != 1 {
+		t.Fatalf("universe size = %d", got)
+	}
+}
+
+func TestAvailableBySubjectNewestFirst(t *testing.T) {
+	p := New()
+	older := ctx.NewLocation("peter", t0, ctx.Point{}, ctx.WithID("old"))
+	newer := ctx.NewLocation("peter", t0.Add(time.Minute), ctx.Point{}, ctx.WithID("new"))
+	alice := ctx.NewLocation("alice", t0, ctx.Point{}, ctx.WithID("alice1"))
+	for _, c := range []*ctx.Context{older, newer, alice} {
+		if err := p.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.AvailableBySubject("peter")
+	if len(got) != 2 || got[0].ID != "new" || got[1].ID != "old" {
+		t.Fatalf("AvailableBySubject = %v", got)
+	}
+}
+
+func TestAvailableByKind(t *testing.T) {
+	p := New()
+	locCtx := mk("l")
+	rfid := ctx.New(ctx.KindRFIDRead, t0, nil, ctx.WithID("r"))
+	if err := p.Add(locCtx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(rfid); err != nil {
+		t.Fatal(err)
+	}
+	got := p.AvailableByKind(ctx.KindRFIDRead)
+	if len(got) != 1 || got[0].ID != "r" {
+		t.Fatalf("AvailableByKind = %v", got)
+	}
+}
+
+func TestStatsAndLen(t *testing.T) {
+	p := New()
+	for _, id := range []string{"a", "b", "c"} {
+		if err := p.Add(mk(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Discard("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MarkUsed("b"); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Added != 3 || s.Discarded != 1 || s.Used != 1 || s.Checking != 1 || s.Available != 2 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestCompact(t *testing.T) {
+	p := New()
+	short := mk("s", ctx.WithTTL(time.Second))
+	for _, c := range []*ctx.Context{mk("a"), mk("b"), short} {
+		if err := p.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Discard("a"); err != nil {
+		t.Fatal(err)
+	}
+	p.SweepExpired(t0.Add(time.Hour))
+	if removed := p.Compact(); removed != 2 {
+		t.Fatalf("Compact = %d, want 2", removed)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d after compact", p.Len())
+	}
+	if _, ok := p.Get("b"); !ok {
+		t.Fatal("survivor b lost")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := ctx.NextID("conc")
+				c := ctx.NewLocation("p", t0.Add(time.Duration(i)*time.Millisecond),
+					ctx.Point{}, ctx.WithID(id))
+				if err := p.Add(c); err != nil {
+					t.Errorf("Add: %v", err)
+					return
+				}
+				if g%2 == 0 {
+					_ = p.MarkUsed(id)
+				} else {
+					_ = p.Discard(id)
+				}
+				p.Available()
+				p.Checking()
+				p.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.Len() != 800 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}

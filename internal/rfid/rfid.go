@@ -1,0 +1,220 @@
+// Package rfid simulates RFID deployments and the data anomalies that
+// motivate the paper's second application: readers with limited range
+// observe tags and produce read events that suffer missed reads (false
+// negatives), cross reads (a tag heard by a neighbouring zone's reader) and
+// ghost reads (spurious detections of absent tags) — the anomaly classes of
+// Jeffery et al. and Rao et al. (VLDB 2006), which the paper cites for its
+// real-life RFID error rates.
+package rfid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"ctxres/internal/ctx"
+)
+
+// Field names carried by rfid.read contexts.
+const (
+	FieldTag    = "tag"
+	FieldReader = "reader"
+	FieldZone   = "zone"
+)
+
+// Tag is a tagged object (or badge) at a position.
+type Tag struct {
+	ID  string
+	Pos ctx.Point
+}
+
+// Reader is a fixed RFID reader covering a circular range around its
+// position, labelled with the zone it monitors.
+type Reader struct {
+	ID    string
+	Zone  string
+	Pos   ctx.Point
+	Range float64
+}
+
+// Covers reports whether the reader's range includes p.
+func (r Reader) Covers(p ctx.Point) bool { return r.Pos.Dist(p) <= r.Range }
+
+// AnomalyRates configures the error behaviour of a read cycle.
+type AnomalyRates struct {
+	// Miss is the per-(reader,tag) probability that a covered tag is not
+	// read (false negative).
+	Miss float64
+	// Ghost is the per-reader probability of one spurious read of a
+	// random tag that the reader does not cover.
+	Ghost float64
+}
+
+// Deployment is a set of readers and tags.
+type Deployment struct {
+	readers []Reader
+	tags    map[string]*Tag
+	order   []string // tag insertion order for determinism
+}
+
+// Deployment errors.
+var (
+	ErrNoReader   = errors.New("deployment needs at least one reader")
+	ErrUnknownTag = errors.New("unknown tag")
+	ErrDupTag     = errors.New("tag already deployed")
+)
+
+// NewDeployment builds a deployment with the given readers.
+func NewDeployment(readers []Reader) (*Deployment, error) {
+	if len(readers) == 0 {
+		return nil, ErrNoReader
+	}
+	return &Deployment{
+		readers: append([]Reader(nil), readers...),
+		tags:    make(map[string]*Tag),
+	}, nil
+}
+
+// ShelfDeployment builds the canonical test deployment: n readers in a row
+// with the given pitch, each covering a circle of the given radius, with
+// zones named zone-1…zone-n.
+func ShelfDeployment(n int, pitch, radius float64) (*Deployment, error) {
+	if n <= 0 {
+		return nil, ErrNoReader
+	}
+	readers := make([]Reader, n)
+	for i := range readers {
+		readers[i] = Reader{
+			ID:    fmt.Sprintf("reader-%d", i+1),
+			Zone:  fmt.Sprintf("zone-%d", i+1),
+			Pos:   ctx.Point{X: float64(i) * pitch, Y: 0},
+			Range: radius,
+		}
+	}
+	return NewDeployment(readers)
+}
+
+// Readers returns the deployed readers (copy).
+func (d *Deployment) Readers() []Reader { return append([]Reader(nil), d.readers...) }
+
+// AddTag places a new tag.
+func (d *Deployment) AddTag(id string, pos ctx.Point) error {
+	if _, dup := d.tags[id]; dup {
+		return fmt.Errorf("%w: %s", ErrDupTag, id)
+	}
+	d.tags[id] = &Tag{ID: id, Pos: pos}
+	d.order = append(d.order, id)
+	return nil
+}
+
+// MoveTag relocates an existing tag.
+func (d *Deployment) MoveTag(id string, pos ctx.Point) error {
+	tag, ok := d.tags[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTag, id)
+	}
+	tag.Pos = pos
+	return nil
+}
+
+// TagPos returns a tag's current position.
+func (d *Deployment) TagPos(id string) (ctx.Point, bool) {
+	tag, ok := d.tags[id]
+	if !ok {
+		return ctx.Point{}, false
+	}
+	return tag.Pos, true
+}
+
+// TrueZone returns the zone of the nearest reader covering the tag, or ""
+// if no reader covers it — the ground truth a read event should report.
+func (d *Deployment) TrueZone(id string) string {
+	tag, ok := d.tags[id]
+	if !ok {
+		return ""
+	}
+	best := ""
+	bestDist := math.Inf(1)
+	for _, r := range d.readers {
+		if dist := r.Pos.Dist(tag.Pos); dist <= r.Range && dist < bestDist {
+			best = r.Zone
+			bestDist = dist
+		}
+	}
+	return best
+}
+
+// ReadCycle simulates one inventory round at the given logical time: every
+// reader attempts to read every tag it covers (subject to the miss rate)
+// and may produce ghost reads (subject to the ghost rate). Each read event
+// becomes an rfid.read context whose Truth records whether the event is
+// anomalous (ghost reads are corrupted; clean reads are expected).
+func (d *Deployment) ReadCycle(at time.Time, rates AnomalyRates, rng *rand.Rand, opts ...ctx.Option) []*ctx.Context {
+	var out []*ctx.Context
+	for _, r := range d.readers {
+		for _, id := range d.order {
+			tag := d.tags[id]
+			if !r.Covers(tag.Pos) {
+				continue
+			}
+			if rng.Float64() < rates.Miss {
+				continue // missed read
+			}
+			out = append(out, d.readContext(r, tag.ID, at, false, opts...))
+		}
+		if rates.Ghost > 0 && rng.Float64() < rates.Ghost {
+			if ghost := d.randomUncoveredTag(r, rng); ghost != "" {
+				out = append(out, d.readContext(r, ghost, at, true, opts...))
+			}
+		}
+	}
+	return out
+}
+
+func (d *Deployment) readContext(r Reader, tagID string, at time.Time, ghost bool, opts ...ctx.Option) *ctx.Context {
+	fields := map[string]ctx.Value{
+		FieldTag:    ctx.String(tagID),
+		FieldReader: ctx.String(r.ID),
+		FieldZone:   ctx.String(r.Zone),
+	}
+	opts = append([]ctx.Option{
+		ctx.WithSubject(tagID),
+		ctx.WithSource(r.ID),
+	}, opts...)
+	c := ctx.New(ctx.KindRFIDRead, at, fields, opts...)
+	if ghost {
+		c.Truth.Corrupted = true
+	}
+	return c
+}
+
+func (d *Deployment) randomUncoveredTag(r Reader, rng *rand.Rand) string {
+	var candidates []string
+	for _, id := range d.order {
+		if !r.Covers(d.tags[id].Pos) {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return ""
+	}
+	return candidates[rng.Intn(len(candidates))]
+}
+
+// ReadZone extracts the zone a read context reports.
+func ReadZone(c *ctx.Context) (string, bool) {
+	if c == nil || c.Kind != ctx.KindRFIDRead {
+		return "", false
+	}
+	return c.StrField(FieldZone)
+}
+
+// ReadTag extracts the tag a read context reports.
+func ReadTag(c *ctx.Context) (string, bool) {
+	if c == nil || c.Kind != ctx.KindRFIDRead {
+		return "", false
+	}
+	return c.StrField(FieldTag)
+}

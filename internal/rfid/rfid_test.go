@@ -1,0 +1,200 @@
+package rfid
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ctxres/internal/ctx"
+)
+
+var t0 = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+
+func shelf(t *testing.T) *Deployment {
+	t.Helper()
+	d, err := ShelfDeployment(3, 10, 4) // zones at x=0,10,20; radius 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestShelfDeploymentLayout(t *testing.T) {
+	d := shelf(t)
+	rs := d.Readers()
+	if len(rs) != 3 {
+		t.Fatalf("readers = %d", len(rs))
+	}
+	if rs[0].Zone != "zone-1" || rs[2].Pos.X != 20 {
+		t.Fatalf("layout wrong: %+v", rs)
+	}
+	if _, err := ShelfDeployment(0, 1, 1); !errors.Is(err, ErrNoReader) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewDeployment(nil); !errors.Is(err, ErrNoReader) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTagManagement(t *testing.T) {
+	d := shelf(t)
+	if err := d.AddTag("T1", ctx.Point{X: 0, Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddTag("T1", ctx.Point{}); !errors.Is(err, ErrDupTag) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := d.MoveTag("T1", ctx.Point{X: 10, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MoveTag("ghost", ctx.Point{}); !errors.Is(err, ErrUnknownTag) {
+		t.Fatalf("err = %v", err)
+	}
+	pos, ok := d.TagPos("T1")
+	if !ok || pos != (ctx.Point{X: 10, Y: 0}) {
+		t.Fatalf("TagPos = %v, %v", pos, ok)
+	}
+	if _, ok := d.TagPos("ghost"); ok {
+		t.Fatal("ghost tag found")
+	}
+}
+
+func TestTrueZone(t *testing.T) {
+	d := shelf(t)
+	if err := d.AddTag("T1", ctx.Point{X: 1, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if z := d.TrueZone("T1"); z != "zone-1" {
+		t.Fatalf("TrueZone = %q", z)
+	}
+	if err := d.AddTag("far", ctx.Point{X: 100, Y: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if z := d.TrueZone("far"); z != "" {
+		t.Fatalf("TrueZone(far) = %q", z)
+	}
+	if z := d.TrueZone("ghost"); z != "" {
+		t.Fatalf("TrueZone(ghost) = %q", z)
+	}
+	// A tag between zones belongs to the nearest covering reader.
+	if err := d.AddTag("mid", ctx.Point{X: 7, Y: 0}); err != nil {
+		t.Fatal(err) // covers: zone-1 at dist 7 > 4 no; zone-2 at dist 3 yes
+	}
+	if z := d.TrueZone("mid"); z != "zone-2" {
+		t.Fatalf("TrueZone(mid) = %q", z)
+	}
+}
+
+func TestReadCycleCleanReads(t *testing.T) {
+	d := shelf(t)
+	if err := d.AddTag("T1", ctx.Point{X: 0, Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddTag("T2", ctx.Point{X: 10, Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	reads := d.ReadCycle(t0, AnomalyRates{}, rand.New(rand.NewSource(1)))
+	if len(reads) != 2 {
+		t.Fatalf("reads = %d", len(reads))
+	}
+	for _, r := range reads {
+		if r.Truth.Corrupted {
+			t.Fatalf("clean read marked corrupted: %v", r)
+		}
+		if r.Kind != ctx.KindRFIDRead {
+			t.Fatalf("kind = %v", r.Kind)
+		}
+		zone, ok := ReadZone(r)
+		if !ok {
+			t.Fatal("no zone")
+		}
+		tag, _ := ReadTag(r)
+		if want := d.TrueZone(tag); zone != want {
+			t.Fatalf("zone = %q, want %q", zone, want)
+		}
+	}
+}
+
+func TestReadCycleMissRate(t *testing.T) {
+	d := shelf(t)
+	if err := d.AddTag("T1", ctx.Point{X: 0, Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	total := 0
+	for i := 0; i < 1000; i++ {
+		total += len(d.ReadCycle(t0, AnomalyRates{Miss: 0.3}, rng))
+	}
+	// Expect ≈700 reads out of 1000 cycles.
+	if total < 600 || total > 800 {
+		t.Fatalf("reads = %d, want ≈700", total)
+	}
+	// Miss=1 silences everything.
+	if got := d.ReadCycle(t0, AnomalyRates{Miss: 1}, rng); len(got) != 0 {
+		t.Fatalf("reads = %v with Miss=1", got)
+	}
+}
+
+func TestReadCycleGhostReads(t *testing.T) {
+	d := shelf(t)
+	if err := d.AddTag("T1", ctx.Point{X: 0, Y: 1}); err != nil { // zone-1 only
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	ghosts := 0
+	for i := 0; i < 500; i++ {
+		for _, r := range d.ReadCycle(t0, AnomalyRates{Ghost: 0.5}, rng) {
+			if r.Truth.Corrupted {
+				ghosts++
+				zone, _ := ReadZone(r)
+				if zone == "zone-1" {
+					t.Fatal("ghost read from the covering reader")
+				}
+			}
+		}
+	}
+	// Two non-covering readers × 500 cycles × 0.5 ≈ 500 ghosts.
+	if ghosts < 350 || ghosts > 650 {
+		t.Fatalf("ghosts = %d, want ≈500", ghosts)
+	}
+}
+
+func TestReadCycleGhostNoCandidates(t *testing.T) {
+	// Single reader covering the only tag: no ghost candidates exist.
+	d, err := ShelfDeployment(1, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddTag("T1", ctx.Point{X: 0, Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		for _, r := range d.ReadCycle(t0, AnomalyRates{Ghost: 1}, rng) {
+			if r.Truth.Corrupted {
+				t.Fatal("ghost read without candidates")
+			}
+		}
+	}
+}
+
+func TestReadHelpersRejectWrongKind(t *testing.T) {
+	locCtx := ctx.NewLocation("p", t0, ctx.Point{})
+	if _, ok := ReadZone(locCtx); ok {
+		t.Fatal("location accepted")
+	}
+	if _, ok := ReadTag(nil); ok {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestReaderCovers(t *testing.T) {
+	r := Reader{Pos: ctx.Point{X: 0, Y: 0}, Range: 5}
+	if !r.Covers(ctx.Point{X: 3, Y: 4}) {
+		t.Fatal("boundary rejected")
+	}
+	if r.Covers(ctx.Point{X: 4, Y: 4}) {
+		t.Fatal("outside accepted")
+	}
+}

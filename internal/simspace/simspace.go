@@ -1,0 +1,175 @@
+// Package simspace simulates the physical world the paper's applications
+// observe: a 2D floor plan with named rooms and people walking between
+// waypoints at steady speeds. It supplies the ground-truth traces that the
+// location-tracking substrate (package landmarc) estimates from and that
+// the error model corrupts at a controlled rate.
+package simspace
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ctxres/internal/ctx"
+)
+
+// Room is a named rectangular region of the floor plan.
+type Room struct {
+	Name string
+	Min  ctx.Point
+	Max  ctx.Point
+}
+
+// Contains reports whether p lies inside the room (inclusive).
+func (r Room) Contains(p ctx.Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Center returns the geometric center of the room.
+func (r Room) Center() ctx.Point {
+	return ctx.Point{X: (r.Min.X + r.Max.X) / 2, Y: (r.Min.Y + r.Max.Y) / 2}
+}
+
+// FloorPlan is the simulated building: an extent and a set of rooms.
+type FloorPlan struct {
+	Width  float64
+	Height float64
+	Rooms  []Room
+}
+
+// RoomAt returns the first room containing p, or ok=false in a corridor.
+func (f *FloorPlan) RoomAt(p ctx.Point) (Room, bool) {
+	for _, r := range f.Rooms {
+		if r.Contains(p) {
+			return r, true
+		}
+	}
+	return Room{}, false
+}
+
+// Room returns the named room, or ok=false.
+func (f *FloorPlan) Room(name string) (Room, bool) {
+	for _, r := range f.Rooms {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Room{}, false
+}
+
+// Contains reports whether p lies inside the floor plan extent.
+func (f *FloorPlan) Contains(p ctx.Point) bool {
+	return p.X >= 0 && p.X <= f.Width && p.Y >= 0 && p.Y <= f.Height
+}
+
+// OfficeFloor builds the floor plan used by the bundled experiments: a
+// 40 m × 20 m office floor with five rooms off a central corridor —
+// matching the Call Forwarding setting of Want et al.'s Active Badge.
+func OfficeFloor() *FloorPlan {
+	return &FloorPlan{
+		Width:  40,
+		Height: 20,
+		Rooms: []Room{
+			{Name: "office-a", Min: ctx.Point{X: 0, Y: 0}, Max: ctx.Point{X: 8, Y: 8}},
+			{Name: "office-b", Min: ctx.Point{X: 10, Y: 0}, Max: ctx.Point{X: 18, Y: 8}},
+			{Name: "meeting", Min: ctx.Point{X: 20, Y: 0}, Max: ctx.Point{X: 30, Y: 8}},
+			{Name: "lab", Min: ctx.Point{X: 32, Y: 0}, Max: ctx.Point{X: 40, Y: 8}},
+			{Name: "lounge", Min: ctx.Point{X: 0, Y: 12}, Max: ctx.Point{X: 12, Y: 20}},
+		},
+	}
+}
+
+// Sample is one ground-truth observation of a walker.
+type Sample struct {
+	At  time.Time
+	Pos ctx.Point
+}
+
+// Walker moves a subject along a cyclic waypoint path at constant speed.
+type Walker struct {
+	subject   string
+	waypoints []ctx.Point
+	speed     float64 // m/s
+
+	segLens []float64
+	total   float64
+}
+
+// Walker construction errors.
+var (
+	ErrFewWaypoints = errors.New("walker needs at least two waypoints")
+	ErrBadSpeed     = errors.New("walker speed must be positive")
+)
+
+// NewWalker builds a walker for subject cycling through the waypoints at
+// the given speed in metres per second.
+func NewWalker(subject string, speed float64, waypoints ...ctx.Point) (*Walker, error) {
+	if len(waypoints) < 2 {
+		return nil, fmt.Errorf("walker %q: %w", subject, ErrFewWaypoints)
+	}
+	if speed <= 0 {
+		return nil, fmt.Errorf("walker %q: %w", subject, ErrBadSpeed)
+	}
+	w := &Walker{subject: subject, waypoints: waypoints, speed: speed}
+	n := len(waypoints)
+	w.segLens = make([]float64, n)
+	for i := 0; i < n; i++ {
+		next := waypoints[(i+1)%n]
+		w.segLens[i] = waypoints[i].Dist(next)
+		w.total += w.segLens[i]
+	}
+	if w.total == 0 {
+		return nil, fmt.Errorf("walker %q: %w (all waypoints coincide)", subject, ErrFewWaypoints)
+	}
+	return w, nil
+}
+
+// MustWalker builds the walker or panics; for static scenario setup.
+func MustWalker(subject string, speed float64, waypoints ...ctx.Point) *Walker {
+	w, err := NewWalker(subject, speed, waypoints...)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Subject returns the walker's subject name.
+func (w *Walker) Subject() string { return w.subject }
+
+// Speed returns the walking speed in metres per second.
+func (w *Walker) Speed() float64 { return w.speed }
+
+// PositionAt returns the walker's ground-truth position after elapsed time
+// from the start of its cycle. Negative elapsed clamps to the start.
+func (w *Walker) PositionAt(elapsed time.Duration) ctx.Point {
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	dist := w.speed * elapsed.Seconds()
+	for dist >= w.total {
+		dist -= w.total
+	}
+	for i, l := range w.segLens {
+		if dist <= l {
+			if l == 0 {
+				continue
+			}
+			from := w.waypoints[i]
+			to := w.waypoints[(i+1)%len(w.waypoints)]
+			f := dist / l
+			return from.Add(to.Sub(from).Scale(f))
+		}
+		dist -= l
+	}
+	return w.waypoints[0]
+}
+
+// Trace samples the walker every step for n samples starting at start.
+func (w *Walker) Trace(start time.Time, step time.Duration, n int) []Sample {
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		at := start.Add(time.Duration(i) * step)
+		out = append(out, Sample{At: at, Pos: w.PositionAt(at.Sub(start))})
+	}
+	return out
+}

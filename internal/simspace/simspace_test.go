@@ -1,0 +1,155 @@
+package simspace
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ctxres/internal/ctx"
+)
+
+var t0 = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+
+func TestRoomContainsAndCenter(t *testing.T) {
+	r := Room{Name: "a", Min: ctx.Point{X: 0, Y: 0}, Max: ctx.Point{X: 4, Y: 2}}
+	if !r.Contains(ctx.Point{X: 2, Y: 1}) {
+		t.Fatal("interior rejected")
+	}
+	if !r.Contains(ctx.Point{X: 0, Y: 0}) || !r.Contains(ctx.Point{X: 4, Y: 2}) {
+		t.Fatal("boundary rejected")
+	}
+	if r.Contains(ctx.Point{X: 5, Y: 1}) {
+		t.Fatal("exterior accepted")
+	}
+	if c := r.Center(); c != (ctx.Point{X: 2, Y: 1}) {
+		t.Fatalf("Center = %v", c)
+	}
+}
+
+func TestOfficeFloorRooms(t *testing.T) {
+	f := OfficeFloor()
+	if len(f.Rooms) != 5 {
+		t.Fatalf("rooms = %d", len(f.Rooms))
+	}
+	r, ok := f.RoomAt(ctx.Point{X: 4, Y: 4})
+	if !ok || r.Name != "office-a" {
+		t.Fatalf("RoomAt = %v, %v", r, ok)
+	}
+	if _, ok := f.RoomAt(ctx.Point{X: 9, Y: 10}); ok {
+		t.Fatal("corridor reported as room")
+	}
+	lab, ok := f.Room("lab")
+	if !ok || lab.Name != "lab" {
+		t.Fatalf("Room(lab) = %v, %v", lab, ok)
+	}
+	if _, ok := f.Room("pool"); ok {
+		t.Fatal("unknown room found")
+	}
+	if !f.Contains(ctx.Point{X: 20, Y: 10}) || f.Contains(ctx.Point{X: -1, Y: 0}) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestNewWalkerValidation(t *testing.T) {
+	if _, err := NewWalker("p", 1, ctx.Point{}); !errors.Is(err, ErrFewWaypoints) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewWalker("p", 0, ctx.Point{}, ctx.Point{X: 1}); !errors.Is(err, ErrBadSpeed) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewWalker("p", 1, ctx.Point{}, ctx.Point{}); !errors.Is(err, ErrFewWaypoints) {
+		t.Fatalf("coincident waypoints: err = %v", err)
+	}
+	w, err := NewWalker("p", 1.2, ctx.Point{}, ctx.Point{X: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Subject() != "p" || w.Speed() != 1.2 {
+		t.Fatalf("accessors wrong: %q %v", w.Subject(), w.Speed())
+	}
+}
+
+func TestMustWalkerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustWalker("p", 0)
+}
+
+func TestPositionAtLinearSegment(t *testing.T) {
+	w := MustWalker("p", 2, ctx.Point{X: 0}, ctx.Point{X: 10})
+	tests := []struct {
+		el   time.Duration
+		want ctx.Point
+	}{
+		{0, ctx.Point{X: 0}},
+		{time.Second, ctx.Point{X: 2}},
+		{5 * time.Second, ctx.Point{X: 10}},
+		{-time.Second, ctx.Point{X: 0}}, // clamps
+	}
+	for _, tt := range tests {
+		if got := w.PositionAt(tt.el); got.Dist(tt.want) > 1e-9 {
+			t.Errorf("PositionAt(%v) = %v, want %v", tt.el, got, tt.want)
+		}
+	}
+}
+
+func TestPositionAtCycles(t *testing.T) {
+	// Square loop of perimeter 40 at 1 m/s → period 40 s.
+	w := MustWalker("p", 1,
+		ctx.Point{X: 0, Y: 0}, ctx.Point{X: 10, Y: 0},
+		ctx.Point{X: 10, Y: 10}, ctx.Point{X: 0, Y: 10})
+	a := w.PositionAt(7 * time.Second)
+	b := w.PositionAt(47 * time.Second) // one full cycle later
+	if a.Dist(b) > 1e-9 {
+		t.Fatalf("cycle mismatch: %v vs %v", a, b)
+	}
+	// 15 s in: 10 m along bottom + 5 m up the right edge.
+	if got := w.PositionAt(15 * time.Second); got.Dist(ctx.Point{X: 10, Y: 5}) > 1e-9 {
+		t.Fatalf("PositionAt(15s) = %v", got)
+	}
+}
+
+func TestTraceSpacing(t *testing.T) {
+	w := MustWalker("p", 1, ctx.Point{X: 0}, ctx.Point{X: 100})
+	trace := w.Trace(t0, 2*time.Second, 5)
+	if len(trace) != 5 {
+		t.Fatalf("len = %d", len(trace))
+	}
+	for i := 1; i < len(trace); i++ {
+		if got := trace[i].At.Sub(trace[i-1].At); got != 2*time.Second {
+			t.Fatalf("spacing = %v", got)
+		}
+		d := trace[i].Pos.Dist(trace[i-1].Pos)
+		if math.Abs(d-2) > 1e-9 {
+			t.Fatalf("step distance = %v, want 2", d)
+		}
+	}
+}
+
+// Property: consecutive samples never exceed speed × step (the ground
+// truth never violates the velocity constraint the experiments check).
+func TestWalkerSpeedBoundProperty(t *testing.T) {
+	w := MustWalker("p", 1.5,
+		ctx.Point{X: 0, Y: 0}, ctx.Point{X: 7, Y: 3},
+		ctx.Point{X: 12, Y: 9}, ctx.Point{X: 2, Y: 8})
+	f := func(stepSec uint8, n uint8) bool {
+		step := time.Duration(int(stepSec)%10+1) * time.Second
+		count := int(n)%20 + 2
+		trace := w.Trace(t0, step, count)
+		for i := 1; i < len(trace); i++ {
+			maxDist := 1.5*step.Seconds() + 1e-9
+			if trace[i].Pos.Dist(trace[i-1].Pos) > maxDist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

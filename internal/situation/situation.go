@@ -1,0 +1,152 @@
+// Package situation evaluates application situations over the contexts the
+// middleware makes available. A situation is a named condition (e.g. "Peter
+// is in his office", "item misplaced on shelf 3") expressed as a closed
+// formula of the constraint language. The experiments count situation
+// activations — the transitions from inactive to active — as one of the two
+// context-awareness metrics (sitActRate).
+package situation
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ctxres/internal/constraint"
+)
+
+// Situation is a named condition an application reacts to.
+type Situation struct {
+	// Name identifies the situation in reports.
+	Name string
+	// Doc describes the condition.
+	Doc string
+	// Formula is the closed formula that holds exactly when the situation
+	// is active.
+	Formula constraint.Formula
+}
+
+// EventType distinguishes activation from deactivation transitions.
+type EventType int
+
+// Event types. Only activations count toward the paper's metric; the
+// engine reports both for completeness.
+const (
+	Activated EventType = iota + 1
+	Deactivated
+)
+
+// String returns the event type name.
+func (t EventType) String() string {
+	switch t {
+	case Activated:
+		return "activated"
+	case Deactivated:
+		return "deactivated"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is one situation transition.
+type Event struct {
+	Situation string
+	Type      EventType
+	At        time.Time
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s at %s", e.Situation, e.Type, e.At.Format(time.RFC3339))
+}
+
+// Registration errors.
+var (
+	ErrNoName     = errors.New("situation has empty name")
+	ErrNilFormula = errors.New("situation has nil formula")
+	ErrDupName    = errors.New("situation name already registered")
+)
+
+// Engine tracks a set of situations and their activation state. It is not
+// safe for concurrent use; callers serialize evaluation.
+type Engine struct {
+	situations []*Situation
+	active     map[string]bool
+
+	activations   int
+	deactivations int
+}
+
+// NewEngine returns an engine with no situations registered.
+func NewEngine() *Engine {
+	return &Engine{active: make(map[string]bool)}
+}
+
+// Register adds a situation. Names must be unique and formulas non-nil.
+func (e *Engine) Register(s *Situation) error {
+	if s == nil || s.Formula == nil {
+		return ErrNilFormula
+	}
+	if s.Name == "" {
+		return ErrNoName
+	}
+	for _, existing := range e.situations {
+		if existing.Name == s.Name {
+			return fmt.Errorf("%w: %q", ErrDupName, s.Name)
+		}
+	}
+	e.situations = append(e.situations, s)
+	return nil
+}
+
+// MustRegister registers the situation and panics on error; for static
+// situation sets built at program start.
+func (e *Engine) MustRegister(s *Situation) {
+	if err := e.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Situations returns the registered situations in registration order.
+func (e *Engine) Situations() []*Situation {
+	out := make([]*Situation, len(e.situations))
+	copy(out, e.situations)
+	return out
+}
+
+// Evaluate re-evaluates every situation against the universe (typically
+// the pool's available view) and returns the transitions that occurred,
+// stamped with the given logical time.
+func (e *Engine) Evaluate(u constraint.Universe, at time.Time) []Event {
+	var events []Event
+	for _, s := range e.situations {
+		holds := constraint.Eval(s.Formula, u).Satisfied
+		switch {
+		case holds && !e.active[s.Name]:
+			e.active[s.Name] = true
+			e.activations++
+			events = append(events, Event{Situation: s.Name, Type: Activated, At: at})
+		case !holds && e.active[s.Name]:
+			e.active[s.Name] = false
+			e.deactivations++
+			events = append(events, Event{Situation: s.Name, Type: Deactivated, At: at})
+		}
+	}
+	return events
+}
+
+// Active reports whether the named situation is currently active.
+func (e *Engine) Active(name string) bool { return e.active[name] }
+
+// Activations returns the total number of activation events so far — the
+// paper's "number of activated situations" metric.
+func (e *Engine) Activations() int { return e.activations }
+
+// Deactivations returns the total number of deactivation events so far.
+func (e *Engine) Deactivations() int { return e.deactivations }
+
+// Reset clears activation state and counters.
+func (e *Engine) Reset() {
+	e.active = make(map[string]bool)
+	e.activations = 0
+	e.deactivations = 0
+}

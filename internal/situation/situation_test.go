@@ -1,0 +1,155 @@
+package situation
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+)
+
+var t0 = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+
+// inOffice is a representative situation: some available location context
+// places peter inside the office rectangle.
+func inOffice() *Situation {
+	return &Situation{
+		Name: "peter-in-office",
+		Doc:  "Peter's latest location falls inside his office",
+		Formula: constraint.Exists("a", ctx.KindLocation,
+			constraint.And(
+				constraint.SubjectIs("a", "peter"),
+				constraint.WithinArea("a", constraint.Rect{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5}),
+			)),
+	}
+}
+
+func universeAt(xs ...float64) constraint.Universe {
+	var cs []*ctx.Context
+	for i, x := range xs {
+		cs = append(cs, ctx.NewLocation("peter", t0.Add(time.Duration(i)*time.Second),
+			ctx.Point{X: x}, ctx.WithID(ctx.NextID("loc"))))
+	}
+	return constraint.NewSliceUniverse(cs)
+}
+
+func TestRegisterValidation(t *testing.T) {
+	e := NewEngine()
+	if err := e.Register(nil); !errors.Is(err, ErrNilFormula) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := e.Register(&Situation{Name: "x"}); !errors.Is(err, ErrNilFormula) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := e.Register(&Situation{Formula: constraint.True()}); !errors.Is(err, ErrNoName) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := e.Register(inOffice()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(inOffice()); !errors.Is(err, ErrDupName) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := len(e.Situations()); got != 1 {
+		t.Fatalf("Situations = %d", got)
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewEngine().MustRegister(nil)
+}
+
+func TestActivationEdgeTriggering(t *testing.T) {
+	e := NewEngine()
+	e.MustRegister(inOffice())
+
+	// Outside the office: nothing happens.
+	if evs := e.Evaluate(universeAt(100), t0); len(evs) != 0 {
+		t.Fatalf("events = %v", evs)
+	}
+	// Enters the office: one activation.
+	evs := e.Evaluate(universeAt(2), t0.Add(time.Second))
+	if len(evs) != 1 || evs[0].Type != Activated {
+		t.Fatalf("events = %v", evs)
+	}
+	if !e.Active("peter-in-office") {
+		t.Fatal("situation not active")
+	}
+	// Still inside: no repeated activation (edge-triggered).
+	if evs := e.Evaluate(universeAt(3), t0.Add(2*time.Second)); len(evs) != 0 {
+		t.Fatalf("events = %v", evs)
+	}
+	// Leaves: one deactivation.
+	evs = e.Evaluate(universeAt(100), t0.Add(3*time.Second))
+	if len(evs) != 1 || evs[0].Type != Deactivated {
+		t.Fatalf("events = %v", evs)
+	}
+	if e.Activations() != 1 || e.Deactivations() != 1 {
+		t.Fatalf("counters = %d/%d", e.Activations(), e.Deactivations())
+	}
+}
+
+func TestReEntryCountsAgain(t *testing.T) {
+	e := NewEngine()
+	e.MustRegister(inOffice())
+	for i := 0; i < 3; i++ {
+		e.Evaluate(universeAt(2), t0)   // in
+		e.Evaluate(universeAt(100), t0) // out
+	}
+	if e.Activations() != 3 {
+		t.Fatalf("Activations = %d, want 3", e.Activations())
+	}
+}
+
+func TestMultipleSituationsIndependent(t *testing.T) {
+	e := NewEngine()
+	e.MustRegister(inOffice())
+	e.MustRegister(&Situation{
+		Name: "anyone-present",
+		Formula: constraint.Exists("a", ctx.KindLocation,
+			constraint.SubjectIs("a", "peter")),
+	})
+	evs := e.Evaluate(universeAt(2), t0)
+	if len(evs) != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+	evs = e.Evaluate(universeAt(100), t0)
+	if len(evs) != 1 || evs[0].Situation != "peter-in-office" {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := NewEngine()
+	e.MustRegister(inOffice())
+	e.Evaluate(universeAt(2), t0)
+	e.Reset()
+	if e.Activations() != 0 || e.Active("peter-in-office") {
+		t.Fatal("Reset incomplete")
+	}
+	// After reset, re-activation counts afresh.
+	e.Evaluate(universeAt(2), t0)
+	if e.Activations() != 1 {
+		t.Fatalf("Activations = %d", e.Activations())
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	ev := Event{Situation: "s", Type: Activated, At: t0}
+	if !strings.Contains(ev.String(), "s activated at 2008-06-17") {
+		t.Fatalf("String = %q", ev.String())
+	}
+	if Activated.String() != "activated" || Deactivated.String() != "deactivated" {
+		t.Fatal("type strings wrong")
+	}
+	if EventType(0).String() != "invalid" {
+		t.Fatal("invalid type string wrong")
+	}
+}

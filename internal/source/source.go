@@ -1,0 +1,199 @@
+// Package source runs context producers: generators that emit contexts on
+// a schedule and push them into a consumer (an in-process middleware or a
+// daemon client over TCP). It supplies the "distributed context sources"
+// side of the paper's setting with managed goroutine lifecycles.
+package source
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ctxres/internal/ctx"
+)
+
+// SubmitFunc consumes one produced context. Adapters exist for the
+// middleware (SubmitTo) and any error-returning sink.
+type SubmitFunc func(c *ctx.Context) error
+
+// Generator produces the contexts for one tick at the given logical time.
+// Returning an empty slice is fine (nothing observed this tick).
+type Generator interface {
+	Next(at time.Time) []*ctx.Context
+}
+
+// GeneratorFunc adapts a function to Generator.
+type GeneratorFunc func(at time.Time) []*ctx.Context
+
+// Next implements Generator.
+func (f GeneratorFunc) Next(at time.Time) []*ctx.Context { return f(at) }
+
+// Runner drives a generator at a fixed period and pushes every produced
+// context to the submit function. Construction does not start anything;
+// Start spawns the producer goroutine and Stop joins it.
+type Runner struct {
+	gen    Generator
+	submit SubmitFunc
+	period time.Duration
+	now    func() time.Time
+	onErr  func(error)
+
+	mu        sync.Mutex
+	started   bool
+	stopped   bool
+	stop      chan struct{}
+	done      chan struct{}
+	submitted int
+	failed    int
+}
+
+// RunnerOption configures a Runner.
+type RunnerOption func(*Runner)
+
+// WithClock overrides the time source (tests, logical-time demos).
+func WithClock(now func() time.Time) RunnerOption {
+	return func(r *Runner) { r.now = now }
+}
+
+// WithErrorHandler installs a callback for submit failures; the default
+// counts them silently.
+func WithErrorHandler(f func(error)) RunnerOption {
+	return func(r *Runner) { r.onErr = f }
+}
+
+// Runner errors.
+var (
+	ErrNilGenerator = errors.New("source: nil generator")
+	ErrNilSubmit    = errors.New("source: nil submit function")
+	ErrBadPeriod    = errors.New("source: period must be positive")
+	ErrStarted      = errors.New("source: already started")
+)
+
+// NewRunner builds a runner.
+func NewRunner(gen Generator, submit SubmitFunc, period time.Duration, opts ...RunnerOption) (*Runner, error) {
+	if gen == nil {
+		return nil, ErrNilGenerator
+	}
+	if submit == nil {
+		return nil, ErrNilSubmit
+	}
+	if period <= 0 {
+		return nil, ErrBadPeriod
+	}
+	r := &Runner{
+		gen:    gen,
+		submit: submit,
+		period: period,
+		now:    time.Now,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r, nil
+}
+
+// Start spawns the producer goroutine. It fails if already started.
+func (r *Runner) Start() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return ErrStarted
+	}
+	r.started = true
+	go r.loop()
+	return nil
+}
+
+// Stop signals the producer to stop and waits for it to exit. It is
+// idempotent and safe to call before Start (then it is a no-op).
+func (r *Runner) Stop() {
+	r.mu.Lock()
+	if !r.started || r.stopped {
+		started := r.started
+		r.stopped = true
+		r.mu.Unlock()
+		if started {
+			<-r.done
+		}
+		return
+	}
+	r.stopped = true
+	r.mu.Unlock()
+	close(r.stop)
+	<-r.done
+}
+
+// Stats reports how many contexts were submitted and how many submissions
+// failed.
+func (r *Runner) Stats() (submitted, failed int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.submitted, r.failed
+}
+
+func (r *Runner) loop() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.period)
+	defer ticker.Stop()
+	// Produce immediately on start, then on every tick.
+	r.tick()
+	for {
+		select {
+		case <-ticker.C:
+			r.tick()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+func (r *Runner) tick() {
+	batch := r.gen.Next(r.now())
+	for _, c := range batch {
+		err := r.submit(c)
+		r.mu.Lock()
+		if err != nil {
+			r.failed++
+		} else {
+			r.submitted++
+		}
+		onErr := r.onErr
+		r.mu.Unlock()
+		if err != nil && onErr != nil {
+			onErr(fmt.Errorf("source: submit %s: %w", c.ID, err))
+		}
+	}
+}
+
+// Replay returns a generator that replays a prepared stream one step per
+// tick. Timestamps are shifted by one constant offset (first tick minus
+// first original timestamp), so the stream's internal timing — and with it
+// every velocity- or gap-based constraint — is preserved while the whole
+// trace is moved into the present. After the stream is exhausted it
+// produces nothing.
+func Replay(steps [][]*ctx.Context) Generator {
+	i := 0
+	var offset time.Duration
+	haveOffset := false
+	return GeneratorFunc(func(at time.Time) []*ctx.Context {
+		if i >= len(steps) {
+			return nil
+		}
+		step := steps[i]
+		i++
+		out := make([]*ctx.Context, len(step))
+		for j, c := range step {
+			cc := c.Clone()
+			if !haveOffset {
+				offset = at.Sub(cc.Timestamp)
+				haveOffset = true
+			}
+			cc.Timestamp = cc.Timestamp.Add(offset)
+			out[j] = cc
+		}
+		return out
+	})
+}

@@ -1,0 +1,214 @@
+package source
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ctxres/internal/ctx"
+)
+
+var t0 = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+
+type sink struct {
+	mu  sync.Mutex
+	got []*ctx.Context
+	err error
+}
+
+func (s *sink) submit(c *ctx.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.got = append(s.got, c)
+	return nil
+}
+
+func (s *sink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.got)
+}
+
+func onePerTick() Generator {
+	n := 0
+	var mu sync.Mutex
+	return GeneratorFunc(func(at time.Time) []*ctx.Context {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return []*ctx.Context{ctx.NewLocation("p", at, ctx.Point{X: float64(n)},
+			ctx.WithSeq(uint64(n)))}
+	})
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	s := &sink{}
+	if _, err := NewRunner(nil, s.submit, time.Millisecond); !errors.Is(err, ErrNilGenerator) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewRunner(onePerTick(), nil, time.Millisecond); !errors.Is(err, ErrNilSubmit) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewRunner(onePerTick(), s.submit, 0); !errors.Is(err, ErrBadPeriod) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunnerProducesAndStops(t *testing.T) {
+	s := &sink{}
+	r, err := NewRunner(onePerTick(), s.submit, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.count() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	if got := s.count(); got < 5 {
+		t.Fatalf("produced %d contexts, want ≥5", got)
+	}
+	after := s.count()
+	time.Sleep(10 * time.Millisecond)
+	if s.count() != after {
+		t.Fatal("runner kept producing after Stop")
+	}
+	submitted, failed := r.Stats()
+	if submitted != after || failed != 0 {
+		t.Fatalf("Stats = %d/%d, want %d/0", submitted, failed, after)
+	}
+}
+
+func TestRunnerDoubleStartAndStop(t *testing.T) {
+	s := &sink{}
+	r, err := NewRunner(onePerTick(), s.submit, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); !errors.Is(err, ErrStarted) {
+		t.Fatalf("second Start = %v", err)
+	}
+	r.Stop()
+	r.Stop() // idempotent
+}
+
+func TestRunnerStopBeforeStart(t *testing.T) {
+	s := &sink{}
+	r, err := NewRunner(onePerTick(), s.submit, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		r.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop before Start blocked")
+	}
+}
+
+func TestRunnerCountsFailures(t *testing.T) {
+	s := &sink{err: errors.New("sink down")}
+	var handled int
+	var mu sync.Mutex
+	r, err := NewRunner(onePerTick(), s.submit, time.Millisecond,
+		WithErrorHandler(func(error) {
+			mu.Lock()
+			handled++
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, failed := r.Stats(); failed >= 3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	_, failed := r.Stats()
+	if failed < 3 {
+		t.Fatalf("failed = %d, want ≥3", failed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if handled < 3 {
+		t.Fatalf("handled = %d", handled)
+	}
+}
+
+func TestRunnerWithClock(t *testing.T) {
+	s := &sink{}
+	fixed := t0
+	r, err := NewRunner(onePerTick(), s.submit, time.Millisecond,
+		WithClock(func() time.Time { return fixed }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.count() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.got {
+		if !c.Timestamp.Equal(t0) {
+			t.Fatalf("timestamp = %v, want fixed clock", c.Timestamp)
+		}
+	}
+}
+
+func TestReplayGenerator(t *testing.T) {
+	proto := [][]*ctx.Context{
+		{ctx.NewLocation("p", t0, ctx.Point{X: 1}, ctx.WithID("a"))},
+		{ctx.NewLocation("p", t0, ctx.Point{X: 2}, ctx.WithID("b")),
+			ctx.NewLocation("p", t0, ctx.Point{X: 3}, ctx.WithID("c"))},
+	}
+	gen := Replay(proto)
+	at1 := t0.Add(time.Hour)
+	step1 := gen.Next(at1)
+	if len(step1) != 1 || step1[0].ID != "a" {
+		t.Fatalf("step1 = %v", step1)
+	}
+	if !step1[0].Timestamp.Equal(at1) {
+		t.Fatal("first timestamp not shifted to the first tick")
+	}
+	// Clones: the prototype is untouched.
+	if !proto[0][0].Timestamp.Equal(t0) {
+		t.Fatal("prototype mutated")
+	}
+	step2 := gen.Next(at1.Add(time.Second))
+	if len(step2) != 2 {
+		t.Fatalf("step2 = %v", step2)
+	}
+	// The shift is constant: step2's contexts carry the original offset
+	// from the first context (zero here), not the second tick's time.
+	if !step2[0].Timestamp.Equal(at1) {
+		t.Fatalf("timestamp %v not offset-preserving (want %v)", step2[0].Timestamp, at1)
+	}
+	if got := gen.Next(at1.Add(2 * time.Second)); len(got) != 0 {
+		t.Fatalf("exhausted generator produced %v", got)
+	}
+}

@@ -1,0 +1,116 @@
+// Package stats provides the small descriptive-statistics toolkit the
+// experiment harness uses to average metric values over the 20 experiment
+// groups per data point (Section 4.2: "averaged over 20 groups of
+// experiments to avoid random error").
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator), or NaN
+// for samples smaller than two.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// CI95 returns the half-width of the 95% confidence interval around the
+// mean using the normal approximation, or NaN for samples smaller than
+// two.
+func CI95(xs []float64) float64 {
+	sd := StdDev(xs)
+	if math.IsNaN(sd) {
+		return math.NaN()
+	}
+	return 1.96 * sd / math.Sqrt(float64(len(xs)))
+}
+
+// Min returns the smallest value, or NaN for an empty sample.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or NaN for an empty sample.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary condenses a sample.
+type Summary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	SD   float64 `json:"sd"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Summarize computes all summary fields at once.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		SD:   StdDev(xs),
+		CI95: CI95(xs),
+		Min:  Min(xs),
+		Max:  Max(xs),
+	}
+}
+
+// String renders "mean ± ci (n=…)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (n=%d)", s.Mean, s.CI95, s.N)
+}
+
+// Ratio returns a/b as a percentage-style fraction, defining 0/0 as 1
+// (both runs produced nothing, so the strategies behaved identically) and
+// x/0 for x > 0 as NaN.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.NaN()
+	}
+	return a / b
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); !almost(got, 2.5) {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Mean(nil); !math.IsNaN(got) {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almost(got, math.Sqrt(32.0/7)) {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if got := StdDev([]float64{1}); !math.IsNaN(got) {
+		t.Fatalf("StdDev(single) = %v", got)
+	}
+	if got := StdDev([]float64{3, 3, 3}); !almost(got, 0) {
+		t.Fatalf("StdDev(const) = %v", got)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	xs := []float64{10, 12, 14, 16}
+	want := 1.96 * StdDev(xs) / 2
+	if got := CI95(xs); !almost(got, want) {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+	if got := CI95([]float64{1}); !math.IsNaN(got) {
+		t.Fatalf("CI95(single) = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("empty Min/Max not NaN")
+	}
+}
+
+func TestSummarizeAndString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || !almost(s.Mean, 2) || !almost(s.Min, 1) || !almost(s.Max, 3) {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "(n=3)") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(50, 100); !almost(got, 0.5) {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if got := Ratio(0, 0); got != 1 {
+		t.Fatalf("Ratio(0,0) = %v", got)
+	}
+	if got := Ratio(3, 0); !math.IsNaN(got) {
+		t.Fatalf("Ratio(3,0) = %v", got)
+	}
+}
+
+// Property: mean lies within [min, max]; stddev is non-negative.
+func TestMomentBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e9))
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		m := Mean(xs)
+		if m < Min(xs)-1e-6 || m > Max(xs)+1e-6 {
+			return false
+		}
+		return StdDev(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

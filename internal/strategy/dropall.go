@@ -1,0 +1,39 @@
+package strategy
+
+import (
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+)
+
+// DropAll implements the drop-all strategy (Section 2.3): every context
+// involved in an inconsistency is discarded for safety. Its overcautious
+// nature tends to discard more contexts than necessary, losing correct
+// contexts alongside corrupted ones (Figure 3).
+type DropAll struct{}
+
+var _ Strategy = (*DropAll)(nil)
+
+// NewDropAll returns the D-ALL strategy.
+func NewDropAll() *DropAll { return &DropAll{} }
+
+// Name implements Strategy.
+func (*DropAll) Name() string { return "D-ALL" }
+
+// OnAddition discards every context participating in any of the introduced
+// inconsistencies, including the new arrival.
+func (*DropAll) OnAddition(_ *ctx.Context, violations []constraint.Violation) Outcome {
+	var out Outcome
+	for _, v := range violations {
+		out.Discard = discardLink(out.Discard, v.Link)
+	}
+	return out
+}
+
+// OnUse always delivers surviving contexts.
+func (*DropAll) OnUse(*ctx.Context) (bool, Outcome) { return true, Outcome{} }
+
+// OnExpire implements Strategy (no per-context state).
+func (*DropAll) OnExpire(*ctx.Context) {}
+
+// Reset implements Strategy (stateless).
+func (*DropAll) Reset() {}

@@ -1,0 +1,193 @@
+package strategy
+
+import (
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/inconsistency"
+)
+
+// DropBad implements the paper's drop-bad resolution strategy (Section 3).
+//
+// Unlike the immediate strategies, drop-bad tolerates a detected
+// inconsistency until a participating context is actually used by an
+// application. It keeps the set Σ of tracked-but-unresolved inconsistencies
+// and the derived count values: how many inconsistencies each context has
+// participated in. The heuristic: a context that participates more
+// frequently in inconsistencies is likelier to be incorrect.
+//
+// The resolution process (Figure 7) has two parts:
+//
+// Part 1 — context addition change: newly detected inconsistencies are
+// added to Σ without immediate resolution (the middleware handles the
+// "irrelevant to any constraint" fast path before calling the strategy).
+//
+// Part 2 — context deletion change (a buffered context d is used):
+//
+//   - If d is bad, or d carries the strictly largest count value among the
+//     members of some tracked inconsistency it participates in — the
+//     "likeliest incorrect" condition — d is set to inconsistent and
+//     discarded.
+//   - Otherwise d is set to consistent and delivered; and for every
+//     inconsistency d participates in, the members carrying the largest
+//     count value are set to bad — they will be discarded when eventually
+//     used, giving the middleware extra time to collect more count value
+//     information before the discard (Section 3.3's three considerations).
+//     A tie between d and a peer is therefore resolved by suspecting the
+//     peer, not d: on a tie d is not likelier incorrect than the peer, and
+//     the deferred bad-marking keeps collecting evidence (the paper's
+//     Scenario B discussion: with tied counts "one cannot dig out more
+//     useful information", so no immediate discard of d is justified).
+//
+// Either way, every inconsistency involving d is resolved and removed from
+// Σ.
+type DropBad struct {
+	tracker *inconsistency.Tracker
+
+	// markBad enables the Case-2 bad-marking of Section 3.3. Disabling it
+	// (ablation) resolves inconsistencies by removal only, so max-count
+	// peers of a used context escape the deferred discard.
+	markBad bool
+
+	// audit, when non-nil, observes every inconsistency at resolution time
+	// for the heuristic-rule study of Section 5.2.
+	audit *inconsistency.RuleAudit
+
+	stats DropBadStats
+}
+
+// DropBadStats counts the strategy's decision paths, for diagnostics and
+// the ablation benches.
+type DropBadStats struct {
+	// Delivered counts contexts judged consistent on use.
+	Delivered int
+	// DiscardedBad counts contexts discarded because they had been marked
+	// bad earlier (Case 2 of Section 3.3).
+	DiscardedBad int
+	// DiscardedLargest counts contexts discarded because they carried the
+	// strictly largest count value at use time (Case 1).
+	DiscardedLargest int
+	// TiesDeferred counts uses where the context merely tied for the
+	// largest count and was therefore delivered, deferring the decision to
+	// its tied peers — the local-optimum hazard Section 5.1 discusses.
+	TiesDeferred int
+	// MarkedBad counts bad-markings of peers.
+	MarkedBad int
+}
+
+var _ Strategy = (*DropBad)(nil)
+
+// DropBadOption configures the drop-bad strategy.
+type DropBadOption func(*DropBad)
+
+// WithoutBadMarking disables the Case-2 bad-marking (ablation; see
+// DESIGN.md).
+func WithoutBadMarking() DropBadOption {
+	return func(s *DropBad) { s.markBad = false }
+}
+
+// WithRuleAudit wires a rule auditor that observes each inconsistency when
+// it is resolved, with the count values Σ holds at that moment.
+func WithRuleAudit(a *inconsistency.RuleAudit) DropBadOption {
+	return func(s *DropBad) { s.audit = a }
+}
+
+// NewDropBad returns the D-BAD strategy.
+func NewDropBad(opts ...DropBadOption) *DropBad {
+	s := &DropBad{tracker: inconsistency.NewTracker(), markBad: true}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Name implements Strategy.
+func (*DropBad) Name() string { return "D-BAD" }
+
+// Tracker exposes the tracked inconsistency set for inspection (tests,
+// metrics). Callers must not mutate it.
+func (s *DropBad) Tracker() *inconsistency.Tracker { return s.tracker }
+
+// OnAddition records the newly introduced inconsistencies in Σ. Nothing is
+// discarded: resolution is deferred until use.
+func (s *DropBad) OnAddition(_ *ctx.Context, violations []constraint.Violation) Outcome {
+	s.tracker.AddViolations(violations)
+	return Outcome{}
+}
+
+// Stats returns the decision-path counters.
+func (s *DropBad) Stats() DropBadStats { return s.stats }
+
+// OnUse applies Part 2 of the resolution process to the context being used.
+func (s *DropBad) OnUse(c *ctx.Context) (bool, Outcome) {
+	involved := s.tracker.Involving(c.ID)
+
+	wasBad := c.State() == ctx.Bad
+	discard := wasBad
+	tie := false
+	if !discard {
+		for _, in := range involved {
+			if s.tracker.HasStrictlyLargestCount(c.ID, in) {
+				discard = true
+				break
+			}
+			if !tie && s.tracker.HasLargestCount(c.ID, in) {
+				tie = true // tied for the maximum: not likelier incorrect
+			}
+		}
+	}
+
+	if discard {
+		if wasBad {
+			s.stats.DiscardedBad++
+		} else {
+			s.stats.DiscardedLargest++
+		}
+		s.resolveInvolving(c.ID)
+		return false, Outcome{Discard: []*ctx.Context{c}}
+	}
+	if tie {
+		s.stats.TiesDeferred++
+	}
+	s.stats.Delivered++
+
+	// d is consistent; resolve its inconsistencies by marking the
+	// largest-count peers bad.
+	if s.markBad {
+		for _, in := range involved {
+			for _, peer := range s.tracker.MaxCountMembers(in) {
+				if peer.ID == c.ID {
+					continue
+				}
+				if !peer.State().Terminal() {
+					// Ignore the impossible transition error: peers here
+					// are undecided or already bad.
+					_ = peer.SetState(ctx.Bad)
+					s.stats.MarkedBad++
+				}
+			}
+		}
+	}
+	s.resolveInvolving(c.ID)
+	return true, Outcome{}
+}
+
+// OnExpire resolves (without deciding) every tracked inconsistency
+// involving a context that expired before use, releasing its count state.
+func (s *DropBad) OnExpire(c *ctx.Context) {
+	s.resolveInvolving(c.ID)
+}
+
+// Reset implements Strategy.
+func (s *DropBad) Reset() {
+	s.tracker.Reset()
+	s.stats = DropBadStats{}
+}
+
+func (s *DropBad) resolveInvolving(id ctx.ID) {
+	if s.audit != nil {
+		for _, in := range s.tracker.Involving(id) {
+			s.audit.Observe(s.tracker, in)
+		}
+	}
+	s.tracker.ResolveInvolving(id)
+}

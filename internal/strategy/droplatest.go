@@ -1,0 +1,40 @@
+package strategy
+
+import (
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+)
+
+// DropLatest implements the drop-latest strategy (Section 2.2): the latest
+// context leading to an inconsistency is discarded. It assumes the existing
+// collection is consistent and admits a new context only if it causes no
+// inconsistency — an assumption the paper shows to fail (Scenario B of
+// Figure 2), because a context may be admitted without conflict and still
+// be incorrect, causing later correct contexts to be discarded instead.
+type DropLatest struct{}
+
+var _ Strategy = (*DropLatest)(nil)
+
+// NewDropLatest returns the D-LAT strategy.
+func NewDropLatest() *DropLatest { return &DropLatest{} }
+
+// Name implements Strategy.
+func (*DropLatest) Name() string { return "D-LAT" }
+
+// OnAddition discards the newly arrived context when it introduces any
+// inconsistency.
+func (*DropLatest) OnAddition(c *ctx.Context, violations []constraint.Violation) Outcome {
+	if len(violations) == 0 {
+		return Outcome{}
+	}
+	return Outcome{Discard: []*ctx.Context{c}}
+}
+
+// OnUse always delivers: any surviving context was admitted as consistent.
+func (*DropLatest) OnUse(*ctx.Context) (bool, Outcome) { return true, Outcome{} }
+
+// OnExpire implements Strategy (no per-context state).
+func (*DropLatest) OnExpire(*ctx.Context) {}
+
+// Reset implements Strategy (stateless).
+func (*DropLatest) Reset() {}

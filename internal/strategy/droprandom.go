@@ -1,0 +1,53 @@
+package strategy
+
+import (
+	"math/rand"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+)
+
+// DropRandom resolves each inconsistency by discarding one involved context
+// chosen uniformly at random (after Chomicki et al.'s random action
+// cancellation). Results are unreliable by construction; the strategy is
+// included as a baseline.
+type DropRandom struct {
+	rng *rand.Rand
+}
+
+var _ Strategy = (*DropRandom)(nil)
+
+// NewDropRandom returns the D-RAND strategy drawing from rng. The generator
+// must not be shared concurrently with other users.
+func NewDropRandom(rng *rand.Rand) *DropRandom {
+	return &DropRandom{rng: rng}
+}
+
+// Name implements Strategy.
+func (*DropRandom) Name() string { return "D-RAND" }
+
+// OnAddition discards one random member per introduced inconsistency.
+func (s *DropRandom) OnAddition(_ *ctx.Context, violations []constraint.Violation) Outcome {
+	var out Outcome
+	for _, v := range violations {
+		members := v.Link.Contexts()
+		if len(members) == 0 {
+			continue
+		}
+		victim := members[s.rng.Intn(len(members))]
+		if !containsCtx(out.Discard, victim.ID) {
+			out.Discard = append(out.Discard, victim)
+		}
+	}
+	return out
+}
+
+// OnUse always delivers surviving contexts.
+func (*DropRandom) OnUse(*ctx.Context) (bool, Outcome) { return true, Outcome{} }
+
+// OnExpire implements Strategy (no per-context state).
+func (*DropRandom) OnExpire(*ctx.Context) {}
+
+// Reset implements Strategy (the generator carries across runs by design;
+// seed control lives with the caller).
+func (*DropRandom) Reset() {}

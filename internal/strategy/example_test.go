@@ -1,0 +1,46 @@
+package strategy_test
+
+import (
+	"fmt"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/strategy"
+)
+
+// ExampleDropBad shows the count-value heuristic in isolation: four
+// inconsistencies all involving d3 give it the largest count value, so the
+// strategy discards exactly d3 when the contexts are used.
+func ExampleDropBad() {
+	start := time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+	mk := func(id string, seq uint64) *ctx.Context {
+		return ctx.NewLocation("peter", start.Add(time.Duration(seq)*time.Second),
+			ctx.Point{}, ctx.WithID(ctx.ID(id)), ctx.WithSeq(seq))
+	}
+	d1, d2, d3, d4, d5 := mk("d1", 1), mk("d2", 2), mk("d3", 3), mk("d4", 4), mk("d5", 5)
+
+	dropBad := strategy.NewDropBad()
+	// Figure 5, Scenario A: Σ = {(d1,d3),(d2,d3),(d3,d4),(d3,d5)}.
+	var vios []constraint.Violation
+	for _, other := range []*ctx.Context{d1, d2, d4, d5} {
+		vios = append(vios, constraint.Violation{
+			Constraint: "velocity",
+			Link:       constraint.NewLink(d3, other),
+		})
+	}
+	dropBad.OnAddition(d3, vios)
+	fmt.Println("count(d3) =", dropBad.Tracker().Count(d3.ID))
+
+	for _, c := range []*ctx.Context{d1, d2, d3, d4, d5} {
+		usable, _ := dropBad.OnUse(c)
+		fmt.Printf("%s usable=%v\n", c.ID, usable)
+	}
+	// Output:
+	// count(d3) = 4
+	// d1 usable=true
+	// d2 usable=true
+	// d3 usable=false
+	// d4 usable=true
+	// d5 usable=true
+}

@@ -1,0 +1,152 @@
+package strategy
+
+import (
+	"testing"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+)
+
+// This file provides a miniature middleware loop for strategy tests: it
+// feeds contexts through a checker one at a time (addition changes),
+// applies strategy outcomes, then replays use requests (deletion changes).
+
+var t0 = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+
+// harness drives a strategy against a constraint checker the way the
+// middleware does, tracking alive (not discarded) contexts.
+type harness struct {
+	tb      testing.TB
+	checker *constraint.Checker
+	strat   Strategy
+
+	alive     []*ctx.Context
+	discarded map[ctx.ID]bool
+	used      map[ctx.ID]bool
+}
+
+func newHarness(tb testing.TB, checker *constraint.Checker, strat Strategy) *harness {
+	return &harness{
+		tb:        tb,
+		checker:   checker,
+		strat:     strat,
+		discarded: make(map[ctx.ID]bool),
+		used:      make(map[ctx.ID]bool),
+	}
+}
+
+// feed performs a context addition change for c.
+func (h *harness) feed(c *ctx.Context) {
+	h.tb.Helper()
+	h.alive = append(h.alive, c)
+	u := constraint.NewSliceUniverse(h.aliveUnused())
+	vios := h.checker.CheckAddition(u, c)
+	h.apply(h.strat.OnAddition(c, vios))
+}
+
+// use performs a context deletion change for c; reports whether the
+// strategy delivered it.
+func (h *harness) use(c *ctx.Context) bool {
+	h.tb.Helper()
+	if h.discarded[c.ID] {
+		return false
+	}
+	usable, out := h.strat.OnUse(c)
+	h.apply(out)
+	if usable {
+		h.used[c.ID] = true
+		if !c.State().Terminal() {
+			if err := c.SetState(ctx.Consistent); err != nil {
+				h.tb.Fatalf("set consistent: %v", err)
+			}
+		}
+	}
+	return usable
+}
+
+func (h *harness) apply(out Outcome) {
+	h.tb.Helper()
+	for _, d := range out.Discard {
+		h.discarded[d.ID] = true
+		if !d.State().Terminal() {
+			if err := d.SetState(ctx.Inconsistent); err != nil {
+				h.tb.Fatalf("set inconsistent: %v", err)
+			}
+		}
+	}
+}
+
+func (h *harness) aliveUnused() []*ctx.Context {
+	out := make([]*ctx.Context, 0, len(h.alive))
+	for _, c := range h.alive {
+		if !h.discarded[c.ID] && !h.used[c.ID] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (h *harness) discardedIDs() map[ctx.ID]bool {
+	out := make(map[ctx.ID]bool, len(h.discarded))
+	for id := range h.discarded {
+		out[id] = true
+	}
+	return out
+}
+
+// velocityChecker registers the running-example constraint: stream pairs of
+// the same subject within the given reach must respect the speed limit.
+func velocityChecker(tb testing.TB, reach uint64, limit float64) *constraint.Checker {
+	tb.Helper()
+	ch := constraint.NewChecker()
+	ch.MustRegister(&constraint.Constraint{
+		Name: "vel",
+		Doc:  "estimated walking velocity must stay under the limit",
+		Formula: constraint.Forall("a", ctx.KindLocation,
+			constraint.Forall("b", ctx.KindLocation,
+				constraint.Implies(
+					constraint.And(
+						constraint.SameSubject("a", "b"),
+						constraint.StreamWithin("a", "b", reach),
+					),
+					constraint.VelocityBelow("a", "b", limit),
+				))),
+	})
+	return ch
+}
+
+// loc builds one tracked location for the scenarios, 1 s apart per seq.
+func loc(id string, seq uint64, x float64) *ctx.Context {
+	return ctx.NewLocation("peter", t0.Add(time.Duration(seq)*time.Second),
+		ctx.Point{X: x},
+		ctx.WithID(ctx.ID(id)), ctx.WithSeq(seq), ctx.WithSource("tracker"))
+}
+
+// scenarioA: Figure 1/2/3 Scenario A. Walking ≈1 m/s, limit 1.5 m/s; d3
+// jumps so that both (d2,d3) and (d3,d4) breach the limit. d3 corrupted.
+func scenarioA() []*ctx.Context {
+	cs := []*ctx.Context{
+		loc("d1", 1, 0),
+		loc("d2", 2, 1),
+		loc("d3", 3, 9),
+		loc("d4", 4, 3),
+		loc("d5", 5, 4),
+	}
+	cs[2].Truth.Corrupted = true
+	return cs
+}
+
+// scenarioB: Figure 2/3 Scenario B. d3 is closer to d2, so (d2,d3) holds;
+// the first adjacent violation is (d3,d4). d3 is still the corrupted one.
+func scenarioB() []*ctx.Context {
+	cs := []*ctx.Context{
+		loc("d1", 1, 0),
+		loc("d2", 2, 1),
+		loc("d3", 3, 2.2), // within 1.5 m/s of d2…
+		loc("d4", 4, 3.9), // …but 1.7 m/s from d3 → (d3,d4) violates
+		loc("d5", 5, 5.3), // (d3,d5) violates at reach 2; (d4,d5) holds
+	}
+	cs[2].Truth.Corrupted = true
+	return cs
+}

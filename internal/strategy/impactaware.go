@@ -1,0 +1,139 @@
+package strategy
+
+import (
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/inconsistency"
+)
+
+// ImpactFunc estimates how much an application would suffer from losing
+// the given context — e.g. how many registered situations mention its
+// kind, subject or payload. Higher means more valuable. The paper's
+// Section 5.1 leaves tie resolution as future work and suggests "examining
+// discarding which particular context among them would cause less impact
+// on context-aware applications"; this strategy implements that
+// suggestion.
+type ImpactFunc func(c *ctx.Context) float64
+
+// ImpactAwareDropBad extends drop-bad with impact-aware tie resolution:
+// when the context being used ties for the largest count value, the
+// strategy discards the tied member with the lowest application impact
+// instead of deferring blindly.
+type ImpactAwareDropBad struct {
+	inner  *DropBad
+	impact ImpactFunc
+
+	tiesBroken int
+}
+
+var _ Strategy = (*ImpactAwareDropBad)(nil)
+
+// NewImpactAwareDropBad wraps drop-bad with the impact estimator. A nil
+// estimator treats every context as equally valuable, reducing to plain
+// drop-bad behaviour.
+func NewImpactAwareDropBad(impact ImpactFunc, opts ...DropBadOption) *ImpactAwareDropBad {
+	return &ImpactAwareDropBad{inner: NewDropBad(opts...), impact: impact}
+}
+
+// Name implements Strategy.
+func (*ImpactAwareDropBad) Name() string { return "D-BAD+I" }
+
+// Tracker exposes the underlying tracked inconsistency set.
+func (s *ImpactAwareDropBad) Tracker() *inconsistency.Tracker { return s.inner.Tracker() }
+
+// TiesBroken returns how many ties the impact estimator resolved.
+func (s *ImpactAwareDropBad) TiesBroken() int { return s.tiesBroken }
+
+// OnAddition delegates to drop-bad (defer, track).
+func (s *ImpactAwareDropBad) OnAddition(c *ctx.Context, violations []constraint.Violation) Outcome {
+	return s.inner.OnAddition(c, violations)
+}
+
+// OnUse applies drop-bad's Part 2, then refines tie handling: if the used
+// context ties for the largest count in some inconsistency, the tied
+// member with the lowest impact is discarded immediately (the inner
+// strategy would have marked the peers bad and delivered the used
+// context unconditionally).
+func (s *ImpactAwareDropBad) OnUse(c *ctx.Context) (bool, Outcome) {
+	if s.impact == nil {
+		return s.inner.OnUse(c)
+	}
+	tr := s.inner.Tracker()
+	// Detect a tie before the inner strategy resolves the involved
+	// inconsistencies away.
+	var tied []*ctx.Context
+	for _, in := range tr.Involving(c.ID) {
+		if !tr.HasLargestCount(c.ID, in) || tr.HasStrictlyLargestCount(c.ID, in) {
+			continue
+		}
+		for _, m := range tr.MaxCountMembers(in) {
+			if m.ID != c.ID && !containsCtx(tied, m.ID) {
+				tied = append(tied, m)
+			}
+		}
+	}
+	if len(tied) == 0 {
+		return s.inner.OnUse(c)
+	}
+
+	// Pick the least valuable member of the tie (including c itself).
+	victim := c
+	best := s.impact(c)
+	for _, m := range tied {
+		if v := s.impact(m); v < best {
+			best = v
+			victim = m
+		}
+	}
+	s.tiesBroken++
+	usable, out := s.inner.OnUse(c)
+	if victim.ID == c.ID {
+		// The used context is the least valuable: discard it even though
+		// plain drop-bad would have delivered it under the tie.
+		if usable {
+			out.Discard = append(out.Discard, c)
+			usable = false
+		}
+		return usable, out
+	}
+	// The inner strategy marked the tied peers bad; escalate the chosen
+	// victim to an immediate discard so its (low) impact is paid now and
+	// the remaining peers are unmarked... they stay bad, which matches the
+	// inner semantics: every tied peer remains suspect.
+	if !containsCtx(out.Discard, victim.ID) {
+		out.Discard = append(out.Discard, victim)
+	}
+	return usable, out
+}
+
+// OnExpire delegates to drop-bad.
+func (s *ImpactAwareDropBad) OnExpire(c *ctx.Context) { s.inner.OnExpire(c) }
+
+// Reset delegates to drop-bad and clears the tie counter.
+func (s *ImpactAwareDropBad) Reset() {
+	s.inner.Reset()
+	s.tiesBroken = 0
+}
+
+// SituationImpact builds an ImpactFunc that scores a context by how many
+// of the given situations quantify over its kind — contexts no situation
+// can observe are cheap to discard.
+func SituationImpact(kindsPerSituation []map[ctx.Kind]bool) ImpactFunc {
+	return func(c *ctx.Context) float64 {
+		score := 0.0
+		for _, kinds := range kindsPerSituation {
+			if kinds[c.Kind] {
+				score++
+			}
+		}
+		return score
+	}
+}
+
+// FreshnessImpact scores newer contexts higher: losing the freshest
+// information hurts an application more than losing stale data.
+func FreshnessImpact() ImpactFunc {
+	return func(c *ctx.Context) float64 {
+		return float64(c.Timestamp.UnixNano())
+	}
+}

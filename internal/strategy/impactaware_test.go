@@ -1,0 +1,135 @@
+package strategy
+
+import (
+	"testing"
+
+	"ctxres/internal/ctx"
+)
+
+func TestImpactAwareNilEstimatorMatchesDropBad(t *testing.T) {
+	plain := NewDropBad()
+	aware := NewImpactAwareDropBad(nil)
+	hp := newHarness(t, velocityChecker(t, 2, 1.5), plain)
+	ha := newHarness(t, velocityChecker(t, 2, 1.5), aware)
+	for _, mk := range []func() []*ctx.Context{scenarioA, scenarioB} {
+		csP, csA := mk(), mk()
+		for i := range csP {
+			hp.feed(csP[i])
+			ha.feed(csA[i])
+		}
+		for i := range csP {
+			if hp.use(csP[i]) != ha.use(csA[i]) {
+				t.Fatalf("decision diverged at %s", csP[i].ID)
+			}
+		}
+	}
+	if aware.TiesBroken() != 0 {
+		t.Fatalf("ties broken without estimator: %d", aware.TiesBroken())
+	}
+}
+
+func TestImpactAwareTieDiscardsLowImpactPeer(t *testing.T) {
+	// Adjacent-only Scenario B produces the (d3, d4) tie. Freshness
+	// impact values d4 (newer) above d3 → d3 is discarded at the tie.
+	aware := NewImpactAwareDropBad(FreshnessImpact())
+	h := newHarness(t, velocityChecker(t, 1, 1.5), aware)
+	cs := scenarioB()
+	for _, c := range cs {
+		h.feed(c)
+	}
+	if !h.use(cs[3]) { // d4 delivered
+		t.Fatal("d4 not delivered")
+	}
+	got := h.discardedIDs()
+	if len(got) != 1 || !got["d3"] {
+		t.Fatalf("discarded = %v, want d3 immediately", got)
+	}
+	if aware.TiesBroken() != 1 {
+		t.Fatalf("TiesBroken = %d", aware.TiesBroken())
+	}
+}
+
+func TestImpactAwareTieDiscardsUsedWhenCheapest(t *testing.T) {
+	// Inverse impact: the used context is the least valuable member of
+	// the tie, so it is discarded despite plain drop-bad delivering it.
+	inverse := func(c *ctx.Context) float64 {
+		return -float64(c.Timestamp.UnixNano()) // older = more valuable
+	}
+	aware := NewImpactAwareDropBad(inverse)
+	h := newHarness(t, velocityChecker(t, 1, 1.5), aware)
+	cs := scenarioB()
+	for _, c := range cs {
+		h.feed(c)
+	}
+	if h.use(cs[3]) {
+		t.Fatal("d4 delivered despite being the cheapest tie member")
+	}
+	got := h.discardedIDs()
+	if !got["d4"] {
+		t.Fatalf("discarded = %v, want d4", got)
+	}
+}
+
+func TestImpactAwareNoTieBehavesLikeDropBad(t *testing.T) {
+	aware := NewImpactAwareDropBad(FreshnessImpact())
+	h := newHarness(t, velocityChecker(t, 2, 1.5), aware)
+	cs := scenarioA()
+	for _, c := range cs {
+		h.feed(c)
+	}
+	// d3 has the strictly largest count: discarded on use, no tie-break.
+	if h.use(cs[2]) {
+		t.Fatal("d3 delivered")
+	}
+	if aware.TiesBroken() != 0 {
+		t.Fatalf("TiesBroken = %d", aware.TiesBroken())
+	}
+	for _, c := range []*ctx.Context{cs[0], cs[1], cs[3], cs[4]} {
+		if !h.use(c) {
+			t.Fatalf("%s not usable", c.ID)
+		}
+	}
+}
+
+func TestImpactAwareReset(t *testing.T) {
+	aware := NewImpactAwareDropBad(FreshnessImpact())
+	h := newHarness(t, velocityChecker(t, 1, 1.5), aware)
+	cs := scenarioB()
+	for _, c := range cs {
+		h.feed(c)
+	}
+	h.use(cs[3])
+	aware.Reset()
+	if aware.TiesBroken() != 0 || aware.Tracker().Len() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestSituationImpact(t *testing.T) {
+	kinds := []map[ctx.Kind]bool{
+		{ctx.KindLocation: true},
+		{ctx.KindLocation: true, ctx.KindRFIDRead: true},
+	}
+	impact := SituationImpact(kinds)
+	locCtx := loc("l", 1, 0)
+	if got := impact(locCtx); got != 2 {
+		t.Fatalf("impact(location) = %v", got)
+	}
+	rfidCtx := ctx.New(ctx.KindRFIDRead, t0, nil, ctx.WithID("r"))
+	if got := impact(rfidCtx); got != 1 {
+		t.Fatalf("impact(rfid) = %v", got)
+	}
+	other := ctx.New(ctx.KindPresence, t0, nil, ctx.WithID("p"))
+	if got := impact(other); got != 0 {
+		t.Fatalf("impact(presence) = %v", got)
+	}
+}
+
+func TestFreshnessImpactOrdersByTime(t *testing.T) {
+	impact := FreshnessImpact()
+	older := loc("o", 1, 0)
+	newer := loc("n", 2, 0)
+	if impact(older) >= impact(newer) {
+		t.Fatal("older context scored as or more valuable than newer")
+	}
+}

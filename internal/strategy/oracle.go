@@ -1,0 +1,39 @@
+package strategy
+
+import (
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+)
+
+// Oracle implements OPT-R, the artificial optimal resolution strategy of
+// Section 4.1: a specially designed oracle discards precisely each
+// incorrect context, using the experiment-only ground truth. OPT-R serves
+// as the theoretical upper bound; the experiment harness normalizes every
+// other strategy's metrics against it.
+type Oracle struct{}
+
+var _ Strategy = (*Oracle)(nil)
+
+// NewOracle returns the OPT-R strategy.
+func NewOracle() *Oracle { return &Oracle{} }
+
+// Name implements Strategy.
+func (*Oracle) Name() string { return "OPT-R" }
+
+// OnAddition discards the new context exactly when ground truth marks it
+// corrupted, regardless of whether it has caused an inconsistency yet.
+func (*Oracle) OnAddition(c *ctx.Context, _ []constraint.Violation) Outcome {
+	if c.Truth.Corrupted {
+		return Outcome{Discard: []*ctx.Context{c}}
+	}
+	return Outcome{}
+}
+
+// OnUse always delivers: every surviving context is expected.
+func (*Oracle) OnUse(*ctx.Context) (bool, Outcome) { return true, Outcome{} }
+
+// OnExpire implements Strategy (no per-context state).
+func (*Oracle) OnExpire(*ctx.Context) {}
+
+// Reset implements Strategy (stateless).
+func (*Oracle) Reset() {}

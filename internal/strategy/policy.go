@@ -1,0 +1,94 @@
+package strategy
+
+import (
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+)
+
+// VictimFunc selects which contexts to discard to resolve one detected
+// inconsistency. It receives the newly arrived context and the violation,
+// and returns the victims (members of the violation's link).
+type VictimFunc func(added *ctx.Context, v constraint.Violation) []*ctx.Context
+
+// Policy implements the user-specified resolution strategy (Ranganathan et
+// al., Insuk et al.): inconsistencies are resolved by following a
+// user-provided policy such as source trust ranking. The paper notes such
+// strategies inherit the reliability of their policies.
+type Policy struct {
+	name   string
+	victim VictimFunc
+}
+
+var _ Strategy = (*Policy)(nil)
+
+// NewPolicy builds a policy strategy with a display name and victim
+// selector.
+func NewPolicy(name string, victim VictimFunc) *Policy {
+	return &Policy{name: name, victim: victim}
+}
+
+// Name implements Strategy.
+func (p *Policy) Name() string { return p.name }
+
+// OnAddition applies the victim policy to every introduced inconsistency.
+func (p *Policy) OnAddition(added *ctx.Context, violations []constraint.Violation) Outcome {
+	var out Outcome
+	for _, v := range violations {
+		for _, victim := range p.victim(added, v) {
+			if victim != nil && !containsCtx(out.Discard, victim.ID) {
+				out.Discard = append(out.Discard, victim)
+			}
+		}
+	}
+	return out
+}
+
+// OnUse always delivers surviving contexts.
+func (*Policy) OnUse(*ctx.Context) (bool, Outcome) { return true, Outcome{} }
+
+// OnExpire implements Strategy (no per-context state).
+func (*Policy) OnExpire(*ctx.Context) {}
+
+// Reset implements Strategy (stateless).
+func (*Policy) Reset() {}
+
+// PreferUntrustedSources returns a victim policy that discards, per
+// inconsistency, the member whose source has the lowest trust score;
+// unknown sources default to trust 0. Ties discard the newest member.
+func PreferUntrustedSources(trust map[string]float64) VictimFunc {
+	return func(_ *ctx.Context, v constraint.Violation) []*ctx.Context {
+		members := v.Link.Contexts()
+		if len(members) == 0 {
+			return nil
+		}
+		victim := members[0]
+		for _, m := range members[1:] {
+			tm, tv := trust[m.Source], trust[victim.Source]
+			switch {
+			case tm < tv:
+				victim = m
+			case tm == tv && m.Timestamp.After(victim.Timestamp):
+				victim = m
+			}
+		}
+		return []*ctx.Context{victim}
+	}
+}
+
+// PreferOldestVictim returns a victim policy that discards the oldest
+// member of each inconsistency (the stalest information).
+func PreferOldestVictim() VictimFunc {
+	return func(_ *ctx.Context, v constraint.Violation) []*ctx.Context {
+		members := v.Link.Contexts()
+		if len(members) == 0 {
+			return nil
+		}
+		victim := members[0]
+		for _, m := range members[1:] {
+			if m.Timestamp.Before(victim.Timestamp) {
+				victim = m
+			}
+		}
+		return []*ctx.Context{victim}
+	}
+}

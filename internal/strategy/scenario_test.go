@@ -1,0 +1,314 @@
+package strategy
+
+import (
+	"testing"
+
+	"ctxres/internal/ctx"
+)
+
+// These tests replay the paper's worked examples: Figures 2 and 3 for the
+// baseline strategies, Figures 4 and 5 plus Section 3.3 for drop-bad.
+
+func TestDropLatestScenarioA(t *testing.T) {
+	// Figure 2, Scenario A: (d2,d3) detected on d3's arrival → d3 (the
+	// latest) is discarded; (d3,d4) never occurs. Correct resolution.
+	h := newHarness(t, velocityChecker(t, 1, 1.5), NewDropLatest())
+	for _, c := range scenarioA() {
+		h.feed(c)
+	}
+	want := map[ctx.ID]bool{"d3": true}
+	gotIDs := h.discardedIDs()
+	if len(gotIDs) != 1 || !gotIDs["d3"] {
+		t.Fatalf("discarded = %v, want %v", gotIDs, want)
+	}
+}
+
+func TestDropLatestScenarioB(t *testing.T) {
+	// Figure 2, Scenario B: (d2,d3) holds, so d3 slips in; the first
+	// violation is (d3,d4) on d4's arrival, and drop-latest wrongly
+	// discards d4.
+	h := newHarness(t, velocityChecker(t, 1, 1.5), NewDropLatest())
+	for _, c := range scenarioB() {
+		h.feed(c)
+	}
+	gotIDs := h.discardedIDs()
+	if !gotIDs["d4"] {
+		t.Fatalf("discarded = %v, want d4 (the incorrect resolution the paper describes)", gotIDs)
+	}
+	if gotIDs["d3"] {
+		t.Fatal("d3 discarded — drop-latest should have admitted it")
+	}
+}
+
+func TestDropAllScenarioA(t *testing.T) {
+	// Figure 3, Scenario A: (d2,d3) → both d2 and d3 discarded. d3 is
+	// correctly removed but d2 (correct) is lost.
+	h := newHarness(t, velocityChecker(t, 1, 1.5), NewDropAll())
+	for _, c := range scenarioA() {
+		h.feed(c)
+	}
+	gotIDs := h.discardedIDs()
+	if len(gotIDs) != 2 || !gotIDs["d2"] || !gotIDs["d3"] {
+		t.Fatalf("discarded = %v, want {d2, d3}", gotIDs)
+	}
+}
+
+func TestDropAllScenarioB(t *testing.T) {
+	// Figure 3, Scenario B: (d3,d4) → both d3 and d4 discarded; d4 was
+	// actually correct.
+	h := newHarness(t, velocityChecker(t, 1, 1.5), NewDropAll())
+	for _, c := range scenarioB() {
+		h.feed(c)
+	}
+	gotIDs := h.discardedIDs()
+	if len(gotIDs) != 2 || !gotIDs["d3"] || !gotIDs["d4"] {
+		t.Fatalf("discarded = %v, want {d3, d4}", gotIDs)
+	}
+}
+
+func TestDropBadScenarioACountValues(t *testing.T) {
+	// Figure 5, Scenario A with the refined (reach-2) constraint: Σ =
+	// {(d1,d3),(d2,d3),(d3,d4),(d3,d5)}; d3 carries count 4.
+	strat := NewDropBad()
+	h := newHarness(t, velocityChecker(t, 2, 1.5), strat)
+	for _, c := range scenarioA() {
+		h.feed(c)
+	}
+	tr := strat.Tracker()
+	if tr.Len() != 4 {
+		t.Fatalf("Σ has %d inconsistencies, want 4: %v", tr.Len(), tr.All())
+	}
+	wantCounts := map[ctx.ID]int{"d1": 1, "d2": 1, "d3": 4, "d4": 1, "d5": 1}
+	for id, n := range wantCounts {
+		if got := tr.Count(id); got != n {
+			t.Fatalf("count(%s) = %d, want %d", id, got, n)
+		}
+	}
+	if len(h.discardedIDs()) != 0 {
+		t.Fatalf("drop-bad discarded on addition: %v", h.discardedIDs())
+	}
+}
+
+func TestDropBadScenarioBCountValues(t *testing.T) {
+	// Figure 5, Scenario B: Σ = {(d3,d4),(d3,d5)}; d3 carries count 2.
+	strat := NewDropBad()
+	h := newHarness(t, velocityChecker(t, 2, 1.5), strat)
+	for _, c := range scenarioB() {
+		h.feed(c)
+	}
+	tr := strat.Tracker()
+	if tr.Len() != 2 {
+		t.Fatalf("Σ has %d inconsistencies, want 2: %v", tr.Len(), tr.All())
+	}
+	if tr.Count("d3") != 2 || tr.Count("d4") != 1 || tr.Count("d5") != 1 {
+		t.Fatalf("counts = %v", tr.Counts())
+	}
+}
+
+func TestDropBadScenarioAUseInOrder(t *testing.T) {
+	// Section 3.3 walkthrough: using d1 first sets d1 consistent and marks
+	// d3 bad (d3 carries the largest count in (d1,d3)). Using d3 later
+	// discards it. d2, d4, d5 are all delivered.
+	strat := NewDropBad()
+	h := newHarness(t, velocityChecker(t, 2, 1.5), strat)
+	cs := scenarioA()
+	for _, c := range cs {
+		h.feed(c)
+	}
+	d1, d2, d3, d4, d5 := cs[0], cs[1], cs[2], cs[3], cs[4]
+
+	if !h.use(d1) {
+		t.Fatal("d1 not usable")
+	}
+	if d3.State() != ctx.Bad {
+		t.Fatalf("d3 state = %v, want bad", d3.State())
+	}
+	if !h.use(d2) {
+		t.Fatal("d2 not usable")
+	}
+	if h.use(d3) {
+		t.Fatal("d3 delivered despite being bad")
+	}
+	if d3.State() != ctx.Inconsistent {
+		t.Fatalf("d3 state = %v, want inconsistent", d3.State())
+	}
+	if !h.use(d4) || !h.use(d5) {
+		t.Fatal("d4/d5 not usable")
+	}
+	if strat.Tracker().Len() != 0 {
+		t.Fatalf("Σ not empty after all uses: %v", strat.Tracker().All())
+	}
+	got := h.discardedIDs()
+	if len(got) != 1 || !got["d3"] {
+		t.Fatalf("discarded = %v, want exactly d3", got)
+	}
+}
+
+func TestDropBadScenarioBUseD3First(t *testing.T) {
+	// Scenario B, using d3 first: d3 carries the largest count (2) among
+	// both tracked inconsistencies → discarded immediately on use.
+	strat := NewDropBad()
+	h := newHarness(t, velocityChecker(t, 2, 1.5), strat)
+	cs := scenarioB()
+	for _, c := range cs {
+		h.feed(c)
+	}
+	if h.use(cs[2]) {
+		t.Fatal("d3 delivered despite largest count")
+	}
+	// Resolution removed both inconsistencies; d4 and d5 are clean.
+	if !h.use(cs[3]) || !h.use(cs[4]) {
+		t.Fatal("d4/d5 not usable after d3 discarded")
+	}
+	got := h.discardedIDs()
+	if len(got) != 1 || !got["d3"] {
+		t.Fatalf("discarded = %v, want exactly d3", got)
+	}
+}
+
+func TestDropBadTieSuspectsPeer(t *testing.T) {
+	// Adjacent-only constraint in Scenario B: Σ = {(d3,d4)} with a tie
+	// (both counts 1). Using d4 under a tie does not discard d4 — d4 is
+	// not likelier incorrect than d3 — it delivers d4 and marks the tied
+	// peer d3 bad, deferring its discard to its own use. This is the tie
+	// case Section 5.1 discusses; here the deferral resolves it correctly
+	// (d3 is the corrupted one).
+	strat := NewDropBad()
+	h := newHarness(t, velocityChecker(t, 1, 1.5), strat)
+	cs := scenarioB()
+	for _, c := range cs {
+		h.feed(c)
+	}
+	if !h.use(cs[3]) {
+		t.Fatal("d4 discarded despite only tying for largest count")
+	}
+	if cs[2].State() != ctx.Bad {
+		t.Fatalf("d3 state = %v, want bad", cs[2].State())
+	}
+	if h.use(cs[2]) {
+		t.Fatal("bad d3 delivered")
+	}
+	got := h.discardedIDs()
+	if len(got) != 1 || !got["d3"] {
+		t.Fatalf("discarded = %v", got)
+	}
+	st := strat.Stats()
+	if st.TiesDeferred != 1 || st.DiscardedBad != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDropBadWithoutBadMarkingAblation(t *testing.T) {
+	// Ablation: with bad-marking disabled, using d1 resolves (d1,d3)
+	// without marking d3 bad. d3 still carries the largest count in its
+	// remaining inconsistencies, so it is discarded on use anyway — but if
+	// the remaining inconsistencies resolve before d3 is used, d3 escapes.
+	strat := NewDropBad(WithoutBadMarking())
+	h := newHarness(t, velocityChecker(t, 2, 1.5), strat)
+	cs := scenarioA()
+	for _, c := range cs {
+		h.feed(c)
+	}
+	d1, d2, d3, d4, d5 := cs[0], cs[1], cs[2], cs[3], cs[4]
+	if !h.use(d1) {
+		t.Fatal("d1 not usable")
+	}
+	if d3.State() == ctx.Bad {
+		t.Fatal("d3 marked bad despite ablation")
+	}
+	// d2 and d4 each carry count 1 < d3's remaining count: delivered, and
+	// each use resolves its inconsistency with d3, draining d3's count.
+	for _, c := range []*ctx.Context{d2, d4} {
+		if !h.use(c) {
+			t.Fatalf("%s not usable", c.ID)
+		}
+	}
+	// By d5's turn only (d3,d5) remains with tied counts; without the bad
+	// state nothing records the suspicion, so d5 delivers…
+	if !h.use(d5) {
+		t.Fatal("d5 not usable")
+	}
+	// …and the corrupted d3 escapes entirely — exactly the effectiveness
+	// loss the bad state exists to prevent.
+	if !h.use(d3) {
+		t.Fatal("d3 discarded despite ablation removing bad-marking")
+	}
+	if len(h.discardedIDs()) != 0 {
+		t.Fatalf("discarded = %v, want none under ablation", h.discardedIDs())
+	}
+}
+
+func TestDropBadIrrelevantContextNoTracking(t *testing.T) {
+	strat := NewDropBad()
+	h := newHarness(t, velocityChecker(t, 1, 1.5), strat)
+	c := ctx.New(ctx.KindRFIDRead, t0, nil, ctx.WithID("r1"))
+	h.feed(c)
+	if strat.Tracker().Len() != 0 {
+		t.Fatal("irrelevant context produced tracked inconsistencies")
+	}
+	if !h.use(c) {
+		t.Fatal("irrelevant context not usable")
+	}
+}
+
+func TestDropBadOnExpireReleasesState(t *testing.T) {
+	strat := NewDropBad()
+	h := newHarness(t, velocityChecker(t, 2, 1.5), strat)
+	cs := scenarioA()
+	for _, c := range cs {
+		h.feed(c)
+	}
+	strat.OnExpire(cs[2]) // d3 expires unused
+	if strat.Tracker().Len() != 0 {
+		t.Fatalf("Σ retains inconsistencies after pivot expiry: %v", strat.Tracker().All())
+	}
+	if strat.Tracker().Count("d3") != 0 {
+		t.Fatal("expired context retains count")
+	}
+}
+
+func TestDropBadReset(t *testing.T) {
+	strat := NewDropBad()
+	h := newHarness(t, velocityChecker(t, 2, 1.5), strat)
+	for _, c := range scenarioA() {
+		h.feed(c)
+	}
+	strat.Reset()
+	if strat.Tracker().Len() != 0 {
+		t.Fatal("Reset left tracked inconsistencies")
+	}
+}
+
+func TestOracleDiscardsExactlyCorrupted(t *testing.T) {
+	h := newHarness(t, velocityChecker(t, 1, 1.5), NewOracle())
+	for _, c := range scenarioA() {
+		h.feed(c)
+	}
+	got := h.discardedIDs()
+	if len(got) != 1 || !got["d3"] {
+		t.Fatalf("discarded = %v, want exactly the corrupted d3", got)
+	}
+	h2 := newHarness(t, velocityChecker(t, 1, 1.5), NewOracle())
+	for _, c := range scenarioB() {
+		h2.feed(c)
+	}
+	got2 := h2.discardedIDs()
+	if len(got2) != 1 || !got2["d3"] {
+		t.Fatalf("scenario B discarded = %v, want exactly d3", got2)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	want := map[Strategy]string{
+		NewDropLatest():           "D-LAT",
+		NewDropAll():              "D-ALL",
+		NewDropBad():              "D-BAD",
+		NewOracle():               "OPT-R",
+		NewPolicy("P-TRUST", nil): "P-TRUST",
+	}
+	for s, name := range want {
+		if s.Name() != name {
+			t.Errorf("Name() = %q, want %q", s.Name(), name)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package strategy implements the automated context-inconsistency
+// resolution strategies compared in the paper:
+//
+//   - Drop-latest (D-LAT, Chomicki et al.): discard the latest context that
+//     causes an inconsistency.
+//   - Drop-all (D-ALL, Bu et al.): discard every context involved in an
+//     inconsistency.
+//   - Drop-random: discard a random involved context.
+//   - Policy (user-specified): discard per a user-supplied victim policy.
+//   - Drop-bad (D-BAD, this paper): defer resolution, track count values,
+//     and discard the contexts that participate most in inconsistencies.
+//   - OPT-R: the artificial optimal strategy with a ground-truth oracle,
+//     used as the 100% measurement baseline.
+//
+// A strategy is a plug-in service of the middleware: it is consulted on
+// every context addition change (a new context recognized and checked) and
+// every context deletion change (a buffered context about to be used by an
+// application).
+package strategy
+
+import (
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+)
+
+// Outcome lists the contexts a strategy wants discarded now. The middleware
+// marks them Inconsistent and removes them from the checking buffer and
+// from application visibility.
+type Outcome struct {
+	Discard []*ctx.Context
+}
+
+// Strategy is the resolution plug-in interface.
+//
+// Implementations are not safe for concurrent use; the middleware
+// serializes calls.
+type Strategy interface {
+	// Name returns the short display name used by the experiment reports
+	// (e.g. "D-BAD").
+	Name() string
+
+	// OnAddition handles a context addition change: c has just been
+	// recognized and checked, and violations are the inconsistencies its
+	// arrival introduced (possibly none). The returned outcome may discard
+	// c itself and/or previously received contexts.
+	OnAddition(c *ctx.Context, violations []constraint.Violation) Outcome
+
+	// OnUse handles a context deletion change: an application is about to
+	// use c. usable reports whether c may be delivered; the outcome may
+	// discard further contexts (including c when usable is false).
+	OnUse(c *ctx.Context) (usable bool, out Outcome)
+
+	// OnExpire notifies the strategy that a buffered context expired
+	// before being used, so any per-context state can be released.
+	OnExpire(c *ctx.Context)
+
+	// Reset clears all internal state for a fresh run.
+	Reset()
+}
+
+// discardLink appends every member of the link to dst, skipping duplicates
+// already present.
+func discardLink(dst []*ctx.Context, l constraint.Link) []*ctx.Context {
+	for _, c := range l.Contexts() {
+		if !containsCtx(dst, c.ID) {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+func containsCtx(list []*ctx.Context, id ctx.ID) bool {
+	for _, c := range list {
+		if c.ID == id {
+			return true
+		}
+	}
+	return false
+}

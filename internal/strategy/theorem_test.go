@@ -1,0 +1,244 @@
+package strategy
+
+import (
+	"math/rand"
+	"testing"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/inconsistency"
+)
+
+// These tests exercise Theorems 1 and 2 of Section 3.4: with the heuristic
+// rules holding, the drop-bad strategy is reliable — each discarded context
+// is indeed a corrupted context.
+
+// structuredScenario builds contexts and inconsistencies where Rule 2 holds
+// by construction: every corrupted context participates in at least two
+// inconsistencies, every expected context in exactly one, and every
+// inconsistency pairs one corrupted with one expected context.
+func structuredScenario(rng *rand.Rand) (all []*ctx.Context, incs []inconsistency.Inconsistency) {
+	nCorrupted := 1 + rng.Intn(4)
+	for i := 0; i < nCorrupted; i++ {
+		c := ctx.NewLocation("p", t0, ctx.Point{}, ctx.WithID(ctx.NextID("bad")))
+		c.Truth.Corrupted = true
+		all = append(all, c)
+		// 2–4 expected partners per corrupted context.
+		partners := 2 + rng.Intn(3)
+		for j := 0; j < partners; j++ {
+			e := ctx.NewLocation("p", t0, ctx.Point{}, ctx.WithID(ctx.NextID("ok")))
+			all = append(all, e)
+			incs = append(incs, inconsistency.Inconsistency{
+				Constraint: "c",
+				Link:       constraint.NewLink(c, e),
+			})
+		}
+	}
+	return all, incs
+}
+
+func TestTheorem1Rule2Reliability(t *testing.T) {
+	// Feed structured scenarios through drop-bad and use every context in
+	// a random order. At each use, verify Rule 2' holds for the
+	// inconsistencies involving the used context under the *current*
+	// counts; while it does, every discard must be corrupted.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		all, incs := structuredScenario(rng)
+		strat := NewDropBad()
+		vios := make([]constraint.Violation, len(incs))
+		for i, in := range incs {
+			vios[i] = constraint.Violation{Constraint: in.Constraint, Link: in.Link}
+		}
+		strat.OnAddition(nil, vios)
+
+		order := rng.Perm(len(all))
+		rulesHeld := true
+		for _, idx := range order {
+			c := all[idx]
+			if rulesHeld && !rule2PrimeHoldsFor(strat.Tracker(), c.ID) {
+				rulesHeld = false
+			}
+			preHeld := rulesHeld
+			_, out := strat.OnUse(c)
+			for _, d := range out.Discard {
+				if preHeld && !d.Truth.Corrupted {
+					t.Fatalf("trial %d: expected context %s discarded while rules held",
+						trial, d.ID)
+				}
+			}
+		}
+	}
+}
+
+// rule2PrimeHoldsFor checks Rule 2' for every tracked inconsistency
+// involving the given context, under current count values.
+func rule2PrimeHoldsFor(tr *inconsistency.Tracker, id ctx.ID) bool {
+	for _, in := range tr.Involving(id) {
+		maxExpected, maxCorrupted := -1, -1
+		anyCorrupted := false
+		for _, m := range in.Link.Contexts() {
+			n := tr.Count(m.ID)
+			if m.Truth.Corrupted {
+				anyCorrupted = true
+				if n > maxCorrupted {
+					maxCorrupted = n
+				}
+			} else if n > maxExpected {
+				maxExpected = n
+			}
+		}
+		if !anyCorrupted {
+			return false // Rule 1 broken → 2' cannot help
+		}
+		if maxExpected >= 0 && maxCorrupted <= maxExpected {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTheorem2ArbitraryScenarios(t *testing.T) {
+	// Arbitrary random inconsistency structures (rules may or may not
+	// hold). The contract under test: whenever Rule 2' held at every
+	// resolution step of a run, all discards of that run are corrupted.
+	rng := rand.New(rand.NewSource(1234))
+	violatingRuns, reliableRuns := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		// Random population.
+		n := 4 + rng.Intn(8)
+		all := make([]*ctx.Context, n)
+		for i := range all {
+			c := ctx.NewLocation("p", t0, ctx.Point{}, ctx.WithID(ctx.NextID("x")))
+			c.Truth.Corrupted = rng.Float64() < 0.35
+			all[i] = c
+		}
+		// Random pair inconsistencies.
+		var vios []constraint.Violation
+		for k := 0; k < 2+rng.Intn(10); k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			vios = append(vios, constraint.Violation{
+				Constraint: "c",
+				Link:       constraint.NewLink(all[i], all[j]),
+			})
+		}
+		strat := NewDropBad()
+		strat.OnAddition(nil, vios)
+
+		rulesHeldThroughout := true
+		var discards []*ctx.Context
+		for _, idx := range rng.Perm(n) {
+			c := all[idx]
+			if !rule2PrimeHoldsFor(strat.Tracker(), c.ID) {
+				rulesHeldThroughout = false
+			}
+			_, out := strat.OnUse(c)
+			discards = append(discards, out.Discard...)
+		}
+		if !rulesHeldThroughout {
+			violatingRuns++
+			continue
+		}
+		reliableRuns++
+		for _, d := range discards {
+			if !d.Truth.Corrupted {
+				t.Fatalf("trial %d: expected context %s discarded in a rule-holding run",
+					trial, d.ID)
+			}
+		}
+	}
+	if reliableRuns == 0 {
+		t.Fatal("no rule-holding runs generated; property vacuous")
+	}
+	if violatingRuns == 0 {
+		t.Fatal("no rule-violating runs generated; generator too tame")
+	}
+}
+
+func TestDropRandomDiscardsOnePerViolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	strat := NewDropRandom(rng)
+	a := loc("a", 1, 0)
+	b := loc("b", 2, 9)
+	vio := constraint.Violation{Constraint: "vel", Link: constraint.NewLink(a, b)}
+	out := strat.OnAddition(b, []constraint.Violation{vio})
+	if len(out.Discard) != 1 {
+		t.Fatalf("Discard = %v, want exactly one", out.Discard)
+	}
+	if id := out.Discard[0].ID; id != "a" && id != "b" {
+		t.Fatalf("victim %s not a member", id)
+	}
+	if usable, _ := strat.OnUse(a); !usable {
+		t.Fatal("OnUse blocked")
+	}
+}
+
+func TestDropRandomUniformity(t *testing.T) {
+	// Over many draws, both members should be picked a nontrivial number
+	// of times.
+	rng := rand.New(rand.NewSource(99))
+	strat := NewDropRandom(rng)
+	a := loc("a", 1, 0)
+	b := loc("b", 2, 9)
+	vio := constraint.Violation{Constraint: "vel", Link: constraint.NewLink(a, b)}
+	picks := map[ctx.ID]int{}
+	for i := 0; i < 1000; i++ {
+		out := strat.OnAddition(b, []constraint.Violation{vio})
+		picks[out.Discard[0].ID]++
+	}
+	if picks["a"] < 300 || picks["b"] < 300 {
+		t.Fatalf("picks heavily skewed: %v", picks)
+	}
+}
+
+func TestPolicyPreferUntrustedSources(t *testing.T) {
+	trust := map[string]float64{"gps": 0.9, "wifi": 0.2}
+	strat := NewPolicy("P-TRUST", PreferUntrustedSources(trust))
+	a := ctx.NewLocation("p", t0, ctx.Point{}, ctx.WithID("a"), ctx.WithSource("gps"))
+	b := ctx.NewLocation("p", t0.Add(1), ctx.Point{}, ctx.WithID("b"), ctx.WithSource("wifi"))
+	vio := constraint.Violation{Constraint: "vel", Link: constraint.NewLink(a, b)}
+	out := strat.OnAddition(b, []constraint.Violation{vio})
+	if len(out.Discard) != 1 || out.Discard[0].ID != "b" {
+		t.Fatalf("Discard = %v, want the wifi context", out.Discard)
+	}
+}
+
+func TestPolicyPreferUntrustedTieBreaksNewest(t *testing.T) {
+	strat := NewPolicy("P-TRUST", PreferUntrustedSources(nil))
+	a := ctx.NewLocation("p", t0, ctx.Point{}, ctx.WithID("a"), ctx.WithSource("s"))
+	b := ctx.NewLocation("p", t0.Add(1), ctx.Point{}, ctx.WithID("b"), ctx.WithSource("s"))
+	vio := constraint.Violation{Constraint: "vel", Link: constraint.NewLink(a, b)}
+	out := strat.OnAddition(b, []constraint.Violation{vio})
+	if len(out.Discard) != 1 || out.Discard[0].ID != "b" {
+		t.Fatalf("Discard = %v, want the newest", out.Discard)
+	}
+}
+
+func TestPolicyPreferOldestVictim(t *testing.T) {
+	strat := NewPolicy("P-OLD", PreferOldestVictim())
+	a := ctx.NewLocation("p", t0, ctx.Point{}, ctx.WithID("a"))
+	b := ctx.NewLocation("p", t0.Add(1), ctx.Point{}, ctx.WithID("b"))
+	vio := constraint.Violation{Constraint: "vel", Link: constraint.NewLink(a, b)}
+	out := strat.OnAddition(b, []constraint.Violation{vio})
+	if len(out.Discard) != 1 || out.Discard[0].ID != "a" {
+		t.Fatalf("Discard = %v, want the oldest", out.Discard)
+	}
+}
+
+func TestDropAllDedupAcrossViolations(t *testing.T) {
+	strat := NewDropAll()
+	a := loc("a", 1, 0)
+	b := loc("b", 2, 9)
+	c := loc("c", 3, 18)
+	vios := []constraint.Violation{
+		{Constraint: "vel", Link: constraint.NewLink(a, b)},
+		{Constraint: "vel", Link: constraint.NewLink(b, c)},
+	}
+	out := strat.OnAddition(c, vios)
+	if len(out.Discard) != 3 {
+		t.Fatalf("Discard = %v, want a,b,c once each", out.Discard)
+	}
+}

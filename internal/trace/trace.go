@@ -1,0 +1,133 @@
+// Package trace records and replays context streams as JSON-lines files,
+// so experiment workloads can be captured once and replayed against live
+// daemons, other strategies, or future versions — the pervasive-computing
+// equivalent of a packet capture.
+//
+// A trace file is one JSON object per line. A line is either a step marker
+// {"step": N} or a context in the wire encoding of package ctx. Contexts
+// between two step markers belong to the earlier step; files written by
+// Writer always start with a step marker.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"ctxres/internal/ctx"
+)
+
+type line struct {
+	Step *int `json:"step,omitempty"`
+	// Context fields are inlined by re-unmarshalling the raw line when no
+	// step marker is present.
+}
+
+// Writer streams a workload to JSON lines.
+type Writer struct {
+	w    *bufio.Writer
+	step int
+	open bool
+}
+
+// NewWriter wraps the destination.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w), step: -1}
+}
+
+// BeginStep starts the next submission step.
+func (t *Writer) BeginStep() error {
+	t.step++
+	t.open = true
+	marker := struct {
+		Step int `json:"step"`
+	}{t.step}
+	data, err := json.Marshal(marker)
+	if err != nil {
+		return fmt.Errorf("trace: marshal step: %w", err)
+	}
+	return t.writeLine(data)
+}
+
+// Write appends a context to the current step.
+func (t *Writer) Write(c *ctx.Context) error {
+	if !t.open {
+		return errors.New("trace: Write before BeginStep")
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("trace: marshal context: %w", err)
+	}
+	return t.writeLine(data)
+}
+
+// WriteWorkload writes a whole stepped stream.
+func (t *Writer) WriteWorkload(steps [][]*ctx.Context) error {
+	for _, step := range steps {
+		if err := t.BeginStep(); err != nil {
+			return err
+		}
+		for _, c := range step {
+			if err := t.Write(c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+func (t *Writer) writeLine(data []byte) error {
+	if _, err := t.w.Write(data); err != nil {
+		return fmt.Errorf("trace: write: %w", err)
+	}
+	if err := t.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("trace: write: %w", err)
+	}
+	return nil
+}
+
+// Read parses a whole trace into submission steps.
+func Read(r io.Reader) ([][]*ctx.Context, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 4096), 1<<20)
+	var steps [][]*ctx.Context
+	lineNo := 0
+	sawStep := false
+	for scanner.Scan() {
+		lineNo++
+		raw := scanner.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var marker line
+		if err := json.Unmarshal(raw, &marker); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", lineNo, err)
+		}
+		if marker.Step != nil {
+			if *marker.Step != len(steps) {
+				return nil, fmt.Errorf("trace line %d: step %d out of order (want %d)",
+					lineNo, *marker.Step, len(steps))
+			}
+			steps = append(steps, nil)
+			sawStep = true
+			continue
+		}
+		if !sawStep {
+			return nil, fmt.Errorf("trace line %d: context before first step marker", lineNo)
+		}
+		var c ctx.Context
+		if err := json.Unmarshal(raw, &c); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", lineNo, err)
+		}
+		steps[len(steps)-1] = append(steps[len(steps)-1], &c)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return steps, nil
+}

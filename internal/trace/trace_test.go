@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"ctxres/internal/apps/rfidmon"
+	"ctxres/internal/ctx"
+)
+
+var t0 = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+
+func mk(id string, seq uint64) *ctx.Context {
+	return ctx.NewLocation("peter", t0.Add(time.Duration(seq)*time.Second),
+		ctx.Point{X: float64(seq)},
+		ctx.WithID(ctx.ID(id)), ctx.WithSeq(seq), ctx.WithSource("s"),
+		ctx.WithTTL(10*time.Second))
+}
+
+func TestRoundTrip(t *testing.T) {
+	steps := [][]*ctx.Context{
+		{mk("a", 1)},
+		{},
+		{mk("b", 2), mk("c", 3)},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteWorkload(steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("steps = %d", len(back))
+	}
+	if len(back[0]) != 1 || back[0][0].ID != "a" {
+		t.Fatalf("step0 = %v", back[0])
+	}
+	if len(back[1]) != 0 {
+		t.Fatalf("step1 = %v", back[1])
+	}
+	if len(back[2]) != 2 || back[2][1].ID != "c" {
+		t.Fatalf("step2 = %v", back[2])
+	}
+	if got := back[0][0].TTL; got != 10*time.Second {
+		t.Fatalf("TTL = %v", got)
+	}
+	p, ok := ctx.LocationPoint(back[2][0])
+	if !ok || p.X != 2 {
+		t.Fatalf("payload = %v %v", p, ok)
+	}
+}
+
+func TestWriteBeforeBeginStep(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Write(mk("a", 1)); err == nil {
+		t.Fatal("Write before BeginStep accepted")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"context before marker", `{"id":"a","kind":"location","timestamp":"2008-06-17T09:00:00Z"}`},
+		{"bad json", `{nope`},
+		{"out of order steps", "{\"step\":1}\n"},
+		{"invalid context", "{\"step\":0}\n{\"id\":\"\",\"kind\":\"location\",\"timestamp\":\"2008-06-17T09:00:00Z\"}"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tt.src)); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	steps, err := Read(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 0 {
+		t.Fatalf("steps = %v", steps)
+	}
+}
+
+func TestRoundTripRealWorkload(t *testing.T) {
+	cfg := rfidmon.DefaultWorkload(0.3)
+	cfg.Cycles = 20
+	steps, err := rfidmon.Generate(cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteWorkload(steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(steps) {
+		t.Fatalf("steps %d != %d", len(back), len(steps))
+	}
+	total, corrupted := 0, 0
+	for i := range steps {
+		if len(back[i]) != len(steps[i]) {
+			t.Fatalf("step %d: %d != %d", i, len(back[i]), len(steps[i]))
+		}
+		for j := range steps[i] {
+			total++
+			if back[i][j].Truth.Corrupted != steps[i][j].Truth.Corrupted {
+				t.Fatalf("step %d read %d: corrupted flag lost", i, j)
+			}
+			if back[i][j].Truth.Corrupted {
+				corrupted++
+			}
+		}
+	}
+	if total == 0 || corrupted == 0 {
+		t.Fatalf("degenerate workload: %d/%d", corrupted, total)
+	}
+}
