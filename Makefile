@@ -1,0 +1,26 @@
+# Development targets for ctxres. `make` (or `make check`) is the default
+# gate: vet + build + full test suite + race-mode run of the packages with
+# real concurrency (the parallel checker and the middleware around it).
+
+GO ?= go
+
+.DEFAULT_GOAL := check
+
+.PHONY: check build test race bench vet
+
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/constraint ./internal/middleware ./internal/pool
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+vet:
+	$(GO) vet ./...

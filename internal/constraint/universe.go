@@ -41,6 +41,23 @@ func NewSliceUniverse(contexts []*ctx.Context) *SliceUniverse {
 	return u
 }
 
+// NewPresortedUniverse wraps per-kind context slices that are already in
+// chronological (ctx.ByTimestamp) order, skipping the indexing and sorting
+// NewSliceUniverse performs. The caller transfers ownership of the map and
+// its slices: they must not be mutated afterwards, making the result an
+// immutable snapshot safe for concurrent (parallel-checker) evaluation.
+// Pool kind indexes use this to snapshot the checking buffer cheaply.
+func NewPresortedUniverse(byKind map[ctx.Kind][]*ctx.Context) *SliceUniverse {
+	if byKind == nil {
+		byKind = make(map[ctx.Kind][]*ctx.Context)
+	}
+	u := &SliceUniverse{byKind: byKind}
+	for _, list := range byKind {
+		u.size += len(list)
+	}
+	return u
+}
+
 // ContextsOfKind implements Universe.
 func (u *SliceUniverse) ContextsOfKind(kind ctx.Kind) []*ctx.Context {
 	return u.byKind[kind]

@@ -281,14 +281,20 @@ func (c *Context) String() string {
 // so orderings are deterministic.
 type ByTimestamp []*Context
 
-func (s ByTimestamp) Len() int      { return len(s) }
-func (s ByTimestamp) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
-func (s ByTimestamp) Less(i, j int) bool {
-	if !s[i].Timestamp.Equal(s[j].Timestamp) {
-		return s[i].Timestamp.Before(s[j].Timestamp)
+func (s ByTimestamp) Len() int           { return len(s) }
+func (s ByTimestamp) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s ByTimestamp) Less(i, j int) bool { return Earlier(s[i], s[j]) }
+
+// Earlier reports whether a orders strictly before b in the chronological
+// (ByTimestamp) order: timestamp, then Seq, then ID. The order is total, so
+// any sequence of contexts has exactly one sorted arrangement — incremental
+// index maintenance (insertion by Earlier) and batch sorting agree.
+func Earlier(a, b *Context) bool {
+	if !a.Timestamp.Equal(b.Timestamp) {
+		return a.Timestamp.Before(b.Timestamp)
 	}
-	if s[i].Seq != s[j].Seq {
-		return s[i].Seq < s[j].Seq
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
 	}
-	return s[i].ID < s[j].ID
+	return a.ID < b.ID
 }

@@ -19,13 +19,30 @@ type RunResult struct {
 	Audit    *inconsistency.RuleAudit // non-nil for drop-bad runs with auditing
 }
 
+// RunOptions tune how a run invokes the middleware beyond the compared
+// strategy.
+type RunOptions struct {
+	// Audited attaches a heuristic-rule audit (drop-bad case study).
+	Audited bool
+	// Parallelism is the checker worker count; <= 1 keeps the serial
+	// checker. The parallel checker is proven output-equivalent, so this
+	// must not change any measured outcome (pinned by
+	// TestParallelCheckerNoRegression).
+	Parallelism int
+}
+
 // RunOnce replays one workload through a fresh middleware configured with
 // the named strategy and returns the raw metrics. The workload's prototype
 // contexts are cloned, so RunOnce may be called repeatedly on the same
 // workload (the paper runs all four strategies on identical streams).
 func RunOnce(spec AppSpec, w Workload, name StrategyName, rng *rand.Rand, audited bool) (RunResult, error) {
+	return RunOnceOpts(spec, w, name, rng, RunOptions{Audited: audited})
+}
+
+// RunOnceOpts is RunOnce with explicit run options.
+func RunOnceOpts(spec AppSpec, w Workload, name StrategyName, rng *rand.Rand, opts RunOptions) (RunResult, error) {
 	var audit *inconsistency.RuleAudit
-	if audited {
+	if opts.Audited {
 		audit = &inconsistency.RuleAudit{}
 	}
 	strat, err := NewStrategy(name, rng, audit)
@@ -34,9 +51,12 @@ func RunOnce(spec AppSpec, w Workload, name StrategyName, rng *rand.Rand, audite
 	}
 	collector := metrics.NewCollector()
 	engine := spec.NewEngine()
-	m := middleware.New(spec.NewChecker(), strat,
-		middleware.WithHooks(collector.Hooks()),
-	)
+	mwOpts := []middleware.Option{middleware.WithHooks(collector.Hooks())}
+	if opts.Parallelism > 1 {
+		mwOpts = append(mwOpts, middleware.WithCheckerOptions(
+			middleware.CheckerOptions{Parallelism: opts.Parallelism}))
+	}
+	m := middleware.New(spec.NewChecker(), strat, mwOpts...)
 
 	// Clone the prototypes: life-cycle state is per-run.
 	cloned := make([][]*ctx.Context, len(w.Steps))
@@ -121,6 +141,11 @@ type GroupResult struct {
 // names (plus OPT-R if absent, as the baseline), normalizing each run
 // against OPT-R.
 func RunGroup(spec AppSpec, errRate float64, names []StrategyName, seed int64) (GroupResult, error) {
+	return RunGroupOpts(spec, errRate, names, seed, RunOptions{})
+}
+
+// RunGroupOpts is RunGroup with explicit run options.
+func RunGroupOpts(spec AppSpec, errRate float64, names []StrategyName, seed int64, opts RunOptions) (GroupResult, error) {
 	wlRNG := rand.New(rand.NewSource(seed))
 	w, err := spec.NewWorkload(errRate, wlRNG)
 	if err != nil {
@@ -146,7 +171,9 @@ func RunGroup(spec AppSpec, errRate float64, names []StrategyName, seed int64) (
 	for _, n := range all {
 		// Strategy-internal randomness is seeded independently of the
 		// workload so every strategy sees the identical stream.
-		res, err := RunOnce(spec, w, n, rand.New(rand.NewSource(seed+1)), false)
+		runOpts := opts
+		runOpts.Audited = false
+		res, err := RunOnceOpts(spec, w, n, rand.New(rand.NewSource(seed+1)), runOpts)
 		if err != nil {
 			return GroupResult{}, err
 		}
@@ -170,6 +197,9 @@ type FigureConfig struct {
 	Seed int64
 	// Strategies are the compared strategies (default: the paper's four).
 	Strategies []StrategyName
+	// Parallelism is the checker worker count for every run; <= 1 keeps
+	// the serial checker (the default and the paper's configuration).
+	Parallelism int
 }
 
 // DefaultFigureConfig reproduces the paper's setting.
@@ -223,7 +253,8 @@ func RunFigure(spec AppSpec, cfg FigureConfig) (FigureResult, error) {
 		}
 		for g := 0; g < cfg.Groups; g++ {
 			seed := cfg.Seed + int64(ri*cfg.Groups+g)
-			group, err := RunGroup(spec, rate, cfg.Strategies, seed)
+			group, err := RunGroupOpts(spec, rate, cfg.Strategies, seed,
+				RunOptions{Parallelism: cfg.Parallelism})
 			if err != nil {
 				return FigureResult{}, fmt.Errorf("rate %.0f%% group %d: %w", rate*100, g, err)
 			}

@@ -32,6 +32,9 @@ type Collector struct {
 
 	expired  int
 	detected int
+
+	shards         int
+	prunedBindings int
 }
 
 // NewCollector returns an empty collector.
@@ -46,11 +49,25 @@ func (c *Collector) Hooks() middleware.Hooks {
 		OnDiscard: c.onDiscard,
 		OnExpire:  c.onExpire,
 		OnDetect:  func(constraint.Violation) { c.detected++ },
+		OnCheck:   c.onCheck,
 	}
 }
 
 // Detected returns the number of inconsistencies the checker reported.
 func (c *Collector) Detected() int { return c.detected }
+
+func (c *Collector) onCheck(rep constraint.CheckReport) {
+	c.shards += rep.ShardsDispatched
+	c.prunedBindings += rep.BindingsPruned
+}
+
+// ShardsDispatched returns the total shard tasks the parallel checker
+// dispatched over the run (zero on the serial path).
+func (c *Collector) ShardsDispatched() int { return c.shards }
+
+// BindingsPruned returns the total candidate bindings the kind index let
+// the parallel checker skip over the run (zero on the serial path).
+func (c *Collector) BindingsPruned() int { return c.prunedBindings }
 
 func (c *Collector) onAccept(cc *ctx.Context) {
 	if cc.Truth.Corrupted {

@@ -68,6 +68,10 @@ type Hooks struct {
 	OnDeliver func(c *ctx.Context)
 	// OnExpire fires when a buffered context expires before use.
 	OnExpire func(c *ctx.Context)
+	// OnCheck fires after each parallel consistency check with its
+	// work-distribution report (shards dispatched, bindings pruned). It
+	// does not fire on the serial path.
+	OnCheck func(rep constraint.CheckReport)
 }
 
 // Stats is a snapshot of middleware counters.
@@ -79,6 +83,10 @@ type Stats struct {
 	Rejected   int `json:"rejected"`  // uses refused as inconsistent
 	Expired    int `json:"expired"`
 	Situations int `json:"situations"` // activation events
+
+	// Parallel-checker counters (zero on the serial path).
+	Shards         int `json:"shards"`         // shard tasks dispatched to the worker pool
+	PrunedBindings int `json:"prunedBindings"` // candidate bindings skipped via the kind index
 }
 
 // Middleware is the context-management engine. All public methods are safe
@@ -91,8 +99,23 @@ type Middleware struct {
 	pool       *pool.Pool
 	situations *situation.Engine
 	hooks      Hooks
+	checkOpts  CheckerOptions
+	checkKinds map[ctx.Kind]bool // cached checker.Kinds() for snapshot pruning
 	clock      time.Time
 	stats      Stats
+}
+
+// CheckerOptions configures how the middleware invokes the consistency
+// checker.
+type CheckerOptions struct {
+	// Parallelism is the worker count for the parallel binding evaluator.
+	// Values <= 1 keep the default serial checker; values > 1 run each
+	// submission's consistency check across that many workers over an
+	// immutable kind-indexed snapshot of the checking buffer. Both paths
+	// return byte-identical violations (see internal/constraint), so the
+	// choice is purely a throughput knob. Use
+	// constraint.DefaultParallelism() for a GOMAXPROCS-sized pool.
+	Parallelism int
 }
 
 // Option configures the middleware.
@@ -101,6 +124,12 @@ type Option func(*Middleware)
 // WithHooks installs life-cycle hooks.
 func WithHooks(h Hooks) Option {
 	return func(m *Middleware) { m.hooks = h }
+}
+
+// WithCheckerOptions configures checker invocation (e.g. opts in the
+// parallel binding evaluator).
+func WithCheckerOptions(o CheckerOptions) Option {
+	return func(m *Middleware) { m.checkOpts = o }
 }
 
 // WithSituations installs a situation engine evaluated over the delivered
@@ -178,7 +207,7 @@ func (m *Middleware) Submit(c *ctx.Context) ([]constraint.Violation, error) {
 	if m.hooks.OnAccept != nil {
 		m.hooks.OnAccept(c)
 	}
-	vios := m.checker.CheckAddition(m.pool.CheckingUniverse(), c)
+	vios := m.checkAdditionLocked(c)
 	m.stats.Detected += len(vios)
 	if m.hooks.OnDetect != nil {
 		for _, v := range vios {
@@ -188,6 +217,29 @@ func (m *Middleware) Submit(c *ctx.Context) ([]constraint.Violation, error) {
 	out := m.strat.OnAddition(c, vios)
 	m.applyLocked(out, ReasonOnAddition)
 	return vios, nil
+}
+
+// checkAdditionLocked runs the consistency check for one addition. With
+// Parallelism > 1 it snapshots the checking buffer through the pool's kind
+// index (pruning kinds no constraint quantifies over) and fans the check
+// out across the worker pool; otherwise it uses the serial checker. Both
+// paths yield identical violations.
+func (m *Middleware) checkAdditionLocked(c *ctx.Context) []constraint.Violation {
+	if m.checkOpts.Parallelism <= 1 {
+		return m.checker.CheckAddition(m.pool.CheckingUniverse(), c)
+	}
+	if m.checkKinds == nil {
+		m.checkKinds = m.checker.Kinds()
+	}
+	u, pruned := m.pool.CheckingUniverseFor(m.checkKinds)
+	vios, rep := m.checker.CheckAdditionParallelReport(u, c, m.checkOpts.Parallelism)
+	rep.BindingsPruned += pruned
+	m.stats.Shards += rep.ShardsDispatched
+	m.stats.PrunedBindings += rep.BindingsPruned
+	if m.hooks.OnCheck != nil {
+		m.hooks.OnCheck(rep)
+	}
+	return vios
 }
 
 // Use processes a context deletion change: the application asks to consume

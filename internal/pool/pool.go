@@ -43,6 +43,12 @@ type Pool struct {
 	entries map[ctx.ID]*entry
 	order   []ctx.ID // insertion order for deterministic iteration
 
+	// checkingByKind indexes the checking buffer by context kind, each
+	// slice kept in chronological (ctx.ByTimestamp) order. It lets
+	// checking snapshots enumerate only the kinds constraints quantify
+	// over, without scanning or re-sorting the whole buffer.
+	checkingByKind map[ctx.Kind][]*ctx.Context
+
 	// counters
 	added     int
 	discarded int
@@ -52,7 +58,10 @@ type Pool struct {
 
 // New returns an empty pool.
 func New() *Pool {
-	return &Pool{entries: make(map[ctx.ID]*entry)}
+	return &Pool{
+		entries:        make(map[ctx.ID]*entry),
+		checkingByKind: make(map[ctx.Kind][]*ctx.Context),
+	}
 }
 
 // Add inserts a context. Duplicate IDs are rejected.
@@ -70,8 +79,33 @@ func (p *Pool) Add(c *ctx.Context) error {
 	}
 	p.entries[c.ID] = &entry{c: c}
 	p.order = append(p.order, c.ID)
+	p.indexAdd(c) // new entries always start in the checking buffer
 	p.added++
 	return nil
+}
+
+// indexAdd inserts c into its kind's index slice at the chronological
+// position (callers hold the write lock).
+func (p *Pool) indexAdd(c *ctx.Context) {
+	list := p.checkingByKind[c.Kind]
+	i := sort.Search(len(list), func(i int) bool { return ctx.Earlier(c, list[i]) })
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = c
+	p.checkingByKind[c.Kind] = list
+}
+
+// indexRemove drops c from its kind's index slice when the entry leaves the
+// checking buffer (callers hold the write lock). Removing an absent context
+// is a no-op, so idempotent life-cycle transitions stay idempotent here.
+func (p *Pool) indexRemove(c *ctx.Context) {
+	list := p.checkingByKind[c.Kind]
+	for i, e := range list {
+		if e.ID == c.ID {
+			p.checkingByKind[c.Kind] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
 }
 
 // Get returns the context regardless of its life-cycle flags.
@@ -97,6 +131,7 @@ func (p *Pool) MarkUsed(id ctx.ID) error {
 	if !e.used {
 		e.used = true
 		p.used++
+		p.indexRemove(e.c)
 	}
 	return nil
 }
@@ -112,6 +147,7 @@ func (p *Pool) Discard(id ctx.ID) error {
 	if !e.discarded {
 		e.discarded = true
 		p.discarded++
+		p.indexRemove(e.c)
 	}
 	return nil
 }
@@ -150,6 +186,7 @@ func (p *Pool) SweepExpired(now time.Time) []*ctx.Context {
 		}
 		e.expired = true
 		p.expired++
+		p.indexRemove(e.c)
 	}
 	return fromChecking
 }
@@ -170,6 +207,43 @@ func (p *Pool) Checking() []*ctx.Context {
 // CheckingUniverse returns the checking buffer as a constraint universe.
 func (p *Pool) CheckingUniverse() *constraint.SliceUniverse {
 	return constraint.NewSliceUniverse(p.Checking())
+}
+
+// CheckingOfKind returns a copy of the checking buffer restricted to one
+// kind, in chronological order, straight from the kind index.
+func (p *Pool) CheckingOfKind(kind ctx.Kind) []*ctx.Context {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	list := p.checkingByKind[kind]
+	if len(list) == 0 {
+		return nil
+	}
+	return append([]*ctx.Context(nil), list...)
+}
+
+// CheckingUniverseFor snapshots the checking buffer restricted to the given
+// kinds using the kind index: no full-buffer scan, no re-sort (the index is
+// maintained in chronological order, the same total order NewSliceUniverse
+// sorts into). The returned universe is an immutable copy, safe to evaluate
+// concurrently while the pool keeps mutating. The second result is the
+// number of checking contexts pruned — live contexts whose kind no
+// requested constraint quantifies over.
+func (p *Pool) CheckingUniverseFor(kinds map[ctx.Kind]bool) (*constraint.SliceUniverse, int) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	byKind := make(map[ctx.Kind][]*ctx.Context, len(kinds))
+	pruned := 0
+	for k, list := range p.checkingByKind {
+		if len(list) == 0 {
+			continue
+		}
+		if !kinds[k] {
+			pruned += len(list)
+			continue
+		}
+		byKind[k] = append([]*ctx.Context(nil), list...)
+	}
+	return constraint.NewPresortedUniverse(byKind), pruned
 }
 
 // Available returns the contexts applications may read, in insertion order.

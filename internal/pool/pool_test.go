@@ -261,3 +261,101 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("Len = %d", p.Len())
 	}
 }
+
+// TestKindIndexTracksLifecycle verifies the kind index mirrors the checking
+// view through every life-cycle transition and stays chronologically
+// ordered even for out-of-order insertion.
+func TestKindIndexTracksLifecycle(t *testing.T) {
+	p := New()
+	// Insert out of chronological order: the index must order by
+	// (timestamp, seq, ID), not insertion.
+	late := mk("late", ctx.WithSeq(3))
+	late.Timestamp = t0.Add(2 * time.Second)
+	early := mk("early", ctx.WithSeq(1))
+	mid := mk("mid", ctx.WithSeq(2))
+	mid.Timestamp = t0.Add(1 * time.Second)
+	for _, c := range []*ctx.Context{late, early, mid} {
+		if err := p.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.CheckingOfKind(ctx.KindLocation)
+	if len(got) != 3 || got[0].ID != "early" || got[1].ID != "mid" || got[2].ID != "late" {
+		t.Fatalf("index order = %v", got)
+	}
+
+	// Leaving the checking buffer removes from the index; idempotently.
+	if err := p.MarkUsed("mid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Discard("late"); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.MarkUsed("mid")
+	got = p.CheckingOfKind(ctx.KindLocation)
+	if len(got) != 1 || got[0].ID != "early" {
+		t.Fatalf("index after transitions = %v", got)
+	}
+
+	// Expiry removes too.
+	exp := mk("exp", ctx.WithSeq(4), ctx.WithTTL(time.Second))
+	if err := p.Add(exp); err != nil {
+		t.Fatal(err)
+	}
+	p.SweepExpired(t0.Add(time.Hour))
+	got = p.CheckingOfKind(ctx.KindLocation)
+	if len(got) != 1 || got[0].ID != "early" {
+		t.Fatalf("index after sweep = %v", got)
+	}
+	if p.CheckingOfKind(ctx.KindRFIDRead) != nil {
+		t.Fatal("unknown kind not empty")
+	}
+}
+
+// TestCheckingUniverseForMatchesFullUniverse asserts the kind-indexed
+// snapshot is byte-identical, per kind, to the full scan-and-sort snapshot,
+// and that it reports pruned contexts of unrequested kinds.
+func TestCheckingUniverseForMatchesFullUniverse(t *testing.T) {
+	p := New()
+	for i := 0; i < 12; i++ {
+		kind := ctx.KindLocation
+		if i%3 == 0 {
+			kind = ctx.KindRFIDRead
+		}
+		c := ctx.New(kind, t0.Add(time.Duration(i%4)*time.Second), nil,
+			ctx.WithID(ctx.ID("c"+string(rune('a'+i)))), ctx.WithSeq(uint64(i%2)))
+		if err := p.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.MarkUsed("cb"); err != nil {
+		t.Fatal(err)
+	}
+
+	full := p.CheckingUniverse()
+	snap, pruned := p.CheckingUniverseFor(map[ctx.Kind]bool{ctx.KindLocation: true})
+	if pruned != 4 {
+		t.Fatalf("pruned = %d, want the 4 rfid contexts", pruned)
+	}
+	want := full.ContextsOfKind(ctx.KindLocation)
+	got := snap.ContextsOfKind(ctx.KindLocation)
+	if len(want) != len(got) {
+		t.Fatalf("snapshot has %d locations, full %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID {
+			t.Fatalf("position %d: snapshot %s, full %s", i, got[i].ID, want[i].ID)
+		}
+	}
+	if len(snap.ContextsOfKind(ctx.KindRFIDRead)) != 0 {
+		t.Fatal("pruned kind present in snapshot")
+	}
+
+	// The snapshot must stay stable while the pool keeps mutating.
+	if err := p.Discard(got[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if again := snap.ContextsOfKind(ctx.KindLocation); len(again) != len(got) {
+		t.Fatalf("snapshot mutated: %d contexts, was %d", len(again), len(got))
+	}
+}
