@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/constraint ./internal/middleware ./internal/pool
+	$(GO) test -race ./internal/constraint ./internal/middleware ./internal/pool ./internal/daemon/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

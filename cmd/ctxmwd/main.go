@@ -6,7 +6,10 @@
 //
 // -app selects the bundled constraint/situation sets (callforward, rfid);
 // -strategy selects the resolution strategy (D-BAD, D-LAT, D-ALL, D-RAND,
-// OPT-R). The daemon stops on SIGINT/SIGTERM after draining connections.
+// OPT-R); -parallelism switches consistency checking onto the parallel
+// binding evaluator (as in ctxbench); -idle-timeout, -max-conns, and
+// -drain-timeout tune the serving path. The daemon stops on
+// SIGINT/SIGTERM after draining in-flight requests.
 package main
 
 import (
@@ -56,6 +59,14 @@ func setup(args []string) (*daemon.Server, error) {
 		strategy = fs.String("strategy", "D-BAD", "resolution strategy: D-BAD, D-LAT, D-ALL, D-RAND, OPT-R")
 		seed     = fs.Int64("seed", 1, "seed for randomized strategies")
 		constrs  = fs.String("constraints", "", "load the constraint set from this file instead of the app profile")
+		par      = fs.Int("parallelism", 0, "checker workers per consistency check "+
+			"(<=1 serial, -1 = GOMAXPROCS)")
+		idle     = fs.Duration("idle-timeout", daemon.DefaultIdleTimeout,
+			"close connections idle longer than this (0 disables)")
+		maxConns = fs.Int("max-conns", daemon.DefaultMaxConns,
+			"concurrent connection cap (0 = unlimited)")
+		drain = fs.Duration("drain-timeout", daemon.DefaultDrainTimeout,
+			"how long shutdown waits for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -85,13 +96,22 @@ func setup(args []string) (*daemon.Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	mw := middleware.New(checker, strat, middleware.WithSituations(engine))
-	srv, err := daemon.Serve(*addr, mw, engine)
+	parallelism := *par
+	if parallelism < 0 {
+		parallelism = constraint.DefaultParallelism()
+	}
+	mw := middleware.New(checker, strat,
+		middleware.WithSituations(engine),
+		middleware.WithCheckerOptions(middleware.CheckerOptions{Parallelism: parallelism}))
+	srv, err := daemon.Serve(*addr, mw, engine,
+		daemon.WithIdleTimeout(*idle),
+		daemon.WithMaxConns(*maxConns),
+		daemon.WithDrainTimeout(*drain))
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("ctxmwd: serving %s application with %s on %s\n",
-		*app, strat.Name(), srv.Addr())
+	fmt.Printf("ctxmwd: serving %s application with %s on %s (parallelism %d)\n",
+		*app, strat.Name(), srv.Addr(), parallelism)
 	return srv, nil
 }
 

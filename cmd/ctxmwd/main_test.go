@@ -44,6 +44,41 @@ func TestSetupServesAndResponds(t *testing.T) {
 	}
 }
 
+func TestSetupParallelismReachesChecker(t *testing.T) {
+	srv, err := setup([]string{"-addr", "127.0.0.1:0", "-parallelism", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	client, err := daemon.Dial(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	t0 := time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+	for i := 1; i <= 2; i++ {
+		c := ctx.NewLocation("peter", t0.Add(time.Duration(i)*time.Second),
+			ctx.Point{X: float64(i)},
+			ctx.WithSeq(uint64(i)), ctx.WithSource("s"))
+		if _, err := client.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mwStats, _, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mwStats.Shards == 0 {
+		t.Fatalf("stats = %+v, want shard dispatches from the parallel checker", mwStats)
+	}
+	// -parallelism -1 sizes the pool from GOMAXPROCS and must also serve.
+	srv2, err := setup([]string{"-addr", "127.0.0.1:0", "-parallelism", "-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.Shutdown()
+}
+
 func TestSetupErrors(t *testing.T) {
 	if _, err := setup([]string{"-app", "bogus"}); err == nil {
 		t.Fatal("bad app accepted")

@@ -16,16 +16,63 @@ import (
 
 // Client is a synchronous protocol client. It is safe for concurrent use;
 // requests are serialized over one connection.
+//
+// The client is fault-tolerant: a transport failure (timeout, dropped
+// connection, truncated frame) marks the connection broken, and the next
+// attempt redials with capped exponential backoff. A broken connection is
+// never reused, so a response delayed past a deadline can never be
+// misread as the answer to a later request. Operations are retried up to
+// MaxAttempts times; every protocol operation is safe to resend (ping,
+// stats, situations, and use-latest are idempotent; re-using an ID is
+// free; a resubmitted context whose first submission actually landed is
+// rejected as a duplicate by the pool rather than applied twice).
 type Client struct {
-	mu      sync.Mutex
+	addr string
+	opts ClientOptions
+
+	mu sync.Mutex // serializes round trips
+
+	stateMu sync.Mutex // guards conn/scanner/closed; nests inside mu
 	conn    net.Conn
 	scanner *bufio.Scanner
-	timeout time.Duration
+	closed  bool
 }
 
+// ClientOptions tunes a client's timeout and reconnect behavior.
+type ClientOptions struct {
+	// Timeout bounds each round-trip attempt (and the dial when no Dial
+	// override is set). Zero means no per-attempt I/O deadline and a 10s
+	// dial timeout.
+	Timeout time.Duration
+	// MaxAttempts is the total number of tries per operation, including
+	// the first. Values < 1 mean the default of 3.
+	MaxAttempts int
+	// ReconnectBackoffMin/Max bound the capped exponential delay inserted
+	// before each retry (defaults 10ms and 1s).
+	ReconnectBackoffMin time.Duration
+	ReconnectBackoffMax time.Duration
+	// Dial overrides the transport dialer; fault harnesses use this to
+	// wrap connections (see internal/daemon/faultconn).
+	Dial func(addr string) (net.Conn, error)
+}
+
+// Client tuning defaults.
+const (
+	DefaultMaxAttempts         = 3
+	DefaultReconnectBackoffMin = 10 * time.Millisecond
+	DefaultReconnectBackoffMax = time.Second
+)
+
+// ErrClientClosed reports an operation on a closed client.
+var ErrClientClosed = errors.New("daemon: client closed")
+
 // RemoteError is a failure reported by the server (as opposed to a
-// transport failure).
+// transport failure). The client never retries a RemoteError: the server
+// answered, so resending the same request cannot change the outcome.
 type RemoteError struct {
+	// Code classifies the failure (CodeApp for middleware rejections,
+	// CodeBadRequest/CodeFrameTooLong/CodeBusy for protocol trouble).
+	Code    Code
 	Message string
 }
 
@@ -35,13 +82,33 @@ func (e *RemoteError) Error() string { return "daemon: " + e.Message }
 // Dial connects to a server. timeout bounds each round trip; zero means no
 // deadline.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout(timeout))
-	if err != nil {
-		return nil, fmt.Errorf("daemon: dial %s: %w", addr, err)
+	return DialOptions(addr, ClientOptions{Timeout: timeout})
+}
+
+// DialOptions connects to a server with explicit tuning. The initial dial
+// is eager so misconfiguration fails fast; later reconnects happen
+// transparently inside each operation.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	if opts.MaxAttempts < 1 {
+		opts.MaxAttempts = DefaultMaxAttempts
 	}
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 4096), MaxLineBytes)
-	return &Client{conn: conn, scanner: scanner, timeout: timeout}, nil
+	if opts.ReconnectBackoffMin <= 0 {
+		opts.ReconnectBackoffMin = DefaultReconnectBackoffMin
+	}
+	if opts.ReconnectBackoffMax < opts.ReconnectBackoffMin {
+		opts.ReconnectBackoffMax = DefaultReconnectBackoffMax
+	}
+	if opts.Dial == nil {
+		timeout := opts.Timeout
+		opts.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, dialTimeout(timeout))
+		}
+	}
+	c := &Client{addr: addr, opts: opts}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 func dialTimeout(t time.Duration) time.Duration {
@@ -51,13 +118,112 @@ func dialTimeout(t time.Duration) time.Duration {
 	return t
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// connect dials a fresh connection and installs it as current.
+func (c *Client) connect() error {
+	conn, err := c.opts.Dial(c.addr)
+	if err != nil {
+		return fmt.Errorf("daemon: dial %s: %w", c.addr, err)
+	}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 4096), MaxLineBytes)
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	if c.closed {
+		_ = conn.Close()
+		return ErrClientClosed
+	}
+	c.conn, c.scanner = conn, scanner
+	return nil
+}
+
+// current returns the live connection, or nil when broken/unconnected.
+func (c *Client) current() (net.Conn, *bufio.Scanner) {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.conn, c.scanner
+}
+
+// dropConn discards conn (if still current) so no later attempt can read
+// a stale half-delivered response off its stream.
+func (c *Client) dropConn(conn net.Conn) {
+	c.stateMu.Lock()
+	if c.conn == conn {
+		c.conn, c.scanner = nil, nil
+	}
+	c.stateMu.Unlock()
+	_ = conn.Close()
+}
+
+func (c *Client) isClosed() bool {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.closed
+}
+
+// Close closes the connection. Close may be called concurrently with an
+// in-flight operation; that operation fails with ErrClientClosed.
+func (c *Client) Close() error {
+	c.stateMu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.conn, c.scanner = nil, nil
+	c.stateMu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
 
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := SetConnDeadline(c.conn, c.timeout); err != nil {
+	var lastErr error
+	backoff := c.opts.ReconnectBackoffMin
+	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > c.opts.ReconnectBackoffMax {
+				backoff = c.opts.ReconnectBackoffMax
+			}
+		}
+		if c.isClosed() {
+			return Response{}, ErrClientClosed
+		}
+		conn, scanner := c.current()
+		if conn == nil {
+			if err := c.connect(); err != nil {
+				if errors.Is(err, ErrClientClosed) {
+					return Response{}, err
+				}
+				lastErr = err
+				continue
+			}
+			conn, scanner = c.current()
+		}
+		resp, err := c.exchange(conn, scanner, req)
+		if err == nil {
+			return resp, nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			return Response{}, err
+		}
+		// Transport failure: the old stream may still hold (part of) a
+		// response, so it must never serve another request.
+		c.dropConn(conn)
+		if c.isClosed() {
+			return Response{}, ErrClientClosed
+		}
+		lastErr = err
+	}
+	return Response{}, fmt.Errorf("daemon: giving up after %d attempts: %w",
+		c.opts.MaxAttempts, lastErr)
+}
+
+// exchange performs one request/response over conn.
+func (c *Client) exchange(conn net.Conn, scanner *bufio.Scanner, req Request) (Response, error) {
+	if err := SetConnDeadline(conn, c.opts.Timeout); err != nil {
 		return Response{}, fmt.Errorf("daemon: set deadline: %w", err)
 	}
 	payload, err := json.Marshal(req)
@@ -65,21 +231,21 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		return Response{}, fmt.Errorf("daemon: marshal request: %w", err)
 	}
 	payload = append(payload, '\n')
-	if _, err := c.conn.Write(payload); err != nil {
+	if _, err := conn.Write(payload); err != nil {
 		return Response{}, fmt.Errorf("daemon: write: %w", err)
 	}
-	if !c.scanner.Scan() {
-		if err := c.scanner.Err(); err != nil {
+	if !scanner.Scan() {
+		if err := scanner.Err(); err != nil {
 			return Response{}, fmt.Errorf("daemon: read: %w", err)
 		}
 		return Response{}, errors.New("daemon: connection closed")
 	}
 	var resp Response
-	if err := json.Unmarshal(c.scanner.Bytes(), &resp); err != nil {
+	if err := json.Unmarshal(scanner.Bytes(), &resp); err != nil {
 		return Response{}, fmt.Errorf("daemon: decode response: %w", err)
 	}
 	if !resp.OK {
-		return Response{}, &RemoteError{Message: resp.Error}
+		return Response{}, &RemoteError{Code: resp.Code, Message: resp.Error}
 	}
 	return resp, nil
 }
@@ -133,6 +299,18 @@ func (c *Client) Stats() (middleware.Stats, pool.Stats, error) {
 		pl = *resp.Pool
 	}
 	return mw, pl, nil
+}
+
+// ServerStats fetches the daemon's transport counters.
+func (c *Client) ServerStats() (ServerStats, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return ServerStats{}, err
+	}
+	if resp.Daemon == nil {
+		return ServerStats{}, nil
+	}
+	return *resp.Daemon, nil
 }
 
 // Situations fetches the current activation state of every situation.

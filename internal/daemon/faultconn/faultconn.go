@@ -1,0 +1,238 @@
+// Package faultconn injects transport faults into net.Listener and
+// net.Conn values for chaos-testing the daemon serving path: transient
+// accept errors, mid-frame disconnects, truncated writes, and stalls.
+//
+// Faults are deterministic: explicit budgets and counts script exactly
+// which bytes survive, and the Chaos listener derives its per-connection
+// fault mix from a caller-supplied seed, so a failing run reproduces from
+// the seed alone. The package has no dependency on the daemon; it wraps
+// plain net interfaces and is usable by any transport test.
+package faultconn
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected reports an injected fault on a read or write. The underlying
+// connection is closed when it is returned.
+var ErrInjected = errors.New("faultconn: injected fault")
+
+// tempError is a transient accept failure, shaped like the retryable
+// errors a real listener produces (ECONNABORTED, EMFILE under pressure).
+type tempError struct{}
+
+func (tempError) Error() string   { return "faultconn: injected transient accept error" }
+func (tempError) Temporary() bool { return true }
+func (tempError) Timeout() bool   { return false }
+
+// Listener wraps a net.Listener with scripted accept faults and an
+// optional per-connection wrapper.
+type Listener struct {
+	net.Listener
+
+	mu        sync.Mutex
+	transient int
+	wrap      func(i int, c net.Conn) net.Conn
+	accepted  int
+}
+
+// ListenerOption configures a Listener.
+type ListenerOption func(*Listener)
+
+// WithTransientAcceptErrors makes the next n Accept calls fail with a
+// temporary error before accepting for real.
+func WithTransientAcceptErrors(n int) ListenerOption {
+	return func(l *Listener) { l.transient = n }
+}
+
+// WithConnWrapper installs f to wrap the i-th accepted connection
+// (0-based, in accept order).
+func WithConnWrapper(f func(i int, c net.Conn) net.Conn) ListenerOption {
+	return func(l *Listener) { l.wrap = f }
+}
+
+// NewListener wraps ln.
+func NewListener(ln net.Listener, opts ...ListenerOption) *Listener {
+	l := &Listener{Listener: ln}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Accept returns a scripted transient error while any remain, then
+// delegates to the inner listener and applies the connection wrapper.
+func (l *Listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if l.transient > 0 {
+		l.transient--
+		l.mu.Unlock()
+		return nil, tempError{}
+	}
+	l.mu.Unlock()
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.accepted
+	l.accepted++
+	wrap := l.wrap
+	l.mu.Unlock()
+	if wrap != nil {
+		c = wrap(i, c)
+	}
+	return c, nil
+}
+
+// Accepted returns how many connections have been accepted (post-fault).
+func (l *Listener) Accepted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepted
+}
+
+// Conn wraps a net.Conn with byte-budget and stall faults.
+type Conn struct {
+	net.Conn
+
+	mu          sync.Mutex
+	readBudget  int // -1 = unlimited
+	writeBudget int // -1 = unlimited
+	readStall   time.Duration
+	writeStall  time.Duration
+}
+
+// ConnOption configures a Conn.
+type ConnOption func(*Conn)
+
+// CutAfterWrites closes the connection once n bytes have been written;
+// the write that crosses the budget is truncated — a mid-frame disconnect
+// as the peer sees it.
+func CutAfterWrites(n int) ConnOption {
+	return func(c *Conn) { c.writeBudget = n }
+}
+
+// CutAfterReads closes the connection once n bytes have been read, so the
+// wrapped side sees a response truncated mid-frame.
+func CutAfterReads(n int) ConnOption {
+	return func(c *Conn) { c.readBudget = n }
+}
+
+// WithReadStall sleeps d before every read (a slow or wedged peer).
+func WithReadStall(d time.Duration) ConnOption {
+	return func(c *Conn) { c.readStall = d }
+}
+
+// WithWriteStall sleeps d before every write (responses arrive late,
+// tripping peer deadlines).
+func WithWriteStall(d time.Duration) ConnOption {
+	return func(c *Conn) { c.writeStall = d }
+}
+
+// Wrap decorates conn with the given faults.
+func Wrap(conn net.Conn, opts ...ConnOption) *Conn {
+	c := &Conn{Conn: conn, readBudget: -1, writeBudget: -1}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Read applies the read stall and budget, closing the connection and
+// returning ErrInjected once the budget is exhausted.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	stall := c.readStall
+	c.mu.Unlock()
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	n, cut := c.takeBudget(&c.readBudget, len(p))
+	if !cut {
+		return c.Conn.Read(p)
+	}
+	read := 0
+	if n > 0 {
+		read, _ = c.Conn.Read(p[:n])
+	}
+	_ = c.Conn.Close()
+	return read, ErrInjected
+}
+
+// Write applies the write stall and budget, truncating the write that
+// crosses the budget and closing the connection.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	stall := c.writeStall
+	c.mu.Unlock()
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	n, cut := c.takeBudget(&c.writeBudget, len(p))
+	if !cut {
+		return c.Conn.Write(p)
+	}
+	written := 0
+	if n > 0 {
+		written, _ = c.Conn.Write(p[:n])
+	}
+	_ = c.Conn.Close()
+	return written, ErrInjected
+}
+
+// takeBudget consumes up to want from the budget. It returns how much of
+// the operation may proceed and whether the budget was exceeded.
+func (c *Conn) takeBudget(budget *int, want int) (allowed int, cut bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if *budget < 0 {
+		return want, false
+	}
+	if want <= *budget {
+		*budget -= want
+		return want, false
+	}
+	allowed = *budget
+	*budget = 0
+	return allowed, true
+}
+
+// ChaosConfig tunes the seeded fault mix of Chaos.
+type ChaosConfig struct {
+	// FaultRate is the probability an accepted connection gets a fault.
+	FaultRate float64
+	// MinBytes/MaxBytes bound the write budget of a truncation fault.
+	MinBytes, MaxBytes int
+	// Stall, when positive, makes roughly half the faulted connections
+	// stalled (by Stall per write) instead of truncated.
+	Stall time.Duration
+}
+
+// Chaos wraps ln so that each accepted connection is, with probability
+// cfg.FaultRate, either cut after a PRNG-chosen number of written bytes
+// or stalled on every write. The fault assignment is a pure function of
+// seed and accept order, so runs are reproducible.
+func Chaos(ln net.Listener, seed int64, cfg ChaosConfig) *Listener {
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return NewListener(ln, WithConnWrapper(func(i int, c net.Conn) net.Conn {
+		mu.Lock()
+		defer mu.Unlock()
+		if rng.Float64() >= cfg.FaultRate {
+			return c
+		}
+		budget := cfg.MinBytes
+		if cfg.MaxBytes > cfg.MinBytes {
+			budget += rng.Intn(cfg.MaxBytes - cfg.MinBytes)
+		}
+		if cfg.Stall > 0 && rng.Intn(2) == 0 {
+			return Wrap(c, WithWriteStall(cfg.Stall))
+		}
+		return Wrap(c, CutAfterWrites(budget))
+	}))
+}

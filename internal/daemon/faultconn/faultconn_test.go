@@ -1,0 +1,166 @@
+package faultconn
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// fakeListener feeds scripted connections to Accept.
+type fakeListener struct {
+	conns chan net.Conn
+}
+
+func newFakeListener(n int) *fakeListener {
+	fl := &fakeListener{conns: make(chan net.Conn, n)}
+	for i := 0; i < n; i++ {
+		c, s := net.Pipe()
+		_ = s // server half is irrelevant for accept-side tests
+		fl.conns <- c
+	}
+	return fl
+}
+
+func (f *fakeListener) Accept() (net.Conn, error) {
+	c, ok := <-f.conns
+	if !ok {
+		return nil, net.ErrClosed
+	}
+	return c, nil
+}
+func (f *fakeListener) Close() error   { return nil }
+func (f *fakeListener) Addr() net.Addr { return &net.TCPAddr{} }
+
+func TestTransientAcceptErrors(t *testing.T) {
+	ln := NewListener(newFakeListener(1), WithTransientAcceptErrors(2))
+	for i := 0; i < 2; i++ {
+		_, err := ln.Accept()
+		if err == nil {
+			t.Fatalf("accept %d succeeded, want transient error", i)
+		}
+		var te interface{ Temporary() bool }
+		if !errors.As(err, &te) || !te.Temporary() {
+			t.Fatalf("accept %d error %v is not Temporary", i, err)
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			t.Fatalf("injected error should not be a timeout")
+		}
+	}
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatalf("accept after transients: %v", err)
+	}
+	defer conn.Close()
+	if ln.Accepted() != 1 {
+		t.Fatalf("Accepted = %d", ln.Accepted())
+	}
+}
+
+func TestCutAfterWritesTruncates(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := Wrap(a, CutAfterWrites(5))
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf, _ := io.ReadAll(b)
+		got <- buf
+	}()
+
+	n, err := fc.Write([]byte("hello world"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = %d, %v; want 5, ErrInjected", n, err)
+	}
+	if string(<-got) != "hello" {
+		t.Fatal("peer did not see exactly the truncated prefix")
+	}
+	// The connection is dead now.
+	if _, err := fc.Write([]byte("more")); err == nil {
+		t.Fatal("write after cut succeeded")
+	}
+}
+
+func TestCutAfterReadsTruncates(t *testing.T) {
+	a, b := net.Pipe()
+	fc := Wrap(a, CutAfterReads(3))
+
+	go func() {
+		_, _ = b.Write([]byte("abcdef"))
+		_ = b.Close()
+	}()
+
+	buf := make([]byte, 16)
+	n, err := fc.Read(buf)
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Read = %d %q, %v; want 3 bytes and ErrInjected", n, buf[:n], err)
+	}
+	if string(buf[:n]) != "abc" {
+		t.Fatalf("read %q, want truncated prefix", buf[:n])
+	}
+}
+
+func TestStallDelaysIO(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := Wrap(a, WithWriteStall(30*time.Millisecond))
+	go func() {
+		buf := make([]byte, 4)
+		_, _ = io.ReadFull(b, buf)
+	}()
+	start := time.Now()
+	if _, err := fc.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("write returned after %v, want >= 30ms stall", d)
+	}
+	_ = fc.Close()
+}
+
+// chaosSignature classifies the faults assigned to the first n accepted
+// connections for a seed.
+func chaosSignature(t *testing.T, seed int64, n int) []string {
+	t.Helper()
+	ln := Chaos(newFakeListener(n), seed, ChaosConfig{
+		FaultRate: 0.5, MinBytes: 10, MaxBytes: 100, Stall: time.Millisecond,
+	})
+	sig := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := ln.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, faulted := c.(*Conn)
+		switch {
+		case !faulted:
+			sig = append(sig, "clean")
+		case fc.writeStall > 0:
+			sig = append(sig, "stall")
+		default:
+			sig = append(sig, "cut")
+		}
+		_ = c.Close()
+	}
+	return sig
+}
+
+func TestChaosIsDeterministicPerSeed(t *testing.T) {
+	const n = 32
+	first := chaosSignature(t, 42, n)
+	second := chaosSignature(t, 42, n)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("conn %d: %s vs %s for the same seed", i, first[i], second[i])
+		}
+	}
+	kinds := map[string]bool{}
+	for _, s := range first {
+		kinds[s] = true
+	}
+	if len(kinds) < 2 {
+		t.Fatalf("fault mix %v not diverse; signature %v", kinds, first)
+	}
+}

@@ -29,6 +29,28 @@ const (
 	OpSituations Op = "situations"
 )
 
+// Code classifies a failed response so clients can tell protocol-level
+// trouble (framing, overload) apart from application-level rejections
+// (middleware errors such as "context not found").
+type Code string
+
+// Error codes.
+const (
+	// CodeApp is an application-level error: the request was well-formed
+	// but the middleware refused it. Retrying without changing the request
+	// will not help.
+	CodeApp Code = "app"
+	// CodeBadRequest is an unparseable request line.
+	CodeBadRequest Code = "bad-request"
+	// CodeFrameTooLong is a request line exceeding MaxLineBytes. The server
+	// answers with this code and then closes the connection, since the
+	// stream can no longer be re-synchronized to a line boundary.
+	CodeFrameTooLong Code = "frame-too-long"
+	// CodeBusy is returned (followed by a close) to connections accepted
+	// over the server's max-connections cap.
+	CodeBusy Code = "server-busy"
+)
+
 // Request is one client request.
 type Request struct {
 	Op Op `json:"op"`
@@ -64,17 +86,24 @@ func toWire(vios []constraint.Violation) []WireViolation {
 type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Code classifies the failure when OK is false.
+	Code Code `json:"code,omitempty"`
 	// Violations reports the inconsistencies a submission introduced.
 	Violations []WireViolation `json:"violations,omitempty"`
 	// Context is the delivered context (OpUse / OpUseLatest).
 	Context *ctx.Context `json:"context,omitempty"`
-	// Middleware and Pool are counter snapshots (OpStats).
+	// Middleware, Pool, and Daemon are counter snapshots (OpStats).
 	Middleware *middleware.Stats `json:"middleware,omitempty"`
 	Pool       *pool.Stats       `json:"pool,omitempty"`
+	Daemon     *ServerStats      `json:"daemon,omitempty"`
 	// Active maps situation names to their current activation (OpSituations).
 	Active map[string]bool `json:"active,omitempty"`
 }
 
 func errResponse(err error) Response {
-	return Response{OK: false, Error: err.Error()}
+	return errResponseCode(CodeApp, err)
+}
+
+func errResponseCode(code Code, err error) Response {
+	return Response{OK: false, Error: err.Error(), Code: code}
 }

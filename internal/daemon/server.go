@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ctxres/internal/middleware"
@@ -14,51 +15,230 @@ import (
 )
 
 // Server serves the middleware protocol on a TCP listener. Create it with
-// Serve and stop it with Shutdown; every connection goroutine is joined on
-// shutdown.
+// Serve (or ServeListener) and stop it with Shutdown; every connection
+// goroutine is joined on shutdown.
+//
+// The serving path is fault-tolerant: transient Accept errors are retried
+// with capped exponential backoff, connections past the cap are answered
+// with a CodeBusy error, idle connections are reaped after IdleTimeout,
+// and oversized or malformed frames get a protocol error response instead
+// of a silent close.
 type Server struct {
 	mw     *middleware.Middleware
 	engine *situation.Engine // optional; nil disables OpSituations detail
 	ln     net.Listener
+	opt    options
 
 	mu     sync.Mutex
 	closed bool
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*connState
 
-	wg   sync.WaitGroup
-	done chan struct{}
+	wg       sync.WaitGroup
+	stop     chan struct{} // closed when Shutdown starts
+	done     chan struct{} // closed when Shutdown finishes
+	counters serverCounters
 }
 
 // MaxLineBytes bounds a single request/response line.
 const MaxLineBytes = 1 << 20
 
+// Tuning defaults (see the With* options).
+const (
+	DefaultIdleTimeout      = 5 * time.Minute
+	DefaultMaxConns         = 1024
+	DefaultDrainTimeout     = 5 * time.Second
+	DefaultAcceptBackoffMin = 5 * time.Millisecond
+	DefaultAcceptBackoffMax = time.Second
+)
+
 // ErrServerClosed reports an operation on a stopped server.
 var ErrServerClosed = errors.New("daemon: server closed")
 
+type options struct {
+	idleTimeout      time.Duration
+	maxConns         int
+	drainTimeout     time.Duration
+	acceptBackoffMin time.Duration
+	acceptBackoffMax time.Duration
+}
+
+func defaultOptions() options {
+	return options{
+		idleTimeout:      DefaultIdleTimeout,
+		maxConns:         DefaultMaxConns,
+		drainTimeout:     DefaultDrainTimeout,
+		acceptBackoffMin: DefaultAcceptBackoffMin,
+		acceptBackoffMax: DefaultAcceptBackoffMax,
+	}
+}
+
+// Option tunes the server.
+type Option func(*options)
+
+// WithIdleTimeout sets the per-connection read deadline between requests;
+// a connection idle longer is closed. Zero or negative disables the
+// deadline (connections may idle forever).
+func WithIdleTimeout(d time.Duration) Option {
+	return func(o *options) { o.idleTimeout = d }
+}
+
+// WithMaxConns caps concurrent connections; extra connections receive a
+// CodeBusy error response and are closed. Zero or negative means
+// unlimited.
+func WithMaxConns(n int) Option {
+	return func(o *options) { o.maxConns = n }
+}
+
+// WithDrainTimeout bounds how long Shutdown waits for in-flight requests
+// to finish before force-closing their connections.
+func WithDrainTimeout(d time.Duration) Option {
+	return func(o *options) { o.drainTimeout = d }
+}
+
+// WithAcceptBackoff sets the backoff window for retrying temporary Accept
+// errors (the delay starts at min and doubles up to max).
+func WithAcceptBackoff(min, max time.Duration) Option {
+	return func(o *options) { o.acceptBackoffMin, o.acceptBackoffMax = min, max }
+}
+
+// serverCounters are the transport-level counters; ServerStats is their
+// snapshot form.
+type serverCounters struct {
+	accepted      atomic.Int64
+	acceptRetries atomic.Int64
+	rejectedFull  atomic.Int64
+	requests      atomic.Int64
+	badRequests   atomic.Int64
+	framesTooLong atomic.Int64
+	idleClosed    atomic.Int64
+	readErrors    atomic.Int64
+}
+
+// ServerStats is a snapshot of the server's transport counters, exposed
+// over OpStats alongside the middleware and pool counters.
+type ServerStats struct {
+	// Accepted counts connections admitted to serving.
+	Accepted int64 `json:"accepted"`
+	// AcceptRetries counts temporary Accept errors survived via backoff.
+	AcceptRetries int64 `json:"acceptRetries"`
+	// RejectedFull counts connections turned away over the max-conns cap.
+	RejectedFull int64 `json:"rejectedFull"`
+	// Requests counts request lines read (including malformed ones).
+	Requests int64 `json:"requests"`
+	// BadRequests counts unparseable request lines.
+	BadRequests int64 `json:"badRequests"`
+	// FramesTooLong counts request lines over MaxLineBytes.
+	FramesTooLong int64 `json:"framesTooLong"`
+	// IdleClosed counts connections reaped by the idle deadline.
+	IdleClosed int64 `json:"idleClosed"`
+	// ReadErrors counts connections dropped on other transport errors.
+	ReadErrors int64 `json:"readErrors"`
+}
+
+// Stats snapshots the transport counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Accepted:      s.counters.accepted.Load(),
+		AcceptRetries: s.counters.acceptRetries.Load(),
+		RejectedFull:  s.counters.rejectedFull.Load(),
+		Requests:      s.counters.requests.Load(),
+		BadRequests:   s.counters.badRequests.Load(),
+		FramesTooLong: s.counters.framesTooLong.Load(),
+		IdleClosed:    s.counters.idleClosed.Load(),
+		ReadErrors:    s.counters.readErrors.Load(),
+	}
+}
+
+// connState tracks one connection's drain status: Shutdown closes idle
+// connections immediately but lets a connection that has read a request
+// finish writing its response.
+type connState struct {
+	conn net.Conn
+
+	mu       sync.Mutex
+	inFlight bool
+	closed   bool
+}
+
+func (cs *connState) beginRequest() bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.closed {
+		return false
+	}
+	cs.inFlight = true
+	return true
+}
+
+func (cs *connState) endRequest() {
+	cs.mu.Lock()
+	cs.inFlight = false
+	cs.mu.Unlock()
+}
+
+// closeIfIdle closes the connection unless a request is in flight. It
+// reports whether the connection is (now) closed.
+func (cs *connState) closeIfIdle() bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.closed {
+		return true
+	}
+	if cs.inFlight {
+		return false
+	}
+	cs.closed = true
+	_ = cs.conn.Close()
+	return true
+}
+
+func (cs *connState) forceClose() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if !cs.closed {
+		cs.closed = true
+		_ = cs.conn.Close()
+	}
+}
+
 // Serve starts accepting connections on addr (e.g. "127.0.0.1:7654"; use
 // port 0 for an ephemeral port) and returns the running server.
-func Serve(addr string, mw *middleware.Middleware, engine *situation.Engine) (*Server, error) {
+func Serve(addr string, mw *middleware.Middleware, engine *situation.Engine, opts ...Option) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("daemon: listen %s: %w", addr, err)
+	}
+	return ServeListener(ln, mw, engine, opts...), nil
+}
+
+// ServeListener starts serving on an existing listener. It takes ownership
+// of ln (Shutdown closes it). This is the injection point for fault
+// harnesses such as internal/daemon/faultconn.
+func ServeListener(ln net.Listener, mw *middleware.Middleware, engine *situation.Engine, opts ...Option) *Server {
+	opt := defaultOptions()
+	for _, o := range opts {
+		o(&opt)
 	}
 	s := &Server{
 		mw:     mw,
 		engine: engine,
 		ln:     ln,
-		conns:  make(map[net.Conn]struct{}),
+		opt:    opt,
+		conns:  make(map[net.Conn]*connState),
+		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the listener's address (useful with ephemeral ports).
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Shutdown stops accepting, closes every live connection, and waits for
-// all connection goroutines to exit. It is idempotent.
+// Shutdown stops accepting, drains in-flight requests (bounded by the
+// drain timeout), closes every live connection, and waits for all
+// connection goroutines to exit. It is idempotent.
 func (s *Server) Shutdown() {
 	s.mu.Lock()
 	if s.closed {
@@ -67,42 +247,136 @@ func (s *Server) Shutdown() {
 		return
 	}
 	s.closed = true
+	close(s.stop)
 	_ = s.ln.Close()
-	for conn := range s.conns {
-		_ = conn.Close()
-	}
 	s.mu.Unlock()
+
+	s.drain()
 	s.wg.Wait()
 	close(s.done)
+}
+
+// drain closes idle connections immediately and gives connections with a
+// request in flight until the drain timeout to finish responding.
+func (s *Server) drain() {
+	deadline := time.Now().Add(s.opt.drainTimeout)
+	for {
+		s.mu.Lock()
+		states := make([]*connState, 0, len(s.conns))
+		for _, cs := range s.conns {
+			states = append(states, cs)
+		}
+		s.mu.Unlock()
+		if len(states) == 0 {
+			return
+		}
+		allClosed := true
+		for _, cs := range states {
+			if !cs.closeIfIdle() {
+				allClosed = false
+			}
+		}
+		if allClosed || time.Now().After(deadline) {
+			for _, cs := range states {
+				cs.forceClose()
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // Done is closed once the server has fully stopped.
 func (s *Server) Done() <-chan struct{} { return s.done }
 
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		if !s.track(conn) {
-			_ = conn.Close()
-			return
-		}
-		s.wg.Add(1)
-		go s.serveConn(conn)
+// draining reports whether Shutdown has started.
+func (s *Server) draining() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
 	}
 }
 
-func (s *Server) track(conn net.Conn) bool {
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	backoff := s.opt.acceptBackoffMin
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.draining() || !isTemporary(err) {
+				return
+			}
+			// Transient failure (EMFILE, ECONNABORTED, an injected fault):
+			// back off and keep the server alive instead of killing the
+			// accept loop permanently.
+			s.counters.acceptRetries.Add(1)
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > s.opt.acceptBackoffMax {
+				backoff = s.opt.acceptBackoffMax
+			}
+			continue
+		}
+		backoff = s.opt.acceptBackoffMin
+		cs, st := s.track(conn)
+		switch st {
+		case trackClosed:
+			_ = conn.Close()
+			return
+		case trackFull:
+			s.counters.rejectedFull.Add(1)
+			s.rejectBusy(conn)
+			continue
+		}
+		s.counters.accepted.Add(1)
+		s.wg.Add(1)
+		go s.serveConn(cs)
+	}
+}
+
+// isTemporary reports whether an Accept error is worth retrying.
+func isTemporary(err error) bool {
+	var te interface{ Temporary() bool }
+	return errors.As(err, &te) && te.Temporary()
+}
+
+// rejectBusy answers an over-cap connection with a protocol error before
+// closing it, so well-behaved clients can tell overload from a crash.
+func (s *Server) rejectBusy(conn net.Conn) {
+	resp := errResponseCode(CodeBusy, fmt.Errorf("server at connection cap (%d)", s.opt.maxConns))
+	if payload, err := json.Marshal(resp); err == nil {
+		_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+		_, _ = conn.Write(append(payload, '\n'))
+	}
+	_ = conn.Close()
+}
+
+type trackResult int
+
+const (
+	trackOK trackResult = iota
+	trackClosed
+	trackFull
+)
+
+func (s *Server) track(conn net.Conn) (*connState, trackResult) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return false
+		return nil, trackClosed
 	}
-	s.conns[conn] = struct{}{}
-	return true
+	if s.opt.maxConns > 0 && len(s.conns) >= s.opt.maxConns {
+		return nil, trackFull
+	}
+	cs := &connState{conn: conn}
+	s.conns[conn] = cs
+	return cs, trackOK
 }
 
 func (s *Server) untrack(conn net.Conn) {
@@ -111,7 +385,8 @@ func (s *Server) untrack(conn net.Conn) {
 	delete(s.conns, conn)
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+func (s *Server) serveConn(cs *connState) {
+	conn := cs.conn
 	defer s.wg.Done()
 	defer s.untrack(conn)
 	defer conn.Close()
@@ -121,25 +396,70 @@ func (s *Server) serveConn(conn net.Conn) {
 	writer := bufio.NewWriter(conn)
 	enc := json.NewEncoder(writer)
 
-	for scanner.Scan() {
+	respond := func(resp Response) bool {
+		if s.opt.idleTimeout > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(s.opt.idleTimeout)); err != nil {
+				return false
+			}
+		}
+		if err := enc.Encode(resp); err != nil {
+			return false
+		}
+		return writer.Flush() == nil
+	}
+
+	for {
+		if s.opt.idleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.opt.idleTimeout)); err != nil {
+				return
+			}
+		}
+		if !scanner.Scan() {
+			err := scanner.Err()
+			switch {
+			case err == nil || s.draining():
+				// Clean disconnect, or our own shutdown close.
+			case errors.Is(err, bufio.ErrTooLong):
+				// The stream cannot be re-synchronized past an unbounded
+				// line, but the client deserves to know why it is being
+				// dropped.
+				s.counters.framesTooLong.Add(1)
+				respond(errResponseCode(CodeFrameTooLong,
+					fmt.Errorf("request line exceeds %d bytes", MaxLineBytes)))
+			case isTimeout(err):
+				s.counters.idleClosed.Add(1)
+			default:
+				s.counters.readErrors.Add(1)
+			}
+			return
+		}
 		line := scanner.Bytes()
 		if len(line) == 0 {
 			continue
 		}
+		if !cs.beginRequest() {
+			return // shutdown closed the connection under us
+		}
+		s.counters.requests.Add(1)
 		var req Request
-		resp := Response{}
+		var resp Response
 		if err := json.Unmarshal(line, &req); err != nil {
-			resp = errResponse(fmt.Errorf("bad request: %w", err))
+			s.counters.badRequests.Add(1)
+			resp = errResponseCode(CodeBadRequest, fmt.Errorf("bad request: %w", err))
 		} else {
 			resp = s.handle(req)
 		}
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-		if err := writer.Flush(); err != nil {
+		ok := respond(resp)
+		cs.endRequest()
+		if !ok || s.draining() {
 			return
 		}
 	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func (s *Server) handle(req Request) Response {
@@ -173,7 +493,8 @@ func (s *Server) handle(req Request) Response {
 	case OpStats:
 		mwStats := s.mw.Stats()
 		poolStats := s.mw.Pool().Stats()
-		return Response{OK: true, Middleware: &mwStats, Pool: &poolStats}
+		srvStats := s.Stats()
+		return Response{OK: true, Middleware: &mwStats, Pool: &poolStats, Daemon: &srvStats}
 	case OpSituations:
 		active := make(map[string]bool)
 		if s.engine != nil {
@@ -187,8 +508,8 @@ func (s *Server) handle(req Request) Response {
 	}
 }
 
-// SetConnDeadline is a hook for tests to exercise timeout paths; production
-// connections have no deadline (sources stream indefinitely).
+// SetConnDeadline is a hook for tests to exercise timeout paths; the
+// server manages its own per-connection deadlines via WithIdleTimeout.
 func SetConnDeadline(conn net.Conn, d time.Duration) error {
 	if d <= 0 {
 		return conn.SetDeadline(time.Time{})

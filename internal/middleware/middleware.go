@@ -7,8 +7,10 @@
 //
 // The engine is synchronous and deterministic: time is the logical time
 // carried by context timestamps, and all randomness lives in the sources
-// and strategies. Package bus layers asynchronous ingestion on top for the
-// daemon and long-running examples.
+// and strategies. Package internal/daemon layers the network serving path
+// on top: remote sources and applications drive these same entry points
+// over its line-delimited JSON protocol, and internal/source manages
+// long-running in-process producers.
 package middleware
 
 import (
