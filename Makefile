@@ -3,10 +3,11 @@
 # real concurrency (the parallel checker and the middleware around it).
 
 GO ?= go
+FUZZTIME ?= 30s
 
 .DEFAULT_GOAL := check
 
-.PHONY: check build test race bench vet
+.PHONY: check build test race bench vet cover fuzz-smoke
 
 check: vet build test race
 
@@ -24,3 +25,18 @@ bench:
 
 vet:
 	$(GO) vet ./...
+
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# Short deterministic-budget fuzz pass over every fuzz target: the
+# constraint parser/evaluator, the WAL frame and segment scanners, and the
+# trace reader shared with `ctxwal dump`.
+fuzz-smoke:
+	$(GO) test ./internal/constraint -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/constraint -run='^$$' -fuzz=FuzzLoadConstraints -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/constraint -run='^$$' -fuzz=FuzzDifferentialParallel -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wal -run='^$$' -fuzz=FuzzRecordRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wal -run='^$$' -fuzz=FuzzSegmentScan -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzTraceRead -fuzztime=$(FUZZTIME)

@@ -8,8 +8,16 @@
 // -strategy selects the resolution strategy (D-BAD, D-LAT, D-ALL, D-RAND,
 // OPT-R); -parallelism switches consistency checking onto the parallel
 // binding evaluator (as in ctxbench); -idle-timeout, -max-conns, and
-// -drain-timeout tune the serving path. The daemon stops on
-// SIGINT/SIGTERM after draining in-flight requests.
+// -drain-timeout tune the serving path.
+//
+// -data-dir enables durability: every state-changing operation is
+// journaled to a write-ahead log in that directory, and on startup the
+// daemon recovers the middleware state from it (snapshot plus replay; a
+// torn final record from a crash is truncated). -fsync selects the sync
+// policy (always, interval, never), -snapshot-interval the checkpoint
+// cadence, and -compact-interval the pool-compaction cadence. The daemon
+// stops on SIGINT/SIGTERM after draining in-flight requests, writing a
+// final checkpoint when durability is on.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"ctxres/internal/apps/callforward"
 	"ctxres/internal/apps/rfidmon"
@@ -28,6 +37,7 @@ import (
 	"ctxres/internal/middleware"
 	"ctxres/internal/simspace"
 	"ctxres/internal/situation"
+	"ctxres/internal/wal"
 )
 
 func main() {
@@ -38,7 +48,7 @@ func main() {
 }
 
 func run(args []string) error {
-	srv, err := setup(args)
+	srv, shutdown, err := setup(args)
 	if err != nil {
 		return err
 	}
@@ -47,11 +57,14 @@ func run(args []string) error {
 	<-sig
 	fmt.Println("ctxmwd: shutting down")
 	srv.Shutdown()
-	return nil
+	return shutdown()
 }
 
-// setup parses flags, builds the middleware, and starts the daemon.
-func setup(args []string) (*daemon.Server, error) {
+// setup parses flags, builds the middleware (recovering from the WAL when
+// -data-dir is set), and starts the daemon. The returned function runs the
+// durability shutdown steps (final checkpoint, journal close) after the
+// server has drained.
+func setup(args []string) (*daemon.Server, func() error, error) {
 	fs := flag.NewFlagSet("ctxmwd", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:7654", "listen address")
@@ -61,58 +74,113 @@ func setup(args []string) (*daemon.Server, error) {
 		constrs  = fs.String("constraints", "", "load the constraint set from this file instead of the app profile")
 		par      = fs.Int("parallelism", 0, "checker workers per consistency check "+
 			"(<=1 serial, -1 = GOMAXPROCS)")
-		idle     = fs.Duration("idle-timeout", daemon.DefaultIdleTimeout,
+		idle = fs.Duration("idle-timeout", daemon.DefaultIdleTimeout,
 			"close connections idle longer than this (0 disables)")
 		maxConns = fs.Int("max-conns", daemon.DefaultMaxConns,
 			"concurrent connection cap (0 = unlimited)")
 		drain = fs.Duration("drain-timeout", daemon.DefaultDrainTimeout,
 			"how long shutdown waits for in-flight requests")
+		dataDir = fs.String("data-dir", "",
+			"write-ahead log directory; enables durability and crash recovery")
+		fsyncMode = fs.String("fsync", "interval",
+			"WAL sync policy: always, interval, or never")
+		fsyncEvery = fs.Duration("fsync-interval", wal.DefaultFsyncEvery,
+			"max time between WAL syncs under -fsync interval")
+		snapEvery = fs.Duration("snapshot-interval", time.Minute,
+			"how often to checkpoint the WAL (0 disables; needs -data-dir)")
+		compactEvery = fs.Duration("compact-interval", time.Minute,
+			"how often to compact the context pool (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	checker, engine, err := profile(*app)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if *constrs != "" {
 		f, err := os.Open(*constrs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		loaded, err := constraint.LoadCheckerFrom(f, nil)
 		closeErr := f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("load %s: %w", *constrs, err)
+			return nil, nil, fmt.Errorf("load %s: %w", *constrs, err)
 		}
 		if closeErr != nil {
-			return nil, closeErr
+			return nil, nil, closeErr
 		}
 		checker = loaded
 	}
 	strat, err := experiment.NewStrategy(experiment.StrategyName(*strategy),
 		rand.New(rand.NewSource(*seed)), nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	parallelism := *par
 	if parallelism < 0 {
 		parallelism = constraint.DefaultParallelism()
 	}
-	mw := middleware.New(checker, strat,
-		middleware.WithSituations(engine),
-		middleware.WithCheckerOptions(middleware.CheckerOptions{Parallelism: parallelism}))
+	build := func() *middleware.Middleware {
+		return middleware.New(checker, strat,
+			middleware.WithSituations(engine),
+			middleware.WithCheckerOptions(middleware.CheckerOptions{Parallelism: parallelism}))
+	}
+
+	var mw *middleware.Middleware
+	shutdown := func() error { return nil }
+	snapInterval := time.Duration(0)
+	if *dataDir != "" {
+		policy, err := wal.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return nil, nil, err
+		}
+		recovered, rep, err := middleware.Recover(*dataDir, build)
+		if err != nil {
+			return nil, nil, fmt.Errorf("recover %s: %w", *dataDir, err)
+		}
+		mw = recovered
+		if rep.SnapshotPath != "" || rep.Commands > 0 {
+			fmt.Printf("ctxmwd: recovered %s: snapshot seq %d, %d commands replayed, %d torn bytes truncated\n",
+				*dataDir, rep.SnapshotSeq, rep.Commands, rep.TornBytes)
+		}
+		j, err := wal.Open(wal.Options{Dir: *dataDir, Fsync: policy, FsyncEvery: *fsyncEvery})
+		if err != nil {
+			return nil, nil, fmt.Errorf("open wal %s: %w", *dataDir, err)
+		}
+		if err := mw.AttachJournal(j); err != nil {
+			_ = j.Close()
+			return nil, nil, err
+		}
+		snapInterval = *snapEvery
+		shutdown = func() error {
+			if err := mw.Checkpoint(); err != nil {
+				_ = mw.CloseJournal()
+				return fmt.Errorf("final checkpoint: %w", err)
+			}
+			return mw.CloseJournal()
+		}
+	} else {
+		mw = build()
+	}
+
 	srv, err := daemon.Serve(*addr, mw, engine,
 		daemon.WithIdleTimeout(*idle),
 		daemon.WithMaxConns(*maxConns),
-		daemon.WithDrainTimeout(*drain))
+		daemon.WithDrainTimeout(*drain),
+		daemon.WithSnapshotInterval(snapInterval),
+		daemon.WithCompactInterval(*compactEvery))
 	if err != nil {
-		return nil, err
+		if *dataDir != "" {
+			_ = mw.CloseJournal()
+		}
+		return nil, nil, err
 	}
 	fmt.Printf("ctxmwd: serving %s application with %s on %s (parallelism %d)\n",
 		*app, strat.Name(), srv.Addr(), parallelism)
-	return srv, nil
+	return srv, shutdown, nil
 }
 
 func profile(app string) (*constraint.Checker, *situation.Engine, error) {

@@ -29,7 +29,7 @@ func TestProfiles(t *testing.T) {
 }
 
 func TestSetupServesAndResponds(t *testing.T) {
-	srv, err := setup([]string{"-addr", "127.0.0.1:0", "-app", "rfid", "-strategy", "D-LAT"})
+	srv, _, err := setup([]string{"-addr", "127.0.0.1:0", "-app", "rfid", "-strategy", "D-LAT"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestSetupServesAndResponds(t *testing.T) {
 }
 
 func TestSetupParallelismReachesChecker(t *testing.T) {
-	srv, err := setup([]string{"-addr", "127.0.0.1:0", "-parallelism", "4"})
+	srv, _, err := setup([]string{"-addr", "127.0.0.1:0", "-parallelism", "4"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestSetupParallelismReachesChecker(t *testing.T) {
 		t.Fatalf("stats = %+v, want shard dispatches from the parallel checker", mwStats)
 	}
 	// -parallelism -1 sizes the pool from GOMAXPROCS and must also serve.
-	srv2, err := setup([]string{"-addr", "127.0.0.1:0", "-parallelism", "-1"})
+	srv2, _, err := setup([]string{"-addr", "127.0.0.1:0", "-parallelism", "-1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,16 +80,16 @@ func TestSetupParallelismReachesChecker(t *testing.T) {
 }
 
 func TestSetupErrors(t *testing.T) {
-	if _, err := setup([]string{"-app", "bogus"}); err == nil {
+	if _, _, err := setup([]string{"-app", "bogus"}); err == nil {
 		t.Fatal("bad app accepted")
 	}
-	if _, err := setup([]string{"-strategy", "bogus"}); err == nil {
+	if _, _, err := setup([]string{"-strategy", "bogus"}); err == nil {
 		t.Fatal("bad strategy accepted")
 	}
-	if _, err := setup([]string{"-constraints", "/does/not/exist"}); err == nil {
+	if _, _, err := setup([]string{"-constraints", "/does/not/exist"}); err == nil {
 		t.Fatal("missing constraints file accepted")
 	}
-	if _, err := setup([]string{"-addr", "256.256.256.256:1"}); err == nil {
+	if _, _, err := setup([]string{"-addr", "256.256.256.256:1"}); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }
@@ -105,7 +105,7 @@ forall a: location .
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := setup([]string{"-addr", "127.0.0.1:0", "-constraints", path})
+	srv, _, err := setup([]string{"-addr", "127.0.0.1:0", "-constraints", path})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,72 @@ forall a: location .
 	if err := os.WriteFile(badPath, []byte("constraint x\nnope(a)\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := setup([]string{"-addr", "127.0.0.1:0", "-constraints", badPath}); err == nil {
+	if _, _, err := setup([]string{"-addr", "127.0.0.1:0", "-constraints", badPath}); err == nil {
 		t.Fatal("bad constraints file accepted")
+	}
+}
+
+func TestSetupDurabilityRecoversAcrossRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir,
+		"-fsync", "always", "-snapshot-interval", "0", "-compact-interval", "0"}
+
+	srv, shutdown, err := setup(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := daemon.Dial(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+	for i := 1; i <= 4; i++ {
+		c := ctx.NewLocation("peter", t0.Add(time.Duration(i)*time.Second),
+			ctx.Point{X: float64(i)},
+			ctx.WithID(ctx.ID(string(rune('a'+i)))), ctx.WithSeq(uint64(i)), ctx.WithSource("s"))
+		if _, err := client.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, beforePool, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := client.JournalStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js == nil || js.Records == 0 {
+		t.Fatalf("journal stats = %+v, want records from -data-dir mode", js)
+	}
+	client.Close()
+	srv.Shutdown()
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart against the same directory: state must come back.
+	srv2, shutdown2, err := setup(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Shutdown()
+	client2, err := daemon.Dial(srv2.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	after, afterPool, err := client2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Submitted != before.Submitted {
+		t.Fatalf("submitted = %d after restart, want %d", after.Submitted, before.Submitted)
+	}
+	if afterPool.Available != beforePool.Available {
+		t.Fatalf("available contexts = %d after restart, want %d", afterPool.Available, beforePool.Available)
+	}
+	if err := shutdown2(); err != nil {
+		t.Fatal(err)
 	}
 }

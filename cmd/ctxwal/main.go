@@ -1,0 +1,173 @@
+// Command ctxwal inspects the middleware's write-ahead log directories
+// (see internal/wal and ctxmwd -data-dir).
+//
+//	ctxwal inspect <dir>   summarize segments, snapshots, and records
+//	ctxwal verify <dir>    check integrity; nonzero exit on any corruption
+//	ctxwal dump <dir>      re-emit the journaled workload
+//
+// dump writes the submitted contexts as an internal/trace JSON-lines
+// stream (step markers at every clock advance), so a journaled workload
+// can be replayed through ctxreplay or the experiment harness. With -raw
+// it writes one JSON object per journal record instead, annotations
+// included.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"ctxres/internal/trace"
+	"ctxres/internal/wal"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ctxwal:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = "usage: ctxwal <inspect|verify|dump> [-raw] <dir>"
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return errors.New(usage)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "inspect":
+		dir, _, err := parseDir(cmd, rest)
+		if err != nil {
+			return err
+		}
+		return inspect(dir, out)
+	case "verify":
+		dir, _, err := parseDir(cmd, rest)
+		if err != nil {
+			return err
+		}
+		return verify(dir, out)
+	case "dump":
+		dir, raw, err := parseDir(cmd, rest)
+		if err != nil {
+			return err
+		}
+		return dump(dir, raw, out)
+	default:
+		return fmt.Errorf("unknown command %q\n%s", cmd, usage)
+	}
+}
+
+func parseDir(cmd string, args []string) (dir string, raw bool, err error) {
+	fs := flag.NewFlagSet("ctxwal "+cmd, flag.ContinueOnError)
+	rawFlag := fs.Bool("raw", false, "dump raw journal records instead of a trace stream")
+	if err := fs.Parse(args); err != nil {
+		return "", false, err
+	}
+	if fs.NArg() != 1 {
+		return "", false, errors.New(usage)
+	}
+	return fs.Arg(0), *rawFlag, nil
+}
+
+func inspect(dir string, out io.Writer) error {
+	rep, err := wal.Verify(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: %d segments, %d snapshots, %d records\n",
+		dir, len(rep.Segments), len(rep.Snapshots), rep.Records)
+	for _, seg := range rep.Segments {
+		line := fmt.Sprintf("  segment %s: %d bytes, %d records", seg.Name, seg.Bytes, seg.Records)
+		if seg.Records > 0 {
+			line += fmt.Sprintf(" (seq %d..%d)", seg.FirstSeq, seg.LastSeq)
+		}
+		if seg.Torn {
+			line += fmt.Sprintf(", torn tail %d bytes", seg.TornLen)
+		}
+		if seg.Corrupt != "" {
+			line += ", CORRUPT: " + seg.Corrupt
+		}
+		fmt.Fprintln(out, line)
+	}
+	for _, sn := range rep.Snapshots {
+		line := fmt.Sprintf("  snapshot %s: %d bytes", sn.Name, sn.Bytes)
+		if sn.Corrupt != "" {
+			line += ", CORRUPT: " + sn.Corrupt
+		} else {
+			line += fmt.Sprintf(", seq %d, %d pool entries, clock %s", sn.Seq, sn.Entries, sn.Clock)
+		}
+		fmt.Fprintln(out, line)
+	}
+	types := make([]string, 0, len(rep.RecordsByType))
+	for t := range rep.RecordsByType {
+		types = append(types, string(t))
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Fprintf(out, "  records %s: %d\n", t, rep.RecordsByType[wal.RecordType(t)])
+	}
+	for _, e := range rep.SequenceErrors {
+		fmt.Fprintln(out, "  sequence error:", e)
+	}
+	return nil
+}
+
+func verify(dir string, out io.Writer) error {
+	rep, err := wal.Verify(dir)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, string(data))
+	if !rep.Clean() {
+		return fmt.Errorf("%s: %d corrupt files, %d torn tails, %d sequence errors",
+			dir, rep.CorruptFiles, rep.TornTails, len(rep.SequenceErrors))
+	}
+	fmt.Fprintln(out, "clean")
+	return nil
+}
+
+func dump(dir string, raw bool, out io.Writer) error {
+	recs, err := wal.Records(dir)
+	if err != nil {
+		return err
+	}
+	if raw {
+		enc := json.NewEncoder(out)
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Trace form: contexts come from submit records; every clock advance
+	// starts a new step, mirroring how the experiment harness stamps its
+	// stepped workloads.
+	w := trace.NewWriter(out)
+	if err := w.BeginStep(); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		switch rec.Type {
+		case wal.RecordSubmit:
+			if err := w.Write(rec.Context); err != nil {
+				return err
+			}
+		case wal.RecordAdvance:
+			if err := w.BeginStep(); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}

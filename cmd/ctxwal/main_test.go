@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ctxres/internal/ctx"
+	"ctxres/internal/trace"
+	"ctxres/internal/wal"
+)
+
+var t0 = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+
+func writeJournal(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	j, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id string, seq uint64) *ctx.Context {
+		return ctx.NewLocation("peter", t0.Add(time.Duration(seq)*time.Second),
+			ctx.Point{X: float64(seq)},
+			ctx.WithID(ctx.ID(id)), ctx.WithSeq(seq), ctx.WithSource("s"))
+	}
+	app := func(r wal.Record) {
+		t.Helper()
+		if _, err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app(wal.Record{Type: wal.RecordSubmit, Context: mk("a", 1)})
+	app(wal.Record{Type: wal.RecordSubmit, Context: mk("b", 2)})
+	at := t0.Add(time.Minute)
+	app(wal.Record{Type: wal.RecordAdvance, Time: &at})
+	app(wal.Record{Type: wal.RecordSubmit, Context: mk("c", 3)})
+	app(wal.Record{Type: wal.RecordUse, ID: "c"})
+	app(wal.Record{Type: wal.RecordDiscard, ID: "b", Reason: "on-use"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestInspectSummarizes(t *testing.T) {
+	dir := writeJournal(t)
+	var out bytes.Buffer
+	if err := run([]string{"inspect", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"1 segments", "6 records", "records submit: 3", "records use: 1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestVerifyCleanAndCorrupt(t *testing.T) {
+	dir := writeJournal(t)
+	var out bytes.Buffer
+	if err := run([]string{"verify", dir}, &out); err != nil {
+		t.Fatalf("clean dir failed verify: %v", err)
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Fatalf("verify output missing clean marker:\n%s", out.String())
+	}
+
+	// Corrupt a payload byte in the middle: verify must fail loudly.
+	var seg string
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			seg = filepath.Join(dir, e.Name())
+		}
+	}
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[20] ^= 0xff
+	if err := os.WriteFile(seg, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"verify", dir}, &out); err == nil {
+		t.Fatal("verify passed a corrupt journal")
+	}
+}
+
+func TestDumpProducesValidTrace(t *testing.T) {
+	dir := writeJournal(t)
+	var out bytes.Buffer
+	if err := run([]string{"dump", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	steps, err := trace.Read(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("dump output is not a valid trace: %v\n%s", err, out.String())
+	}
+	// Two submits before the advance, one after.
+	if len(steps) != 2 || len(steps[0]) != 2 || len(steps[1]) != 1 {
+		t.Fatalf("steps = %v", steps)
+	}
+	if steps[0][0].ID != "a" || steps[1][0].ID != "c" {
+		t.Fatalf("dumped contexts out of order: %v", steps)
+	}
+}
+
+func TestDumpRaw(t *testing.T) {
+	dir := writeJournal(t)
+	var out bytes.Buffer
+	if err := run([]string{"dump", "-raw", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("raw dump lines = %d, want 6", len(lines))
+	}
+	if !strings.Contains(lines[5], `"discard"`) {
+		t.Fatalf("raw dump missing annotation records: %s", lines[5])
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"frobnicate", "x"}, &out); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run([]string{"inspect"}, &out); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}

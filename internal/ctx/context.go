@@ -48,6 +48,23 @@ func (s State) String() string {
 // Terminal reports whether the state is a final decision.
 func (s State) Terminal() bool { return s == Consistent || s == Inconsistent }
 
+// StateFromString parses a state name as produced by State.String —
+// the inverse used when restoring snapshotted life-cycle state.
+func StateFromString(s string) (State, error) {
+	switch s {
+	case "undecided":
+		return Undecided, nil
+	case "consistent":
+		return Consistent, nil
+	case "bad":
+		return Bad, nil
+	case "inconsistent":
+		return Inconsistent, nil
+	default:
+		return 0, fmt.Errorf("unknown context state %q", s)
+	}
+}
+
 // Kind classifies contexts by the phenomenon they report, e.g. "location"
 // or "rfid.read". Constraints quantify over kinds.
 type Kind string

@@ -12,6 +12,7 @@ import (
 	"ctxres/internal/ctx"
 	"ctxres/internal/middleware"
 	"ctxres/internal/pool"
+	"ctxres/internal/wal"
 )
 
 // Client is a synchronous protocol client. It is safe for concurrent use;
@@ -299,6 +300,16 @@ func (c *Client) Stats() (middleware.Stats, pool.Stats, error) {
 		pl = *resp.Pool
 	}
 	return mw, pl, nil
+}
+
+// JournalStats fetches the write-ahead log counters; nil when the daemon
+// runs without durability.
+func (c *Client) JournalStats() (*wal.Stats, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Journal, nil
 }
 
 // ServerStats fetches the daemon's transport counters.

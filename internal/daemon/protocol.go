@@ -14,6 +14,7 @@ import (
 	"ctxres/internal/ctx"
 	"ctxres/internal/middleware"
 	"ctxres/internal/pool"
+	"ctxres/internal/wal"
 )
 
 // Op names the request operations.
@@ -93,9 +94,12 @@ type Response struct {
 	// Context is the delivered context (OpUse / OpUseLatest).
 	Context *ctx.Context `json:"context,omitempty"`
 	// Middleware, Pool, and Daemon are counter snapshots (OpStats).
+	// Journal carries the write-ahead log counters when durability is
+	// enabled.
 	Middleware *middleware.Stats `json:"middleware,omitempty"`
 	Pool       *pool.Stats       `json:"pool,omitempty"`
 	Daemon     *ServerStats      `json:"daemon,omitempty"`
+	Journal    *wal.Stats        `json:"journal,omitempty"`
 	// Active maps situation names to their current activation (OpSituations).
 	Active map[string]bool `json:"active,omitempty"`
 }

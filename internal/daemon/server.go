@@ -28,6 +28,7 @@ type Server struct {
 	engine *situation.Engine // optional; nil disables OpSituations detail
 	ln     net.Listener
 	opt    options
+	start  time.Time
 
 	mu     sync.Mutex
 	closed bool
@@ -60,6 +61,8 @@ type options struct {
 	drainTimeout     time.Duration
 	acceptBackoffMin time.Duration
 	acceptBackoffMax time.Duration
+	snapshotInterval time.Duration
+	compactInterval  time.Duration
 }
 
 func defaultOptions() options {
@@ -101,6 +104,23 @@ func WithAcceptBackoff(min, max time.Duration) Option {
 	return func(o *options) { o.acceptBackoffMin, o.acceptBackoffMax = min, max }
 }
 
+// WithSnapshotInterval makes the server checkpoint the middleware's
+// journal periodically (see middleware.Checkpoint), bounding recovery
+// replay work and letting the WAL truncate obsolete segments. Zero or
+// negative disables periodic checkpoints. It has no effect when the
+// middleware has no journal attached.
+func WithSnapshotInterval(d time.Duration) Option {
+	return func(o *options) { o.snapshotInterval = d }
+}
+
+// WithCompactInterval makes the server compact the middleware's context
+// pool periodically (see middleware.Compact), reclaiming memory held by
+// discarded and expired entries on long runs. Zero or negative disables
+// periodic compaction.
+func WithCompactInterval(d time.Duration) Option {
+	return func(o *options) { o.compactInterval = d }
+}
+
 // serverCounters are the transport-level counters; ServerStats is their
 // snapshot form.
 type serverCounters struct {
@@ -112,6 +132,7 @@ type serverCounters struct {
 	framesTooLong atomic.Int64
 	idleClosed    atomic.Int64
 	readErrors    atomic.Int64
+	maintErrors   atomic.Int64
 }
 
 // ServerStats is a snapshot of the server's transport counters, exposed
@@ -133,6 +154,10 @@ type ServerStats struct {
 	IdleClosed int64 `json:"idleClosed"`
 	// ReadErrors counts connections dropped on other transport errors.
 	ReadErrors int64 `json:"readErrors"`
+	// UptimeSeconds is the time since the server started serving.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// MaintenanceErrors counts failed periodic checkpoints/compactions.
+	MaintenanceErrors int64 `json:"maintenanceErrors"`
 }
 
 // Stats snapshots the transport counters.
@@ -144,8 +169,10 @@ func (s *Server) Stats() ServerStats {
 		Requests:      s.counters.requests.Load(),
 		BadRequests:   s.counters.badRequests.Load(),
 		FramesTooLong: s.counters.framesTooLong.Load(),
-		IdleClosed:    s.counters.idleClosed.Load(),
-		ReadErrors:    s.counters.readErrors.Load(),
+		IdleClosed:        s.counters.idleClosed.Load(),
+		ReadErrors:        s.counters.readErrors.Load(),
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		MaintenanceErrors: s.counters.maintErrors.Load(),
 	}
 }
 
@@ -224,13 +251,52 @@ func ServeListener(ln net.Listener, mw *middleware.Middleware, engine *situation
 		engine: engine,
 		ln:     ln,
 		opt:    opt,
+		start:  time.Now(),
 		conns:  make(map[net.Conn]*connState),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if opt.snapshotInterval > 0 || opt.compactInterval > 0 {
+		s.wg.Add(1)
+		go s.maintenanceLoop()
+	}
 	return s
+}
+
+// maintenanceLoop runs the periodic durability and memory housekeeping:
+// journal checkpoints (bounding recovery replay) and pool compaction.
+// Both are best-effort — a failure is counted and retried at the next
+// tick rather than taking the server down; a failed journal makes the
+// serving path itself report errors.
+func (s *Server) maintenanceLoop() {
+	defer s.wg.Done()
+	var snapC, compactC <-chan time.Time
+	if s.opt.snapshotInterval > 0 {
+		t := time.NewTicker(s.opt.snapshotInterval)
+		defer t.Stop()
+		snapC = t.C
+	}
+	if s.opt.compactInterval > 0 {
+		t := time.NewTicker(s.opt.compactInterval)
+		defer t.Stop()
+		compactC = t.C
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-snapC:
+			if err := s.mw.Checkpoint(); err != nil && !errors.Is(err, middleware.ErrNoJournal) {
+				s.counters.maintErrors.Add(1)
+			}
+		case <-compactC:
+			if _, err := s.mw.Compact(); err != nil {
+				s.counters.maintErrors.Add(1)
+			}
+		}
+	}
 }
 
 // Addr returns the listener's address (useful with ephemeral ports).
@@ -494,7 +560,13 @@ func (s *Server) handle(req Request) Response {
 		mwStats := s.mw.Stats()
 		poolStats := s.mw.Pool().Stats()
 		srvStats := s.Stats()
-		return Response{OK: true, Middleware: &mwStats, Pool: &poolStats, Daemon: &srvStats}
+		return Response{
+			OK:         true,
+			Middleware: &mwStats,
+			Pool:       &poolStats,
+			Daemon:     &srvStats,
+			Journal:    s.mw.JournalStats(),
+		}
 	case OpSituations:
 		active := make(map[string]bool)
 		if s.engine != nil {

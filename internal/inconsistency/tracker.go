@@ -11,6 +11,7 @@
 package inconsistency
 
 import (
+	"fmt"
 	"sort"
 
 	"ctxres/internal/constraint"
@@ -184,6 +185,50 @@ func (t *Tracker) HasStrictlyLargestCount(id ctx.ID, in Inconsistency) bool {
 		}
 	}
 	return true
+}
+
+// SnapshotEntry is one tracked inconsistency in serializable form:
+// constraint name plus member context IDs (the contexts themselves live
+// in the pool snapshot).
+type SnapshotEntry struct {
+	Constraint string   `json:"constraint"`
+	Contexts   []ctx.ID `json:"contexts"`
+}
+
+// Snapshot serializes Σ in insertion order, so a restore rebuilds the
+// identical iteration order.
+func (t *Tracker) Snapshot() []SnapshotEntry {
+	out := make([]SnapshotEntry, 0, len(t.order))
+	for _, key := range t.order {
+		in := t.byKey[key]
+		members := in.Link.Contexts()
+		ids := make([]ctx.ID, len(members))
+		for i, c := range members {
+			ids[i] = c.ID
+		}
+		out = append(out, SnapshotEntry{Constraint: in.Constraint, Contexts: ids})
+	}
+	return out
+}
+
+// Restore replaces the tracker contents with the snapshotted entries,
+// resolving member IDs to live contexts (normally the recovered pool's)
+// so count bookkeeping and bad-marking operate on the same objects the
+// middleware serves.
+func (t *Tracker) Restore(entries []SnapshotEntry, resolve func(ctx.ID) (*ctx.Context, bool)) error {
+	t.Reset()
+	for _, e := range entries {
+		members := make([]*ctx.Context, 0, len(e.Contexts))
+		for _, id := range e.Contexts {
+			c, ok := resolve(id)
+			if !ok {
+				return fmt.Errorf("inconsistency: restore %s: unknown context %s", e.Constraint, id)
+			}
+			members = append(members, c)
+		}
+		t.Add(Inconsistency{Constraint: e.Constraint, Link: constraint.NewLink(members...)})
+	}
+	return nil
 }
 
 // Resolve removes the inconsistency from Σ (it has been resolved) and

@@ -1,0 +1,346 @@
+package middleware
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"ctxres/internal/ctx"
+	"ctxres/internal/pool"
+	"ctxres/internal/strategy"
+	"ctxres/internal/wal"
+)
+
+// ErrNoJournal is returned by durability operations when no journal is
+// attached.
+var ErrNoJournal = errors.New("middleware: no journal attached")
+
+// WithJournal attaches a write-ahead log at construction time. Every
+// state-changing operation appends its records to the journal before the
+// middleware lock is released; a write failure is sticky and fails all
+// further state-changing operations (fail-stop — the in-memory state never
+// runs ahead of what a recovery could reconstruct, except for the one
+// operation that observed the failure).
+func WithJournal(j *wal.Journal) Option {
+	return func(m *Middleware) {
+		if err := m.AttachJournal(j); err != nil {
+			// New cannot return an error; double-attach at construction is a
+			// programming error.
+			panic(err)
+		}
+	}
+}
+
+// AttachJournal attaches a write-ahead log to an already-built middleware
+// (the recovery path: Recover rebuilds state first, then the caller opens
+// the journal — which truncates any torn tail — and attaches it).
+func (m *Middleware) AttachJournal(j *wal.Journal) error {
+	if j == nil {
+		return errors.New("middleware: attach nil journal")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.journal != nil {
+		return errors.New("middleware: journal already attached")
+	}
+	m.journal = j
+	m.journalErr = nil
+	if bn, ok := m.strat.(strategy.BadMarkNotifier); ok {
+		// Bad-marking is a strategy-internal mutation the middleware never
+		// sees; the hook journals it as an annotation. It fires inside
+		// strat.OnUse, i.e. under the middleware lock.
+		bn.SetBadMarkHook(func(c *ctx.Context) {
+			m.jAppend(wal.Record{Type: wal.RecordBad, ID: c.ID})
+		})
+	}
+	return nil
+}
+
+// JournalStats returns the attached journal's counters, or nil when no
+// journal is attached.
+func (m *Middleware) JournalStats() *wal.Stats {
+	m.mu.Lock()
+	j := m.journal
+	m.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	s := j.Stats()
+	return &s
+}
+
+// jAppend queues a record for the current operation. It must be called
+// with the lock held; the records are flushed to the journal by
+// journalCommitLocked before the operation returns.
+func (m *Middleware) jAppend(r wal.Record) {
+	if m.journal == nil || m.journalErr != nil {
+		return
+	}
+	m.jbuf = append(m.jbuf, r)
+}
+
+// journalHealthLocked refuses state-changing operations once the journal
+// has failed (fail-stop).
+func (m *Middleware) journalHealthLocked() error {
+	if m.journalErr != nil {
+		return fmt.Errorf("middleware: journal failed: %w", m.journalErr)
+	}
+	return nil
+}
+
+// journalCommitLocked appends the operation's queued records to the
+// journal. On a write failure the error is recorded as sticky and, when
+// errp points at a nil error, surfaced to the caller.
+func (m *Middleware) journalCommitLocked(errp *error) {
+	if m.journal == nil || len(m.jbuf) == 0 {
+		return
+	}
+	recs := m.jbuf
+	m.jbuf = m.jbuf[:0]
+	if m.journalErr != nil {
+		return
+	}
+	for _, r := range recs {
+		if _, err := m.journal.Append(r); err != nil {
+			m.journalErr = err
+			if errp != nil && *errp == nil {
+				*errp = fmt.Errorf("middleware: journal append: %w", err)
+			}
+			return
+		}
+	}
+}
+
+// snapshotLocked captures the full middleware state as of journal sequence
+// seq: pool contents, logical clock, counters, and — for strategies with
+// internal buffers — the serialized strategy state (Σ and its counters for
+// drop-bad).
+func (m *Middleware) snapshotLocked(seq uint64) (wal.Snapshot, error) {
+	snap := wal.Snapshot{
+		Seq:      seq,
+		Clock:    m.clock,
+		Strategy: m.strat.Name(),
+		Pool:     m.pool.Snapshot(),
+	}
+	stats, err := json.Marshal(m.stats)
+	if err != nil {
+		return wal.Snapshot{}, fmt.Errorf("middleware: snapshot stats: %w", err)
+	}
+	snap.Stats = stats
+	if sn, ok := m.strat.(strategy.StateSnapshotter); ok {
+		blob, err := sn.StrategyState()
+		if err != nil {
+			return wal.Snapshot{}, fmt.Errorf("middleware: snapshot strategy: %w", err)
+		}
+		snap.StrategyState = blob
+	}
+	return snap, nil
+}
+
+// statsRecordLocked queues a stats annotation carrying the current
+// counters, so recovery can cross-check the replayed state.
+func (m *Middleware) statsRecordLocked() error {
+	blob, err := json.Marshal(m.stats)
+	if err != nil {
+		return fmt.Errorf("middleware: marshal stats: %w", err)
+	}
+	m.jAppend(wal.Record{Type: wal.RecordStats, Stats: blob})
+	return nil
+}
+
+// Checkpoint writes a snapshot of the full middleware state to the
+// journal, allowing it to truncate obsolete segments, then journals a
+// stats annotation so the next recovery verifies the restored counters.
+func (m *Middleware) Checkpoint() (err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	defer m.journalCommitLocked(&err)
+	if m.journal == nil {
+		return ErrNoJournal
+	}
+	if err := m.journalHealthLocked(); err != nil {
+		return err
+	}
+	snap, err := m.snapshotLocked(m.journal.LastSeq())
+	if err != nil {
+		return err
+	}
+	if err := m.journal.WriteSnapshot(snap); err != nil {
+		m.journalErr = err
+		return fmt.Errorf("middleware: checkpoint: %w", err)
+	}
+	return m.statsRecordLocked()
+}
+
+// CloseJournal journals a final stats annotation (when the journal is
+// still healthy), closes the journal, and detaches it. The middleware
+// remains usable without durability afterwards.
+func (m *Middleware) CloseJournal() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.journal == nil {
+		return nil
+	}
+	if m.journalErr == nil {
+		if err := m.statsRecordLocked(); err == nil {
+			m.journalCommitLocked(nil)
+		}
+	}
+	err := m.journal.Close()
+	if bn, ok := m.strat.(strategy.BadMarkNotifier); ok {
+		bn.SetBadMarkHook(nil)
+	}
+	m.journal = nil
+	m.jbuf = nil
+	m.journalErr = nil
+	return err
+}
+
+// RecoveryReport describes what Recover reconstructed.
+type RecoveryReport struct {
+	// SnapshotPath is the snapshot file the recovery started from (empty
+	// when state was rebuilt from the log alone).
+	SnapshotPath string `json:"snapshotPath,omitempty"`
+	// SnapshotSeq is the last journal sequence the snapshot covers.
+	SnapshotSeq uint64 `json:"snapshotSeq"`
+	// Commands counts the replayed command records.
+	Commands int `json:"commands"`
+	// Annotations counts the derived records skipped during replay.
+	Annotations int `json:"annotations"`
+	// StatsChecked counts the stats annotations cross-checked against the
+	// recovered counters.
+	StatsChecked int `json:"statsChecked"`
+	// TornBytes is the size of the torn tail truncated from the final
+	// segment, if any.
+	TornBytes int64 `json:"tornBytes"`
+	// SkippedSnapshots lists unreadable snapshot files that were skipped in
+	// favor of an older one.
+	SkippedSnapshots []string `json:"skippedSnapshots,omitempty"`
+	// LastSeq is the last journal sequence applied.
+	LastSeq uint64 `json:"lastSeq"`
+}
+
+// Recover rebuilds middleware state from the write-ahead log directory:
+// it loads the newest valid snapshot (if any) and replays the subsequent
+// command records through the ordinary Submit/Use/AdvanceTo/Compact entry
+// points, re-deriving every strategy decision deterministically. A torn
+// final record (a crash mid-write) is tolerated; real corruption is an
+// error.
+//
+// build must return a fresh middleware configured exactly as the crashed
+// one (same constraints, same strategy, same options) and with no journal
+// attached — after Recover returns, the caller opens the journal (which
+// truncates the torn tail on disk) and attaches it with AttachJournal.
+func Recover(dir string, build func() *Middleware) (*Middleware, *RecoveryReport, error) {
+	res, err := wal.Load(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("middleware: recover: %w", err)
+	}
+	m := build()
+	if m == nil {
+		return nil, nil, errors.New("middleware: recover: build returned nil")
+	}
+	if m.journal != nil {
+		return nil, nil, errors.New("middleware: recover: build must not attach a journal")
+	}
+	rep := &RecoveryReport{
+		SnapshotPath:     res.SnapshotPath,
+		TornBytes:        res.TornBytes,
+		SkippedSnapshots: res.SkippedSnapshots,
+	}
+	if res.Snapshot != nil {
+		if err := m.restoreSnapshot(res.Snapshot); err != nil {
+			return nil, nil, fmt.Errorf("middleware: recover: %w", err)
+		}
+		rep.SnapshotSeq = res.Snapshot.Seq
+		rep.LastSeq = res.Snapshot.Seq
+	}
+	for _, rec := range res.Records {
+		if err := m.replayRecord(rec, rep); err != nil {
+			return nil, nil, fmt.Errorf("middleware: recover: record %d (%s): %w", rec.Seq, rec.Type, err)
+		}
+		rep.LastSeq = rec.Seq
+	}
+	return m, rep, nil
+}
+
+// restoreSnapshot loads a snapshot into a freshly built middleware.
+func (m *Middleware) restoreSnapshot(snap *wal.Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if snap.Strategy != "" && snap.Strategy != m.strat.Name() {
+		return fmt.Errorf("snapshot was taken with strategy %s, middleware runs %s", snap.Strategy, m.strat.Name())
+	}
+	p, err := pool.Restore(snap.Pool)
+	if err != nil {
+		return err
+	}
+	m.pool = p
+	m.clock = snap.Clock
+	if len(snap.Stats) > 0 {
+		var st Stats
+		if err := json.Unmarshal(snap.Stats, &st); err != nil {
+			return fmt.Errorf("snapshot stats: %w", err)
+		}
+		m.stats = st
+	}
+	if len(snap.StrategyState) > 0 {
+		sn, ok := m.strat.(strategy.StateSnapshotter)
+		if !ok {
+			return fmt.Errorf("snapshot carries strategy state but %s cannot restore it", m.strat.Name())
+		}
+		if err := sn.RestoreStrategyState(snap.StrategyState, p.Get); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayRecord applies one journal record. Commands run through the
+// public entry points; annotations are derived state journaled for
+// observability and are skipped, except stats annotations, which are
+// cross-checked against the replayed counters.
+func (m *Middleware) replayRecord(rec wal.Record, rep *RecoveryReport) error {
+	switch rec.Type {
+	case wal.RecordSubmit:
+		rep.Commands++
+		if _, err := m.Submit(rec.Context); err != nil {
+			return err
+		}
+	case wal.RecordUse:
+		rep.Commands++
+		// A use that the strategy rejected was journaled too: the rejection
+		// (and its discards) re-derives identically, surfacing as
+		// ErrInconsistent here.
+		if _, err := m.Use(rec.ID); err != nil && !errors.Is(err, ErrInconsistent) {
+			return err
+		}
+	case wal.RecordAdvance:
+		rep.Commands++
+		if rec.Time == nil {
+			return errors.New("advance record without time")
+		}
+		m.AdvanceTo(*rec.Time)
+	case wal.RecordCompact:
+		rep.Commands++
+		if _, err := m.Compact(); err != nil {
+			return err
+		}
+	case wal.RecordStats:
+		rep.Annotations++
+		rep.StatsChecked++
+		var want Stats
+		if err := json.Unmarshal(rec.Stats, &want); err != nil {
+			return fmt.Errorf("stats annotation: %w", err)
+		}
+		if got := m.Stats(); got != want {
+			return fmt.Errorf("replayed stats diverge from journal: got %+v, journal %+v", got, want)
+		}
+	case wal.RecordDiscard, wal.RecordExpire, wal.RecordBad:
+		// Derived during replay of the commands above.
+		rep.Annotations++
+	default:
+		return fmt.Errorf("unknown record type %q", rec.Type)
+	}
+	return nil
+}

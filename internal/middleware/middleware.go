@@ -24,6 +24,7 @@ import (
 	"ctxres/internal/pool"
 	"ctxres/internal/situation"
 	"ctxres/internal/strategy"
+	"ctxres/internal/wal"
 )
 
 // Use errors.
@@ -89,6 +90,10 @@ type Stats struct {
 	// Parallel-checker counters (zero on the serial path).
 	Shards         int `json:"shards"`         // shard tasks dispatched to the worker pool
 	PrunedBindings int `json:"prunedBindings"` // candidate bindings skipped via the kind index
+
+	// Compaction counters (see Compact).
+	Compactions    int `json:"compactions"`    // Compact calls
+	CompactRemoved int `json:"compactRemoved"` // entries dropped by compaction
 }
 
 // Middleware is the context-management engine. All public methods are safe
@@ -105,6 +110,14 @@ type Middleware struct {
 	checkKinds map[ctx.Kind]bool // cached checker.Kinds() for snapshot pruning
 	clock      time.Time
 	stats      Stats
+
+	// Durability (see journal.go). jbuf collects the records one
+	// operation produces; they are appended to the journal before the
+	// lock is released. journalErr is the sticky write failure: once the
+	// log cannot keep up, further state-changing operations are refused.
+	journal    *wal.Journal
+	jbuf       []wal.Record
+	journalErr error
 }
 
 // CheckerOptions configures how the middleware invokes the consistency
@@ -171,7 +184,7 @@ func (m *Middleware) Now() time.Time {
 // expiry is swept, and — if any constraint is relevant to its kind — it is
 // checked and the strategy consulted. It returns the inconsistencies the
 // submission introduced.
-func (m *Middleware) Submit(c *ctx.Context) ([]constraint.Violation, error) {
+func (m *Middleware) Submit(c *ctx.Context) (vios []constraint.Violation, err error) {
 	if c == nil {
 		return nil, errors.New("submit: nil context")
 	}
@@ -180,13 +193,15 @@ func (m *Middleware) Submit(c *ctx.Context) ([]constraint.Violation, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.journalCommitLocked(&err)
+	if err := m.journalHealthLocked(); err != nil {
+		return nil, err
+	}
 
 	if c.Timestamp.After(m.clock) {
 		m.clock = c.Timestamp
 	}
 	m.sweepLocked()
-
-	m.stats.Submitted++
 
 	if !m.checker.Relevant(c.Kind) {
 		// Part 1 fast path: irrelevant to every constraint — directly
@@ -197,6 +212,8 @@ func (m *Middleware) Submit(c *ctx.Context) ([]constraint.Violation, error) {
 		if err := m.pool.Add(c); err != nil {
 			return nil, fmt.Errorf("submit: %w", err)
 		}
+		m.stats.Submitted++
+		m.jAppend(wal.Record{Type: wal.RecordSubmit, Context: c})
 		if m.hooks.OnAccept != nil {
 			m.hooks.OnAccept(c)
 		}
@@ -206,10 +223,12 @@ func (m *Middleware) Submit(c *ctx.Context) ([]constraint.Violation, error) {
 	if err := m.pool.Add(c); err != nil {
 		return nil, fmt.Errorf("submit: %w", err)
 	}
+	m.stats.Submitted++
+	m.jAppend(wal.Record{Type: wal.RecordSubmit, Context: c})
 	if m.hooks.OnAccept != nil {
 		m.hooks.OnAccept(c)
 	}
-	vios := m.checkAdditionLocked(c)
+	vios = m.checkAdditionLocked(c)
 	m.stats.Detected += len(vios)
 	if m.hooks.OnDetect != nil {
 		for _, v := range vios {
@@ -247,18 +266,26 @@ func (m *Middleware) checkAdditionLocked(c *ctx.Context) []constraint.Violation 
 // Use processes a context deletion change: the application asks to consume
 // the identified context. On success the context is returned and counted
 // as used; situations are re-evaluated over the delivered view.
-func (m *Middleware) Use(id ctx.ID) (*ctx.Context, error) {
+func (m *Middleware) Use(id ctx.ID) (c *ctx.Context, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.journalCommitLocked(&err)
+	if err := m.journalHealthLocked(); err != nil {
+		return nil, err
+	}
 	return m.useLocked(id)
 }
 
 // UseLatest finds the newest available context of the given kind and
 // subject (empty subject matches any) and uses it. It returns ErrNotFound
 // when nothing matches.
-func (m *Middleware) UseLatest(kind ctx.Kind, subject string) (*ctx.Context, error) {
+func (m *Middleware) UseLatest(kind ctx.Kind, subject string) (c *ctx.Context, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.journalCommitLocked(&err)
+	if err := m.journalHealthLocked(); err != nil {
+		return nil, err
+	}
 	m.sweepLocked()
 	for _, c := range m.pool.AvailableByKind(kind) { // newest first
 		if subject != "" && c.Subject != subject {
@@ -286,6 +313,12 @@ func (m *Middleware) useLocked(id ctx.ID) (*ctx.Context, error) {
 		// resolution process.
 		return c, nil
 	}
+
+	// The use reached the resolution process: journal it as a command.
+	// Re-reads and the error returns above are read-only, so they need no
+	// record; everything from here on is re-derived deterministically on
+	// replay.
+	m.jAppend(wal.Record{Type: wal.RecordUse, ID: id})
 
 	usable, out := m.strat.OnUse(c)
 	m.applyLocked(out, ReasonOnUse)
@@ -337,15 +370,38 @@ func (m *Middleware) evaluateSituationsLocked() []situation.Event {
 func (m *Middleware) AdvanceTo(now time.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.journalCommitLocked(nil)
 	if now.After(m.clock) {
 		m.clock = now
+		t := now
+		m.jAppend(wal.Record{Type: wal.RecordAdvance, Time: &t})
 	}
 	m.sweepLocked()
+}
+
+// Compact drops terminally discarded and expired entries from the pool,
+// reclaiming memory on long-running daemons (counters and the delivered
+// view are unaffected; see pool.Compact). It returns the number of entries
+// removed.
+func (m *Middleware) Compact() (removed int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	defer m.journalCommitLocked(&err)
+	if err := m.journalHealthLocked(); err != nil {
+		return 0, err
+	}
+	m.sweepLocked()
+	removed = m.pool.Compact()
+	m.stats.Compactions++
+	m.stats.CompactRemoved += removed
+	m.jAppend(wal.Record{Type: wal.RecordCompact})
+	return removed, nil
 }
 
 func (m *Middleware) sweepLocked() {
 	for _, c := range m.pool.SweepExpired(m.clock) {
 		m.stats.Expired++
+		m.jAppend(wal.Record{Type: wal.RecordExpire, ID: c.ID})
 		m.strat.OnExpire(c)
 		if m.hooks.OnExpire != nil {
 			m.hooks.OnExpire(c)
@@ -366,6 +422,7 @@ func (m *Middleware) applyLocked(out strategy.Outcome, reason DiscardReason) {
 			_ = d.SetState(ctx.Inconsistent)
 		}
 		m.stats.Discarded++
+		m.jAppend(wal.Record{Type: wal.RecordDiscard, ID: d.ID, Reason: reason.String()})
 		if m.hooks.OnDiscard != nil {
 			m.hooks.OnDiscard(d, reason)
 		}

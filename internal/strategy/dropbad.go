@@ -52,6 +52,10 @@ type DropBad struct {
 	// for the heuristic-rule study of Section 5.2.
 	audit *inconsistency.RuleAudit
 
+	// onBad, when non-nil, observes every bad-marking as it happens (the
+	// middleware's journal hook; see strategy.BadMarkNotifier).
+	onBad func(*ctx.Context)
+
 	stats DropBadStats
 }
 
@@ -163,6 +167,9 @@ func (s *DropBad) OnUse(c *ctx.Context) (bool, Outcome) {
 					// are undecided or already bad.
 					_ = peer.SetState(ctx.Bad)
 					s.stats.MarkedBad++
+					if s.onBad != nil {
+						s.onBad(peer)
+					}
 				}
 			}
 		}

@@ -1,0 +1,111 @@
+package strategy
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ctxres/internal/ctx"
+	"ctxres/internal/inconsistency"
+)
+
+// Resolver maps a context ID to the live context object — normally the
+// recovered pool's entry — so restored strategy state shares objects with
+// the repository it will operate on.
+type Resolver func(ctx.ID) (*ctx.Context, bool)
+
+// StateSnapshotter is implemented by strategies with an internal buffer
+// that must survive crashes (for drop-bad: the tracked inconsistency set
+// Σ and the decision counters). Stateless strategies simply don't
+// implement it. The blob format is strategy-private; the WAL stores it
+// opaquely next to the strategy name.
+type StateSnapshotter interface {
+	// StrategyState serializes the internal buffer.
+	StrategyState() (json.RawMessage, error)
+	// RestoreStrategyState replaces the internal buffer with a previously
+	// serialized one, resolving member context IDs through resolve.
+	RestoreStrategyState(data json.RawMessage, resolve Resolver) error
+}
+
+// BadMarkNotifier is implemented by strategies that mark peer contexts
+// bad (Case 2 of the paper's Section 3.3), so the middleware can journal
+// those marks as they happen.
+type BadMarkNotifier interface {
+	// SetBadMarkHook installs f to be called for every context the
+	// strategy marks bad. A nil f removes the hook.
+	SetBadMarkHook(f func(*ctx.Context))
+}
+
+var (
+	_ StateSnapshotter = (*DropBad)(nil)
+	_ BadMarkNotifier  = (*DropBad)(nil)
+	_ StateSnapshotter = (*ImpactAwareDropBad)(nil)
+	_ BadMarkNotifier  = (*ImpactAwareDropBad)(nil)
+)
+
+// dropBadState is drop-bad's serialized buffer: Σ plus the decision-path
+// counters.
+type dropBadState struct {
+	Sigma []inconsistency.SnapshotEntry `json:"sigma"`
+	Stats DropBadStats                  `json:"stats"`
+}
+
+// StrategyState implements StateSnapshotter.
+func (s *DropBad) StrategyState() (json.RawMessage, error) {
+	data, err := json.Marshal(dropBadState{Sigma: s.tracker.Snapshot(), Stats: s.stats})
+	if err != nil {
+		return nil, fmt.Errorf("drop-bad: snapshot state: %w", err)
+	}
+	return data, nil
+}
+
+// RestoreStrategyState implements StateSnapshotter.
+func (s *DropBad) RestoreStrategyState(data json.RawMessage, resolve Resolver) error {
+	var st dropBadState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("drop-bad: restore state: %w", err)
+	}
+	if err := s.tracker.Restore(st.Sigma, resolve); err != nil {
+		return fmt.Errorf("drop-bad: restore state: %w", err)
+	}
+	s.stats = st.Stats
+	return nil
+}
+
+// SetBadMarkHook implements BadMarkNotifier.
+func (s *DropBad) SetBadMarkHook(f func(*ctx.Context)) { s.onBad = f }
+
+// impactAwareState wraps the inner drop-bad buffer with the tie counter.
+type impactAwareState struct {
+	Inner      json.RawMessage `json:"inner"`
+	TiesBroken int             `json:"tiesBroken"`
+}
+
+// StrategyState implements StateSnapshotter.
+func (s *ImpactAwareDropBad) StrategyState() (json.RawMessage, error) {
+	inner, err := s.inner.StrategyState()
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(impactAwareState{Inner: inner, TiesBroken: s.tiesBroken})
+	if err != nil {
+		return nil, fmt.Errorf("impact-aware: snapshot state: %w", err)
+	}
+	return data, nil
+}
+
+// RestoreStrategyState implements StateSnapshotter.
+func (s *ImpactAwareDropBad) RestoreStrategyState(data json.RawMessage, resolve Resolver) error {
+	var st impactAwareState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("impact-aware: restore state: %w", err)
+	}
+	if err := s.inner.RestoreStrategyState(st.Inner, resolve); err != nil {
+		return err
+	}
+	s.tiesBroken = st.TiesBroken
+	return nil
+}
+
+// SetBadMarkHook implements BadMarkNotifier by delegating to the inner
+// drop-bad strategy, which performs all bad-marking.
+func (s *ImpactAwareDropBad) SetBadMarkHook(f func(*ctx.Context)) { s.inner.SetBadMarkHook(f) }

@@ -1,0 +1,134 @@
+package strategy
+
+import (
+	"testing"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+)
+
+var stateClock = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+
+func stateCtx(id string, seq uint64) *ctx.Context {
+	return ctx.NewLocation("peter", stateClock.Add(time.Duration(seq)*time.Second),
+		ctx.Point{X: float64(seq)},
+		ctx.WithID(ctx.ID(id)), ctx.WithSeq(seq), ctx.WithSource("s"))
+}
+
+func vio(name string, members ...*ctx.Context) constraint.Violation {
+	return constraint.Violation{Constraint: name, Link: constraint.NewLink(members...)}
+}
+
+func TestDropBadStateRoundTrip(t *testing.T) {
+	a, b, c := stateCtx("a", 1), stateCtx("b", 2), stateCtx("c", 3)
+
+	s := NewDropBad()
+	s.OnAddition(a, []constraint.Violation{vio("C1", a, b)})
+	s.OnAddition(c, []constraint.Violation{vio("C2", b, c)})
+	if got := s.Tracker().Count(b.ID); got != 2 {
+		t.Fatalf("count(b) = %d, want 2", got)
+	}
+
+	blob, err := s.StrategyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh strategy against fresh context objects, as
+	// recovery does against the recovered pool.
+	ra, rb, rc := stateCtx("a", 1), stateCtx("b", 2), stateCtx("c", 3)
+	byID := map[ctx.ID]*ctx.Context{"a": ra, "b": rb, "c": rc}
+	resolve := func(id ctx.ID) (*ctx.Context, bool) { cc, ok := byID[id]; return cc, ok }
+
+	s2 := NewDropBad()
+	if err := s2.RestoreStrategyState(blob, resolve); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Tracker().Count(rb.ID); got != 2 {
+		t.Fatalf("restored count(b) = %d, want 2", got)
+	}
+	if got := s2.Tracker().Len(); got != 2 {
+		t.Fatalf("restored Σ size = %d, want 2", got)
+	}
+
+	// The restored strategy makes the same decision: using a delivers it
+	// and marks the tied-largest peer b bad — on the RESOLVED objects.
+	usable, _ := s2.OnUse(ra)
+	if !usable {
+		t.Fatal("a should be delivered")
+	}
+	if rb.State() != ctx.Bad {
+		t.Fatalf("restored peer b state = %v, want bad (aliasing broken?)", rb.State())
+	}
+	if b.State() == ctx.Bad {
+		t.Fatal("original object mutated; restore must bind to resolved contexts")
+	}
+	if got := s2.Stats().MarkedBad; got != 1 {
+		t.Fatalf("MarkedBad = %d, want 1", got)
+	}
+}
+
+func TestDropBadRestoreUnknownContext(t *testing.T) {
+	a, b := stateCtx("a", 1), stateCtx("b", 2)
+	s := NewDropBad()
+	s.OnAddition(a, []constraint.Violation{vio("C1", a, b)})
+	blob, err := s.StrategyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewDropBad()
+	missing := func(ctx.ID) (*ctx.Context, bool) { return nil, false }
+	if err := s2.RestoreStrategyState(blob, missing); err == nil {
+		t.Fatal("restore with unresolvable members accepted")
+	}
+}
+
+func TestDropBadBadMarkHook(t *testing.T) {
+	a, b := stateCtx("a", 1), stateCtx("b", 2)
+	s := NewDropBad()
+	var marked []ctx.ID
+	s.SetBadMarkHook(func(c *ctx.Context) { marked = append(marked, c.ID) })
+	s.OnAddition(a, []constraint.Violation{vio("C1", a, b)})
+	if usable, _ := s.OnUse(a); !usable {
+		t.Fatal("a should be delivered")
+	}
+	if len(marked) != 1 || marked[0] != "b" {
+		t.Fatalf("hook saw %v, want [b]", marked)
+	}
+	s.SetBadMarkHook(nil) // must not panic on later marks
+	s.OnAddition(a, nil)
+}
+
+func TestImpactAwareStateRoundTrip(t *testing.T) {
+	a, b := stateCtx("a", 1), stateCtx("b", 2)
+	// Higher seq = cheaper to discard, so the tie resolves against peer b
+	// and the used context is still delivered.
+	impact := func(c *ctx.Context) float64 { return -float64(c.Seq) }
+
+	s := NewImpactAwareDropBad(impact)
+	s.OnAddition(a, []constraint.Violation{vio("C1", a, b)})
+	blob, err := s.StrategyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ra, rb := stateCtx("a", 1), stateCtx("b", 2)
+	byID := map[ctx.ID]*ctx.Context{"a": ra, "b": rb}
+	s2 := NewImpactAwareDropBad(impact)
+	if err := s2.RestoreStrategyState(blob, func(id ctx.ID) (*ctx.Context, bool) {
+		cc, ok := byID[id]
+		return cc, ok
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var marked []ctx.ID
+	s2.SetBadMarkHook(func(c *ctx.Context) { marked = append(marked, c.ID) })
+	if usable, _ := s2.OnUse(ra); !usable {
+		t.Fatal("a should be delivered")
+	}
+	if len(marked) == 0 {
+		t.Fatal("delegated bad-mark hook never fired")
+	}
+}

@@ -1,0 +1,77 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frame layout: uint32le payload length | uint32le CRC32C(payload) | payload.
+const (
+	frameHeaderLen = 8
+	// MaxFrameBytes bounds a single frame payload; larger lengths are
+	// treated as corruption (a wild length field must not allocate GiBs).
+	MaxFrameBytes = 16 << 20
+)
+
+// Segment and snapshot files begin with an 8-byte magic string naming the
+// format version.
+const (
+	segmentMagic  = "CTXWAL01"
+	snapshotMagic = "CTXSNP01"
+	magicLen      = 8
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks an incomplete frame at the end of a file: the signature of
+// a crash mid-append. Recovery truncates it; verification reports it
+// separately from corruption.
+var errTorn = errors.New("wal: torn frame at end of file")
+
+// appendFrame appends the framed payload to dst and returns the extended
+// slice. Callers write the result with a single Write so a crash tears at
+// most one frame.
+func appendFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrameBytes {
+		return nil, fmt.Errorf("wal: frame payload %d bytes exceeds limit %d", len(payload), MaxFrameBytes)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// nextFrame parses the frame starting at off in buf. It returns the
+// payload and the offset just past the frame. At a clean end of buffer it
+// returns done=true. An incomplete trailing frame yields errTorn; a bad
+// CRC yields errTorn when the frame runs exactly to the end of the buffer
+// (a torn overwrite cannot be told apart from a torn append) and a
+// corruption error when valid-looking data follows.
+func nextFrame(buf []byte, off int64) (payload []byte, next int64, done bool, err error) {
+	rest := buf[off:]
+	if len(rest) == 0 {
+		return nil, off, true, nil
+	}
+	if len(rest) < frameHeaderLen {
+		return nil, off, false, errTorn
+	}
+	n := binary.LittleEndian.Uint32(rest[0:4])
+	if n > MaxFrameBytes {
+		return nil, off, false, fmt.Errorf("wal: frame at offset %d: length %d exceeds limit %d", off, n, MaxFrameBytes)
+	}
+	if len(rest) < frameHeaderLen+int(n) {
+		return nil, off, false, errTorn
+	}
+	want := binary.LittleEndian.Uint32(rest[4:8])
+	payload = rest[frameHeaderLen : frameHeaderLen+int(n)]
+	if crc32.Checksum(payload, castagnoli) != want {
+		if len(rest) == frameHeaderLen+int(n) {
+			return nil, off, false, errTorn
+		}
+		return nil, off, false, fmt.Errorf("wal: frame at offset %d: CRC mismatch", off)
+	}
+	return payload, off + frameHeaderLen + int64(n), false, nil
+}

@@ -1,0 +1,381 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// FsyncPolicy selects when appended records are forced to stable storage.
+type FsyncPolicy int
+
+// Fsync policies.
+const (
+	// FsyncAlways syncs after every append: no acknowledged record is ever
+	// lost, at the cost of one fsync per operation.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncIntervalPolicy syncs at most once per Options.FsyncEvery,
+	// piggybacked on appends: a crash loses at most the last interval.
+	FsyncIntervalPolicy
+	// FsyncNever leaves flushing to the operating system: fastest, and a
+	// crash may lose everything since the last rotation or snapshot.
+	FsyncNever
+)
+
+// String names the policy as accepted by ParseFsyncPolicy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncIntervalPolicy:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseFsyncPolicy parses the -fsync flag values "always", "interval",
+// and "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncIntervalPolicy, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// File is the subset of *os.File the journal writes through. Tests inject
+// faulty implementations (byte-budgeted writers in the style of
+// internal/daemon/faultconn) to simulate crashes at arbitrary offsets.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Options configures a Journal.
+type Options struct {
+	// Dir is the journal directory, created if absent.
+	Dir string
+	// SegmentBytes rotates the active segment once it reaches this size.
+	// Zero means DefaultSegmentBytes.
+	SegmentBytes int64
+	// Fsync selects the durability policy for appends.
+	Fsync FsyncPolicy
+	// FsyncEvery is the minimum spacing between syncs under
+	// FsyncIntervalPolicy. Zero means DefaultFsyncEvery.
+	FsyncEvery time.Duration
+	// KeepSnapshots bounds how many snapshot files survive a new
+	// snapshot. Zero means DefaultKeepSnapshots (the newest plus one
+	// fallback).
+	KeepSnapshots int
+	// OpenFile creates journal files (segments and snapshot temporaries).
+	// Nil means os.Create. Fault-injection hook for crash tests.
+	OpenFile func(name string) (File, error)
+}
+
+// Tuning defaults.
+const (
+	DefaultSegmentBytes  = 4 << 20
+	DefaultFsyncEvery    = 100 * time.Millisecond
+	DefaultKeepSnapshots = 2
+)
+
+func (o *Options) withDefaults() Options {
+	opt := *o
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = DefaultSegmentBytes
+	}
+	if opt.FsyncEvery <= 0 {
+		opt.FsyncEvery = DefaultFsyncEvery
+	}
+	if opt.KeepSnapshots <= 0 {
+		opt.KeepSnapshots = DefaultKeepSnapshots
+	}
+	if opt.OpenFile == nil {
+		opt.OpenFile = func(name string) (File, error) { return os.Create(name) }
+	}
+	return opt
+}
+
+// ErrClosed reports an append to a closed journal.
+var ErrClosed = errors.New("wal: journal closed")
+
+// Stats is a snapshot of journal counters, exposed through the daemon
+// stats op so recovery behavior is observable.
+type Stats struct {
+	// Records and Bytes count appends by this journal instance.
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// Fsyncs counts File.Sync calls (appends, rotations, snapshots).
+	Fsyncs int64 `json:"fsyncs"`
+	// Rotations counts segment rollovers.
+	Rotations int64 `json:"rotations"`
+	// Snapshots counts snapshots written by this instance.
+	Snapshots int64 `json:"snapshots"`
+	// Segments is the number of live segment files.
+	Segments int `json:"segments"`
+	// LastSeq is the sequence number of the last appended record (0 when
+	// the journal is empty).
+	LastSeq uint64 `json:"lastSeq"`
+	// LastSnapshotSeq is the sequence the newest snapshot covers through
+	// (0 when no snapshot exists).
+	LastSnapshotSeq uint64 `json:"lastSnapshotSeq"`
+	// LastSnapshotAgeSeconds is the age of the newest snapshot, or -1
+	// when no snapshot exists.
+	LastSnapshotAgeSeconds float64 `json:"lastSnapshotAgeSeconds"`
+}
+
+// Journal is the append side of the write-ahead log. It is safe for
+// concurrent use, though the middleware serializes appends under its own
+// lock anyway.
+type Journal struct {
+	opt Options
+
+	mu       sync.Mutex
+	f        File
+	segStart uint64 // first seq the active segment may hold
+	segSize  int64
+	nextSeq  uint64
+	segments []fileInfo // live segments including the active one
+	lastSync time.Time
+	closed   bool
+	err      error // sticky write failure
+
+	records   int64
+	bytes     int64
+	fsyncs    int64
+	rotations int64
+	snapshots int64
+	snapSeq   uint64
+	snapTime  time.Time
+}
+
+// Open creates or continues the journal in opt.Dir. An existing journal
+// is scanned to find the next sequence number; a torn final record (crash
+// mid-append) is truncated away. Appends always go to a fresh segment, so
+// Open never rewrites bytes an earlier process may have acknowledged.
+func Open(opt Options) (*Journal, error) {
+	o := opt.withDefaults()
+	if o.Dir == "" {
+		return nil, errors.New("wal: open: empty directory")
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	segs, err := listSegments(o.Dir)
+	if err != nil {
+		return nil, err
+	}
+	snaps, err := listSnapshots(o.Dir)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{opt: o, nextSeq: 1}
+	if len(snaps) > 0 {
+		newest := snaps[len(snaps)-1]
+		j.snapSeq = newest.seq
+		if st, err := os.Stat(newest.path); err == nil {
+			j.snapTime = st.ModTime()
+		}
+		j.nextSeq = newest.seq + 1
+	}
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		scan, err := readSegment(last.path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open: %w", err)
+		}
+		if scan.torn {
+			if err := os.Truncate(last.path, scan.validLen); err != nil {
+				return nil, fmt.Errorf("wal: open: truncate torn tail: %w", err)
+			}
+		}
+		// The sequence resumes past everything already on disk: the last
+		// record in the last segment, or the segment's declared first
+		// sequence when it is empty. A snapshot can be newer than both
+		// when a crash hit between the snapshot rename and the segment
+		// rotation, so never move backwards past it.
+		if n := len(scan.records); n > 0 {
+			if next := scan.records[n-1].Seq + 1; next > j.nextSeq {
+				j.nextSeq = next
+			}
+		} else if last.seq > j.nextSeq {
+			j.nextSeq = last.seq
+		}
+		j.segments = segs
+	}
+	if err := j.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// openSegmentLocked starts a fresh active segment at nextSeq. An existing
+// file of the same name can only be an empty leftover from a previous
+// Open that appended nothing; it is safe to replace.
+func (j *Journal) openSegmentLocked() error {
+	name := filepath.Join(j.opt.Dir, segmentName(j.nextSeq))
+	f, err := j.opt.OpenFile(name)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if _, err := f.Write([]byte(segmentMagic)); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: write segment magic: %w", err)
+	}
+	j.f = f
+	j.segStart = j.nextSeq
+	j.segSize = magicLen
+	if n := len(j.segments); n == 0 || j.segments[n-1].seq != j.nextSeq {
+		j.segments = append(j.segments, fileInfo{path: name, seq: j.nextSeq})
+	} else {
+		j.segments[n-1].path = name
+	}
+	return nil
+}
+
+// Append journals one record, assigning and returning its sequence
+// number. A write failure is sticky: every later Append fails with the
+// same error, so callers fail stop instead of acknowledging operations
+// the log did not capture.
+func (j *Journal) Append(r Record) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, ErrClosed
+	}
+	if j.err != nil {
+		return 0, j.err
+	}
+	r.Seq = j.nextSeq
+	payload, err := r.encode()
+	if err != nil {
+		return 0, err
+	}
+	frame, err := appendFrame(nil, payload)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		j.err = fmt.Errorf("wal: append record %d: %w", r.Seq, err)
+		return 0, j.err
+	}
+	j.nextSeq++
+	j.segSize += int64(len(frame))
+	j.records++
+	j.bytes += int64(len(frame))
+	if err := j.maybeSyncLocked(); err != nil {
+		j.err = err
+		return 0, j.err
+	}
+	if j.segSize >= j.opt.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			j.err = err
+			return 0, j.err
+		}
+	}
+	return r.Seq, nil
+}
+
+func (j *Journal) maybeSyncLocked() error {
+	switch j.opt.Fsync {
+	case FsyncAlways:
+		return j.syncLocked()
+	case FsyncIntervalPolicy:
+		if time.Since(j.lastSync) >= j.opt.FsyncEvery {
+			return j.syncLocked()
+		}
+	}
+	return nil
+}
+
+func (j *Journal) syncLocked() error {
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	j.fsyncs++
+	j.lastSync = time.Now()
+	return nil
+}
+
+// rotateLocked seals the active segment and starts the next one.
+func (j *Journal) rotateLocked() error {
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("wal: rotate: sync: %w", err)
+	}
+	j.fsyncs++
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate: close: %w", err)
+	}
+	j.rotations++
+	return j.openSegmentLocked()
+}
+
+// LastSeq returns the sequence number of the last appended record, or 0
+// when nothing has ever been appended.
+func (j *Journal) LastSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextSeq - 1
+}
+
+// Err returns the sticky write failure, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Stats snapshots the journal counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Stats{
+		Records:                j.records,
+		Bytes:                  j.bytes,
+		Fsyncs:                 j.fsyncs,
+		Rotations:              j.rotations,
+		Snapshots:              j.snapshots,
+		Segments:               len(j.segments),
+		LastSeq:                j.nextSeq - 1,
+		LastSnapshotSeq:        j.snapSeq,
+		LastSnapshotAgeSeconds: -1,
+	}
+	if !j.snapTime.IsZero() {
+		s.LastSnapshotAgeSeconds = time.Since(j.snapTime).Seconds()
+	}
+	return s
+}
+
+// Close syncs and closes the active segment. Further appends fail with
+// ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var errs []error
+	if j.err == nil {
+		if err := j.syncLocked(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := j.f.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("wal: close: %w", err))
+	}
+	return errors.Join(errs...)
+}

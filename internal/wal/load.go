@@ -1,0 +1,228 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// LoadResult is what recovery starts from: the newest valid snapshot (nil
+// when none exists) and every decodable record after it, in sequence
+// order.
+type LoadResult struct {
+	Snapshot     *Snapshot
+	SnapshotPath string
+	Records      []Record
+	// TornBytes counts bytes truncated off the final segment (a record
+	// torn by a crash mid-append).
+	TornBytes int64
+	// SkippedSnapshots lists snapshot files that failed to parse and were
+	// passed over for an older one.
+	SkippedSnapshots []string
+}
+
+// Load reads the journal directory for recovery. It picks the newest
+// snapshot that parses, collects all records with Seq > snapshot.Seq,
+// verifies the sequence is gap-free, and physically truncates a torn
+// final record so the directory verifies clean afterwards. Corruption
+// anywhere before the torn tail is an error: recovery must not silently
+// skip acknowledged records.
+func Load(dir string) (*LoadResult, error) {
+	res := &LoadResult{}
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		snap, err := readSnapshotFile(snaps[i].path)
+		if err != nil {
+			res.SkippedSnapshots = append(res.SkippedSnapshots, fmt.Sprintf("%s: %v", filepath.Base(snaps[i].path), err))
+			continue
+		}
+		res.Snapshot = snap
+		res.SnapshotPath = snaps[i].path
+		break
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	var after uint64 // collect records with Seq > after
+	if res.Snapshot != nil {
+		after = res.Snapshot.Seq
+	}
+	for i, seg := range segs {
+		scan, err := readSegment(seg.path)
+		if err != nil {
+			return nil, err
+		}
+		if scan.torn {
+			if i != len(segs)-1 {
+				return nil, fmt.Errorf("wal: segment %s: torn record in non-final segment", filepath.Base(seg.path))
+			}
+			if scan.validLen < magicLen {
+				// Nothing valid in the file at all; remove it.
+				if err := os.Remove(seg.path); err != nil {
+					return nil, fmt.Errorf("wal: drop torn segment: %w", err)
+				}
+			} else if err := os.Truncate(seg.path, scan.validLen); err != nil {
+				return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			res.TornBytes = scan.tornLen
+		}
+		for _, rec := range scan.records {
+			if rec.Seq > after {
+				res.Records = append(res.Records, rec)
+			}
+		}
+	}
+	sort.SliceStable(res.Records, func(i, k int) bool { return res.Records[i].Seq < res.Records[k].Seq })
+	for i := 1; i < len(res.Records); i++ {
+		prev, cur := res.Records[i-1].Seq, res.Records[i].Seq
+		if cur == prev {
+			return nil, fmt.Errorf("wal: duplicate record sequence %d", cur)
+		}
+		if cur != prev+1 {
+			return nil, fmt.Errorf("wal: sequence gap: %d follows %d", cur, prev)
+		}
+	}
+	if len(res.Records) > 0 && res.Snapshot != nil && res.Records[0].Seq != res.Snapshot.Seq+1 {
+		return nil, fmt.Errorf("wal: sequence gap after snapshot %d: first record %d",
+			res.Snapshot.Seq, res.Records[0].Seq)
+	}
+	return res, nil
+}
+
+// SegmentReport describes one segment file for inspection/verification.
+type SegmentReport struct {
+	Name     string `json:"name"`
+	Bytes    int64  `json:"bytes"`
+	Records  int    `json:"records"`
+	FirstSeq uint64 `json:"firstSeq,omitempty"`
+	LastSeq  uint64 `json:"lastSeq,omitempty"`
+	Torn     bool   `json:"torn,omitempty"`
+	TornLen  int64  `json:"tornBytes,omitempty"`
+	Corrupt  string `json:"corrupt,omitempty"`
+}
+
+// SnapshotReport describes one snapshot file.
+type SnapshotReport struct {
+	Name    string `json:"name"`
+	Bytes   int64  `json:"bytes"`
+	Seq     uint64 `json:"seq,omitempty"`
+	Clock   string `json:"clock,omitempty"`
+	Entries int    `json:"entries,omitempty"`
+	Corrupt string `json:"corrupt,omitempty"`
+}
+
+// VerifyReport is the read-only health report behind `ctxwal verify` and
+// `ctxwal inspect`. Unlike Load it never modifies the directory and it
+// keeps going past corruption so every problem is listed.
+type VerifyReport struct {
+	Segments  []SegmentReport  `json:"segments"`
+	Snapshots []SnapshotReport `json:"snapshots"`
+	// Records counts decodable records across all segments.
+	Records int `json:"records"`
+	// RecordsByType tallies them per record type.
+	RecordsByType map[RecordType]int `json:"recordsByType"`
+	// CorruptFiles counts segments and snapshots with corruption other
+	// than a torn tail.
+	CorruptFiles int `json:"corruptFiles"`
+	// TornTails counts segments ending in a torn record.
+	TornTails int `json:"tornTails"`
+	// SequenceErrors lists gaps and duplicates in the record sequence.
+	SequenceErrors []string `json:"sequenceErrors,omitempty"`
+}
+
+// Clean reports whether the journal has no corruption, torn tails, or
+// sequence errors.
+func (r *VerifyReport) Clean() bool {
+	return r.CorruptFiles == 0 && r.TornTails == 0 && len(r.SequenceErrors) == 0
+}
+
+// Verify scans every segment and snapshot in the directory read-only.
+func Verify(dir string) (*VerifyReport, error) {
+	rep := &VerifyReport{RecordsByType: make(map[RecordType]int)}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	var all []Record
+	for _, seg := range segs {
+		sr := SegmentReport{Name: filepath.Base(seg.path)}
+		if st, err := os.Stat(seg.path); err == nil {
+			sr.Bytes = st.Size()
+		}
+		scan, err := readSegment(seg.path)
+		if err != nil {
+			sr.Corrupt = err.Error()
+			rep.CorruptFiles++
+		}
+		if scan.torn {
+			sr.Torn = true
+			sr.TornLen = scan.tornLen
+			rep.TornTails++
+		}
+		sr.Records = len(scan.records)
+		if n := len(scan.records); n > 0 {
+			sr.FirstSeq = scan.records[0].Seq
+			sr.LastSeq = scan.records[n-1].Seq
+		}
+		for _, rec := range scan.records {
+			rep.RecordsByType[rec.Type]++
+		}
+		rep.Records += len(scan.records)
+		all = append(all, scan.records...)
+		rep.Segments = append(rep.Segments, sr)
+	}
+	sort.SliceStable(all, func(i, k int) bool { return all[i].Seq < all[k].Seq })
+	for i := 1; i < len(all); i++ {
+		prev, cur := all[i-1].Seq, all[i].Seq
+		if cur == prev {
+			rep.SequenceErrors = append(rep.SequenceErrors, fmt.Sprintf("duplicate sequence %d", cur))
+		} else if cur != prev+1 {
+			rep.SequenceErrors = append(rep.SequenceErrors, fmt.Sprintf("gap: %d follows %d", cur, prev))
+		}
+	}
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, sn := range snaps {
+		pr := SnapshotReport{Name: filepath.Base(sn.path)}
+		if st, err := os.Stat(sn.path); err == nil {
+			pr.Bytes = st.Size()
+		}
+		snap, err := readSnapshotFile(sn.path)
+		if err != nil {
+			pr.Corrupt = err.Error()
+			rep.CorruptFiles++
+		} else {
+			pr.Seq = snap.Seq
+			pr.Clock = snap.Clock.String()
+			pr.Entries = len(snap.Pool.Entries)
+		}
+		rep.Snapshots = append(rep.Snapshots, pr)
+	}
+	return rep, nil
+}
+
+// Records reads every decodable record in the directory in sequence
+// order, ignoring snapshots — the raw material for `ctxwal dump`.
+func Records(dir string) ([]Record, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	var all []Record
+	for _, seg := range segs {
+		scan, err := readSegment(seg.path)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, scan.records...)
+	}
+	sort.SliceStable(all, func(i, k int) bool { return all[i].Seq < all[k].Seq })
+	return all, nil
+}

@@ -1,0 +1,141 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File naming: segments are wal-<firstseq>.seg where firstseq is the
+// sequence number of the first record the segment may contain; snapshots
+// are snap-<seq>.snap where seq is the last record the snapshot covers.
+const (
+	segmentPrefix  = "wal-"
+	segmentSuffix  = ".seg"
+	snapshotPrefix = "snap-"
+	snapshotSuffix = ".snap"
+	seqDigits      = 20
+)
+
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%0*d%s", segmentPrefix, seqDigits, firstSeq, segmentSuffix)
+}
+
+func snapshotName(seq uint64) string {
+	return fmt.Sprintf("%s%0*d%s", snapshotPrefix, seqDigits, seq, snapshotSuffix)
+}
+
+// parseSeq extracts the sequence number from a segment or snapshot file
+// name; ok is false for unrelated files (including temp files).
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	if len(digits) != seqDigits {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// fileInfo is one segment or snapshot file, identified by its sequence
+// number.
+type fileInfo struct {
+	path string
+	seq  uint64 // firstSeq for segments, covered seq for snapshots
+}
+
+// listDir enumerates the matching files in the journal directory, sorted
+// by sequence number ascending. A missing directory lists as empty.
+func listDir(dir, prefix, suffix string) ([]fileInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	var out []fileInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		seq, ok := parseSeq(e.Name(), prefix, suffix)
+		if !ok {
+			continue
+		}
+		out = append(out, fileInfo{path: filepath.Join(dir, e.Name()), seq: seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+func listSegments(dir string) ([]fileInfo, error) {
+	return listDir(dir, segmentPrefix, segmentSuffix)
+}
+
+func listSnapshots(dir string) ([]fileInfo, error) {
+	return listDir(dir, snapshotPrefix, snapshotSuffix)
+}
+
+// segmentScan is the result of reading one segment file.
+type segmentScan struct {
+	records  []Record
+	validLen int64 // bytes up to and including the last whole record
+	torn     bool  // file ends in an incomplete or torn-overwritten frame
+	tornLen  int64 // bytes past validLen when torn
+}
+
+// readSegment parses a whole segment file. Corruption that is not a torn
+// tail (bad magic, mid-file CRC mismatch, undecodable record, wild length)
+// is returned as an error; a torn tail is reported in the scan so callers
+// choose between truncating (recovery) and reporting (verification).
+func readSegment(path string) (segmentScan, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return segmentScan{}, fmt.Errorf("wal: read segment: %w", err)
+	}
+	var scan segmentScan
+	if len(buf) < magicLen {
+		// A crash can tear even the magic header of a freshly rotated
+		// segment (or leave the file empty); treat the whole file as a
+		// torn tail with no valid prefix.
+		scan.torn = true
+		scan.tornLen = int64(len(buf))
+		return scan, nil
+	}
+	if string(buf[:magicLen]) != segmentMagic {
+		return segmentScan{}, fmt.Errorf("wal: segment %s: bad magic", filepath.Base(path))
+	}
+	off := int64(magicLen)
+	scan.validLen = off
+	for {
+		payload, next, done, err := nextFrame(buf, off)
+		if done {
+			return scan, nil
+		}
+		if errors.Is(err, errTorn) {
+			scan.torn = true
+			scan.tornLen = int64(len(buf)) - scan.validLen
+			return scan, nil
+		}
+		if err != nil {
+			return segmentScan{}, fmt.Errorf("wal: segment %s: %w", filepath.Base(path), err)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return segmentScan{}, fmt.Errorf("wal: segment %s offset %d: %w", filepath.Base(path), off, err)
+		}
+		scan.records = append(scan.records, rec)
+		scan.validLen = next
+		off = next
+	}
+}

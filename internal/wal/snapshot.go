@@ -1,0 +1,179 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ctxres/internal/pool"
+)
+
+// Snapshot is a full serialization of the middleware's durable state at
+// one log position: every record with Seq <= Snapshot.Seq is reflected in
+// it, and recovery replays only records after it.
+type Snapshot struct {
+	// Seq is the last journal sequence number the snapshot covers.
+	Seq uint64 `json:"seq"`
+	// Clock is the middleware's logical clock.
+	Clock time.Time `json:"clock"`
+	// Strategy names the resolution strategy that produced State, so a
+	// recovery under a different strategy fails loudly instead of
+	// restoring a foreign buffer.
+	Strategy string `json:"strategy,omitempty"`
+	// Pool is the full context repository: entries, life-cycle flags, and
+	// counters.
+	Pool pool.Snapshot `json:"pool"`
+	// StrategyState is the strategy's internal buffer (for drop-bad: the
+	// tracked inconsistency set Σ and decision counters), opaque to the
+	// log layer.
+	StrategyState json.RawMessage `json:"strategyState,omitempty"`
+	// Stats is the marshaled middleware counter snapshot.
+	Stats json.RawMessage `json:"stats,omitempty"`
+}
+
+// WriteSnapshot persists the snapshot and prunes the log: the snapshot
+// file is written to a temporary name, synced, and renamed into place;
+// the active segment is rotated so new records start a fresh file; every
+// sealed segment (all records <= snap.Seq) is deleted; and old snapshots
+// beyond Options.KeepSnapshots are removed. snap.Seq must equal the last
+// appended sequence — the middleware takes the snapshot under its lock,
+// so nothing can append in between.
+func (j *Journal) WriteSnapshot(snap Snapshot) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.err != nil {
+		return j.err
+	}
+	if snap.Seq != j.nextSeq-1 {
+		return fmt.Errorf("wal: snapshot at seq %d, journal at %d", snap.Seq, j.nextSeq-1)
+	}
+	// Seal the covered records before the snapshot claims to include them.
+	if err := j.syncLocked(); err != nil {
+		j.err = err
+		return j.err
+	}
+	if err := j.writeSnapshotFileLocked(snap); err != nil {
+		j.err = err
+		return j.err
+	}
+	j.snapshots++
+	j.snapSeq = snap.Seq
+	j.snapTime = time.Now()
+	// Rotate so the active segment holds only post-snapshot records, then
+	// drop the sealed ones: everything they hold is covered by the
+	// snapshot.
+	if err := j.rotateLocked(); err != nil {
+		j.err = err
+		return j.err
+	}
+	keep := j.segments[:0]
+	for _, seg := range j.segments {
+		if seg.seq == j.segStart {
+			keep = append(keep, seg)
+			continue
+		}
+		if err := os.Remove(seg.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("wal: prune segment: %w", err)
+		}
+	}
+	j.segments = keep
+	return j.pruneSnapshotsLocked()
+}
+
+// writeSnapshotFileLocked writes the framed snapshot atomically.
+func (j *Journal) writeSnapshotFileLocked(snap Snapshot) error {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("wal: marshal snapshot: %w", err)
+	}
+	buf := make([]byte, 0, magicLen+frameHeaderLen+len(payload))
+	buf = append(buf, snapshotMagic...)
+	buf, err = appendFrame(buf, payload)
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(j.opt.Dir, snapshotName(snap.Seq))
+	tmp := final + ".tmp"
+	f, err := j.opt.OpenFile(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: create snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: sync snapshot: %w", err)
+	}
+	j.fsyncs++
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	syncDir(j.opt.Dir)
+	return nil
+}
+
+// pruneSnapshotsLocked deletes snapshots beyond the newest KeepSnapshots.
+func (j *Journal) pruneSnapshotsLocked() error {
+	snaps, err := listSnapshots(j.opt.Dir)
+	if err != nil {
+		return err
+	}
+	for len(snaps) > j.opt.KeepSnapshots {
+		if err := os.Remove(snaps[0].path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("wal: prune snapshot: %w", err)
+		}
+		snaps = snaps[1:]
+	}
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so renames survive a crash.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// readSnapshotFile parses one snapshot file.
+func readSnapshotFile(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read snapshot: %w", err)
+	}
+	if len(buf) < magicLen || string(buf[:magicLen]) != snapshotMagic {
+		return nil, fmt.Errorf("wal: snapshot %s: bad magic", filepath.Base(path))
+	}
+	payload, next, done, err := nextFrame(buf, magicLen)
+	if done {
+		return nil, fmt.Errorf("wal: snapshot %s: missing frame", filepath.Base(path))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot %s: invalid frame: %w", filepath.Base(path), err)
+	}
+	if next != int64(len(buf)) {
+		return nil, fmt.Errorf("wal: snapshot %s: %d trailing bytes", filepath.Base(path), int64(len(buf))-next)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("wal: snapshot %s: %w", filepath.Base(path), err)
+	}
+	return &snap, nil
+}
