@@ -7,7 +7,7 @@ FUZZTIME ?= 30s
 
 .DEFAULT_GOAL := check
 
-.PHONY: check build test race bench vet cover fuzz-smoke
+.PHONY: check build test race bench vet cover fuzz-smoke smoke
 
 check: vet build test race
 
@@ -18,10 +18,19 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/constraint ./internal/middleware ./internal/pool ./internal/daemon/...
+	$(GO) test -race ./internal/constraint ./internal/middleware ./internal/pool ./internal/daemon/... ./internal/metrics ./internal/telemetry
 
+# bench regenerates BENCH_4.json, the machine-readable perf trajectory:
+# Figure 9/10 wall-clock, telemetry overhead on the same workloads, and
+# the daemon's per-stage latency histograms after a real TCP run.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+	$(GO) run ./cmd/ctxbench -perf BENCH_4.json -groups 2
+
+# smoke boots a real ctxmwd with -metrics-addr, scrapes /metrics and
+# /healthz, and fails on malformed Prometheus exposition.
+smoke:
+	./scripts/smoke.sh
 
 vet:
 	$(GO) vet ./...

@@ -24,8 +24,10 @@ import (
 	"ctxres/internal/experiment"
 	"ctxres/internal/inconsistency"
 	"ctxres/internal/landmarc"
+	"ctxres/internal/middleware"
 	"ctxres/internal/simspace"
 	"ctxres/internal/strategy"
+	"ctxres/internal/telemetry"
 )
 
 // benchFigureConfig keeps one bench iteration small but representative.
@@ -402,4 +404,47 @@ func BenchmarkContextJSON(b *testing.B) {
 
 func benchName(prefix string, n int) string {
 	return prefix + "=" + string(rune('0'+n))
+}
+
+// nullSink discards spans; it isolates the span-assembly cost in
+// BenchmarkSubmit from any sink I/O.
+type nullSink struct{}
+
+func (nullSink) RecordSpan(*telemetry.Span) {}
+
+// BenchmarkSubmit measures the middleware's submission path in the three
+// telemetry modes: unconfigured (must stay within noise of the seed
+// pipeline — disabled telemetry takes no clock readings and allocates
+// nothing), with a registry (atomic counter/histogram updates), and with
+// a registry plus a span sink (per-operation span assembly on top).
+func BenchmarkSubmit(b *testing.B) {
+	run := func(b *testing.B, opts ...middleware.Option) {
+		trace := benchTrace(128, 8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m := middleware.New(benchChecker(), strategy.NewDropBad(), opts...)
+			cloned := make([]*ctx.Context, len(trace))
+			for j, c := range trace {
+				cloned[j] = c.Clone()
+			}
+			b.StartTimer()
+			for _, c := range cloned {
+				if _, err := m.Submit(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("no-telemetry", func(b *testing.B) {
+		run(b)
+	})
+	b.Run("registry", func(b *testing.B) {
+		run(b, middleware.WithTelemetry(telemetry.NewRegistry()))
+	})
+	b.Run("registry+spans", func(b *testing.B) {
+		run(b, middleware.WithTelemetry(telemetry.NewRegistry()),
+			middleware.WithSpanSink(nullSink{}))
+	})
 }

@@ -27,6 +27,7 @@ import (
 
 	"ctxres/internal/constraint"
 	"ctxres/internal/experiment"
+	"ctxres/internal/telemetry"
 )
 
 func main() {
@@ -48,15 +49,25 @@ func run(args []string, out io.Writer) error {
 		csvDir    = fs.String("csv", "", "also write CSV files into this directory")
 		par       = fs.Int("parallelism", 0, "checker workers for the figure runs "+
 			"(<=1 serial, -1 = GOMAXPROCS)")
-		strats    = fs.String("strategies", "", "comma-separated strategy list for the figures "+
+		strats = fs.String("strategies", "", "comma-separated strategy list for the figures "+
 			"(default: the paper's four; try OPT-R,D-BAD,D-BAD+I,D-LAT,D-ALL,D-RAND,P-OLD)")
+		perf = fs.String("perf", "", "run the perf suite (figure wall-clock, telemetry overhead, "+
+			"daemon stage histograms) and write the JSON report to this file")
+		version = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *version {
+		fmt.Fprintln(out, telemetry.VersionString("ctxbench"))
+		return nil
+	}
+	if *perf != "" {
+		return runPerf(out, *perf, min(*groups, 4), *seed)
+	}
 	if !*all && *fig == 0 && !*caseStudy && !*ablation {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -fig 9, -fig 10, -casestudy, -ablation or -all")
+		return fmt.Errorf("nothing to do: pass -fig 9, -fig 10, -casestudy, -ablation, -perf FILE or -all")
 	}
 
 	cfg := experiment.DefaultFigureConfig()

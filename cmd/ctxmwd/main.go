@@ -18,6 +18,15 @@
 // cadence, and -compact-interval the pool-compaction cadence. The daemon
 // stops on SIGINT/SIGTERM after draining in-flight requests, writing a
 // final checkpoint when durability is on.
+//
+// -metrics-addr serves the operational HTTP endpoint: /metrics
+// (Prometheus text exposition), /healthz (503 once the WAL has
+// fail-stopped or maintenance fails), /statusz (JSON status: build info,
+// uptime, configuration, pool and Σ sizes, counters), and /debug/pprof.
+// The telemetry registry is always on — the stats op carries its
+// snapshot either way — so -metrics-addr only controls the HTTP surface.
+// -span-log appends one JSON line per pipeline operation (with per-stage
+// timings) to a file. -version prints build information and exits.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"ctxres/internal/middleware"
 	"ctxres/internal/simspace"
 	"ctxres/internal/situation"
+	"ctxres/internal/telemetry"
 	"ctxres/internal/wal"
 )
 
@@ -48,23 +58,36 @@ func main() {
 }
 
 func run(args []string) error {
-	srv, shutdown, err := setup(args)
+	d, err := setup(args)
 	if err != nil {
 		return err
+	}
+	if d == nil {
+		return nil // -version
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("ctxmwd: shutting down")
-	srv.Shutdown()
-	return shutdown()
+	d.srv.Shutdown()
+	return d.stop()
+}
+
+// daemonProc is a running daemon: the protocol server, the optional ops
+// endpoint, the process-wide telemetry registry, and the shutdown steps
+// to run after the server has drained (final checkpoint, journal close,
+// span-log flush, ops close).
+type daemonProc struct {
+	srv  *daemon.Server
+	ops  *daemon.OpsServer // nil without -metrics-addr
+	reg  *telemetry.Registry
+	stop func() error
 }
 
 // setup parses flags, builds the middleware (recovering from the WAL when
-// -data-dir is set), and starts the daemon. The returned function runs the
-// durability shutdown steps (final checkpoint, journal close) after the
-// server has drained.
-func setup(args []string) (*daemon.Server, func() error, error) {
+// -data-dir is set), and starts the daemon. It returns nil (and no error)
+// when -version asked only for build information.
+func setup(args []string) (*daemonProc, error) {
 	fs := flag.NewFlagSet("ctxmwd", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:7654", "listen address")
@@ -90,72 +113,120 @@ func setup(args []string) (*daemon.Server, func() error, error) {
 			"how often to checkpoint the WAL (0 disables; needs -data-dir)")
 		compactEvery = fs.Duration("compact-interval", time.Minute,
 			"how often to compact the context pool (0 disables)")
+		metricsAddr = fs.String("metrics-addr", "",
+			"serve /metrics, /healthz, /statusz, and /debug/pprof on this address (empty disables)")
+		spanLog = fs.String("span-log", "",
+			"append per-operation pipeline spans as JSON lines to this file (empty disables)")
+		version = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, nil, err
+		return nil, err
+	}
+	if *version {
+		fmt.Println(telemetry.VersionString("ctxmwd"))
+		return nil, nil
 	}
 
 	checker, engine, err := profile(*app)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if *constrs != "" {
 		f, err := os.Open(*constrs)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		loaded, err := constraint.LoadCheckerFrom(f, nil)
 		closeErr := f.Close()
 		if err != nil {
-			return nil, nil, fmt.Errorf("load %s: %w", *constrs, err)
+			return nil, fmt.Errorf("load %s: %w", *constrs, err)
 		}
 		if closeErr != nil {
-			return nil, nil, closeErr
+			return nil, closeErr
 		}
 		checker = loaded
 	}
 	strat, err := experiment.NewStrategy(experiment.StrategyName(*strategy),
 		rand.New(rand.NewSource(*seed)), nil)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	parallelism := *par
 	if parallelism < 0 {
 		parallelism = constraint.DefaultParallelism()
 	}
+
+	// The registry is always on: its per-observation cost is atomic adds,
+	// and the stats op serves its snapshot even without -metrics-addr.
+	reg := telemetry.NewRegistry()
+	var spans *telemetry.SpanWriter
+	var spanFile *os.File
+	if *spanLog != "" {
+		spanFile, err = os.OpenFile(*spanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("open span log: %w", err)
+		}
+		spans = telemetry.NewSpanWriter(spanFile)
+	}
+	mwOpts := []middleware.Option{
+		middleware.WithSituations(engine),
+		middleware.WithCheckerOptions(middleware.CheckerOptions{Parallelism: parallelism}),
+		middleware.WithTelemetry(reg),
+	}
+	if spans != nil {
+		mwOpts = append(mwOpts, middleware.WithSpanSink(spans))
+	}
 	build := func() *middleware.Middleware {
-		return middleware.New(checker, strat,
-			middleware.WithSituations(engine),
-			middleware.WithCheckerOptions(middleware.CheckerOptions{Parallelism: parallelism}))
+		return middleware.New(checker, strat, mwOpts...)
+	}
+
+	closeSpans := func() error {
+		if spans == nil {
+			return nil
+		}
+		if err := spans.Flush(); err != nil {
+			_ = spanFile.Close()
+			return fmt.Errorf("flush span log: %w", err)
+		}
+		return spanFile.Close()
 	}
 
 	var mw *middleware.Middleware
-	shutdown := func() error { return nil }
+	durShutdown := func() error { return nil }
 	snapInterval := time.Duration(0)
 	if *dataDir != "" {
 		policy, err := wal.ParseFsyncPolicy(*fsyncMode)
 		if err != nil {
-			return nil, nil, err
+			_ = closeSpans()
+			return nil, err
 		}
 		recovered, rep, err := middleware.Recover(*dataDir, build)
 		if err != nil {
-			return nil, nil, fmt.Errorf("recover %s: %w", *dataDir, err)
+			_ = closeSpans()
+			return nil, fmt.Errorf("recover %s: %w", *dataDir, err)
 		}
 		mw = recovered
 		if rep.SnapshotPath != "" || rep.Commands > 0 {
 			fmt.Printf("ctxmwd: recovered %s: snapshot seq %d, %d commands replayed, %d torn bytes truncated\n",
 				*dataDir, rep.SnapshotSeq, rep.Commands, rep.TornBytes)
 		}
-		j, err := wal.Open(wal.Options{Dir: *dataDir, Fsync: policy, FsyncEvery: *fsyncEvery})
+		j, err := wal.Open(wal.Options{
+			Dir:        *dataDir,
+			Fsync:      policy,
+			FsyncEvery: *fsyncEvery,
+			Observer:   middleware.NewWALObserver(reg),
+		})
 		if err != nil {
-			return nil, nil, fmt.Errorf("open wal %s: %w", *dataDir, err)
+			_ = closeSpans()
+			return nil, fmt.Errorf("open wal %s: %w", *dataDir, err)
 		}
 		if err := mw.AttachJournal(j); err != nil {
 			_ = j.Close()
-			return nil, nil, err
+			_ = closeSpans()
+			return nil, err
 		}
 		snapInterval = *snapEvery
-		shutdown = func() error {
+		durShutdown = func() error {
 			if err := mw.Checkpoint(); err != nil {
 				_ = mw.CloseJournal()
 				return fmt.Errorf("final checkpoint: %w", err)
@@ -171,16 +242,64 @@ func setup(args []string) (*daemon.Server, func() error, error) {
 		daemon.WithMaxConns(*maxConns),
 		daemon.WithDrainTimeout(*drain),
 		daemon.WithSnapshotInterval(snapInterval),
-		daemon.WithCompactInterval(*compactEvery))
+		daemon.WithCompactInterval(*compactEvery),
+		daemon.WithTelemetry(reg))
 	if err != nil {
 		if *dataDir != "" {
 			_ = mw.CloseJournal()
 		}
-		return nil, nil, err
+		_ = closeSpans()
+		return nil, err
 	}
-	fmt.Printf("ctxmwd: serving %s application with %s on %s (parallelism %d)\n",
-		*app, strat.Name(), srv.Addr(), parallelism)
-	return srv, shutdown, nil
+
+	d := &daemonProc{srv: srv, reg: reg}
+	start := time.Now()
+	if *metricsAddr != "" {
+		status := func() any {
+			return map[string]any{
+				"build":         telemetry.BuildInfo(),
+				"uptimeSeconds": time.Since(start).Seconds(),
+				"addr":          srv.Addr().String(),
+				"app":           *app,
+				"strategy":      strat.Name(),
+				"parallelism":   parallelism,
+				"dataDir":       *dataDir,
+				"fsync":         *fsyncMode,
+				"poolContexts":  mw.Pool().Len(),
+				"sigmaSize":     mw.SigmaSize(),
+				"middleware":    mw.Stats(),
+				"daemon":        srv.Stats(),
+			}
+		}
+		ops, err := daemon.ServeOps(*metricsAddr, daemon.OpsConfig{
+			Registry: reg,
+			Health:   srv.Health,
+			Status:   status,
+		})
+		if err != nil {
+			srv.Shutdown()
+			_ = durShutdown()
+			_ = closeSpans()
+			return nil, err
+		}
+		d.ops = ops
+		fmt.Printf("ctxmwd: metrics on %s\n", ops.Addr())
+	}
+	d.stop = func() error {
+		if d.ops != nil {
+			_ = d.ops.Close()
+		}
+		durErr := durShutdown()
+		if err := closeSpans(); err != nil && durErr == nil {
+			durErr = err
+		}
+		return durErr
+	}
+
+	b := telemetry.BuildInfo()
+	fmt.Printf("ctxmwd: serving %s application with %s on %s (parallelism %d, %s %s/%s)\n",
+		*app, strat.Name(), srv.Addr(), parallelism, b.GoVersion, b.OS, b.Arch)
+	return d, nil
 }
 
 func profile(app string) (*constraint.Checker, *situation.Engine, error) {

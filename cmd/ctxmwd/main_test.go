@@ -1,13 +1,22 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"ctxres/internal/ctx"
 	"ctxres/internal/daemon"
+	"ctxres/internal/middleware"
+	"ctxres/internal/telemetry"
 )
 
 func TestProfiles(t *testing.T) {
@@ -29,12 +38,12 @@ func TestProfiles(t *testing.T) {
 }
 
 func TestSetupServesAndResponds(t *testing.T) {
-	srv, _, err := setup([]string{"-addr", "127.0.0.1:0", "-app", "rfid", "-strategy", "D-LAT"})
+	d, err := setup([]string{"-addr", "127.0.0.1:0", "-app", "rfid", "-strategy", "D-LAT"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Shutdown()
-	client, err := daemon.Dial(srv.Addr().String(), 5*time.Second)
+	defer d.srv.Shutdown()
+	client, err := daemon.Dial(d.srv.Addr().String(), 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,13 +53,27 @@ func TestSetupServesAndResponds(t *testing.T) {
 	}
 }
 
-func TestSetupParallelismReachesChecker(t *testing.T) {
-	srv, _, err := setup([]string{"-addr", "127.0.0.1:0", "-parallelism", "4"})
+func TestSetupVersionExitsCleanly(t *testing.T) {
+	d, err := setup([]string{"-version"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Shutdown()
-	client, err := daemon.Dial(srv.Addr().String(), 5*time.Second)
+	if d != nil {
+		d.srv.Shutdown()
+		t.Fatal("-version started a daemon")
+	}
+	if v := telemetry.VersionString("ctxmwd"); !strings.Contains(v, "ctxmwd") || !strings.Contains(v, "go") {
+		t.Fatalf("version string = %q", v)
+	}
+}
+
+func TestSetupParallelismReachesChecker(t *testing.T) {
+	d, err := setup([]string{"-addr", "127.0.0.1:0", "-parallelism", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.srv.Shutdown()
+	client, err := daemon.Dial(d.srv.Addr().String(), 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,25 +95,31 @@ func TestSetupParallelismReachesChecker(t *testing.T) {
 		t.Fatalf("stats = %+v, want shard dispatches from the parallel checker", mwStats)
 	}
 	// -parallelism -1 sizes the pool from GOMAXPROCS and must also serve.
-	srv2, _, err := setup([]string{"-addr", "127.0.0.1:0", "-parallelism", "-1"})
+	d2, err := setup([]string{"-addr", "127.0.0.1:0", "-parallelism", "-1"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv2.Shutdown()
+	d2.srv.Shutdown()
 }
 
 func TestSetupErrors(t *testing.T) {
-	if _, _, err := setup([]string{"-app", "bogus"}); err == nil {
+	if _, err := setup([]string{"-app", "bogus"}); err == nil {
 		t.Fatal("bad app accepted")
 	}
-	if _, _, err := setup([]string{"-strategy", "bogus"}); err == nil {
+	if _, err := setup([]string{"-strategy", "bogus"}); err == nil {
 		t.Fatal("bad strategy accepted")
 	}
-	if _, _, err := setup([]string{"-constraints", "/does/not/exist"}); err == nil {
+	if _, err := setup([]string{"-constraints", "/does/not/exist"}); err == nil {
 		t.Fatal("missing constraints file accepted")
 	}
-	if _, _, err := setup([]string{"-addr", "256.256.256.256:1"}); err == nil {
+	if _, err := setup([]string{"-addr", "256.256.256.256:1"}); err == nil {
 		t.Fatal("bad address accepted")
+	}
+	if _, err := setup([]string{"-addr", "127.0.0.1:0", "-metrics-addr", "256.256.256.256:1"}); err == nil {
+		t.Fatal("bad metrics address accepted")
+	}
+	if _, err := setup([]string{"-span-log", filepath.Join(t.TempDir(), "no", "such", "dir", "s.jsonl")}); err == nil {
+		t.Fatal("unopenable span log accepted")
 	}
 }
 
@@ -105,13 +134,13 @@ forall a: location .
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv, _, err := setup([]string{"-addr", "127.0.0.1:0", "-constraints", path})
+	d, err := setup([]string{"-addr", "127.0.0.1:0", "-constraints", path})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Shutdown()
+	defer d.srv.Shutdown()
 
-	client, err := daemon.Dial(srv.Addr().String(), 5*time.Second)
+	client, err := daemon.Dial(d.srv.Addr().String(), 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +167,7 @@ forall a: location .
 	if err := os.WriteFile(badPath, []byte("constraint x\nnope(a)\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := setup([]string{"-addr", "127.0.0.1:0", "-constraints", badPath}); err == nil {
+	if _, err := setup([]string{"-addr", "127.0.0.1:0", "-constraints", badPath}); err == nil {
 		t.Fatal("bad constraints file accepted")
 	}
 }
@@ -148,11 +177,11 @@ func TestSetupDurabilityRecoversAcrossRestart(t *testing.T) {
 	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir,
 		"-fsync", "always", "-snapshot-interval", "0", "-compact-interval", "0"}
 
-	srv, shutdown, err := setup(args)
+	d, err := setup(args)
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := daemon.Dial(srv.Addr().String(), 5*time.Second)
+	client, err := daemon.Dial(d.srv.Addr().String(), 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,18 +206,18 @@ func TestSetupDurabilityRecoversAcrossRestart(t *testing.T) {
 		t.Fatalf("journal stats = %+v, want records from -data-dir mode", js)
 	}
 	client.Close()
-	srv.Shutdown()
-	if err := shutdown(); err != nil {
+	d.srv.Shutdown()
+	if err := d.stop(); err != nil {
 		t.Fatal(err)
 	}
 
 	// Restart against the same directory: state must come back.
-	srv2, shutdown2, err := setup(args)
+	d2, err := setup(args)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv2.Shutdown()
-	client2, err := daemon.Dial(srv2.Addr().String(), 5*time.Second)
+	defer d2.srv.Shutdown()
+	client2, err := daemon.Dial(d2.srv.Addr().String(), 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +232,148 @@ func TestSetupDurabilityRecoversAcrossRestart(t *testing.T) {
 	if afterPool.Available != beforePool.Available {
 		t.Fatalf("available contexts = %d after restart, want %d", afterPool.Available, beforePool.Available)
 	}
-	if err := shutdown2(); err != nil {
+	if err := d2.stop(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSetupMetricsEndpoint boots the daemon end to end with -metrics-addr
+// and -span-log, drives protocol traffic, and asserts the scraped
+// exposition is valid and agrees with the stats op, /healthz is green,
+// /statusz carries build info and config, and the span log received one
+// JSON line per operation.
+func TestSetupMetricsEndpoint(t *testing.T) {
+	spanPath := filepath.Join(t.TempDir(), "spans.jsonl")
+	d, err := setup([]string{
+		"-addr", "127.0.0.1:0",
+		"-metrics-addr", "127.0.0.1:0",
+		"-span-log", spanPath,
+		"-data-dir", t.TempDir(),
+		"-fsync", "always", "-snapshot-interval", "0", "-compact-interval", "0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ops == nil {
+		t.Fatal("no ops server despite -metrics-addr")
+	}
+	client, err := daemon.Dial(d.srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t0 := time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+	x := 0.0
+	for i := 1; i <= 10; i++ {
+		x += 1
+		if i%4 == 0 {
+			x += 9 // force velocity violations so check/resolve stages run hot
+		}
+		c := ctx.NewLocation("peter", t0.Add(time.Duration(i)*time.Second),
+			ctx.Point{X: x},
+			ctx.WithID(ctx.ID(fmt.Sprintf("m-%02d", i))), ctx.WithSeq(uint64(i)), ctx.WithSource("s"))
+		if _, err := client.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Use("m-01"); err != nil && !errors.Is(err, middleware.ErrInconsistent) {
+		t.Fatal(err)
+	}
+	mwStats, _, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := "http://" + d.ops.Addr().String()
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if err := telemetry.ValidateExposition([]byte(body)); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	want := fmt.Sprintf("ctxres_submits_total %d", mwStats.Submitted)
+	if !strings.Contains(body, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, body)
+	}
+	for _, name := range []string{
+		`ctxres_stage_seconds_bucket{stage="check",le="+Inf"}`,
+		`ctxres_stage_seconds_bucket{stage="resolve",le="+Inf"}`,
+		`ctxres_wal_fsync_seconds_count`,
+		`ctxres_request_seconds_bucket{op="submit",le="+Inf"}`,
+	} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("exposition missing %s:\n%s", name, body)
+		}
+	}
+
+	if code, body = get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	code, body = get("/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var status struct {
+		Build       telemetry.Build `json:"build"`
+		App         string          `json:"app"`
+		Strategy    string          `json:"strategy"`
+		PoolCtxs    int             `json:"poolContexts"`
+		Parallelism int             `json:"parallelism"`
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("statusz not JSON: %v\n%s", err, body)
+	}
+	if status.Build.GoVersion == "" || status.App != "callforward" || status.Strategy == "" {
+		t.Fatalf("statusz incomplete: %s", body)
+	}
+	if status.PoolCtxs == 0 {
+		t.Fatalf("statusz pool empty after submissions: %s", body)
+	}
+
+	client.Close()
+	d.srv.Shutdown()
+	if err := d.stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The span log holds one JSON line per pipeline operation.
+	f, err := os.Open(spanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var submitSpans int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var sp telemetry.Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("span line not JSON: %v: %s", err, sc.Text())
+		}
+		if sp.Op == "submit" {
+			submitSpans++
+			if len(sp.Stages) == 0 {
+				t.Fatalf("submit span has no stages: %s", sc.Text())
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if submitSpans != mwStats.Submitted {
+		t.Fatalf("span log has %d submit spans, want %d", submitSpans, mwStats.Submitted)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"ctxres/internal/ctx"
 	"ctxres/internal/daemon"
 	"ctxres/internal/experiment"
+	"ctxres/internal/telemetry"
 	"ctxres/internal/trace"
 )
 
@@ -42,8 +43,11 @@ func run(args []string, out io.Writer) error {
 		return runInfo(args[1:], out)
 	case "replay":
 		return runReplay(args[1:], out)
+	case "version", "-version", "--version":
+		fmt.Fprintln(out, telemetry.VersionString("ctxtrace"))
+		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (want gen, info or replay)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want gen, info, replay or version)", args[0])
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"os"
 	"sort"
 
+	"ctxres/internal/telemetry"
 	"ctxres/internal/trace"
 	"ctxres/internal/wal"
 )
@@ -32,7 +33,7 @@ func main() {
 	}
 }
 
-const usage = "usage: ctxwal <inspect|verify|dump> [-raw] <dir>"
+const usage = "usage: ctxwal <inspect|verify|dump|version> [-raw] <dir>"
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
@@ -40,6 +41,9 @@ func run(args []string, out io.Writer) error {
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
+	case "version", "-version", "--version":
+		fmt.Fprintln(out, telemetry.VersionString("ctxwal"))
+		return nil
 	case "inspect":
 		dir, _, err := parseDir(cmd, rest)
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 	"ctxres/internal/ctx"
 	"ctxres/internal/middleware"
 	"ctxres/internal/pool"
+	"ctxres/internal/telemetry"
 	"ctxres/internal/wal"
 )
 
@@ -322,6 +323,16 @@ func (c *Client) ServerStats() (ServerStats, error) {
 		return ServerStats{}, nil
 	}
 	return *resp.Daemon, nil
+}
+
+// Telemetry fetches the daemon's telemetry snapshot (counters, gauges,
+// and histogram summaries); nil when the daemon runs without telemetry.
+func (c *Client) Telemetry() (*telemetry.Snapshot, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Telemetry, nil
 }
 
 // Situations fetches the current activation state of every situation.

@@ -1,0 +1,115 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"ctxres/internal/telemetry"
+)
+
+// OpsConfig configures the operational HTTP endpoint served next to the
+// line protocol: /metrics (Prometheus text exposition), /healthz,
+// /statusz (a JSON status document), and the stdlib pprof handlers under
+// /debug/pprof/.
+type OpsConfig struct {
+	// Registry backs /metrics. Nil serves an empty exposition.
+	Registry *telemetry.Registry
+	// Health decides /healthz: nil or a nil return is healthy (200), an
+	// error is unhealthy (503 with the error text). It is called per
+	// request and must be safe for concurrent use.
+	Health func() error
+	// Status produces the /statusz document; it is marshaled as indented
+	// JSON per request. Nil serves an empty object.
+	Status func() any
+}
+
+// NewOpsHandler builds the ops mux. The pprof handlers are registered
+// explicitly rather than via the net/http/pprof side-effect import so
+// nothing leaks onto http.DefaultServeMux.
+func NewOpsHandler(cfg OpsConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", telemetry.ExpositionContentType)
+		_ = cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "unhealthy: %v\n", err)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var doc any = struct{}{}
+		if cfg.Status != nil {
+			doc = cfg.Status()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// OpsServer is a running ops endpoint.
+type OpsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeOps starts the ops endpoint on addr (port 0 for ephemeral).
+func ServeOps(addr string, cfg OpsConfig) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: ops listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewOpsHandler(cfg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// The listener died underneath us; nothing to do — /healthz
+			// consumers will notice the endpoint is gone.
+			_ = err
+		}
+	}()
+	return &OpsServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the endpoint's listen address.
+func (o *OpsServer) Addr() net.Addr { return o.ln.Addr() }
+
+// Close stops the endpoint immediately.
+func (o *OpsServer) Close() error { return o.srv.Close() }
+
+// Health reports the serving path's health for /healthz: an error once
+// the middleware's journal has fail-stopped (durability can no longer
+// keep up — see middleware.JournalErr) or once periodic maintenance
+// (checkpoints, compactions) has failed.
+func (s *Server) Health() error {
+	if err := s.mw.JournalErr(); err != nil {
+		return fmt.Errorf("journal failed: %w", err)
+	}
+	if n := s.counters.maintErrors.Load(); n > 0 {
+		return fmt.Errorf("%d maintenance operations failed", n)
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ctxres/internal/middleware"
+	"ctxres/internal/strategy"
+	"ctxres/internal/telemetry"
+)
+
+// startInstrumentedServer boots a telemetry-enabled server plus its ops
+// endpoint on ephemeral ports.
+func startInstrumentedServer(t *testing.T) (*Server, *Client, *OpsServer, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	mw := middleware.New(velocityChecker(t), strategy.NewDropLatest(),
+		middleware.WithTelemetry(reg))
+	srv, err := Serve("127.0.0.1:0", mw, nil, WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	ops, err := ServeOps("127.0.0.1:0", OpsConfig{
+		Registry: reg,
+		Health:   srv.Health,
+		Status: func() any {
+			return map[string]any{"build": telemetry.BuildInfo(), "stats": srv.Stats()}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ops.Close() })
+	client, err := Dial(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return srv, client, ops, reg
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// scrapeValue extracts one un-labeled sample value from an exposition.
+func scrapeValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			var v float64
+			if _, err := fmt.Sscanf(fields[1], "%g", &v); err != nil {
+				t.Fatalf("parse %s value %q: %v", name, fields[1], err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in exposition:\n%s", name, body)
+	return 0
+}
+
+// TestOpsMetricsMatchesStatsOp drives traffic through the line protocol
+// and asserts the acceptance criterion: the /metrics scrape is valid
+// Prometheus exposition and its counters agree exactly with the stats
+// op's numbers read over the same protocol.
+func TestOpsMetricsMatchesStatsOp(t *testing.T) {
+	_, client, ops, _ := startInstrumentedServer(t)
+
+	x := 0.0
+	for i := 0; i < 12; i++ {
+		x += 1
+		if i%3 == 2 {
+			x += 8 // violation
+		}
+		if _, err := client.Submit(loc(fmt.Sprintf("o-%02d", i), uint64(i+1), x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Use("o-00"); err != nil && !errors.Is(err, middleware.ErrInconsistent) {
+		t.Fatal(err)
+	}
+	_, _ = client.Use("missing") // drives a request_errors_total{code="app"} increment
+
+	mwStats, _, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := client.Telemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("stats op carried no telemetry snapshot")
+	}
+
+	code, body, hdr := get(t, "http://"+ops.Addr().String()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != telemetry.ExpositionContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	if err := telemetry.ValidateExposition([]byte(body)); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	// Counters scraped over HTTP == counters from the stats op == the
+	// middleware's own Stats numbers.
+	if got := scrapeValue(t, body, "ctxres_submits_total"); got != float64(mwStats.Submitted) {
+		t.Fatalf("scraped submits = %v, stats op says %d", got, mwStats.Submitted)
+	}
+	if got := scrapeValue(t, body, "ctxres_detected_total"); got != float64(mwStats.Detected) {
+		t.Fatalf("scraped detected = %v, stats op says %d", got, mwStats.Detected)
+	}
+	if snap.Counters["ctxres_submits_total"] != float64(mwStats.Submitted) {
+		t.Fatalf("snapshot submits = %v, stats %d", snap.Counters["ctxres_submits_total"], mwStats.Submitted)
+	}
+	// Request histograms observed the protocol traffic, and the snapshot
+	// exposes their summaries to protocol clients.
+	hs, ok := snap.Histograms[`ctxres_request_seconds{op="submit"}`]
+	if !ok || hs.Count == 0 || hs.P50 <= 0 || hs.Max < hs.P50 {
+		t.Fatalf("submit request histogram = %+v", hs)
+	}
+	if !strings.Contains(body, `ctxres_request_seconds_bucket{op="submit",le="+Inf"}`) {
+		t.Fatalf("exposition missing request histogram:\n%s", body)
+	}
+	if !strings.Contains(body, `ctxres_request_errors_total{code="app"}`) {
+		t.Fatalf("exposition missing request error counter:\n%s", body)
+	}
+	// Scrape-time mirrors: the requests counter must match the transport
+	// stats from the stats op at quiescence... (the stats op itself is a
+	// request, so just require it to be positive and >= submits).
+	if got := scrapeValue(t, body, "ctxres_requests_total"); got < float64(mwStats.Submitted) {
+		t.Fatalf("requests_total = %v, want >= %d", got, mwStats.Submitted)
+	}
+	if got := scrapeValue(t, body, "ctxres_open_connections"); got != 1 {
+		t.Fatalf("open connections = %v, want 1", got)
+	}
+	if got := scrapeValue(t, body, "ctxres_pool_contexts"); got == 0 {
+		t.Fatal("pool gauge is zero after submissions")
+	}
+}
+
+func TestOpsHealthAndStatus(t *testing.T) {
+	srv, _, ops, _ := startInstrumentedServer(t)
+
+	code, body, _ := get(t, "http://"+ops.Addr().String()+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body, hdr := get(t, "http://"+ops.Addr().String()+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("statusz content type = %q", ct)
+	}
+	var doc struct {
+		Build telemetry.Build `json:"build"`
+		Stats ServerStats     `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("statusz not JSON: %v\n%s", err, body)
+	}
+	if doc.Build.GoVersion == "" {
+		t.Fatalf("statusz missing build info: %s", body)
+	}
+
+	// pprof is mounted.
+	code, body, _ = get(t, "http://"+ops.Addr().String()+"/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline = %d %q", code, body)
+	}
+
+	// An unhealthy health func flips /healthz to 503.
+	ops2, err := ServeOps("127.0.0.1:0", OpsConfig{
+		Registry: nil,
+		Health:   func() error { return errors.New("journal failed: disk gone") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ops2.Close()
+	code, body, _ = get(t, "http://"+ops2.Addr().String()+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "journal failed") {
+		t.Fatalf("unhealthy /healthz = %d %q", code, body)
+	}
+	// A nil registry serves an empty but valid exposition.
+	code, body, _ = get(t, "http://"+ops2.Addr().String()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("nil-registry /metrics = %d", code)
+	}
+	if err := telemetry.ValidateExposition([]byte(body)); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv
+}

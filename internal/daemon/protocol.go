@@ -14,6 +14,7 @@ import (
 	"ctxres/internal/ctx"
 	"ctxres/internal/middleware"
 	"ctxres/internal/pool"
+	"ctxres/internal/telemetry"
 	"ctxres/internal/wal"
 )
 
@@ -100,6 +101,9 @@ type Response struct {
 	Pool       *pool.Stats       `json:"pool,omitempty"`
 	Daemon     *ServerStats      `json:"daemon,omitempty"`
 	Journal    *wal.Stats        `json:"journal,omitempty"`
+	// Telemetry is the registry snapshot — counters, gauges, and
+	// histogram summaries — when the server runs with WithTelemetry.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 	// Active maps situation names to their current activation (OpSituations).
 	Active map[string]bool `json:"active,omitempty"`
 }

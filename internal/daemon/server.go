@@ -12,6 +12,7 @@ import (
 
 	"ctxres/internal/middleware"
 	"ctxres/internal/situation"
+	"ctxres/internal/telemetry"
 )
 
 // Server serves the middleware protocol on a TCP listener. Create it with
@@ -38,6 +39,11 @@ type Server struct {
 	stop     chan struct{} // closed when Shutdown starts
 	done     chan struct{} // closed when Shutdown finishes
 	counters serverCounters
+
+	// Observability (see telemetry.go). reg is kept for the OpStats
+	// snapshot; tel's zero value disables all per-request instruments.
+	reg *telemetry.Registry
+	tel serverTelemetry
 }
 
 // MaxLineBytes bounds a single request/response line.
@@ -63,6 +69,7 @@ type options struct {
 	acceptBackoffMax time.Duration
 	snapshotInterval time.Duration
 	compactInterval  time.Duration
+	telemetry        *telemetry.Registry
 }
 
 func defaultOptions() options {
@@ -256,6 +263,9 @@ func ServeListener(ln net.Listener, mw *middleware.Middleware, engine *situation
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	s.reg = opt.telemetry
+	s.tel = newServerTelemetry(opt.telemetry)
+	s.registerTelemetryFuncs(opt.telemetry)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if opt.snapshotInterval > 0 || opt.compactInterval > 0 {
@@ -507,14 +517,20 @@ func (s *Server) serveConn(cs *connState) {
 			return // shutdown closed the connection under us
 		}
 		s.counters.requests.Add(1)
+		s.tel.inflight.Add(1)
+		reqStart := s.tel.now()
 		var req Request
 		var resp Response
+		op := "invalid"
 		if err := json.Unmarshal(line, &req); err != nil {
 			s.counters.badRequests.Add(1)
 			resp = errResponseCode(CodeBadRequest, fmt.Errorf("bad request: %w", err))
 		} else {
+			op = string(req.Op)
 			resp = s.handle(req)
 		}
+		s.tel.requestDone(op, reqStart, resp)
+		s.tel.inflight.Add(-1)
 		ok := respond(resp)
 		cs.endRequest()
 		if !ok || s.draining() {
@@ -566,6 +582,7 @@ func (s *Server) handle(req Request) Response {
 			Pool:       &poolStats,
 			Daemon:     &srvStats,
 			Journal:    s.mw.JournalStats(),
+			Telemetry:  s.reg.Snapshot(),
 		}
 	case OpSituations:
 		active := make(map[string]bool)

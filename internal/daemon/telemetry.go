@@ -1,0 +1,94 @@
+package daemon
+
+import (
+	"sync/atomic"
+	"time"
+
+	"ctxres/internal/telemetry"
+)
+
+// WithTelemetry exports the daemon's serving-path metrics into reg:
+// a per-op request latency histogram, an in-flight gauge, failed
+// responses by error code, scrape-time mirrors of the transport counters
+// (accepted connections, retries, bad requests, ...), and gauges over
+// the middleware's pool and strategy buffer. The same registry snapshot
+// is attached to OpStats responses, so clients can read histogram
+// summaries over the line protocol without scraping /metrics.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(o *options) { o.telemetry = reg }
+}
+
+// serverTelemetry bundles the per-request instruments. The zero value is
+// "telemetry off": all instruments are nil and no clock is read.
+type serverTelemetry struct {
+	on       bool
+	requests *telemetry.HistogramVec // by op
+	inflight *telemetry.Gauge
+	errcodes *telemetry.CounterVec // by response code
+}
+
+func newServerTelemetry(reg *telemetry.Registry) serverTelemetry {
+	t := serverTelemetry{on: reg != nil}
+	if reg == nil {
+		return t
+	}
+	t.requests = reg.HistogramVec("ctxres_request_seconds", "Daemon request latency by operation.", "op", nil)
+	t.inflight = reg.Gauge("ctxres_inflight_requests", "Requests currently being handled.")
+	t.errcodes = reg.CounterVec("ctxres_request_errors_total", "Failed responses by error code.", "code")
+	return t
+}
+
+func (t *serverTelemetry) now() time.Time {
+	if !t.on {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// requestDone observes one finished request: latency by op, and the
+// error code when the response reports a failure.
+func (t *serverTelemetry) requestDone(op string, start time.Time, resp Response) {
+	if start.IsZero() {
+		return
+	}
+	t.requests.With(op).ObserveDuration(time.Since(start))
+	if !resp.OK {
+		t.errcodes.With(string(resp.Code)).Inc()
+	}
+}
+
+// registerTelemetryFuncs installs the scrape-time callbacks: the
+// transport counters stay owned by serverCounters (one set of atomics,
+// no double bookkeeping) and are read at scrape time, as are uptime,
+// open connections, pool size, and the strategy's Σ size.
+func (s *Server) registerTelemetryFuncs(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c := &s.counters
+	mirror := func(name, help string, v *atomic.Int64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	mirror("ctxres_conns_accepted_total", "Connections admitted to serving.", &c.accepted)
+	mirror("ctxres_accept_retries_total", "Temporary Accept errors survived via backoff.", &c.acceptRetries)
+	mirror("ctxres_conns_rejected_full_total", "Connections turned away over the max-conns cap.", &c.rejectedFull)
+	mirror("ctxres_requests_total", "Request lines read, including malformed ones.", &c.requests)
+	mirror("ctxres_bad_requests_total", "Unparseable request lines.", &c.badRequests)
+	mirror("ctxres_frames_too_long_total", "Request lines over the line-length cap.", &c.framesTooLong)
+	mirror("ctxres_idle_closed_total", "Connections reaped by the idle deadline.", &c.idleClosed)
+	mirror("ctxres_read_errors_total", "Connections dropped on transport read errors.", &c.readErrors)
+	mirror("ctxres_maintenance_errors_total", "Failed periodic checkpoints and compactions.", &c.maintErrors)
+	reg.GaugeFunc("ctxres_uptime_seconds", "Seconds since the server started serving.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("ctxres_open_connections", "Connections currently tracked by the server.",
+		func() float64 {
+			s.mu.Lock()
+			n := len(s.conns)
+			s.mu.Unlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("ctxres_pool_contexts", "Contexts held in the repository pool (any state).",
+		func() float64 { return float64(s.mw.Pool().Len()) })
+	reg.GaugeFunc("ctxres_sigma_size", "Tracked inconsistency set size (Σ) of the resolution strategy.",
+		func() float64 { return float64(s.mw.SigmaSize()) })
+}

@@ -10,6 +10,8 @@
 package metrics
 
 import (
+	"sync"
+
 	"ctxres/internal/constraint"
 	"ctxres/internal/ctx"
 	"ctxres/internal/middleware"
@@ -18,7 +20,14 @@ import (
 
 // Collector accumulates counters from middleware hooks. Install it with
 // Hooks(); do not share one collector across middlewares.
+//
+// The hooks themselves run under the middleware's lock, but readers (the
+// accessor methods and Snapshot) may be called from other goroutines —
+// a progress reporter or status endpoint polling mid-run — so every
+// field access goes through the collector's own mutex.
 type Collector struct {
+	mu sync.Mutex
+
 	submittedExpected  int
 	submittedCorrupted int
 
@@ -48,28 +57,50 @@ func (c *Collector) Hooks() middleware.Hooks {
 		OnDeliver: c.onDeliver,
 		OnDiscard: c.onDiscard,
 		OnExpire:  c.onExpire,
-		OnDetect:  func(constraint.Violation) { c.detected++ },
+		OnDetect:  c.onDetect,
 		OnCheck:   c.onCheck,
 	}
 }
 
 // Detected returns the number of inconsistencies the checker reported.
-func (c *Collector) Detected() int { return c.detected }
+func (c *Collector) Detected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.detected
+}
+
+func (c *Collector) onDetect(constraint.Violation) {
+	c.mu.Lock()
+	c.detected++
+	c.mu.Unlock()
+}
 
 func (c *Collector) onCheck(rep constraint.CheckReport) {
+	c.mu.Lock()
 	c.shards += rep.ShardsDispatched
 	c.prunedBindings += rep.BindingsPruned
+	c.mu.Unlock()
 }
 
 // ShardsDispatched returns the total shard tasks the parallel checker
 // dispatched over the run (zero on the serial path).
-func (c *Collector) ShardsDispatched() int { return c.shards }
+func (c *Collector) ShardsDispatched() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shards
+}
 
 // BindingsPruned returns the total candidate bindings the kind index let
 // the parallel checker skip over the run (zero on the serial path).
-func (c *Collector) BindingsPruned() int { return c.prunedBindings }
+func (c *Collector) BindingsPruned() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prunedBindings
+}
 
 func (c *Collector) onAccept(cc *ctx.Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if cc.Truth.Corrupted {
 		c.submittedCorrupted++
 	} else {
@@ -78,6 +109,8 @@ func (c *Collector) onAccept(cc *ctx.Context) {
 }
 
 func (c *Collector) onDeliver(cc *ctx.Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.usedTotal++
 	if cc.Truth.Corrupted {
 		c.usedCorrupted++
@@ -87,6 +120,8 @@ func (c *Collector) onDeliver(cc *ctx.Context) {
 }
 
 func (c *Collector) onDiscard(cc *ctx.Context, _ middleware.DiscardReason) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.discardedTotal++
 	if cc.Truth.Corrupted {
 		c.discardedCorrupted++
@@ -95,33 +130,67 @@ func (c *Collector) onDiscard(cc *ctx.Context, _ middleware.DiscardReason) {
 	}
 }
 
-func (c *Collector) onExpire(*ctx.Context) { c.expired++ }
+func (c *Collector) onExpire(*ctx.Context) {
+	c.mu.Lock()
+	c.expired++
+	c.mu.Unlock()
+}
 
 // UsedContexts returns the number of successfully used contexts — the
 // numerator of ctxUseRate.
-func (c *Collector) UsedContexts() int { return c.usedTotal }
+func (c *Collector) UsedContexts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.usedTotal
+}
 
 // UsedExpected returns how many used contexts were actually correct.
-func (c *Collector) UsedExpected() int { return c.usedExpected }
+func (c *Collector) UsedExpected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.usedExpected
+}
 
 // UsedCorrupted returns how many used contexts were actually corrupted —
 // errors that slipped past the resolution strategy into the application.
-func (c *Collector) UsedCorrupted() int { return c.usedCorrupted }
+func (c *Collector) UsedCorrupted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.usedCorrupted
+}
 
 // Discarded returns the total number of discarded contexts.
-func (c *Collector) Discarded() int { return c.discardedTotal }
+func (c *Collector) Discarded() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.discardedTotal
+}
 
 // Submitted returns the total number of accepted submissions.
-func (c *Collector) Submitted() int { return c.submittedExpected + c.submittedCorrupted }
+func (c *Collector) Submitted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.submittedExpected + c.submittedCorrupted
+}
 
 // SubmittedCorrupted returns the ground-truth number of corrupted
 // submissions.
-func (c *Collector) SubmittedCorrupted() int { return c.submittedCorrupted }
+func (c *Collector) SubmittedCorrupted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.submittedCorrupted
+}
 
 // SurvivalRate is the fraction of expected (correct) contexts that were
 // not discarded — Section 5.2's "location context survival rate". It is 1
 // when no expected contexts were submitted.
 func (c *Collector) SurvivalRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.survivalRateLocked()
+}
+
+func (c *Collector) survivalRateLocked() float64 {
 	if c.submittedExpected == 0 {
 		return 1
 	}
@@ -132,6 +201,12 @@ func (c *Collector) SurvivalRate() float64 {
 // corrupted — Section 5.2's "removal precision". It is 1 when nothing was
 // discarded.
 func (c *Collector) RemovalPrecision() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removalPrecisionLocked()
+}
+
+func (c *Collector) removalPrecisionLocked() float64 {
 	if c.discardedTotal == 0 {
 		return 1
 	}
@@ -142,6 +217,12 @@ func (c *Collector) RemovalPrecision() float64 {
 // (how completely the strategy removed errors). It is 1 when nothing was
 // corrupted.
 func (c *Collector) RemovalRecall() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removalRecallLocked()
+}
+
+func (c *Collector) removalRecallLocked() float64 {
 	if c.submittedCorrupted == 0 {
 		return 1
 	}
@@ -163,13 +244,15 @@ type Rates struct {
 // Snapshot captures the collector plus the run's situation-activation
 // count.
 func (c *Collector) Snapshot(activations int) Rates {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return Rates{
 		UsedContexts:      c.usedTotal,
 		UsedExpected:      c.usedExpected,
 		Activations:       activations,
-		SurvivalRate:      c.SurvivalRate(),
-		RemovalPrecision:  c.RemovalPrecision(),
-		RemovalRecall:     c.RemovalRecall(),
+		SurvivalRate:      c.survivalRateLocked(),
+		RemovalPrecision:  c.removalPrecisionLocked(),
+		RemovalRecall:     c.removalRecallLocked(),
 		UsedCorrupted:     c.usedCorrupted,
 		DiscardedContexts: c.discardedTotal,
 	}

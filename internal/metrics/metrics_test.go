@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -144,5 +146,88 @@ func TestSnapshotFields(t *testing.T) {
 	}
 	if !almost(r.RemovalPrecision, 1) {
 		t.Fatalf("RemovalPrecision = %v", r.RemovalPrecision)
+	}
+}
+
+// TestCollectorConcurrentReaders races a mid-run reader (as a status
+// endpoint or progress reporter would) against submissions flowing
+// through a parallel-checked middleware. Run under -race this proves the
+// collector's own locking: the hooks fire under the middleware lock, but
+// nothing else serializes the accessor methods against them.
+func TestCollectorConcurrentReaders(t *testing.T) {
+	col := NewCollector()
+	m := middleware.New(velocityChecker(t), strategy.NewDropLatest(),
+		middleware.WithHooks(col.Hooks()),
+		middleware.WithCheckerOptions(middleware.CheckerOptions{Parallelism: 8}))
+
+	const goroutines = 4
+	const perG = 50
+	var writers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			x := 0.0
+			for i := 0; i < perG; i++ {
+				x += 1
+				corrupted := i%5 == 4
+				if corrupted {
+					x += 10
+				}
+				c := ctx.NewLocation(fmt.Sprintf("walker-%d", g),
+					t0.Add(time.Duration(i)*time.Second), ctx.Point{X: x},
+					ctx.WithID(ctx.ID(fmt.Sprintf("c%d-%03d", g, i))),
+					ctx.WithSeq(uint64(i+1)), ctx.WithSource("stress"))
+				c.Truth.Corrupted = corrupted
+				if _, err := m.Submit(c); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					_, _ = m.Use(c.ID)
+				}
+			}
+		}(g)
+	}
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = col.Snapshot(0)
+			_ = col.SurvivalRate()
+			_ = col.RemovalPrecision()
+			_ = col.RemovalRecall()
+			_ = col.Submitted()
+			_ = col.Detected()
+			_ = col.ShardsDispatched()
+			_ = col.BindingsPruned()
+			_ = col.UsedContexts()
+			_ = col.Discarded()
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := col.Submitted(); got != goroutines*perG {
+		t.Fatalf("submitted = %d, want %d", got, goroutines*perG)
+	}
+	st := m.Stats()
+	if col.Detected() != st.Detected {
+		t.Fatalf("collector detected %d, middleware stats %d", col.Detected(), st.Detected)
+	}
+	if col.ShardsDispatched() != st.Shards {
+		t.Fatalf("collector shards %d, middleware stats %d", col.ShardsDispatched(), st.Shards)
+	}
+	snap := col.Snapshot(0)
+	if snap.UsedContexts != col.UsedContexts() || snap.DiscardedContexts != col.Discarded() {
+		t.Fatalf("snapshot %+v disagrees with accessors", snap)
 	}
 }

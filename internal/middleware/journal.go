@@ -8,6 +8,7 @@ import (
 	"ctxres/internal/ctx"
 	"ctxres/internal/pool"
 	"ctxres/internal/strategy"
+	"ctxres/internal/telemetry"
 	"ctxres/internal/wal"
 )
 
@@ -100,6 +101,8 @@ func (m *Middleware) journalCommitLocked(errp *error) {
 	if m.journalErr != nil {
 		return
 	}
+	start := m.tel.now()
+	defer func() { m.tel.stageDone(m.curSpan, telemetry.StageJournal, start) }()
 	for _, r := range recs {
 		if _, err := m.journal.Append(r); err != nil {
 			m.journalErr = err

@@ -24,6 +24,7 @@ import (
 	"ctxres/internal/pool"
 	"ctxres/internal/situation"
 	"ctxres/internal/strategy"
+	"ctxres/internal/telemetry"
 	"ctxres/internal/wal"
 )
 
@@ -118,6 +119,15 @@ type Middleware struct {
 	journal    *wal.Journal
 	jbuf       []wal.Record
 	journalErr error
+
+	// Observability (see telemetry.go). tel's zero value is "off" and
+	// every instrument call no-ops. curSpan is the span of the operation
+	// currently holding the lock, so journalCommitLocked — which runs as
+	// a deferred step of that operation — can attach the journal stage.
+	telReg  *telemetry.Registry
+	telSink telemetry.SpanSink
+	tel     pipelineTelemetry
+	curSpan *telemetry.Span
 }
 
 // CheckerOptions configures how the middleware invokes the consistency
@@ -163,6 +173,7 @@ func New(checker *constraint.Checker, strat strategy.Strategy, opts ...Option) *
 	for _, opt := range opts {
 		opt(m)
 	}
+	m.tel = newPipelineTelemetry(m.telReg, m.telSink)
 	return m
 }
 
@@ -191,8 +202,21 @@ func (m *Middleware) Submit(c *ctx.Context) (vios []constraint.Violation, err er
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("submit: %w", err)
 	}
+	opStart := m.tel.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	sp := m.tel.startSpan("submit", string(c.ID), opStart)
+	m.curSpan = sp
+	outcome := "accepted"
+	// Registered before the journal-commit defer so that (LIFO) it runs
+	// after the commit: the span then includes the journal_append stage.
+	defer func() {
+		if err != nil {
+			outcome = "error"
+		}
+		m.tel.opDone("submit", opStart, sp, outcome)
+		m.curSpan = nil
+	}()
 	defer m.journalCommitLocked(&err)
 	if err := m.journalHealthLocked(); err != nil {
 		return nil, err
@@ -213,6 +237,7 @@ func (m *Middleware) Submit(c *ctx.Context) (vios []constraint.Violation, err er
 			return nil, fmt.Errorf("submit: %w", err)
 		}
 		m.stats.Submitted++
+		m.tel.submits.Inc()
 		m.jAppend(wal.Record{Type: wal.RecordSubmit, Context: c})
 		if m.hooks.OnAccept != nil {
 			m.hooks.OnAccept(c)
@@ -224,19 +249,36 @@ func (m *Middleware) Submit(c *ctx.Context) (vios []constraint.Violation, err er
 		return nil, fmt.Errorf("submit: %w", err)
 	}
 	m.stats.Submitted++
+	m.tel.submits.Inc()
 	m.jAppend(wal.Record{Type: wal.RecordSubmit, Context: c})
 	if m.hooks.OnAccept != nil {
 		m.hooks.OnAccept(c)
 	}
+	checkStart := m.tel.now()
 	vios = m.checkAdditionLocked(c)
+	m.tel.stageDone(sp, telemetry.StageCheck, checkStart)
 	m.stats.Detected += len(vios)
+	m.tel.detected.Add(uint64(len(vios)))
+	if len(vios) > 0 {
+		outcome = "inconsistent"
+		for _, v := range vios {
+			m.tel.violations.With(v.Constraint).Inc()
+		}
+	}
 	if m.hooks.OnDetect != nil {
 		for _, v := range vios {
 			m.hooks.OnDetect(v)
 		}
 	}
+	resolveStart := m.tel.now()
 	out := m.strat.OnAddition(c, vios)
 	m.applyLocked(out, ReasonOnAddition)
+	m.tel.stageDone(sp, telemetry.StageResolve, resolveStart)
+	decision := "keep"
+	if len(out.Discard) > 0 {
+		decision = "discard"
+	}
+	m.tel.decisions.With(decision).Inc()
 	return vios, nil
 }
 
@@ -257,6 +299,8 @@ func (m *Middleware) checkAdditionLocked(c *ctx.Context) []constraint.Violation 
 	rep.BindingsPruned += pruned
 	m.stats.Shards += rep.ShardsDispatched
 	m.stats.PrunedBindings += rep.BindingsPruned
+	m.tel.shards.Add(uint64(rep.ShardsDispatched))
+	m.tel.pruned.Add(uint64(rep.BindingsPruned))
 	if m.hooks.OnCheck != nil {
 		m.hooks.OnCheck(rep)
 	}
@@ -267,8 +311,15 @@ func (m *Middleware) checkAdditionLocked(c *ctx.Context) []constraint.Violation 
 // the identified context. On success the context is returned and counted
 // as used; situations are re-evaluated over the delivered view.
 func (m *Middleware) Use(id ctx.ID) (c *ctx.Context, err error) {
+	opStart := m.tel.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	sp := m.tel.startSpan("use", string(id), opStart)
+	m.curSpan = sp
+	defer func() {
+		m.tel.opDone("use", opStart, sp, useOutcome(err))
+		m.curSpan = nil
+	}()
 	defer m.journalCommitLocked(&err)
 	if err := m.journalHealthLocked(); err != nil {
 		return nil, err
@@ -280,8 +331,15 @@ func (m *Middleware) Use(id ctx.ID) (c *ctx.Context, err error) {
 // subject (empty subject matches any) and uses it. It returns ErrNotFound
 // when nothing matches.
 func (m *Middleware) UseLatest(kind ctx.Kind, subject string) (c *ctx.Context, err error) {
+	opStart := m.tel.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	sp := m.tel.startSpan("use_latest", string(kind)+"/"+subject, opStart)
+	m.curSpan = sp
+	defer func() {
+		m.tel.opDone("use_latest", opStart, sp, useOutcome(err))
+		m.curSpan = nil
+	}()
 	defer m.journalCommitLocked(&err)
 	if err := m.journalHealthLocked(); err != nil {
 		return nil, err
@@ -320,10 +378,18 @@ func (m *Middleware) useLocked(id ctx.ID) (*ctx.Context, error) {
 	// replay.
 	m.jAppend(wal.Record{Type: wal.RecordUse, ID: id})
 
+	resolveStart := m.tel.now()
 	usable, out := m.strat.OnUse(c)
 	m.applyLocked(out, ReasonOnUse)
+	m.tel.stageDone(m.curSpan, telemetry.StageResolve, resolveStart)
+	decision := "deliver"
+	if !usable {
+		decision = "reject"
+	}
+	m.tel.decisions.With(decision).Inc()
 	if !usable {
 		m.stats.Rejected++
+		m.tel.rejected.Inc()
 		return nil, fmt.Errorf("use %s: %w", id, ErrInconsistent)
 	}
 	if !c.State().Terminal() {
@@ -335,6 +401,7 @@ func (m *Middleware) useLocked(id ctx.ID) (*ctx.Context, error) {
 		return nil, fmt.Errorf("use: %w", err)
 	}
 	m.stats.Delivered++
+	m.tel.delivered.Inc()
 	if m.hooks.OnDeliver != nil {
 		m.hooks.OnDeliver(c)
 	}
@@ -360,6 +427,7 @@ func (m *Middleware) evaluateSituationsLocked() []situation.Event {
 	for _, ev := range events {
 		if ev.Type == situation.Activated {
 			m.stats.Situations++
+			m.tel.situations.Inc()
 		}
 	}
 	return events
@@ -384,8 +452,19 @@ func (m *Middleware) AdvanceTo(now time.Time) {
 // view are unaffected; see pool.Compact). It returns the number of entries
 // removed.
 func (m *Middleware) Compact() (removed int, err error) {
+	opStart := m.tel.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	sp := m.tel.startSpan("compact", "", opStart)
+	m.curSpan = sp
+	defer func() {
+		outcome := "compacted"
+		if err != nil {
+			outcome = "error"
+		}
+		m.tel.opDone("compact", opStart, sp, outcome)
+		m.curSpan = nil
+	}()
 	defer m.journalCommitLocked(&err)
 	if err := m.journalHealthLocked(); err != nil {
 		return 0, err
@@ -394,6 +473,8 @@ func (m *Middleware) Compact() (removed int, err error) {
 	removed = m.pool.Compact()
 	m.stats.Compactions++
 	m.stats.CompactRemoved += removed
+	m.tel.compactions.Inc()
+	m.tel.compactRemoved.Add(uint64(removed))
 	m.jAppend(wal.Record{Type: wal.RecordCompact})
 	return removed, nil
 }
@@ -401,6 +482,7 @@ func (m *Middleware) Compact() (removed int, err error) {
 func (m *Middleware) sweepLocked() {
 	for _, c := range m.pool.SweepExpired(m.clock) {
 		m.stats.Expired++
+		m.tel.expired.Inc()
 		m.jAppend(wal.Record{Type: wal.RecordExpire, ID: c.ID})
 		m.strat.OnExpire(c)
 		if m.hooks.OnExpire != nil {
@@ -422,6 +504,7 @@ func (m *Middleware) applyLocked(out strategy.Outcome, reason DiscardReason) {
 			_ = d.SetState(ctx.Inconsistent)
 		}
 		m.stats.Discarded++
+		m.tel.discards.With(reason.String()).Inc()
 		m.jAppend(wal.Record{Type: wal.RecordDiscard, ID: d.ID, Reason: reason.String()})
 		if m.hooks.OnDiscard != nil {
 			m.hooks.OnDiscard(d, reason)

@@ -111,6 +111,10 @@ func (*DropBad) Name() string { return "D-BAD" }
 // metrics). Callers must not mutate it.
 func (s *DropBad) Tracker() *inconsistency.Tracker { return s.tracker }
 
+// SigmaSize implements SigmaSizer: the number of unresolved
+// inconsistencies currently tracked in Σ.
+func (s *DropBad) SigmaSize() int { return s.tracker.Len() }
+
 // OnAddition records the newly introduced inconsistencies in Σ. Nothing is
 // discarded: resolution is deferred until use.
 func (s *DropBad) OnAddition(_ *ctx.Context, violations []constraint.Violation) Outcome {

@@ -58,6 +58,14 @@ type Strategy interface {
 	Reset()
 }
 
+// SigmaSizer is implemented by strategies that keep an internal
+// inconsistency buffer whose size is worth exporting — drop-bad's
+// tracked set Σ. The middleware's SigmaSize accessor (and through it the
+// daemon's ctxres_sigma_size gauge) reads it under the middleware lock.
+type SigmaSizer interface {
+	SigmaSize() int
+}
+
 // discardLink appends every member of the link to dst, skipping duplicates
 // already present.
 func discardLink(dst []*ctx.Context, l constraint.Link) []*ctx.Context {

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Build describes the running binary, read from the Go build info linked
+// into every module-mode build. It appears in /statusz, the daemon
+// startup log line, and the -version output of every command.
+type Build struct {
+	// Main is the main module's version ("(devel)" for plain go build).
+	Main string `json:"main"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+	// Revision and Time identify the VCS commit when the build had one.
+	Revision string `json:"revision,omitempty"`
+	Time     string `json:"time,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"modified,omitempty"`
+	// OS and Arch are the build targets.
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+}
+
+// BuildInfo reads the binary's build metadata via
+// runtime/debug.ReadBuildInfo.
+func BuildInfo() Build {
+	b := Build{
+		Main:      "unknown",
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if bi.Main.Version != "" {
+		b.Main = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		b.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// VersionString renders the one-line -version output for cmd.
+func VersionString(cmd string) string {
+	b := BuildInfo()
+	s := fmt.Sprintf("%s %s %s %s/%s", cmd, b.Main, b.GoVersion, b.OS, b.Arch)
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " " + rev
+		if b.Modified {
+			s += "+dirty"
+		}
+	}
+	return s
+}

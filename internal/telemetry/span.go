@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Stage names one timed segment of the middleware pipeline. The stages of
+// a submission are check (consistency checking), resolve (the strategy's
+// discard decision plus its application), and journal_append (WAL
+// persistence of the operation's records); a use shares resolve and
+// journal_append. Each stage is exported as an observation on the
+// ctxres_stage_seconds{stage=...} histogram and, when a span sink is
+// installed, as a timing on the operation's span.
+type Stage string
+
+// Pipeline stages.
+const (
+	StageCheck   Stage = "check"
+	StageResolve Stage = "resolve"
+	StageJournal Stage = "journal_append"
+)
+
+// StageTiming is one timed stage inside a span.
+type StageTiming struct {
+	Stage   Stage   `json:"stage"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Span is the timed record of one pipeline operation (a submission or a
+// use): wall-clock start, total duration, per-stage breakdown, and the
+// outcome the operation reached (accepted, discarded, delivered,
+// rejected, error, ...). Spans are the trace-grained complement to the
+// histograms: same stages, per-operation resolution, written as JSON
+// lines in the spirit of internal/trace's context streams.
+type Span struct {
+	Op      string        `json:"op"`
+	ID      string        `json:"id,omitempty"`
+	Outcome string        `json:"outcome,omitempty"`
+	Start   time.Time     `json:"start"`
+	Seconds float64       `json:"seconds"`
+	Stages  []StageTiming `json:"stages,omitempty"`
+}
+
+// AddStage appends a stage timing. Safe on a nil span (spans are nil when
+// no sink is installed, so instrumentation calls this unconditionally).
+func (s *Span) AddStage(stage Stage, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Stages = append(s.Stages, StageTiming{Stage: stage, Seconds: d.Seconds()})
+}
+
+// SpanSink receives completed spans. Implementations must be safe for
+// concurrent use; RecordSpan is called synchronously from the middleware
+// pipeline and must be fast.
+type SpanSink interface {
+	RecordSpan(*Span)
+}
+
+// SpanWriter is a SpanSink that appends spans as JSON lines (one object
+// per line, the framing shared with internal/trace and ctxwal dump). A
+// write failure is sticky and reported by Flush.
+type SpanWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewSpanWriter wraps the destination.
+func NewSpanWriter(w io.Writer) *SpanWriter {
+	bw := bufio.NewWriter(w)
+	return &SpanWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// RecordSpan appends one span line.
+func (w *SpanWriter) RecordSpan(s *Span) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	w.err = w.enc.Encode(s)
+}
+
+// Flush flushes buffered lines and returns the sticky write error, if
+// any.
+func (w *SpanWriter) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}

@@ -1,0 +1,375 @@
+// Package telemetry is the runtime observability layer: a lock-cheap
+// registry of counters, gauges, and log-bucketed latency histograms, a
+// hand-rolled Prometheus text-format encoder for the daemon's /metrics
+// endpoint, and per-submission pipeline spans written as JSON lines.
+//
+// The package is stdlib-only and designed so that the *disabled* path is
+// free: every instrument method is safe on a nil receiver and does
+// nothing, and every Registry lookup on a nil registry returns a nil
+// instrument. Instrumented code therefore never branches on "is telemetry
+// on" for counter updates — it unconditionally calls Inc/Observe on
+// possibly-nil instruments, which costs a nil check and nothing else
+// (TestDisabledInstrumentsAllocateNothing pins the zero-allocation
+// guarantee). Only wall-clock reads (time.Now) need an explicit guard in
+// callers.
+//
+// Instruments are updated with atomics; registration and scraping take
+// the registry lock. Label lookups on vec instruments use a read-mostly
+// map, so steady-state observations on an existing label value are
+// lock-free reads plus one atomic add.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType enumerates the exposition types.
+type metricType int
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	case histogramType:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Counter is a monotonically increasing counter. All methods are safe on
+// a nil receiver (no-ops), which is how disabled telemetry stays free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 value that can go up and down. Safe on nil.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (negative to subtract).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// family is one named metric with all its label series.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	label  string    // label name for vec families ("" = single series)
+	bounds []float64 // histogram bucket upper bounds
+
+	// counterFn/gaugeFn are scrape-time callbacks for values owned
+	// elsewhere (atomic transport counters, pool sizes, uptime).
+	counterFn func() float64
+	gaugeFn   func() float64
+
+	mu     sync.RWMutex
+	series map[string]any // label value -> *Counter | *Gauge | *Histogram
+}
+
+func (f *family) get(value string) (any, bool) {
+	f.mu.RLock()
+	s, ok := f.series[value]
+	f.mu.RUnlock()
+	return s, ok
+}
+
+func (f *family) getOrCreate(value string, mk func() any) any {
+	if s, ok := f.get(value); ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[value]; ok {
+		return s
+	}
+	s := mk()
+	f.series[value] = s
+	return s
+}
+
+// sortedValues returns the label values in sorted order for deterministic
+// exposition output.
+func (f *family) sortedValues() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.series))
+	for v := range f.series {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registry holds the process's instruments. A nil *Registry is a valid
+// "telemetry disabled" registry: every lookup returns a nil instrument.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// family finds or creates the named family, panicking on a type or label
+// clash — two call sites disagreeing about a metric is a programming
+// error worth failing loudly on.
+func (r *Registry) family(name, help string, typ metricType, label string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ || f.label != label {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s{%s}, was %s{%s}",
+				name, typ, label, f.typ, f.label))
+		}
+		return f
+	}
+	f := &family{
+		name:   name,
+		help:   help,
+		typ:    typ,
+		label:  label,
+		bounds: bounds,
+		series: make(map[string]any),
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter registers (or finds) a single-series counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, counterType, "", nil)
+	return f.getOrCreate("", func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or finds) a single-series gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, gaugeType, "", nil)
+	return f.getOrCreate("", func() any { return &Gauge{} }).(*Gauge)
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for counters owned elsewhere (e.g. the daemon's
+// atomic transport counters), avoiding double bookkeeping.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.family(name, help, counterType, "", nil)
+	f.mu.Lock()
+	f.counterFn = fn
+	f.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time
+// (uptime, pool sizes, Σ size).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.family(name, help, gaugeType, "", nil)
+	f.mu.Lock()
+	f.gaugeFn = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or finds) a single-series histogram. A nil bounds
+// slice means DefaultTimeBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefaultTimeBuckets()
+	}
+	f := r.family(name, help, histogramType, "", bounds)
+	return f.getOrCreate("", func() any { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+// CounterVec registers a counter family keyed by one label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{fam: r.family(name, help, counterType, label, nil)}
+}
+
+// HistogramVec registers a histogram family keyed by one label. A nil
+// bounds slice means DefaultTimeBuckets.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefaultTimeBuckets()
+	}
+	return &HistogramVec{fam: r.family(name, help, histogramType, label, bounds)}
+}
+
+// CounterVec is a counter family with one label dimension. Safe on nil.
+type CounterVec struct {
+	fam *family
+}
+
+// With returns the counter for one label value, creating it on first use.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.fam.getOrCreate(value, func() any { return &Counter{} }).(*Counter)
+}
+
+// HistogramVec is a histogram family with one label dimension. Safe on
+// nil.
+type HistogramVec struct {
+	fam *family
+}
+
+// With returns the histogram for one label value, creating it on first
+// use.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.fam.getOrCreate(value, func() any { return newHistogram(v.fam.bounds) }).(*Histogram)
+}
+
+// snapshotFamilies returns the families in registration order.
+func (r *Registry) snapshotFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, len(r.families))
+	copy(out, r.families)
+	return out
+}
+
+// Snapshot is a JSON-friendly view of the registry: counter and gauge
+// values plus histogram summaries (quantiles derived from the buckets).
+// It is what the daemon's stats op returns so clients can read latency
+// summaries over the existing line protocol.
+type Snapshot struct {
+	Counters   map[string]float64          `json:"counters,omitempty"`
+	Gauges     map[string]float64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+}
+
+// seriesKey renders "name" or `name{label="value"}` for snapshot maps.
+func seriesKey(f *family, value string) string {
+	if f.label == "" {
+		return f.name
+	}
+	return fmt.Sprintf("%s{%s=%q}", f.name, f.label, value)
+}
+
+// Snapshot captures every instrument's current value. Nil-safe: a nil
+// registry returns nil.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	snap := &Snapshot{
+		Counters:   make(map[string]float64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSummary),
+	}
+	for _, f := range r.snapshotFamilies() {
+		f.mu.RLock()
+		counterFn, gaugeFn := f.counterFn, f.gaugeFn
+		f.mu.RUnlock()
+		if counterFn != nil {
+			snap.Counters[f.name] = counterFn()
+			continue
+		}
+		if gaugeFn != nil {
+			snap.Gauges[f.name] = gaugeFn()
+			continue
+		}
+		for _, value := range f.sortedValues() {
+			s, _ := f.get(value)
+			key := seriesKey(f, value)
+			switch inst := s.(type) {
+			case *Counter:
+				snap.Counters[key] = float64(inst.Value())
+			case *Gauge:
+				snap.Gauges[key] = inst.Value()
+			case *Histogram:
+				snap.Histograms[key] = inst.Summary()
+			}
+		}
+	}
+	return snap
+}

@@ -1,0 +1,315 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Re-registration returns the same instrument.
+	if reg.Counter("c_total", "a counter") != c {
+		t.Fatal("re-registration returned a new counter")
+	}
+	g := reg.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+	v := reg.CounterVec("v_total", "labeled", "op")
+	v.With("a").Inc()
+	v.With("a").Inc()
+	v.With("b").Inc()
+	if v.With("a").Value() != 2 || v.With("b").Value() != 1 {
+		t.Fatalf("vec values = %d/%d", v.With("a").Value(), v.With("b").Value())
+	}
+}
+
+func TestRegistrationClashPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type clash did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "")
+}
+
+func TestHistogramSummaryQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	// 1000 observations spread uniformly over 1µs..1ms: p50 ~ 500µs.
+	h2 := reg.Histogram("h2_seconds", "latency", nil)
+	for i := 1; i <= 1000; i++ {
+		h2.Observe(float64(i) * 1e-6) // 1µs .. 1000µs
+	}
+	s := h2.Summary()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.Sum-0.5005) > 1e-9 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	if s.Max != 1e-3 {
+		t.Fatalf("max = %v", s.Max)
+	}
+	// Log buckets bound the relative error by the bucket width (×2).
+	if s.P50 < 250e-6 || s.P50 > 1e-3 {
+		t.Fatalf("p50 = %v, want ~500µs within a bucket factor", s.P50)
+	}
+	if s.P99 < 500e-6 || s.P99 > 1.1e-3 {
+		t.Fatalf("p99 = %v, want ~990µs within a bucket factor", s.P99)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Fatalf("quantiles not monotonic: %+v", s)
+	}
+}
+
+func TestHistogramMaxExact(t *testing.T) {
+	h := newHistogram(DefaultTimeBuckets())
+	h.Observe(0.25)
+	h.Observe(100) // +Inf bucket
+	h.Observe(0.001)
+	s := h.Summary()
+	if s.Max != 100 {
+		t.Fatalf("max = %v, want 100", s.Max)
+	}
+	if s.P99 != 100 {
+		t.Fatalf("p99 = %v, want the +Inf bucket to report max", s.P99)
+	}
+}
+
+func TestWritePrometheusValidatesAndRoundTrips(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ctxres_submits_total", "Submitted contexts.").Add(7)
+	reg.CounterVec("ctxres_discards_total", "Discards by reason.", "reason").With("on-use").Add(3)
+	reg.Gauge("ctxres_inflight_requests", "In-flight requests.").Set(2)
+	reg.GaugeFunc("ctxres_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+	reg.CounterFunc("ctxres_requests_total", "Requests.", func() float64 { return 9 })
+	h := reg.HistogramVec("ctxres_stage_seconds", "Stage latency.", "stage", nil)
+	h.With("check").ObserveDuration(750 * time.Microsecond)
+	h.With("check").ObserveDuration(2 * time.Millisecond)
+	h.With(`we"ird\label`).Observe(0.1) // exercise escaping
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("own exposition invalid: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"ctxres_submits_total 7",
+		`ctxres_discards_total{reason="on-use"} 3`,
+		"ctxres_uptime_seconds 12.5",
+		"ctxres_requests_total 9",
+		`ctxres_stage_seconds_bucket{stage="check",le="+Inf"} 2`,
+		`ctxres_stage_seconds_count{stage="check"} 2`,
+		"# TYPE ctxres_stage_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"no_type_decl 1",                           // sample before TYPE
+		"# TYPE x counter\nx{le=} 1",               // bad label
+		"# TYPE x counter\nx notanumber",           // bad value
+		"# TYPE 0bad counter\n",                    // bad name
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 1", // no +Inf/_count/_sum
+	}
+	for _, doc := range bad {
+		if err := ValidateExposition([]byte(doc)); err == nil {
+			t.Fatalf("accepted malformed exposition:\n%s", doc)
+		}
+	}
+	good := "# HELP a help text\n# TYPE a counter\na 1\n" +
+		"# TYPE h histogram\nh_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.3\nh_count 2\n"
+	if err := ValidateExposition([]byte(good)); err != nil {
+		t.Fatalf("rejected valid exposition: %v", err)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "").Add(2)
+	reg.CounterVec("b_total", "", "k").With("v").Inc()
+	reg.Gauge("g", "").Set(3)
+	reg.GaugeFunc("fn", "", func() float64 { return 7 })
+	reg.Histogram("h_seconds", "", nil).Observe(0.01)
+	snap := reg.Snapshot()
+	if snap.Counters["a_total"] != 2 {
+		t.Fatalf("snapshot counters = %+v", snap.Counters)
+	}
+	if snap.Counters[`b_total{k="v"}`] != 1 {
+		t.Fatalf("snapshot labeled counter = %+v", snap.Counters)
+	}
+	if snap.Gauges["g"] != 3 || snap.Gauges["fn"] != 7 {
+		t.Fatalf("snapshot gauges = %+v", snap.Gauges)
+	}
+	hs := snap.Histograms["h_seconds"]
+	if hs.Count != 1 || hs.Max != 0.01 {
+		t.Fatalf("snapshot histogram = %+v", hs)
+	}
+	// The snapshot is the stats-op payload: it must round-trip as JSON.
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Histograms["h_seconds"].Count != 1 {
+		t.Fatalf("round-tripped snapshot = %+v", back)
+	}
+	var nilReg *Registry
+	if nilReg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+}
+
+// TestDisabledInstrumentsAllocateNothing pins the "telemetry is free when
+// unconfigured" guarantee: every instrument obtained from a nil registry
+// no-ops with zero allocations per observation.
+func TestDisabledInstrumentsAllocateNothing(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("c_total", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h_seconds", "", nil)
+	cv := reg.CounterVec("cv_total", "", "k")
+	hv := reg.HistogramVec("hv_seconds", "", "k", nil)
+	var sp *Span
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(1)
+		h.Observe(0.5)
+		h.ObserveDuration(time.Millisecond)
+		cv.With("x").Inc()
+		hv.With("x").Observe(1)
+		sp.AddStage(StageCheck, time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observation allocated %v per run, want 0", allocs)
+	}
+}
+
+// TestEnabledObservationsDoNotAllocate pins the hot path on a live
+// registry: once a series exists, observations are allocation-free.
+func TestEnabledObservationsDoNotAllocate(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	h := reg.Histogram("h_seconds", "", nil)
+	cv := reg.CounterVec("cv_total", "", "k")
+	cv.With("x") // pre-create the series
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(0.002)
+		cv.With("x").Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("live observation allocated %v per run, want 0", allocs)
+	}
+}
+
+func TestConcurrentObservationsAndScrapes(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("ops_total", "", "op")
+	hv := reg.HistogramVec("lat_seconds", "", "op", nil)
+	var writers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			ops := []string{"a", "b", "c", "d"}
+			for j := 0; j < 2000; j++ {
+				op := ops[(i+j)%len(ops)]
+				cv.With(op).Inc()
+				hv.With(op).Observe(float64(j) * 1e-6)
+			}
+		}(i)
+	}
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := reg.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := ValidateExposition(buf.Bytes()); err != nil {
+				t.Errorf("scrape under load invalid: %v", err)
+				return
+			}
+			reg.Snapshot()
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+	if total := cv.With("a").Value() + cv.With("b").Value() + cv.With("c").Value() + cv.With("d").Value(); total != 8000 {
+		t.Fatalf("total = %d, want 8000", total)
+	}
+}
+
+func TestSpanWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSpanWriter(&buf)
+	sp := &Span{Op: "submit", ID: "c1", Start: time.Unix(0, 0).UTC()}
+	sp.AddStage(StageCheck, 2*time.Millisecond)
+	sp.AddStage(StageResolve, time.Millisecond)
+	sp.Outcome = "accepted"
+	sp.Seconds = 0.004
+	w.RecordSpan(sp)
+	w.RecordSpan(&Span{Op: "use", ID: "c1", Outcome: "delivered"})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var back Span
+	if err := json.Unmarshal([]byte(lines[0]), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Op != "submit" || len(back.Stages) != 2 || back.Stages[0].Stage != StageCheck {
+		t.Fatalf("span round trip = %+v", back)
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	s := VersionString("ctxtest")
+	if !strings.HasPrefix(s, "ctxtest ") {
+		t.Fatalf("version = %q", s)
+	}
+	b := BuildInfo()
+	if b.GoVersion == "" || b.OS == "" || b.Arch == "" {
+		t.Fatalf("build info = %+v", b)
+	}
+}

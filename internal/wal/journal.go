@@ -83,6 +83,26 @@ type Options struct {
 	// OpenFile creates journal files (segments and snapshot temporaries).
 	// Nil means os.Create. Fault-injection hook for crash tests.
 	OpenFile func(name string) (File, error)
+	// Observer receives timing callbacks from the journal's hot paths.
+	Observer Observer
+}
+
+// Observer is the journal's observability hook: any field may be nil,
+// and the zero value disables all callbacks (no clock reads happen for
+// absent callbacks). Callbacks run with the journal lock held — they
+// must be fast and must not call back into the journal. This package
+// stays dependency-free; the telemetry-backed implementation is
+// middleware.NewWALObserver.
+type Observer struct {
+	// Append fires after each record write with the framed byte count
+	// and the write latency (excluding any piggybacked fsync).
+	Append func(bytes int, d time.Duration)
+	// Fsync fires after each explicit sync with its latency.
+	Fsync func(d time.Duration)
+	// Snapshot fires after each snapshot file write with its latency.
+	Snapshot func(d time.Duration)
+	// Rotate fires after each segment rotation.
+	Rotate func()
 }
 
 // Tuning defaults.
@@ -268,9 +288,16 @@ func (j *Journal) Append(r Record) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	var writeStart time.Time
+	if j.opt.Observer.Append != nil {
+		writeStart = time.Now()
+	}
 	if _, err := j.f.Write(frame); err != nil {
 		j.err = fmt.Errorf("wal: append record %d: %w", r.Seq, err)
 		return 0, j.err
+	}
+	if j.opt.Observer.Append != nil {
+		j.opt.Observer.Append(len(frame), time.Since(writeStart))
 	}
 	j.nextSeq++
 	j.segSize += int64(len(frame))
@@ -302,8 +329,15 @@ func (j *Journal) maybeSyncLocked() error {
 }
 
 func (j *Journal) syncLocked() error {
+	var syncStart time.Time
+	if j.opt.Observer.Fsync != nil {
+		syncStart = time.Now()
+	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	if j.opt.Observer.Fsync != nil {
+		j.opt.Observer.Fsync(time.Since(syncStart))
 	}
 	j.fsyncs++
 	j.lastSync = time.Now()
@@ -320,6 +354,9 @@ func (j *Journal) rotateLocked() error {
 		return fmt.Errorf("wal: rotate: close: %w", err)
 	}
 	j.rotations++
+	if j.opt.Observer.Rotate != nil {
+		j.opt.Observer.Rotate()
+	}
 	return j.openSegmentLocked()
 }
 

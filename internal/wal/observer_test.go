@@ -1,0 +1,61 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// TestObserverCallbacks proves every Observer hook fires at the right
+// moments and agrees with the journal's own counters.
+func TestObserverCallbacks(t *testing.T) {
+	var (
+		appends, appendBytes int
+		fsyncs, snaps, rots  int
+	)
+	j, err := Open(Options{
+		Dir:          t.TempDir(),
+		Fsync:        FsyncAlways,
+		SegmentBytes: 256, // force rotations
+		Observer: Observer{
+			Append: func(bytes int, d time.Duration) {
+				appends++
+				appendBytes += bytes
+				if d < 0 {
+					t.Errorf("negative append duration %v", d)
+				}
+			},
+			Fsync:    func(d time.Duration) { fsyncs++ },
+			Snapshot: func(d time.Duration) { snaps++ },
+			Rotate:   func() { rots++ },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 20; i++ {
+		last = mustAppend(t, j, submitRecord("a", uint64(i+1)))
+	}
+	if err := j.WriteSnapshot(Snapshot{Seq: last, Clock: testClock}); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if appends != 20 {
+		t.Fatalf("append callbacks = %d, want 20", appends)
+	}
+	if int64(appendBytes) != st.Bytes {
+		t.Fatalf("observed %d appended bytes, stats say %d", appendBytes, st.Bytes)
+	}
+	if fsyncs == 0 {
+		t.Fatal("no fsync callbacks under FsyncAlways")
+	}
+	if snaps != 1 {
+		t.Fatalf("snapshot callbacks = %d, want 1", snaps)
+	}
+	if rots == 0 || int64(rots) != st.Rotations {
+		t.Fatalf("rotate callbacks = %d, stats say %d", rots, st.Rotations)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -58,9 +58,16 @@ func (j *Journal) WriteSnapshot(snap Snapshot) error {
 		j.err = err
 		return j.err
 	}
+	var snapStart time.Time
+	if j.opt.Observer.Snapshot != nil {
+		snapStart = time.Now()
+	}
 	if err := j.writeSnapshotFileLocked(snap); err != nil {
 		j.err = err
 		return j.err
+	}
+	if j.opt.Observer.Snapshot != nil {
+		j.opt.Observer.Snapshot(time.Since(snapStart))
 	}
 	j.snapshots++
 	j.snapSeq = snap.Seq

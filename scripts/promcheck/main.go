@@ -1,0 +1,25 @@
+// Command promcheck validates Prometheus text exposition read from
+// stdin and exits nonzero on any format violation. The CI smoke job
+// pipes a live /metrics scrape through it.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"ctxres/internal/telemetry"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	if err := telemetry.ValidateExposition(data); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck: malformed exposition:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok (%d bytes)\n", len(data))
+}

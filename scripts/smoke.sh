@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Observability smoke test: boot a real ctxmwd with an ops endpoint,
+# scrape /metrics and /healthz over HTTP, and fail on malformed
+# Prometheus exposition output (validated by scripts/promcheck).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+log="$workdir/ctxmwd.log"
+cleanup() {
+    [[ -n "${pid:-}" ]] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/ctxmwd" ./cmd/ctxmwd
+"$workdir/ctxmwd" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
+    -data-dir "$workdir/wal" -fsync always >"$log" 2>&1 &
+pid=$!
+
+maddr=""
+for _ in $(seq 1 100); do
+    maddr=$(sed -n 's/^ctxmwd: metrics on //p' "$log" | head -1)
+    [[ -n "$maddr" ]] && break
+    kill -0 "$pid" 2>/dev/null || { echo "smoke: ctxmwd died:"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+if [[ -z "$maddr" ]]; then
+    echo "smoke: ctxmwd never logged its metrics address:"
+    cat "$log"
+    exit 1
+fi
+echo "smoke: ops endpoint on $maddr"
+
+health=$(curl -fsS "http://$maddr/healthz")
+if [[ "$health" != ok* ]]; then
+    echo "smoke: /healthz said: $health"
+    exit 1
+fi
+
+curl -fsS "http://$maddr/metrics" >"$workdir/metrics.txt"
+go run ./scripts/promcheck <"$workdir/metrics.txt"
+for metric in ctxres_submits_total ctxres_uptime_seconds ctxres_requests_total; do
+    if ! grep -q "^$metric " "$workdir/metrics.txt"; then
+        echo "smoke: /metrics missing $metric"
+        exit 1
+    fi
+done
+
+curl -fsS "http://$maddr/statusz" | grep -q goVersion || {
+    echo "smoke: /statusz missing build info"
+    exit 1
+}
+
+kill -TERM "$pid"
+wait "$pid" || { echo "smoke: ctxmwd exited nonzero on SIGTERM:"; cat "$log"; exit 1; }
+pid=""
+echo "smoke: ok"
