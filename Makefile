@@ -4,10 +4,11 @@
 
 GO ?= go
 FUZZTIME ?= 30s
+SOAKTIME ?= 3m
 
 .DEFAULT_GOAL := check
 
-.PHONY: check build test race bench vet cover fuzz-smoke smoke
+.PHONY: check build test race bench vet cover fuzz-smoke smoke soak
 
 check: vet build test race
 
@@ -18,7 +19,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/constraint ./internal/middleware ./internal/pool ./internal/daemon/... ./internal/metrics ./internal/telemetry
+	$(GO) test -race ./internal/constraint ./internal/middleware ./internal/pool ./internal/daemon/... ./internal/metrics ./internal/telemetry ./internal/health ./internal/soak ./internal/testutil/leakcheck
+
+# soak runs the chaos storm in internal/soak for SOAKTIME (default 3m)
+# under the race detector: overload bursts, a flapping corrupted source,
+# poisoned checks, and transport chaos against a live daemon, asserting
+# typed shedding, breaker trip + half-open recovery, bounded memory, and
+# no goroutine leaks. CI runs this nightly.
+soak:
+	CTXRES_SOAK=$(SOAKTIME) $(GO) test -race -v -run TestSoakStorm -timeout 30m ./internal/soak
 
 # bench regenerates BENCH_4.json, the machine-readable perf trajectory:
 # Figure 9/10 wall-clock, telemetry overhead on the same workloads, and

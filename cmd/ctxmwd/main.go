@@ -19,6 +19,16 @@
 // stops on SIGINT/SIGTERM after draining in-flight requests, writing a
 // final checkpoint when durability is on.
 //
+// Overload resilience is opt-in: -max-pending caps the submit queue
+// (excess submissions are shed with a typed "overloaded" code),
+// -degrade-at/-resume-at bound the degraded mode that defers consistency
+// checks under pressure and catches up once load drops, -check-timeout
+// arms the check watchdog (a stuck or panicking check aborts with a
+// typed "check-timeout" code instead of wedging the daemon), and
+// -breaker-trip enables per-source circuit breakers (-breaker-window,
+// -breaker-cooldown tune them) that quarantine sources producing too
+// many bad contexts, answering them with "source-quarantined".
+//
 // -metrics-addr serves the operational HTTP endpoint: /metrics
 // (Prometheus text exposition), /healthz (503 once the WAL has
 // fail-stopped or maintenance fails), /statusz (JSON status: build info,
@@ -43,6 +53,7 @@ import (
 	"ctxres/internal/constraint"
 	"ctxres/internal/daemon"
 	"ctxres/internal/experiment"
+	"ctxres/internal/health"
 	"ctxres/internal/middleware"
 	"ctxres/internal/simspace"
 	"ctxres/internal/situation"
@@ -117,6 +128,20 @@ func setup(args []string) (*daemonProc, error) {
 			"serve /metrics, /healthz, /statusz, and /debug/pprof on this address (empty disables)")
 		spanLog = fs.String("span-log", "",
 			"append per-operation pipeline spans as JSON lines to this file (empty disables)")
+		maxPending = fs.Int("max-pending", 0,
+			"submit queue cap; excess submissions are shed as overloaded (0 disables)")
+		degradeAt = fs.Int("degrade-at", 0,
+			"pending submissions at which consistency checks are deferred (0 disables degraded mode)")
+		resumeAt = fs.Int("resume-at", 0,
+			"pending submissions at or below which deferred checks catch up (0 = degrade-at - 1)")
+		checkTimeout = fs.Duration("check-timeout", 0,
+			"watchdog timeout per consistency check; stuck or panicking checks abort typed (0 disables)")
+		breakerTrip = fs.Float64("breaker-trip", 0,
+			"per-source bad ratio that trips the circuit breaker, in (0,1] (0 disables breakers)")
+		breakerWindow = fs.Int("breaker-window", 0,
+			"per-source sliding window of recent outcomes (0 = default)")
+		breakerCooldown = fs.Duration("breaker-cooldown", 0,
+			"logical time an open breaker waits before half-open probes (0 = default)")
 		version = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -125,6 +150,14 @@ func setup(args []string) (*daemonProc, error) {
 	if *version {
 		fmt.Println(telemetry.VersionString("ctxmwd"))
 		return nil, nil
+	}
+	if err := validateTunings(tunings{
+		idle: *idle, drain: *drain, snapshot: *snapEvery, compact: *compactEvery,
+		maxPending: *maxPending, degradeAt: *degradeAt, resumeAt: *resumeAt,
+		checkTimeout: *checkTimeout, breakerTrip: *breakerTrip,
+		breakerWindow: *breakerWindow, breakerCooldown: *breakerCooldown,
+	}); err != nil {
+		return nil, err
 	}
 
 	checker, engine, err := profile(*app)
@@ -175,6 +208,25 @@ func setup(args []string) (*daemonProc, error) {
 	}
 	if spans != nil {
 		mwOpts = append(mwOpts, middleware.WithSpanSink(spans))
+	}
+	if *maxPending > 0 || *degradeAt > 0 {
+		mwOpts = append(mwOpts, middleware.WithAdmission(middleware.AdmissionOptions{
+			MaxPending: *maxPending, DegradeAt: *degradeAt, ResumeAt: *resumeAt,
+		}))
+	}
+	if *checkTimeout > 0 {
+		mwOpts = append(mwOpts, middleware.WithWatchdog(middleware.WatchdogOptions{
+			CheckTimeout: *checkTimeout,
+		}))
+	}
+	if *breakerTrip > 0 {
+		tracker := health.NewTracker(health.Config{
+			TripRatio: *breakerTrip,
+			Window:    *breakerWindow,
+			Cooldown:  *breakerCooldown,
+		})
+		tracker.Register(reg)
+		mwOpts = append(mwOpts, middleware.WithHealth(tracker))
 	}
 	build := func() *middleware.Middleware {
 		return middleware.New(checker, strat, mwOpts...)
@@ -300,6 +352,52 @@ func setup(args []string) (*daemonProc, error) {
 	fmt.Printf("ctxmwd: serving %s application with %s on %s (parallelism %d, %s %s/%s)\n",
 		*app, strat.Name(), srv.Addr(), parallelism, b.GoVersion, b.OS, b.Arch)
 	return d, nil
+}
+
+// tunings collects the numeric flags that validateTunings vets before the
+// daemon starts.
+type tunings struct {
+	idle, drain, snapshot, compact  time.Duration
+	maxPending, degradeAt, resumeAt int
+	checkTimeout                    time.Duration
+	breakerTrip                     float64
+	breakerWindow                   int
+	breakerCooldown                 time.Duration
+}
+
+// validateTunings rejects flag values that would silently misconfigure
+// the daemon: a negative interval is always a typo, and a zero
+// -drain-timeout would make every shutdown force-close in-flight
+// requests. Zero stays valid where it is the documented "disabled"
+// setting.
+func validateTunings(t tunings) error {
+	switch {
+	case t.idle < 0:
+		return fmt.Errorf("-idle-timeout must be >= 0 (0 disables), got %v", t.idle)
+	case t.drain <= 0:
+		return fmt.Errorf("-drain-timeout must be > 0, got %v", t.drain)
+	case t.snapshot < 0:
+		return fmt.Errorf("-snapshot-interval must be >= 0 (0 disables), got %v", t.snapshot)
+	case t.compact < 0:
+		return fmt.Errorf("-compact-interval must be >= 0 (0 disables), got %v", t.compact)
+	case t.maxPending < 0:
+		return fmt.Errorf("-max-pending must be >= 0 (0 disables), got %d", t.maxPending)
+	case t.degradeAt < 0:
+		return fmt.Errorf("-degrade-at must be >= 0 (0 disables), got %d", t.degradeAt)
+	case t.resumeAt < 0:
+		return fmt.Errorf("-resume-at must be >= 0, got %d", t.resumeAt)
+	case t.resumeAt > 0 && t.degradeAt > 0 && t.resumeAt >= t.degradeAt:
+		return fmt.Errorf("-resume-at (%d) must be below -degrade-at (%d)", t.resumeAt, t.degradeAt)
+	case t.checkTimeout < 0:
+		return fmt.Errorf("-check-timeout must be >= 0 (0 disables), got %v", t.checkTimeout)
+	case t.breakerTrip < 0 || t.breakerTrip > 1:
+		return fmt.Errorf("-breaker-trip must be in [0,1] (0 disables), got %g", t.breakerTrip)
+	case t.breakerWindow < 0:
+		return fmt.Errorf("-breaker-window must be >= 0 (0 = default), got %d", t.breakerWindow)
+	case t.breakerCooldown < 0:
+		return fmt.Errorf("-breaker-cooldown must be >= 0 (0 = default), got %v", t.breakerCooldown)
+	}
+	return nil
 }
 
 func profile(app string) (*constraint.Checker, *situation.Engine, error) {

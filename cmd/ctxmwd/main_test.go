@@ -123,6 +123,83 @@ func TestSetupErrors(t *testing.T) {
 	}
 }
 
+func TestSetupFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"negative idle", []string{"-idle-timeout", "-1s"}, "-idle-timeout"},
+		{"zero drain", []string{"-drain-timeout", "0"}, "-drain-timeout"},
+		{"negative drain", []string{"-drain-timeout", "-2s"}, "-drain-timeout"},
+		{"negative snapshot", []string{"-snapshot-interval", "-1m"}, "-snapshot-interval"},
+		{"negative compact", []string{"-compact-interval", "-1m"}, "-compact-interval"},
+		{"negative max-pending", []string{"-max-pending", "-1"}, "-max-pending"},
+		{"negative degrade-at", []string{"-degrade-at", "-1"}, "-degrade-at"},
+		{"negative resume-at", []string{"-resume-at", "-1"}, "-resume-at"},
+		{"resume above degrade", []string{"-degrade-at", "4", "-resume-at", "4"}, "-resume-at"},
+		{"negative check-timeout", []string{"-check-timeout", "-1s"}, "-check-timeout"},
+		{"trip over one", []string{"-breaker-trip", "1.5"}, "-breaker-trip"},
+		{"negative trip", []string{"-breaker-trip", "-0.1"}, "-breaker-trip"},
+		{"negative window", []string{"-breaker-window", "-8"}, "-breaker-window"},
+		{"negative cooldown", []string{"-breaker-cooldown", "-30s"}, "-breaker-cooldown"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"-addr", "127.0.0.1:0"}, tc.args...)
+			d, err := setup(args)
+			if err == nil {
+				d.srv.Shutdown()
+				t.Fatalf("setup(%v) accepted an invalid value", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %s", err, tc.want)
+			}
+		})
+	}
+	// Zero stays the documented "disabled" setting where it is one.
+	d, err := setup([]string{"-addr", "127.0.0.1:0",
+		"-idle-timeout", "0", "-snapshot-interval", "0", "-compact-interval", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.srv.Shutdown()
+}
+
+// TestSetupResilienceFlagsWire proves -degrade-at and -breaker-trip reach
+// the middleware: a submission under a degrade-at of 1 is deferred, and
+// the stats op carries a health snapshot once breakers are on.
+func TestSetupResilienceFlagsWire(t *testing.T) {
+	d, err := setup([]string{"-addr", "127.0.0.1:0",
+		"-max-pending", "64", "-degrade-at", "1",
+		"-check-timeout", "5s", "-breaker-trip", "0.9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.srv.Shutdown()
+	client, err := daemon.Dial(d.srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	t0 := time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+	c := ctx.NewLocation("peter", t0, ctx.Point{X: 1},
+		ctx.WithSeq(1), ctx.WithSource("s"))
+	if _, err := client.Submit(c); err != nil {
+		t.Fatal(err)
+	}
+	rs, hs, err := client.Resilience()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.DeferredChecks != 1 {
+		t.Fatalf("resilience = %+v, want the submission deferred under -degrade-at 1", rs)
+	}
+	if hs == nil {
+		t.Fatal("no health snapshot despite -breaker-trip")
+	}
+}
+
 func TestSetupWithConstraintsFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "set.ctx")

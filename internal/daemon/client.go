@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ctxres/internal/ctx"
+	"ctxres/internal/health"
 	"ctxres/internal/middleware"
 	"ctxres/internal/pool"
 	"ctxres/internal/telemetry"
@@ -80,6 +81,18 @@ type RemoteError struct {
 
 // Error implements error.
 func (e *RemoteError) Error() string { return "daemon: " + e.Message }
+
+// ErrorCode extracts the protocol code from a failed operation, or ""
+// when err is not a server-reported failure (transport errors carry no
+// code). Use it to branch on typed rejections such as CodeOverloaded or
+// CodeQuarantined without unwrapping the error chain by hand.
+func ErrorCode(err error) Code {
+	var remote *RemoteError
+	if errors.As(err, &remote) {
+		return remote.Code
+	}
+	return ""
+}
 
 // Dial connects to a server. timeout bounds each round trip; zero means no
 // deadline.
@@ -268,6 +281,24 @@ func (c *Client) Submit(cc *ctx.Context) ([]WireViolation, error) {
 	return resp.Violations, nil
 }
 
+// SubmitBudget submits a context with a deadline budget: if the server
+// cannot start the work within the budget it sheds the submission with
+// CodeOverloaded instead of queueing it. A typed rejection is a
+// RemoteError and is never retried (a shed submission resent immediately
+// would only deepen the overload); check ErrorCode(err) for
+// CodeOverloaded and back off before resubmitting.
+func (c *Client) SubmitBudget(cc *ctx.Context, budget time.Duration) ([]WireViolation, error) {
+	req := Request{Op: OpSubmit, Context: cc}
+	if budget > 0 {
+		req.TimeoutMillis = int64(budget / time.Millisecond)
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Violations, nil
+}
+
 // Use performs a context deletion change for the identified context.
 func (c *Client) Use(id ctx.ID) (*ctx.Context, error) {
 	resp, err := c.roundTrip(Request{Op: OpUse, ID: id})
@@ -333,6 +364,21 @@ func (c *Client) Telemetry() (*telemetry.Snapshot, error) {
 		return nil, err
 	}
 	return resp.Telemetry, nil
+}
+
+// Resilience fetches the middleware's overload-resilience counters and
+// the per-source circuit-breaker snapshot (nil when the daemon runs
+// without health tracking).
+func (c *Client) Resilience() (middleware.ResilienceStats, *health.Snapshot, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return middleware.ResilienceStats{}, nil, err
+	}
+	var rs middleware.ResilienceStats
+	if resp.Resilience != nil {
+		rs = *resp.Resilience
+	}
+	return rs, resp.Health, nil
 }
 
 // Situations fetches the current activation state of every situation.

@@ -14,6 +14,7 @@ import (
 	"ctxres/internal/middleware"
 	"ctxres/internal/situation"
 	"ctxres/internal/strategy"
+	"ctxres/internal/testutil/leakcheck"
 )
 
 var t0 = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
@@ -46,6 +47,9 @@ func loc(id string, seq uint64, x float64) *ctx.Context {
 // one-situation engine on an ephemeral port; it shuts down with the test.
 func startServer(t *testing.T) (*Server, *Client) {
 	t.Helper()
+	// Registered before the shutdown cleanups, so it runs last and
+	// verifies the server's goroutines are gone.
+	t.Cleanup(leakcheck.Check(t))
 	engine := situation.NewEngine()
 	engine.MustRegister(&situation.Situation{
 		Name: "present",

@@ -96,7 +96,7 @@ func (l *Listener) Accepted() int {
 	return l.accepted
 }
 
-// Conn wraps a net.Conn with byte-budget and stall faults.
+// Conn wraps a net.Conn with byte-budget, stall, and jitter faults.
 type Conn struct {
 	net.Conn
 
@@ -105,6 +105,8 @@ type Conn struct {
 	writeBudget int // -1 = unlimited
 	readStall   time.Duration
 	writeStall  time.Duration
+	jitter      *rand.Rand    // nil = no jitter
+	jitterMax   time.Duration // exclusive upper bound per operation
 }
 
 // ConnOption configures a Conn.
@@ -134,6 +136,32 @@ func WithWriteStall(d time.Duration) ConnOption {
 	return func(c *Conn) { c.writeStall = d }
 }
 
+// WithJitter delays every read and write by a pseudo-random duration in
+// [0, max), drawn from a PRNG seeded with seed. Unlike the fixed stalls,
+// jitter models a congested or wireless link where latency varies
+// per-operation; the delay sequence is a pure function of the seed and
+// the read/write call order, so a failing run reproduces from the seed.
+func WithJitter(seed int64, max time.Duration) ConnOption {
+	return func(c *Conn) {
+		if max > 0 {
+			c.jitter = rand.New(rand.NewSource(seed))
+			c.jitterMax = max
+		}
+	}
+}
+
+// jitterDelay draws the next scripted delay, or zero without jitter. The
+// draw happens under the lock (rand.Rand is not concurrency-safe); the
+// caller sleeps outside it.
+func (c *Conn) jitterDelay() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.jitter == nil {
+		return 0
+	}
+	return time.Duration(c.jitter.Int63n(int64(c.jitterMax)))
+}
+
 // Wrap decorates conn with the given faults.
 func Wrap(conn net.Conn, opts ...ConnOption) *Conn {
 	c := &Conn{Conn: conn, readBudget: -1, writeBudget: -1}
@@ -151,6 +179,9 @@ func (c *Conn) Read(p []byte) (int, error) {
 	c.mu.Unlock()
 	if stall > 0 {
 		time.Sleep(stall)
+	}
+	if d := c.jitterDelay(); d > 0 {
+		time.Sleep(d)
 	}
 	n, cut := c.takeBudget(&c.readBudget, len(p))
 	if !cut {
@@ -172,6 +203,9 @@ func (c *Conn) Write(p []byte) (int, error) {
 	c.mu.Unlock()
 	if stall > 0 {
 		time.Sleep(stall)
+	}
+	if d := c.jitterDelay(); d > 0 {
+		time.Sleep(d)
 	}
 	n, cut := c.takeBudget(&c.writeBudget, len(p))
 	if !cut {
@@ -211,12 +245,17 @@ type ChaosConfig struct {
 	// Stall, when positive, makes roughly half the faulted connections
 	// stalled (by Stall per write) instead of truncated.
 	Stall time.Duration
+	// Jitter, when positive, makes roughly a third of the faulted
+	// connections jittered — every read and write delayed by a seeded
+	// pseudo-random duration in [0, Jitter) — instead of cut or stalled.
+	Jitter time.Duration
 }
 
 // Chaos wraps ln so that each accepted connection is, with probability
-// cfg.FaultRate, either cut after a PRNG-chosen number of written bytes
-// or stalled on every write. The fault assignment is a pure function of
-// seed and accept order, so runs are reproducible.
+// cfg.FaultRate, either cut after a PRNG-chosen number of written bytes,
+// stalled on every write, or latency-jittered on every read and write.
+// The fault assignment (and each jittered connection's delay sequence)
+// is a pure function of seed and accept order, so runs are reproducible.
 func Chaos(ln net.Listener, seed int64, cfg ChaosConfig) *Listener {
 	rng := rand.New(rand.NewSource(seed))
 	var mu sync.Mutex
@@ -229,6 +268,9 @@ func Chaos(ln net.Listener, seed int64, cfg ChaosConfig) *Listener {
 		budget := cfg.MinBytes
 		if cfg.MaxBytes > cfg.MinBytes {
 			budget += rng.Intn(cfg.MaxBytes - cfg.MinBytes)
+		}
+		if cfg.Jitter > 0 && rng.Intn(3) == 0 {
+			return Wrap(c, WithJitter(rng.Int63(), cfg.Jitter))
 		}
 		if cfg.Stall > 0 && rng.Intn(2) == 0 {
 			return Wrap(c, WithWriteStall(cfg.Stall))

@@ -3,6 +3,7 @@ package faultconn
 import (
 	"errors"
 	"io"
+	"math/rand"
 	"net"
 	"testing"
 	"time"
@@ -120,12 +121,53 @@ func TestStallDelaysIO(t *testing.T) {
 	_ = fc.Close()
 }
 
+func TestJitterDelaysAreScripted(t *testing.T) {
+	// The jitter sequence is a pure function of the seed, so the test can
+	// re-derive the first two delays and hold the wrapped connection to at
+	// least their sum (time.Sleep never wakes early).
+	const seed, max = int64(7), 40 * time.Millisecond
+	rng := rand.New(rand.NewSource(seed))
+	want := time.Duration(rng.Int63n(int64(max))) + time.Duration(rng.Int63n(int64(max)))
+
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := Wrap(a, WithJitter(seed, max))
+	go func() {
+		buf := make([]byte, 4)
+		_, _ = io.ReadFull(b, buf)
+		_, _ = b.Write([]byte("pong"))
+	}()
+	start := time.Now()
+	if _, err := fc.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(fc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < want {
+		t.Fatalf("round trip took %v, want >= %v of scripted jitter", d, want)
+	}
+	_ = fc.Close()
+}
+
+func TestJitterZeroMaxIsNoop(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := Wrap(a, WithJitter(1, 0))
+	if fc.jitter != nil {
+		t.Fatal("zero max installed a jitter PRNG")
+	}
+	_ = fc.Close()
+}
+
 // chaosSignature classifies the faults assigned to the first n accepted
 // connections for a seed.
 func chaosSignature(t *testing.T, seed int64, n int) []string {
 	t.Helper()
 	ln := Chaos(newFakeListener(n), seed, ChaosConfig{
-		FaultRate: 0.5, MinBytes: 10, MaxBytes: 100, Stall: time.Millisecond,
+		FaultRate: 0.5, MinBytes: 10, MaxBytes: 100,
+		Stall: time.Millisecond, Jitter: time.Millisecond,
 	})
 	sig := make([]string, 0, n)
 	for i := 0; i < n; i++ {
@@ -137,6 +179,8 @@ func chaosSignature(t *testing.T, seed int64, n int) []string {
 		switch {
 		case !faulted:
 			sig = append(sig, "clean")
+		case fc.jitter != nil:
+			sig = append(sig, "jitter")
 		case fc.writeStall > 0:
 			sig = append(sig, "stall")
 		default:
@@ -160,7 +204,7 @@ func TestChaosIsDeterministicPerSeed(t *testing.T) {
 	for _, s := range first {
 		kinds[s] = true
 	}
-	if len(kinds) < 2 {
+	if len(kinds) < 3 || !kinds["jitter"] {
 		t.Fatalf("fault mix %v not diverse; signature %v", kinds, first)
 	}
 }

@@ -12,6 +12,7 @@ package daemon
 import (
 	"ctxres/internal/constraint"
 	"ctxres/internal/ctx"
+	"ctxres/internal/health"
 	"ctxres/internal/middleware"
 	"ctxres/internal/pool"
 	"ctxres/internal/telemetry"
@@ -51,6 +52,20 @@ const (
 	// CodeBusy is returned (followed by a close) to connections accepted
 	// over the server's max-connections cap.
 	CodeBusy Code = "server-busy"
+	// CodeOverloaded is a submission shed by admission control: the
+	// middleware's pending queue was full, or the work would have started
+	// past the client's deadline budget. The context was NOT applied.
+	// Retrying immediately only adds load; back off first.
+	CodeOverloaded Code = "overloaded"
+	// CodeQuarantined is a submission acknowledged but dropped because its
+	// source's circuit breaker is open (the source recently produced too
+	// many bad/inconsistent/expired contexts). The breaker re-probes the
+	// source automatically; healthy submissions resume on recovery.
+	CodeQuarantined Code = "source-quarantined"
+	// CodeCheckTimeout is a submission or use aborted by the check
+	// watchdog: the consistency check or strategy callback ran past its
+	// timeout or panicked. The operation was rolled back.
+	CodeCheckTimeout Code = "check-timeout"
 )
 
 // Request is one client request.
@@ -63,6 +78,11 @@ type Request struct {
 	// Kind and Subject select the newest matching context (OpUseLatest).
 	Kind    ctx.Kind `json:"kind,omitempty"`
 	Subject string   `json:"subject,omitempty"`
+	// TimeoutMillis is the client's deadline budget for OpSubmit: work
+	// that would start more than this many milliseconds after the server
+	// reads the request is shed with CodeOverloaded instead of queued.
+	// Zero means no deadline.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
 }
 
 // WireViolation is a violation with context IDs only (contexts stay on the
@@ -104,6 +124,12 @@ type Response struct {
 	// Telemetry is the registry snapshot — counters, gauges, and
 	// histogram summaries — when the server runs with WithTelemetry.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	// Resilience carries the overload-resilience counters (OpStats):
+	// shed, quarantined, deferred, and watchdog-aborted operations.
+	Resilience *middleware.ResilienceStats `json:"resilience,omitempty"`
+	// Health is the per-source circuit-breaker snapshot (OpStats); nil
+	// when the middleware runs without health tracking.
+	Health *health.Snapshot `json:"health,omitempty"`
 	// Active maps situation names to their current activation (OpSituations).
 	Active map[string]bool `json:"active,omitempty"`
 }

@@ -170,12 +170,12 @@ type ServerStats struct {
 // Stats snapshots the transport counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Accepted:      s.counters.accepted.Load(),
-		AcceptRetries: s.counters.acceptRetries.Load(),
-		RejectedFull:  s.counters.rejectedFull.Load(),
-		Requests:      s.counters.requests.Load(),
-		BadRequests:   s.counters.badRequests.Load(),
-		FramesTooLong: s.counters.framesTooLong.Load(),
+		Accepted:          s.counters.accepted.Load(),
+		AcceptRetries:     s.counters.acceptRetries.Load(),
+		RejectedFull:      s.counters.rejectedFull.Load(),
+		Requests:          s.counters.requests.Load(),
+		BadRequests:       s.counters.badRequests.Load(),
+		FramesTooLong:     s.counters.framesTooLong.Load(),
 		IdleClosed:        s.counters.idleClosed.Load(),
 		ReadErrors:        s.counters.readErrors.Load(),
 		UptimeSeconds:     time.Since(s.start).Seconds(),
@@ -552,9 +552,13 @@ func (s *Server) handle(req Request) Response {
 		if req.Context == nil {
 			return errResponse(errors.New("submit: missing context"))
 		}
-		vios, err := s.mw.Submit(req.Context)
+		var so middleware.SubmitOptions
+		if req.TimeoutMillis > 0 {
+			so.Deadline = time.Now().Add(time.Duration(req.TimeoutMillis) * time.Millisecond)
+		}
+		vios, err := s.mw.SubmitOpts(req.Context, so)
 		if err != nil {
-			return errResponse(err)
+			return errResponseCode(codeFor(err), err)
 		}
 		return Response{OK: true, Violations: toWire(vios)}
 	case OpUse:
@@ -576,6 +580,7 @@ func (s *Server) handle(req Request) Response {
 		mwStats := s.mw.Stats()
 		poolStats := s.mw.Pool().Stats()
 		srvStats := s.Stats()
+		resStats := s.mw.Resilience()
 		return Response{
 			OK:         true,
 			Middleware: &mwStats,
@@ -583,6 +588,8 @@ func (s *Server) handle(req Request) Response {
 			Daemon:     &srvStats,
 			Journal:    s.mw.JournalStats(),
 			Telemetry:  s.reg.Snapshot(),
+			Resilience: &resStats,
+			Health:     s.mw.HealthSnapshot(),
 		}
 	case OpSituations:
 		active := make(map[string]bool)
@@ -594,6 +601,22 @@ func (s *Server) handle(req Request) Response {
 		return Response{OK: true, Active: active}
 	default:
 		return errResponse(fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+// codeFor maps a middleware rejection to its protocol code, so clients
+// can distinguish overload shedding (back off) and quarantine/watchdog
+// drops (typed, never retried) from ordinary application errors.
+func codeFor(err error) Code {
+	switch {
+	case errors.Is(err, middleware.ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, middleware.ErrQuarantined):
+		return CodeQuarantined
+	case errors.Is(err, middleware.ErrCheckTimeout), errors.Is(err, middleware.ErrCheckFailed):
+		return CodeCheckTimeout
+	default:
+		return CodeApp
 	}
 }
 

@@ -159,6 +159,123 @@ func TestZoneSwapNoAlternative(t *testing.T) {
 	}
 }
 
+// TestCorruptorCoveragePerKind pins the contract the health tracker and
+// the soak harness rely on: every context kind the middleware ships has
+// a stock corruptor that (a) actually mutates the payload of a
+// representative context and (b) never touches Truth — marking a context
+// corrupted is the injector's job, so ground-truth metrics and the OPT-R
+// oracle stay trustworthy whichever corruptor is plugged in.
+func TestCorruptorCoveragePerKind(t *testing.T) {
+	cases := []struct {
+		kind    ctx.Kind
+		corrupt Corruptor
+		make    func() *ctx.Context
+		payload []string // fields that must survive as keys
+	}{
+		{
+			kind:    ctx.KindLocation,
+			corrupt: LocationJump(5, 10),
+			make: func() *ctx.Context {
+				return ctx.NewLocation("p", t0, ctx.Point{X: 3, Y: 4})
+			},
+			payload: []string{ctx.FieldX, ctx.FieldY},
+		},
+		{
+			kind:    ctx.KindRFIDRead,
+			corrupt: ZoneSwap([]string{"zone-1", "zone-2", "zone-3"}),
+			make: func() *ctx.Context {
+				return ctx.New(ctx.KindRFIDRead, t0, map[string]ctx.Value{
+					"zone":   ctx.String("zone-1"),
+					"reader": ctx.String("reader-zone-1"),
+				})
+			},
+			payload: []string{"zone", "reader"},
+		},
+		{
+			kind:    ctx.KindPresence,
+			corrupt: FieldScramble("status", []string{"present", "away", "offline"}),
+			make: func() *ctx.Context {
+				return ctx.New(ctx.KindPresence, t0, map[string]ctx.Value{
+					"status": ctx.String("present"),
+				})
+			},
+			payload: []string{"status"},
+		},
+		{
+			kind:    ctx.KindCall,
+			corrupt: FieldScramble("callee", []string{"peter", "alice", "bob"}),
+			make: func() *ctx.Context {
+				return ctx.New(ctx.KindCall, t0, map[string]ctx.Value{
+					"callee": ctx.String("peter"),
+				})
+			},
+			payload: []string{"callee"},
+		},
+	}
+
+	covered := map[ctx.Kind]bool{}
+	for _, tc := range cases {
+		covered[tc.kind] = true
+		t.Run(string(tc.kind), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			c := tc.make()
+			if c.Kind != tc.kind {
+				t.Fatalf("representative context has kind %q", c.Kind)
+			}
+			before := make(map[string]ctx.Value, len(c.Fields))
+			for k, v := range c.Fields {
+				before[k] = v
+			}
+
+			// The bare corruptor mutates payload and leaves Truth alone.
+			tc.corrupt(c, rng)
+			if c.Truth.Corrupted || c.Truth.Original != nil {
+				t.Fatalf("corruptor touched Truth: %+v", c.Truth)
+			}
+			mutated := false
+			for _, f := range tc.payload {
+				v, ok := c.Field(f)
+				if !ok {
+					t.Fatalf("payload field %q dropped", f)
+				}
+				if !v.Equal(before[f]) {
+					mutated = true
+				}
+			}
+			if !mutated {
+				t.Fatalf("corruptor left payload unchanged: %v", c.Fields)
+			}
+
+			// Through the injector, Truth records the pre-corruption payload.
+			in, err := NewInjector(1, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in.Register(tc.kind, tc.corrupt)
+			c2 := tc.make()
+			if !in.Apply(c2) {
+				t.Fatal("rate-1 injector did not corrupt")
+			}
+			if !c2.Truth.Corrupted {
+				t.Fatal("injector did not mark Truth")
+			}
+			for _, f := range tc.payload {
+				want := before[f]
+				if got := c2.Truth.Original[f]; !got.Equal(want) {
+					t.Fatalf("Truth.Original[%q] = %v, want %v", f, got, want)
+				}
+			}
+		})
+	}
+	for _, kind := range []ctx.Kind{
+		ctx.KindLocation, ctx.KindRFIDRead, ctx.KindPresence, ctx.KindCall,
+	} {
+		if !covered[kind] {
+			t.Errorf("no corruptor coverage for kind %q", kind)
+		}
+	}
+}
+
 func TestFieldScramble(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	corrupt := FieldScramble("status", []string{"ok", "warn", "fail"})

@@ -1,0 +1,389 @@
+// Package health scores context sources by the quality of what they have
+// recently produced and quarantines the ones that misbehave. The paper's
+// experimental setting (Section 4.1) assumes every source ships a
+// controlled fraction of corrupted contexts; in a deployed middleware a
+// flapping sensor can push that fraction to 100% and drown the checker in
+// inconsistencies. The tracker keeps, per source, a sliding window of
+// recent submission outcomes (clean, inconsistent, discarded-as-bad,
+// expired-unused) and runs a circuit breaker over the bad ratio:
+//
+//	closed ──ratio ≥ TripRatio──▶ open ──Cooldown elapsed──▶ half-open
+//	  ▲                                                        │
+//	  └─────ProbeCount clean probes──────┘  (any bad probe re-opens)
+//
+// While a source's breaker is open, its submissions are dropped before
+// they reach the pool (the daemon acknowledges them with a typed
+// "source-quarantined" code). Time is the middleware's logical clock —
+// the timestamps carried by the contexts themselves — so breaker behavior
+// is deterministic and replayable in tests.
+package health
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ctxres/internal/telemetry"
+)
+
+// State is a source's breaker state.
+type State int
+
+// Breaker states.
+const (
+	// Closed: the source is healthy; submissions flow normally.
+	Closed State = iota
+	// Open: the source is quarantined; submissions are dropped until the
+	// cooldown elapses.
+	Open
+	// HalfOpen: the cooldown has elapsed; submissions are admitted as
+	// probes. ProbeCount consecutive clean probes close the breaker; any
+	// bad probe re-opens it.
+	HalfOpen
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// Outcome classifies one observation about a source's output.
+type Outcome int
+
+// Observation outcomes. OK is the only one that counts as healthy.
+const (
+	// OK: a submission checked clean.
+	OK Outcome = iota
+	// Inconsistent: a submission introduced constraint violations.
+	Inconsistent
+	// Bad: a context from this source was discarded by the resolution
+	// strategy (it was judged the culprit of an inconsistency).
+	Bad
+	// Expired: a context from this source expired unused in the checking
+	// buffer (stale data that never became deliverable).
+	Expired
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Inconsistent:
+		return "inconsistent"
+	case Bad:
+		return "bad"
+	case Expired:
+		return "expired"
+	default:
+		return "invalid"
+	}
+}
+
+// Tuning defaults (see Config).
+const (
+	DefaultWindow     = 32
+	DefaultMinSamples = 16
+	DefaultProbeCount = 3
+	DefaultCooldown   = 30 * time.Second
+)
+
+// Config tunes the tracker. The zero value of every field falls back to
+// its default; TripRatio is the only mandatory knob (a tracker with
+// TripRatio <= 0 never trips, scoring sources without quarantining any).
+type Config struct {
+	// Window is the per-source sliding window size (observations).
+	Window int
+	// MinSamples is the minimum number of windowed observations before the
+	// breaker may trip, so a source is not condemned on its first error.
+	MinSamples int
+	// TripRatio trips the breaker when bad/total in the window reaches it.
+	// Values <= 0 disable tripping entirely.
+	TripRatio float64
+	// Cooldown is how long (logical time) an open breaker waits before
+	// admitting half-open probes.
+	Cooldown time.Duration
+	// ProbeCount is how many consecutive clean probes close a half-open
+	// breaker.
+	ProbeCount int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = DefaultMinSamples
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultCooldown
+	}
+	if c.ProbeCount <= 0 {
+		c.ProbeCount = DefaultProbeCount
+	}
+	return c
+}
+
+// sourceState is one source's window and breaker.
+type sourceState struct {
+	window  []bool // ring buffer: true = bad outcome
+	next    int    // ring write position
+	samples int    // filled entries, ≤ len(window)
+	bad     int    // bad entries currently in the window
+
+	state    State
+	openedAt time.Time // logical time of the last trip
+	probeOK  int       // consecutive clean probes while half-open
+
+	trips   int
+	dropped int
+	total   int // lifetime observations
+}
+
+// Tracker scores sources and runs their breakers. All methods are safe
+// for concurrent use; the middleware calls it under its own lock, while
+// telemetry scrape callbacks read it concurrently.
+type Tracker struct {
+	mu      sync.Mutex
+	cfg     Config
+	sources map[string]*sourceState
+
+	trips      int
+	recoveries int
+	dropped    int
+}
+
+// NewTracker builds a tracker; zero-valued config fields take defaults.
+func NewTracker(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg.withDefaults(), sources: make(map[string]*sourceState)}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (t *Tracker) Config() Config { return t.cfg }
+
+func (t *Tracker) state(source string) *sourceState {
+	s, ok := t.sources[source]
+	if !ok {
+		s = &sourceState{window: make([]bool, t.cfg.Window)}
+		t.sources[source] = s
+	}
+	return s
+}
+
+// Allow reports whether a submission from source may proceed at the given
+// logical time. An open breaker whose cooldown has elapsed transitions to
+// half-open and admits the submission as a probe. A false return is
+// counted as a dropped submission.
+func (t *Tracker) Allow(source string, now time.Time) bool {
+	if source == "" {
+		return true // anonymous submissions are never quarantined
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(source)
+	switch s.state {
+	case Closed:
+		return true
+	case Open:
+		if now.Sub(s.openedAt) >= t.cfg.Cooldown {
+			s.state = HalfOpen
+			s.probeOK = 0
+			return true
+		}
+		s.dropped++
+		t.dropped++
+		return false
+	case HalfOpen:
+		return true
+	}
+	return true
+}
+
+// Observe records one outcome for source at the given logical time and
+// advances its breaker: a closed breaker trips when the windowed bad
+// ratio reaches TripRatio (with at least MinSamples observations); a
+// half-open breaker closes after ProbeCount consecutive clean probes and
+// re-opens on any bad one.
+func (t *Tracker) Observe(source string, o Outcome, now time.Time) {
+	if source == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(source)
+	isBad := o != OK
+	s.push(isBad)
+	s.total++
+
+	switch s.state {
+	case Closed:
+		if t.cfg.TripRatio > 0 && s.samples >= t.cfg.MinSamples && s.ratio() >= t.cfg.TripRatio {
+			t.trip(s, now)
+		}
+	case HalfOpen:
+		if isBad {
+			t.trip(s, now)
+			return
+		}
+		s.probeOK++
+		if s.probeOK >= t.cfg.ProbeCount {
+			s.state = Closed
+			s.reset()
+			t.recoveries++
+		}
+	case Open:
+		// Outcomes can still arrive for an open source: contexts admitted
+		// before the trip expire or get discarded later. They keep the
+		// window fresh but cannot re-trip.
+	}
+}
+
+// trip opens the breaker (from closed or half-open) at logical time now.
+func (t *Tracker) trip(s *sourceState, now time.Time) {
+	s.state = Open
+	s.openedAt = now
+	s.probeOK = 0
+	s.trips++
+	t.trips++
+}
+
+// push records one observation into the ring.
+func (s *sourceState) push(bad bool) {
+	if s.samples == len(s.window) {
+		if s.window[s.next] {
+			s.bad--
+		}
+	} else {
+		s.samples++
+	}
+	s.window[s.next] = bad
+	if bad {
+		s.bad++
+	}
+	s.next = (s.next + 1) % len(s.window)
+}
+
+// reset clears the window after a recovery so old sins are forgotten.
+func (s *sourceState) reset() {
+	for i := range s.window {
+		s.window[i] = false
+	}
+	s.next, s.samples, s.bad, s.probeOK = 0, 0, 0, 0
+}
+
+func (s *sourceState) ratio() float64 {
+	if s.samples == 0 {
+		return 0
+	}
+	return float64(s.bad) / float64(s.samples)
+}
+
+// State returns the breaker state of one source (Closed for unknown
+// sources).
+func (t *Tracker) State(source string) State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.sources[source]; ok {
+		return s.state
+	}
+	return Closed
+}
+
+// SourceSnapshot is one source's scoring state for the stats op.
+type SourceSnapshot struct {
+	Source  string  `json:"source"`
+	State   string  `json:"state"`
+	Samples int     `json:"samples"`
+	Bad     int     `json:"bad"`
+	Ratio   float64 `json:"ratio"`
+	Trips   int     `json:"trips"`
+	Dropped int     `json:"dropped"`
+	Total   int     `json:"total"`
+}
+
+// Snapshot is the tracker's full state for the stats op.
+type Snapshot struct {
+	Sources    []SourceSnapshot `json:"sources"`
+	Trips      int              `json:"trips"`
+	Recoveries int              `json:"recoveries"`
+	Dropped    int              `json:"dropped"`
+}
+
+// Snapshot captures per-source scores and the global counters, sources
+// sorted by name for deterministic output.
+func (t *Tracker) Snapshot() Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := Snapshot{Trips: t.trips, Recoveries: t.recoveries, Dropped: t.dropped}
+	for name, s := range t.sources {
+		snap.Sources = append(snap.Sources, SourceSnapshot{
+			Source:  name,
+			State:   s.state.String(),
+			Samples: s.samples,
+			Bad:     s.bad,
+			Ratio:   s.ratio(),
+			Trips:   s.trips,
+			Dropped: s.dropped,
+			Total:   s.total,
+		})
+	}
+	sort.Slice(snap.Sources, func(i, j int) bool { return snap.Sources[i].Source < snap.Sources[j].Source })
+	return snap
+}
+
+// countState counts sources currently in the given state.
+func (t *Tracker) countState(st State) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, s := range t.sources {
+		if s.state == st {
+			n++
+		}
+	}
+	return n
+}
+
+// Register exports the tracker's state into a telemetry registry:
+// scrape-time gauges over the number of open and half-open breakers and
+// counters for trips, recoveries, and quarantine drops. A nil registry is
+// a no-op.
+func (t *Tracker) Register(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("ctxres_breaker_open_sources", "Context sources currently quarantined (breaker open).",
+		func() float64 { return float64(t.countState(Open)) })
+	reg.GaugeFunc("ctxres_breaker_halfopen_sources", "Context sources currently probing (breaker half-open).",
+		func() float64 { return float64(t.countState(HalfOpen)) })
+	reg.CounterFunc("ctxres_breaker_trips_total", "Circuit breaker trips across all sources.",
+		func() float64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			return float64(t.trips)
+		})
+	reg.CounterFunc("ctxres_breaker_recoveries_total", "Breakers closed again after half-open probing.",
+		func() float64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			return float64(t.recoveries)
+		})
+	reg.CounterFunc("ctxres_quarantine_dropped_total", "Submissions dropped because their source was quarantined.",
+		func() float64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			return float64(t.dropped)
+		})
+}

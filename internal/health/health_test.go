@@ -1,0 +1,216 @@
+package health
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ctxres/internal/telemetry"
+	"ctxres/internal/testutil/leakcheck"
+)
+
+var h0 = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+
+func at(sec int) time.Time { return h0.Add(time.Duration(sec) * time.Second) }
+
+func testConfig() Config {
+	return Config{Window: 8, MinSamples: 4, TripRatio: 0.5, Cooldown: 10 * time.Second, ProbeCount: 2}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := NewTracker(Config{}).Config()
+	if cfg.Window != DefaultWindow || cfg.MinSamples != DefaultMinSamples ||
+		cfg.Cooldown != DefaultCooldown || cfg.ProbeCount != DefaultProbeCount {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.TripRatio != 0 {
+		t.Fatalf("TripRatio defaulted to %v, want 0 (scoring-only)", cfg.TripRatio)
+	}
+	// MinSamples may never exceed the window.
+	cfg = NewTracker(Config{Window: 4, MinSamples: 100}).Config()
+	if cfg.MinSamples != 4 {
+		t.Fatalf("MinSamples = %d, want clamped to window", cfg.MinSamples)
+	}
+}
+
+func TestHealthySourceStaysClosed(t *testing.T) {
+	tr := NewTracker(testConfig())
+	for i := 0; i < 100; i++ {
+		if !tr.Allow("s", at(i)) {
+			t.Fatalf("healthy source blocked at %d", i)
+		}
+		tr.Observe("s", OK, at(i))
+	}
+	if st := tr.State("s"); st != Closed {
+		t.Fatalf("state = %v, want closed", st)
+	}
+}
+
+func TestTripQuarantineAndRecover(t *testing.T) {
+	defer leakcheck.Check(t)()
+	tr := NewTracker(testConfig())
+
+	// Flap: four bad outcomes trip at MinSamples with ratio 1.0.
+	for i := 0; i < 4; i++ {
+		tr.Observe("flappy", Inconsistent, at(i))
+	}
+	if st := tr.State("flappy"); st != Open {
+		t.Fatalf("state after flap = %v, want open", st)
+	}
+	// Quarantined within the cooldown.
+	if tr.Allow("flappy", at(5)) {
+		t.Fatal("open breaker admitted a submission")
+	}
+	snap := tr.Snapshot()
+	if snap.Trips != 1 || snap.Dropped != 1 {
+		t.Fatalf("snapshot trips/dropped = %d/%d, want 1/1", snap.Trips, snap.Dropped)
+	}
+
+	// Cooldown elapses (logical time): half-open, probes admitted.
+	if !tr.Allow("flappy", at(14)) {
+		t.Fatal("breaker did not half-open after cooldown")
+	}
+	if st := tr.State("flappy"); st != HalfOpen {
+		t.Fatalf("state = %v, want half-open", st)
+	}
+	tr.Observe("flappy", OK, at(14))
+	if !tr.Allow("flappy", at(15)) {
+		t.Fatal("half-open breaker blocked a probe")
+	}
+	tr.Observe("flappy", OK, at(15))
+	if st := tr.State("flappy"); st != Closed {
+		t.Fatalf("state after %d clean probes = %v, want closed", testConfig().ProbeCount, st)
+	}
+	if got := tr.Snapshot(); got.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", got.Recoveries)
+	}
+	// Recovery forgets the window: one new bad outcome must not re-trip.
+	tr.Observe("flappy", Bad, at(16))
+	if st := tr.State("flappy"); st != Closed {
+		t.Fatalf("state after single post-recovery error = %v, want closed", st)
+	}
+}
+
+func TestBadProbeReopens(t *testing.T) {
+	tr := NewTracker(testConfig())
+	for i := 0; i < 4; i++ {
+		tr.Observe("s", Bad, at(i))
+	}
+	if !tr.Allow("s", at(20)) {
+		t.Fatal("no half-open probe after cooldown")
+	}
+	tr.Observe("s", Expired, at(20)) // bad probe
+	if st := tr.State("s"); st != Open {
+		t.Fatalf("state after bad probe = %v, want open (re-tripped)", st)
+	}
+	// The re-trip restarts the cooldown from the probe's time.
+	if tr.Allow("s", at(25)) {
+		t.Fatal("re-opened breaker admitted before fresh cooldown elapsed")
+	}
+	if !tr.Allow("s", at(31)) {
+		t.Fatal("re-opened breaker never half-opened again")
+	}
+	if got := tr.Snapshot(); got.Trips != 2 {
+		t.Fatalf("trips = %d, want 2", got.Trips)
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	cfg := testConfig()
+	tr := NewTracker(cfg)
+	// Fill the window with errors below the trip ratio, interleaved: ratio
+	// stays at 3/8 < 0.5 in steady state.
+	outcomes := []Outcome{OK, Bad, OK, OK, Bad, OK, OK, Bad}
+	for round := 0; round < 4; round++ {
+		for i, o := range outcomes {
+			tr.Observe("s", o, at(round*8+i))
+		}
+	}
+	if st := tr.State("s"); st != Closed {
+		t.Fatalf("sub-threshold source tripped (state %v)", st)
+	}
+	// Old clean entries slide out; a burst of errors pushes the window
+	// ratio over the threshold.
+	for i := 0; i < 4; i++ {
+		tr.Observe("s", Bad, at(100+i))
+	}
+	if st := tr.State("s"); st != Open {
+		t.Fatalf("state after burst = %v, want open", st)
+	}
+}
+
+func TestMinSamplesGuard(t *testing.T) {
+	tr := NewTracker(testConfig())
+	for i := 0; i < 3; i++ { // below MinSamples=4
+		tr.Observe("s", Bad, at(i))
+	}
+	if st := tr.State("s"); st != Closed {
+		t.Fatalf("breaker tripped below MinSamples (state %v)", st)
+	}
+}
+
+func TestScoringOnlyNeverTrips(t *testing.T) {
+	cfg := testConfig()
+	cfg.TripRatio = 0
+	tr := NewTracker(cfg)
+	for i := 0; i < 50; i++ {
+		tr.Observe("s", Bad, at(i))
+	}
+	if st := tr.State("s"); st != Closed {
+		t.Fatalf("scoring-only tracker tripped (state %v)", st)
+	}
+	snap := tr.Snapshot()
+	if len(snap.Sources) != 1 || snap.Sources[0].Ratio != 1 {
+		t.Fatalf("snapshot = %+v, want one source at ratio 1", snap)
+	}
+}
+
+func TestAnonymousSourceBypasses(t *testing.T) {
+	tr := NewTracker(testConfig())
+	for i := 0; i < 20; i++ {
+		tr.Observe("", Bad, at(i))
+	}
+	if !tr.Allow("", at(30)) {
+		t.Fatal("anonymous submissions must never be quarantined")
+	}
+	if n := len(tr.Snapshot().Sources); n != 0 {
+		t.Fatalf("anonymous source tracked: %d entries", n)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	tr := NewTracker(testConfig())
+	for _, s := range []string{"zeta", "alpha", "mid"} {
+		tr.Observe(s, OK, at(0))
+	}
+	snap := tr.Snapshot()
+	if len(snap.Sources) != 3 ||
+		snap.Sources[0].Source != "alpha" || snap.Sources[2].Source != "zeta" {
+		t.Fatalf("sources not sorted: %+v", snap.Sources)
+	}
+}
+
+func TestRegisterExportsGauges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := NewTracker(testConfig())
+	tr.Register(reg)
+	for i := 0; i < 4; i++ {
+		tr.Observe("s", Bad, at(i))
+	}
+	tr.Allow("s", at(1)) // dropped
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"ctxres_breaker_open_sources 1",
+		"ctxres_breaker_trips_total 1",
+		"ctxres_quarantine_dropped_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -164,6 +164,12 @@ func (m *Middleware) Checkpoint() (err error) {
 	if err := m.journalHealthLocked(); err != nil {
 		return err
 	}
+	// Deferred checks must land before the snapshot: the snapshot covers
+	// their already-committed submit records, so it must also contain
+	// their effects.
+	if err := m.catchUpLocked(nil); err != nil {
+		return err
+	}
 	snap, err := m.snapshotLocked(m.journal.LastSeq())
 	if err != nil {
 		return err
@@ -183,6 +189,11 @@ func (m *Middleware) CloseJournal() error {
 	defer m.mu.Unlock()
 	if m.journal == nil {
 		return nil
+	}
+	if m.journalErr == nil {
+		// Deferred checks must land before the final stats annotation so
+		// the journaled counters match an eager-checking replay.
+		_ = m.catchUpLocked(nil)
 	}
 	if m.journalErr == nil {
 		if err := m.statsRecordLocked(); err == nil {
@@ -258,6 +269,18 @@ func Recover(dir string, build func() *Middleware) (*Middleware, *RecoveryReport
 		rep.SnapshotSeq = res.Snapshot.Seq
 		rep.LastSeq = res.Snapshot.Seq
 	}
+	// Replay drives the public entry points; the journal only contains
+	// submissions that passed the admission gates live, so the gates must
+	// not second-guess it (a breaker tripping at a different point during
+	// replay would otherwise reject a journaled submit).
+	m.mu.Lock()
+	m.replaying = true
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.replaying = false
+		m.mu.Unlock()
+	}()
 	for _, rec := range res.Records {
 		if err := m.replayRecord(rec, rep); err != nil {
 			return nil, nil, fmt.Errorf("middleware: recover: record %d (%s): %w", rec.Seq, rec.Type, err)
@@ -341,6 +364,11 @@ func (m *Middleware) replayRecord(rec wal.Record, rep *RecoveryReport) error {
 		}
 	case wal.RecordDiscard, wal.RecordExpire, wal.RecordBad:
 		// Derived during replay of the commands above.
+		rep.Annotations++
+	case wal.RecordCheckFail:
+		// A watchdog abort: the operation it annotates was rolled back (or
+		// the journal fail-stopped right after), so there is nothing to
+		// re-apply.
 		rep.Annotations++
 	default:
 		return fmt.Errorf("unknown record type %q", rec.Type)

@@ -17,10 +17,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ctxres/internal/constraint"
 	"ctxres/internal/ctx"
+	"ctxres/internal/health"
 	"ctxres/internal/pool"
 	"ctxres/internal/situation"
 	"ctxres/internal/strategy"
@@ -128,6 +130,22 @@ type Middleware struct {
 	telSink telemetry.SpanSink
 	tel     pipelineTelemetry
 	curSpan *telemetry.Span
+
+	// Overload resilience (see admission.go). pending counts Submit
+	// operations in flight — the one holding the lock plus those queued
+	// behind it — and is only maintained when admission control is
+	// enabled. deferredQ holds degraded-mode acknowledgements awaiting
+	// their consistency checks; replaying disables the admission gates
+	// while Recover drives the public entry points.
+	adm         AdmissionOptions
+	wd          WatchdogOptions
+	health      *health.Tracker
+	pending     atomic.Int64
+	res         resilienceCounters
+	degraded    bool
+	deferredQ   []deferredSubmit
+	deferredIDs map[ctx.ID]bool
+	replaying   bool
 }
 
 // CheckerOptions configures how the middleware invokes the consistency
@@ -194,14 +212,29 @@ func (m *Middleware) Now() time.Time {
 // Submit processes a context addition change: the context is validated,
 // expiry is swept, and — if any constraint is relevant to its kind — it is
 // checked and the strategy consulted. It returns the inconsistencies the
-// submission introduced.
-func (m *Middleware) Submit(c *ctx.Context) (vios []constraint.Violation, err error) {
+// submission introduced. Submit is SubmitOpts with no deadline.
+func (m *Middleware) Submit(c *ctx.Context) ([]constraint.Violation, error) {
+	return m.SubmitOpts(c, SubmitOptions{})
+}
+
+// SubmitOpts is Submit with per-call admission options. When admission
+// control, a health tracker, or a watchdog is configured (admission.go),
+// the submission passes their gates first: a full pending queue or an
+// expired client deadline sheds it with ErrOverloaded, a quarantined
+// source drops it with ErrQuarantined, and in degraded mode it is
+// acknowledged with its consistency check deferred.
+func (m *Middleware) SubmitOpts(c *ctx.Context, so SubmitOptions) (vios []constraint.Violation, err error) {
 	if c == nil {
 		return nil, errors.New("submit: nil context")
 	}
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("submit: %w", err)
 	}
+	release, err := m.admit()
+	if err != nil {
+		return nil, fmt.Errorf("submit %s: %w", c.ID, err)
+	}
+	defer release()
 	opStart := m.tel.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -212,7 +245,7 @@ func (m *Middleware) Submit(c *ctx.Context) (vios []constraint.Violation, err er
 	// after the commit: the span then includes the journal_append stage.
 	defer func() {
 		if err != nil {
-			outcome = "error"
+			outcome = submitErrOutcome(err)
 		}
 		m.tel.opDone("submit", opStart, sp, outcome)
 		m.curSpan = nil
@@ -221,90 +254,99 @@ func (m *Middleware) Submit(c *ctx.Context) (vios []constraint.Violation, err er
 	if err := m.journalHealthLocked(); err != nil {
 		return nil, err
 	}
+	if err := m.gateLocked(c, so); err != nil {
+		return nil, err
+	}
+	if m.degraded {
+		if err := m.deferSubmitLocked(c); err != nil {
+			return nil, err
+		}
+		outcome = "deferred"
+		return nil, nil
+	}
 
 	if c.Timestamp.After(m.clock) {
 		m.clock = c.Timestamp
 	}
 	m.sweepLocked()
+	vios, err = m.processSubmitLocked(c, sp, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(vios) > 0 {
+		outcome = "inconsistent"
+	}
+	return vios, nil
+}
 
-	if !m.checker.Relevant(c.Kind) {
+// processSubmitLocked runs the inline pipeline for one admitted context:
+// pool insertion, consistency check, strategy resolution, accounting,
+// hooks. The fallible stages (check, resolve — the ones a watchdog can
+// abort) run before any counter or journal record is produced, so an
+// abort unwinds via rollbackSubmitLocked without touching the log.
+// deferred marks catch-up replays of degraded-mode submissions, whose
+// submit accounting already happened at acknowledgement time.
+func (m *Middleware) processSubmitLocked(c *ctx.Context, sp *telemetry.Span, deferred bool) ([]constraint.Violation, error) {
+	relevant := m.checker.Relevant(c.Kind)
+	if !relevant {
 		// Part 1 fast path: irrelevant to every constraint — directly
 		// consistent and immediately available.
 		if err := c.SetState(ctx.Consistent); err != nil {
 			return nil, fmt.Errorf("submit %s: %w", c.ID, err)
 		}
-		if err := m.pool.Add(c); err != nil {
-			return nil, fmt.Errorf("submit: %w", err)
-		}
-		m.stats.Submitted++
-		m.tel.submits.Inc()
-		m.jAppend(wal.Record{Type: wal.RecordSubmit, Context: c})
-		if m.hooks.OnAccept != nil {
-			m.hooks.OnAccept(c)
-		}
-		return nil, nil
 	}
-
 	if err := m.pool.Add(c); err != nil {
 		return nil, fmt.Errorf("submit: %w", err)
 	}
-	m.stats.Submitted++
-	m.tel.submits.Inc()
-	m.jAppend(wal.Record{Type: wal.RecordSubmit, Context: c})
+	var vios []constraint.Violation
+	var out strategy.Outcome
+	var resolveStart time.Time
+	if relevant {
+		checkStart := m.tel.now()
+		var cerr error
+		vios, cerr = m.checkGuardedLocked(c)
+		m.tel.stageDone(sp, telemetry.StageCheck, checkStart)
+		if cerr != nil {
+			return nil, m.rollbackSubmitLocked(c, deferred, cerr)
+		}
+		resolveStart = m.tel.now()
+		out, cerr = m.resolveAdditionLocked(c, vios)
+		if cerr != nil {
+			m.tel.stageDone(sp, telemetry.StageResolve, resolveStart)
+			return nil, m.rollbackSubmitLocked(c, deferred, cerr)
+		}
+	}
+	if !deferred {
+		m.stats.Submitted++
+		m.tel.submits.Inc()
+		m.jAppend(wal.Record{Type: wal.RecordSubmit, Context: c})
+	}
 	if m.hooks.OnAccept != nil {
 		m.hooks.OnAccept(c)
 	}
-	checkStart := m.tel.now()
-	vios = m.checkAdditionLocked(c)
-	m.tel.stageDone(sp, telemetry.StageCheck, checkStart)
-	m.stats.Detected += len(vios)
-	m.tel.detected.Add(uint64(len(vios)))
-	if len(vios) > 0 {
-		outcome = "inconsistent"
+	if relevant {
+		m.stats.Detected += len(vios)
+		m.tel.detected.Add(uint64(len(vios)))
 		for _, v := range vios {
 			m.tel.violations.With(v.Constraint).Inc()
 		}
-	}
-	if m.hooks.OnDetect != nil {
-		for _, v := range vios {
-			m.hooks.OnDetect(v)
+		if m.hooks.OnDetect != nil {
+			for _, v := range vios {
+				m.hooks.OnDetect(v)
+			}
 		}
 	}
-	resolveStart := m.tel.now()
-	out := m.strat.OnAddition(c, vios)
-	m.applyLocked(out, ReasonOnAddition)
-	m.tel.stageDone(sp, telemetry.StageResolve, resolveStart)
-	decision := "keep"
-	if len(out.Discard) > 0 {
-		decision = "discard"
+	m.observeHealthLocked(c, len(vios))
+	if relevant {
+		m.applyLocked(out, ReasonOnAddition)
+		m.tel.stageDone(sp, telemetry.StageResolve, resolveStart)
+		decision := "keep"
+		if len(out.Discard) > 0 {
+			decision = "discard"
+		}
+		m.tel.decisions.With(decision).Inc()
 	}
-	m.tel.decisions.With(decision).Inc()
 	return vios, nil
-}
-
-// checkAdditionLocked runs the consistency check for one addition. With
-// Parallelism > 1 it snapshots the checking buffer through the pool's kind
-// index (pruning kinds no constraint quantifies over) and fans the check
-// out across the worker pool; otherwise it uses the serial checker. Both
-// paths yield identical violations.
-func (m *Middleware) checkAdditionLocked(c *ctx.Context) []constraint.Violation {
-	if m.checkOpts.Parallelism <= 1 {
-		return m.checker.CheckAddition(m.pool.CheckingUniverse(), c)
-	}
-	if m.checkKinds == nil {
-		m.checkKinds = m.checker.Kinds()
-	}
-	u, pruned := m.pool.CheckingUniverseFor(m.checkKinds)
-	vios, rep := m.checker.CheckAdditionParallelReport(u, c, m.checkOpts.Parallelism)
-	rep.BindingsPruned += pruned
-	m.stats.Shards += rep.ShardsDispatched
-	m.stats.PrunedBindings += rep.BindingsPruned
-	m.tel.shards.Add(uint64(rep.ShardsDispatched))
-	m.tel.pruned.Add(uint64(rep.BindingsPruned))
-	if m.hooks.OnCheck != nil {
-		m.hooks.OnCheck(rep)
-	}
-	return vios
 }
 
 // Use processes a context deletion change: the application asks to consume
@@ -322,6 +364,9 @@ func (m *Middleware) Use(id ctx.ID) (c *ctx.Context, err error) {
 	}()
 	defer m.journalCommitLocked(&err)
 	if err := m.journalHealthLocked(); err != nil {
+		return nil, err
+	}
+	if err := m.catchUpLocked(sp); err != nil {
 		return nil, err
 	}
 	return m.useLocked(id)
@@ -342,6 +387,9 @@ func (m *Middleware) UseLatest(kind ctx.Kind, subject string) (c *ctx.Context, e
 	}()
 	defer m.journalCommitLocked(&err)
 	if err := m.journalHealthLocked(); err != nil {
+		return nil, err
+	}
+	if err := m.catchUpLocked(sp); err != nil {
 		return nil, err
 	}
 	m.sweepLocked()
@@ -379,7 +427,18 @@ func (m *Middleware) useLocked(id ctx.ID) (*ctx.Context, error) {
 	m.jAppend(wal.Record{Type: wal.RecordUse, ID: id})
 
 	resolveStart := m.tel.now()
-	usable, out := m.strat.OnUse(c)
+	usable, out, rerr := m.resolveUseLocked(c)
+	if rerr != nil {
+		// The strategy panicked mid-use (watchdog containment): drop the
+		// queued use record — the use never reached a decision, so replay
+		// must not re-attempt it — and journal the abort instead.
+		m.tel.stageDone(m.curSpan, telemetry.StageResolve, resolveStart)
+		m.dropBufferedRecordLocked(wal.RecordUse, id)
+		m.jAppend(wal.Record{Type: wal.RecordCheckFail, ID: id, Reason: rerr.Error()})
+		m.res.checkPanics.Add(1)
+		m.tel.checkAborts.With("panic").Inc()
+		return nil, fmt.Errorf("use %s: %w", id, rerr)
+	}
 	m.applyLocked(out, ReasonOnUse)
 	m.tel.stageDone(m.curSpan, telemetry.StageResolve, resolveStart)
 	decision := "deliver"
@@ -439,6 +498,9 @@ func (m *Middleware) AdvanceTo(now time.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	defer m.journalCommitLocked(nil)
+	// Deferred checks replay before the clock moves, so their recorded
+	// sweep points stay behind it (and match the journal's record order).
+	_ = m.catchUpLocked(nil)
 	if now.After(m.clock) {
 		m.clock = now
 		t := now
@@ -469,6 +531,9 @@ func (m *Middleware) Compact() (removed int, err error) {
 	if err := m.journalHealthLocked(); err != nil {
 		return 0, err
 	}
+	if err := m.catchUpLocked(sp); err != nil {
+		return 0, err
+	}
 	m.sweepLocked()
 	removed = m.pool.Compact()
 	m.stats.Compactions++
@@ -479,12 +544,21 @@ func (m *Middleware) Compact() (removed int, err error) {
 	return removed, nil
 }
 
-func (m *Middleware) sweepLocked() {
-	for _, c := range m.pool.SweepExpired(m.clock) {
+func (m *Middleware) sweepLocked() { m.sweepAtLocked(m.clock) }
+
+// sweepAtLocked expires entries as of the given logical time. Ordinary
+// operations sweep at the current clock; degraded-mode catch-up sweeps
+// forward to each deferred submission's acknowledgement-time clock to
+// replay the inline path's exact expiry sequence.
+func (m *Middleware) sweepAtLocked(now time.Time) {
+	for _, c := range m.pool.SweepExpired(now) {
 		m.stats.Expired++
 		m.tel.expired.Inc()
 		m.jAppend(wal.Record{Type: wal.RecordExpire, ID: c.ID})
 		m.strat.OnExpire(c)
+		if m.health != nil {
+			m.health.Observe(c.Source, health.Expired, now)
+		}
 		if m.hooks.OnExpire != nil {
 			m.hooks.OnExpire(c)
 		}
@@ -506,6 +580,11 @@ func (m *Middleware) applyLocked(out strategy.Outcome, reason DiscardReason) {
 		m.stats.Discarded++
 		m.tel.discards.With(reason.String()).Inc()
 		m.jAppend(wal.Record{Type: wal.RecordDiscard, ID: d.ID, Reason: reason.String()})
+		if m.health != nil {
+			// The strategy judged this context the culprit: score its
+			// source with a bad mark.
+			m.health.Observe(d.Source, health.Bad, m.clock)
+		}
 		if m.hooks.OnDiscard != nil {
 			m.hooks.OnDiscard(d, reason)
 		}

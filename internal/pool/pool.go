@@ -152,6 +152,40 @@ func (p *Pool) Discard(id ctx.ID) error {
 	return nil
 }
 
+// Remove deletes a context from the pool entirely, as if it had never
+// been added (the added counter is rolled back too). This is the
+// admission-rollback hook: when the middleware's check watchdog aborts a
+// submission after the context was admitted, the context is removed so
+// the pool matches the state a recovery would reconstruct. It is not a
+// life-cycle transition — use Discard for those.
+func (p *Pool) Remove(id ctx.ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[id]
+	if !ok {
+		return fmt.Errorf("remove %s: %w", id, ErrNotFound)
+	}
+	p.indexRemove(e.c)
+	delete(p.entries, id)
+	for i, oid := range p.order {
+		if oid == id {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+	p.added--
+	if e.discarded {
+		p.discarded--
+	}
+	if e.expired {
+		p.expired--
+	}
+	if e.used {
+		p.used--
+	}
+	return nil
+}
+
 // Discarded reports whether the context has been discarded.
 func (p *Pool) Discarded(id ctx.ID) bool {
 	p.mu.RLock()

@@ -359,3 +359,51 @@ func TestCheckingUniverseForMatchesFullUniverse(t *testing.T) {
 		t.Fatalf("snapshot mutated: %d contexts, was %d", len(again), len(got))
 	}
 }
+
+func TestRemoveRollsBackAdd(t *testing.T) {
+	p := New()
+	a, b := mk("a"), mk("b")
+	if err := p.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Get("b"); ok {
+		t.Fatal("removed context still retrievable")
+	}
+	if st := p.Stats(); st.Added != 1 || st.Checking != 1 {
+		t.Fatalf("stats = %+v, want added/checking rolled back to 1", st)
+	}
+	// The kind index forgets it too: only "a" remains in checking.
+	if cs := p.CheckingOfKind(ctx.KindLocation); len(cs) != 1 || cs[0].ID != "a" {
+		t.Fatalf("checking = %v, want [a]", cs)
+	}
+	// Re-adding the removed ID is allowed — it was never here.
+	if err := p.Add(mk("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRemoveRollsBackLifecycleCounters(t *testing.T) {
+	p := New()
+	c := mk("c")
+	if err := p.Add(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MarkUsed("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove("c"); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Added != 0 || st.Used != 0 {
+		t.Fatalf("stats = %+v, want all counters rolled back", st)
+	}
+}

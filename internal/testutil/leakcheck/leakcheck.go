@@ -1,0 +1,171 @@
+// Package leakcheck verifies that a test leaves no goroutines behind: a
+// snapshot taken at the start of the test is diffed against the goroutines
+// alive when the test finishes, with a short settling window so goroutines
+// that are already on their way out (connection handlers draining, timer
+// callbacks firing) do not count as leaks.
+//
+// Usage:
+//
+//	func TestServer(t *testing.T) {
+//		defer leakcheck.Check(t)()
+//		...
+//	}
+//
+// The checker identifies goroutines by their creation site (the "created
+// by" frame of the stack dump), so two goroutines parked in the same
+// runtime state still diff correctly. Known-benign runtime and testing
+// goroutines are ignored.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// settle is how long Check waits for stragglers to exit before declaring
+// a leak, polling at pollEvery.
+const (
+	settle    = 5 * time.Second
+	pollEvery = 10 * time.Millisecond
+)
+
+// TB is the subset of testing.TB the checker needs, so non-test callers
+// (the soak harness's phase checks) can adapt their own reporter.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Check snapshots the current goroutines and returns a function that, when
+// called (typically via defer), fails t if goroutines created after the
+// snapshot are still running once the settling window has passed.
+func Check(t TB) func() {
+	t.Helper()
+	before := snapshot()
+	return func() {
+		t.Helper()
+		leaked := Wait(before, settle)
+		if len(leaked) == 0 {
+			return
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n---\n"))
+	}
+}
+
+// Snapshot captures the identities of the goroutines currently alive. Use
+// with Wait to bracket a phase rather than a whole test.
+func Snapshot() map[string]bool { return snapshot() }
+
+// Wait polls until every goroutine not present in before has exited or the
+// timeout passes, and returns the stacks of the stragglers (nil when the
+// process is back to baseline).
+func Wait(before map[string]bool, timeout time.Duration) []string {
+	deadline := time.Now().Add(timeout)
+	for {
+		leaked := diff(before)
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(pollEvery)
+	}
+}
+
+// snapshot returns the set of goroutine identities currently alive.
+func snapshot() map[string]bool {
+	set := make(map[string]bool)
+	for _, g := range stacks() {
+		set[identity(g)] = true
+	}
+	return set
+}
+
+// diff returns the stacks of interesting goroutines absent from before.
+func diff(before map[string]bool) []string {
+	var leaked []string
+	for _, g := range stacks() {
+		if ignored(g) {
+			continue
+		}
+		if !before[identity(g)] {
+			leaked = append(leaked, g)
+		}
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+// stacks splits a full goroutine dump into one string per goroutine.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if strings.TrimSpace(g) != "" {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// identity names a goroutine by its header ID so a goroutine present at
+// snapshot time never reads as a leak, whatever state it has moved to.
+func identity(g string) string {
+	header, _, _ := strings.Cut(g, "\n")
+	// "goroutine 12 [running]:" → "goroutine 12"
+	if i := strings.Index(header, " ["); i > 0 {
+		return header[:i]
+	}
+	return header
+}
+
+// ignored filters goroutines that the runtime or the testing framework own
+// and that come and go on their own schedule.
+func ignored(g string) bool {
+	for _, frag := range []string{
+		"testing.RunTests",
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.runFuzzing",
+		"testing.tRunner.func",
+		"runtime.goexit",
+		"runtime.MHeap_Scavenger",
+		"runtime.gc",
+		"created by runtime",
+		"signal.signal_recv",
+		"signal.loop",
+	} {
+		if strings.Contains(g, frag) {
+			return true
+		}
+	}
+	// The first goroutine is the test main; never a leak.
+	return strings.HasPrefix(g, "goroutine 1 ")
+}
+
+// Count returns the number of interesting goroutines currently alive —
+// the soak harness logs it to show the storm subsiding.
+func Count() int {
+	n := 0
+	for _, g := range stacks() {
+		if !ignored(g) {
+			n++
+		}
+	}
+	return n
+}
+
+// String formats a snapshot size for log lines.
+func String() string { return fmt.Sprintf("%d goroutines", Count()) }

@@ -1,0 +1,54 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures Errorf calls so the checker itself can be tested.
+type recorder struct {
+	failures []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, format)
+}
+
+func TestCleanRun(t *testing.T) {
+	rec := &recorder{}
+	done := Check(rec)
+	ch := make(chan struct{})
+	go func() { close(ch) }()
+	<-ch
+	done()
+	if len(rec.failures) != 0 {
+		t.Fatalf("clean run reported failures: %v", rec.failures)
+	}
+}
+
+func TestDetectsLeak(t *testing.T) {
+	before := Snapshot()
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	leaked := Wait(before, 50*time.Millisecond)
+	if len(leaked) != 1 {
+		t.Fatalf("leaked = %d stacks, want 1:\n%s", len(leaked), strings.Join(leaked, "\n---\n"))
+	}
+	if !strings.Contains(leaked[0], "TestDetectsLeak") {
+		t.Fatalf("leak stack does not name the creator:\n%s", leaked[0])
+	}
+	close(stop)
+	if rest := Wait(before, time.Second); len(rest) != 0 {
+		t.Fatalf("goroutine still reported after exit: %v", rest)
+	}
+}
+
+func TestWaitToleratesStragglers(t *testing.T) {
+	before := Snapshot()
+	go func() { time.Sleep(50 * time.Millisecond) }()
+	if leaked := Wait(before, time.Second); len(leaked) != 0 {
+		t.Fatalf("straggler within the window reported as leak: %v", leaked)
+	}
+}

@@ -54,6 +54,11 @@ const (
 	// RecordStats carries a middleware counter snapshot. Recovery
 	// cross-checks the replayed middleware.Stats() against it.
 	RecordStats RecordType = "stats"
+	// RecordCheckFail annotates a submission aborted by the check
+	// watchdog (timeout or recovered panic). The submission itself was
+	// rolled back — its submit record never reached the log — so replay
+	// skips this record; it exists for observability and `ctxwal dump`.
+	RecordCheckFail RecordType = "check-fail"
 )
 
 // Command reports whether the record type is replayed during recovery.
@@ -70,7 +75,7 @@ func (t RecordType) Command() bool {
 func (t RecordType) Valid() bool {
 	switch t {
 	case RecordSubmit, RecordUse, RecordAdvance, RecordCompact,
-		RecordDiscard, RecordExpire, RecordBad, RecordStats:
+		RecordDiscard, RecordExpire, RecordBad, RecordStats, RecordCheckFail:
 		return true
 	default:
 		return false
@@ -88,7 +93,8 @@ type Record struct {
 	Context *ctx.Context `json:"context,omitempty"`
 	// ID names the affected context (use, discard, expire, bad).
 	ID ctx.ID `json:"id,omitempty"`
-	// Reason is the discard reason string (RecordDiscard).
+	// Reason is the discard reason string (RecordDiscard) or the abort
+	// cause (RecordCheckFail).
 	Reason string `json:"reason,omitempty"`
 	// Time is the clock target (RecordAdvance).
 	Time *time.Time `json:"time,omitempty"`

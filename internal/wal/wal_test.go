@@ -547,3 +547,24 @@ func FuzzSegmentScan(f *testing.F) {
 		}
 	})
 }
+
+func TestCheckFailRecordType(t *testing.T) {
+	if !RecordCheckFail.Valid() {
+		t.Fatal("check-fail not a valid record type")
+	}
+	if RecordCheckFail.Command() {
+		t.Fatal("check-fail must be an annotation, never replayed")
+	}
+	r := Record{Seq: 3, Type: RecordCheckFail, ID: "x", Reason: "consistency check timed out"}
+	payload, err := r.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeRecord(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != RecordCheckFail || got.ID != "x" || got.Reason != r.Reason {
+		t.Fatalf("round trip changed record: %+v", got)
+	}
+}
