@@ -8,7 +8,7 @@ SOAKTIME ?= 3m
 
 .DEFAULT_GOAL := check
 
-.PHONY: check build test race bench vet cover fuzz-smoke smoke soak
+.PHONY: check build test race bench bench-smoke vet cover fuzz-smoke smoke soak
 
 check: vet build test race
 
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/constraint ./internal/middleware ./internal/pool ./internal/daemon/... ./internal/metrics ./internal/telemetry ./internal/health ./internal/soak ./internal/testutil/leakcheck
+	$(GO) test -race ./internal/constraint ./internal/middleware ./internal/pool ./internal/wal ./internal/daemon/... ./internal/metrics ./internal/telemetry ./internal/health ./internal/soak ./internal/testutil/leakcheck
 
 # soak runs the chaos storm in internal/soak for SOAKTIME (default 3m)
 # under the race detector: overload bursts, a flapping corrupted source,
@@ -29,12 +29,25 @@ race:
 soak:
 	CTXRES_SOAK=$(SOAKTIME) $(GO) test -race -v -run TestSoakStorm -timeout 30m ./internal/soak
 
-# bench regenerates BENCH_4.json, the machine-readable perf trajectory:
-# Figure 9/10 wall-clock, telemetry overhead on the same workloads, and
-# the daemon's per-stage latency histograms after a real TCP run.
+# bench regenerates BENCH_6.json, the machine-readable perf trajectory:
+# Figure 9/10 wall-clock, telemetry overhead on the same workloads, the
+# daemon's per-stage latency histograms after a real TCP run, and the
+# open-loop wire/commit load generator (both wire formats, batch sizes,
+# and group commit, all at fsync=always). scripts/benchcheck -full
+# enforces the report schema and the 2x group-commit speedup floor.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
-	$(GO) run ./cmd/ctxbench -perf BENCH_4.json -groups 2
+	$(GO) run ./cmd/ctxbench -perf BENCH_6.json -groups 2
+	$(GO) run ./scripts/benchcheck -full BENCH_6.json
+
+# bench-smoke is the CI-sized slice of `make bench`: the load generator
+# runs for well under a minute across both wire formats, and benchcheck
+# validates the report schema (throughput and latency fields present and
+# plausible) without the slow figure phases or the speedup floor.
+bench-smoke:
+	$(GO) run ./cmd/ctxbench -perf BENCH_smoke.json -loadgen-only -loadgen-dur 600ms
+	$(GO) run ./scripts/benchcheck BENCH_smoke.json
+	rm -f BENCH_smoke.json
 
 # smoke boots a real ctxmwd with -metrics-addr, scrapes /metrics and
 # /healthz, and fails on malformed Prometheus exposition.
@@ -49,8 +62,9 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -1
 
 # Short deterministic-budget fuzz pass over every fuzz target: the
-# constraint parser/evaluator, the WAL frame and segment scanners, and the
-# trace reader shared with `ctxwal dump`.
+# constraint parser/evaluator, the WAL frame and segment scanners, the
+# trace reader shared with `ctxwal dump`, and the daemon's binary wire
+# framing and batch-submit decode paths.
 fuzz-smoke:
 	$(GO) test ./internal/constraint -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/constraint -run='^$$' -fuzz=FuzzLoadConstraints -fuzztime=$(FUZZTIME)
@@ -58,3 +72,6 @@ fuzz-smoke:
 	$(GO) test ./internal/wal -run='^$$' -fuzz=FuzzRecordRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wal -run='^$$' -fuzz=FuzzSegmentScan -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzTraceRead -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/daemon -run='^$$' -fuzz=FuzzBinaryFrameRead -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/daemon -run='^$$' -fuzz=FuzzBinaryFrameRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/daemon -run='^$$' -fuzz=FuzzBatchSubmitDecode -fuzztime=$(FUZZTIME)

@@ -1,0 +1,395 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/daemon"
+	"ctxres/internal/middleware"
+	"ctxres/internal/strategy"
+	"ctxres/internal/wal"
+)
+
+// The load generator measures the daemon's raw submission path — wire
+// framing, batching, and WAL group commit — at equal durability
+// (fsync=always for every configuration), so the speedups it reports are
+// transport and commit-protocol wins, never durability trades.
+//
+// Methodology: for each configuration it first probes capacity with a
+// fixed-work closed loop — every worker fires as fast as the daemon
+// answers until a shared context budget (the same for every
+// configuration) is exhausted. Equal work means every configuration ends
+// the probe with the same pool size; a fixed-*time* probe would let the
+// faster configurations grow the pool further and pay more per
+// insertion, biasing the capacity ratio against exactly the
+// configurations under test. It then runs open-loop points at fractions
+// of the measured capacity. In the open-loop
+// phase each request has an intended send time fixed by a global schedule
+// (start + i/rate, claimed via an atomic counter); latency is measured
+// from the intended time, not the actual send, so a stalled server
+// inflates the recorded latencies instead of silently slowing the
+// generator down — the standard defense against coordinated omission.
+
+// loadgenConfig names one measured configuration.
+type loadgenConfig struct {
+	Name        string `json:"config"`
+	WireFormat  string `json:"wireFormat"`
+	BatchSize   int    `json:"batchSize"`
+	GroupCommit bool   `json:"groupCommit"`
+}
+
+// loadgenResult is the measurement for one configuration.
+type loadgenResult struct {
+	loadgenConfig
+	Fsync             string         `json:"fsync"`
+	Workers           int            `json:"workers"`
+	CapacityOpsPerSec float64        `json:"capacityOpsPerSec"`
+	Points            []loadgenPoint `json:"points"`
+}
+
+// loadgenPoint is one open-loop rate point.
+type loadgenPoint struct {
+	TargetOpsPerSec   float64 `json:"targetOpsPerSec"`
+	AchievedOpsPerSec float64 `json:"achievedOpsPerSec"`
+	Contexts          int64   `json:"contexts"`
+	DurationSeconds   float64 `json:"durationSeconds"`
+	LatencyP50Millis  float64 `json:"latencyP50Millis"`
+	LatencyP95Millis  float64 `json:"latencyP95Millis"`
+	LatencyP99Millis  float64 `json:"latencyP99Millis"`
+	LatencyMaxMillis  float64 `json:"latencyMaxMillis"`
+}
+
+// loadgenReport is the `loadgen` section of the perf report.
+type loadgenReport struct {
+	Method            string          `json:"method"`
+	Results           []loadgenResult `json:"results"`
+	GroupBatchSpeedup float64         `json:"groupBatchSpeedup"`
+	Baseline          string          `json:"baseline"`
+	Candidate         string          `json:"candidate"`
+}
+
+const (
+	loadgenWorkers   = 6
+	loadgenBaseline  = "single-json"
+	loadgenCandidate = "batch16-binary-group"
+
+	// The capacity probe's work budget scales with -loadgen-dur at this
+	// nominal rate, floored so very short smoke runs still measure
+	// something.
+	loadgenProbeRate = 4000 // contexts per second of phase budget
+	loadgenProbeMin  = 512  // contexts
+)
+
+func loadgenConfigs(wireFormat string) []loadgenConfig {
+	all := []loadgenConfig{
+		{Name: "single-json", WireFormat: daemon.FormatJSON, BatchSize: 1, GroupCommit: false},
+		{Name: "single-json-group", WireFormat: daemon.FormatJSON, BatchSize: 1, GroupCommit: true},
+		{Name: "single-binary-group", WireFormat: daemon.FormatBinary, BatchSize: 1, GroupCommit: true},
+		{Name: "batch16-json-group", WireFormat: daemon.FormatJSON, BatchSize: 16, GroupCommit: true},
+		{Name: "batch16-binary-group", WireFormat: daemon.FormatBinary, BatchSize: 16, GroupCommit: true},
+	}
+	if wireFormat == "" || wireFormat == "both" {
+		return all
+	}
+	var out []loadgenConfig
+	for _, c := range all {
+		if c.WireFormat == wireFormat {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// runLoadgen measures every selected configuration. phaseDur bounds each
+// phase (one closed-loop probe plus the open-loop points per config).
+func runLoadgen(out io.Writer, phaseDur time.Duration, wireFormat string) (*loadgenReport, error) {
+	rep := &loadgenReport{
+		Method: "fixed-work closed-loop capacity probe (equal context budget per configuration), " +
+			"then open-loop points at 50%/80% of capacity; " +
+			"latency from intended arrival time (coordinated-omission-safe); fsync=always everywhere",
+		Baseline:  loadgenBaseline,
+		Candidate: loadgenCandidate,
+	}
+	for _, cfg := range loadgenConfigs(wireFormat) {
+		res, err := measureLoadgenConfig(cfg, phaseDur)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen %s: %w", cfg.Name, err)
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(out, "perf: loadgen %-22s capacity %8.0f ctx/s", cfg.Name, res.CapacityOpsPerSec)
+		for _, p := range res.Points {
+			fmt.Fprintf(out, "  [%.0f%%: %.0f ctx/s p99 %.2fms]",
+				100*p.TargetOpsPerSec/res.CapacityOpsPerSec, p.AchievedOpsPerSec, p.LatencyP99Millis)
+		}
+		fmt.Fprintln(out)
+	}
+	var base, cand float64
+	for _, r := range rep.Results {
+		switch r.Name {
+		case loadgenBaseline:
+			base = r.CapacityOpsPerSec
+		case loadgenCandidate:
+			cand = r.CapacityOpsPerSec
+		}
+	}
+	if base > 0 && cand > 0 {
+		rep.GroupBatchSpeedup = cand / base
+		fmt.Fprintf(out, "perf: loadgen speedup %s vs %s at equal durability: %.2fx\n",
+			loadgenCandidate, loadgenBaseline, rep.GroupBatchSpeedup)
+	}
+	return rep, nil
+}
+
+// loadgenHarness is one live daemon with fsync-always durability and a
+// set of connected clients.
+type loadgenHarness struct {
+	srv     *daemon.Server
+	mw      *middleware.Middleware
+	clients []*daemon.Client
+	dir     string
+}
+
+func startLoadgenHarness(cfg loadgenConfig) (*loadgenHarness, error) {
+	dir, err := os.MkdirTemp("", "ctxbench-loadgen-")
+	if err != nil {
+		return nil, err
+	}
+	h := &loadgenHarness{dir: dir}
+	fail := func(err error) (*loadgenHarness, error) {
+		h.close()
+		return nil, err
+	}
+	j, err := wal.Open(wal.Options{
+		Dir:         dir,
+		Fsync:       wal.FsyncAlways,
+		GroupCommit: cfg.GroupCommit,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	// An empty checker isolates the wire + commit path: the loadgen
+	// measures transport and durability, not consistency checking (the
+	// figure workloads already cover that).
+	h.mw = middleware.New(constraint.NewChecker(), strategy.NewDropBad(),
+		middleware.WithJournal(j))
+	h.srv, err = daemon.Serve("127.0.0.1:0", h.mw, nil)
+	if err != nil {
+		return fail(err)
+	}
+	for i := 0; i < loadgenWorkers; i++ {
+		cl, err := daemon.DialOptions(h.srv.Addr().String(), daemon.ClientOptions{
+			Timeout:    30 * time.Second,
+			WireFormat: cfg.WireFormat,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		h.clients = append(h.clients, cl)
+	}
+	return h, nil
+}
+
+func (h *loadgenHarness) close() {
+	for _, cl := range h.clients {
+		_ = cl.Close()
+	}
+	if h.srv != nil {
+		h.srv.Shutdown()
+	}
+	if h.mw != nil {
+		_ = h.mw.CloseJournal()
+	}
+	if h.dir != "" {
+		_ = os.RemoveAll(h.dir)
+	}
+}
+
+// loadgenFeed hands out unique contexts; each worker owns a subject so
+// streams never collide.
+type loadgenFeed struct {
+	base time.Time
+	seqs []atomic.Uint64
+}
+
+func newLoadgenFeed() *loadgenFeed {
+	return &loadgenFeed{
+		base: time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC),
+		seqs: make([]atomic.Uint64, loadgenWorkers),
+	}
+}
+
+func (f *loadgenFeed) next(worker int) *ctx.Context {
+	seq := f.seqs[worker].Add(1)
+	subject := fmt.Sprintf("lg%d", worker)
+	return ctx.NewLocation(subject, f.base.Add(time.Duration(seq)*time.Millisecond),
+		ctx.Point{X: float64(seq)},
+		ctx.WithID(ctx.ID(fmt.Sprintf("%s-%d", subject, seq))),
+		ctx.WithSeq(seq), ctx.WithSource(subject))
+}
+
+// send pushes one operation (a single submit or a whole batch) and
+// returns how many contexts it carried.
+func loadgenSend(cl *daemon.Client, feed *loadgenFeed, worker, batch int) (int, error) {
+	if batch <= 1 {
+		if _, err := cl.Submit(feed.next(worker)); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	cs := make([]*ctx.Context, batch)
+	for i := range cs {
+		cs[i] = feed.next(worker)
+	}
+	results, err := cl.SubmitBatch(cs, 0)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range results {
+		if !r.OK {
+			return 0, fmt.Errorf("batch item rejected: %s", r.Error)
+		}
+	}
+	return len(cs), nil
+}
+
+func measureLoadgenConfig(cfg loadgenConfig, phaseDur time.Duration) (loadgenResult, error) {
+	h, err := startLoadgenHarness(cfg)
+	if err != nil {
+		return loadgenResult{}, err
+	}
+	defer h.close()
+	feed := newLoadgenFeed()
+	res := loadgenResult{loadgenConfig: cfg, Fsync: "always", Workers: loadgenWorkers}
+
+	// Phase 1 — fixed-work closed-loop capacity probe. Every
+	// configuration submits the same number of contexts, so all of them
+	// end the probe with the same pool size and none is penalized for
+	// getting through the budget faster.
+	budget := int64(phaseDur.Seconds() * loadgenProbeRate)
+	if budget < loadgenProbeMin {
+		budget = loadgenProbeMin
+	}
+	ops := (budget + int64(cfg.BatchSize) - 1) / int64(max(cfg.BatchSize, 1))
+	var ticket, sent atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < loadgenWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ticket.Add(1) <= ops {
+				n, err := loadgenSend(h.clients[w], feed, w, cfg.BatchSize)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				sent.Add(int64(n))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return loadgenResult{}, err
+	}
+	elapsed := time.Since(start)
+	res.CapacityOpsPerSec = float64(sent.Load()) / elapsed.Seconds()
+	if res.CapacityOpsPerSec <= 0 {
+		return loadgenResult{}, fmt.Errorf("probe made no progress")
+	}
+
+	// Phase 2 — open-loop points below capacity.
+	for _, frac := range []float64{0.5, 0.8} {
+		point, err := runOpenLoopPoint(h, feed, cfg, res.CapacityOpsPerSec*frac, phaseDur)
+		if err != nil {
+			return loadgenResult{}, err
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// runOpenLoopPoint drives the daemon at targetRate contexts/sec. Requests
+// are claimed off a global schedule; a worker running late sends
+// immediately and the wait shows up as latency.
+func runOpenLoopPoint(h *loadgenHarness, feed *loadgenFeed, cfg loadgenConfig, targetRate float64, dur time.Duration) (loadgenPoint, error) {
+	opsRate := targetRate / float64(max(cfg.BatchSize, 1))
+	interval := time.Duration(float64(time.Second) / opsRate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	var (
+		ticket    atomic.Int64
+		contexts  atomic.Int64
+		firstErr  atomic.Value
+		latencies = make([][]time.Duration, loadgenWorkers)
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < loadgenWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := ticket.Add(1) - 1
+				offset := time.Duration(i) * interval
+				if offset >= dur {
+					return
+				}
+				intended := start.Add(offset)
+				if d := time.Until(intended); d > 0 {
+					time.Sleep(d)
+				}
+				n, err := loadgenSend(h.clients[w], feed, w, cfg.BatchSize)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				contexts.Add(int64(n))
+				latencies[w] = append(latencies[w], time.Since(intended))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return loadgenPoint{}, err
+	}
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	if len(all) == 0 {
+		return loadgenPoint{}, fmt.Errorf("open-loop point sent nothing")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx]) / float64(time.Millisecond)
+	}
+	return loadgenPoint{
+		TargetOpsPerSec:   targetRate,
+		AchievedOpsPerSec: float64(contexts.Load()) / elapsed.Seconds(),
+		Contexts:          contexts.Load(),
+		DurationSeconds:   elapsed.Seconds(),
+		LatencyP50Millis:  pct(0.50),
+		LatencyP95Millis:  pct(0.95),
+		LatencyP99Millis:  pct(0.99),
+		LatencyMaxMillis:  float64(all[len(all)-1]) / float64(time.Millisecond),
+	}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

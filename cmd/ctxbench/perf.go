@@ -22,9 +22,10 @@ import (
 type perfReport struct {
 	Generated string            `json:"generated"`
 	Build     telemetry.Build   `json:"build"`
-	Figures   []figurePerf      `json:"figures"`
-	Telemetry []telemetryPerf   `json:"telemetryOverhead"`
-	Daemon    daemonPerf        `json:"daemon"`
+	Figures   []figurePerf      `json:"figures,omitempty"`
+	Telemetry []telemetryPerf   `json:"telemetryOverhead,omitempty"`
+	Daemon    *daemonPerf       `json:"daemon,omitempty"`
+	Loadgen   *loadgenReport    `json:"loadgen,omitempty"`
 	Notes     map[string]string `json:"notes,omitempty"`
 }
 
@@ -57,17 +58,36 @@ type daemonPerf struct {
 	Histograms map[string]telemetry.HistogramSummary `json:"histograms"`
 }
 
+// perfOptions tunes the perf suite run.
+type perfOptions struct {
+	groups      int
+	seed        int64
+	loadgenDur  time.Duration // per-phase budget for the load generator
+	loadgenOnly bool          // skip figures/overhead/daemon phases (CI smoke)
+	wireFormat  string        // restrict loadgen configs: json, binary, or both
+}
+
 // runPerf executes the perf suite and writes the JSON report to path.
-func runPerf(out io.Writer, path string, groups int, seed int64) error {
+func runPerf(out io.Writer, path string, opts perfOptions) error {
 	rep := perfReport{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Build:     telemetry.BuildInfo(),
 		Notes: map[string]string{
 			"overhead": "same workload replayed through RunOnce with and without a telemetry registry; single-process wall clock, not a statistical benchmark",
 			"daemon":   "figure workload over TCP against an in-process daemon with telemetry and an fsync-always WAL; histogram unit is seconds",
+			"loadgen":  "open-loop coordinated-omission-safe load generator over TCP; all configs fsync=always; see loadgen.method",
 		},
 	}
+	if opts.loadgenOnly {
+		lg, err := runLoadgen(out, opts.loadgenDur, opts.wireFormat)
+		if err != nil {
+			return fmt.Errorf("loadgen phase: %w", err)
+		}
+		rep.Loadgen = lg
+		return writePerfReport(out, path, rep)
+	}
 
+	groups, seed := opts.groups, opts.seed
 	cfg := experiment.DefaultFigureConfig()
 	cfg.Groups = groups
 	cfg.Seed = seed
@@ -108,10 +128,20 @@ func runPerf(out io.Writer, path string, groups int, seed int64) error {
 	if err != nil {
 		return fmt.Errorf("daemon phase: %w", err)
 	}
-	rep.Daemon = dp
+	rep.Daemon = &dp
 	fmt.Fprintf(out, "perf: daemon run: %d submits, %d uses, %d histograms captured\n",
 		dp.Submits, dp.Uses, len(dp.Histograms))
 
+	lg, err := runLoadgen(out, opts.loadgenDur, opts.wireFormat)
+	if err != nil {
+		return fmt.Errorf("loadgen phase: %w", err)
+	}
+	rep.Loadgen = lg
+
+	return writePerfReport(out, path, rep)
+}
+
+func writePerfReport(out io.Writer, path string, rep perfReport) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

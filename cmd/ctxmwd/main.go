@@ -19,6 +19,14 @@
 // stops on SIGINT/SIGTERM after draining in-flight requests, writing a
 // final checkpoint when durability is on.
 //
+// -group-commit coalesces concurrent WAL commits into shared fsyncs:
+// each acknowledgment is still released only after the fsync covering its
+// record, so the durability contract is unchanged — only the fsync count
+// drops. -commit-delay lets the commit leader linger for more appends and
+// -commit-batch caps how many it waits for. Clients may negotiate the
+// length-prefixed binary wire format (and batch submissions) per
+// connection; the daemon serves line JSON and binary transparently.
+//
 // Overload resilience is opt-in: -max-pending caps the submit queue
 // (excess submissions are shed with a typed "overloaded" code),
 // -degrade-at/-resume-at bound the degraded mode that defers consistency
@@ -120,6 +128,12 @@ func setup(args []string) (*daemonProc, error) {
 			"WAL sync policy: always, interval, or never")
 		fsyncEvery = fs.Duration("fsync-interval", wal.DefaultFsyncEvery,
 			"max time between WAL syncs under -fsync interval")
+		groupCommit = fs.Bool("group-commit", false,
+			"coalesce concurrent WAL commits into shared fsyncs (needs -data-dir; acks release only after the shared fsync)")
+		commitDelay = fs.Duration("commit-delay", 0,
+			"max time a group commit leader waits for more appends before fsyncing (0 = fsync immediately; needs -group-commit)")
+		commitBatch = fs.Int("commit-batch", 0,
+			"pending appends at which a delayed group commit fsyncs early (0 = default; needs -group-commit)")
 		snapEvery = fs.Duration("snapshot-interval", time.Minute,
 			"how often to checkpoint the WAL (0 disables; needs -data-dir)")
 		compactEvery = fs.Duration("compact-interval", time.Minute,
@@ -156,6 +170,8 @@ func setup(args []string) (*daemonProc, error) {
 		maxPending: *maxPending, degradeAt: *degradeAt, resumeAt: *resumeAt,
 		checkTimeout: *checkTimeout, breakerTrip: *breakerTrip,
 		breakerWindow: *breakerWindow, breakerCooldown: *breakerCooldown,
+		groupCommit: *groupCommit, commitDelay: *commitDelay, commitBatch: *commitBatch,
+		dataDir: *dataDir,
 	}); err != nil {
 		return nil, err
 	}
@@ -263,10 +279,13 @@ func setup(args []string) (*daemonProc, error) {
 				*dataDir, rep.SnapshotSeq, rep.Commands, rep.TornBytes)
 		}
 		j, err := wal.Open(wal.Options{
-			Dir:        *dataDir,
-			Fsync:      policy,
-			FsyncEvery: *fsyncEvery,
-			Observer:   middleware.NewWALObserver(reg),
+			Dir:         *dataDir,
+			Fsync:       policy,
+			FsyncEvery:  *fsyncEvery,
+			GroupCommit: *groupCommit,
+			CommitDelay: *commitDelay,
+			CommitBatch: *commitBatch,
+			Observer:    middleware.NewWALObserver(reg),
 		})
 		if err != nil {
 			_ = closeSpans()
@@ -363,6 +382,10 @@ type tunings struct {
 	breakerTrip                     float64
 	breakerWindow                   int
 	breakerCooldown                 time.Duration
+	groupCommit                     bool
+	commitDelay                     time.Duration
+	commitBatch                     int
+	dataDir                         string
 }
 
 // validateTunings rejects flag values that would silently misconfigure
@@ -396,6 +419,14 @@ func validateTunings(t tunings) error {
 		return fmt.Errorf("-breaker-window must be >= 0 (0 = default), got %d", t.breakerWindow)
 	case t.breakerCooldown < 0:
 		return fmt.Errorf("-breaker-cooldown must be >= 0 (0 = default), got %v", t.breakerCooldown)
+	case t.commitDelay < 0:
+		return fmt.Errorf("-commit-delay must be >= 0 (0 fsyncs immediately), got %v", t.commitDelay)
+	case t.commitBatch < 0:
+		return fmt.Errorf("-commit-batch must be >= 0 (0 = default), got %d", t.commitBatch)
+	case t.groupCommit && t.dataDir == "":
+		return fmt.Errorf("-group-commit needs -data-dir (there is no journal to commit without one)")
+	case !t.groupCommit && (t.commitDelay > 0 || t.commitBatch > 0):
+		return fmt.Errorf("-commit-delay and -commit-batch need -group-commit")
 	}
 	return nil
 }

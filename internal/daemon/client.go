@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -35,9 +36,10 @@ type Client struct {
 
 	mu sync.Mutex // serializes round trips
 
-	stateMu sync.Mutex // guards conn/scanner/closed; nests inside mu
+	stateMu sync.Mutex // guards conn/reader/closed; nests inside mu
 	conn    net.Conn
-	scanner *bufio.Scanner
+	reader  *bufio.Reader
+	binary  bool // negotiated per connection; reset on reconnect
 	closed  bool
 }
 
@@ -57,6 +59,12 @@ type ClientOptions struct {
 	// Dial overrides the transport dialer; fault harnesses use this to
 	// wrap connections (see internal/daemon/faultconn).
 	Dial func(addr string) (net.Conn, error)
+	// WireFormat selects the framing: "" or FormatJSON for line-delimited
+	// JSON, FormatBinary for length-prefixed CRC-checked binary frames
+	// (negotiated via OpHello on every connect, including transparent
+	// reconnects). Connecting with FormatBinary to a server that does not
+	// speak the hello op fails rather than silently downgrading.
+	WireFormat string
 }
 
 // Client tuning defaults.
@@ -133,29 +141,53 @@ func dialTimeout(t time.Duration) time.Duration {
 	return t
 }
 
-// connect dials a fresh connection and installs it as current.
+// connect dials a fresh connection, negotiates the wire format when one
+// is requested, and installs the connection as current. Negotiation runs
+// before installation, so a half-negotiated stream can never serve a
+// request.
 func (c *Client) connect() error {
 	conn, err := c.opts.Dial(c.addr)
 	if err != nil {
 		return fmt.Errorf("daemon: dial %s: %w", c.addr, err)
 	}
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 4096), MaxLineBytes)
+	reader := bufio.NewReader(conn)
+	binary := false
+	if c.opts.WireFormat == FormatBinary {
+		if err := c.hello(conn, reader); err != nil {
+			_ = conn.Close()
+			return err
+		}
+		binary = true
+	}
 	c.stateMu.Lock()
 	defer c.stateMu.Unlock()
 	if c.closed {
 		_ = conn.Close()
 		return ErrClientClosed
 	}
-	c.conn, c.scanner = conn, scanner
+	c.conn, c.reader, c.binary = conn, reader, binary
+	return nil
+}
+
+// hello performs the line-JSON format handshake on a fresh connection.
+// Both sides speak binary frames only after the ack.
+func (c *Client) hello(conn net.Conn, reader *bufio.Reader) error {
+	resp, err := c.exchangeOn(conn, reader, false, Request{Op: OpHello, Format: FormatBinary})
+	if err != nil {
+		return fmt.Errorf("daemon: hello: %w", err)
+	}
+	if resp.Format != FormatBinary {
+		return fmt.Errorf("daemon: hello: server negotiated format %q, want %q",
+			resp.Format, FormatBinary)
+	}
 	return nil
 }
 
 // current returns the live connection, or nil when broken/unconnected.
-func (c *Client) current() (net.Conn, *bufio.Scanner) {
+func (c *Client) current() (net.Conn, *bufio.Reader, bool) {
 	c.stateMu.Lock()
 	defer c.stateMu.Unlock()
-	return c.conn, c.scanner
+	return c.conn, c.reader, c.binary
 }
 
 // dropConn discards conn (if still current) so no later attempt can read
@@ -163,7 +195,7 @@ func (c *Client) current() (net.Conn, *bufio.Scanner) {
 func (c *Client) dropConn(conn net.Conn) {
 	c.stateMu.Lock()
 	if c.conn == conn {
-		c.conn, c.scanner = nil, nil
+		c.conn, c.reader = nil, nil
 	}
 	c.stateMu.Unlock()
 	_ = conn.Close()
@@ -181,7 +213,7 @@ func (c *Client) Close() error {
 	c.stateMu.Lock()
 	c.closed = true
 	conn := c.conn
-	c.conn, c.scanner = nil, nil
+	c.conn, c.reader = nil, nil
 	c.stateMu.Unlock()
 	if conn != nil {
 		return conn.Close()
@@ -205,7 +237,7 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		if c.isClosed() {
 			return Response{}, ErrClientClosed
 		}
-		conn, scanner := c.current()
+		conn, reader, binary := c.current()
 		if conn == nil {
 			if err := c.connect(); err != nil {
 				if errors.Is(err, ErrClientClosed) {
@@ -214,9 +246,9 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 				lastErr = err
 				continue
 			}
-			conn, scanner = c.current()
+			conn, reader, binary = c.current()
 		}
-		resp, err := c.exchange(conn, scanner, req)
+		resp, err := c.exchangeOn(conn, reader, binary, req)
 		if err == nil {
 			return resp, nil
 		}
@@ -236,8 +268,11 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		c.opts.MaxAttempts, lastErr)
 }
 
-// exchange performs one request/response over conn.
-func (c *Client) exchange(conn net.Conn, scanner *bufio.Scanner, req Request) (Response, error) {
+// exchangeOn performs one request/response over conn in the given
+// framing. Any I/O error leaves the stream in an unknown position; the
+// caller must drop the connection rather than reuse it (roundTrip does),
+// so a truncated binary frame can never desync a later request.
+func (c *Client) exchangeOn(conn net.Conn, reader *bufio.Reader, binary bool, req Request) (Response, error) {
 	if err := SetConnDeadline(conn, c.opts.Timeout); err != nil {
 		return Response{}, fmt.Errorf("daemon: set deadline: %w", err)
 	}
@@ -245,18 +280,34 @@ func (c *Client) exchange(conn net.Conn, scanner *bufio.Scanner, req Request) (R
 	if err != nil {
 		return Response{}, fmt.Errorf("daemon: marshal request: %w", err)
 	}
-	payload = append(payload, '\n')
-	if _, err := conn.Write(payload); err != nil {
+	wire := getWireBuf()
+	defer putWireBuf(wire)
+	if binary {
+		framed, err := appendBinFrame((*wire)[:0], payload)
+		if err != nil {
+			return Response{}, fmt.Errorf("daemon: frame request: %w", err)
+		}
+		*wire = framed
+	} else {
+		*wire = append(append((*wire)[:0], payload...), '\n')
+	}
+	if _, err := conn.Write(*wire); err != nil {
 		return Response{}, fmt.Errorf("daemon: write: %w", err)
 	}
-	if !scanner.Scan() {
-		if err := scanner.Err(); err != nil {
-			return Response{}, fmt.Errorf("daemon: read: %w", err)
+	var body []byte
+	if binary {
+		body, err = readBinFrame(reader, wire)
+	} else {
+		body, err = readLine(reader, MaxLineBytes, wire)
+	}
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Response{}, errors.New("daemon: connection closed")
 		}
-		return Response{}, errors.New("daemon: connection closed")
+		return Response{}, fmt.Errorf("daemon: read: %w", err)
 	}
 	var resp Response
-	if err := json.Unmarshal(scanner.Bytes(), &resp); err != nil {
+	if err := json.Unmarshal(body, &resp); err != nil {
 		return Response{}, fmt.Errorf("daemon: decode response: %w", err)
 	}
 	if !resp.OK {
@@ -297,6 +348,27 @@ func (c *Client) SubmitBudget(cc *ctx.Context, budget time.Duration) ([]WireViol
 		return nil, err
 	}
 	return resp.Violations, nil
+}
+
+// SubmitBatch submits contexts in one round trip and returns their
+// per-item outcomes, index-aligned with cs. budget applies to the whole
+// batch the way SubmitBudget's does to one submission; zero means no
+// deadline. A batch-level error (transport trouble, overload shedding the
+// whole request) is returned as err; per-item failures — duplicates, open
+// circuit breakers — land in their BatchResult instead, so one bad
+// context never hides the other outcomes. Like Submit, a retried batch
+// whose first attempt actually landed reports duplicates per item rather
+// than applying anything twice.
+func (c *Client) SubmitBatch(cs []*ctx.Context, budget time.Duration) ([]BatchResult, error) {
+	req := Request{Op: OpBatchSubmit, Contexts: cs}
+	if budget > 0 {
+		req.TimeoutMillis = int64(budget / time.Millisecond)
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
 // Use performs a context deletion change for the identified context.

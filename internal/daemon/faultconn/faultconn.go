@@ -249,6 +249,14 @@ type ChaosConfig struct {
 	// connections jittered — every read and write delayed by a seeded
 	// pseudo-random duration in [0, Jitter) — instead of cut or stalled.
 	Jitter time.Duration
+	// ReadCut, when set, makes roughly half of the truncation faults cut
+	// the connection's read side instead of its write side: the server
+	// sees the request stream break mid-frame rather than its response
+	// being truncated. Byte budgets are framing-agnostic, so both cut
+	// flavors land inside line-JSON and binary frames alike. The option is
+	// gated (off by default) so the fault sequence of existing seeds is
+	// unchanged.
+	ReadCut bool
 }
 
 // Chaos wraps ln so that each accepted connection is, with probability
@@ -274,6 +282,9 @@ func Chaos(ln net.Listener, seed int64, cfg ChaosConfig) *Listener {
 		}
 		if cfg.Stall > 0 && rng.Intn(2) == 0 {
 			return Wrap(c, WithWriteStall(cfg.Stall))
+		}
+		if cfg.ReadCut && rng.Intn(2) == 0 {
+			return Wrap(c, CutAfterReads(budget))
 		}
 		return Wrap(c, CutAfterWrites(budget))
 	}))

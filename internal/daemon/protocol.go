@@ -24,13 +24,31 @@ type Op string
 
 // Supported operations.
 const (
-	OpPing       Op = "ping"
-	OpSubmit     Op = "submit"
-	OpUse        Op = "use"
-	OpUseLatest  Op = "use-latest"
-	OpStats      Op = "stats"
-	OpSituations Op = "situations"
+	OpPing        Op = "ping"
+	OpSubmit      Op = "submit"
+	OpBatchSubmit Op = "batch-submit"
+	OpUse         Op = "use"
+	OpUseLatest   Op = "use-latest"
+	OpStats       Op = "stats"
+	OpSituations  Op = "situations"
+	// OpHello negotiates the wire format. It is always sent (and answered)
+	// as a line-JSON request — the first thing on a fresh connection — and
+	// when the server acks format "binary" both sides switch to
+	// length-prefixed binary frames for every subsequent message. A server
+	// that predates the op answers with an unknown-op error and the
+	// connection stays line-JSON capable.
+	OpHello Op = "hello"
 )
+
+// Wire format names carried by OpHello.
+const (
+	FormatJSON   = "json"
+	FormatBinary = "binary"
+)
+
+// MaxBatchContexts bounds one batch-submit request, so a single frame
+// cannot queue unbounded work (the frame size bound applies too).
+const MaxBatchContexts = 1024
 
 // Code classifies a failed response so clients can tell protocol-level
 // trouble (framing, overload) apart from application-level rejections
@@ -73,16 +91,21 @@ type Request struct {
 	Op Op `json:"op"`
 	// Context is the submitted context (OpSubmit).
 	Context *ctx.Context `json:"context,omitempty"`
+	// Contexts are the submitted contexts, in order (OpBatchSubmit).
+	Contexts []*ctx.Context `json:"contexts,omitempty"`
 	// ID selects a context (OpUse).
 	ID ctx.ID `json:"id,omitempty"`
 	// Kind and Subject select the newest matching context (OpUseLatest).
 	Kind    ctx.Kind `json:"kind,omitempty"`
 	Subject string   `json:"subject,omitempty"`
-	// TimeoutMillis is the client's deadline budget for OpSubmit: work
-	// that would start more than this many milliseconds after the server
-	// reads the request is shed with CodeOverloaded instead of queued.
-	// Zero means no deadline.
+	// TimeoutMillis is the client's deadline budget for OpSubmit and
+	// OpBatchSubmit: work that would start more than this many
+	// milliseconds after the server reads the request is shed with
+	// CodeOverloaded instead of queued. Zero means no deadline.
 	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+	// Format is the requested wire format (OpHello): FormatJSON or
+	// FormatBinary.
+	Format string `json:"format,omitempty"`
 }
 
 // WireViolation is a violation with context IDs only (contexts stay on the
@@ -132,6 +155,21 @@ type Response struct {
 	Health *health.Snapshot `json:"health,omitempty"`
 	// Active maps situation names to their current activation (OpSituations).
 	Active map[string]bool `json:"active,omitempty"`
+	// Results are the per-item outcomes of a batch submission, index-
+	// aligned with Request.Contexts (OpBatchSubmit).
+	Results []BatchResult `json:"results,omitempty"`
+	// Format echoes the negotiated wire format (OpHello).
+	Format string `json:"format,omitempty"`
+}
+
+// BatchResult is one context's outcome within a batch submission. A
+// failed item carries the same typed code a lone OpSubmit would have
+// returned, so clients shed-and-retry per item, not per batch.
+type BatchResult struct {
+	OK         bool            `json:"ok"`
+	Error      string          `json:"error,omitempty"`
+	Code       Code            `json:"code,omitempty"`
+	Violations []WireViolation `json:"violations,omitempty"`
 }
 
 func errResponse(err error) Response {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -467,19 +468,47 @@ func (s *Server) serveConn(cs *connState) {
 	defer s.untrack(conn)
 	defer conn.Close()
 
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 4096), MaxLineBytes)
+	// One shared buffered reader serves both wire formats: hello is read as
+	// a line, and when the connection switches to binary framing any bytes
+	// the reader already buffered are still consumed in order.
+	br := bufio.NewReader(conn)
 	writer := bufio.NewWriter(conn)
-	enc := json.NewEncoder(writer)
+	readBuf := getWireBuf()
+	defer putWireBuf(readBuf)
+	frameBuf := getWireBuf()
+	defer putWireBuf(frameBuf)
+	binary := false
 
+	// respond marshals once and frames per the negotiated format; the JSON
+	// payload bytes are identical either way (the differential suite pins
+	// this), binary mode just swaps the newline delimiter for a
+	// length+CRC header.
 	respond := func(resp Response) bool {
 		if s.opt.idleTimeout > 0 {
 			if err := conn.SetWriteDeadline(time.Now().Add(s.opt.idleTimeout)); err != nil {
 				return false
 			}
 		}
-		if err := enc.Encode(resp); err != nil {
+		payload, err := json.Marshal(resp)
+		if err != nil {
 			return false
+		}
+		if binary {
+			framed, err := appendBinFrame((*frameBuf)[:0], payload)
+			if err != nil {
+				return false
+			}
+			*frameBuf = framed[:0]
+			if _, err := writer.Write(framed); err != nil {
+				return false
+			}
+		} else {
+			if _, err := writer.Write(payload); err != nil {
+				return false
+			}
+			if err := writer.WriteByte('\n'); err != nil {
+				return false
+			}
 		}
 		return writer.Flush() == nil
 	}
@@ -490,27 +519,39 @@ func (s *Server) serveConn(cs *connState) {
 				return
 			}
 		}
-		if !scanner.Scan() {
-			err := scanner.Err()
+		var payload []byte
+		var readErr error
+		if binary {
+			payload, readErr = readBinFrame(br, readBuf)
+		} else {
+			payload, readErr = readLine(br, MaxLineBytes, readBuf)
+		}
+		if readErr != nil {
 			switch {
-			case err == nil || s.draining():
+			case errors.Is(readErr, io.EOF) || s.draining():
 				// Clean disconnect, or our own shutdown close.
-			case errors.Is(err, bufio.ErrTooLong):
+			case errors.Is(readErr, errLineTooLong), errors.Is(readErr, errFrameTooLong):
 				// The stream cannot be re-synchronized past an unbounded
-				// line, but the client deserves to know why it is being
-				// dropped.
+				// line or a rejected frame, but the client deserves to know
+				// why it is being dropped.
 				s.counters.framesTooLong.Add(1)
 				respond(errResponseCode(CodeFrameTooLong,
-					fmt.Errorf("request line exceeds %d bytes", MaxLineBytes)))
-			case isTimeout(err):
+					fmt.Errorf("request frame exceeds %d bytes", MaxLineBytes)))
+			case errors.Is(readErr, errFrameCRC):
+				// Corrupt frame: the payload length was consumed, but the
+				// content cannot be trusted — and neither can anything after
+				// it on this stream.
+				s.counters.badRequests.Add(1)
+				respond(errResponseCode(CodeBadRequest,
+					errors.New("bad request: frame checksum mismatch")))
+			case isTimeout(readErr):
 				s.counters.idleClosed.Add(1)
 			default:
 				s.counters.readErrors.Add(1)
 			}
 			return
 		}
-		line := scanner.Bytes()
-		if len(line) == 0 {
+		if len(payload) == 0 {
 			continue
 		}
 		if !cs.beginRequest() {
@@ -522,10 +563,11 @@ func (s *Server) serveConn(cs *connState) {
 		var req Request
 		var resp Response
 		op := "invalid"
-		if err := json.Unmarshal(line, &req); err != nil {
+		if err := json.Unmarshal(payload, &req); err != nil {
 			s.counters.badRequests.Add(1)
 			resp = errResponseCode(CodeBadRequest, fmt.Errorf("bad request: %w", err))
 		} else {
+			internRequest(&req)
 			op = string(req.Op)
 			resp = s.handle(req)
 		}
@@ -535,6 +577,11 @@ func (s *Server) serveConn(cs *connState) {
 		cs.endRequest()
 		if !ok || s.draining() {
 			return
+		}
+		// The hello ack travels in the old format; everything after it in
+		// the negotiated one.
+		if req.Op == OpHello && resp.OK {
+			binary = resp.Format == FormatBinary
 		}
 	}
 }
@@ -548,6 +595,15 @@ func (s *Server) handle(req Request) Response {
 	switch req.Op {
 	case OpPing:
 		return Response{OK: true}
+	case OpHello:
+		switch req.Format {
+		case "", FormatJSON:
+			return Response{OK: true, Format: FormatJSON}
+		case FormatBinary:
+			return Response{OK: true, Format: FormatBinary}
+		default:
+			return errResponse(fmt.Errorf("hello: unknown format %q", req.Format))
+		}
 	case OpSubmit:
 		if req.Context == nil {
 			return errResponse(errors.New("submit: missing context"))
@@ -561,6 +617,31 @@ func (s *Server) handle(req Request) Response {
 			return errResponseCode(codeFor(err), err)
 		}
 		return Response{OK: true, Violations: toWire(vios)}
+	case OpBatchSubmit:
+		if len(req.Contexts) == 0 {
+			return errResponse(errors.New("batch-submit: missing contexts"))
+		}
+		if len(req.Contexts) > MaxBatchContexts {
+			return errResponseCode(CodeBadRequest,
+				fmt.Errorf("batch-submit: %d contexts exceeds limit %d", len(req.Contexts), MaxBatchContexts))
+		}
+		var so middleware.SubmitOptions
+		if req.TimeoutMillis > 0 {
+			so.Deadline = time.Now().Add(time.Duration(req.TimeoutMillis) * time.Millisecond)
+		}
+		results, err := s.mw.SubmitBatch(req.Contexts, so)
+		if err != nil {
+			return errResponseCode(codeFor(err), err)
+		}
+		out := make([]BatchResult, len(results))
+		for i, r := range results {
+			if r.Err != nil {
+				out[i] = BatchResult{Error: r.Err.Error(), Code: codeFor(r.Err)}
+			} else {
+				out[i] = BatchResult{OK: true, Violations: toWire(r.Violations)}
+			}
+		}
+		return Response{OK: true, Results: out}
 	case OpUse:
 		c, err := s.mw.Use(req.ID)
 		if err != nil {

@@ -1,0 +1,193 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"ctxres/internal/ctx"
+)
+
+// Binary framing. A frame is a little-endian uint32 payload length, a
+// little-endian uint32 CRC32C (Castagnoli) of the payload, then the
+// payload bytes — the same layout the WAL uses on disk, so one format
+// rules the system end to end. The payload is the identical JSON document
+// the line protocol would carry (without the trailing newline): binary
+// framing buys length-prefixed reads, corruption detection, and payloads
+// free to contain newlines, while responses stay byte-identical across
+// formats (the differential suite pins this).
+const binFrameHeaderLen = 8
+
+var binCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Framing errors, distinguished so the server can answer with a typed
+// protocol code before closing.
+var (
+	errFrameTooLong = errors.New("daemon: frame exceeds size limit")
+	errFrameCRC     = errors.New("daemon: frame CRC mismatch")
+)
+
+// appendBinFrame appends the framed payload to dst and returns the
+// extended slice.
+func appendBinFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) > MaxLineBytes {
+		return nil, fmt.Errorf("%w (%d > %d bytes)", errFrameTooLong, len(payload), MaxLineBytes)
+	}
+	var hdr [binFrameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, binCastagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// readBinFrame reads one frame from br into buf (grown as needed) and
+// returns the payload slice, valid until the next call with the same
+// buffer. A length over MaxLineBytes is errFrameTooLong without reading
+// the body (a wild length field must not allocate or consume GiBs); a
+// checksum failure is errFrameCRC.
+func readBinFrame(br *bufio.Reader, buf *[]byte) ([]byte, error) {
+	var hdr [binFrameHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > MaxLineBytes {
+		return nil, fmt.Errorf("%w (%d > %d bytes)", errFrameTooLong, n, MaxLineBytes)
+	}
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	payload := (*buf)[:n]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.Checksum(payload, binCastagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, errFrameCRC
+	}
+	return payload, nil
+}
+
+// errLineTooLong mirrors bufio.ErrTooLong for the reader-based line path.
+var errLineTooLong = errors.New("daemon: request line exceeds size limit")
+
+// readLine reads one newline-terminated line from br, stripping the
+// terminator (and a preceding \r). It mirrors bufio.Scanner's contract —
+// a final unterminated line before EOF is returned as a line; a line over
+// max bytes is errLineTooLong — but works on a shared bufio.Reader, so
+// the connection can switch to binary framing without losing buffered
+// bytes.
+func readLine(br *bufio.Reader, max int, buf *[]byte) ([]byte, error) {
+	line := (*buf)[:0]
+	for {
+		chunk, err := br.ReadSlice('\n')
+		line = append(line, chunk...)
+		switch {
+		case err == nil:
+			*buf = line
+			if len(line) > max+1 { // content longer than max (line includes '\n')
+				return nil, errLineTooLong
+			}
+			return trimLine(line), nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			// Error as soon as max unterminated bytes are buffered, like
+			// bufio.Scanner — never block waiting to grow a line that is
+			// already over the limit.
+			if len(line) >= max {
+				*buf = line
+				return nil, errLineTooLong
+			}
+			continue
+		case errors.Is(err, io.EOF) && len(line) > 0:
+			*buf = line
+			if len(line) > max {
+				return nil, errLineTooLong
+			}
+			return trimLine(line), nil
+		default:
+			return nil, err
+		}
+	}
+}
+
+func trimLine(line []byte) []byte {
+	line = bytes.TrimSuffix(line, []byte{'\n'})
+	return bytes.TrimSuffix(line, []byte{'\r'})
+}
+
+// wireBufPool recycles the per-connection read/write buffers of both
+// formats, so a busy server is not allocating a fresh megabyte-capable
+// buffer per connection (or per oversized frame).
+var wireBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getWireBuf() *[]byte { return wireBufPool.Get().(*[]byte) }
+
+func putWireBuf(b *[]byte) {
+	if cap(*b) > MaxLineBytes {
+		return // never cache pathological growth
+	}
+	*b = (*b)[:0]
+	wireBufPool.Put(b)
+}
+
+// Kind interning. Every decoded request re-allocates its kind strings;
+// long-lived pool entries then each retain a private copy of what is, in
+// any real deployment, a handful of distinct values ("location",
+// "rfid", ...). Interning maps them to one shared instance on the decode
+// path. The table is capped so adversarial kind churn degrades to plain
+// allocation, never unbounded retention.
+const maxInternedKinds = 1024
+
+var (
+	kindInternTable sync.Map // string -> ctx.Kind
+	kindInternCount atomic.Int64
+)
+
+func internKind(k ctx.Kind) ctx.Kind {
+	if k == "" {
+		return k
+	}
+	if v, ok := kindInternTable.Load(string(k)); ok {
+		return v.(ctx.Kind)
+	}
+	if kindInternCount.Load() >= maxInternedKinds {
+		return k
+	}
+	v, loaded := kindInternTable.LoadOrStore(string(k), k)
+	if !loaded {
+		kindInternCount.Add(1)
+	}
+	return v.(ctx.Kind)
+}
+
+// internContextKinds rewrites decoded contexts' kinds in place.
+func internContextKinds(cs []*ctx.Context) {
+	for _, c := range cs {
+		if c != nil {
+			c.Kind = internKind(c.Kind)
+		}
+	}
+}
+
+// internRequest rewrites a decoded request's kind strings to their
+// interned instances.
+func internRequest(req *Request) {
+	req.Kind = internKind(req.Kind)
+	if req.Context != nil {
+		req.Context.Kind = internKind(req.Context.Kind)
+	}
+	internContextKinds(req.Contexts)
+}

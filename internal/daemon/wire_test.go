@@ -1,0 +1,584 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/daemon/faultconn"
+	"ctxres/internal/middleware"
+	"ctxres/internal/situation"
+	"ctxres/internal/strategy"
+)
+
+// startWireServer brings up a server identical to startServer's but
+// without a pre-dialed client, so two instances stay in byte-for-byte
+// identical states under identical request sequences.
+func startWireServer(t *testing.T) *Server {
+	t.Helper()
+	engine := situation.NewEngine()
+	engine.MustRegister(&situation.Situation{
+		Name: "present",
+		Formula: constraint.Exists("a", ctx.KindLocation,
+			constraint.SubjectIs("a", "peter")),
+	})
+	mw := middleware.New(velocityChecker(t), strategy.NewDropBad(),
+		middleware.WithSituations(engine))
+	srv, err := Serve("127.0.0.1:0", mw, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	return srv
+}
+
+// rawConn speaks the protocol directly, returning raw response payload
+// bytes so tests can compare formats at the byte level.
+type rawConn struct {
+	t      *testing.T
+	conn   net.Conn
+	br     *bufio.Reader
+	buf    []byte
+	binary bool
+}
+
+func dialRaw(t *testing.T, srv *Server, format string) *rawConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if err := SetConnDeadline(conn, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rc := &rawConn{t: t, conn: conn, br: bufio.NewReader(conn)}
+	// Both formats negotiate explicitly (the handshake itself travels as
+	// line JSON; only after a binary ack do both sides speak frames), so
+	// differential runs see identical request sequences.
+	ack := rc.exchange(Request{Op: OpHello, Format: format})
+	var resp Response
+	if err := json.Unmarshal(ack, &resp); err != nil {
+		t.Fatalf("hello ack: %v", err)
+	}
+	if !resp.OK || resp.Format != format {
+		t.Fatalf("hello ack = %s", ack)
+	}
+	rc.binary = format == FormatBinary
+	return rc
+}
+
+// exchange sends req and returns a copy of the raw response payload (the
+// JSON document, with any framing stripped).
+func (rc *rawConn) exchange(req Request) []byte {
+	rc.t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	if rc.binary {
+		framed, err := appendBinFrame(nil, payload)
+		if err != nil {
+			rc.t.Fatal(err)
+		}
+		if _, err := rc.conn.Write(framed); err != nil {
+			rc.t.Fatalf("write frame: %v", err)
+		}
+	} else {
+		if _, err := rc.conn.Write(append(payload, '\n')); err != nil {
+			rc.t.Fatalf("write line: %v", err)
+		}
+	}
+	var body []byte
+	if rc.binary {
+		body, err = readBinFrame(rc.br, &rc.buf)
+	} else {
+		body, err = readLine(rc.br, MaxLineBytes, &rc.buf)
+	}
+	if err != nil {
+		rc.t.Fatalf("read response: %v", err)
+	}
+	return append([]byte(nil), body...)
+}
+
+// TestWireFormatsDifferential drives two identically configured servers
+// through the same request sequence — every op, plus the error paths —
+// one over line JSON and one over binary frames, and requires every
+// response payload to be byte-identical and the servers' middleware,
+// pool, and resilience counters to finish equal. The binary framing must
+// be a pure transport change, invisible at the payload level.
+func TestWireFormatsDifferential(t *testing.T) {
+	jsonSrv := startWireServer(t)
+	binSrv := startWireServer(t)
+	jsonConn := dialRaw(t, jsonSrv, FormatJSON)
+	binConn := dialRaw(t, binSrv, FormatBinary)
+
+	batch := []*ctx.Context{loc("w3", 3, 100.5), loc("w4", 4, 101), loc("w3", 3, 100.5)}
+	reqs := []Request{
+		{Op: OpPing},
+		{Op: OpSubmit, Context: loc("w1", 1, 0)},
+		{Op: OpSubmit, Context: loc("w1", 1, 0)},   // duplicate → app error
+		{Op: OpSubmit, Context: loc("w2", 2, 100)}, // velocity violation
+		{Op: OpBatchSubmit, Contexts: batch},       // mixed per-item outcomes
+		{Op: OpBatchSubmit},                        // missing contexts → app error
+		{Op: OpUse, ID: "w1"},
+		{Op: OpUse, ID: "nope"}, // not found → app error
+		{Op: OpUseLatest, Kind: ctx.KindLocation, Subject: "peter"},
+		{Op: OpUseLatest}, // missing kind → app error
+		{Op: OpSituations},
+		{Op: Op("bogus")}, // unknown op → app error
+	}
+	for i, req := range reqs {
+		fromJSON := jsonConn.exchange(req)
+		fromBin := binConn.exchange(req)
+		if !bytes.Equal(fromJSON, fromBin) {
+			t.Errorf("step %d (%s): payloads differ\n json:   %s\n binary: %s",
+				i, req.Op, fromJSON, fromBin)
+		}
+	}
+
+	// Stats responses carry wall-clock fields (uptime), so compare the
+	// deterministic counter blocks instead of raw bytes.
+	var jsonStats, binStats Response
+	if err := json.Unmarshal(jsonConn.exchange(Request{Op: OpStats}), &jsonStats); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(binConn.exchange(Request{Op: OpStats}), &binStats); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jsonStats.Middleware, binStats.Middleware) {
+		t.Errorf("middleware stats diverge: json %+v, binary %+v",
+			jsonStats.Middleware, binStats.Middleware)
+	}
+	if !reflect.DeepEqual(jsonStats.Pool, binStats.Pool) {
+		t.Errorf("pool stats diverge: json %+v, binary %+v",
+			jsonStats.Pool, binStats.Pool)
+	}
+	if !reflect.DeepEqual(jsonStats.Resilience, binStats.Resilience) {
+		t.Errorf("resilience stats diverge: json %+v, binary %+v",
+			jsonStats.Resilience, binStats.Resilience)
+	}
+	if jsonStats.Daemon.Requests != binStats.Daemon.Requests {
+		t.Errorf("request counts diverge: json %d, binary %d",
+			jsonStats.Daemon.Requests, binStats.Daemon.Requests)
+	}
+}
+
+// TestHelloNegotiation pins the handshake contract: json is acknowledged
+// and stays line-framed, an unknown format is refused without breaking
+// the connection, and a binary ack flips the framing for everything that
+// follows.
+func TestHelloNegotiation(t *testing.T) {
+	srv := startWireServer(t)
+	rc := dialRaw(t, srv, FormatJSON)
+
+	var resp Response
+	if err := json.Unmarshal(rc.exchange(Request{Op: OpHello, Format: "carrier-pigeon"}), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatal("unknown format accepted")
+	}
+	if err := json.Unmarshal(rc.exchange(Request{Op: OpHello}), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Format != FormatJSON {
+		t.Fatalf("default hello = %+v, want json ack", resp)
+	}
+	// Still line-framed after both hellos.
+	if err := json.Unmarshal(rc.exchange(Request{Op: OpPing}), &resp); err != nil || !resp.OK {
+		t.Fatalf("ping after hello: %+v, %v", resp, err)
+	}
+	// Now switch and keep talking.
+	if err := json.Unmarshal(rc.exchange(Request{Op: OpHello, Format: FormatBinary}), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Format != FormatBinary {
+		t.Fatalf("binary hello = %+v", resp)
+	}
+	rc.binary = true
+	if err := json.Unmarshal(rc.exchange(Request{Op: OpPing}), &resp); err != nil || !resp.OK {
+		t.Fatalf("binary ping: %+v, %v", resp, err)
+	}
+}
+
+// TestBinaryClientOps runs the full client surface over the binary
+// format against a live server.
+func TestBinaryClientOps(t *testing.T) {
+	srv := startWireServer(t)
+	client, err := DialOptions(srv.Addr().String(), ClientOptions{
+		Timeout:    5 * time.Second,
+		WireFormat: FormatBinary,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Submit(loc("b1", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := client.SubmitBatch([]*ctx.Context{
+		loc("b2", 2, 0.5), loc("b3", 3, 1), loc("b2", 2, 0.5),
+	}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	if !results[0].OK || !results[1].OK {
+		t.Fatalf("fresh submissions failed: %+v", results)
+	}
+	if results[2].OK || !strings.Contains(results[2].Error, "already in pool") {
+		t.Fatalf("duplicate item = %+v, want pool rejection", results[2])
+	}
+	got, err := client.UseLatest(ctx.KindLocation, "peter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "b3" {
+		t.Fatalf("UseLatest = %s, want b3", got.ID)
+	}
+	_, poolStats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poolStats.Added != 3 {
+		t.Fatalf("pool added = %d, want 3", poolStats.Added)
+	}
+	active, err := client.Situations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !active["present"] {
+		t.Fatalf("situations = %v, want present active", active)
+	}
+}
+
+// TestBatchSubmitOverLimit pins the request-size guard.
+func TestBatchSubmitOverLimit(t *testing.T) {
+	srv := startWireServer(t)
+	client, err := Dial(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	over := make([]*ctx.Context, MaxBatchContexts+1)
+	for i := range over {
+		over[i] = loc(fmt.Sprintf("o%d", i), uint64(i+1), 0)
+	}
+	_, err = client.SubmitBatch(over, 0)
+	if ErrorCode(err) != CodeBadRequest {
+		t.Fatalf("over-limit batch: err = %v, want %s", err, CodeBadRequest)
+	}
+}
+
+// TestBinaryMidBatchCutDoesNotDesync cuts the server's response stream in
+// the middle of a batch-submit frame. The client must drop the broken
+// connection, redial, renegotiate the format, and resend — never read a
+// later response against the truncated frame's remainder, and never
+// double-apply the batch.
+func TestBinaryMidBatchCutDoesNotDesync(t *testing.T) {
+	srv := serveFaulty(t, func(ln net.Listener) net.Listener {
+		return faultconn.NewListener(ln, faultconn.WithConnWrapper(
+			func(i int, c net.Conn) net.Conn {
+				if i == 0 {
+					// Enough budget for the hello ack, then the batch
+					// response frame is truncated partway through.
+					return faultconn.Wrap(c, faultconn.CutAfterWrites(40))
+				}
+				return c
+			}))
+	}, WithDrainTimeout(time.Second))
+
+	client, err := DialOptions(srv.Addr().String(), ClientOptions{
+		Timeout:             2 * time.Second,
+		MaxAttempts:         4,
+		ReconnectBackoffMin: time.Millisecond,
+		WireFormat:          FormatBinary,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	batch := []*ctx.Context{loc("m1", 1, 0), loc("m2", 2, 0.5), loc("m3", 3, 1)}
+	results, err := client.SubmitBatch(batch, 0)
+	if err != nil {
+		t.Fatalf("batch through cut connection: %v", err)
+	}
+	for i, r := range results {
+		// The first attempt's submissions may have landed before the cut;
+		// the resend then sees per-item duplicate rejections — the signal
+		// the originals were applied, not a desync.
+		if !r.OK && !strings.Contains(r.Error, "already in pool") {
+			t.Fatalf("item %d = %+v", i, r)
+		}
+	}
+	// Framing intact: targeted requests get their own answers back.
+	got, err := client.Use("m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "m2" {
+		t.Fatalf("Use = %s, framing desynced", got.ID)
+	}
+	_, poolStats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poolStats.Added != len(batch) {
+		t.Fatalf("pool added = %d, want %d (retry must not double-apply)",
+			poolStats.Added, len(batch))
+	}
+}
+
+// TestChaosBinaryClients reruns the chaos storm with binary-format
+// clients and read-side cuts enabled: byte-budget faults land inside
+// frames and headers, and every sequence must still complete exactly
+// once.
+func TestChaosBinaryClients(t *testing.T) {
+	srv := serveFaulty(t, func(ln net.Listener) net.Listener {
+		return faultconn.Chaos(ln, 20080608, faultconn.ChaosConfig{
+			FaultRate: 0.4,
+			MinBytes:  1,
+			MaxBytes:  120,
+			Stall:     5 * time.Millisecond,
+			ReadCut:   true,
+		})
+	}, WithDrainTimeout(time.Second))
+
+	const clients = 4
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := DialOptions(srv.Addr().String(), ClientOptions{
+				Timeout:             2 * time.Second,
+				MaxAttempts:         10,
+				ReconnectBackoffMin: time.Millisecond,
+				ReconnectBackoffMax: 20 * time.Millisecond,
+				WireFormat:          FormatBinary,
+			})
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer cl.Close()
+			subject := fmt.Sprintf("bp%d", g)
+			for i := 1; i <= 4; i++ {
+				batch := make([]*ctx.Context, 3)
+				for k := range batch {
+					seq := uint64(i*3 + k)
+					batch[k] = ctx.NewLocation(subject, t0.Add(time.Duration(seq)*time.Second),
+						ctx.Point{X: float64(seq)},
+						ctx.WithSeq(seq), ctx.WithSource(subject))
+				}
+				results, err := cl.SubmitBatch(batch, 0)
+				if err != nil {
+					t.Errorf("batch: %v", err)
+					return
+				}
+				for _, r := range results {
+					if !r.OK && !strings.Contains(r.Error, "already in pool") {
+						t.Errorf("item: %+v", r)
+						return
+					}
+				}
+			}
+			if _, err := cl.UseLatest(ctx.KindLocation, subject); err != nil {
+				t.Errorf("use latest: %v", err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := func() error {
+		cl, err := Dial(srv.Addr().String(), 2*time.Second)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		return cl.Ping()
+	}(); err != nil {
+		t.Fatalf("server unhealthy after binary chaos: %v", err)
+	}
+}
+
+// TestCorruptFrameGetsTypedError flips a payload byte after framing; the
+// server must answer with a bad-request error and close, never hand the
+// corrupt payload to the middleware.
+func TestCorruptFrameGetsTypedError(t *testing.T) {
+	srv := startWireServer(t)
+	rc := dialRaw(t, srv, FormatBinary)
+
+	payload, _ := json.Marshal(Request{Op: OpPing})
+	framed, err := appendBinFrame(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed[len(framed)-1] ^= 0x40 // corrupt inside the payload
+	if _, err := rc.conn.Write(framed); err != nil {
+		t.Fatal(err)
+	}
+	body, err := readBinFrame(rc.br, &rc.buf)
+	if err != nil {
+		t.Fatalf("read error response: %v", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Code != CodeBadRequest {
+		t.Fatalf("corrupt frame response = %+v, want %s", resp, CodeBadRequest)
+	}
+	// The stream is untrusted after corruption: the server closes it.
+	if _, err := readBinFrame(rc.br, &rc.buf); err == nil {
+		t.Fatal("connection still open after corrupt frame")
+	}
+}
+
+// TestOversizedBinaryFrameGetsProtocolError mirrors the line-mode
+// oversize test: a frame header claiming more than MaxLineBytes draws the
+// typed frame-too-long error without the server reading (or allocating)
+// the body.
+func TestOversizedBinaryFrameGetsProtocolError(t *testing.T) {
+	srv := startWireServer(t)
+	rc := dialRaw(t, srv, FormatBinary)
+
+	hdr := make([]byte, binFrameHeaderLen)
+	hdr[0] = 0xff
+	hdr[1] = 0xff
+	hdr[2] = 0xff
+	hdr[3] = 0x7f // ~2 GiB claimed
+	if _, err := rc.conn.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	body, err := readBinFrame(rc.br, &rc.buf)
+	if err != nil {
+		t.Fatalf("read error response: %v", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Code != CodeFrameTooLong {
+		t.Fatalf("oversized frame response = %+v, want %s", resp, CodeFrameTooLong)
+	}
+	if got := srv.Stats().FramesTooLong; got != 1 {
+		t.Fatalf("FramesTooLong = %d, want 1", got)
+	}
+}
+
+func TestKindInterning(t *testing.T) {
+	a := internKind(ctx.Kind("location"))
+	b := internKind(ctx.Kind("loc" + "ation"))
+	if a != b {
+		t.Fatal("interned kinds differ")
+	}
+	if internKind("") != "" {
+		t.Fatal("empty kind must pass through")
+	}
+}
+
+// FuzzBinaryFrameRead feeds arbitrary bytes to the frame reader: it must
+// never panic, and any payload it accepts must checksum-verify against
+// its header.
+func FuzzBinaryFrameRead(f *testing.F) {
+	good, _ := appendBinFrame(nil, []byte(`{"op":"ping"}`))
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	truncated := good[:len(good)-3]
+	f.Add(truncated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		var buf []byte
+		payload, err := readBinFrame(br, &buf)
+		if err != nil {
+			return
+		}
+		reframed, ferr := appendBinFrame(nil, payload)
+		if ferr != nil {
+			t.Fatalf("accepted payload does not reframe: %v", ferr)
+		}
+		if !bytes.Equal(reframed, data[:len(reframed)]) {
+			t.Fatalf("accepted frame is not canonical: %x vs %x", reframed, data[:len(reframed)])
+		}
+	})
+}
+
+// FuzzBinaryFrameRoundTrip checks encode→decode identity for arbitrary
+// payloads.
+func FuzzBinaryFrameRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"op":"ping"}`))
+	f.Add([]byte{})
+	f.Add([]byte{0, '\n', 0xff})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > MaxLineBytes {
+			t.Skip()
+		}
+		framed, err := appendBinFrame(nil, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := bufio.NewReader(bytes.NewReader(framed))
+		var buf []byte
+		got, err := readBinFrame(br, &buf)
+		if err != nil {
+			t.Fatalf("decode framed payload: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip: got %x, want %x", got, payload)
+		}
+	})
+}
+
+// FuzzBatchSubmitDecode decodes arbitrary JSON as a batch-submit request
+// and runs it through interning and the full server handler: no input may
+// panic, and every accepted batch must answer with index-aligned results
+// that re-encode cleanly in both framings.
+func FuzzBatchSubmitDecode(f *testing.F) {
+	f.Add([]byte(`{"op":"batch-submit","contexts":[{"id":"a","kind":"location","subject":"p"}]}`))
+	f.Add([]byte(`{"op":"batch-submit","contexts":[null,null]}`))
+	f.Add([]byte(`{"op":"batch-submit"}`))
+	f.Add([]byte(`{"op":"batch-submit","contexts":[{"kind":"x"}],"timeoutMillis":-5}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := json.Unmarshal(data, &req); err != nil {
+			t.Skip()
+		}
+		req.Op = OpBatchSubmit
+		internRequest(&req)
+		s := &Server{
+			mw:    middleware.New(constraint.NewChecker(), strategy.NewDropBad()),
+			start: time.Now(),
+		}
+		resp := s.handle(req)
+		if resp.OK && len(resp.Results) != len(req.Contexts) {
+			t.Fatalf("results = %d, contexts = %d", len(resp.Results), len(req.Contexts))
+		}
+		payload, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatalf("response does not marshal: %v", err)
+		}
+		if len(payload) <= MaxLineBytes {
+			if _, err := appendBinFrame(nil, payload); err != nil {
+				t.Fatalf("response does not frame: %v", err)
+			}
+		}
+	})
+}

@@ -334,6 +334,8 @@ func (m *Middleware) catchUpLocked(sp *telemetry.Span) error {
 // same path implicitly.
 func (m *Middleware) CatchUp() (err error) {
 	opStart := m.tel.now()
+	var wait commitWait
+	defer m.commitDurable(&wait, &err)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	sp := m.tel.startSpan("catchup", "", opStart)
@@ -346,7 +348,7 @@ func (m *Middleware) CatchUp() (err error) {
 		m.tel.opDone("catchup", opStart, sp, outcome)
 		m.curSpan = nil
 	}()
-	defer m.journalCommitLocked(&err)
+	defer m.journalCommitLocked(&err, &wait)
 	if err := m.journalHealthLocked(); err != nil {
 		return err
 	}

@@ -89,10 +89,25 @@ func (m *Middleware) journalHealthLocked() error {
 	return nil
 }
 
+// commitWait carries one operation's durability obligation past the
+// middleware lock. Under group commit, journalCommitLocked records the
+// highest sequence the operation appended here instead of waiting for the
+// fsync inline; commitDurable — deferred before the lock's own defer, so
+// (LIFO) it runs after the unlock — then blocks on the shared fsync. That
+// ordering is the whole point: the fsync wait happens with the middleware
+// lock released, so concurrent operations append, queue, and coalesce
+// into one fsync instead of serializing on it.
+type commitWait struct {
+	j   *wal.Journal
+	seq uint64
+}
+
 // journalCommitLocked appends the operation's queued records to the
 // journal. On a write failure the error is recorded as sticky and, when
-// errp points at a nil error, surfaced to the caller.
-func (m *Middleware) journalCommitLocked(errp *error) {
+// errp points at a nil error, surfaced to the caller. Under group commit
+// the records are written but not yet synced; the operation's durability
+// point moves to commitDurable via wait.
+func (m *Middleware) journalCommitLocked(errp *error, wait *commitWait) {
 	if m.journal == nil || len(m.jbuf) == 0 {
 		return
 	}
@@ -104,12 +119,40 @@ func (m *Middleware) journalCommitLocked(errp *error) {
 	start := m.tel.now()
 	defer func() { m.tel.stageDone(m.curSpan, telemetry.StageJournal, start) }()
 	for _, r := range recs {
-		if _, err := m.journal.Append(r); err != nil {
+		seq, err := m.journal.Append(r)
+		if err != nil {
 			m.journalErr = err
 			if errp != nil && *errp == nil {
 				*errp = fmt.Errorf("middleware: journal append: %w", err)
 			}
 			return
+		}
+		if wait != nil && m.journal.GroupCommit() {
+			wait.j = m.journal
+			wait.seq = seq
+		}
+	}
+}
+
+// commitDurable discharges a commitWait: it blocks until every record the
+// operation appended is fsynced. It must run after the middleware lock is
+// released (register its defer before the unlock's). A durability failure
+// is recorded as the sticky journal error — the records may or may not
+// have reached the disk, so the log can no longer be trusted to match
+// acknowledged state — and surfaced through errp when no earlier error
+// claimed it.
+func (m *Middleware) commitDurable(wait *commitWait, errp *error) {
+	if wait.j == nil {
+		return
+	}
+	if err := wait.j.WaitDurable(wait.seq); err != nil {
+		m.mu.Lock()
+		if m.journal == wait.j && m.journalErr == nil {
+			m.journalErr = err
+		}
+		m.mu.Unlock()
+		if errp != nil && *errp == nil {
+			*errp = fmt.Errorf("middleware: journal commit: %w", err)
 		}
 	}
 }
@@ -155,9 +198,11 @@ func (m *Middleware) statsRecordLocked() error {
 // journal, allowing it to truncate obsolete segments, then journals a
 // stats annotation so the next recovery verifies the restored counters.
 func (m *Middleware) Checkpoint() (err error) {
+	var wait commitWait
+	defer m.commitDurable(&wait, &err)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	defer m.journalCommitLocked(&err)
+	defer m.journalCommitLocked(&err, &wait)
 	if m.journal == nil {
 		return ErrNoJournal
 	}
@@ -197,7 +242,8 @@ func (m *Middleware) CloseJournal() error {
 	}
 	if m.journalErr == nil {
 		if err := m.statsRecordLocked(); err == nil {
-			m.journalCommitLocked(nil)
+			// No commitWait: Close below syncs everything unconditionally.
+			m.journalCommitLocked(nil, nil)
 		}
 	}
 	err := m.journal.Close()

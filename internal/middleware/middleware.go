@@ -224,6 +224,42 @@ func (m *Middleware) Submit(c *ctx.Context) ([]constraint.Violation, error) {
 // source drops it with ErrQuarantined, and in degraded mode it is
 // acknowledged with its consistency check deferred.
 func (m *Middleware) SubmitOpts(c *ctx.Context, so SubmitOptions) (vios []constraint.Violation, err error) {
+	// The durability wait is deferred first so (LIFO) it runs after the
+	// lock inside submitOne is released: under group commit, concurrent
+	// submissions then coalesce into one fsync instead of serializing on
+	// one fsync each.
+	var wait commitWait
+	defer m.commitDurable(&wait, &err)
+	return m.submitAdmit(c, so, &wait)
+}
+
+// SubmitResult is one context's outcome within a SubmitBatch.
+type SubmitResult struct {
+	Violations []constraint.Violation
+	Err        error
+}
+
+// SubmitBatch submits contexts in arrival order with per-item results,
+// sharing a single durability wait: under group commit the whole batch
+// rides one fsync instead of one per context (and under plain
+// fsync-always each item still syncs inline, so semantics never weaken).
+// Per-item admission, validation, and checking are identical to
+// submitting each context alone. A durability failure fails the batch as
+// a whole — once the log cannot acknowledge the records, the per-item
+// results describe state a recovery may not reproduce.
+func (m *Middleware) SubmitBatch(cs []*ctx.Context, so SubmitOptions) (results []SubmitResult, err error) {
+	results = make([]SubmitResult, len(cs))
+	var wait commitWait
+	defer m.commitDurable(&wait, &err)
+	for i, c := range cs {
+		results[i].Violations, results[i].Err = m.submitAdmit(c, so, &wait)
+	}
+	return results, nil
+}
+
+// submitAdmit validates and admits one submission and runs its locked
+// pipeline, accumulating the durability obligation into wait.
+func (m *Middleware) submitAdmit(c *ctx.Context, so SubmitOptions, wait *commitWait) ([]constraint.Violation, error) {
 	if c == nil {
 		return nil, errors.New("submit: nil context")
 	}
@@ -235,6 +271,11 @@ func (m *Middleware) SubmitOpts(c *ctx.Context, so SubmitOptions) (vios []constr
 		return nil, fmt.Errorf("submit %s: %w", c.ID, err)
 	}
 	defer release()
+	return m.submitOne(c, so, wait)
+}
+
+// submitOne is the under-lock portion of one submission.
+func (m *Middleware) submitOne(c *ctx.Context, so SubmitOptions, wait *commitWait) (vios []constraint.Violation, err error) {
 	opStart := m.tel.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -250,7 +291,7 @@ func (m *Middleware) SubmitOpts(c *ctx.Context, so SubmitOptions) (vios []constr
 		m.tel.opDone("submit", opStart, sp, outcome)
 		m.curSpan = nil
 	}()
-	defer m.journalCommitLocked(&err)
+	defer m.journalCommitLocked(&err, wait)
 	if err := m.journalHealthLocked(); err != nil {
 		return nil, err
 	}
@@ -354,6 +395,8 @@ func (m *Middleware) processSubmitLocked(c *ctx.Context, sp *telemetry.Span, def
 // as used; situations are re-evaluated over the delivered view.
 func (m *Middleware) Use(id ctx.ID) (c *ctx.Context, err error) {
 	opStart := m.tel.now()
+	var wait commitWait
+	defer m.commitDurable(&wait, &err)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	sp := m.tel.startSpan("use", string(id), opStart)
@@ -362,7 +405,7 @@ func (m *Middleware) Use(id ctx.ID) (c *ctx.Context, err error) {
 		m.tel.opDone("use", opStart, sp, useOutcome(err))
 		m.curSpan = nil
 	}()
-	defer m.journalCommitLocked(&err)
+	defer m.journalCommitLocked(&err, &wait)
 	if err := m.journalHealthLocked(); err != nil {
 		return nil, err
 	}
@@ -377,6 +420,8 @@ func (m *Middleware) Use(id ctx.ID) (c *ctx.Context, err error) {
 // when nothing matches.
 func (m *Middleware) UseLatest(kind ctx.Kind, subject string) (c *ctx.Context, err error) {
 	opStart := m.tel.now()
+	var wait commitWait
+	defer m.commitDurable(&wait, &err)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	sp := m.tel.startSpan("use_latest", string(kind)+"/"+subject, opStart)
@@ -385,7 +430,7 @@ func (m *Middleware) UseLatest(kind ctx.Kind, subject string) (c *ctx.Context, e
 		m.tel.opDone("use_latest", opStart, sp, useOutcome(err))
 		m.curSpan = nil
 	}()
-	defer m.journalCommitLocked(&err)
+	defer m.journalCommitLocked(&err, &wait)
 	if err := m.journalHealthLocked(); err != nil {
 		return nil, err
 	}
@@ -495,9 +540,11 @@ func (m *Middleware) evaluateSituationsLocked() []situation.Event {
 // AdvanceTo moves the logical clock forward (e.g. to expire contexts at
 // the end of a run) and sweeps expiry. Moving backwards is a no-op.
 func (m *Middleware) AdvanceTo(now time.Time) {
+	var wait commitWait
+	defer m.commitDurable(&wait, nil)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	defer m.journalCommitLocked(nil)
+	defer m.journalCommitLocked(nil, &wait)
 	// Deferred checks replay before the clock moves, so their recorded
 	// sweep points stay behind it (and match the journal's record order).
 	_ = m.catchUpLocked(nil)
@@ -515,6 +562,8 @@ func (m *Middleware) AdvanceTo(now time.Time) {
 // removed.
 func (m *Middleware) Compact() (removed int, err error) {
 	opStart := m.tel.now()
+	var wait commitWait
+	defer m.commitDurable(&wait, &err)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	sp := m.tel.startSpan("compact", "", opStart)
@@ -527,7 +576,7 @@ func (m *Middleware) Compact() (removed int, err error) {
 		m.tel.opDone("compact", opStart, sp, outcome)
 		m.curSpan = nil
 	}()
-	defer m.journalCommitLocked(&err)
+	defer m.journalCommitLocked(&err, &wait)
 	if err := m.journalHealthLocked(); err != nil {
 		return 0, err
 	}

@@ -85,6 +85,22 @@ type Options struct {
 	OpenFile func(name string) (File, error)
 	// Observer receives timing callbacks from the journal's hot paths.
 	Observer Observer
+	// GroupCommit coalesces fsyncs: Append no longer syncs inline
+	// (regardless of the Fsync policy); callers obtain durability through
+	// WaitDurable, and concurrent waiters share one leader-run fsync. The
+	// durability guarantee is that of FsyncAlways — no record is
+	// acknowledged before it is on stable storage — at a fraction of the
+	// fsync count under concurrency.
+	GroupCommit bool
+	// CommitDelay is how long a group-commit leader waits before syncing,
+	// giving concurrent appends time to join the batch. Zero syncs
+	// immediately (the fsync-in-flight window itself is then the batching
+	// window, which already coalesces under pipelined load).
+	CommitDelay time.Duration
+	// CommitBatch cuts CommitDelay short: a leader that already has this
+	// many unsynced records skips the delay. Zero means
+	// DefaultCommitBatch. Ignored when CommitDelay is zero.
+	CommitBatch int
 }
 
 // Observer is the journal's observability hook: any field may be nil,
@@ -110,6 +126,7 @@ const (
 	DefaultSegmentBytes  = 4 << 20
 	DefaultFsyncEvery    = 100 * time.Millisecond
 	DefaultKeepSnapshots = 2
+	DefaultCommitBatch   = 64
 )
 
 func (o *Options) withDefaults() Options {
@@ -125,6 +142,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if opt.OpenFile == nil {
 		opt.OpenFile = func(name string) (File, error) { return os.Create(name) }
+	}
+	if opt.CommitBatch <= 0 {
+		opt.CommitBatch = DefaultCommitBatch
 	}
 	return opt
 }
@@ -146,9 +166,17 @@ type Stats struct {
 	Snapshots int64 `json:"snapshots"`
 	// Segments is the number of live segment files.
 	Segments int `json:"segments"`
+	// GroupCommits counts leader-run coalesced fsyncs (zero without
+	// Options.GroupCommit). Records / GroupCommits is the achieved
+	// batching factor.
+	GroupCommits int64 `json:"groupCommits"`
 	// LastSeq is the sequence number of the last appended record (0 when
 	// the journal is empty).
 	LastSeq uint64 `json:"lastSeq"`
+	// DurableSeq is the highest sequence known to be on stable storage
+	// (meaningful under group commit; tracks LastSeq otherwise only at
+	// sync points).
+	DurableSeq uint64 `json:"durableSeq"`
 	// LastSnapshotSeq is the sequence the newest snapshot covers through
 	// (0 when no snapshot exists).
 	LastSnapshotSeq uint64 `json:"lastSnapshotSeq"`
@@ -173,13 +201,21 @@ type Journal struct {
 	closed   bool
 	err      error // sticky write failure
 
-	records   int64
-	bytes     int64
-	fsyncs    int64
-	rotations int64
-	snapshots int64
-	snapSeq   uint64
-	snapTime  time.Time
+	// Group-commit state (see WaitDurable). durableSeq is the highest
+	// sequence known stable; syncInFlight marks a leader fsync running
+	// outside the lock; syncCond wakes waiters when either changes.
+	syncCond     *sync.Cond
+	durableSeq   uint64
+	syncInFlight bool
+
+	records      int64
+	bytes        int64
+	fsyncs       int64
+	groupCommits int64
+	rotations    int64
+	snapshots    int64
+	snapSeq      uint64
+	snapTime     time.Time
 }
 
 // Open creates or continues the journal in opt.Dir. An existing journal
@@ -203,6 +239,7 @@ func Open(opt Options) (*Journal, error) {
 		return nil, err
 	}
 	j := &Journal{opt: o, nextSeq: 1}
+	j.syncCond = sync.NewCond(&j.mu)
 	if len(snaps) > 0 {
 		newest := snaps[len(snaps)-1]
 		j.snapSeq = newest.seq
@@ -236,6 +273,8 @@ func Open(opt Options) (*Journal, error) {
 		}
 		j.segments = segs
 	}
+	// Everything already on disk survived a scan, so it counts as durable.
+	j.durableSeq = j.nextSeq - 1
 	if err := j.openSegmentLocked(); err != nil {
 		return nil, err
 	}
@@ -303,9 +342,13 @@ func (j *Journal) Append(r Record) (uint64, error) {
 	j.segSize += int64(len(frame))
 	j.records++
 	j.bytes += int64(len(frame))
-	if err := j.maybeSyncLocked(); err != nil {
-		j.err = err
-		return 0, j.err
+	if !j.opt.GroupCommit {
+		// Under group commit the durability point is WaitDurable, never
+		// the append itself, whatever the fsync policy says.
+		if err := j.maybeSyncLocked(); err != nil {
+			j.err = err
+			return 0, j.err
+		}
 	}
 	if j.segSize >= j.opt.SegmentBytes {
 		if err := j.rotateLocked(); err != nil {
@@ -314,6 +357,94 @@ func (j *Journal) Append(r Record) (uint64, error) {
 		}
 	}
 	return r.Seq, nil
+}
+
+// GroupCommit reports whether the journal runs in group-commit mode, in
+// which callers must obtain durability through WaitDurable.
+func (j *Journal) GroupCommit() bool { return j.opt.GroupCommit }
+
+// WaitDurable blocks until every record with sequence <= seq is on stable
+// storage, coalescing with every other concurrent waiter: the first
+// arrival becomes the leader and runs one fsync covering everything
+// appended so far (optionally delayed by Options.CommitDelay to let a
+// batch build), the rest wait on it. An fsync failure is sticky, exactly
+// like an append failure: the journal fail-stops and every waiter gets
+// the error, so no caller ever acknowledges a record the log lost.
+func (j *Journal) WaitDurable(seq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		if j.durableSeq >= seq {
+			return nil
+		}
+		if j.err != nil {
+			return j.err
+		}
+		if j.closed {
+			return ErrClosed
+		}
+		if j.syncInFlight {
+			j.syncCond.Wait()
+			continue
+		}
+		j.groupSyncLocked()
+	}
+}
+
+// groupSyncLocked runs one leader fsync. It is entered and left with the
+// lock held, but the fsync itself — and the optional batching delay —
+// happen outside it, so appends (and therefore the batch) keep flowing
+// while the disk works. The sync covers exactly the records appended
+// before the lock was dropped; later appends belong to the next commit.
+func (j *Journal) groupSyncLocked() {
+	j.syncInFlight = true
+	if d := j.opt.CommitDelay; d > 0 && j.nextSeq-1-j.durableSeq < uint64(j.opt.CommitBatch) {
+		j.mu.Unlock()
+		time.Sleep(d)
+		j.mu.Lock()
+	}
+	if j.err != nil || j.closed {
+		// An append failed (or Close won the race) during the delay;
+		// there is nothing trustworthy left to sync.
+		j.syncInFlight = false
+		j.syncCond.Broadcast()
+		return
+	}
+	target := j.nextSeq - 1
+	f := j.f
+	var syncStart time.Time
+	if j.opt.Observer.Fsync != nil {
+		syncStart = time.Now()
+	}
+	j.mu.Unlock()
+	err := f.Sync()
+	j.mu.Lock()
+	j.syncInFlight = false
+	if err != nil {
+		if j.err == nil {
+			j.err = fmt.Errorf("wal: fsync: %w", err)
+		}
+	} else {
+		if j.opt.Observer.Fsync != nil {
+			j.opt.Observer.Fsync(time.Since(syncStart))
+		}
+		j.fsyncs++
+		j.groupCommits++
+		j.lastSync = time.Now()
+		if target > j.durableSeq {
+			j.durableSeq = target
+		}
+	}
+	j.syncCond.Broadcast()
+}
+
+// waitGroupSyncLocked parks until no leader fsync is in flight. Anything
+// that closes or replaces the active file (rotation, Close) must call it
+// first: the leader syncs j.f outside the lock.
+func (j *Journal) waitGroupSyncLocked() {
+	for j.syncInFlight {
+		j.syncCond.Wait()
+	}
 }
 
 func (j *Journal) maybeSyncLocked() error {
@@ -341,15 +472,27 @@ func (j *Journal) syncLocked() error {
 	}
 	j.fsyncs++
 	j.lastSync = time.Now()
+	if j.durableSeq < j.nextSeq-1 {
+		j.durableSeq = j.nextSeq - 1
+		j.syncCond.Broadcast()
+	}
 	return nil
 }
 
 // rotateLocked seals the active segment and starts the next one.
 func (j *Journal) rotateLocked() error {
+	j.waitGroupSyncLocked()
+	if j.err != nil {
+		return j.err
+	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("wal: rotate: sync: %w", err)
 	}
 	j.fsyncs++
+	if j.durableSeq < j.nextSeq-1 {
+		j.durableSeq = j.nextSeq - 1
+		j.syncCond.Broadcast()
+	}
 	if err := j.f.Close(); err != nil {
 		return fmt.Errorf("wal: rotate: close: %w", err)
 	}
@@ -383,10 +526,12 @@ func (j *Journal) Stats() Stats {
 		Records:                j.records,
 		Bytes:                  j.bytes,
 		Fsyncs:                 j.fsyncs,
+		GroupCommits:           j.groupCommits,
 		Rotations:              j.rotations,
 		Snapshots:              j.snapshots,
 		Segments:               len(j.segments),
 		LastSeq:                j.nextSeq - 1,
+		DurableSeq:             j.durableSeq,
 		LastSnapshotSeq:        j.snapSeq,
 		LastSnapshotAgeSeconds: -1,
 	}
@@ -405,14 +550,19 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
+	j.waitGroupSyncLocked()
 	var errs []error
 	if j.err == nil {
 		if err := j.syncLocked(); err != nil {
+			j.err = err // waiters must see the failure, not a clean close
 			errs = append(errs, err)
 		}
 	}
 	if err := j.f.Close(); err != nil {
 		errs = append(errs, fmt.Errorf("wal: close: %w", err))
 	}
+	// Wake WaitDurable callers parked across the close so they observe
+	// closed (or the sync failure) instead of sleeping forever.
+	j.syncCond.Broadcast()
 	return errors.Join(errs...)
 }
