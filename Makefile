@@ -21,13 +21,15 @@ test:
 race:
 	$(GO) test -race ./internal/constraint ./internal/middleware ./internal/pool ./internal/wal ./internal/daemon/... ./internal/metrics ./internal/telemetry ./internal/health ./internal/soak ./internal/testutil/leakcheck
 
-# soak runs the chaos storm in internal/soak for SOAKTIME (default 3m)
+# soak runs the chaos storms in internal/soak for SOAKTIME (default 3m)
 # under the race detector: overload bursts, a flapping corrupted source,
-# poisoned checks, and transport chaos against a live daemon, asserting
-# typed shedding, breaker trip + half-open recovery, bounded memory, and
-# no goroutine leaks. CI runs this nightly.
+# poisoned checks, and transport chaos against a live daemon (TestSoakStorm),
+# plus a push-delivery storm with flapping slow subscribers
+# (TestSoakSubscriberStorm), asserting typed shedding — including
+# subscriber-lagged — breaker trip + half-open recovery, bounded memory,
+# and no goroutine leaks. CI runs this nightly.
 soak:
-	CTXRES_SOAK=$(SOAKTIME) $(GO) test -race -v -run TestSoakStorm -timeout 30m ./internal/soak
+	CTXRES_SOAK=$(SOAKTIME) $(GO) test -race -v -run 'TestSoak' -timeout 30m ./internal/soak
 
 # bench regenerates BENCH_6.json, the machine-readable perf trajectory:
 # Figure 9/10 wall-clock, telemetry overhead on the same workloads, the

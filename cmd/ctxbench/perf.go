@@ -6,8 +6,11 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sort"
 	"time"
 
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
 	"ctxres/internal/daemon"
 	"ctxres/internal/experiment"
 	"ctxres/internal/middleware"
@@ -25,6 +28,7 @@ type perfReport struct {
 	Figures   []figurePerf      `json:"figures,omitempty"`
 	Telemetry []telemetryPerf   `json:"telemetryOverhead,omitempty"`
 	Daemon    *daemonPerf       `json:"daemon,omitempty"`
+	Push      *pushPerf         `json:"push,omitempty"`
 	Loadgen   *loadgenReport    `json:"loadgen,omitempty"`
 	Notes     map[string]string `json:"notes,omitempty"`
 }
@@ -58,6 +62,19 @@ type daemonPerf struct {
 	Histograms map[string]telemetry.HistogramSummary `json:"histograms"`
 }
 
+// pushPerf is the submit→activation→push round trip measured end to end
+// from a subscribed client: the clock starts before the Submit that flips
+// the situation and stops when the pushed event reaches the client's
+// handler over the same TCP connection. ServerPush is the server-side
+// ctxres_push_seconds histogram (event enqueue to frame flush).
+type pushPerf struct {
+	Toggles       int                        `json:"toggles"`
+	EndToEndP50Ms float64                    `json:"endToEndP50Millis"`
+	EndToEndP99Ms float64                    `json:"endToEndP99Millis"`
+	EndToEndMaxMs float64                    `json:"endToEndMaxMillis"`
+	ServerPush    telemetry.HistogramSummary `json:"serverPushSeconds"`
+}
+
 // perfOptions tunes the perf suite run.
 type perfOptions struct {
 	groups      int
@@ -76,6 +93,7 @@ func runPerf(out io.Writer, path string, opts perfOptions) error {
 			"overhead": "same workload replayed through RunOnce with and without a telemetry registry; single-process wall clock, not a statistical benchmark",
 			"daemon":   "figure workload over TCP against an in-process daemon with telemetry and an fsync-always WAL; histogram unit is seconds",
 			"loadgen":  "open-loop coordinated-omission-safe load generator over TCP; all configs fsync=always; see loadgen.method",
+			"push":     "submit→activation→push round trip from a subscribed client over TCP (empty checker: transport + evaluation cost, no constraint checking); serverPushSeconds is enqueue→flush",
 		},
 	}
 	if opts.loadgenOnly {
@@ -131,6 +149,14 @@ func runPerf(out io.Writer, path string, opts perfOptions) error {
 	rep.Daemon = &dp
 	fmt.Fprintf(out, "perf: daemon run: %d submits, %d uses, %d histograms captured\n",
 		dp.Submits, dp.Uses, len(dp.Histograms))
+
+	pp, err := measurePush()
+	if err != nil {
+		return fmt.Errorf("push phase: %w", err)
+	}
+	rep.Push = &pp
+	fmt.Fprintf(out, "perf: push round trip: p50 %.3fms p99 %.3fms over %d toggles\n",
+		pp.EndToEndP50Ms, pp.EndToEndP99Ms, pp.Toggles)
 
 	lg, err := runLoadgen(out, opts.loadgenDur, opts.wireFormat)
 	if err != nil {
@@ -284,4 +310,118 @@ func measureDaemon(seed int64) (daemonPerf, error) {
 		dp.Histograms[short] = hs
 	}
 	return dp, nil
+}
+
+// pushArrival is one pushed event with the wall-clock time the client
+// handler saw it.
+type pushArrival struct {
+	ev daemon.WireEvent
+	at time.Time
+}
+
+// measurePush measures the submit→activation→push round trip: a client
+// subscribes an inline formula, then repeatedly flips the situation — a
+// short-TTL submission activates it, a later submission for another
+// subject sweeps the expiry and deactivates it — timing each activation
+// from just before the Submit to the handler firing.
+func measurePush() (pushPerf, error) {
+	reg := telemetry.NewRegistry()
+	// An empty checker isolates the push path: the daemon and loadgen
+	// phases already price constraint checking.
+	strat, err := experiment.NewStrategy(experiment.DBad, rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		return pushPerf{}, err
+	}
+	mw := middleware.New(constraint.NewChecker(), strat,
+		middleware.WithTelemetry(reg))
+	srv, err := daemon.Serve("127.0.0.1:0", mw, nil, daemon.WithTelemetry(reg))
+	if err != nil {
+		return pushPerf{}, err
+	}
+	defer srv.Shutdown()
+	client, err := daemon.Dial(srv.Addr().String(), 10*time.Second)
+	if err != nil {
+		return pushPerf{}, err
+	}
+	defer client.Close()
+
+	events := make(chan pushArrival, 64)
+	err = client.SubscribeFormula("bench",
+		`exists a: location . subjectIs(a, "bench-subject")`,
+		func(_ string, ev daemon.WireEvent) {
+			events <- pushArrival{ev: ev, at: time.Now()}
+		})
+	if err != nil {
+		return pushPerf{}, fmt.Errorf("subscribe: %w", err)
+	}
+	next := func(want string) (pushArrival, error) {
+		select {
+		case a := <-events:
+			if a.ev.Type != want {
+				return a, fmt.Errorf("pushed %s %s, want %s", a.ev.Situation, a.ev.Type, want)
+			}
+			return a, nil
+		case <-time.After(5 * time.Second):
+			return pushArrival{}, fmt.Errorf("no %s push within 5s", want)
+		}
+	}
+
+	base := time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+	const toggles = 200
+	lat := make([]time.Duration, 0, toggles)
+	var seq uint64
+	for i := 0; i < toggles; i++ {
+		seq++
+		c := ctx.NewLocation("bench-subject", base.Add(time.Duration(seq)*time.Second),
+			ctx.Point{}, ctx.WithSeq(seq), ctx.WithSource("bench"),
+			ctx.WithTTL(2*time.Second))
+		start := time.Now()
+		if _, err := client.Submit(c); err != nil {
+			return pushPerf{}, fmt.Errorf("toggle submit: %w", err)
+		}
+		act, err := next("activated")
+		if err != nil {
+			return pushPerf{}, err
+		}
+		lat = append(lat, act.at.Sub(start))
+		// Sweep the TTL so the next round activates again.
+		seq += 4
+		w := ctx.NewLocation("bench-walker", base.Add(time.Duration(seq)*time.Second),
+			ctx.Point{}, ctx.WithSeq(seq), ctx.WithSource("bench"),
+			ctx.WithTTL(10*time.Second))
+		if _, err := client.Submit(w); err != nil {
+			return pushPerf{}, fmt.Errorf("sweep submit: %w", err)
+		}
+		if _, err := next("deactivated"); err != nil {
+			return pushPerf{}, err
+		}
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	ms := func(q float64) float64 {
+		idx := int(q * float64(len(lat)))
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		return float64(lat[idx].Nanoseconds()) / 1e6
+	}
+	pp := pushPerf{
+		Toggles:       toggles,
+		EndToEndP50Ms: ms(0.50),
+		EndToEndP99Ms: ms(0.99),
+		EndToEndMaxMs: float64(lat[len(lat)-1].Nanoseconds()) / 1e6,
+	}
+	snap, err := client.Telemetry()
+	if err != nil {
+		return pushPerf{}, err
+	}
+	if snap == nil {
+		return pushPerf{}, fmt.Errorf("stats op carried no telemetry snapshot")
+	}
+	hs, ok := snap.Histograms["ctxres_push_seconds"]
+	if !ok || hs.Count == 0 {
+		return pushPerf{}, fmt.Errorf("ctxres_push_seconds empty after push run")
+	}
+	pp.ServerPush = hs
+	return pp, nil
 }

@@ -156,6 +156,10 @@ func setup(args []string) (*daemonProc, error) {
 			"per-source sliding window of recent outcomes (0 = default)")
 		breakerCooldown = fs.Duration("breaker-cooldown", 0,
 			"logical time an open breaker waits before half-open probes (0 = default)")
+		maxSubscribers = fs.Int("max-subscribers", daemon.DefaultMaxSubscribers,
+			"situation subscriptions cap across all connections (-1 = unlimited)")
+		subQueue = fs.Int("sub-queue", daemon.DefaultSubQueueLen,
+			"per-subscriber event queue length; overflowing consumers are shed as subscriber-lagged")
 		version = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -171,7 +175,7 @@ func setup(args []string) (*daemonProc, error) {
 		checkTimeout: *checkTimeout, breakerTrip: *breakerTrip,
 		breakerWindow: *breakerWindow, breakerCooldown: *breakerCooldown,
 		groupCommit: *groupCommit, commitDelay: *commitDelay, commitBatch: *commitBatch,
-		dataDir: *dataDir,
+		dataDir: *dataDir, maxSubscribers: *maxSubscribers, subQueue: *subQueue,
 	}); err != nil {
 		return nil, err
 	}
@@ -314,6 +318,10 @@ func setup(args []string) (*daemonProc, error) {
 		daemon.WithDrainTimeout(*drain),
 		daemon.WithSnapshotInterval(snapInterval),
 		daemon.WithCompactInterval(*compactEvery),
+		daemon.WithSubscriptions(daemon.SubscriptionOptions{
+			MaxSubscribers: *maxSubscribers,
+			QueueLen:       *subQueue,
+		}),
 		daemon.WithTelemetry(reg))
 	if err != nil {
 		if *dataDir != "" {
@@ -386,6 +394,7 @@ type tunings struct {
 	commitDelay                     time.Duration
 	commitBatch                     int
 	dataDir                         string
+	maxSubscribers, subQueue        int
 }
 
 // validateTunings rejects flag values that would silently misconfigure
@@ -427,6 +436,10 @@ func validateTunings(t tunings) error {
 		return fmt.Errorf("-group-commit needs -data-dir (there is no journal to commit without one)")
 	case !t.groupCommit && (t.commitDelay > 0 || t.commitBatch > 0):
 		return fmt.Errorf("-commit-delay and -commit-batch need -group-commit")
+	case t.maxSubscribers == 0 || t.maxSubscribers < -1:
+		return fmt.Errorf("-max-subscribers must be > 0 or -1 (unlimited), got %d", t.maxSubscribers)
+	case t.subQueue <= 0:
+		return fmt.Errorf("-sub-queue must be > 0, got %d", t.subQueue)
 	}
 	return nil
 }

@@ -143,6 +143,10 @@ func TestSetupFlagValidation(t *testing.T) {
 		{"negative trip", []string{"-breaker-trip", "-0.1"}, "-breaker-trip"},
 		{"negative window", []string{"-breaker-window", "-8"}, "-breaker-window"},
 		{"negative cooldown", []string{"-breaker-cooldown", "-30s"}, "-breaker-cooldown"},
+		{"zero max-subscribers", []string{"-max-subscribers", "0"}, "-max-subscribers"},
+		{"below unlimited", []string{"-max-subscribers", "-2"}, "-max-subscribers"},
+		{"zero sub-queue", []string{"-sub-queue", "0"}, "-sub-queue"},
+		{"negative sub-queue", []string{"-sub-queue", "-4"}, "-sub-queue"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -197,6 +201,34 @@ func TestSetupResilienceFlagsWire(t *testing.T) {
 	}
 	if hs == nil {
 		t.Fatal("no health snapshot despite -breaker-trip")
+	}
+}
+
+// TestSetupSubscriptionFlagsWire proves -max-subscribers and -sub-queue
+// reach the daemon: under a cap of 1 the first subscription registers and
+// the second is refused with the typed server-busy code.
+func TestSetupSubscriptionFlagsWire(t *testing.T) {
+	d, err := setup([]string{"-addr", "127.0.0.1:0",
+		"-max-subscribers", "1", "-sub-queue", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.srv.Shutdown()
+	client, err := daemon.Dial(d.srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	formula := `exists a: location . subjectIs(a, "peter")`
+	if err := client.SubscribeFormula("s1", formula, func(string, daemon.WireEvent) {}); err != nil {
+		t.Fatalf("first subscribe: %v", err)
+	}
+	err = client.SubscribeFormula("s2", formula, func(string, daemon.WireEvent) {})
+	if daemon.ErrorCode(err) != daemon.CodeBusy {
+		t.Fatalf("second subscribe = %v, want %s", err, daemon.CodeBusy)
+	}
+	if st := d.srv.Stats(); st.Subscribers != 1 {
+		t.Fatalf("subscribers = %d, want 1", st.Subscribers)
 	}
 }
 

@@ -393,3 +393,14 @@ func quantifiesOverKind(f Formula, kind ctx.Kind) bool {
 	f.collectKinds(kinds)
 	return kinds[kind]
 }
+
+// FormulaKinds returns the set of context kinds the formula quantifies
+// over. Consumers use it to index formulas by kind so pool deltas touch
+// only the formulas that could change truth value.
+func FormulaKinds(f Formula) map[ctx.Kind]bool {
+	kinds := make(map[ctx.Kind]bool)
+	if f != nil {
+		f.collectKinds(kinds)
+	}
+	return kinds
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -36,11 +37,41 @@ type Client struct {
 
 	mu sync.Mutex // serializes round trips
 
-	stateMu sync.Mutex // guards conn/reader/closed; nests inside mu
+	stateMu      sync.Mutex // guards conn/reader/closed/pump; nests inside mu
+	conn         net.Conn
+	reader       *bufio.Reader
+	binary       bool // negotiated per connection; reset on reconnect
+	closed       bool
+	pump         *pumpState // owns reads on conn once subscriptions exist
+	reconnecting bool       // a background reestablish goroutine is running
+
+	subsMu sync.Mutex // guards subs; leaf lock, nests inside stateMu
+	subs   map[string]subscription
+}
+
+// subscription is the client-side record of one standing subscription,
+// kept for automatic re-registration on reconnect.
+type subscription struct {
+	id      string
+	name    string // named situation ("" for inline formula subs)
+	formula string
+	handler EventHandler
+}
+
+// EventHandler receives pushed situation transitions. Handlers run on the
+// client's read goroutine (or, while a synchronous request is in flight,
+// on that caller's goroutine): they must be fast and must not call back
+// into the Client.
+type EventHandler func(subID string, ev WireEvent)
+
+// pumpState is the read-pump bookkeeping for one connection. Once a
+// connection carries subscriptions, a pump goroutine owns all reads:
+// push frames go to handlers, response frames to the (single, because
+// round trips are serialized) waiting request.
+type pumpState struct {
 	conn    net.Conn
-	reader  *bufio.Reader
-	binary  bool // negotiated per connection; reset on reconnect
-	closed  bool
+	replies chan Response // cap 1; the one outstanding request's answer
+	dead    chan struct{} // closed when the pump exits
 }
 
 // ClientOptions tunes a client's timeout and reconnect behavior.
@@ -65,6 +96,12 @@ type ClientOptions struct {
 	// reconnects). Connecting with FormatBinary to a server that does not
 	// speak the hello op fails rather than silently downgrading.
 	WireFormat string
+	// OnSubscriptionLost is called (from the client's read goroutine) when
+	// a subscription is terminally cancelled: the server shed this
+	// connection as lagged (CodeSubscriberLagged), or a resubscription
+	// after reconnect was refused. The subscription is NOT re-registered —
+	// the typed shed is never retried. Nil disables the notification.
+	OnSubscriptionLost func(subID string, err error)
 }
 
 // Client tuning defaults.
@@ -127,7 +164,7 @@ func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 			return net.DialTimeout("tcp", addr, dialTimeout(timeout))
 		}
 	}
-	c := &Client{addr: addr, opts: opts}
+	c := &Client{addr: addr, opts: opts, subs: make(map[string]subscription)}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
@@ -159,6 +196,23 @@ func (c *Client) connect() error {
 		}
 		binary = true
 	}
+	// Replay standing subscriptions before the connection serves requests,
+	// mirroring the hello renegotiation: a reconnect transparently
+	// re-registers them. A typed refusal (the server restarted without the
+	// situation, hit its cap, ...) drops that one subscription — with
+	// OnSubscriptionLost notification — instead of failing the connection.
+	for _, sub := range c.snapshotSubs() {
+		req := Request{Op: OpSubscribe, SubID: sub.id, Situation: sub.name, Formula: sub.formula}
+		if _, err := c.exchangeOn(conn, reader, binary, req); err != nil {
+			var remote *RemoteError
+			if errors.As(err, &remote) {
+				c.forgetSub(sub.id, err)
+				continue
+			}
+			_ = conn.Close()
+			return err
+		}
+	}
 	c.stateMu.Lock()
 	defer c.stateMu.Unlock()
 	if c.closed {
@@ -166,7 +220,184 @@ func (c *Client) connect() error {
 		return ErrClientClosed
 	}
 	c.conn, c.reader, c.binary = conn, reader, binary
+	c.startPumpLocked()
 	return nil
+}
+
+// snapshotSubs copies the registered subscriptions in a stable order.
+func (c *Client) snapshotSubs() []subscription {
+	c.subsMu.Lock()
+	defer c.subsMu.Unlock()
+	out := make([]subscription, 0, len(c.subs))
+	for _, sub := range c.subs {
+		out = append(out, sub)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// forgetSub terminally removes a subscription and notifies the loss
+// callback.
+func (c *Client) forgetSub(id string, err error) {
+	c.subsMu.Lock()
+	_, had := c.subs[id]
+	delete(c.subs, id)
+	c.subsMu.Unlock()
+	if had && c.opts.OnSubscriptionLost != nil {
+		c.opts.OnSubscriptionLost(id, err)
+	}
+}
+
+// startPumpLocked hands the connection's reads to a pump goroutine when
+// subscriptions exist, so pushes flow without a request in flight. Called
+// with stateMu held and a live conn installed.
+func (c *Client) startPumpLocked() {
+	if c.pump != nil || c.conn == nil {
+		return
+	}
+	c.subsMu.Lock()
+	n := len(c.subs)
+	c.subsMu.Unlock()
+	if n == 0 {
+		return
+	}
+	// The pump blocks in reads indefinitely (pushes may be sparse);
+	// per-request timeouts are enforced by timers in exchangePumped.
+	_ = SetConnDeadline(c.conn, 0)
+	p := &pumpState{conn: c.conn, replies: make(chan Response, 1), dead: make(chan struct{})}
+	c.pump = p
+	go c.pumpLoop(p, c.reader, c.binary)
+}
+
+// pumpLoop owns all reads on one connection: pushes are dispatched to
+// handlers, responses handed to the waiting request. Any read failure
+// retires the connection; if subscriptions remain, a background reconnect
+// re-establishes them.
+func (c *Client) pumpLoop(p *pumpState, reader *bufio.Reader, binary bool) {
+	buf := getWireBuf()
+	for {
+		var body []byte
+		var err error
+		if binary {
+			body, err = readBinFrame(reader, buf)
+		} else {
+			body, err = readLine(reader, MaxLineBytes, buf)
+		}
+		if err != nil {
+			break
+		}
+		var resp Response
+		if err := json.Unmarshal(body, &resp); err != nil {
+			break
+		}
+		if resp.Push {
+			c.dispatchPush(resp)
+			continue
+		}
+		select {
+		case p.replies <- resp:
+		default:
+			// No request waiting: an unsolicited response. The stream can
+			// no longer be trusted to pair requests with responses.
+			putWireBuf(buf)
+			c.retirePump(p)
+			return
+		}
+	}
+	putWireBuf(buf)
+	c.retirePump(p)
+}
+
+func (c *Client) retirePump(p *pumpState) {
+	c.stateMu.Lock()
+	if c.pump == p {
+		c.pump = nil
+	}
+	c.stateMu.Unlock()
+	close(p.dead)
+	c.dropConn(p.conn)
+	c.maybeReestablish()
+}
+
+// dispatchPush routes one push frame: a terminal typed failure cancels
+// every subscription (never retried); an event goes to its handler.
+func (c *Client) dispatchPush(resp Response) {
+	if !resp.OK {
+		err := &RemoteError{Code: resp.Code, Message: resp.Error}
+		for _, sub := range c.snapshotSubs() {
+			c.forgetSub(sub.id, err)
+		}
+		return
+	}
+	if resp.Event == nil {
+		return
+	}
+	c.subsMu.Lock()
+	sub, ok := c.subs[resp.SubID]
+	c.subsMu.Unlock()
+	if ok && sub.handler != nil {
+		sub.handler(resp.SubID, *resp.Event)
+	}
+}
+
+// maybeReestablish starts (at most one) background reconnect loop so
+// subscribers keep receiving pushes without waiting for the next
+// synchronous request to trigger a reconnect.
+func (c *Client) maybeReestablish() {
+	c.stateMu.Lock()
+	if c.closed || c.reconnecting {
+		c.stateMu.Unlock()
+		return
+	}
+	c.subsMu.Lock()
+	n := len(c.subs)
+	c.subsMu.Unlock()
+	if n == 0 {
+		c.stateMu.Unlock()
+		return
+	}
+	c.reconnecting = true
+	c.stateMu.Unlock()
+	go c.reestablish()
+}
+
+func (c *Client) reestablish() {
+	backoff := c.opts.ReconnectBackoffMin
+	for {
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > c.opts.ReconnectBackoffMax {
+			backoff = c.opts.ReconnectBackoffMax
+		}
+		if c.isClosed() {
+			break
+		}
+		c.subsMu.Lock()
+		n := len(c.subs)
+		c.subsMu.Unlock()
+		if n == 0 {
+			break
+		}
+		c.mu.Lock()
+		conn, _, _ := c.current()
+		connected := conn != nil
+		if !connected {
+			connected = c.connect() == nil
+		}
+		c.mu.Unlock()
+		if connected {
+			break
+		}
+	}
+	c.stateMu.Lock()
+	c.reconnecting = false
+	dead := c.conn == nil
+	c.stateMu.Unlock()
+	// The pump may have died again while the flag was still set; re-check
+	// so no gap goes unrepaired.
+	if dead {
+		c.maybeReestablish()
+	}
 }
 
 // hello performs the line-JSON format handshake on a fresh connection.
@@ -224,6 +455,10 @@ func (c *Client) Close() error {
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.roundTripLocked(req)
+}
+
+func (c *Client) roundTripLocked(req Request) (Response, error) {
 	var lastErr error
 	backoff := c.opts.ReconnectBackoffMin
 	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
@@ -248,7 +483,7 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 			}
 			conn, reader, binary = c.current()
 		}
-		resp, err := c.exchangeOn(conn, reader, binary, req)
+		resp, err := c.exchange(conn, reader, binary, req)
 		if err == nil {
 			return resp, nil
 		}
@@ -268,10 +503,28 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		c.opts.MaxAttempts, lastErr)
 }
 
+// exchange performs one request/response on conn, routing through the
+// read pump when one owns the connection's reads.
+func (c *Client) exchange(conn net.Conn, reader *bufio.Reader, binary bool, req Request) (Response, error) {
+	c.stateMu.Lock()
+	p := c.pump
+	if p != nil && p.conn != conn {
+		p = nil
+	}
+	c.stateMu.Unlock()
+	if p != nil {
+		return c.exchangePumped(p, conn, binary, req)
+	}
+	return c.exchangeOn(conn, reader, binary, req)
+}
+
 // exchangeOn performs one request/response over conn in the given
-// framing. Any I/O error leaves the stream in an unknown position; the
-// caller must drop the connection rather than reuse it (roundTrip does),
-// so a truncated binary frame can never desync a later request.
+// framing. Push frames arriving between the request and its response are
+// dispatched inline and skipped — the Push tag is what keeps
+// server-initiated events from ever desyncing the pairing. Any I/O error
+// leaves the stream in an unknown position; the caller must drop the
+// connection rather than reuse it (roundTrip does), so a truncated binary
+// frame can never desync a later request.
 func (c *Client) exchangeOn(conn net.Conn, reader *bufio.Reader, binary bool, req Request) (Response, error) {
 	if err := SetConnDeadline(conn, c.opts.Timeout); err != nil {
 		return Response{}, fmt.Errorf("daemon: set deadline: %w", err)
@@ -294,26 +547,79 @@ func (c *Client) exchangeOn(conn net.Conn, reader *bufio.Reader, binary bool, re
 	if _, err := conn.Write(*wire); err != nil {
 		return Response{}, fmt.Errorf("daemon: write: %w", err)
 	}
-	var body []byte
-	if binary {
-		body, err = readBinFrame(reader, wire)
-	} else {
-		body, err = readLine(reader, MaxLineBytes, wire)
-	}
-	if err != nil {
-		if errors.Is(err, io.EOF) {
-			return Response{}, errors.New("daemon: connection closed")
+	for {
+		var body []byte
+		if binary {
+			body, err = readBinFrame(reader, wire)
+		} else {
+			body, err = readLine(reader, MaxLineBytes, wire)
 		}
-		return Response{}, fmt.Errorf("daemon: read: %w", err)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return Response{}, errors.New("daemon: connection closed")
+			}
+			return Response{}, fmt.Errorf("daemon: read: %w", err)
+		}
+		var resp Response
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return Response{}, fmt.Errorf("daemon: decode response: %w", err)
+		}
+		if resp.Push {
+			c.dispatchPush(resp)
+			continue
+		}
+		if !resp.OK {
+			return Response{}, &RemoteError{Code: resp.Code, Message: resp.Error}
+		}
+		return resp, nil
 	}
-	var resp Response
-	if err := json.Unmarshal(body, &resp); err != nil {
-		return Response{}, fmt.Errorf("daemon: decode response: %w", err)
+}
+
+// exchangePumped writes the request and waits for the pump to hand back
+// the response. A timeout or pump death is a transport failure: roundTrip
+// drops the connection, so a late response can never be misread as the
+// answer to a later request.
+func (c *Client) exchangePumped(p *pumpState, conn net.Conn, binary bool, req Request) (Response, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, fmt.Errorf("daemon: marshal request: %w", err)
 	}
-	if !resp.OK {
-		return Response{}, &RemoteError{Code: resp.Code, Message: resp.Error}
+	wire := getWireBuf()
+	defer putWireBuf(wire)
+	if binary {
+		framed, err := appendBinFrame((*wire)[:0], payload)
+		if err != nil {
+			return Response{}, fmt.Errorf("daemon: frame request: %w", err)
+		}
+		*wire = framed
+	} else {
+		*wire = append(append((*wire)[:0], payload...), '\n')
 	}
-	return resp, nil
+	if c.opts.Timeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(c.opts.Timeout)); err != nil {
+			return Response{}, fmt.Errorf("daemon: set deadline: %w", err)
+		}
+	}
+	if _, err := conn.Write(*wire); err != nil {
+		return Response{}, fmt.Errorf("daemon: write: %w", err)
+	}
+	var timeout <-chan time.Time
+	if c.opts.Timeout > 0 {
+		t := time.NewTimer(c.opts.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case resp := <-p.replies:
+		if !resp.OK {
+			return Response{}, &RemoteError{Code: resp.Code, Message: resp.Error}
+		}
+		return resp, nil
+	case <-timeout:
+		return Response{}, errors.New("daemon: timed out awaiting response")
+	case <-p.dead:
+		return Response{}, errors.New("daemon: connection closed")
+	}
 }
 
 // Ping checks liveness.
@@ -460,4 +766,79 @@ func (c *Client) Situations() (map[string]bool, error) {
 		return nil, err
 	}
 	return resp.Active, nil
+}
+
+// Subscribe registers a standing subscription to a named situation: the
+// server pushes every activation/deactivation transition to h without
+// polling. The subscription is automatically re-registered on transparent
+// reconnects (mirroring the wire-format renegotiation) until Unsubscribe
+// — with one exception: a connection shed as lagged (CodeSubscriberLagged)
+// terminally cancels its subscriptions, reported via OnSubscriptionLost
+// and never retried.
+func (c *Client) Subscribe(subID, situationName string, h EventHandler) error {
+	if situationName == "" {
+		return errors.New("daemon: subscribe: missing situation name")
+	}
+	return c.subscribe(subscription{id: subID, name: situationName, handler: h})
+}
+
+// SubscribeFormula registers a standing subscription to an inline closed
+// formula of the constraint language, compiled server-side and evaluated
+// over the pool's available view. Events carry the subscription ID as
+// their situation label.
+func (c *Client) SubscribeFormula(subID, formula string, h EventHandler) error {
+	if formula == "" {
+		return errors.New("daemon: subscribe: missing formula")
+	}
+	return c.subscribe(subscription{id: subID, formula: formula, handler: h})
+}
+
+func (c *Client) subscribe(sub subscription) error {
+	if sub.id == "" {
+		return errors.New("daemon: subscribe: missing subscription id")
+	}
+	c.subsMu.Lock()
+	_, dup := c.subs[sub.id]
+	c.subsMu.Unlock()
+	if dup {
+		return &RemoteError{Code: CodeDupSubscription,
+			Message: fmt.Sprintf("subscription %q already registered", sub.id)}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req := Request{Op: OpSubscribe, SubID: sub.id, Situation: sub.name, Formula: sub.formula}
+	if _, err := c.roundTripLocked(req); err != nil {
+		return err
+	}
+	c.subsMu.Lock()
+	c.subs[sub.id] = sub
+	c.subsMu.Unlock()
+	// Hand reads to the pump so pushes flow without a request in flight.
+	c.stateMu.Lock()
+	if !c.closed {
+		c.startPumpLocked()
+	}
+	c.stateMu.Unlock()
+	return nil
+}
+
+// Unsubscribe removes a subscription. It is removed locally first — so a
+// reconnect mid-call cannot resurrect it — then deregistered server-side;
+// a server that no longer knows the ID (the connection was replaced or
+// shed in between) counts as success. Events queued server-side before
+// the ack may still be delivered to the handler.
+func (c *Client) Unsubscribe(subID string) error {
+	c.subsMu.Lock()
+	_, had := c.subs[subID]
+	delete(c.subs, subID)
+	c.subsMu.Unlock()
+	if !had {
+		return fmt.Errorf("daemon: unsubscribe: unknown subscription %q", subID)
+	}
+	_, err := c.roundTrip(Request{Op: OpUnsubscribe, SubID: subID})
+	var remote *RemoteError
+	if errors.As(err, &remote) {
+		return nil
+	}
+	return err
 }

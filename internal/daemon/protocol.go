@@ -10,6 +10,8 @@
 package daemon
 
 import (
+	"time"
+
 	"ctxres/internal/constraint"
 	"ctxres/internal/ctx"
 	"ctxres/internal/health"
@@ -38,6 +40,19 @@ const (
 	// that predates the op answers with an unknown-op error and the
 	// connection stays line-JSON capable.
 	OpHello Op = "hello"
+	// OpSubscribe registers a standing subscription on this connection:
+	// either a named situation (Request.Situation) or an inline formula of
+	// the constraint language (Request.Formula, compiled server-side). The
+	// server then pushes an event frame — a Response with Push set — on
+	// every activation/deactivation transition, interleaved between
+	// request/response pairs on the same connection. Subscription IDs are
+	// scoped to the connection; renegotiating the wire format after a
+	// subscribe is refused.
+	OpSubscribe Op = "subscribe"
+	// OpUnsubscribe removes a subscription by ID. Events already queued
+	// when the ack is written may still be delivered; no new transitions
+	// are pushed after it.
+	OpUnsubscribe Op = "unsubscribe"
 )
 
 // Wire format names carried by OpHello.
@@ -84,6 +99,16 @@ const (
 	// watchdog: the consistency check or strategy callback ran past its
 	// timeout or panicked. The operation was rolled back.
 	CodeCheckTimeout Code = "check-timeout"
+	// CodeSubscriberLagged is pushed (best-effort, then the connection is
+	// closed) to a subscriber whose event queue overflowed because it was
+	// not draining pushes fast enough. All of the connection's
+	// subscriptions were cancelled server-side. Like the other typed
+	// sheds, it is never retried automatically: blindly resubscribing a
+	// consumer that cannot keep up only rebuilds the backlog.
+	CodeSubscriberLagged Code = "subscriber-lagged"
+	// CodeDupSubscription rejects an OpSubscribe whose ID is already
+	// registered on the same connection.
+	CodeDupSubscription Code = "duplicate-subscription"
 )
 
 // Request is one client request.
@@ -106,6 +131,16 @@ type Request struct {
 	// Format is the requested wire format (OpHello): FormatJSON or
 	// FormatBinary.
 	Format string `json:"format,omitempty"`
+	// SubID names a subscription on this connection (OpSubscribe /
+	// OpUnsubscribe).
+	SubID string `json:"subId,omitempty"`
+	// Situation subscribes to a named situation registered with the
+	// server's engine (OpSubscribe).
+	Situation string `json:"situation,omitempty"`
+	// Formula subscribes to an inline closed formula of the constraint
+	// language, evaluated over the pool's available view (OpSubscribe).
+	// Exactly one of Situation and Formula must be set.
+	Formula string `json:"formula,omitempty"`
 }
 
 // WireViolation is a violation with context IDs only (contexts stay on the
@@ -160,6 +195,33 @@ type Response struct {
 	Results []BatchResult `json:"results,omitempty"`
 	// Format echoes the negotiated wire format (OpHello).
 	Format string `json:"format,omitempty"`
+	// Push tags a server-initiated frame. Both wire formats frame pushes
+	// exactly like responses (one JSON object per line / per binary
+	// frame), and the server serializes all writes on a connection, so a
+	// push can never split or reorder a request's response — clients route
+	// each decoded frame by this flag. A push frame carries either an
+	// Event (with the SubID it belongs to) or, with OK false, a terminal
+	// typed failure such as CodeSubscriberLagged.
+	Push bool `json:"push,omitempty"`
+	// SubID identifies the subscription a push frame belongs to; it also
+	// echoes the ID on subscribe/unsubscribe acks.
+	SubID string `json:"subId,omitempty"`
+	// Event is the pushed situation transition.
+	Event *WireEvent `json:"event,omitempty"`
+}
+
+// WireEvent is one pushed situation transition. At is the middleware's
+// logical clock at the transition, so replaying the same submissions
+// yields byte-identical event streams in both wire formats (wall-clock
+// timing stays server-side, in the push-latency histogram).
+type WireEvent struct {
+	// Situation is the situation name, or the subscription ID for inline
+	// formula subscriptions.
+	Situation string `json:"situation"`
+	// Type is "activated" or "deactivated".
+	Type string `json:"type"`
+	// At is the logical time of the transition.
+	At time.Time `json:"at"`
 }
 
 // BatchResult is one context's outcome within a batch submission. A

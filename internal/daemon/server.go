@@ -36,10 +36,17 @@ type Server struct {
 	closed bool
 	conns  map[net.Conn]*connState
 
-	wg       sync.WaitGroup
-	stop     chan struct{} // closed when Shutdown starts
-	done     chan struct{} // closed when Shutdown finishes
-	counters serverCounters
+	// hub routes middleware deltas to situation subscribers (subscribe.go).
+	hub *hub
+
+	wg   sync.WaitGroup
+	stop chan struct{} // closed when Shutdown starts
+	done chan struct{} // closed when Shutdown finishes
+	// drainNotify wakes the drain loop when a request finishes or a
+	// connection goroutine exits (capacity 1: a pending token means
+	// "re-check", collapsing bursts).
+	drainNotify chan struct{}
+	counters    serverCounters
 
 	// Observability (see telemetry.go). reg is kept for the OpStats
 	// snapshot; tel's zero value disables all per-request instruments.
@@ -71,6 +78,7 @@ type options struct {
 	snapshotInterval time.Duration
 	compactInterval  time.Duration
 	telemetry        *telemetry.Registry
+	subs             SubscriptionOptions
 }
 
 func defaultOptions() options {
@@ -141,6 +149,11 @@ type serverCounters struct {
 	idleClosed    atomic.Int64
 	readErrors    atomic.Int64
 	maintErrors   atomic.Int64
+
+	// Push-delivery counters (subscribe.go).
+	pushesDelivered atomic.Int64
+	pushesDropped   atomic.Int64
+	subscribersShed atomic.Int64
 }
 
 // ServerStats is a snapshot of the server's transport counters, exposed
@@ -166,11 +179,27 @@ type ServerStats struct {
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	// MaintenanceErrors counts failed periodic checkpoints/compactions.
 	MaintenanceErrors int64 `json:"maintenanceErrors"`
+	// Subscribers is the number of currently registered subscriptions.
+	Subscribers int64 `json:"subscribers"`
+	// PushesDelivered counts event frames written to subscribers.
+	PushesDelivered int64 `json:"pushesDelivered"`
+	// PushesDropped counts events lost to slow-consumer shedding.
+	PushesDropped int64 `json:"pushesDropped"`
+	// SubscribersShed counts connections shed with CodeSubscriberLagged.
+	SubscribersShed int64 `json:"subscribersShed"`
 }
 
 // Stats snapshots the transport counters.
 func (s *Server) Stats() ServerStats {
+	var subscribers int64
+	if s.hub != nil {
+		subscribers = int64(s.hub.size())
+	}
 	return ServerStats{
+		Subscribers:       subscribers,
+		PushesDelivered:   s.counters.pushesDelivered.Load(),
+		PushesDropped:     s.counters.pushesDropped.Load(),
+		SubscribersShed:   s.counters.subscribersShed.Load(),
 		Accepted:          s.counters.accepted.Load(),
 		AcceptRetries:     s.counters.acceptRetries.Load(),
 		RejectedFull:      s.counters.rejectedFull.Load(),
@@ -189,6 +218,10 @@ func (s *Server) Stats() ServerStats {
 // finish writing its response.
 type connState struct {
 	conn net.Conn
+	// drainCh is the server's drainNotify channel; endRequest signals it
+	// so a draining Shutdown wakes as soon as the last in-flight request
+	// finishes instead of polling.
+	drainCh chan<- struct{}
 
 	mu       sync.Mutex
 	inFlight bool
@@ -209,6 +242,16 @@ func (cs *connState) endRequest() {
 	cs.mu.Lock()
 	cs.inFlight = false
 	cs.mu.Unlock()
+	notifyDrain(cs.drainCh)
+}
+
+// notifyDrain posts a non-blocking wakeup token; a token already pending
+// means a re-check is queued and nothing is lost.
+func notifyDrain(ch chan<- struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
 }
 
 // closeIfIdle closes the connection unless a request is in flight. It
@@ -255,15 +298,18 @@ func ServeListener(ln net.Listener, mw *middleware.Middleware, engine *situation
 		o(&opt)
 	}
 	s := &Server{
-		mw:     mw,
-		engine: engine,
-		ln:     ln,
-		opt:    opt,
-		start:  time.Now(),
-		conns:  make(map[net.Conn]*connState),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		mw:          mw,
+		engine:      engine,
+		ln:          ln,
+		opt:         opt,
+		start:       time.Now(),
+		conns:       make(map[net.Conn]*connState),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		drainNotify: make(chan struct{}, 1),
 	}
+	s.hub = newHub(s, opt.subs)
+	mw.SetDeltaHook(s.hub.notify)
 	s.reg = opt.telemetry
 	s.tel = newServerTelemetry(opt.telemetry)
 	s.registerTelemetryFuncs(opt.telemetry)
@@ -328,15 +374,22 @@ func (s *Server) Shutdown() {
 	_ = s.ln.Close()
 	s.mu.Unlock()
 
+	// Detach the delta hook first: no new events enqueue during drain,
+	// while already-queued events are still flushed by the pushers.
+	s.mw.SetDeltaHook(nil)
 	s.drain()
 	s.wg.Wait()
 	close(s.done)
 }
 
 // drain closes idle connections immediately and gives connections with a
-// request in flight until the drain timeout to finish responding.
+// request in flight until the drain timeout to finish responding. It is
+// event-driven: finished requests and departing connection goroutines
+// signal drainNotify, so the loop wakes exactly when progress is possible
+// (plus one deadline timer) instead of polling.
 func (s *Server) drain() {
-	deadline := time.Now().Add(s.opt.drainTimeout)
+	timer := time.NewTimer(s.opt.drainTimeout)
+	defer timer.Stop()
 	for {
 		s.mu.Lock()
 		states := make([]*connState, 0, len(s.conns))
@@ -353,13 +406,18 @@ func (s *Server) drain() {
 				allClosed = false
 			}
 		}
-		if allClosed || time.Now().After(deadline) {
+		if allClosed {
+			return
+		}
+		select {
+		case <-timer.C:
 			for _, cs := range states {
 				cs.forceClose()
 			}
 			return
+		case <-s.drainNotify:
+			// A request finished or a connection went away: re-check.
 		}
-		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -424,11 +482,19 @@ func isTemporary(err error) bool {
 }
 
 // rejectBusy answers an over-cap connection with a protocol error before
-// closing it, so well-behaved clients can tell overload from a crash.
+// closing it, so well-behaved clients can tell overload from a crash. It
+// runs on the accept loop, so the write deadline matters: it is derived
+// from the configured idle timeout (capped at one second) rather than
+// hardcoded, keeping a stalled over-cap client from holding up Accept
+// longer than the server's own idle policy would tolerate.
 func (s *Server) rejectBusy(conn net.Conn) {
+	d := s.opt.idleTimeout
+	if d <= 0 || d > time.Second {
+		d = time.Second
+	}
 	resp := errResponseCode(CodeBusy, fmt.Errorf("server at connection cap (%d)", s.opt.maxConns))
 	if payload, err := json.Marshal(resp); err == nil {
-		_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+		_ = conn.SetWriteDeadline(time.Now().Add(d))
 		_, _ = conn.Write(append(payload, '\n'))
 	}
 	_ = conn.Close()
@@ -451,71 +517,61 @@ func (s *Server) track(conn net.Conn) (*connState, trackResult) {
 	if s.opt.maxConns > 0 && len(s.conns) >= s.opt.maxConns {
 		return nil, trackFull
 	}
-	cs := &connState{conn: conn}
+	cs := &connState{conn: conn, drainCh: s.drainNotify}
 	s.conns[conn] = cs
 	return cs, trackOK
 }
 
 func (s *Server) untrack(conn net.Conn) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.conns, conn)
+	s.mu.Unlock()
+	notifyDrain(s.drainNotify)
 }
 
 func (s *Server) serveConn(cs *connState) {
 	conn := cs.conn
 	defer s.wg.Done()
 	defer s.untrack(conn)
-	defer conn.Close()
 
 	// One shared buffered reader serves both wire formats: hello is read as
 	// a line, and when the connection switches to binary framing any bytes
 	// the reader already buffered are still consumed in order.
 	br := bufio.NewReader(conn)
-	writer := bufio.NewWriter(conn)
 	readBuf := getWireBuf()
 	defer putWireBuf(readBuf)
-	frameBuf := getWireBuf()
-	defer putWireBuf(frameBuf)
+	// All writes — responses here, event pushes from the pusher goroutine
+	// — go through one connWriter, so frames never interleave.
+	cw := newConnWriter(conn)
 	binary := false
+	// sub is the connection's push side, created on its first subscribe.
+	// This defer runs before the buffer is pooled (LIFO): closing the
+	// connection unblocks a pusher stuck in a write, and the detach joins
+	// the pusher goroutine before any shared state is recycled.
+	var sub *subscriber
+	defer func() {
+		_ = conn.Close()
+		s.detachSubscriber(sub)
+	}()
 
 	// respond marshals once and frames per the negotiated format; the JSON
 	// payload bytes are identical either way (the differential suite pins
 	// this), binary mode just swaps the newline delimiter for a
 	// length+CRC header.
 	respond := func(resp Response) bool {
-		if s.opt.idleTimeout > 0 {
-			if err := conn.SetWriteDeadline(time.Now().Add(s.opt.idleTimeout)); err != nil {
-				return false
-			}
-		}
-		payload, err := json.Marshal(resp)
-		if err != nil {
-			return false
-		}
-		if binary {
-			framed, err := appendBinFrame((*frameBuf)[:0], payload)
-			if err != nil {
-				return false
-			}
-			*frameBuf = framed[:0]
-			if _, err := writer.Write(framed); err != nil {
-				return false
-			}
-		} else {
-			if _, err := writer.Write(payload); err != nil {
-				return false
-			}
-			if err := writer.WriteByte('\n'); err != nil {
-				return false
-			}
-		}
-		return writer.Flush() == nil
+		return cw.write(resp, s.opt.idleTimeout)
 	}
 
 	for {
 		if s.opt.idleTimeout > 0 {
-			if err := conn.SetReadDeadline(time.Now().Add(s.opt.idleTimeout)); err != nil {
+			// A connection with live subscriptions legitimately idles
+			// between pushes; the idle reaper only applies while it has
+			// none.
+			var deadline time.Time
+			if sub == nil || sub.n.Load() == 0 {
+				deadline = time.Now().Add(s.opt.idleTimeout)
+			}
+			if err := conn.SetReadDeadline(deadline); err != nil {
 				return
 			}
 		}
@@ -569,7 +625,7 @@ func (s *Server) serveConn(cs *connState) {
 		} else {
 			internRequest(&req)
 			op = string(req.Op)
-			resp = s.handle(req)
+			resp = s.handleConn(cs, &sub, cw, req)
 		}
 		s.tel.requestDone(op, reqStart, resp)
 		s.tel.inflight.Add(-1)
@@ -579,9 +635,11 @@ func (s *Server) serveConn(cs *connState) {
 			return
 		}
 		// The hello ack travels in the old format; everything after it in
-		// the negotiated one.
+		// the negotiated one. No push can race the switch: hello is
+		// refused once the connection has subscriptions.
 		if req.Op == OpHello && resp.OK {
 			binary = resp.Format == FormatBinary
+			cw.setBinary(binary)
 		}
 	}
 }
@@ -680,6 +738,11 @@ func (s *Server) handle(req Request) Response {
 			}
 		}
 		return Response{OK: true, Active: active}
+	case OpSubscribe, OpUnsubscribe:
+		// Reached only through direct handle calls (fuzzers, tests):
+		// the serving path intercepts these in handleConn, where the
+		// connection state they need lives.
+		return errResponse(fmt.Errorf("%s: subscriptions require a live connection", req.Op))
 	default:
 		return errResponse(fmt.Errorf("unknown op %q", req.Op))
 	}

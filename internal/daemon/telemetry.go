@@ -25,6 +25,7 @@ type serverTelemetry struct {
 	requests *telemetry.HistogramVec // by op
 	inflight *telemetry.Gauge
 	errcodes *telemetry.CounterVec // by response code
+	pushes   *telemetry.Histogram  // event enqueue → write-complete latency
 }
 
 func newServerTelemetry(reg *telemetry.Registry) serverTelemetry {
@@ -35,7 +36,17 @@ func newServerTelemetry(reg *telemetry.Registry) serverTelemetry {
 	t.requests = reg.HistogramVec("ctxres_request_seconds", "Daemon request latency by operation.", "op", nil)
 	t.inflight = reg.Gauge("ctxres_inflight_requests", "Requests currently being handled.")
 	t.errcodes = reg.CounterVec("ctxres_request_errors_total", "Failed responses by error code.", "code")
+	t.pushes = reg.Histogram("ctxres_push_seconds",
+		"Push delivery latency from event enqueue to frame written.", nil)
 	return t
+}
+
+// pushDone observes one delivered push's queue-to-wire latency.
+func (t *serverTelemetry) pushDone(enq time.Time) {
+	if !t.on || enq.IsZero() {
+		return
+	}
+	t.pushes.ObserveDuration(time.Since(enq))
 }
 
 func (t *serverTelemetry) now() time.Time {
@@ -78,6 +89,11 @@ func (s *Server) registerTelemetryFuncs(reg *telemetry.Registry) {
 	mirror("ctxres_idle_closed_total", "Connections reaped by the idle deadline.", &c.idleClosed)
 	mirror("ctxres_read_errors_total", "Connections dropped on transport read errors.", &c.readErrors)
 	mirror("ctxres_maintenance_errors_total", "Failed periodic checkpoints and compactions.", &c.maintErrors)
+	mirror("ctxres_pushes_delivered_total", "Situation event frames pushed to subscribers.", &c.pushesDelivered)
+	mirror("ctxres_pushes_dropped_total", "Situation events lost to slow-consumer shedding.", &c.pushesDropped)
+	mirror("ctxres_subscribers_shed_total", "Subscriber connections shed as lagged.", &c.subscribersShed)
+	reg.GaugeFunc("ctxres_subscribers", "Currently registered situation subscriptions.",
+		func() float64 { return float64(s.hub.size()) })
 	reg.GaugeFunc("ctxres_uptime_seconds", "Seconds since the server started serving.",
 		func() float64 { return time.Since(s.start).Seconds() })
 	reg.GaugeFunc("ctxres_open_connections", "Connections currently tracked by the server.",

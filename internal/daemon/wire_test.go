@@ -77,9 +77,8 @@ func dialRaw(t *testing.T, srv *Server, format string) *rawConn {
 	return rc
 }
 
-// exchange sends req and returns a copy of the raw response payload (the
-// JSON document, with any framing stripped).
-func (rc *rawConn) exchange(req Request) []byte {
+// send writes req in the connection's negotiated framing.
+func (rc *rawConn) send(req Request) {
 	rc.t.Helper()
 	payload, err := json.Marshal(req)
 	if err != nil {
@@ -98,16 +97,55 @@ func (rc *rawConn) exchange(req Request) []byte {
 			rc.t.Fatalf("write line: %v", err)
 		}
 	}
+}
+
+// readFrame returns a copy of the next raw payload (the JSON document,
+// with any framing stripped) — a response or a pushed event frame.
+func (rc *rawConn) readFrame() []byte {
+	rc.t.Helper()
 	var body []byte
+	var err error
 	if rc.binary {
 		body, err = readBinFrame(rc.br, &rc.buf)
 	} else {
 		body, err = readLine(rc.br, MaxLineBytes, &rc.buf)
 	}
 	if err != nil {
-		rc.t.Fatalf("read response: %v", err)
+		rc.t.Fatalf("read frame: %v", err)
 	}
 	return append([]byte(nil), body...)
+}
+
+// exchange sends req and returns the raw response payload.
+func (rc *rawConn) exchange(req Request) []byte {
+	rc.t.Helper()
+	rc.send(req)
+	return rc.readFrame()
+}
+
+// exchangeWithPush sends req and reads the two frames it provokes: the
+// response and exactly one pushed event. The serving goroutine and the
+// pusher goroutine write concurrently (the connWriter only guarantees
+// whole frames), so the pair may arrive in either order; frames are
+// classified by the Push tag.
+func (rc *rawConn) exchangeWithPush(req Request) (resp, push []byte) {
+	rc.t.Helper()
+	rc.send(req)
+	first, second := rc.readFrame(), rc.readFrame()
+	var a, b Response
+	if err := json.Unmarshal(first, &a); err != nil {
+		rc.t.Fatalf("decode frame %q: %v", first, err)
+	}
+	if err := json.Unmarshal(second, &b); err != nil {
+		rc.t.Fatalf("decode frame %q: %v", second, err)
+	}
+	if a.Push == b.Push {
+		rc.t.Fatalf("want one response and one push, got %q and %q", first, second)
+	}
+	if a.Push {
+		return second, first
+	}
+	return first, second
 }
 
 // TestWireFormatsDifferential drives two identically configured servers
@@ -143,6 +181,74 @@ func TestWireFormatsDifferential(t *testing.T) {
 		if !bytes.Equal(fromJSON, fromBin) {
 			t.Errorf("step %d (%s): payloads differ\n json:   %s\n binary: %s",
 				i, req.Op, fromJSON, fromBin)
+		}
+	}
+
+	// Subscription surface: acks and every error path must stay
+	// byte-identical too.
+	subReqs := []Request{
+		{Op: OpSubscribe, SubID: "sp", Situation: "present"},
+		{Op: OpSubscribe, SubID: "sp", Situation: "present"},            // duplicate → typed error
+		{Op: OpSubscribe, Situation: "present"},                         // missing subId
+		{Op: OpSubscribe, SubID: "sx", Situation: "ghost"},              // unknown situation
+		{Op: OpSubscribe, SubID: "sy", Formula: "exists a: location ."}, // parse error
+		{Op: OpSubscribe, SubID: "anna-sub",
+			Formula: `exists a: location . subjectIs(a, "anna")`},
+	}
+	for i, req := range subReqs {
+		fromJSON := jsonConn.exchange(req)
+		fromBin := binConn.exchange(req)
+		if !bytes.Equal(fromJSON, fromBin) {
+			t.Errorf("subscribe step %d: payloads differ\n json:   %s\n binary: %s",
+				i, fromJSON, fromBin)
+		}
+	}
+
+	// Pushed event frames carry the logical clock, never wall time, so the
+	// activation a submission provokes is byte-identical across formats —
+	// and so is the deactivation when the context's TTL expires.
+	pushSteps := []struct {
+		label string
+		req   Request
+	}{
+		{"activation", Request{Op: OpSubmit, Context: ctx.NewLocation("anna", t0.Add(20*time.Second),
+			ctx.Point{}, ctx.WithID("a1"), ctx.WithSeq(20), ctx.WithSource("anna"),
+			ctx.WithTTL(5*time.Second))}},
+		{"expiry deactivation", Request{Op: OpSubmit, Context: ctx.NewLocation("mover", t0.Add(30*time.Second),
+			ctx.Point{}, ctx.WithID("mv1"), ctx.WithSeq(30), ctx.WithSource("mover"))}},
+	}
+	for _, step := range pushSteps {
+		jsonResp, jsonPush := jsonConn.exchangeWithPush(step.req)
+		binResp, binPush := binConn.exchangeWithPush(step.req)
+		if !bytes.Equal(jsonResp, binResp) {
+			t.Errorf("%s: responses differ\n json:   %s\n binary: %s", step.label, jsonResp, binResp)
+		}
+		if !bytes.Equal(jsonPush, binPush) {
+			t.Errorf("%s: push frames differ\n json:   %s\n binary: %s", step.label, jsonPush, binPush)
+		}
+	}
+
+	for i, req := range []Request{
+		{Op: OpUnsubscribe, SubID: "anna-sub"},
+		{Op: OpUnsubscribe, SubID: "anna-sub"}, // already removed → error
+		{Op: OpUnsubscribe, SubID: "sp"},
+	} {
+		fromJSON := jsonConn.exchange(req)
+		fromBin := binConn.exchange(req)
+		if !bytes.Equal(fromJSON, fromBin) {
+			t.Errorf("unsubscribe step %d: payloads differ\n json:   %s\n binary: %s",
+				i, fromJSON, fromBin)
+		}
+	}
+	// The delivery counter increments just after each push frame is
+	// flushed; both servers must converge on the same count.
+	for _, srv := range []*Server{jsonSrv, binSrv} {
+		deadline := time.Now().Add(time.Second)
+		for srv.Stats().PushesDelivered != 2 {
+			if time.Now().After(deadline) {
+				t.Fatalf("PushesDelivered = %d, want 2", srv.Stats().PushesDelivered)
+			}
+			time.Sleep(time.Millisecond)
 		}
 	}
 
@@ -288,17 +394,19 @@ func TestBatchSubmitOverLimit(t *testing.T) {
 
 // TestBinaryMidBatchCutDoesNotDesync cuts the server's response stream in
 // the middle of a batch-submit frame. The client must drop the broken
-// connection, redial, renegotiate the format, and resend — never read a
-// later response against the truncated frame's remainder, and never
-// double-apply the batch.
+// connection, redial, renegotiate the format, resend — and silently
+// re-register its standing subscription — never read a later response
+// against the truncated frame's remainder, and never double-apply the
+// batch.
 func TestBinaryMidBatchCutDoesNotDesync(t *testing.T) {
 	srv := serveFaulty(t, func(ln net.Listener) net.Listener {
 		return faultconn.NewListener(ln, faultconn.WithConnWrapper(
 			func(i int, c net.Conn) net.Conn {
 				if i == 0 {
-					// Enough budget for the hello ack, then the batch
-					// response frame is truncated partway through.
-					return faultconn.Wrap(c, faultconn.CutAfterWrites(40))
+					// Enough budget for the hello ack (30 bytes) and the
+					// subscribe ack frame (32), then the batch response frame
+					// is truncated partway through.
+					return faultconn.Wrap(c, faultconn.CutAfterWrites(90))
 				}
 				return c
 			}))
@@ -314,6 +422,15 @@ func TestBinaryMidBatchCutDoesNotDesync(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
+
+	// A standing subscription registered before the cut: its formula can't
+	// fire during the batch (no anna context exists), and it must ride the
+	// reconnect transparently.
+	events := make(chan WireEvent, 4)
+	if err := client.SubscribeFormula("cf", `exists a: location . subjectIs(a, "anna")`,
+		func(_ string, ev WireEvent) { events <- ev }); err != nil {
+		t.Fatal(err)
+	}
 
 	batch := []*ctx.Context{loc("m1", 1, 0), loc("m2", 2, 0.5), loc("m3", 3, 1)}
 	results, err := client.SubmitBatch(batch, 0)
@@ -343,6 +460,21 @@ func TestBinaryMidBatchCutDoesNotDesync(t *testing.T) {
 	if poolStats.Added != len(batch) {
 		t.Fatalf("pool added = %d, want %d (retry must not double-apply)",
 			poolStats.Added, len(batch))
+	}
+	// The subscription survived the cut via automatic resubscription: a
+	// matching submission now pushes its activation over the replacement
+	// connection, in binary framing.
+	if _, err := client.Submit(ctx.NewLocation("anna", t0.Add(10*time.Second), ctx.Point{},
+		ctx.WithID("a9"), ctx.WithSeq(10), ctx.WithSource("anna"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Situation != "cf" || ev.Type != "activated" {
+			t.Fatalf("pushed event = %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no activation push after reconnect; resubscription failed")
 	}
 }
 

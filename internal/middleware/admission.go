@@ -491,6 +491,7 @@ func (m *Middleware) resolveUseLocked(c *ctx.Context) (usable bool, out strategy
 // rather than left claiming a context the live state dropped.
 func (m *Middleware) rollbackSubmitLocked(c *ctx.Context, deferred bool, cause error) error {
 	_ = m.pool.Remove(c.ID)
+	m.deltaMark(c.Kind)
 	m.jAppend(wal.Record{Type: wal.RecordCheckFail, ID: c.ID, Reason: cause.Error()})
 	if errors.Is(cause, ErrCheckTimeout) {
 		m.res.checkTimeouts.Add(1)

@@ -7,6 +7,7 @@ import (
 
 	"ctxres/internal/ctx"
 	"ctxres/internal/pool"
+	"ctxres/internal/situation"
 	"ctxres/internal/strategy"
 	"ctxres/internal/telemetry"
 	"ctxres/internal/wal"
@@ -179,6 +180,13 @@ func (m *Middleware) snapshotLocked(seq uint64) (wal.Snapshot, error) {
 			return wal.Snapshot{}, fmt.Errorf("middleware: snapshot strategy: %w", err)
 		}
 		snap.StrategyState = blob
+	}
+	if m.situations != nil {
+		blob, err := json.Marshal(m.situations.State())
+		if err != nil {
+			return wal.Snapshot{}, fmt.Errorf("middleware: snapshot situations: %w", err)
+		}
+		snap.Situations = blob
 	}
 	return snap, nil
 }
@@ -364,6 +372,16 @@ func (m *Middleware) restoreSnapshot(snap *wal.Snapshot) error {
 		if err := sn.RestoreStrategyState(snap.StrategyState, p.Get); err != nil {
 			return err
 		}
+	}
+	if len(snap.Situations) > 0 {
+		if m.situations == nil {
+			return errors.New("snapshot carries situation state but the middleware has no engine")
+		}
+		var st situation.State
+		if err := json.Unmarshal(snap.Situations, &st); err != nil {
+			return fmt.Errorf("snapshot situations: %w", err)
+		}
+		m.situations.RestoreState(st)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ctxres/internal/ctx"
+	"ctxres/internal/situation"
 	"ctxres/internal/strategy"
 	"ctxres/internal/wal"
 )
@@ -333,24 +334,38 @@ func TestCrashRecoveryProperty(t *testing.T) {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			t.Parallel()
 			ops := genWalOps(seed)
-			build := func() *Middleware {
-				return New(velocityChecker(t, 2, 1.5), strategy.NewDropBad())
+			// Every middleware carries a situation engine and records the
+			// transition events it emits, so recovery can be checked to
+			// regenerate the exact activation sequence, not just the final
+			// state.
+			build := func(rec *[]string) func() *Middleware {
+				return func() *Middleware {
+					return New(velocityChecker(t, 2, 1.5), strategy.NewDropBad(),
+						WithSituations(presenceEngine()),
+						WithSituationHook(func(ev situation.Event) {
+							*rec = append(*rec, ev.String())
+						}))
+				}
 			}
 
 			// Reference run, fault-free: fingerprints[i] is the durable
-			// state after i ops.
+			// state after i ops, evCounts[i] the events emitted by then.
 			refDir := t.TempDir()
-			ref := build()
+			var refEvents []string
+			ref := build(&refEvents)()
 			if err := ref.AttachJournal(openTestJournal(t, refDir)); err != nil {
 				t.Fatal(err)
 			}
 			fingerprints := make([]string, 0, len(ops)+1)
 			fingerprints = append(fingerprints, durableFingerprint(t, ref))
+			evCounts := make([]int, 0, len(ops)+1)
+			evCounts = append(evCounts, 0)
 			for _, o := range ops {
 				if err := applyWalOp(ref, o); err != nil {
 					t.Fatalf("reference run: %v", err)
 				}
 				fingerprints = append(fingerprints, durableFingerprint(t, ref))
+				evCounts = append(evCounts, len(refEvents))
 			}
 			refBytes := ref.JournalStats().Bytes
 			if err := ref.CloseJournal(); err != nil {
@@ -367,7 +382,8 @@ func TestCrashRecoveryProperty(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			crashed := build()
+			var crashEvents []string
+			crashed := build(&crashEvents)()
 			if err := crashed.AttachJournal(j); err != nil {
 				t.Fatal(err)
 			}
@@ -380,21 +396,41 @@ func TestCrashRecoveryProperty(t *testing.T) {
 			}
 			// Abandon without closing, like a real crash.
 
-			m2, _, err := Recover(crashDir, build)
+			var replayEvents []string
+			m2, _, err := Recover(crashDir, build(&replayEvents))
 			if err != nil {
 				t.Fatalf("recover after %d/%d ops: %v", applied, len(ops), err)
 			}
 			got := durableFingerprint(t, m2)
+			// The replayed situation events must be a byte-identical
+			// contiguous suffix of the reference run's event log as of the
+			// recovered prefix: recovery regenerates exactly the
+			// post-snapshot transitions, never spurious ones.
+			eventsAlign := func(idx int) bool {
+				if idx >= len(evCounts) {
+					return false
+				}
+				cnt, n := evCounts[idx], len(replayEvents)
+				if n > cnt {
+					return false
+				}
+				for i := 0; i < n; i++ {
+					if replayEvents[i] != refEvents[cnt-n+i] {
+						return false
+					}
+				}
+				return true
+			}
 			// The op that observed the failure may still be durable: its
 			// command record can precede the torn annotation. Both states
 			// are honest recoveries.
-			ok := got == fingerprints[applied]
+			ok := got == fingerprints[applied] && eventsAlign(applied)
 			if !ok && applied+1 < len(fingerprints) {
-				ok = got == fingerprints[applied+1]
+				ok = got == fingerprints[applied+1] && eventsAlign(applied+1)
 			}
 			if !ok {
-				t.Fatalf("recovered state after %d/%d ops matches neither adjacent prefix:\n%s",
-					applied, len(ops), got)
+				t.Fatalf("recovered state after %d/%d ops matches neither adjacent prefix (replayed %d events):\n%s",
+					applied, len(ops), len(replayEvents), got)
 			}
 
 			// Acceptance: after recovery truncated the torn tail, the

@@ -108,11 +108,14 @@ type Middleware struct {
 	strat      strategy.Strategy
 	pool       *pool.Pool
 	situations *situation.Engine
-	hooks      Hooks
-	checkOpts  CheckerOptions
-	checkKinds map[ctx.Kind]bool // cached checker.Kinds() for snapshot pruning
-	clock      time.Time
-	stats      Stats
+	// situationHook observes every situation transition, replay included
+	// (see WithSituationHook).
+	situationHook func(situation.Event)
+	hooks         Hooks
+	checkOpts     CheckerOptions
+	checkKinds    map[ctx.Kind]bool // cached checker.Kinds() for snapshot pruning
+	clock         time.Time
+	stats         Stats
 
 	// Durability (see journal.go). jbuf collects the records one
 	// operation produces; they are appended to the journal before the
@@ -130,6 +133,12 @@ type Middleware struct {
 	telSink telemetry.SpanSink
 	tel     pipelineTelemetry
 	curSpan *telemetry.Span
+
+	// Push delivery (see delta.go). deltaKinds accumulates the kinds an
+	// in-flight operation touches; notifyDeltaLocked flushes them to the
+	// hook after the operation's journal commit.
+	deltaHook  DeltaHook
+	deltaKinds map[ctx.Kind]bool
 
 	// Overload resilience (see admission.go). pending counts Submit
 	// operations in flight — the one holding the lock plus those queued
@@ -179,6 +188,15 @@ func WithCheckerOptions(o CheckerOptions) Option {
 // view after every successful use.
 func WithSituations(e *situation.Engine) Option {
 	return func(m *Middleware) { m.situations = e }
+}
+
+// WithSituationHook installs a callback invoked (under the middleware
+// lock — it must be fast and must not call back in) for every situation
+// transition the engine emits, including transitions re-derived while
+// Recover replays the journal. Recorders use it to compare pre-crash and
+// recovered activation sequences event by event.
+func WithSituationHook(h func(situation.Event)) Option {
+	return func(m *Middleware) { m.situationHook = h }
 }
 
 // New builds a middleware around a checker and a resolution strategy.
@@ -291,6 +309,7 @@ func (m *Middleware) submitOne(c *ctx.Context, so SubmitOptions, wait *commitWai
 		m.tel.opDone("submit", opStart, sp, outcome)
 		m.curSpan = nil
 	}()
+	defer m.notifyDeltaLocked()
 	defer m.journalCommitLocked(&err, wait)
 	if err := m.journalHealthLocked(); err != nil {
 		return nil, err
@@ -339,6 +358,7 @@ func (m *Middleware) processSubmitLocked(c *ctx.Context, sp *telemetry.Span, def
 	if err := m.pool.Add(c); err != nil {
 		return nil, fmt.Errorf("submit: %w", err)
 	}
+	m.deltaMark(c.Kind)
 	var vios []constraint.Violation
 	var out strategy.Outcome
 	var resolveStart time.Time
@@ -405,6 +425,7 @@ func (m *Middleware) Use(id ctx.ID) (c *ctx.Context, err error) {
 		m.tel.opDone("use", opStart, sp, useOutcome(err))
 		m.curSpan = nil
 	}()
+	defer m.notifyDeltaLocked()
 	defer m.journalCommitLocked(&err, &wait)
 	if err := m.journalHealthLocked(); err != nil {
 		return nil, err
@@ -430,6 +451,7 @@ func (m *Middleware) UseLatest(kind ctx.Kind, subject string) (c *ctx.Context, e
 		m.tel.opDone("use_latest", opStart, sp, useOutcome(err))
 		m.curSpan = nil
 	}()
+	defer m.notifyDeltaLocked()
 	defer m.journalCommitLocked(&err, &wait)
 	if err := m.journalHealthLocked(); err != nil {
 		return nil, err
@@ -533,6 +555,9 @@ func (m *Middleware) evaluateSituationsLocked() []situation.Event {
 			m.stats.Situations++
 			m.tel.situations.Inc()
 		}
+		if m.situationHook != nil {
+			m.situationHook(ev)
+		}
 	}
 	return events
 }
@@ -544,6 +569,7 @@ func (m *Middleware) AdvanceTo(now time.Time) {
 	defer m.commitDurable(&wait, nil)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.notifyDeltaLocked()
 	defer m.journalCommitLocked(nil, &wait)
 	// Deferred checks replay before the clock moves, so their recorded
 	// sweep points stay behind it (and match the journal's record order).
@@ -576,6 +602,7 @@ func (m *Middleware) Compact() (removed int, err error) {
 		m.tel.opDone("compact", opStart, sp, outcome)
 		m.curSpan = nil
 	}()
+	defer m.notifyDeltaLocked()
 	defer m.journalCommitLocked(&err, &wait)
 	if err := m.journalHealthLocked(); err != nil {
 		return 0, err
@@ -603,6 +630,7 @@ func (m *Middleware) sweepAtLocked(now time.Time) {
 	for _, c := range m.pool.SweepExpired(now) {
 		m.stats.Expired++
 		m.tel.expired.Inc()
+		m.deltaMark(c.Kind)
 		m.jAppend(wal.Record{Type: wal.RecordExpire, ID: c.ID})
 		m.strat.OnExpire(c)
 		if m.health != nil {
@@ -627,6 +655,7 @@ func (m *Middleware) applyLocked(out strategy.Outcome, reason DiscardReason) {
 			_ = d.SetState(ctx.Inconsistent)
 		}
 		m.stats.Discarded++
+		m.deltaMark(d.Kind)
 		m.tel.discards.With(reason.String()).Inc()
 		m.jAppend(wal.Record{Type: wal.RecordDiscard, ID: d.ID, Reason: reason.String()})
 		if m.health != nil {

@@ -47,11 +47,16 @@ func (t EventType) String() string {
 	}
 }
 
-// Event is one situation transition.
+// Event is one situation transition. At carries the middleware's logical
+// clock (the timestamp of the context that caused the transition), so a
+// WAL replay reproduces the identical event stream. Wall is the
+// observation wall-clock time, kept only for operator-facing logs and
+// latency measurement; it is excluded from deterministic comparisons.
 type Event struct {
 	Situation string
 	Type      EventType
 	At        time.Time
+	Wall      time.Time
 }
 
 // String renders the event for logs.
@@ -71,6 +76,7 @@ var (
 type Engine struct {
 	situations []*Situation
 	active     map[string]bool
+	now        func() time.Time
 
 	activations   int
 	deactivations int
@@ -78,7 +84,16 @@ type Engine struct {
 
 // NewEngine returns an engine with no situations registered.
 func NewEngine() *Engine {
-	return &Engine{active: make(map[string]bool)}
+	return &Engine{active: make(map[string]bool), now: time.Now}
+}
+
+// SetWallClock overrides the wall-clock source used to stamp Event.Wall.
+// Tests inject a fixed clock to make full events comparable byte-for-byte.
+func (e *Engine) SetWallClock(now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	e.now = now
 }
 
 // Register adds a situation. Names must be unique and formulas non-nil.
@@ -118,17 +133,23 @@ func (e *Engine) Situations() []*Situation {
 // stamped with the given logical time.
 func (e *Engine) Evaluate(u constraint.Universe, at time.Time) []Event {
 	var events []Event
+	var wall time.Time
 	for _, s := range e.situations {
 		holds := constraint.Eval(s.Formula, u).Satisfied
-		switch {
-		case holds && !e.active[s.Name]:
+		if holds == e.active[s.Name] {
+			continue
+		}
+		if wall.IsZero() {
+			wall = e.now()
+		}
+		if holds {
 			e.active[s.Name] = true
 			e.activations++
-			events = append(events, Event{Situation: s.Name, Type: Activated, At: at})
-		case !holds && e.active[s.Name]:
+			events = append(events, Event{Situation: s.Name, Type: Activated, At: at, Wall: wall})
+		} else {
 			e.active[s.Name] = false
 			e.deactivations++
-			events = append(events, Event{Situation: s.Name, Type: Deactivated, At: at})
+			events = append(events, Event{Situation: s.Name, Type: Deactivated, At: at, Wall: wall})
 		}
 	}
 	return events
@@ -149,4 +170,45 @@ func (e *Engine) Reset() {
 	e.active = make(map[string]bool)
 	e.activations = 0
 	e.deactivations = 0
+}
+
+// State is the engine's serializable activation state. The middleware
+// carries it in WAL snapshots: a recovery restores the truth values and
+// transition counters as of the checkpoint, so replaying the tail of the
+// journal regenerates exactly the post-checkpoint events instead of
+// re-deriving spurious activations from an engine that woke up all-inactive.
+type State struct {
+	// Active maps situation names to their truth value.
+	Active map[string]bool `json:"active,omitempty"`
+	// Activations and Deactivations are the cumulative transition counters.
+	Activations   int `json:"activations"`
+	Deactivations int `json:"deactivations"`
+}
+
+// State snapshots the activation state and counters.
+func (e *Engine) State() State {
+	st := State{
+		Activations:   e.activations,
+		Deactivations: e.deactivations,
+	}
+	if len(e.active) > 0 {
+		st.Active = make(map[string]bool, len(e.active))
+		for name, v := range e.active {
+			st.Active[name] = v
+		}
+	}
+	return st
+}
+
+// RestoreState replaces the activation state and counters with a
+// snapshot's. Unknown situation names are kept (they become relevant if
+// the situation is registered later); registered situations missing from
+// the snapshot restore as inactive.
+func (e *Engine) RestoreState(st State) {
+	e.active = make(map[string]bool, len(st.Active))
+	for name, v := range st.Active {
+		e.active[name] = v
+	}
+	e.activations = st.Activations
+	e.deactivations = st.Deactivations
 }

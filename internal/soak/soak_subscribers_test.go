@@ -1,0 +1,263 @@
+package soak
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/daemon"
+	"ctxres/internal/daemon/faultconn"
+	"ctxres/internal/middleware"
+	"ctxres/internal/situation"
+	"ctxres/internal/strategy"
+	"ctxres/internal/testutil/leakcheck"
+)
+
+// TestSoakSubscriberStorm drives the push-delivery path through a storm of
+// situation transitions with a mix of healthy subscribers and flapping slow
+// ones: consumers that trickle-read far below the event rate until the
+// server sheds them with the typed subscriber-lagged close, then dial back
+// and subscribe again. The storm is survived when slow consumers were shed
+// with typed accounting, healthy subscribers never lost their
+// subscriptions, and push delivery still works after the last flap.
+func TestSoakSubscriberStorm(t *testing.T) {
+	defer leakcheck.Check(t)()
+	dur := soakDuration(t)
+
+	eng := situation.NewEngine()
+	eng.MustRegister(&situation.Situation{
+		Name: "peter-present",
+		Formula: constraint.Exists("a", ctx.KindLocation,
+			constraint.SubjectIs("a", "peter")),
+	})
+	mw := middleware.New(soakChecker(), strategy.NewDropBad())
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first four accepted connections are the healthy subscribers and
+	// the toggler, dialed below before any flapper starts; every later
+	// connection writes through a stall, so its pusher cannot keep up with
+	// the event rate and the queue overflow must shed it. A small queue
+	// keeps that decision prompt while leaving healthy pumps headroom.
+	const healthyConns = 4
+	stalled := faultconn.NewListener(ln, faultconn.WithConnWrapper(
+		func(i int, c net.Conn) net.Conn {
+			if i < healthyConns {
+				return c
+			}
+			return faultconn.Wrap(c, faultconn.WithWriteStall(100*time.Millisecond))
+		}))
+	srv := daemon.ServeListener(stalled, mw, eng,
+		daemon.WithSubscriptions(daemon.SubscriptionOptions{QueueLen: 32}),
+		daemon.WithDrainTimeout(2*time.Second))
+	defer srv.Shutdown()
+	addr := srv.Addr().String()
+
+	var (
+		stop          = make(chan struct{})
+		wg            sync.WaitGroup
+		healthyEvents atomic.Int64
+		healthyLost   atomic.Int64
+		flaps         atomic.Int64
+		laggedNotices atomic.Int64
+		seq           atomic.Uint64
+	)
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+
+	// Healthy subscribers: real clients whose pump drains pushes as fast as
+	// the server emits them. Losing any of their subscriptions fails the
+	// test — shedding must hit only the consumers that deserve it.
+	for i := 0; i < 3; i++ {
+		client, err := daemon.DialOptions(addr, daemon.ClientOptions{
+			Timeout:     3 * time.Second,
+			MaxAttempts: 5,
+			OnSubscriptionLost: func(subID string, err error) {
+				healthyLost.Add(1)
+				t.Errorf("healthy subscription %s lost: %v", subID, err)
+			},
+		})
+		if err != nil {
+			t.Fatalf("healthy subscriber %d dial: %v", i, err)
+		}
+		defer client.Close()
+		handler := func(subID string, ev daemon.WireEvent) { healthyEvents.Add(1) }
+		if i < 2 {
+			err = client.Subscribe(fmt.Sprintf("healthy-%d", i), "peter-present", handler)
+		} else {
+			err = client.SubscribeFormula(fmt.Sprintf("healthy-%d", i),
+				`exists a: location . subjectIs(a, "peter")`, handler)
+		}
+		if err != nil {
+			t.Fatalf("healthy subscriber %d subscribe: %v", i, err)
+		}
+	}
+
+	// Toggler: flips peter-present on and off via TTL expiry. Each cycle
+	// submits a short-lived peter reading (activation) and then a walker
+	// reading five logical seconds later, whose arrival sweeps the expired
+	// peter context (deactivation). X tracks the logical clock so the
+	// velocity constraint stays satisfied.
+	toggle := func(client *daemon.Client) error {
+		s := seq.Add(1)
+		peter := ctx.NewLocation("peter", t0.Add(time.Duration(s)*time.Second),
+			ctx.Point{X: float64(s)},
+			ctx.WithID(ctx.ID(fmt.Sprintf("tp-%d", s))), ctx.WithSeq(s),
+			ctx.WithSource("toggler"), ctx.WithTTL(2*time.Second))
+		if _, err := client.Submit(peter); err != nil {
+			return err
+		}
+		s = seq.Add(4)
+		walker := ctx.NewLocation("walker", t0.Add(time.Duration(s)*time.Second),
+			ctx.Point{X: float64(s)},
+			ctx.WithID(ctx.ID(fmt.Sprintf("tw-%d", s))), ctx.WithSeq(s),
+			ctx.WithSource("toggler"), ctx.WithTTL(30*time.Second))
+		_, err := client.Submit(walker)
+		return err
+	}
+	toggleClient, err := daemon.DialOptions(addr, daemon.ClientOptions{
+		Timeout: 3 * time.Second, MaxAttempts: 5,
+	})
+	if err != nil {
+		t.Fatalf("toggler dial: %v", err)
+	}
+	defer toggleClient.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stopped() {
+			if err := toggle(toggleClient); err != nil {
+				t.Errorf("toggler submit: %v", err)
+				return
+			}
+			time.Sleep(4 * time.Millisecond)
+		}
+	}()
+
+	// Flapping slow subscribers: raw line-JSON connections that subscribe
+	// and read as fast as the stalled server-side conn lets them — an order
+	// of magnitude below the event rate, so the per-subscriber queue
+	// overflows and the server sheds the connection. Each shed is observed
+	// as a read error (often preceded by the best-effort lagged notice),
+	// and the flapper dials straight back in.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for flap := 0; !stopped(); flap++ {
+				conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
+				if err != nil {
+					t.Errorf("flapper %d dial: %v", i, err)
+					return
+				}
+				req, _ := json.Marshal(daemon.Request{
+					Op:        daemon.OpSubscribe,
+					SubID:     fmt.Sprintf("slow-%d-%d", i, flap),
+					Situation: "peter-present",
+				})
+				if _, err := conn.Write(append(req, '\n')); err != nil {
+					_ = conn.Close()
+					continue
+				}
+				var tail []byte
+				buf := make([]byte, 512)
+				for !stopped() {
+					_ = conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+					n, err := conn.Read(buf)
+					if n > 0 && len(tail) < 1<<16 {
+						tail = append(tail, buf[:n]...)
+					}
+					if err != nil {
+						if ne, ok := err.(net.Error); ok && ne.Timeout() {
+							continue // still subscribed, still behind
+						}
+						flaps.Add(1) // server closed us: shed
+						break
+					}
+				}
+				if containsSubstr(tail, daemon.CodeSubscriberLagged) {
+					laggedNotices.Add(1)
+				}
+				_ = conn.Close()
+			}
+		}(i)
+	}
+
+	timer := time.AfterFunc(dur, func() { close(stop) })
+	defer timer.Stop()
+	wg.Wait()
+
+	// Push delivery must still work after the storm: one more toggle has to
+	// reach every healthy subscriber.
+	post, err := daemon.DialOptions(addr, daemon.ClientOptions{
+		Timeout: 3 * time.Second, MaxAttempts: 5,
+	})
+	if err != nil {
+		t.Fatalf("post-storm dial: %v", err)
+	}
+	defer post.Close()
+	before := healthyEvents.Load()
+	if err := toggle(post); err != nil {
+		t.Fatalf("post-storm toggle: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for healthyEvents.Load() <= before {
+		if time.Now().After(deadline) {
+			t.Fatalf("healthy subscribers received nothing after the storm (events=%d)",
+				healthyEvents.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Flappers alive at stop time close without being shed; the server
+	// notices on its next read or push and drops their registrations.
+	st := srv.Stats()
+	for st.Subscribers != 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		st = srv.Stats()
+	}
+	t.Logf("storm %v: healthyEvents=%d flaps=%d laggedNotices=%d stats=%+v",
+		dur, healthyEvents.Load(), flaps.Load(), laggedNotices.Load(), st)
+
+	if healthyLost.Load() != 0 {
+		t.Errorf("healthy subscribers lost %d subscriptions", healthyLost.Load())
+	}
+	if flaps.Load() == 0 || st.SubscribersShed == 0 {
+		t.Errorf("no slow consumer was shed: flaps=%d shed=%d", flaps.Load(), st.SubscribersShed)
+	}
+	if st.PushesDropped == 0 {
+		t.Error("shedding accounted no dropped pushes")
+	}
+	if st.PushesDelivered == 0 || healthyEvents.Load() == 0 {
+		t.Errorf("no pushes delivered: server=%d client=%d", st.PushesDelivered, healthyEvents.Load())
+	}
+	if st.Subscribers != 3 {
+		t.Errorf("subscribers after storm = %d, want the 3 healthy ones", st.Subscribers)
+	}
+}
+
+// containsSubstr reports whether the typed code appears in the bytes a
+// flapper read before its connection died — the best-effort lagged notice.
+func containsSubstr(b []byte, code daemon.Code) bool {
+	s, sub := string(b), string(code)
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

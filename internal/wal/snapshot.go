@@ -32,6 +32,12 @@ type Snapshot struct {
 	StrategyState json.RawMessage `json:"strategyState,omitempty"`
 	// Stats is the marshaled middleware counter snapshot.
 	Stats json.RawMessage `json:"stats,omitempty"`
+	// Situations is the marshaled situation-engine activation state
+	// (situation.State), opaque to the log layer like StrategyState.
+	// Without it, a recovery with situations attached would replay the
+	// journal tail against an all-inactive engine and re-derive spurious
+	// activation events that the pre-crash run never emitted.
+	Situations json.RawMessage `json:"situations,omitempty"`
 }
 
 // WriteSnapshot persists the snapshot and prunes the log: the snapshot

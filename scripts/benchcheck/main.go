@@ -10,9 +10,10 @@
 //
 // By default only the loadgen section is required (the smoke run skips
 // the slow phases). -full additionally requires the figure, telemetry
-// overhead, and daemon histogram sections, and enforces the group-commit
-// acceptance floor: the batched/group-commit configuration must reach at
-// least 2x the single-submit json baseline at equal durability.
+// overhead, daemon histogram, and push-latency sections, and enforces the
+// group-commit acceptance floor: the batched/group-commit configuration
+// must reach at least 2x the single-submit json baseline at equal
+// durability.
 package main
 
 import (
@@ -30,6 +31,14 @@ type report struct {
 	Daemon    *struct {
 		Histograms map[string]json.RawMessage `json:"histograms"`
 	} `json:"daemon"`
+	Push *struct {
+		Toggles       int     `json:"toggles"`
+		EndToEndP50Ms float64 `json:"endToEndP50Millis"`
+		EndToEndP99Ms float64 `json:"endToEndP99Millis"`
+		ServerPush    struct {
+			Count uint64 `json:"count"`
+		} `json:"serverPushSeconds"`
+	} `json:"push"`
 	Loadgen *struct {
 		Method  string `json:"method"`
 		Results []struct {
@@ -129,6 +138,16 @@ func check(path string, full bool) error {
 		}
 		if rep.Daemon == nil || len(rep.Daemon.Histograms) == 0 {
 			return fmt.Errorf("missing daemon histograms")
+		}
+		if rep.Push == nil {
+			return fmt.Errorf("missing push latency section")
+		}
+		if rep.Push.Toggles <= 0 || rep.Push.EndToEndP50Ms <= 0 ||
+			rep.Push.EndToEndP99Ms < rep.Push.EndToEndP50Ms {
+			return fmt.Errorf("push: implausible round trip: %+v", *rep.Push)
+		}
+		if rep.Push.ServerPush.Count == 0 {
+			return fmt.Errorf("push: server push histogram empty")
 		}
 		if lg.GroupBatchSpeedup < 2 {
 			return fmt.Errorf("loadgen: %s vs %s speedup %.2fx, want >= 2x",

@@ -52,6 +52,16 @@ curl -fsS "http://$maddr/statusz" | grep -q goVersion || {
     exit 1
 }
 
+# Subscriber leg: subscribe over the wire, submit a matching context, and
+# require one pushed activation within 5s.
+daddr=$(sed -n 's/^ctxmwd: serving .* on \([0-9.:]*\) .*/\1/p' "$log" | head -1)
+if [[ -z "$daddr" ]]; then
+    echo "smoke: ctxmwd never logged its serving address:"
+    cat "$log"
+    exit 1
+fi
+go run ./scripts/subsmoke "$daddr"
+
 kill -TERM "$pid"
 wait "$pid" || { echo "smoke: ctxmwd exited nonzero on SIGTERM:"; cat "$log"; exit 1; }
 pid=""

@@ -1,0 +1,57 @@
+// Command subsmoke is the smoke test's subscriber leg: it subscribes to a
+// live ctxmwd with an inline formula, submits a matching context, and
+// exits zero once the activation is pushed back over the same connection.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ctxres/internal/ctx"
+	"ctxres/internal/daemon"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: subsmoke <daemon-addr>")
+		os.Exit(2)
+	}
+	client, err := daemon.Dial(os.Args[1], 5*time.Second)
+	if err != nil {
+		fail("dial %s: %v", os.Args[1], err)
+	}
+	defer client.Close()
+
+	events := make(chan daemon.WireEvent, 16)
+	err = client.SubscribeFormula("smoke",
+		`exists a: location . subjectIs(a, "smoke-subject")`,
+		func(_ string, ev daemon.WireEvent) { events <- ev })
+	if err != nil {
+		fail("subscribe: %v", err)
+	}
+
+	c := ctx.NewLocation("smoke-subject", time.Now().UTC(), ctx.Point{},
+		ctx.WithSeq(1), ctx.WithSource("subsmoke"))
+	if _, err := client.Submit(c); err != nil {
+		fail("submit: %v", err)
+	}
+
+	select {
+	case ev := <-events:
+		if ev.Type != "activated" {
+			fail("first push = %s %s, want an activation", ev.Situation, ev.Type)
+		}
+		fmt.Printf("subsmoke: pushed %s %s\n", ev.Situation, ev.Type)
+	case <-time.After(5 * time.Second):
+		fail("no activation pushed within 5s")
+	}
+	if err := client.Unsubscribe("smoke"); err != nil {
+		fail("unsubscribe: %v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "subsmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
