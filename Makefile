@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/constraint ./internal/middleware ./internal/pool ./internal/wal ./internal/daemon/... ./internal/metrics ./internal/telemetry ./internal/health ./internal/soak ./internal/testutil/leakcheck
+	$(GO) test -race ./internal/constraint ./internal/middleware ./internal/pool ./internal/wal ./internal/daemon/... ./internal/cluster ./internal/metrics ./internal/telemetry ./internal/health ./internal/soak ./internal/testutil/leakcheck
 
 # soak runs the chaos storms in internal/soak for SOAKTIME (default 3m)
 # under the race detector: overload bursts, a flapping corrupted source,

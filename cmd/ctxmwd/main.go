@@ -37,6 +37,18 @@
 // -breaker-cooldown tune them) that quarantine sources producing too
 // many bad contexts, answering them with "source-quarantined".
 //
+// Clustering (see internal/cluster and DESIGN.md): -follow runs the
+// daemon as a replication follower tailing a leader's WAL over the
+// protocol's replicate op into -data-dir; -promote-after makes it take
+// over — recover the replicated log and start serving on -addr — once
+// the leader has been unreachable that long. A leader needs no extra
+// flags: whenever -data-dir is set the daemon serves replication streams
+// to any follower that connects. -router runs a wire-compatible shard
+// router gateway instead of a daemon: -shards lists the shard daemons,
+// contexts partition across them by source over a consistent-hash ring,
+// and constraints that cannot be proven source-local take a counted
+// mirror path.
+//
 // -metrics-addr serves the operational HTTP endpoint: /metrics
 // (Prometheus text exposition), /healthz (503 once the WAL has
 // fail-stopped or maintenance fails), /statusz (JSON status: build info,
@@ -53,11 +65,13 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ctxres/internal/apps/callforward"
 	"ctxres/internal/apps/rfidmon"
+	"ctxres/internal/cluster"
 	"ctxres/internal/constraint"
 	"ctxres/internal/daemon"
 	"ctxres/internal/experiment"
@@ -86,9 +100,29 @@ func run(args []string) error {
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
+	if d.autoPromote != nil {
+		// Follower mode: wait for either a shutdown signal or the
+		// promotion trigger; a promoted follower keeps serving as the new
+		// leader until signaled.
+		select {
+		case <-sig:
+		case <-d.autoPromote:
+			if err := d.promote(); err != nil {
+				_ = d.stop()
+				return err
+			}
+			<-sig
+		}
+	} else {
+		<-sig
+	}
 	fmt.Println("ctxmwd: shutting down")
-	d.srv.Shutdown()
+	if d.srv != nil {
+		d.srv.Shutdown()
+	}
+	if d.router != nil {
+		d.router.Shutdown()
+	}
 	return d.stop()
 }
 
@@ -97,10 +131,13 @@ func run(args []string) error {
 // to run after the server has drained (final checkpoint, journal close,
 // span-log flush, ops close).
 type daemonProc struct {
-	srv  *daemon.Server
-	ops  *daemon.OpsServer // nil without -metrics-addr
-	reg  *telemetry.Registry
-	stop func() error
+	srv         *daemon.Server    // nil in router mode, and in follower mode until promotion
+	router      *cluster.Router   // set in -router mode
+	ops         *daemon.OpsServer // nil without -metrics-addr
+	reg         *telemetry.Registry
+	autoPromote <-chan struct{} // set in -follow mode with -promote-after
+	promote     func() error    // promotes the follower and installs srv
+	stop        func() error
 }
 
 // setup parses flags, builds the middleware (recovering from the WAL when
@@ -160,6 +197,14 @@ func setup(args []string) (*daemonProc, error) {
 			"situation subscriptions cap across all connections (-1 = unlimited)")
 		subQueue = fs.Int("sub-queue", daemon.DefaultSubQueueLen,
 			"per-subscriber event queue length; overflowing consumers are shed as subscriber-lagged")
+		routerMode = fs.Bool("router", false,
+			"run as a shard router gateway across -shards instead of a daemon")
+		shardList = fs.String("shards", "",
+			"comma-separated shard daemon addresses for -router")
+		follow = fs.String("follow", "",
+			"run as a replication follower of this leader address (needs -data-dir)")
+		promoteAfter = fs.Duration("promote-after", 0,
+			"follower promotes itself to leader after this long without a reachable leader (0 = never; needs -follow)")
 		version = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -176,6 +221,7 @@ func setup(args []string) (*daemonProc, error) {
 		breakerWindow: *breakerWindow, breakerCooldown: *breakerCooldown,
 		groupCommit: *groupCommit, commitDelay: *commitDelay, commitBatch: *commitBatch,
 		dataDir: *dataDir, maxSubscribers: *maxSubscribers, subQueue: *subQueue,
+		router: *routerMode, shards: *shardList, follow: *follow, promoteAfter: *promoteAfter,
 	}); err != nil {
 		return nil, err
 	}
@@ -199,6 +245,59 @@ func setup(args []string) (*daemonProc, error) {
 		}
 		checker = loaded
 	}
+
+	// Router mode needs only the checker (for the source-locality analysis
+	// that decides which constraints scatter); no middleware runs here.
+	if *routerMode {
+		reg := telemetry.NewRegistry()
+		r, err := cluster.ServeRouter(*addr, cluster.RouterOptions{
+			Shards:    splitShards(*shardList),
+			Checker:   checker,
+			Timeout:   10 * time.Second,
+			MaxConns:  *maxConns,
+			Telemetry: reg,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("ctxmwd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		d := &daemonProc{router: r, reg: reg}
+		start := time.Now()
+		if *metricsAddr != "" {
+			status := func() any {
+				return map[string]any{
+					"build":         telemetry.BuildInfo(),
+					"uptimeSeconds": time.Since(start).Seconds(),
+					"addr":          r.Addr().String(),
+					"app":           *app,
+					"role":          "router",
+					"router":        r.Stats(),
+				}
+			}
+			ops, err := daemon.ServeOps(*metricsAddr, daemon.OpsConfig{
+				Registry: reg,
+				Status:   status,
+			})
+			if err != nil {
+				r.Shutdown()
+				return nil, err
+			}
+			d.ops = ops
+			fmt.Printf("ctxmwd: metrics on %s\n", ops.Addr())
+		}
+		d.stop = func() error {
+			if d.ops != nil {
+				_ = d.ops.Close()
+			}
+			return nil
+		}
+		fmt.Printf("ctxmwd: routing %s application across %d shards on %s (%d spanning constraints)\n",
+			*app, len(splitShards(*shardList)), r.Addr(), len(r.Spanning()))
+		return d, nil
+	}
+
 	strat, err := experiment.NewStrategy(experiment.StrategyName(*strategy),
 		rand.New(rand.NewSource(*seed)), nil)
 	if err != nil {
@@ -263,9 +362,150 @@ func setup(args []string) (*daemonProc, error) {
 		return spanFile.Close()
 	}
 
+	// baseServe is the option set shared by the leader path and a promoted
+	// follower; the snapshot interval and replication source vary per path.
+	baseServe := []daemon.Option{
+		daemon.WithIdleTimeout(*idle),
+		daemon.WithMaxConns(*maxConns),
+		daemon.WithDrainTimeout(*drain),
+		daemon.WithCompactInterval(*compactEvery),
+		daemon.WithSubscriptions(daemon.SubscriptionOptions{
+			MaxSubscribers: *maxSubscribers,
+			QueueLen:       *subQueue,
+		}),
+		daemon.WithTelemetry(reg),
+	}
+
+	// Follower mode: no middleware and no serving yet — tail the leader's
+	// WAL into -data-dir. The promote closure builds the full leader stack
+	// (recovery, journal with shipping, protocol server) on demand.
+	if *follow != "" {
+		policy, err := wal.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			_ = closeSpans()
+			return nil, err
+		}
+		f, err := cluster.StartFollower(cluster.FollowerOptions{
+			Leader:       *follow,
+			Dir:          *dataDir,
+			Fsync:        policy,
+			PromoteAfter: *promoteAfter,
+			Telemetry:    reg,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("ctxmwd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			_ = closeSpans()
+			return nil, err
+		}
+		d := &daemonProc{reg: reg}
+		if *promoteAfter > 0 {
+			d.autoPromote = f.AutoPromote()
+		}
+		var promotedShutdown func() error
+		d.promote = func() error {
+			mw, rep, err := f.Promote(build)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("ctxmwd: recovered %s: snapshot seq %d, %d commands replayed, %d torn bytes truncated\n",
+				*dataDir, rep.SnapshotSeq, rep.Commands, rep.TornBytes)
+			sh := cluster.NewShipper(cluster.ShipperOptions{Dir: *dataDir, Telemetry: reg})
+			j, err := wal.Open(wal.Options{
+				Dir:          *dataDir,
+				Fsync:        policy,
+				FsyncEvery:   *fsyncEvery,
+				GroupCommit:  *groupCommit,
+				CommitDelay:  *commitDelay,
+				CommitBatch:  *commitBatch,
+				Observer:     middleware.NewWALObserver(reg),
+				Ship:         sh.Tap,
+				ShipSnapshot: sh.TapSnapshot,
+			})
+			if err != nil {
+				return fmt.Errorf("promote: open wal %s: %w", *dataDir, err)
+			}
+			sh.Attach(j)
+			if err := mw.AttachJournal(j); err != nil {
+				_ = j.Close()
+				return fmt.Errorf("promote: %w", err)
+			}
+			srv, err := daemon.Serve(*addr, mw, engine, append(baseServe,
+				daemon.WithSnapshotInterval(*snapEvery),
+				daemon.WithReplicationSource(sh))...)
+			if err != nil {
+				_ = mw.CloseJournal()
+				return fmt.Errorf("promote: %w", err)
+			}
+			d.srv = srv
+			promotedShutdown = func() error {
+				if err := mw.Checkpoint(); err != nil {
+					_ = mw.CloseJournal()
+					return fmt.Errorf("final checkpoint: %w", err)
+				}
+				return mw.CloseJournal()
+			}
+			fmt.Printf("ctxmwd: promoted to leader, serving %s application with %s on %s\n",
+				*app, strat.Name(), srv.Addr())
+			return nil
+		}
+		start := time.Now()
+		if *metricsAddr != "" {
+			status := func() any {
+				lagRecs, lagBytes := f.Lag()
+				leaderLast, leaderDurable := f.LeaderPositions()
+				return map[string]any{
+					"build":            telemetry.BuildInfo(),
+					"uptimeSeconds":    time.Since(start).Seconds(),
+					"app":              *app,
+					"role":             "follower",
+					"leader":           *follow,
+					"dataDir":          *dataDir,
+					"lastSeq":          f.LastSeq(),
+					"lagRecords":       lagRecs,
+					"lagBytes":         lagBytes,
+					"leaderLastSeq":    leaderLast,
+					"leaderDurableSeq": leaderDurable,
+				}
+			}
+			ops, err := daemon.ServeOps(*metricsAddr, daemon.OpsConfig{
+				Registry: reg,
+				Status:   status,
+			})
+			if err != nil {
+				_ = f.Stop()
+				_ = closeSpans()
+				return nil, err
+			}
+			d.ops = ops
+			fmt.Printf("ctxmwd: metrics on %s\n", ops.Addr())
+		}
+		d.stop = func() error {
+			if d.ops != nil {
+				_ = d.ops.Close()
+			}
+			durErr := f.Stop() // no-op after promotion (Promote already stopped it)
+			if promotedShutdown != nil {
+				durErr = promotedShutdown()
+			}
+			if err := closeSpans(); err != nil && durErr == nil {
+				durErr = err
+			}
+			return durErr
+		}
+		if *promoteAfter > 0 {
+			fmt.Printf("ctxmwd: following %s into %s (auto-promote after %v)\n", *follow, *dataDir, *promoteAfter)
+		} else {
+			fmt.Printf("ctxmwd: following %s into %s\n", *follow, *dataDir)
+		}
+		return d, nil
+	}
+
 	var mw *middleware.Middleware
 	durShutdown := func() error { return nil }
 	snapInterval := time.Duration(0)
+	serveOpts := baseServe
 	if *dataDir != "" {
 		policy, err := wal.ParseFsyncPolicy(*fsyncMode)
 		if err != nil {
@@ -282,25 +522,32 @@ func setup(args []string) (*daemonProc, error) {
 			fmt.Printf("ctxmwd: recovered %s: snapshot seq %d, %d commands replayed, %d torn bytes truncated\n",
 				*dataDir, rep.SnapshotSeq, rep.Commands, rep.TornBytes)
 		}
+		// Any daemon with a journal is a potential leader: the shipper taps
+		// the append path and serves replication streams to followers.
+		sh := cluster.NewShipper(cluster.ShipperOptions{Dir: *dataDir, Telemetry: reg})
 		j, err := wal.Open(wal.Options{
-			Dir:         *dataDir,
-			Fsync:       policy,
-			FsyncEvery:  *fsyncEvery,
-			GroupCommit: *groupCommit,
-			CommitDelay: *commitDelay,
-			CommitBatch: *commitBatch,
-			Observer:    middleware.NewWALObserver(reg),
+			Dir:          *dataDir,
+			Fsync:        policy,
+			FsyncEvery:   *fsyncEvery,
+			GroupCommit:  *groupCommit,
+			CommitDelay:  *commitDelay,
+			CommitBatch:  *commitBatch,
+			Observer:     middleware.NewWALObserver(reg),
+			Ship:         sh.Tap,
+			ShipSnapshot: sh.TapSnapshot,
 		})
 		if err != nil {
 			_ = closeSpans()
 			return nil, fmt.Errorf("open wal %s: %w", *dataDir, err)
 		}
+		sh.Attach(j)
 		if err := mw.AttachJournal(j); err != nil {
 			_ = j.Close()
 			_ = closeSpans()
 			return nil, err
 		}
 		snapInterval = *snapEvery
+		serveOpts = append(serveOpts, daemon.WithReplicationSource(sh))
 		durShutdown = func() error {
 			if err := mw.Checkpoint(); err != nil {
 				_ = mw.CloseJournal()
@@ -313,16 +560,7 @@ func setup(args []string) (*daemonProc, error) {
 	}
 
 	srv, err := daemon.Serve(*addr, mw, engine,
-		daemon.WithIdleTimeout(*idle),
-		daemon.WithMaxConns(*maxConns),
-		daemon.WithDrainTimeout(*drain),
-		daemon.WithSnapshotInterval(snapInterval),
-		daemon.WithCompactInterval(*compactEvery),
-		daemon.WithSubscriptions(daemon.SubscriptionOptions{
-			MaxSubscribers: *maxSubscribers,
-			QueueLen:       *subQueue,
-		}),
-		daemon.WithTelemetry(reg))
+		append(serveOpts, daemon.WithSnapshotInterval(snapInterval))...)
 	if err != nil {
 		if *dataDir != "" {
 			_ = mw.CloseJournal()
@@ -395,6 +633,10 @@ type tunings struct {
 	commitBatch                     int
 	dataDir                         string
 	maxSubscribers, subQueue        int
+	router                          bool
+	shards                          string
+	follow                          string
+	promoteAfter                    time.Duration
 }
 
 // validateTunings rejects flag values that would silently misconfigure
@@ -440,8 +682,33 @@ func validateTunings(t tunings) error {
 		return fmt.Errorf("-max-subscribers must be > 0 or -1 (unlimited), got %d", t.maxSubscribers)
 	case t.subQueue <= 0:
 		return fmt.Errorf("-sub-queue must be > 0, got %d", t.subQueue)
+	case t.router && t.shards == "":
+		return fmt.Errorf("-router needs -shards (there is nothing to route to without them)")
+	case !t.router && t.shards != "":
+		return fmt.Errorf("-shards needs -router")
+	case t.router && t.follow != "":
+		return fmt.Errorf("-router and -follow are mutually exclusive roles")
+	case t.router && t.dataDir != "":
+		return fmt.Errorf("-router keeps no state; -data-dir belongs on the shard daemons")
+	case t.follow != "" && t.dataDir == "":
+		return fmt.Errorf("-follow needs -data-dir (the replicated log must land somewhere)")
+	case t.promoteAfter < 0:
+		return fmt.Errorf("-promote-after must be >= 0 (0 disables), got %v", t.promoteAfter)
+	case t.promoteAfter > 0 && t.follow == "":
+		return fmt.Errorf("-promote-after needs -follow")
 	}
 	return nil
+}
+
+// splitShards parses the -shards list, dropping empty elements.
+func splitShards(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func profile(app string) (*constraint.Checker, *situation.Engine, error) {

@@ -147,6 +147,13 @@ func TestSetupFlagValidation(t *testing.T) {
 		{"below unlimited", []string{"-max-subscribers", "-2"}, "-max-subscribers"},
 		{"zero sub-queue", []string{"-sub-queue", "0"}, "-sub-queue"},
 		{"negative sub-queue", []string{"-sub-queue", "-4"}, "-sub-queue"},
+		{"router without shards", []string{"-router"}, "-shards"},
+		{"shards without router", []string{"-shards", "127.0.0.1:1"}, "-router"},
+		{"router with follow", []string{"-router", "-shards", "127.0.0.1:1", "-follow", "127.0.0.1:2"}, "mutually exclusive"},
+		{"router with data-dir", []string{"-router", "-shards", "127.0.0.1:1", "-data-dir", "/tmp/x"}, "-data-dir"},
+		{"follow without data-dir", []string{"-follow", "127.0.0.1:1"}, "-data-dir"},
+		{"negative promote-after", []string{"-follow", "127.0.0.1:1", "-data-dir", "/tmp/x", "-promote-after", "-1s"}, "-promote-after"},
+		{"promote-after without follow", []string{"-promote-after", "5s"}, "-follow"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

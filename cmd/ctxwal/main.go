@@ -20,7 +20,10 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
+	"ctxres/internal/situation"
 	"ctxres/internal/telemetry"
 	"ctxres/internal/trace"
 	"ctxres/internal/wal"
@@ -105,6 +108,7 @@ func inspect(dir string, out io.Writer) error {
 			line += ", CORRUPT: " + sn.Corrupt
 		} else {
 			line += fmt.Sprintf(", seq %d, %d pool entries, clock %s", sn.Seq, sn.Entries, sn.Clock)
+			line += situationSummary(sn.Situations)
 		}
 		fmt.Fprintln(out, line)
 	}
@@ -120,6 +124,31 @@ func inspect(dir string, out io.Writer) error {
 		fmt.Fprintln(out, "  sequence error:", e)
 	}
 	return nil
+}
+
+// situationSummary renders the snapshot's situation-engine state (a
+// marshaled situation.State, opaque to the wal layer): the active
+// situation names and the cumulative transition counters.
+func situationSummary(raw json.RawMessage) string {
+	if len(raw) == 0 {
+		return ""
+	}
+	var st situation.State
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Sprintf(", situations UNDECODABLE: %v", err)
+	}
+	var active []string
+	for name, on := range st.Active {
+		if on {
+			active = append(active, name)
+		}
+	}
+	sort.Strings(active)
+	s := fmt.Sprintf(", situations %d active", len(active))
+	if len(active) > 0 {
+		s += " [" + strings.Join(active, " ") + "]"
+	}
+	return s + fmt.Sprintf(" (%d up / %d down)", st.Activations, st.Deactivations)
 }
 
 func verify(dir string, out io.Writer) error {
@@ -147,6 +176,21 @@ func dump(dir string, raw bool, out io.Writer) error {
 	}
 	if raw {
 		enc := json.NewEncoder(out)
+		// The latest snapshot leads the stream: replay state (notably the
+		// situation engine's) lives there, not in any record.
+		if snap, _, err := wal.LatestSnapshot(dir); err != nil {
+			return err
+		} else if snap != nil {
+			head := struct {
+				Type       string          `json:"type"`
+				Seq        uint64          `json:"seq"`
+				Clock      string          `json:"clock"`
+				Situations json.RawMessage `json:"situations,omitempty"`
+			}{"snapshot", snap.Seq, snap.Clock.Format(time.RFC3339Nano), snap.Situations}
+			if err := enc.Encode(head); err != nil {
+				return err
+			}
+		}
 		for _, rec := range recs {
 			if err := enc.Encode(rec); err != nil {
 				return err

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"ctxres/internal/ctx"
+	"ctxres/internal/situation"
 	"ctxres/internal/trace"
 	"ctxres/internal/wal"
 )
@@ -57,6 +59,83 @@ func TestInspectSummarizes(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Fatalf("inspect output missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestInspectShowsSnapshotSituations proves the situation-engine state a
+// snapshot carries is decoded and displayed, not dropped as an opaque
+// blob.
+func TestInspectShowsSnapshotSituations(t *testing.T) {
+	dir := t.TempDir()
+	j, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctx.NewLocation("peter", t0, ctx.Point{X: 1},
+		ctx.WithID("a"), ctx.WithSeq(1), ctx.WithSource("s"))
+	if _, err := j.Append(wal.Record{Type: wal.RecordSubmit, Context: c}); err != nil {
+		t.Fatal(err)
+	}
+	st := situation.State{
+		Active:        map[string]bool{"cf-reachable": true, "cf-in-meeting": false},
+		Activations:   3,
+		Deactivations: 2,
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteSnapshot(wal.Snapshot{
+		Seq: 1, Clock: t0, Situations: raw,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A post-snapshot record: the raw dump shows snapshot then tail.
+	c2 := ctx.NewLocation("peter", t0.Add(time.Second), ctx.Point{X: 2},
+		ctx.WithID("b"), ctx.WithSeq(2), ctx.WithSource("s"))
+	if _, err := j.Append(wal.Record{Type: wal.RecordSubmit, Context: c2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"inspect", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"situations 1 active", "[cf-reachable]", "(3 up / 2 down)"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The raw dump leads with the snapshot, situation state included.
+	out.Reset()
+	if err := run([]string{"dump", "-raw", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("raw dump lines = %d, want snapshot + 1 record:\n%s", len(lines), out.String())
+	}
+	var head struct {
+		Type       string          `json:"type"`
+		Seq        uint64          `json:"seq"`
+		Situations json.RawMessage `json:"situations"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &head); err != nil {
+		t.Fatalf("raw dump head is not JSON: %v\n%s", err, lines[0])
+	}
+	if head.Type != "snapshot" || head.Seq != 1 {
+		t.Fatalf("raw dump head = %+v, want snapshot at seq 1", head)
+	}
+	var got situation.State
+	if err := json.Unmarshal(head.Situations, &got); err != nil {
+		t.Fatalf("raw dump snapshot situations undecodable: %v", err)
+	}
+	if !got.Active["cf-reachable"] || got.Activations != 3 || got.Deactivations != 2 {
+		t.Fatalf("raw dump situations = %+v", got)
 	}
 }
 

@@ -1,0 +1,153 @@
+// Shared fixtures for the cluster tests: the velocity checker and
+// context builders mirror the middleware tests so replication results
+// can be compared against the same reference behavior, and the workload
+// generator mirrors the crash-recovery property test so failover is
+// checked under the same op mix.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/middleware"
+	"ctxres/internal/strategy"
+	"ctxres/internal/wal"
+)
+
+var t0 = time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+
+// velocityChecker builds the two-variable stream-velocity constraint.
+// StreamWithin pins both variables to one source, so the constraint is
+// provably source-local.
+func velocityChecker(tb testing.TB, reach uint64, limit float64) *constraint.Checker {
+	tb.Helper()
+	ch := constraint.NewChecker()
+	ch.MustRegister(&constraint.Constraint{
+		Name: "vel",
+		Formula: constraint.Forall("a", ctx.KindLocation,
+			constraint.Forall("b", ctx.KindLocation,
+				constraint.Implies(
+					constraint.And(
+						constraint.SameSubject("a", "b"),
+						constraint.StreamWithin("a", "b", reach),
+					),
+					constraint.VelocityBelow("a", "b", limit),
+				))),
+	})
+	return ch
+}
+
+func loc(id string, seq uint64, x float64, opts ...ctx.Option) *ctx.Context {
+	opts = append([]ctx.Option{
+		ctx.WithID(ctx.ID(id)), ctx.WithSeq(seq), ctx.WithSource("tracker"),
+	}, opts...)
+	return ctx.NewLocation("peter", t0.Add(time.Duration(seq)*time.Second),
+		ctx.Point{X: x}, opts...)
+}
+
+func buildVelMiddleware(tb testing.TB) func() *middleware.Middleware {
+	tb.Helper()
+	return func() *middleware.Middleware {
+		return middleware.New(velocityChecker(tb, 2, 1.5), strategy.NewDropBad())
+	}
+}
+
+func fingerprint(tb testing.TB, m *middleware.Middleware) string {
+	tb.Helper()
+	fp, err := m.Fingerprint()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fp
+}
+
+// walOp is one deterministic workload step, stored as data so the same
+// workload can be re-applied to fresh middleware instances.
+type walOp struct {
+	kind string // submit, use, advance, compact, checkpoint
+	id   string
+	seq  uint64
+	x    float64
+	ttl  time.Duration
+	at   time.Time
+}
+
+// genWalOps mirrors the middleware crash-recovery generator: 40-80 ops
+// mixing submissions (some with TTLs), uses (including rejections),
+// clock advances, compactions, and checkpoints.
+func genWalOps(seed int64) []walOp {
+	rng := rand.New(rand.NewSource(seed))
+	n := 40 + rng.Intn(40)
+	ops := make([]walOp, 0, n)
+	var submitted []string
+	seq := uint64(0)
+	for i := 0; i < n; i++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.55 || len(submitted) == 0:
+			seq++
+			id := fmt.Sprintf("w%d", seq)
+			var ttl time.Duration
+			if rng.Float64() < 0.3 {
+				ttl = time.Duration(3+rng.Intn(15)) * time.Second
+			}
+			ops = append(ops, walOp{kind: "submit", id: id, seq: seq,
+				x: float64(rng.Intn(12)), ttl: ttl})
+			submitted = append(submitted, id)
+		case r < 0.85:
+			ops = append(ops, walOp{kind: "use", id: submitted[rng.Intn(len(submitted))]})
+		case r < 0.92:
+			seq += uint64(1 + rng.Intn(5))
+			ops = append(ops, walOp{kind: "advance", at: t0.Add(time.Duration(seq) * time.Second)})
+		case r < 0.97:
+			ops = append(ops, walOp{kind: "compact"})
+		default:
+			ops = append(ops, walOp{kind: "checkpoint"})
+		}
+	}
+	return ops
+}
+
+// applyWalOp runs one step. Application-level rejections (inconsistent
+// on use, expired, and so on) are deterministic parts of the history,
+// not failures; only journal trouble comes back as an error.
+func applyWalOp(m *middleware.Middleware, o walOp) error {
+	var err error
+	switch o.kind {
+	case "submit":
+		opts := []ctx.Option{ctx.WithID(ctx.ID(o.id)), ctx.WithSeq(o.seq), ctx.WithSource("s")}
+		if o.ttl > 0 {
+			opts = append(opts, ctx.WithTTL(o.ttl))
+		}
+		c := ctx.NewLocation("peter", t0.Add(time.Duration(o.seq)*time.Second),
+			ctx.Point{X: o.x}, opts...)
+		_, err = m.Submit(c)
+	case "use":
+		// Rejections (inconsistent, expired, discarded, not found) are
+		// deterministic parts of the journaled history, not failures.
+		_, _ = m.Use(ctx.ID(o.id))
+	case "advance":
+		m.AdvanceTo(o.at)
+	case "compact":
+		_, err = m.Compact()
+	case "checkpoint":
+		err = m.Checkpoint()
+	}
+	return err
+}
+
+// openJournal opens a test journal in dir with fsync off.
+func openJournal(tb testing.TB, dir string, opts wal.Options) *wal.Journal {
+	tb.Helper()
+	opts.Dir = dir
+	opts.Fsync = wal.FsyncNever
+	j, err := wal.Open(opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return j
+}

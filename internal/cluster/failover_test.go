@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ctxres/internal/daemon"
+	"ctxres/internal/middleware"
+	"ctxres/internal/wal"
+)
+
+// TestFailoverProperty generalizes the crash-recovery property test to
+// replication: for each seed, a workload runs on a leader whose journal
+// is shipped to a follower, and the replication stream is cut at a
+// random frame. Promoting the follower (replaying its received prefix
+// through the normal recovery path) must land on a state byte-identical
+// to an uninterrupted run of exactly the ops whose commands the follower
+// received — at ANY cut point — and the follower's journal directory
+// must verify clean.
+func TestFailoverProperty(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			ops := genWalOps(seed)
+			build := buildVelMiddleware(t)
+
+			// Reference run, fault-free and journaled (so checkpoints
+			// behave identically): fingerprints[i] is the durable state
+			// after the first i ops.
+			refDir := t.TempDir()
+			ref := build()
+			if err := ref.AttachJournal(openJournal(t, refDir, wal.Options{SegmentBytes: 1 << 12})); err != nil {
+				t.Fatal(err)
+			}
+			fingerprints := make([]string, 0, len(ops)+1)
+			fingerprints = append(fingerprints, fingerprint(t, ref))
+			for _, o := range ops {
+				if err := applyWalOp(ref, o); err != nil {
+					t.Fatalf("reference run: %v", err)
+				}
+				fingerprints = append(fingerprints, fingerprint(t, ref))
+			}
+			if err := ref.CloseJournal(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Leader run: the same workload against a shipped journal.
+			// cmdAfter[i] is the last command sequence the leader had
+			// journaled once op i finished — annotations do not replay, so
+			// the follower's state is decided by commands alone.
+			leaderDir := t.TempDir()
+			sh := NewShipper(ShipperOptions{Dir: leaderDir, HeartbeatEvery: time.Millisecond})
+			var lastCmd uint64
+			lj := openJournal(t, leaderDir, wal.Options{
+				SegmentBytes: 1 << 12,
+				Ship: func(r wal.Record, framed int) {
+					if r.Type.Command() {
+						lastCmd = r.Seq
+					}
+					sh.Tap(r, framed)
+				},
+				ShipSnapshot: sh.TapSnapshot,
+			})
+			sh.Attach(lj)
+			leader := build()
+			if err := leader.AttachJournal(lj); err != nil {
+				t.Fatal(err)
+			}
+			cmdAfter := make([]uint64, 0, len(ops)+1)
+			cmdAfter = append(cmdAfter, 0)
+			for _, o := range ops {
+				if err := applyWalOp(leader, o); err != nil {
+					t.Fatalf("leader run: %v", err)
+				}
+				cmdAfter = append(cmdAfter, lastCmd)
+			}
+
+			// Stream to the follower journal, cutting the connection after
+			// a random number of frames — sometimes zero, sometimes past
+			// the end, exercising clean completion.
+			onDisk, err := wal.Records(leaderDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed * 7919))
+			cut := rng.Intn(len(onDisk) + 4)
+			followerDir := t.TempDir()
+			fj := openJournal(t, followerDir, wal.Options{SegmentBytes: 1 << 12})
+			delivered := 0
+			_ = sh.ServeFeed(0, func(fr daemon.ReplFrame) bool {
+				if fr.Heartbeat != nil {
+					return false // leader quiescent: the stream is complete
+				}
+				if delivered >= cut {
+					return false // the cut: connection lost mid-stream
+				}
+				delivered++
+				switch {
+				case fr.Record != nil:
+					if fr.Record.Seq <= fj.LastSeq() {
+						return true
+					}
+					if _, err := fj.AppendShipped(*fr.Record); err != nil {
+						t.Errorf("append shipped seq %d: %v", fr.Record.Seq, err)
+						return false
+					}
+				case fr.Snapshot != nil:
+					if err := fj.ImportSnapshot(*fr.Snapshot); err != nil {
+						t.Errorf("import snapshot seq %d: %v", fr.Snapshot.Seq, err)
+						return false
+					}
+				}
+				return true
+			}, nil)
+			if t.Failed() {
+				return
+			}
+			cutSeq := fj.LastSeq()
+			if err := fj.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The follower's directory is a valid journal at any cut.
+			rep, err := wal.Verify(followerDir)
+			if err != nil {
+				t.Fatalf("verify follower dir: %v", err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("follower journal not clean after cut at frame %d: %+v", cut, rep)
+			}
+
+			// Promotion replays the received prefix; the result must equal
+			// the reference state after exactly the ops whose commands are
+			// at or below the follower's last sequence.
+			promoted, prep, err := middleware.Recover(followerDir, build)
+			if err != nil {
+				t.Fatalf("promote after %d frames (seq %d): %v", delivered, cutSeq, err)
+			}
+			k := 0
+			for i, c := range cmdAfter {
+				if c <= cutSeq {
+					k = i
+				}
+			}
+			if got := fingerprint(t, promoted); got != fingerprints[k] {
+				t.Fatalf("promoted state diverges at cut seq %d (op prefix %d/%d, replayed %d commands):\n got %s\nwant %s",
+					cutSeq, k, len(ops), prep.Commands, got, fingerprints[k])
+			}
+			if err := leader.CloseJournal(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

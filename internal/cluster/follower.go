@@ -1,0 +1,403 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ctxres/internal/daemon"
+	"ctxres/internal/middleware"
+	"ctxres/internal/telemetry"
+	"ctxres/internal/wal"
+)
+
+// FollowerOptions configures a replication follower.
+type FollowerOptions struct {
+	// Leader is the leader daemon's protocol address.
+	Leader string
+	// Dir is the follower's own journal directory; shipped records are
+	// appended here verbatim (leader sequence numbers preserved) and
+	// promotion recovers from it.
+	Dir string
+	// Fsync is the local journal's sync policy (zero value = wal default).
+	Fsync wal.FsyncPolicy
+	// Dial overrides the transport dialer (tests inject failures here).
+	// Default: 10s TCP dial.
+	Dial func(addr string) (net.Conn, error)
+	// RedialMin/RedialMax bound the capped exponential backoff between
+	// replication sessions (defaults 100ms and 2s).
+	RedialMin time.Duration
+	RedialMax time.Duration
+	// StallTimeout bounds one stream read. Leader heartbeats arrive every
+	// few hundred milliseconds, so a read stalled past this means the
+	// leader (or the path to it) is gone and the session redials.
+	// Default 10s.
+	StallTimeout time.Duration
+	// PromoteAfter auto-signals promotion (see AutoPromote) once the
+	// follower has been without a healthy leader session this long.
+	// Zero disables the trigger; Promote can always be called manually.
+	PromoteAfter time.Duration
+	// Telemetry registers lag gauges and the promotion counter when set.
+	Telemetry *telemetry.Registry
+	// Logf receives one line per session transition; nil silences.
+	Logf func(format string, args ...any)
+}
+
+// Follower tails a leader's journal over OpReplicate into a local
+// journal. It is a pure log sink: no middleware runs until Promote
+// replays the local journal through middleware.Recover, which makes the
+// promoted state byte-identical to the leader's acknowledged prefix by
+// construction — both sides applied the exact same records.
+type Follower struct {
+	opt FollowerOptions
+	j   *wal.Journal
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu            sync.Mutex
+	leaderSeq     uint64
+	leaderDurable uint64
+	leaderPending int64
+	connected     bool
+	lastHealthy   time.Time
+
+	autoPromote   chan struct{}
+	promoteOnce   sync.Once
+	promotions    atomic.Int64
+	resyncs       atomic.Int64
+	snapsImported atomic.Int64
+	closed        atomic.Bool
+}
+
+// StartFollower opens the local journal and starts tailing the leader.
+func StartFollower(opt FollowerOptions) (*Follower, error) {
+	if opt.Leader == "" {
+		return nil, errors.New("cluster: follower needs a leader address")
+	}
+	if opt.Dir == "" {
+		return nil, errors.New("cluster: follower needs a journal directory")
+	}
+	if opt.Dial == nil {
+		opt.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		}
+	}
+	if opt.RedialMin <= 0 {
+		opt.RedialMin = 100 * time.Millisecond
+	}
+	if opt.RedialMax < opt.RedialMin {
+		opt.RedialMax = 2 * time.Second
+	}
+	if opt.StallTimeout <= 0 {
+		opt.StallTimeout = 10 * time.Second
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	j, err := wal.Open(wal.Options{Dir: opt.Dir, Fsync: opt.Fsync})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: follower journal: %w", err)
+	}
+	f := &Follower{
+		opt:         opt,
+		j:           j,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		autoPromote: make(chan struct{}),
+	}
+	f.mu.Lock()
+	f.lastHealthy = time.Now()
+	f.mu.Unlock()
+	if reg := opt.Telemetry; reg != nil {
+		reg.GaugeFunc("ctxres_repl_lag_records", "Journal records the follower is behind the leader's last appended sequence.",
+			func() float64 { rec, _ := f.Lag(); return float64(rec) })
+		reg.GaugeFunc("ctxres_repl_lag_bytes", "Framed bytes queued for this follower on the leader, per its last heartbeat.",
+			func() float64 { _, b := f.Lag(); return float64(b) })
+		reg.GaugeFunc("ctxres_repl_connected", "1 while a replication session to the leader is live.",
+			func() float64 {
+				f.mu.Lock()
+				defer f.mu.Unlock()
+				if f.connected {
+					return 1
+				}
+				return 0
+			})
+		reg.CounterFunc("ctxres_repl_resyncs_total", "Replication sessions restarted (redials after errors or overflow).",
+			func() float64 { return float64(f.resyncs.Load()) })
+		reg.CounterFunc("ctxres_repl_snapshots_imported_total", "Leader snapshots imported into the follower journal.",
+			func() float64 { return float64(f.snapsImported.Load()) })
+		reg.CounterFunc("ctxres_cluster_promotions_total", "Follower promotions to leader.",
+			func() float64 { return float64(f.promotions.Load()) })
+	}
+	go f.run()
+	return f, nil
+}
+
+// LastSeq is the follower's last locally appended journal sequence.
+func (f *Follower) LastSeq() uint64 { return f.j.LastSeq() }
+
+// Lag returns how far the follower trails the leader: records behind the
+// leader's last appended sequence, and the framed bytes the leader had
+// queued for this follower at its last heartbeat. Both are zero until
+// the first heartbeat arrives.
+func (f *Follower) Lag() (records uint64, bytes int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	last := f.j.LastSeq()
+	if f.leaderSeq > last {
+		records = f.leaderSeq - last
+	}
+	return records, f.leaderPending
+}
+
+// LeaderPositions returns the last heartbeat's view of the leader.
+func (f *Follower) LeaderPositions() (lastSeq, durableSeq uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leaderSeq, f.leaderDurable
+}
+
+// AutoPromote is closed when the follower has been without a healthy
+// leader session for PromoteAfter. The follower keeps redialing either
+// way; the caller decides whether to Promote.
+func (f *Follower) AutoPromote() <-chan struct{} { return f.autoPromote }
+
+// Stop ends the replication loop and closes the local journal.
+func (f *Follower) Stop() error {
+	if f.closed.Swap(true) {
+		<-f.done
+		return nil
+	}
+	close(f.stop)
+	<-f.done
+	return f.j.Close()
+}
+
+// Promote stops replication and replays the local journal into a fresh
+// middleware via middleware.Recover, exactly like a crash restart would:
+// the returned middleware's durable state is byte-identical to the
+// leader's state at the follower's last appended sequence. build must
+// construct the middleware with the leader's configuration and no
+// journal attached; the caller re-opens the journal afterwards (wal.Open
+// on the same dir) and attaches it to keep journaling as the new leader.
+func (f *Follower) Promote(build func() *middleware.Middleware) (*middleware.Middleware, *middleware.RecoveryReport, error) {
+	if err := f.Stop(); err != nil {
+		return nil, nil, fmt.Errorf("cluster: promote: close journal: %w", err)
+	}
+	m, rep, err := middleware.Recover(f.opt.Dir, build)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: promote: %w", err)
+	}
+	f.promotions.Add(1)
+	f.opt.Logf("cluster: promoted at seq %d (%d commands replayed)", rep.LastSeq, rep.Commands)
+	return m, rep, nil
+}
+
+// run is the session loop: dial, stream, classify the failure, back off,
+// redial from the local position. Every session is lossless — the
+// replicate request carries the local LastSeq, so nothing is ever
+// skipped or doubled.
+func (f *Follower) run() {
+	defer close(f.done)
+	backoff := f.opt.RedialMin
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		start := time.Now()
+		err := f.session()
+		if f.isStopped() {
+			return
+		}
+		f.resyncs.Add(1)
+		f.opt.Logf("cluster: replication session ended after %v: %v", time.Since(start).Round(time.Millisecond), err)
+		if time.Since(start) > f.opt.RedialMax {
+			backoff = f.opt.RedialMin // a session that ran a while earns a fresh ladder
+		}
+		f.checkPromoteDeadline()
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > f.opt.RedialMax {
+			backoff = f.opt.RedialMax
+		}
+	}
+}
+
+func (f *Follower) isStopped() bool {
+	select {
+	case <-f.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// checkPromoteDeadline trips the auto-promote signal once the follower
+// has been leaderless past PromoteAfter.
+func (f *Follower) checkPromoteDeadline() {
+	if f.opt.PromoteAfter <= 0 {
+		return
+	}
+	f.mu.Lock()
+	leaderless := time.Since(f.lastHealthy)
+	f.mu.Unlock()
+	if leaderless >= f.opt.PromoteAfter {
+		f.promoteOnce.Do(func() {
+			f.opt.Logf("cluster: leader unreachable for %v, signaling promotion", leaderless.Round(time.Millisecond))
+			close(f.autoPromote)
+		})
+	}
+}
+
+// session runs one replication connection: hello (role follower, binary
+// frames), replicate from the local position, then append every pushed
+// frame until the stream breaks.
+func (f *Follower) session() error {
+	conn, err := f.opt.Dial(f.opt.Leader)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	if err := f.exchange(conn, br, false, daemon.Request{
+		Op: daemon.OpHello, Format: daemon.FormatBinary, Role: daemon.RoleFollower,
+	}); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	fromSeq := f.j.LastSeq()
+	if err := f.exchange(conn, br, true, daemon.Request{
+		Op: daemon.OpReplicate, FromSeq: fromSeq,
+	}); err != nil {
+		return fmt.Errorf("replicate: %w", err)
+	}
+	f.setConnected(true)
+	defer f.setConnected(false)
+	f.opt.Logf("cluster: replicating from %s starting at seq %d", f.opt.Leader, fromSeq+1)
+
+	var buf []byte
+	for {
+		if f.isStopped() {
+			return nil
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(f.opt.StallTimeout))
+		body, err := daemon.ReadBinFrame(br, &buf)
+		if err != nil {
+			return fmt.Errorf("stream read: %w", err)
+		}
+		var resp daemon.Response
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return fmt.Errorf("stream decode: %w", err)
+		}
+		if !resp.OK {
+			return fmt.Errorf("stream error: %s (%s)", resp.Error, resp.Code)
+		}
+		if resp.Repl == nil {
+			continue
+		}
+		if err := f.apply(*resp.Repl); err != nil {
+			return err
+		}
+	}
+}
+
+// apply lands one replication frame in the local journal.
+func (f *Follower) apply(frame daemon.ReplFrame) error {
+	switch {
+	case frame.Record != nil:
+		if frame.Record.Seq <= f.j.LastSeq() {
+			return nil // replay overlap after a resume; already appended
+		}
+		if _, err := f.j.AppendShipped(*frame.Record); err != nil {
+			return fmt.Errorf("append seq %d: %w", frame.Record.Seq, err)
+		}
+		f.markHealthy()
+	case frame.Snapshot != nil:
+		if frame.Snapshot.Seq <= f.j.Stats().LastSnapshotSeq {
+			return nil // re-offer of a position we already hold
+		}
+		if err := f.j.ImportSnapshot(*frame.Snapshot); err != nil {
+			return fmt.Errorf("import snapshot seq %d: %w", frame.Snapshot.Seq, err)
+		}
+		f.snapsImported.Add(1)
+		f.markHealthy()
+	case frame.Heartbeat != nil:
+		hb := frame.Heartbeat
+		f.mu.Lock()
+		f.leaderSeq = hb.LastSeq
+		f.leaderDurable = hb.DurableSeq
+		f.leaderPending = hb.PendingBytes
+		f.lastHealthy = time.Now()
+		f.mu.Unlock()
+	}
+	return nil
+}
+
+func (f *Follower) markHealthy() {
+	f.mu.Lock()
+	f.lastHealthy = time.Now()
+	f.mu.Unlock()
+}
+
+func (f *Follower) setConnected(v bool) {
+	f.mu.Lock()
+	f.connected = v
+	if v {
+		f.lastHealthy = time.Now()
+	}
+	f.mu.Unlock()
+}
+
+// exchange writes one line-JSON or binary request and reads its ack.
+func (f *Follower) exchange(conn net.Conn, br *bufio.Reader, binary bool, req daemon.Request) error {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	var wire []byte
+	if binary {
+		wire, err = daemon.AppendBinFrame(nil, payload)
+		if err != nil {
+			return err
+		}
+	} else {
+		wire = append(payload, '\n')
+	}
+	_ = conn.SetDeadline(time.Now().Add(f.opt.StallTimeout))
+	defer conn.SetDeadline(time.Time{})
+	if _, err := conn.Write(wire); err != nil {
+		return err
+	}
+	var buf []byte
+	var body []byte
+	if binary {
+		body, err = daemon.ReadBinFrame(br, &buf)
+	} else {
+		body, err = daemon.ReadLineFrame(br, &buf)
+	}
+	if err != nil {
+		return err
+	}
+	var resp daemon.Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("refused: %s (%s)", resp.Error, resp.Code)
+	}
+	if req.Op == daemon.OpHello && resp.Format != daemon.FormatBinary {
+		return fmt.Errorf("leader negotiated format %q, want binary", resp.Format)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ctxres/internal/daemon"
+	"ctxres/internal/middleware"
+	"ctxres/internal/wal"
+)
+
+// testLeader is a live leader stack: middleware on a shipped journal,
+// served over TCP with the replication source wired in.
+type testLeader struct {
+	dir string
+	j   *wal.Journal
+	mw  *middleware.Middleware
+	srv *daemon.Server
+}
+
+func startTestLeader(t *testing.T, dir string) *testLeader {
+	t.Helper()
+	// Recovery first (wal.Load truncates torn tails in place), then the
+	// journal opens with the shipping taps — the same order ctxmwd uses.
+	mw, _, err := middleware.Recover(dir, buildVelMiddleware(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewShipper(ShipperOptions{Dir: dir, HeartbeatEvery: 10 * time.Millisecond})
+	j := openJournal(t, dir, wal.Options{Ship: sh.Tap, ShipSnapshot: sh.TapSnapshot})
+	sh.Attach(j)
+	if err := mw.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := daemon.Serve("127.0.0.1:0", mw, nil,
+		daemon.WithReplicationSource(sh),
+		daemon.WithDrainTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testLeader{dir: dir, j: j, mw: mw, srv: srv}
+}
+
+func waitCaughtUp(t *testing.T, f *Follower, target uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for f.LastSeq() < target {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at seq %d, leader at %d", f.LastSeq(), target)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFollowerReplicatesAndPromotes is the live end-to-end: a follower
+// tails a serving leader over TCP, the leader dies, and the promoted
+// follower is byte-identical to the leader's final state — then serves
+// as a journaled leader itself.
+func TestFollowerReplicatesAndPromotes(t *testing.T) {
+	leader := startTestLeader(t, t.TempDir())
+	defer leader.srv.Shutdown()
+
+	f, err := StartFollower(FollowerOptions{
+		Leader:       leader.srv.Addr().String(),
+		Dir:          t.TempDir(),
+		Fsync:        wal.FsyncNever,
+		RedialMin:    10 * time.Millisecond,
+		StallTimeout: 2 * time.Second,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := daemon.Dial(leader.srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		c := loc(fmt.Sprintf("live%d", i), uint64(i), float64(i%3))
+		if i == 4 {
+			c.Truth.Corrupted = true // drop-bad discards it: annotations ship too
+		}
+		if _, err := client.Submit(c); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if _, err := client.Use("live2"); err != nil {
+		t.Fatalf("use: %v", err)
+	}
+	_ = client.Close()
+
+	waitCaughtUp(t, f, leader.j.LastSeq())
+	recs, _ := f.Lag()
+	if recs != 0 {
+		t.Fatalf("lag = %d records after catch-up", recs)
+	}
+	want := fingerprint(t, leader.mw)
+
+	// Leader dies; the follower takes over.
+	leader.srv.Shutdown()
+	if err := leader.mw.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	promoted, rep, err := f.Promote(buildVelMiddleware(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Commands == 0 {
+		t.Fatalf("promotion report = %+v, want replayed commands", rep)
+	}
+	if got := fingerprint(t, promoted); got != want {
+		t.Fatalf("promoted state diverges:\n got %s\nwant %s", got, want)
+	}
+
+	// The promoted node keeps journaling and serving.
+	j2 := openJournal(t, f.opt.Dir, wal.Options{})
+	if err := promoted.AttachJournal(j2); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := daemon.Serve("127.0.0.1:0", promoted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Shutdown()
+	c2, err := daemon.Dial(srv2.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Submit(loc("post-promote", 20, 1)); err != nil {
+		t.Fatalf("submit after promotion: %v", err)
+	}
+	if err := promoted.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFollowerLateJoinViaSnapshot covers joining after the leader's
+// checkpoint pruned the log prefix: the snapshot bridges the gap and the
+// promoted state still matches.
+func TestFollowerLateJoinViaSnapshot(t *testing.T) {
+	leader := startTestLeader(t, t.TempDir())
+	defer leader.srv.Shutdown()
+
+	for i := 1; i <= 5; i++ {
+		if _, err := leader.mw.Submit(loc("pre"+string(rune('0'+i)), uint64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.mw.Checkpoint(); err != nil { // prunes the prefix
+		t.Fatal(err)
+	}
+	if _, err := leader.mw.Submit(loc("tail", 9, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := StartFollower(FollowerOptions{
+		Leader:       leader.srv.Addr().String(),
+		Dir:          t.TempDir(),
+		Fsync:        wal.FsyncNever,
+		RedialMin:    10 * time.Millisecond,
+		StallTimeout: 2 * time.Second,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, f, leader.j.LastSeq())
+	if f.snapsImported.Load() == 0 {
+		t.Fatal("late join did not import the leader snapshot")
+	}
+	want := fingerprint(t, leader.mw)
+	leader.srv.Shutdown()
+	if err := leader.mw.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	promoted, _, err := f.Promote(buildVelMiddleware(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, promoted); got != want {
+		t.Fatalf("late-join promoted state diverges:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestFollowerResumesAcrossLeaderRestart proves sessions are lossless:
+// the follower redials after the leader restarts and resumes from its
+// own position without gaps or duplicates.
+func TestFollowerResumesAcrossLeaderRestart(t *testing.T) {
+	dir := t.TempDir()
+	leader := startTestLeader(t, dir)
+
+	if _, err := leader.mw.Submit(loc("a1", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Real deployments restart the leader on a fixed address; the test
+	// leader picks a fresh port each time, so dial through an indirection
+	// that the test retargets — the follower exercises the same redial
+	// path either way.
+	var target atomic.Value
+	target.Store(leader.srv.Addr().String())
+	f, err := StartFollower(FollowerOptions{
+		Leader: "retargeted",
+		Dial: func(string) (net.Conn, error) {
+			return net.DialTimeout("tcp", target.Load().(string), time.Second)
+		},
+		Dir:          t.TempDir(),
+		Fsync:        wal.FsyncNever,
+		RedialMin:    10 * time.Millisecond,
+		RedialMax:    50 * time.Millisecond,
+		StallTimeout: time.Second,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Stop() }()
+	waitCaughtUp(t, f, leader.j.LastSeq())
+
+	leader.srv.Shutdown()
+	if err := leader.mw.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	leader2 := startTestLeader(t, dir)
+	defer leader2.srv.Shutdown()
+	target.Store(leader2.srv.Addr().String())
+
+	if _, err := leader2.mw.Submit(loc("b1", 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, f, leader2.j.LastSeq())
+	if f.resyncs.Load() == 0 {
+		t.Fatal("follower never recorded a resync across the leader restart")
+	}
+	if err := leader2.mw.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package cluster makes the context middleware multi-node: WAL-shipped
+// replication with follower promotion (shipper.go, follower.go), and a
+// consistent-hash shard router partitioning the context pool by source
+// across independent daemons (router.go).
+//
+// The package composes with internal/daemon rather than replacing it: a
+// leader is an ordinary ctxmwd whose journal feeds a Shipper served over
+// the daemon's OpReplicate; a follower is a thin journal sink promotable
+// through the existing middleware.Recover path; the router speaks the
+// daemon wire protocol on both sides.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultRingReplicas is the virtual-node count per shard address. 64
+// virtual nodes keep the expected imbalance of a source-hash partition
+// over a handful of shards in the low percent range, at a lookup cost of
+// a binary search over n*64 points.
+const DefaultRingReplicas = 64
+
+// Ring is an immutable consistent-hash ring mapping keys (context
+// sources) to shard addresses. Every node places Replicas virtual points
+// on the circle; a key is owned by the first point at or after its hash.
+// Lookups are safe for concurrent use.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	addrs  []string    // distinct addresses, insertion order
+}
+
+type ringPoint struct {
+	hash uint32
+	addr string
+}
+
+// NewRing builds a ring over the given shard addresses. replicas <= 0
+// selects DefaultRingReplicas. Duplicate addresses are collapsed.
+func NewRing(addrs []string, replicas int) (*Ring, error) {
+	if replicas <= 0 {
+		replicas = DefaultRingReplicas
+	}
+	r := &Ring{}
+	seen := make(map[string]bool, len(addrs))
+	for _, addr := range addrs {
+		if addr == "" {
+			return nil, fmt.Errorf("cluster: ring: empty shard address")
+		}
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		r.addrs = append(r.addrs, addr)
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(fmt.Sprintf("%s#%d", addr, i)),
+				addr: addr,
+			})
+		}
+	}
+	if len(r.addrs) == 0 {
+		return nil, fmt.Errorf("cluster: ring: no shard addresses")
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.addr < b.addr // deterministic under (vanishingly rare) hash ties
+	})
+	return r, nil
+}
+
+// Owner returns the shard address owning the key.
+func (r *Ring) Owner(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point owns the top arc
+	}
+	return r.points[i].addr
+}
+
+// Addrs returns the distinct shard addresses in insertion order.
+func (r *Ring) Addrs() []string {
+	out := make([]string, len(r.addrs))
+	copy(out, r.addrs)
+	return out
+}
+
+func ringHash(key string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum32()
+}

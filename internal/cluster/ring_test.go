@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	shards := []string{"10.0.0.1:7654", "10.0.0.2:7654", "10.0.0.3:7654"}
+	r1, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same shard set in a different order: ownership must not depend on
+	// listing order, only on the membership.
+	r2, err := NewRing([]string{shards[2], shards[0], shards[1]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("source-%d", i)
+		o := r1.Owner(key)
+		if o2 := r2.Owner(key); o2 != o {
+			t.Fatalf("owner(%s) order-dependent: %s vs %s", key, o, o2)
+		}
+		counts[o]++
+	}
+	for _, shard := range shards {
+		if counts[shard] == 0 {
+			t.Fatalf("shard %s owns no keys: %v", shard, counts)
+		}
+		// With 64 virtual nodes each, no shard should hog the ring.
+		if counts[shard] > 700 {
+			t.Fatalf("shard %s owns %d/1000 keys, ring badly unbalanced: %v",
+				shard, counts[shard], counts)
+		}
+	}
+}
+
+func TestRingSingleShardOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"a:1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if o := r.Owner(fmt.Sprintf("k%d", i)); o != "a:1" {
+			t.Fatalf("owner = %s, want a:1", o)
+		}
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	if _, err := NewRing([]string{"a:1", ""}, 0); err == nil {
+		t.Fatal("empty shard address accepted")
+	}
+	r, err := NewRing([]string{"a:1", "a:1", "b:2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Addrs()); got != 2 {
+		t.Fatalf("duplicate address not deduplicated: %d addrs", got)
+	}
+}
+
+func TestRingMostKeysStayOnResize(t *testing.T) {
+	before, err := NewRing([]string{"a:1", "b:2", "c:3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"a:1", "b:2", "c:3", "d:4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("source-%d", i)
+		if before.Owner(key) != after.Owner(key) {
+			moved++
+		}
+	}
+	// Consistent hashing moves ~1/4 of the keys when growing 3 -> 4;
+	// rehash-everything schemes move ~3/4. Allow generous slack.
+	if moved > n/2 {
+		t.Fatalf("%d/%d keys moved on resize, expected roughly n/4", moved, n)
+	}
+}

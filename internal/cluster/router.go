@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/daemon"
+	"ctxres/internal/middleware"
+	"ctxres/internal/pool"
+	"ctxres/internal/telemetry"
+)
+
+// RouterOptions configures a shard router gateway.
+type RouterOptions struct {
+	// Shards are the shard daemons' protocol addresses; they define the
+	// hash ring.
+	Shards []string
+	// Replicas is the virtual-node count per shard (0 = default).
+	Replicas int
+	// Checker supplies the constraint set for the spanning analysis: a
+	// constraint that constraint.SourceLocal cannot prove shard-local
+	// forces the mirror path for every context kind it quantifies over.
+	Checker *constraint.Checker
+	// Timeout bounds each upstream round trip (0 = client default).
+	Timeout time.Duration
+	// MaxConns caps concurrent downstream connections (0 = unlimited).
+	MaxConns int
+	// Telemetry registers the routing counters when set.
+	Telemetry *telemetry.Registry
+	// Logf receives per-connection and mirror-failure notices; nil silences.
+	Logf func(format string, args ...any)
+}
+
+// Router is a wire-compatible gateway in front of N shard daemons. It
+// partitions the context pool by ctx.Source over a consistent-hash ring:
+// every operation for a source lands on its owning shard, so each
+// shard's pool is exactly the single-node pool restricted to its
+// sources.
+//
+// Constraints that provably never relate contexts from different sources
+// (constraint.SourceLocal) are then checked shard-locally with results
+// identical to a global check. For the remaining spanning constraints,
+// submissions of their kinds take a logged, counted scatter path: the
+// context is mirrored to every shard, so each shard still evaluates
+// those constraints against the full universe of relevant contexts. The
+// ring owner's response is authoritative; mirror responses are
+// discarded.
+type Router struct {
+	opt  RouterOptions
+	ring *Ring
+	ln   net.Listener
+
+	// spanningKinds maps each context kind quantified by a non-local
+	// constraint to the mirror path; spanningNames lists those
+	// constraints for the stats op.
+	spanningKinds map[ctx.Kind]bool
+	spanningNames []string
+
+	routed    atomic.Int64
+	scattered atomic.Int64
+	shardCtrs map[string]*shardCounters // keyed by shard addr, fixed at start
+
+	// latestShard remembers, per (kind, subject), the owner shard of the
+	// most recently routed submission, so use-latest can go to the shard
+	// actually holding the newest matching context. Correct as long as
+	// submissions flow through this router.
+	latestMu    sync.Mutex
+	latestShard map[latestKey]string
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type shardCounters struct {
+	owned    atomic.Int64
+	mirrored atomic.Int64
+}
+
+type latestKey struct {
+	kind    ctx.Kind
+	subject string
+}
+
+// ServeRouter starts a router gateway listening on addr.
+func ServeRouter(addr string, opt RouterOptions) (*Router, error) {
+	if len(opt.Shards) == 0 {
+		return nil, errors.New("cluster: router needs at least one shard address")
+	}
+	ring, err := NewRing(opt.Shards, opt.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	r := &Router{
+		opt:           opt,
+		ring:          ring,
+		spanningKinds: make(map[ctx.Kind]bool),
+		shardCtrs:     make(map[string]*shardCounters),
+		latestShard:   make(map[latestKey]string),
+		conns:         make(map[net.Conn]struct{}),
+		stop:          make(chan struct{}),
+	}
+	for _, shard := range ring.Addrs() {
+		r.shardCtrs[shard] = &shardCounters{}
+	}
+	if opt.Checker != nil {
+		for _, c := range opt.Checker.Constraints() {
+			if constraint.SourceLocal(c.Formula) {
+				continue
+			}
+			r.spanningNames = append(r.spanningNames, c.Name)
+			for k := range constraint.FormulaKinds(c.Formula) {
+				r.spanningKinds[k] = true
+			}
+		}
+		sort.Strings(r.spanningNames)
+	}
+	if reg := opt.Telemetry; reg != nil {
+		reg.CounterFunc("ctxres_router_routed_total", "Operations routed to exactly the owning shard.",
+			func() float64 { return float64(r.routed.Load()) })
+		reg.CounterFunc("ctxres_router_scattered_total", "Operations fanned out beyond the owning shard (spanning-kind mirrors and multi-shard probes).",
+			func() float64 { return float64(r.scattered.Load()) })
+		reg.GaugeFunc("ctxres_router_shards", "Shards in the hash ring.",
+			func() float64 { return float64(len(ring.Addrs())) })
+		reg.GaugeFunc("ctxres_router_spanning_constraints", "Constraints forced onto the mirror path by the source-locality analysis.",
+			func() float64 { return float64(len(r.spanningNames)) })
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: router listen: %w", err)
+	}
+	r.ln = ln
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the router's listen address.
+func (r *Router) Addr() net.Addr { return r.ln.Addr() }
+
+// Spanning returns the constraint names on the mirror path, sorted.
+func (r *Router) Spanning() []string {
+	out := make([]string, len(r.spanningNames))
+	copy(out, r.spanningNames)
+	return out
+}
+
+// Stats snapshots the routing counters.
+func (r *Router) Stats() daemon.RouterStats {
+	rs := daemon.RouterStats{
+		Routed:              r.routed.Load(),
+		Scattered:           r.scattered.Load(),
+		SpanningConstraints: r.Spanning(),
+	}
+	for _, shard := range r.ring.Addrs() {
+		c := r.shardCtrs[shard]
+		rs.Shards = append(rs.Shards, daemon.RouterShardStats{
+			Addr:     shard,
+			Owned:    c.owned.Load(),
+			Mirrored: c.mirrored.Load(),
+		})
+	}
+	return rs
+}
+
+// Shutdown stops accepting, closes every downstream connection (and with
+// them their upstream fan-out clients), and waits for the serving
+// goroutines.
+func (r *Router) Shutdown() {
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		_ = r.ln.Close()
+		r.connMu.Lock()
+		for c := range r.conns {
+			_ = c.Close()
+		}
+		r.connMu.Unlock()
+	})
+	r.wg.Wait()
+}
+
+func (r *Router) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if r.opt.MaxConns > 0 && r.connCount() >= r.opt.MaxConns {
+			resp := daemon.ErrResponse(daemon.CodeBusy, errors.New("router at connection cap"))
+			writeLineResponse(conn, resp)
+			_ = conn.Close()
+			continue
+		}
+		r.trackConn(conn, true)
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer r.trackConn(conn, false)
+			defer conn.Close()
+			r.serveConn(conn)
+		}()
+	}
+}
+
+func (r *Router) connCount() int {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	return len(r.conns)
+}
+
+func (r *Router) trackConn(conn net.Conn, add bool) {
+	r.connMu.Lock()
+	if add {
+		r.conns[conn] = struct{}{}
+	} else {
+		delete(r.conns, conn)
+	}
+	r.connMu.Unlock()
+}
+
+// owner returns the shard owning a source's contexts.
+func (r *Router) owner(source string) string { return r.ring.Owner(source) }
+
+// rememberLatest records the owner shard of the newest submission per
+// (kind, subject).
+func (r *Router) rememberLatest(c *ctx.Context, shard string) {
+	r.latestMu.Lock()
+	r.latestShard[latestKey{kind: c.Kind, subject: c.Subject}] = shard
+	r.latestMu.Unlock()
+}
+
+func (r *Router) lookupLatest(kind ctx.Kind, subject string) (string, bool) {
+	r.latestMu.Lock()
+	defer r.latestMu.Unlock()
+	shard, ok := r.latestShard[latestKey{kind: kind, subject: subject}]
+	return shard, ok
+}
+
+// sumStats merges per-shard middleware and pool counters by field-wise
+// addition: the shards partition the pool, so their counters partition
+// the cluster totals.
+func sumStats(mws []middleware.Stats, pls []pool.Stats) (middleware.Stats, pool.Stats) {
+	var mw middleware.Stats
+	var pl pool.Stats
+	for _, s := range mws {
+		mw.Submitted += s.Submitted
+		mw.Detected += s.Detected
+		mw.Discarded += s.Discarded
+		mw.Delivered += s.Delivered
+		mw.Rejected += s.Rejected
+		mw.Expired += s.Expired
+		mw.Situations += s.Situations
+		mw.Shards += s.Shards
+		mw.PrunedBindings += s.PrunedBindings
+		mw.Compactions += s.Compactions
+		mw.CompactRemoved += s.CompactRemoved
+	}
+	for _, s := range pls {
+		pl.Added += s.Added
+		pl.Discarded += s.Discarded
+		pl.Expired += s.Expired
+		pl.Used += s.Used
+		pl.Checking += s.Checking
+		pl.Available += s.Available
+	}
+	return mw, pl
+}

@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/daemon"
+	"ctxres/internal/middleware"
+	"ctxres/internal/strategy"
+)
+
+// routerChecker builds the differential-test constraint set: one
+// provably source-local constraint (velocity over stream pairs) and one
+// genuinely cross-source constraint (near-simultaneous locations of a
+// subject must agree), mirroring the callforward profile's split.
+func routerChecker() *constraint.Checker {
+	ch := constraint.NewChecker()
+	ch.MustRegister(&constraint.Constraint{
+		Name: "vel-local",
+		Formula: constraint.Forall("a", ctx.KindLocation,
+			constraint.Forall("b", ctx.KindLocation,
+				constraint.Implies(
+					constraint.And(
+						constraint.SameSubject("a", "b"),
+						constraint.StreamWithin("a", "b", 2),
+					),
+					constraint.VelocityBelow("a", "b", 1.5),
+				))),
+	})
+	ch.MustRegister(&constraint.Constraint{
+		Name: "agree-span",
+		Formula: constraint.Forall("a", ctx.KindLocation,
+			constraint.Forall("b", ctx.KindLocation,
+				constraint.Implies(
+					constraint.And(
+						constraint.SameSubject("a", "b"),
+						constraint.Distinct("a", "b"),
+						constraint.WithinGap("a", "b", time.Second),
+					),
+					constraint.DistBelow("a", "b", 4),
+				))),
+	})
+	return ch
+}
+
+func startShard(t *testing.T) *daemon.Server {
+	t.Helper()
+	mw := middleware.New(routerChecker(), strategy.NewDropBad())
+	srv, err := daemon.Serve("127.0.0.1:0", mw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	return srv
+}
+
+// srcLoc builds a location context from an explicit source.
+func srcLoc(id string, source string, seq uint64, at time.Time, x float64) *ctx.Context {
+	return ctx.NewLocation("peter", at, ctx.Point{X: x},
+		ctx.WithID(ctx.ID(id)), ctx.WithSeq(seq), ctx.WithSource(source))
+}
+
+// TestRouterDifferential is the 2-shard equivalence test: the same
+// workload — two sources owned by different shards, with within-source
+// velocity violations and a cross-source agreement violation — must
+// produce identical per-submission and per-use outcomes through the
+// router as on a single node, and the cross-shard constraint's traffic
+// must show up in the scatter counters.
+func TestRouterDifferential(t *testing.T) {
+	s1, s2 := startShard(t), startShard(t)
+	single := startShard(t)
+
+	r, err := ServeRouter("127.0.0.1:0", RouterOptions{
+		Shards:  []string{s1.Addr().String(), s2.Addr().String()},
+		Checker: routerChecker(),
+		Timeout: 5 * time.Second,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown()
+
+	if got := r.Spanning(); !reflect.DeepEqual(got, []string{"agree-span"}) {
+		t.Fatalf("spanning constraints = %v, want [agree-span] (vel-local must be proven local)", got)
+	}
+
+	// Two sources that land on different shards, so cross-source pairs
+	// genuinely span the ring.
+	var srcA, srcB string
+	for i := 0; srcB == ""; i++ {
+		name := fmt.Sprintf("src-%d", i)
+		if srcA == "" {
+			srcA = name
+			continue
+		}
+		if r.owner(name) != r.owner(srcA) {
+			srcB = name
+		}
+	}
+
+	via, err := daemon.Dial(r.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer via.Close()
+	ref, err := daemon.Dial(single.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	subs := []*ctx.Context{
+		// Source A walks plausibly...
+		srcLoc("a1", srcA, 1, t0, 0),
+		srcLoc("a2", srcA, 2, t0.Add(time.Second), 1),
+		// ...then teleports: a within-source velocity violation.
+		srcLoc("a3", srcA, 3, t0.Add(2*time.Second), 40),
+		// Source B reports the subject 30 m away at (almost) the same
+		// moment as a2: a violation only a cross-source check can see.
+		srcLoc("b1", srcB, 1, t0.Add(1100*time.Millisecond), 31),
+		srcLoc("b2", srcB, 2, t0.Add(3*time.Second), 31.5),
+		// A kind no constraint quantifies over stays on the routed path.
+		ctx.New("badge-read", t0.Add(4*time.Second), nil,
+			ctx.WithID("r1"), ctx.WithSeq(1), ctx.WithSource(srcA), ctx.WithSubject("peter")),
+		ctx.New("badge-read", t0.Add(5*time.Second), nil,
+			ctx.WithID("r2"), ctx.WithSeq(1), ctx.WithSource(srcB), ctx.WithSubject("peter")),
+	}
+	sawViolation := false
+	for _, c := range subs {
+		gotV, gotErr := via.Submit(c)
+		wantV, wantErr := ref.Submit(c)
+		if !sameError(gotErr, wantErr) {
+			t.Fatalf("submit %s: router err %v, single-node err %v", c.ID, gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(gotV, wantV) {
+			t.Fatalf("submit %s: router violations %v, single-node %v", c.ID, gotV, wantV)
+		}
+		if len(gotV) > 0 {
+			sawViolation = true
+		}
+	}
+	if !sawViolation {
+		t.Fatal("workload produced no violations; the differential proves nothing")
+	}
+
+	// use-latest must find the newest matching context wherever it lives.
+	for _, probe := range []struct {
+		kind    ctx.Kind
+		subject string
+	}{{ctx.KindLocation, "peter"}, {"badge-read", "peter"}, {ctx.KindLocation, "nobody"}} {
+		gotC, gotErr := via.UseLatest(probe.kind, probe.subject)
+		wantC, wantErr := ref.UseLatest(probe.kind, probe.subject)
+		if !sameError(gotErr, wantErr) {
+			t.Fatalf("use-latest %s/%s: router err %v, single-node err %v",
+				probe.kind, probe.subject, gotErr, wantErr)
+		}
+		if !sameContext(gotC, wantC) {
+			t.Fatalf("use-latest %s/%s: router %+v, single-node %+v",
+				probe.kind, probe.subject, gotC, wantC)
+		}
+	}
+
+	// Drain every remaining submission through both paths: identical
+	// outcomes here mean the pools are application-equivalent.
+	for _, c := range subs {
+		gotC, gotErr := via.Use(c.ID)
+		wantC, wantErr := ref.Use(c.ID)
+		if !sameError(gotErr, wantErr) {
+			t.Fatalf("use %s: router err %v, single-node err %v", c.ID, gotErr, wantErr)
+		}
+		if !sameContext(gotC, wantC) {
+			t.Fatalf("use %s: router %+v, single-node %+v", c.ID, gotC, wantC)
+		}
+	}
+
+	rs := r.Stats()
+	if rs.Scattered == 0 {
+		t.Fatalf("router stats %+v: spanning-kind submissions must be counted as scattered", rs)
+	}
+	if rs.Routed == 0 {
+		t.Fatalf("router stats %+v: constraint-free-kind submissions must be counted as routed", rs)
+	}
+	var owned int64
+	for _, shard := range rs.Shards {
+		owned += shard.Owned
+	}
+	if owned == 0 || len(rs.Shards) != 2 {
+		t.Fatalf("router shard stats incomplete: %+v", rs)
+	}
+
+	// Cluster-wide stats through the router: totals reflect the whole
+	// workload (mirrors inflate per-shard counters by design, but the
+	// router's merged submission count must cover at least every original
+	// submission).
+	mwStats, _, err := via.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mwStats.Submitted < len(subs) {
+		t.Fatalf("merged Submitted = %d, want >= %d", mwStats.Submitted, len(subs))
+	}
+}
+
+// TestRouterScatterKeepsCrossSourceDetection pins the reason the mirror
+// path exists: with the cross-source pair split across shards, the
+// agreement violation is only visible because spanning-kind submissions
+// are mirrored. A single-shard router (everything trivially owned) must
+// agree with the two-shard one.
+func TestRouterScatterKeepsCrossSourceDetection(t *testing.T) {
+	s1, s2 := startShard(t), startShard(t)
+	r, err := ServeRouter("127.0.0.1:0", RouterOptions{
+		Shards:  []string{s1.Addr().String(), s2.Addr().String()},
+		Checker: routerChecker(),
+		Timeout: 5 * time.Second,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown()
+
+	var srcA, srcB string
+	for i := 0; srcB == ""; i++ {
+		name := fmt.Sprintf("s%d", i)
+		if srcA == "" {
+			srcA = name
+			continue
+		}
+		if r.owner(name) != r.owner(srcA) {
+			srcB = name
+		}
+	}
+	via, err := daemon.Dial(r.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer via.Close()
+
+	if _, err := via.Submit(srcLoc("x1", srcA, 1, t0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	vios, err := via.Submit(srcLoc("y1", srcB, 1, t0.Add(500*time.Millisecond), 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range vios {
+		if v.Constraint == "agree-span" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v, want agree-span: the cross-source violation "+
+			"is invisible without the mirror path", vios)
+	}
+}
+
+func sameError(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	// Remote errors compare by code and message.
+	var ra, rb *daemon.RemoteError
+	if errors.As(a, &ra) && errors.As(b, &rb) {
+		return ra.Code == rb.Code && ra.Message == rb.Message
+	}
+	return a.Error() == b.Error()
+}
+
+func sameContext(a, b *ctx.Context) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.ID == b.ID && a.Kind == b.Kind && a.Source == b.Source &&
+		a.Subject == b.Subject && a.Seq == b.Seq
+}

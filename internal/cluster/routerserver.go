@@ -1,0 +1,593 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ctxres/internal/ctx"
+	"ctxres/internal/daemon"
+	"ctxres/internal/middleware"
+	"ctxres/internal/pool"
+)
+
+// routerConn serves one downstream connection: it decodes requests in
+// the daemon's framing, fans them out to per-connection upstream clients
+// (one daemon.Client per shard, dialed lazily), and merges the answers.
+// Upstream clients are per downstream connection so subscriptions and
+// round-trip serialization stay scoped the way a direct connection's
+// would be.
+type routerConn struct {
+	r    *Router
+	conn net.Conn
+
+	writeMu sync.Mutex // serializes frames: responses and forwarded pushes
+	binary  bool       // guarded by writeMu (changes only at hello, before pushes exist)
+
+	ups    map[string]*daemon.Client // keyed by shard addr; serving goroutine only
+	subs   map[string]*subState      // guarded by subsMu: push handlers read it
+	subsMu sync.Mutex
+}
+
+// subState OR-aggregates one subscription across shards: the downstream
+// client sees "activated" when any shard's situation is active, mirroring
+// what a single node with the union pool would report.
+type subState struct {
+	mu     sync.Mutex
+	active map[string]bool // per-shard activation
+	cur    bool            // last state pushed downstream
+}
+
+func (r *Router) serveConn(conn net.Conn) {
+	rc := &routerConn{
+		r:    r,
+		conn: conn,
+		ups:  make(map[string]*daemon.Client),
+		subs: make(map[string]*subState),
+	}
+	defer rc.closeUpstreams()
+	br := bufio.NewReader(conn)
+	var buf []byte
+	for {
+		var body []byte
+		var err error
+		if rc.isBinary() {
+			body, err = daemon.ReadBinFrame(br, &buf)
+		} else {
+			body, err = daemon.ReadLineFrame(br, &buf)
+		}
+		if err != nil {
+			if daemon.IsFrameTooLong(err) {
+				_ = rc.writeResp(daemon.ErrResponse(daemon.CodeFrameTooLong, err))
+			}
+			return
+		}
+		var req daemon.Request
+		if err := json.Unmarshal(body, &req); err != nil {
+			_ = rc.writeResp(daemon.ErrResponse(daemon.CodeBadRequest, fmt.Errorf("decode request: %w", err)))
+			continue
+		}
+		daemon.InternRequest(&req)
+		resp := rc.handle(&req)
+		if err := rc.writeResp(resp); err != nil {
+			return
+		}
+		if req.Op == daemon.OpHello && resp.OK {
+			rc.setBinary(resp.Format == daemon.FormatBinary)
+		}
+	}
+}
+
+func (rc *routerConn) isBinary() bool {
+	rc.writeMu.Lock()
+	defer rc.writeMu.Unlock()
+	return rc.binary
+}
+
+func (rc *routerConn) setBinary(v bool) {
+	rc.writeMu.Lock()
+	rc.binary = v
+	rc.writeMu.Unlock()
+}
+
+// writeResp frames and writes one response or push under the write lock.
+func (rc *routerConn) writeResp(resp daemon.Response) error {
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return err
+	}
+	rc.writeMu.Lock()
+	defer rc.writeMu.Unlock()
+	var wire []byte
+	if rc.binary {
+		wire, err = daemon.AppendBinFrame(nil, payload)
+		if err != nil {
+			return err
+		}
+	} else {
+		wire = append(payload, '\n')
+	}
+	_ = rc.conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	_, err = rc.conn.Write(wire)
+	return err
+}
+
+// writeLineResponse writes one line-JSON response outside a serving loop
+// (the accept path's over-cap refusal).
+func writeLineResponse(conn net.Conn, resp daemon.Response) {
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	_, _ = conn.Write(append(payload, '\n'))
+}
+
+// client returns (dialing lazily) this connection's upstream client for
+// a shard.
+func (rc *routerConn) client(shard string) (*daemon.Client, error) {
+	if c, ok := rc.ups[shard]; ok {
+		return c, nil
+	}
+	c, err := daemon.DialOptions(shard, daemon.ClientOptions{
+		Timeout:    rc.r.opt.Timeout,
+		WireFormat: daemon.FormatBinary,
+		Role:       daemon.RoleRouter,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: %w", shard, err)
+	}
+	rc.ups[shard] = c
+	return c, nil
+}
+
+func (rc *routerConn) closeUpstreams() {
+	for _, c := range rc.ups {
+		_ = c.Close()
+	}
+}
+
+// shardError converts an upstream failure into a downstream response,
+// preserving the shard's typed code when it answered.
+func shardError(shard string, err error) daemon.Response {
+	var remote *daemon.RemoteError
+	if errors.As(err, &remote) {
+		return daemon.ErrResponse(remote.Code, errors.New(remote.Message))
+	}
+	return daemon.ErrResponse(daemon.CodeApp, fmt.Errorf("shard %s unreachable: %w", shard, err))
+}
+
+func (rc *routerConn) handle(req *daemon.Request) daemon.Response {
+	switch req.Op {
+	case daemon.OpPing:
+		return daemon.Response{OK: true}
+	case daemon.OpHello:
+		return rc.handleHello(req)
+	case daemon.OpSubmit:
+		return rc.handleSubmit(req)
+	case daemon.OpBatchSubmit:
+		return rc.handleBatch(req)
+	case daemon.OpUse:
+		return rc.handleUse(req)
+	case daemon.OpUseLatest:
+		return rc.handleUseLatest(req)
+	case daemon.OpStats:
+		return rc.handleStats()
+	case daemon.OpSituations:
+		return rc.handleSituations()
+	case daemon.OpSubscribe:
+		return rc.handleSubscribe(req)
+	case daemon.OpUnsubscribe:
+		return rc.handleUnsubscribe(req)
+	case daemon.OpReplicate:
+		return daemon.ErrResponse(daemon.CodeBadRequest,
+			errors.New("the router does not serve replication; connect to a shard daemon"))
+	default:
+		return daemon.ErrResponse(daemon.CodeBadRequest, fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+func (rc *routerConn) handleHello(req *daemon.Request) daemon.Response {
+	rc.subsMu.Lock()
+	n := len(rc.subs)
+	rc.subsMu.Unlock()
+	if n > 0 {
+		return daemon.ErrResponse(daemon.CodeApp,
+			errors.New("hello: cannot renegotiate with live subscriptions"))
+	}
+	switch req.Role {
+	case "", daemon.RoleClient, daemon.RoleFollower, daemon.RoleRouter:
+	default:
+		return daemon.ErrResponse(daemon.CodeApp, fmt.Errorf("hello: unknown role %q", req.Role))
+	}
+	switch req.Format {
+	case "", daemon.FormatJSON:
+		return daemon.Response{OK: true, Format: daemon.FormatJSON}
+	case daemon.FormatBinary:
+		return daemon.Response{OK: true, Format: daemon.FormatBinary}
+	default:
+		return daemon.ErrResponse(daemon.CodeApp, fmt.Errorf("hello: unknown format %q", req.Format))
+	}
+}
+
+func budgetOf(req *daemon.Request) time.Duration {
+	return time.Duration(req.TimeoutMillis) * time.Millisecond
+}
+
+// handleSubmit routes one submission: shard-local kinds go to the ring
+// owner only; kinds quantified by a spanning constraint are mirrored to
+// every shard so each shard's check universe for those constraints stays
+// complete. The owner's response is authoritative either way.
+func (rc *routerConn) handleSubmit(req *daemon.Request) daemon.Response {
+	c := req.Context
+	if c == nil {
+		return daemon.ErrResponse(daemon.CodeBadRequest, errors.New("submit: missing context"))
+	}
+	r := rc.r
+	owner := r.owner(c.Source)
+	spanning := r.spanningKinds[c.Kind]
+	var ownerResp daemon.Response
+	if spanning {
+		r.scattered.Add(1)
+	} else {
+		r.routed.Add(1)
+	}
+	for _, shard := range r.ring.Addrs() {
+		if shard != owner && !spanning {
+			continue
+		}
+		cl, err := rc.client(shard)
+		if err != nil {
+			if shard == owner {
+				return shardError(shard, err)
+			}
+			r.opt.Logf("cluster: router: mirror dial %s: %v", shard, err)
+			continue
+		}
+		vios, err := cl.SubmitBudget(c, budgetOf(req))
+		if shard == owner {
+			r.shardCtrs[shard].owned.Add(1)
+			if err != nil {
+				ownerResp = shardError(shard, err)
+			} else {
+				ownerResp = daemon.Response{OK: true, Violations: vios}
+				r.rememberLatest(c, owner)
+			}
+			continue
+		}
+		r.shardCtrs[shard].mirrored.Add(1)
+		if err != nil {
+			// A failed mirror cannot fail the submission the owner already
+			// accepted; it is logged so an operator can see the spanning
+			// check universe on that shard is incomplete.
+			r.opt.Logf("cluster: router: mirror submit %s to %s: %v", c.ID, shard, err)
+		}
+	}
+	return ownerResp
+}
+
+// handleBatch partitions a batch per shard, preserving the original
+// submission order within each shard (mirrored spanning-kind items
+// interleave with owned ones exactly as they do globally), and maps each
+// item's result back from its owner shard.
+func (rc *routerConn) handleBatch(req *daemon.Request) daemon.Response {
+	n := len(req.Contexts)
+	if n == 0 {
+		return daemon.ErrResponse(daemon.CodeBadRequest, errors.New("batch-submit: no contexts"))
+	}
+	if n > daemon.MaxBatchContexts {
+		return daemon.ErrResponse(daemon.CodeBadRequest,
+			fmt.Errorf("batch-submit: %d contexts exceeds cap %d", n, daemon.MaxBatchContexts))
+	}
+	r := rc.r
+	type shardBatch struct {
+		items    []*ctx.Context
+		ownerIdx []int // original index per item; -1 for mirrored copies
+	}
+	batches := make(map[string]*shardBatch)
+	results := make([]daemon.BatchResult, n)
+	for i, c := range req.Contexts {
+		if c == nil {
+			results[i] = daemon.BatchResult{OK: false, Code: daemon.CodeBadRequest, Error: "missing context"}
+			continue
+		}
+		owner := r.owner(c.Source)
+		spanning := r.spanningKinds[c.Kind]
+		if spanning {
+			r.scattered.Add(1)
+		} else {
+			r.routed.Add(1)
+		}
+		for _, shard := range r.ring.Addrs() {
+			if shard != owner && !spanning {
+				continue
+			}
+			b := batches[shard]
+			if b == nil {
+				b = &shardBatch{}
+				batches[shard] = b
+			}
+			b.items = append(b.items, c)
+			if shard == owner {
+				b.ownerIdx = append(b.ownerIdx, i)
+				r.shardCtrs[shard].owned.Add(1)
+			} else {
+				b.ownerIdx = append(b.ownerIdx, -1)
+				r.shardCtrs[shard].mirrored.Add(1)
+			}
+		}
+		r.rememberLatest(c, owner)
+	}
+	for _, shard := range r.ring.Addrs() {
+		b := batches[shard]
+		if b == nil {
+			continue
+		}
+		cl, err := rc.client(shard)
+		var shardResults []daemon.BatchResult
+		if err == nil {
+			shardResults, err = cl.SubmitBatch(b.items, budgetOf(req))
+		}
+		if err != nil {
+			fail := shardError(shard, err)
+			for _, idx := range b.ownerIdx {
+				if idx >= 0 {
+					results[idx] = daemon.BatchResult{OK: false, Code: fail.Code, Error: fail.Error}
+				}
+			}
+			r.opt.Logf("cluster: router: batch to %s failed: %v", shard, err)
+			continue
+		}
+		for pos, idx := range b.ownerIdx {
+			if idx >= 0 && pos < len(shardResults) {
+				results[idx] = shardResults[pos]
+			}
+		}
+	}
+	return daemon.Response{OK: true, Results: results}
+}
+
+// handleUse probes the shards in ring order for the ID (context IDs do
+// not carry their source, so the owner cannot be computed); the first
+// shard that delivers wins, and mirrored copies of spanning-kind
+// contexts are consumed from the remaining shards so they cannot linger.
+func (rc *routerConn) handleUse(req *daemon.Request) daemon.Response {
+	r := rc.r
+	var lastErr daemon.Response
+	lastErr = daemon.ErrResponse(daemon.CodeApp, fmt.Errorf("use %s: no shards reachable", req.ID))
+	for probe, shard := range r.ring.Addrs() {
+		cl, err := rc.client(shard)
+		if err != nil {
+			lastErr = shardError(shard, err)
+			continue
+		}
+		cc, err := cl.Use(req.ID)
+		if err != nil {
+			lastErr = shardError(shard, err)
+			continue
+		}
+		if probe == 0 {
+			r.routed.Add(1)
+		} else {
+			r.scattered.Add(1)
+		}
+		r.shardCtrs[shard].owned.Add(1)
+		if cc != nil && r.spanningKinds[cc.Kind] {
+			rc.consumeMirrors(req.ID, shard)
+		}
+		return daemon.Response{OK: true, Context: cc}
+	}
+	return lastErr
+}
+
+// consumeMirrors uses a spanning-kind context's mirrored copies off every
+// other shard (best-effort: a mirror that never received it answers
+// not-found, which is fine).
+func (rc *routerConn) consumeMirrors(id ctx.ID, except string) {
+	for _, shard := range rc.r.ring.Addrs() {
+		if shard == except {
+			continue
+		}
+		if cl, err := rc.client(shard); err == nil {
+			_, _ = cl.Use(id)
+		}
+	}
+}
+
+// handleUseLatest routes to the shard that received the most recent
+// submission of the kind/subject (the router sees all submissions, so
+// that shard holds the newest matching context); without a remembered
+// shard it falls back to probing in ring order.
+func (rc *routerConn) handleUseLatest(req *daemon.Request) daemon.Response {
+	r := rc.r
+	if shard, ok := r.lookupLatest(req.Kind, req.Subject); ok {
+		r.routed.Add(1)
+		r.shardCtrs[shard].owned.Add(1)
+		cl, err := rc.client(shard)
+		if err != nil {
+			return shardError(shard, err)
+		}
+		cc, err := cl.UseLatest(req.Kind, req.Subject)
+		if err != nil {
+			return shardError(shard, err)
+		}
+		if cc != nil && r.spanningKinds[cc.Kind] {
+			rc.consumeMirrors(cc.ID, shard)
+		}
+		return daemon.Response{OK: true, Context: cc}
+	}
+	r.scattered.Add(1)
+	var lastErr daemon.Response
+	lastErr = daemon.ErrResponse(daemon.CodeApp,
+		fmt.Errorf("use-latest %s/%s: no shard holds a match", req.Kind, req.Subject))
+	for _, shard := range r.ring.Addrs() {
+		cl, err := rc.client(shard)
+		if err != nil {
+			lastErr = shardError(shard, err)
+			continue
+		}
+		cc, err := cl.UseLatest(req.Kind, req.Subject)
+		if err != nil {
+			lastErr = shardError(shard, err)
+			continue
+		}
+		r.shardCtrs[shard].owned.Add(1)
+		if cc != nil && r.spanningKinds[cc.Kind] {
+			rc.consumeMirrors(cc.ID, shard)
+		}
+		return daemon.Response{OK: true, Context: cc}
+	}
+	return lastErr
+}
+
+// handleStats merges every reachable shard's counters (the shards
+// partition the pool, so field-wise sums are the cluster totals) and
+// attaches the router's own counters and telemetry.
+func (rc *routerConn) handleStats() daemon.Response {
+	r := rc.r
+	var mwList []middleware.Stats
+	var plList []pool.Stats
+	for _, shard := range r.ring.Addrs() {
+		cl, err := rc.client(shard)
+		if err != nil {
+			r.opt.Logf("cluster: router: stats dial %s: %v", shard, err)
+			continue
+		}
+		mw, pl, err := cl.Stats()
+		if err != nil {
+			r.opt.Logf("cluster: router: stats from %s: %v", shard, err)
+			continue
+		}
+		mwList = append(mwList, mw)
+		plList = append(plList, pl)
+	}
+	if len(mwList) == 0 {
+		return daemon.ErrResponse(daemon.CodeApp, errors.New("stats: no shard reachable"))
+	}
+	mw, pl := sumStats(mwList, plList)
+	rs := r.Stats()
+	resp := daemon.Response{OK: true, Middleware: &mw, Pool: &pl, Router: &rs}
+	if r.opt.Telemetry != nil {
+		resp.Telemetry = r.opt.Telemetry.Snapshot()
+	}
+	return resp
+}
+
+// handleSituations OR-merges the shards' activation maps: a situation is
+// active cluster-wide when any shard's pool activates it.
+func (rc *routerConn) handleSituations() daemon.Response {
+	r := rc.r
+	merged := make(map[string]bool)
+	reached := 0
+	for _, shard := range r.ring.Addrs() {
+		cl, err := rc.client(shard)
+		if err != nil {
+			continue
+		}
+		active, err := cl.Situations()
+		if err != nil {
+			continue
+		}
+		reached++
+		for name, on := range active {
+			merged[name] = merged[name] || on
+		}
+	}
+	if reached == 0 {
+		return daemon.ErrResponse(daemon.CodeApp, errors.New("situations: no shard reachable"))
+	}
+	return daemon.Response{OK: true, Active: merged}
+}
+
+// handleSubscribe registers the subscription on every shard and
+// OR-aggregates their pushes: the downstream client sees one activation
+// when the first shard activates and one deactivation when the last
+// deactivates.
+func (rc *routerConn) handleSubscribe(req *daemon.Request) daemon.Response {
+	if req.SubID == "" {
+		return daemon.ErrResponse(daemon.CodeApp, errors.New("subscribe: missing subscription id"))
+	}
+	if (req.Situation == "") == (req.Formula == "") {
+		return daemon.ErrResponse(daemon.CodeApp,
+			errors.New("subscribe: exactly one of situation and formula must be set"))
+	}
+	rc.subsMu.Lock()
+	if _, dup := rc.subs[req.SubID]; dup {
+		rc.subsMu.Unlock()
+		return daemon.ErrResponse(daemon.CodeDupSubscription,
+			fmt.Errorf("subscription %q already registered", req.SubID))
+	}
+	st := &subState{active: make(map[string]bool)}
+	rc.subs[req.SubID] = st
+	rc.subsMu.Unlock()
+
+	subID := req.SubID
+	var registered []*daemon.Client
+	for _, shard := range rc.r.ring.Addrs() {
+		cl, err := rc.client(shard)
+		if err == nil {
+			h := rc.forwarder(subID, shard, st)
+			if req.Situation != "" {
+				err = cl.Subscribe(subID, req.Situation, h)
+			} else {
+				err = cl.SubscribeFormula(subID, req.Formula, h)
+			}
+		}
+		if err != nil {
+			for _, prev := range registered {
+				_ = prev.Unsubscribe(subID)
+			}
+			rc.subsMu.Lock()
+			delete(rc.subs, subID)
+			rc.subsMu.Unlock()
+			return shardError(shard, err)
+		}
+		registered = append(registered, cl)
+	}
+	return daemon.Response{OK: true, SubID: subID}
+}
+
+// forwarder builds the per-shard event handler for one subscription.
+// Handlers run on the upstream clients' read goroutines; the write lock
+// serializes their pushes with the serving loop's responses.
+func (rc *routerConn) forwarder(subID, shard string, st *subState) daemon.EventHandler {
+	return func(_ string, ev daemon.WireEvent) {
+		st.mu.Lock()
+		st.active[shard] = ev.Type == "activated"
+		cur := false
+		for _, on := range st.active {
+			cur = cur || on
+		}
+		changed := cur != st.cur
+		st.cur = cur
+		st.mu.Unlock()
+		if !changed {
+			return
+		}
+		typ := "deactivated"
+		if cur {
+			typ = "activated"
+		}
+		_ = rc.writeResp(daemon.Response{OK: true, Push: true, SubID: subID,
+			Event: &daemon.WireEvent{Situation: ev.Situation, Type: typ, At: ev.At}})
+	}
+}
+
+func (rc *routerConn) handleUnsubscribe(req *daemon.Request) daemon.Response {
+	rc.subsMu.Lock()
+	_, had := rc.subs[req.SubID]
+	delete(rc.subs, req.SubID)
+	rc.subsMu.Unlock()
+	if !had {
+		return daemon.ErrResponse(daemon.CodeApp,
+			fmt.Errorf("unsubscribe: unknown subscription %q", req.SubID))
+	}
+	for _, cl := range rc.ups {
+		_ = cl.Unsubscribe(req.SubID)
+	}
+	return daemon.Response{OK: true, SubID: req.SubID}
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ctxres/internal/daemon"
+	"ctxres/internal/wal"
+)
+
+// TestShipperCatchUpFromDisk covers the quiescent-leader path: every
+// journaled record is delivered from disk, in order, starting after the
+// follower's position.
+func TestShipperCatchUpFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	sh := NewShipper(ShipperOptions{Dir: dir, HeartbeatEvery: time.Millisecond})
+	j := openJournal(t, dir, wal.Options{Ship: sh.Tap, ShipSnapshot: sh.TapSnapshot})
+	sh.Attach(j)
+	m := buildVelMiddleware(t)()
+	if err := m.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if _, err := m.Submit(loc("c"+string(rune('0'+i)), uint64(i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := j.LastSeq()
+
+	var got []uint64
+	stop := make(chan struct{})
+	err := sh.ServeFeed(2, func(fr daemon.ReplFrame) bool {
+		if fr.Heartbeat != nil {
+			return false // catch-up done, leader idle: end the feed
+		}
+		if fr.Record != nil {
+			got = append(got, fr.Record.Seq)
+		}
+		return true
+	}, stop)
+	if err != nil {
+		t.Fatalf("ServeFeed: %v", err)
+	}
+	if len(got) == 0 || got[0] != 3 || got[len(got)-1] != last {
+		t.Fatalf("caught up seqs %v, want contiguous 3..%d", got, last)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+1 {
+			t.Fatalf("catch-up not contiguous: %v", got)
+		}
+	}
+	if err := m.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShipperSnapshotBridgesPrunedPrefix covers late join after a
+// checkpoint pruned the log: the feed must open with the snapshot, then
+// the surviving tail.
+func TestShipperSnapshotBridgesPrunedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	sh := NewShipper(ShipperOptions{Dir: dir, HeartbeatEvery: time.Millisecond})
+	j := openJournal(t, dir, wal.Options{Ship: sh.Tap, ShipSnapshot: sh.TapSnapshot})
+	sh.Attach(j)
+	m := buildVelMiddleware(t)()
+	if err := m.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, err := m.Submit(loc("a"+string(rune('0'+i)), uint64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Checkpoint(); err != nil { // prunes the sealed prefix
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(loc("tail", 9, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	var frames []string
+	var snapSeq uint64
+	stop := make(chan struct{})
+	err := sh.ServeFeed(0, func(fr daemon.ReplFrame) bool {
+		switch {
+		case fr.Heartbeat != nil:
+			return false
+		case fr.Snapshot != nil:
+			frames = append(frames, "snapshot")
+			snapSeq = fr.Snapshot.Seq
+		case fr.Record != nil:
+			frames = append(frames, "record")
+			if fr.Record.Seq <= snapSeq {
+				t.Errorf("record seq %d under the snapshot at %d", fr.Record.Seq, snapSeq)
+			}
+		}
+		return true
+	}, stop)
+	if err != nil {
+		t.Fatalf("ServeFeed: %v", err)
+	}
+	if len(frames) < 2 || frames[0] != "snapshot" {
+		t.Fatalf("frames = %v, want a snapshot first, then the tail records", frames)
+	}
+	if err := m.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShipperOverflowFailsFeed proves a follower that cannot drain its
+// live queue is failed (to redial and resync) instead of stalling the
+// leader's append path.
+func TestShipperOverflowFailsFeed(t *testing.T) {
+	dir := t.TempDir()
+	sh := NewShipper(ShipperOptions{Dir: dir, QueueLen: 1, HeartbeatEvery: time.Hour})
+	j := openJournal(t, dir, wal.Options{Ship: sh.Tap, ShipSnapshot: sh.TapSnapshot})
+	sh.Attach(j)
+	m := buildVelMiddleware(t)()
+	if err := m.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := m.Submit(loc("x1", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	feedDone := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		first := true
+		feedDone <- sh.ServeFeed(0, func(fr daemon.ReplFrame) bool {
+			if first {
+				first = false
+				close(started)
+				<-release // a slow follower: the queue must absorb or overflow
+			}
+			return true
+		}, nil)
+	}()
+	select {
+	case <-started: // the feed is mid-send on its first catch-up frame
+	case <-time.After(5 * time.Second):
+		t.Fatal("feed never consumed a frame")
+	}
+	// Outrun the blocked feed's queue of one.
+	for i := 2; i <= 6; i++ {
+		if _, err := m.Submit(loc("x"+string(rune('0'+i)), uint64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	select {
+	case err := <-feedDone:
+		if !errors.Is(err, errFeedOverflow) {
+			t.Fatalf("feed error = %v, want overflow", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("overflowed feed did not terminate")
+	}
+	if sh.overflows.Load() == 0 {
+		t.Fatal("overflow not counted")
+	}
+	// The leader is unharmed: appends still work.
+	if _, err := m.Submit(loc("after", 10, 0)); err != nil {
+		t.Fatalf("leader append after overflow: %v", err)
+	}
+	if err := m.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShipperRequiresJournal pins the misuse error.
+func TestShipperRequiresJournal(t *testing.T) {
+	sh := NewShipper(ShipperOptions{Dir: t.TempDir()})
+	if err := sh.ServeFeed(0, func(daemon.ReplFrame) bool { return true }, nil); err == nil {
+		t.Fatal("ServeFeed without Attach accepted")
+	}
+}

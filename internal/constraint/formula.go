@@ -63,6 +63,12 @@ type predicate struct {
 	name string
 	fn   PredicateFunc
 	vars []string
+	// sameSource marks predicates that can only hold when every bound
+	// context carries the same Source (StreamAdjacent, StreamWithin).
+	// SourceLocal uses it to prove a constraint never relates contexts
+	// from different sources, which is what lets the cluster router check
+	// it entirely on the shard owning that source.
+	sameSource bool
 }
 
 // Pred builds an atomic predicate formula named name over the given

@@ -1,0 +1,128 @@
+package constraint
+
+// Source locality analysis for the cluster shard router.
+//
+// The router partitions the context pool by ctx.Source: every context
+// from one source lands on one shard. A constraint can then be checked
+// entirely shard-locally iff it never relates contexts from different
+// sources — otherwise a shard would evaluate it against an incomplete
+// universe and silently miss cross-source violations. SourceLocal is a
+// conservative syntactic proof of that property: a false answer does
+// not mean the constraint genuinely spans sources, only that locality
+// could not be established, and the router falls back to its (counted,
+// logged) scatter path.
+
+// predSameSource builds an atomic predicate like Pred, additionally
+// marked as source-pinning: the predicate is false whenever its bound
+// contexts disagree on Source. Only predicates whose implementations
+// actually guarantee that (StreamAdjacent, StreamWithin) may use it.
+func predSameSource(name string, fn PredicateFunc, vars ...string) Formula {
+	return &predicate{name: name, fn: fn, vars: vars, sameSource: true}
+}
+
+// SourceLocal reports whether the formula provably never relates
+// contexts from different sources, so a source-partitioned shard can
+// check it against only its own contexts with results identical to a
+// global check.
+//
+// The analysis accepts exactly the shapes the paper's constraints take:
+//
+//   - forall x1:k1 . ... . forall xn:kn . body, with body quantifier-free;
+//   - zero or one quantified variables: trivially local (each binding
+//     involves a single context);
+//   - two or more variables: body must be Implies(guard, rhs) whose
+//     guard — a lone predicate or a conjunction (nested Ands allowed) —
+//     contains source-pinning predicates (StreamAdjacent, StreamWithin)
+//     connecting every quantified variable into one component. The guard
+//     then fails for any cross-source binding, making the implication
+//     vacuously true, so no cross-source binding can ever violate the
+//     constraint.
+//
+// Anything else — existential quantifiers, quantifiers under the body,
+// disjunctive guards, unguarded multi-variable bodies — returns false.
+func SourceLocal(f Formula) bool {
+	var vars []string
+	for {
+		fa, ok := f.(*forall)
+		if !ok {
+			break
+		}
+		vars = append(vars, fa.varName)
+		f = fa.body
+	}
+	if len(FormulaKinds(f)) != 0 {
+		return false // quantifiers below the forall prefix (or a top-level exists)
+	}
+	if len(vars) <= 1 {
+		return true
+	}
+	im, ok := f.(*implies)
+	if !ok {
+		return false
+	}
+	var pins []*predicate
+	if !collectGuardPins(im.lhs, &pins) {
+		return false
+	}
+	return pinsConnect(vars, pins)
+}
+
+// collectGuardPins walks a guard made of predicates and conjunctions,
+// gathering the source-pinning predicates. Any other connective makes
+// the guard unanalyzable (a disjunction would not guarantee the pin
+// holds on every satisfying branch).
+func collectGuardPins(g Formula, pins *[]*predicate) bool {
+	switch n := g.(type) {
+	case *predicate:
+		if n.sameSource {
+			*pins = append(*pins, n)
+		}
+		return true
+	case *and:
+		for _, c := range n.fs {
+			if !collectGuardPins(c, pins) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// pinsConnect reports whether the source-pinning predicates union the
+// quantified variables into a single same-source component.
+func pinsConnect(vars []string, pins []*predicate) bool {
+	comp := make(map[string]int, len(vars))
+	for i, v := range vars {
+		comp[v] = i
+	}
+	merge := func(a, b string) {
+		ca, okA := comp[a]
+		cb, okB := comp[b]
+		if !okA || !okB || ca == cb {
+			return
+		}
+		for v, c := range comp {
+			if c == cb {
+				comp[v] = ca
+			}
+		}
+	}
+	for _, p := range pins {
+		for i := 1; i < len(p.vars); i++ {
+			merge(p.vars[0], p.vars[i])
+		}
+	}
+	first, seen := 0, false
+	for _, v := range vars {
+		if !seen {
+			first, seen = comp[v], true
+			continue
+		}
+		if comp[v] != first {
+			return false
+		}
+	}
+	return true
+}

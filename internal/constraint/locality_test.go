@@ -1,0 +1,105 @@
+package constraint
+
+import (
+	"testing"
+	"time"
+
+	"ctxres/internal/ctx"
+)
+
+func TestSourceLocal(t *testing.T) {
+	feasible := Rect{MinX: -1, MinY: -1, MaxX: 100, MaxY: 100}
+	cases := []struct {
+		name string
+		f    Formula
+		want bool
+	}{
+		{"single-var area", Forall("a", ctx.KindLocation, WithinArea("a", feasible)), true},
+		{"zero-var", True(), true},
+		{"adjacent velocity",
+			Forall("a", ctx.KindLocation, Forall("b", ctx.KindLocation,
+				Implies(And(SameSubject("a", "b"), StreamAdjacent("a", "b")),
+					VelocityBelow("a", "b", 1.5)))),
+			true},
+		{"stream-within velocity",
+			Forall("a", ctx.KindLocation, Forall("b", ctx.KindLocation,
+				Implies(And(SameSubject("a", "b"), StreamWithin("a", "b", 2)),
+					VelocityBelow("a", "b", 1.5)))),
+			true},
+		{"nested and guard",
+			Forall("a", ctx.KindLocation, Forall("b", ctx.KindLocation,
+				Implies(And(SameSubject("a", "b"), And(Distinct("a", "b"), StreamAdjacent("a", "b"))),
+					VelocityBelow("a", "b", 1.5)))),
+			true},
+		{"three vars chained",
+			Forall("a", ctx.KindLocation, Forall("b", ctx.KindLocation, Forall("c", ctx.KindLocation,
+				Implies(And(StreamAdjacent("a", "b"), StreamAdjacent("b", "c")),
+					VelocityBelow("a", "c", 3))))),
+			true},
+		{"concurrent agreement spans sources",
+			Forall("a", ctx.KindLocation, Forall("b", ctx.KindLocation,
+				Implies(And(SameSubject("a", "b"), Distinct("a", "b"), WithinGap("a", "b", time.Second)),
+					DistBelow("a", "b", 4)))),
+			false},
+		{"unguarded pair", Forall("a", ctx.KindLocation, Forall("b", ctx.KindLocation,
+			VelocityBelow("a", "b", 1.5))), false},
+		{"disjunctive guard",
+			Forall("a", ctx.KindLocation, Forall("b", ctx.KindLocation,
+				Implies(Or(StreamAdjacent("a", "b"), SameSubject("a", "b")),
+					VelocityBelow("a", "b", 1.5)))),
+			false},
+		{"pin connects only part",
+			Forall("a", ctx.KindLocation, Forall("b", ctx.KindLocation, Forall("c", ctx.KindLocation,
+				Implies(StreamAdjacent("a", "b"), VelocityBelow("a", "c", 3))))),
+			false},
+		{"exists not analyzable",
+			Exists("a", ctx.KindLocation, WithinArea("a", feasible)), false},
+		{"quantifier below prefix",
+			Forall("a", ctx.KindLocation,
+				Implies(WithinArea("a", feasible),
+					Exists("b", ctx.KindLocation, StreamAdjacent("a", "b")))),
+			false},
+		{"nil-safe", nil, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.f == nil {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("SourceLocal(nil) panicked: %v", r)
+					}
+				}()
+			}
+			if got := sourceLocalSafe(tc.f); got != tc.want {
+				t.Fatalf("SourceLocal(%v) = %v, want %v", tc.f, got, tc.want)
+			}
+		})
+	}
+}
+
+func sourceLocalSafe(f Formula) bool {
+	if f == nil {
+		return false
+	}
+	return SourceLocal(f)
+}
+
+// TestSourceLocalThroughParser pins that DSL-parsed constraints carry
+// the same-source marker: the router analyzes formulas regardless of
+// whether they were built in Go or parsed from the constraint DSL.
+func TestSourceLocalThroughParser(t *testing.T) {
+	local, err := NewParser().Parse(`forall a:location . forall b:location . (sameSubject(a,b) and streamWithin(a,b,2)) implies velocityBelow(a,b,1.5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SourceLocal(local) {
+		t.Fatalf("parsed stream-guarded constraint not source-local: %v", local)
+	}
+	spanning, err := NewParser().Parse(`forall a:location . forall b:location . (sameSubject(a,b) and withinGap(a,b,1s)) implies distBelow(a,b,4)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SourceLocal(spanning) {
+		t.Fatalf("gap-guarded constraint claimed source-local: %v", spanning)
+	}
+}

@@ -54,7 +54,7 @@ func WithinGap(a, b string, gap time.Duration) Formula {
 // stream (consecutive sequence numbers). This captures the paper's
 // "adjacent location pair" notion.
 func StreamAdjacent(a, b string) Formula {
-	return Pred("streamAdjacent", func(bound []*ctx.Context) bool {
+	return predSameSource("streamAdjacent", func(bound []*ctx.Context) bool {
 		x, y := bound[0], bound[1]
 		return x.Source == y.Source && y.Seq == x.Seq+1
 	}, a, b)
@@ -65,7 +65,7 @@ func StreamAdjacent(a, b string) Formula {
 // "separated by one intermediate location" pairs of Section 3.1).
 func StreamWithin(a, b string, reach uint64) Formula {
 	name := fmt.Sprintf("streamWithin[%d]", reach)
-	return Pred(name, func(bound []*ctx.Context) bool {
+	return predSameSource(name, func(bound []*ctx.Context) bool {
 		x, y := bound[0], bound[1]
 		return x.Source == y.Source && y.Seq > x.Seq && y.Seq-x.Seq <= reach
 	}, a, b)

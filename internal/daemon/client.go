@@ -32,12 +32,13 @@ import (
 // free; a resubmitted context whose first submission actually landed is
 // rejected as a duplicate by the pool rather than applied twice).
 type Client struct {
-	addr string
-	opts ClientOptions
+	addrs []string // primary address plus ClientOptions.Addrs fallbacks
+	opts  ClientOptions
 
 	mu sync.Mutex // serializes round trips
 
 	stateMu      sync.Mutex // guards conn/reader/closed/pump; nests inside mu
+	addrIdx      int        // index of the last address that dialed successfully
 	conn         net.Conn
 	reader       *bufio.Reader
 	binary       bool // negotiated per connection; reset on reconnect
@@ -87,6 +88,17 @@ type ClientOptions struct {
 	// before each retry (defaults 10ms and 1s).
 	ReconnectBackoffMin time.Duration
 	ReconnectBackoffMax time.Duration
+	// Addrs lists additional cluster addresses. A failed dial moves on to
+	// the next address in rotation (primary first, then Addrs in order);
+	// once an address accepts, the client sticks with it until the next
+	// dial failure. Only dial failures rotate — an established connection
+	// answering with an error never does, so retried operations keep
+	// hitting the same node while it is up.
+	Addrs []string
+	// Role identifies the connection in the hello handshake (RoleFollower,
+	// RoleRouter). A non-empty role forces the hello exchange even when the
+	// wire format stays line-JSON. Empty means a plain client.
+	Role string
 	// Dial overrides the transport dialer; fault harnesses use this to
 	// wrap connections (see internal/daemon/faultconn).
 	Dial func(addr string) (net.Conn, error)
@@ -164,7 +176,15 @@ func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 			return net.DialTimeout("tcp", addr, dialTimeout(timeout))
 		}
 	}
-	c := &Client{addr: addr, opts: opts, subs: make(map[string]subscription)}
+	addrs := make([]string, 0, 1+len(opts.Addrs))
+	if addr != "" {
+		addrs = append(addrs, addr)
+	}
+	addrs = append(addrs, opts.Addrs...)
+	if len(addrs) == 0 {
+		return nil, errors.New("daemon: dial: no addresses")
+	}
+	c := &Client{addrs: addrs, opts: opts, subs: make(map[string]subscription)}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
@@ -181,20 +201,21 @@ func dialTimeout(t time.Duration) time.Duration {
 // connect dials a fresh connection, negotiates the wire format when one
 // is requested, and installs the connection as current. Negotiation runs
 // before installation, so a half-negotiated stream can never serve a
-// request.
+// request. With multiple addresses configured, a refused dial rotates to
+// the next address, starting from the last one that worked.
 func (c *Client) connect() error {
-	conn, err := c.opts.Dial(c.addr)
+	conn, err := c.dialNext()
 	if err != nil {
-		return fmt.Errorf("daemon: dial %s: %w", c.addr, err)
+		return err
 	}
 	reader := bufio.NewReader(conn)
 	binary := false
-	if c.opts.WireFormat == FormatBinary {
-		if err := c.hello(conn, reader); err != nil {
+	if c.opts.WireFormat == FormatBinary || c.opts.Role != "" {
+		binary, err = c.hello(conn, reader)
+		if err != nil {
 			_ = conn.Close()
 			return err
 		}
-		binary = true
 	}
 	// Replay standing subscriptions before the connection serves requests,
 	// mirroring the hello renegotiation: a reconnect transparently
@@ -400,18 +421,46 @@ func (c *Client) reestablish() {
 	}
 }
 
-// hello performs the line-JSON format handshake on a fresh connection.
-// Both sides speak binary frames only after the ack.
-func (c *Client) hello(conn net.Conn, reader *bufio.Reader) error {
-	resp, err := c.exchangeOn(conn, reader, false, Request{Op: OpHello, Format: FormatBinary})
+// dialNext dials the cluster addresses in rotation starting from the
+// last successful one, sticking with the first that accepts.
+func (c *Client) dialNext() (net.Conn, error) {
+	c.stateMu.Lock()
+	start := c.addrIdx
+	c.stateMu.Unlock()
+	var lastErr error
+	for i := 0; i < len(c.addrs); i++ {
+		idx := (start + i) % len(c.addrs)
+		conn, err := c.opts.Dial(c.addrs[idx])
+		if err != nil {
+			lastErr = fmt.Errorf("daemon: dial %s: %w", c.addrs[idx], err)
+			continue
+		}
+		c.stateMu.Lock()
+		c.addrIdx = idx
+		c.stateMu.Unlock()
+		return conn, nil
+	}
+	return nil, lastErr
+}
+
+// hello performs the line-JSON handshake on a fresh connection,
+// negotiating the wire format and declaring the connection's role. Both
+// sides speak binary frames only after the ack.
+func (c *Client) hello(conn net.Conn, reader *bufio.Reader) (bool, error) {
+	want := c.opts.WireFormat
+	if want == "" {
+		want = FormatJSON
+	}
+	resp, err := c.exchangeOn(conn, reader, false,
+		Request{Op: OpHello, Format: want, Role: c.opts.Role})
 	if err != nil {
-		return fmt.Errorf("daemon: hello: %w", err)
+		return false, fmt.Errorf("daemon: hello: %w", err)
 	}
-	if resp.Format != FormatBinary {
-		return fmt.Errorf("daemon: hello: server negotiated format %q, want %q",
-			resp.Format, FormatBinary)
+	if resp.Format != want {
+		return false, fmt.Errorf("daemon: hello: server negotiated format %q, want %q",
+			resp.Format, want)
 	}
-	return nil
+	return resp.Format == FormatBinary, nil
 }
 
 // current returns the live connection, or nil when broken/unconnected.

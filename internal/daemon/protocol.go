@@ -53,6 +53,24 @@ const (
 	// when the ack is written may still be delivered; no new transitions
 	// are pushed after it.
 	OpUnsubscribe Op = "unsubscribe"
+	// OpReplicate turns the connection into a replication stream: the
+	// server acks, then pushes every journal record with sequence >
+	// Request.FromSeq as Response{Push:true, Repl:...} frames — interleaved
+	// with snapshot offers and heartbeats — until either side closes. The
+	// requester is a follower daemon (see internal/cluster); the op is
+	// refused unless the server was started with WithReplicationSource.
+	// No further requests are read on the connection after the ack.
+	OpReplicate Op = "replicate"
+)
+
+// Connection roles carried by OpHello. A follower or router connection is
+// exempt from the idle read deadline: followers legitimately never write
+// after the replicate request, and a router's fan-out connections idle
+// between bursts without being dead.
+const (
+	RoleClient   = "client"
+	RoleFollower = "follower"
+	RoleRouter   = "router"
 )
 
 // Wire format names carried by OpHello.
@@ -131,6 +149,15 @@ type Request struct {
 	// Format is the requested wire format (OpHello): FormatJSON or
 	// FormatBinary.
 	Format string `json:"format,omitempty"`
+	// Role declares what the connection is for (OpHello): "", RoleClient,
+	// RoleFollower, or RoleRouter. Follower and router connections are
+	// exempt from the idle read deadline.
+	Role string `json:"role,omitempty"`
+	// FromSeq is the requester's last locally durable journal sequence
+	// (OpReplicate): the stream resumes at FromSeq+1. Zero asks for the
+	// full log (served from the newest snapshot when the leader has
+	// pruned earlier segments).
+	FromSeq uint64 `json:"fromSeq,omitempty"`
 	// SubID names a subscription on this connection (OpSubscribe /
 	// OpUnsubscribe).
 	SubID string `json:"subId,omitempty"`
@@ -208,6 +235,62 @@ type Response struct {
 	SubID string `json:"subId,omitempty"`
 	// Event is the pushed situation transition.
 	Event *WireEvent `json:"event,omitempty"`
+	// Repl is a replication stream frame (pushed after an OpReplicate ack).
+	Repl *ReplFrame `json:"repl,omitempty"`
+	// Router carries the shard router's counters when the stats op is
+	// answered by a ctxmwd -router gateway rather than a shard daemon.
+	Router *RouterStats `json:"router,omitempty"`
+}
+
+// ReplFrame is one frame of a replication stream. Exactly one of Record,
+// Snapshot, and Heartbeat is set: a record to append verbatim to the
+// follower's journal, a snapshot offer (the leader checkpointed, or the
+// follower asked for a prefix the leader has pruned), or a liveness
+// heartbeat carrying the leader's positions for lag accounting.
+type ReplFrame struct {
+	Record    *wal.Record    `json:"record,omitempty"`
+	Snapshot  *wal.Snapshot  `json:"snapshot,omitempty"`
+	Heartbeat *ReplHeartbeat `json:"heartbeat,omitempty"`
+}
+
+// ReplHeartbeat reports the leader's journal positions to a follower.
+type ReplHeartbeat struct {
+	// LastSeq is the leader's last appended sequence; the follower's
+	// record lag is LastSeq minus its own last local sequence.
+	LastSeq uint64 `json:"lastSeq"`
+	// DurableSeq is the leader's highest fsynced sequence.
+	DurableSeq uint64 `json:"durableSeq"`
+	// PendingBytes is the framed byte volume queued for this follower but
+	// not yet written to the stream — the exact byte lag of the queued
+	// part (in-flight network bytes are not included).
+	PendingBytes int64 `json:"pendingBytes,omitempty"`
+}
+
+// RouterStats is the shard router's counter snapshot, exposed through
+// the stats op and /metrics of a ctxmwd -router gateway.
+type RouterStats struct {
+	// Routed counts operations sent to exactly the owning shard.
+	Routed int64 `json:"routed"`
+	// Scattered counts operations fanned out beyond the owning shard:
+	// submissions of spanning-constraint kinds mirrored to every shard,
+	// and reads that had to probe multiple shards.
+	Scattered int64 `json:"scattered"`
+	// SpanningConstraints names the constraints that could not be proven
+	// source-local (constraint.SourceLocal) and therefore force the
+	// mirror path for their kinds.
+	SpanningConstraints []string `json:"spanningConstraints,omitempty"`
+	// Shards is the per-shard breakdown, ring order.
+	Shards []RouterShardStats `json:"shards,omitempty"`
+}
+
+// RouterShardStats is one shard's view from the router.
+type RouterShardStats struct {
+	Addr string `json:"addr"`
+	// Owned counts operations this shard received as the ring owner.
+	Owned int64 `json:"owned"`
+	// Mirrored counts spanning-kind submissions this shard received as a
+	// non-owner mirror.
+	Mirrored int64 `json:"mirrored"`
 }
 
 // WireEvent is one pushed situation transition. At is the middleware's

@@ -1,0 +1,103 @@
+package daemon
+
+// Replication serving path. The daemon stays transport: the actual
+// shipping machinery (journal tap, catch-up from disk, per-follower
+// queues) lives in internal/cluster, injected here as a
+// ReplicationSource so the packages compose without an import cycle
+// (cluster imports daemon, never the reverse).
+
+import (
+	"bufio"
+	"errors"
+)
+
+// ReplicationSource streams journal records to one follower connection.
+// Implemented by cluster.Shipper.
+type ReplicationSource interface {
+	// ServeFeed streams every frame with sequence > fromSeq through send,
+	// in order, until send reports a write failure, stop closes, or the
+	// feed fails (e.g. the follower fell behind the shipper's queue — the
+	// follower redials and resumes from its local position). send must be
+	// called from a single goroutine.
+	ServeFeed(fromSeq uint64, send func(ReplFrame) bool, stop <-chan struct{}) error
+}
+
+// WithReplicationSource enables the OpReplicate op, serving replication
+// streams from src. Without it the op is refused.
+func WithReplicationSource(src ReplicationSource) Option {
+	return func(o *options) { o.replSource = src }
+}
+
+// handleReplicate validates an OpReplicate request; the streaming itself
+// starts in serveConn after the ack is written, taking over the
+// connection's serving goroutine.
+func (s *Server) handleReplicate(req Request) Response {
+	if s.opt.replSource == nil {
+		return errResponse(errors.New("replicate: server has no replication source"))
+	}
+	return Response{OK: true}
+}
+
+// streamReplication runs a replication stream on the connection's
+// serving goroutine. It returns when the follower disconnects, the
+// server shuts down, or the feed fails; the caller closes the
+// connection either way.
+func (s *Server) streamReplication(cw *connWriter, req Request) {
+	send := func(f ReplFrame) bool {
+		frame := f
+		return cw.write(Response{OK: true, Push: true, Repl: &frame}, s.opt.idleTimeout)
+	}
+	_ = s.opt.replSource.ServeFeed(req.FromSeq, send, s.stop)
+}
+
+// validRole reports whether a hello role is known.
+func validRole(role string) bool {
+	switch role {
+	case "", RoleClient, RoleFollower, RoleRouter:
+		return true
+	default:
+		return false
+	}
+}
+
+// Exported wire-framing facades for internal/cluster: the follower and
+// the router gateway speak the daemon's exact framing (hello
+// negotiation included) without reimplementing it.
+
+// AppendBinFrame appends one binary frame (len|crc32c|payload) to dst.
+func AppendBinFrame(dst, payload []byte) ([]byte, error) {
+	return appendBinFrame(dst, payload)
+}
+
+// ReadBinFrame reads one binary frame into buf (grown as needed).
+func ReadBinFrame(br *bufio.Reader, buf *[]byte) ([]byte, error) {
+	p, err := readBinFrame(br, buf)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ReadLineFrame reads one newline-terminated line-JSON frame.
+func ReadLineFrame(br *bufio.Reader, buf *[]byte) ([]byte, error) {
+	return readLine(br, MaxLineBytes, buf)
+}
+
+// IsFrameTooLong reports whether a read failed because the frame or line
+// exceeded MaxLineBytes.
+func IsFrameTooLong(err error) bool {
+	return errors.Is(err, errFrameTooLong) || errors.Is(err, errLineTooLong)
+}
+
+// IsFrameCRC reports whether a binary frame failed its checksum.
+func IsFrameCRC(err error) bool { return errors.Is(err, errFrameCRC) }
+
+// ErrResponse builds a typed error response; the router gateway answers
+// protocol trouble with the same taxonomy a shard daemon would.
+func ErrResponse(code Code, err error) Response {
+	return errResponseCode(code, err)
+}
+
+// InternRequest interns a decoded request's kind strings (see wire.go);
+// exported for the router gateway's decode path.
+func InternRequest(req *Request) { internRequest(req) }

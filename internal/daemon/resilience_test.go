@@ -73,7 +73,7 @@ func blockedServer(t *testing.T, maxPending int) (c1, c2 *Client, started, block
 	// The protocol client serializes round trips, so the blocked submit
 	// and the shed submit need separate connections.
 	var err error
-	c2, err = Dial(c1.addr, 5*time.Second)
+	c2, err = Dial(c1.addrs[0], 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -79,6 +79,7 @@ type options struct {
 	compactInterval  time.Duration
 	telemetry        *telemetry.Registry
 	subs             SubscriptionOptions
+	replSource       ReplicationSource
 }
 
 func defaultOptions() options {
@@ -544,6 +545,9 @@ func (s *Server) serveConn(cs *connState) {
 	// — go through one connWriter, so frames never interleave.
 	cw := newConnWriter(conn)
 	binary := false
+	// role is the hello-declared connection role; follower and router
+	// connections are exempt from the idle reaper (see protocol.go).
+	role := ""
 	// sub is the connection's push side, created on its first subscribe.
 	// This defer runs before the buffer is pooled (LIFO): closing the
 	// connection unblocks a pusher stuck in a write, and the detach joins
@@ -565,10 +569,12 @@ func (s *Server) serveConn(cs *connState) {
 	for {
 		if s.opt.idleTimeout > 0 {
 			// A connection with live subscriptions legitimately idles
-			// between pushes; the idle reaper only applies while it has
-			// none.
+			// between pushes, and follower/router connections idle by
+			// design; the idle reaper only applies to plain clients with
+			// no subscriptions.
 			var deadline time.Time
-			if sub == nil || sub.n.Load() == 0 {
+			if (sub == nil || sub.n.Load() == 0) &&
+				role != RoleFollower && role != RoleRouter {
 				deadline = time.Now().Add(s.opt.idleTimeout)
 			}
 			if err := conn.SetReadDeadline(deadline); err != nil {
@@ -640,6 +646,14 @@ func (s *Server) serveConn(cs *connState) {
 		if req.Op == OpHello && resp.OK {
 			binary = resp.Format == FormatBinary
 			cw.setBinary(binary)
+			role = req.Role
+		}
+		// A replicate ack hands the connection over to the stream: the
+		// serving goroutine writes records until the follower disconnects
+		// or the server stops, and never reads another request.
+		if req.Op == OpReplicate && resp.OK {
+			s.streamReplication(cw, req)
+			return
 		}
 	}
 }
@@ -654,6 +668,9 @@ func (s *Server) handle(req Request) Response {
 	case OpPing:
 		return Response{OK: true}
 	case OpHello:
+		if !validRole(req.Role) {
+			return errResponse(fmt.Errorf("hello: unknown role %q", req.Role))
+		}
 		switch req.Format {
 		case "", FormatJSON:
 			return Response{OK: true, Format: FormatJSON}
@@ -662,6 +679,8 @@ func (s *Server) handle(req Request) Response {
 		default:
 			return errResponse(fmt.Errorf("hello: unknown format %q", req.Format))
 		}
+	case OpReplicate:
+		return s.handleReplicate(req)
 	case OpSubmit:
 		if req.Context == nil {
 			return errResponse(errors.New("submit: missing context"))

@@ -191,6 +191,25 @@ func (m *Middleware) snapshotLocked(seq uint64) (wal.Snapshot, error) {
 	return snap, nil
 }
 
+// Fingerprint serializes the full durable state — pool, clock, strategy
+// buffer, counters, situation activations — exactly as a checkpoint
+// snapshot would (with sequence zero), so two middlewares can be
+// compared byte for byte. The crash-recovery and cluster-failover tests
+// use it to prove a recovered or promoted node matches its reference.
+func (m *Middleware) Fingerprint() (string, error) {
+	m.mu.Lock()
+	snap, err := m.snapshotLocked(0)
+	m.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
 // statsRecordLocked queues a stats annotation carrying the current
 // counters, so recovery can cross-check the replayed state.
 func (m *Middleware) statsRecordLocked() error {

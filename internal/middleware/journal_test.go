@@ -1,7 +1,6 @@
 package middleware
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -20,17 +19,11 @@ import (
 // middlewares can be compared byte for byte.
 func durableFingerprint(tb testing.TB, m *Middleware) string {
 	tb.Helper()
-	m.mu.Lock()
-	snap, err := m.snapshotLocked(0)
-	m.mu.Unlock()
+	fp, err := m.Fingerprint()
 	if err != nil {
 		tb.Fatal(err)
 	}
-	data, err := json.Marshal(snap)
-	if err != nil {
-		tb.Fatal(err)
-	}
-	return string(data)
+	return fp
 }
 
 func openTestJournal(tb testing.TB, dir string) *wal.Journal {

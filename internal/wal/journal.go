@@ -101,6 +101,19 @@ type Options struct {
 	// many unsynced records skips the delay. Zero means
 	// DefaultCommitBatch. Ignored when CommitDelay is zero.
 	CommitBatch int
+	// Ship, when set, receives every record the journal accepts (Append
+	// and AppendShipped alike) together with its framed byte count. It
+	// runs with the journal lock held, after the bytes are in the active
+	// segment but before any fsync — implementations must be fast, must
+	// not call back into the journal, and must treat the record as
+	// written-but-not-necessarily-durable. This is the replication tap:
+	// cluster.Shipper registers here to stream records to followers.
+	Ship func(r Record, framedBytes int)
+	// ShipSnapshot mirrors Ship for snapshots: it fires under the journal
+	// lock after WriteSnapshot (or ImportSnapshot) publishes a snapshot
+	// file, so a replication shipper can offer followers a checkpoint
+	// instead of an unbounded record suffix.
+	ShipSnapshot func(snap Snapshot)
 }
 
 // Observer is the journal's observability hook: any field may be nil,
@@ -319,6 +332,33 @@ func (j *Journal) Append(r Record) (uint64, error) {
 		return 0, j.err
 	}
 	r.Seq = j.nextSeq
+	return j.appendLocked(r)
+}
+
+// AppendShipped journals a record replicated from another journal,
+// preserving its leader-assigned sequence number. The record must be the
+// exact next sequence — replication is gap-free by construction, and a
+// gap here would mean the stream lost an acknowledged record. This is
+// the follower's write path: records land byte-compatible with the
+// leader's log, so recovery over the shipped directory reconstructs the
+// leader's state at the acknowledged prefix.
+func (j *Journal) AppendShipped(r Record) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, ErrClosed
+	}
+	if j.err != nil {
+		return 0, j.err
+	}
+	if r.Seq != j.nextSeq {
+		return 0, fmt.Errorf("wal: shipped record seq %d, journal expects %d", r.Seq, j.nextSeq)
+	}
+	return j.appendLocked(r)
+}
+
+// appendLocked writes one record whose Seq is already set to nextSeq.
+func (j *Journal) appendLocked(r Record) (uint64, error) {
 	payload, err := r.encode()
 	if err != nil {
 		return 0, err
@@ -342,6 +382,9 @@ func (j *Journal) Append(r Record) (uint64, error) {
 	j.segSize += int64(len(frame))
 	j.records++
 	j.bytes += int64(len(frame))
+	if j.opt.Ship != nil {
+		j.opt.Ship(r, len(frame))
+	}
 	if !j.opt.GroupCommit {
 		// Under group commit the durability point is WaitDurable, never
 		// the append itself, whatever the fsync policy says.

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -113,7 +114,11 @@ type SnapshotReport struct {
 	Seq     uint64 `json:"seq,omitempty"`
 	Clock   string `json:"clock,omitempty"`
 	Entries int    `json:"entries,omitempty"`
-	Corrupt string `json:"corrupt,omitempty"`
+	// Situations is the raw situation-engine state carried by the
+	// snapshot (a marshaled situation.State), opaque to this layer;
+	// ctxwal decodes it for display.
+	Situations json.RawMessage `json:"situations,omitempty"`
+	Corrupt    string          `json:"corrupt,omitempty"`
 }
 
 // VerifyReport is the read-only health report behind `ctxwal verify` and
@@ -202,10 +207,30 @@ func Verify(dir string) (*VerifyReport, error) {
 			pr.Seq = snap.Seq
 			pr.Clock = snap.Clock.String()
 			pr.Entries = len(snap.Pool.Entries)
+			pr.Situations = snap.Situations
 		}
 		rep.Snapshots = append(rep.Snapshots, pr)
 	}
 	return rep, nil
+}
+
+// Snapshots reads every parseable snapshot in the directory in sequence
+// order, read-only — unparseable snapshot files are skipped, matching
+// how recovery passes over them.
+func Snapshots(dir string) ([]Snapshot, error) {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Snapshot
+	for _, sn := range snaps {
+		snap, err := readSnapshotFile(sn.path)
+		if err != nil {
+			continue
+		}
+		out = append(out, *snap)
+	}
+	return out, nil
 }
 
 // Records reads every decodable record in the directory in sequence

@@ -78,6 +78,9 @@ func (j *Journal) WriteSnapshot(snap Snapshot) error {
 	j.snapshots++
 	j.snapSeq = snap.Seq
 	j.snapTime = time.Now()
+	if j.opt.ShipSnapshot != nil {
+		j.opt.ShipSnapshot(snap)
+	}
 	// Rotate so the active segment holds only post-snapshot records, then
 	// drop the sealed ones: everything they hold is covered by the
 	// snapshot.
@@ -85,6 +88,12 @@ func (j *Journal) WriteSnapshot(snap Snapshot) error {
 		j.err = err
 		return j.err
 	}
+	return j.pruneLocked()
+}
+
+// pruneLocked drops sealed segments (fully covered by the newest
+// snapshot) and snapshots beyond KeepSnapshots.
+func (j *Journal) pruneLocked() error {
 	keep := j.segments[:0]
 	for _, seg := range j.segments {
 		if seg.seq == j.segStart {
@@ -97,6 +106,74 @@ func (j *Journal) WriteSnapshot(snap Snapshot) error {
 	}
 	j.segments = keep
 	return j.pruneSnapshotsLocked()
+}
+
+// ImportSnapshot installs a snapshot replicated from another journal.
+// Unlike WriteSnapshot it does not require the snapshot to sit at the
+// local append position: a follower that joins late (or falls behind a
+// leader's pruning horizon) receives a snapshot ahead of its log and
+// must jump forward. The snapshot file is written atomically, the
+// journal's next sequence advances to snap.Seq+1 when the snapshot is
+// ahead, the active segment is rotated so post-import records start
+// fresh, and sealed segments plus old snapshots are pruned exactly as
+// WriteSnapshot would.
+func (j *Journal) ImportSnapshot(snap Snapshot) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.err != nil {
+		return j.err
+	}
+	if snap.Seq < j.snapSeq {
+		return fmt.Errorf("wal: import snapshot at seq %d behind local snapshot %d", snap.Seq, j.snapSeq)
+	}
+	if err := j.syncLocked(); err != nil {
+		j.err = err
+		return j.err
+	}
+	if err := j.writeSnapshotFileLocked(snap); err != nil {
+		j.err = err
+		return j.err
+	}
+	j.snapshots++
+	j.snapSeq = snap.Seq
+	j.snapTime = time.Now()
+	if snap.Seq+1 > j.nextSeq {
+		j.nextSeq = snap.Seq + 1
+		if j.durableSeq < snap.Seq {
+			j.durableSeq = snap.Seq
+			j.syncCond.Broadcast()
+		}
+	}
+	if j.opt.ShipSnapshot != nil {
+		j.opt.ShipSnapshot(snap)
+	}
+	if err := j.rotateLocked(); err != nil {
+		j.err = err
+		return j.err
+	}
+	return j.pruneLocked()
+}
+
+// LatestSnapshot reads the newest parseable snapshot in dir without
+// touching anything — unlike Load it never truncates torn tails, so it
+// is safe on a directory whose journal is live in another goroutine or
+// process. It returns nil (no error) when no snapshot parses.
+func LatestSnapshot(dir string) (*Snapshot, string, error) {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		snap, err := readSnapshotFile(snaps[i].path)
+		if err != nil {
+			continue
+		}
+		return snap, snaps[i].path, nil
+	}
+	return nil, "", nil
 }
 
 // writeSnapshotFileLocked writes the framed snapshot atomically.

@@ -1,17 +1,34 @@
 #!/usr/bin/env bash
-# Observability smoke test: boot a real ctxmwd with an ops endpoint,
-# scrape /metrics and /healthz over HTTP, and fail on malformed
-# Prometheus exposition output (validated by scripts/promcheck).
+# Smoke test: boot a real ctxmwd with an ops endpoint, scrape /metrics
+# and /healthz over HTTP, fail on malformed Prometheus exposition output
+# (validated by scripts/promcheck), then run the clustering legs: a
+# 2-shard router round-trip and a leader/follower kill-and-promote.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d)
 log="$workdir/ctxmwd.log"
+pids=()
 cleanup() {
     [[ -n "${pid:-}" ]] && kill "$pid" 2>/dev/null || true
+    for p in ${pids[@]+"${pids[@]}"}; do kill "$p" 2>/dev/null || true; done
     rm -rf "$workdir"
 }
 trap cleanup EXIT
+
+# wait_line LOG SED_PATTERN: poll LOG until SED_PATTERN extracts a value
+# (a serving address, usually) and echo it; fail after ~15s.
+wait_line() {
+    local log=$1 pat=$2 got="" i
+    for i in $(seq 1 150); do
+        got=$(sed -n "$pat" "$log" | head -1)
+        [[ -n "$got" ]] && { echo "$got"; return 0; }
+        sleep 0.1
+    done
+    echo "smoke: timed out waiting on $log for: $pat" >&2
+    cat "$log" >&2
+    return 1
+}
 
 go build -o "$workdir/ctxmwd" ./cmd/ctxmwd
 "$workdir/ctxmwd" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
@@ -65,4 +82,54 @@ go run ./scripts/subsmoke "$daddr"
 kill -TERM "$pid"
 wait "$pid" || { echo "smoke: ctxmwd exited nonzero on SIGTERM:"; cat "$log"; exit 1; }
 pid=""
+
+serving_pat='s/^ctxmwd: serving .* on \([0-9.:]*\) .*/\1/p'
+
+# Cluster leg 1: two shard daemons behind a -router gateway. Submit two
+# sources through the router and read the subject back through it.
+"$workdir/ctxmwd" -addr 127.0.0.1:0 >"$workdir/shard1.log" 2>&1 &
+pids+=($!)
+"$workdir/ctxmwd" -addr 127.0.0.1:0 >"$workdir/shard2.log" 2>&1 &
+pids+=($!)
+s1=$(wait_line "$workdir/shard1.log" "$serving_pat")
+s2=$(wait_line "$workdir/shard2.log" "$serving_pat")
+"$workdir/ctxmwd" -addr 127.0.0.1:0 -router -shards "$s1,$s2" >"$workdir/router.log" 2>&1 &
+pids+=($!)
+raddr=$(wait_line "$workdir/router.log" 's/^ctxmwd: routing .* on \([0-9.:]*\) .*/\1/p')
+echo "smoke: router on $raddr (shards $s1 $s2)"
+go run ./scripts/clustersmoke seed "$raddr"
+go run ./scripts/clustersmoke verify "$raddr"
+
+# Cluster leg 2: journaled leader, replicating follower with
+# auto-promote. Seed the leader, wait until the follower's replication
+# lag drains, kill the leader, and read back from the promoted follower
+# through the client's fallback dialing (dead leader listed first).
+"$workdir/ctxmwd" -addr 127.0.0.1:0 -data-dir "$workdir/leader-wal" -fsync always \
+    >"$workdir/leader.log" 2>&1 &
+lpid=$!
+pids+=($lpid)
+laddr=$(wait_line "$workdir/leader.log" "$serving_pat")
+"$workdir/ctxmwd" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
+    -follow "$laddr" -data-dir "$workdir/follower-wal" -promote-after 1s \
+    >"$workdir/follower.log" 2>&1 &
+pids+=($!)
+wait_line "$workdir/follower.log" 's/^ctxmwd: following \([0-9.:]*\) .*/\1/p' >/dev/null
+fops=$(wait_line "$workdir/follower.log" 's/^ctxmwd: metrics on //p')
+go run ./scripts/clustersmoke seed "$laddr"
+caught_up=""
+for _ in $(seq 1 100); do
+    status=$(curl -fsS "http://$fops/statusz" || true)
+    if [[ "$status" == *'"lagRecords": 0'* && "$status" != *'"lastSeq": 0'* ]]; then
+        caught_up=yes
+        break
+    fi
+    sleep 0.1
+done
+[[ -n "$caught_up" ]] || { echo "smoke: follower never caught up"; cat "$workdir/follower.log"; exit 1; }
+kill -TERM "$lpid"
+wait "$lpid" || { echo "smoke: leader exited nonzero on SIGTERM:"; cat "$workdir/leader.log"; exit 1; }
+faddr=$(wait_line "$workdir/follower.log" 's/^ctxmwd: promoted to leader, serving .* on \([0-9.:]*\)$/\1/p')
+echo "smoke: follower promoted on $faddr"
+go run ./scripts/clustersmoke verify "$laddr" "$faddr"
+
 echo "smoke: ok"
