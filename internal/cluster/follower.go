@@ -324,8 +324,12 @@ func (f *Follower) apply(frame daemon.ReplFrame) error {
 		}
 		f.markHealthy()
 	case frame.Snapshot != nil:
-		if frame.Snapshot.Seq <= f.j.Stats().LastSnapshotSeq {
-			return nil // re-offer of a position we already hold
+		if st := f.j.Stats(); frame.Snapshot.Seq <= st.LastSnapshotSeq || frame.Snapshot.Seq < st.LastSeq {
+			// A position we already hold — as a snapshot, or covered by
+			// appended records. Importing a snapshot behind LastSeq would
+			// prune segments holding records past it that the snapshot does
+			// not cover, silently losing the acknowledged suffix.
+			return nil
 		}
 		if err := f.j.ImportSnapshot(*frame.Snapshot); err != nil {
 			return fmt.Errorf("import snapshot seq %d: %w", frame.Snapshot.Seq, err)

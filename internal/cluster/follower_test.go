@@ -55,6 +55,56 @@ func waitCaughtUp(t *testing.T, f *Follower, target uint64) {
 	}
 }
 
+// TestFollowerApplySkipsStaleSnapshot pins the apply-side guard: a
+// snapshot behind the follower's appended position must be ignored, not
+// imported — importing would prune the local segments holding the
+// records past it that the snapshot does not cover.
+func TestFollowerApplySkipsStaleSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	j := openJournal(t, dir, wal.Options{})
+	m := buildVelMiddleware(t)()
+	if err := m.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if _, err := m.Submit(loc("c"+string(rune('0'+i)), uint64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := j.LastSeq()
+	f := &Follower{opt: FollowerOptions{Logf: func(string, ...any) {}}, j: j}
+
+	// Behind the appended position: must be a no-op.
+	if err := f.apply(daemon.ReplFrame{Snapshot: &wal.Snapshot{Seq: last - 2}}); err != nil {
+		t.Fatalf("apply stale snapshot: %v", err)
+	}
+	if n := f.snapsImported.Load(); n != 0 {
+		t.Fatalf("stale snapshot imported (%d)", n)
+	}
+	recs, err := wal.Records(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[len(recs)-1].Seq != last || recs[0].Seq != 1 {
+		t.Fatalf("records after stale apply = %d..%d (%d), want intact 1..%d",
+			recs[0].Seq, recs[len(recs)-1].Seq, len(recs), last)
+	}
+
+	// Exactly at the appended position: covers everything local, imports.
+	if err := f.apply(daemon.ReplFrame{Snapshot: &wal.Snapshot{Seq: last}}); err != nil {
+		t.Fatalf("apply current snapshot: %v", err)
+	}
+	if n := f.snapsImported.Load(); n != 1 {
+		t.Fatalf("snapshot at the append position not imported (%d)", n)
+	}
+	if got := j.Stats().LastSnapshotSeq; got != last {
+		t.Fatalf("LastSnapshotSeq = %d, want %d", got, last)
+	}
+	if err := m.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestFollowerReplicatesAndPromotes is the live end-to-end: a follower
 // tails a serving leader over TCP, the leader dies, and the promoted
 // follower is byte-identical to the leader's final state — then serves

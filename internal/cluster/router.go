@@ -68,9 +68,11 @@ type Router struct {
 	shardCtrs map[string]*shardCounters // keyed by shard addr, fixed at start
 
 	// latestShard remembers, per (kind, subject), the owner shard of the
-	// most recently routed submission, so use-latest can go to the shard
-	// actually holding the newest matching context. Correct as long as
-	// submissions flow through this router.
+	// most recently routed submission, so use-latest can go straight to
+	// the shard holding the newest matching context. It is a hint, not
+	// ground truth: a miss, a stale entry, or an evicted one falls back
+	// to the ring-order probe, so the map is capped (maxLatestEntries)
+	// and entries are dropped when the hinted shard answers not-found.
 	latestMu    sync.Mutex
 	latestShard map[latestKey]string
 
@@ -235,11 +237,35 @@ func (r *Router) trackConn(conn net.Conn, add bool) {
 // owner returns the shard owning a source's contexts.
 func (r *Router) owner(source string) string { return r.ring.Owner(source) }
 
-// rememberLatest records the owner shard of the newest submission per
-// (kind, subject).
+// maxLatestEntries caps the use-latest hint map so a long-running router
+// with high subject cardinality cannot grow it without bound. Eviction
+// is arbitrary: a lost hint only costs the evicted key a probe fan-out.
+const maxLatestEntries = 1 << 16
+
+// rememberLatest records the owner shard of the newest accepted
+// submission per (kind, subject).
 func (r *Router) rememberLatest(c *ctx.Context, shard string) {
+	key := latestKey{kind: c.Kind, subject: c.Subject}
 	r.latestMu.Lock()
-	r.latestShard[latestKey{kind: c.Kind, subject: c.Subject}] = shard
+	if _, ok := r.latestShard[key]; !ok && len(r.latestShard) >= maxLatestEntries {
+		for k := range r.latestShard {
+			delete(r.latestShard, k)
+			break
+		}
+	}
+	r.latestShard[key] = shard
+	r.latestMu.Unlock()
+}
+
+// forgetLatest drops a hint that proved stale, but only while it still
+// points at the shard that failed to deliver — a concurrent submission
+// may have re-pointed it at a shard that does hold a match.
+func (r *Router) forgetLatest(kind ctx.Kind, subject, shard string) {
+	key := latestKey{kind: kind, subject: subject}
+	r.latestMu.Lock()
+	if r.latestShard[key] == shard {
+		delete(r.latestShard, key)
+	}
 	r.latestMu.Unlock()
 }
 

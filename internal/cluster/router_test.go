@@ -261,6 +261,154 @@ func TestRouterScatterKeepsCrossSourceDetection(t *testing.T) {
 	}
 }
 
+// TestRouterUseLatestFallsBackWhenHintGoesStale: once the newest
+// (kind, subject) context expires, an older match from a different
+// source may live on another shard. The remembered shard answers
+// not-found after sweeping its expired copy; the router must then probe
+// the ring like a hintless use-latest — matching what a single node with
+// the union pool delivers — instead of returning the hint's error.
+func TestRouterUseLatestFallsBackWhenHintGoesStale(t *testing.T) {
+	s1, s2 := startShard(t), startShard(t)
+	single := startShard(t)
+	r, err := ServeRouter("127.0.0.1:0", RouterOptions{
+		Shards:  []string{s1.Addr().String(), s2.Addr().String()},
+		Checker: routerChecker(),
+		Timeout: 5 * time.Second,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown()
+
+	var srcA, srcB string
+	for i := 0; srcB == ""; i++ {
+		name := fmt.Sprintf("src-%d", i)
+		if srcA == "" {
+			srcA = name
+			continue
+		}
+		if r.owner(name) != r.owner(srcA) {
+			srcB = name
+		}
+	}
+	via, err := daemon.Dial(r.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer via.Close()
+	ref, err := daemon.Dial(single.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	// badge-read: no constraint quantifies it, so copies are never
+	// mirrored — the older context genuinely lives on one shard only.
+	// The newer context carries a short TTL; the tick advances the clock
+	// on the newer context's shard (and the single node) past it.
+	older := ctx.New("badge-read", t0, nil,
+		ctx.WithID("older"), ctx.WithSeq(1), ctx.WithSource(srcA), ctx.WithSubject("peter"))
+	newer := ctx.New("badge-read", t0.Add(time.Second), nil,
+		ctx.WithID("newer"), ctx.WithSeq(1), ctx.WithSource(srcB), ctx.WithSubject("peter"),
+		ctx.WithTTL(2*time.Second))
+	tick := ctx.New("badge-read", t0.Add(10*time.Second), nil,
+		ctx.WithID("tick"), ctx.WithSeq(2), ctx.WithSource(srcB), ctx.WithSubject("clock"))
+	for _, c := range []*ctx.Context{older, newer, tick} {
+		if _, err := via.Submit(c); err != nil {
+			t.Fatalf("router submit %s: %v", c.ID, err)
+		}
+		if _, err := ref.Submit(c); err != nil {
+			t.Fatalf("single submit %s: %v", c.ID, err)
+		}
+	}
+	if shard, ok := r.lookupLatest("badge-read", "peter"); !ok || shard != r.owner(srcB) {
+		t.Fatalf("hint = (%q, %v), want the expired context's shard %q", shard, ok, r.owner(srcB))
+	}
+
+	// The hinted shard sweeps its expired copy and answers not-found; the
+	// single node delivers the older context — so must the router.
+	gotC, gotErr := via.UseLatest("badge-read", "peter")
+	wantC, wantErr := ref.UseLatest("badge-read", "peter")
+	if !sameError(gotErr, wantErr) {
+		t.Fatalf("use-latest: router err %v, single-node err %v", gotErr, wantErr)
+	}
+	if !sameContext(gotC, wantC) {
+		t.Fatalf("use-latest: router %+v, single-node %+v", gotC, wantC)
+	}
+	if gotC == nil || gotC.ID != "older" {
+		t.Fatalf("use-latest delivered %+v, want the older context from the other shard", gotC)
+	}
+	if _, ok := r.lookupLatest("badge-read", "peter"); ok {
+		t.Fatal("stale use-latest hint survived the not-found fallback")
+	}
+
+	// A key no shard holds stays a typed not-found on both paths.
+	_, gotErr = via.UseLatest("badge-read", "ghost")
+	_, wantErr = ref.UseLatest("badge-read", "ghost")
+	if gotErr == nil || !sameError(gotErr, wantErr) {
+		t.Fatalf("use-latest miss: router err %v, single-node err %v", gotErr, wantErr)
+	}
+}
+
+// TestRouterBatchRemembersOnlyAcceptedItems pins the hint discipline: a
+// batch item whose owner shard is unreachable must not poison the
+// use-latest hint map with a shard that never accepted the context.
+func TestRouterBatchRemembersOnlyAcceptedItems(t *testing.T) {
+	s1, s2 := startShard(t), startShard(t)
+	r, err := ServeRouter("127.0.0.1:0", RouterOptions{
+		Shards:  []string{s1.Addr().String(), s2.Addr().String()},
+		Checker: routerChecker(),
+		Timeout: 2 * time.Second,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown()
+
+	// One source per shard, then kill srcDead's owner.
+	var srcLive, srcDead string
+	for i := 0; srcDead == ""; i++ {
+		name := fmt.Sprintf("src-%d", i)
+		switch r.owner(name) {
+		case s1.Addr().String():
+			if srcLive == "" {
+				srcLive = name
+			}
+		case s2.Addr().String():
+			srcDead = name
+		}
+	}
+	s2.Shutdown()
+
+	via, err := daemon.Dial(r.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer via.Close()
+
+	batch := []*ctx.Context{
+		ctx.New("badge-read", t0, nil,
+			ctx.WithID("ok"), ctx.WithSeq(1), ctx.WithSource(srcLive), ctx.WithSubject("alice")),
+		ctx.New("badge-read", t0, nil,
+			ctx.WithID("lost"), ctx.WithSeq(1), ctx.WithSource(srcDead), ctx.WithSubject("bob")),
+	}
+	results, err := via.SubmitBatch(batch, 0)
+	if err != nil {
+		t.Fatalf("batch through router: %v", err)
+	}
+	if len(results) != 2 || !results[0].OK || results[1].OK {
+		t.Fatalf("batch results = %+v, want item 0 accepted and item 1 failed", results)
+	}
+	if shard, ok := r.lookupLatest("badge-read", "alice"); !ok || shard != s1.Addr().String() {
+		t.Fatalf("accepted item not remembered (shard %q, ok %v)", shard, ok)
+	}
+	if shard, ok := r.lookupLatest("badge-read", "bob"); ok {
+		t.Fatalf("failed item poisoned the hint map with shard %q", shard)
+	}
+}
+
 func sameError(a, b error) bool {
 	if (a == nil) != (b == nil) {
 		return false

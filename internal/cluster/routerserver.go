@@ -320,7 +320,6 @@ func (rc *routerConn) handleBatch(req *daemon.Request) daemon.Response {
 				r.shardCtrs[shard].mirrored.Add(1)
 			}
 		}
-		r.rememberLatest(c, owner)
 	}
 	for _, shard := range r.ring.Addrs() {
 		b := batches[shard]
@@ -345,6 +344,12 @@ func (rc *routerConn) handleBatch(req *daemon.Request) daemon.Response {
 		for pos, idx := range b.ownerIdx {
 			if idx >= 0 && pos < len(shardResults) {
 				results[idx] = shardResults[pos]
+				// Remember the hint only for items the owner accepted: a
+				// rejected or unreachable item must not steer use-latest to
+				// a shard that never held the context.
+				if shardResults[pos].OK {
+					r.rememberLatest(b.items[pos], shard)
+				}
 			}
 		}
 	}
@@ -385,46 +390,66 @@ func (rc *routerConn) handleUse(req *daemon.Request) daemon.Response {
 }
 
 // consumeMirrors uses a spanning-kind context's mirrored copies off every
-// other shard (best-effort: a mirror that never received it answers
-// not-found, which is fine).
+// other shard. A typed not-found is the expected answer from a mirror
+// that never received the copy; any other failure means the copy may
+// linger on that shard (later producing violations against an
+// already-consumed context), so it is logged like mirror-submit
+// failures are.
 func (rc *routerConn) consumeMirrors(id ctx.ID, except string) {
 	for _, shard := range rc.r.ring.Addrs() {
 		if shard == except {
 			continue
 		}
-		if cl, err := rc.client(shard); err == nil {
-			_, _ = cl.Use(id)
+		cl, err := rc.client(shard)
+		if err == nil {
+			_, err = cl.Use(id)
+		}
+		if err != nil && !isNotFound(err) {
+			rc.r.opt.Logf("cluster: router: mirror consume %s from %s: %v", id, shard, err)
 		}
 	}
 }
 
+// isNotFound reports a shard's typed not-found verdict.
+func isNotFound(err error) bool {
+	var remote *daemon.RemoteError
+	return errors.As(err, &remote) && remote.Code == daemon.CodeNotFound
+}
+
 // handleUseLatest routes to the shard that received the most recent
 // submission of the kind/subject (the router sees all submissions, so
-// that shard holds the newest matching context); without a remembered
-// shard it falls back to probing in ring order.
+// that shard holds the newest matching context). A hint miss — no
+// remembered shard, or the remembered shard fails to deliver (its newest
+// match was consumed or expired; an older one from a different source
+// may live on another shard) — falls back to probing in ring order, so
+// the router delivers whenever a single node with the union pool would.
 func (rc *routerConn) handleUseLatest(req *daemon.Request) daemon.Response {
 	r := rc.r
-	if shard, ok := r.lookupLatest(req.Kind, req.Subject); ok {
-		r.routed.Add(1)
-		r.shardCtrs[shard].owned.Add(1)
-		cl, err := rc.client(shard)
-		if err != nil {
-			return shardError(shard, err)
-		}
-		cc, err := cl.UseLatest(req.Kind, req.Subject)
-		if err != nil {
-			return shardError(shard, err)
-		}
-		if cc != nil && r.spanningKinds[cc.Kind] {
-			rc.consumeMirrors(cc.ID, shard)
-		}
-		return daemon.Response{OK: true, Context: cc}
-	}
-	r.scattered.Add(1)
+	hinted, hadHint := r.lookupLatest(req.Kind, req.Subject)
 	var lastErr daemon.Response
 	lastErr = daemon.ErrResponse(daemon.CodeApp,
 		fmt.Errorf("use-latest %s/%s: no shard holds a match", req.Kind, req.Subject))
+	if hadHint {
+		cl, err := rc.client(hinted)
+		if err == nil {
+			var cc *ctx.Context
+			if cc, err = cl.UseLatest(req.Kind, req.Subject); err == nil {
+				r.routed.Add(1)
+				r.shardCtrs[hinted].owned.Add(1)
+				if cc != nil && r.spanningKinds[cc.Kind] {
+					rc.consumeMirrors(cc.ID, hinted)
+				}
+				return daemon.Response{OK: true, Context: cc}
+			}
+		}
+		r.forgetLatest(req.Kind, req.Subject, hinted)
+		lastErr = shardError(hinted, err)
+	}
+	r.scattered.Add(1)
 	for _, shard := range r.ring.Addrs() {
+		if hadHint && shard == hinted {
+			continue // already answered above
+		}
 		cl, err := rc.client(shard)
 		if err != nil {
 			lastErr = shardError(shard, err)

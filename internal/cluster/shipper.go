@@ -186,7 +186,7 @@ func (sh *Shipper) ServeFeed(fromSeq uint64, send func(daemon.ReplFrame) bool, s
 		sh.mu.Unlock()
 	}()
 
-	sentSeq, snapSeq, err := sh.catchUp(fromSeq, send)
+	sentSeq, err := sh.catchUp(fromSeq, send)
 	if err != nil {
 		return err
 	}
@@ -207,16 +207,19 @@ func (sh *Shipper) ServeFeed(fromSeq uint64, send func(daemon.ReplFrame) bool, s
 				}
 				sentSeq = frame.Record.Seq
 			case frame.Snapshot != nil:
-				if frame.Snapshot.Seq <= snapSeq {
-					continue // re-checkpoint at an already-offered position
+				// Skip any snapshot at or behind the delivered position:
+				// records past it are already on the follower's stream, and
+				// a stale snapshot frame would make the follower prune the
+				// segments holding them (a checkpoint landing exactly at the
+				// follower's resume seq during the registration-to-disk-read
+				// window queues such a frame).
+				if frame.Snapshot.Seq <= sentSeq {
+					continue
 				}
 				if !send(frame) {
 					return nil
 				}
-				snapSeq = frame.Snapshot.Seq
-				if snapSeq > sentSeq {
-					sentSeq = snapSeq
-				}
+				sentSeq = frame.Snapshot.Seq
 			}
 		case <-hb.C:
 			st := j.Stats()
@@ -237,12 +240,13 @@ func (sh *Shipper) ServeFeed(fromSeq uint64, send func(daemon.ReplFrame) bool, s
 
 // catchUp streams the on-disk prefix past fromSeq: the newest snapshot
 // first when the log no longer reaches back to fromSeq, then every
-// record after the resulting position. Returns the highest sequence
-// delivered (at least fromSeq) and the snapshot position offered.
-func (sh *Shipper) catchUp(fromSeq uint64, send func(daemon.ReplFrame) bool) (sentSeq, snapSeq uint64, err error) {
+// record after the resulting position. Returns the highest position
+// delivered (at least fromSeq), counting a sent snapshot as covering
+// every sequence up to its Seq.
+func (sh *Shipper) catchUp(fromSeq uint64, send func(daemon.ReplFrame) bool) (sentSeq uint64, err error) {
 	recs, err := wal.Records(sh.opt.Dir)
 	if err != nil {
-		return 0, 0, fmt.Errorf("cluster: catch-up read: %w", err)
+		return 0, fmt.Errorf("cluster: catch-up read: %w", err)
 	}
 	sentSeq = fromSeq
 	// A gap between the follower's position and the earliest on-disk
@@ -251,16 +255,13 @@ func (sh *Shipper) catchUp(fromSeq uint64, send func(daemon.ReplFrame) bool) (se
 	if len(recs) > 0 && recs[0].Seq > fromSeq+1 || len(recs) == 0 {
 		snap, _, err := wal.LatestSnapshot(sh.opt.Dir)
 		if err != nil {
-			return 0, 0, fmt.Errorf("cluster: catch-up snapshot: %w", err)
+			return 0, fmt.Errorf("cluster: catch-up snapshot: %w", err)
 		}
 		if snap != nil && snap.Seq > fromSeq {
 			if !send(daemon.ReplFrame{Snapshot: snap}) {
-				return 0, 0, errors.New("cluster: feed write failed")
+				return 0, errors.New("cluster: feed write failed")
 			}
-			snapSeq = snap.Seq
-			if snapSeq > sentSeq {
-				sentSeq = snapSeq
-			}
+			sentSeq = snap.Seq
 		}
 	}
 	for i := range recs {
@@ -268,9 +269,9 @@ func (sh *Shipper) catchUp(fromSeq uint64, send func(daemon.ReplFrame) bool) (se
 			continue
 		}
 		if !send(daemon.ReplFrame{Record: &recs[i]}) {
-			return 0, 0, errors.New("cluster: feed write failed")
+			return 0, errors.New("cluster: feed write failed")
 		}
 		sentSeq = recs[i].Seq
 	}
-	return sentSeq, snapSeq, nil
+	return sentSeq, nil
 }

@@ -108,6 +108,80 @@ func TestShipperSnapshotBridgesPrunedPrefix(t *testing.T) {
 	}
 }
 
+// TestShipperSkipsStaleSnapshotFrames reproduces the
+// checkpoint-at-resume-seq race: a snapshot queued on the live feed at a
+// position the feed has already delivered must not be forwarded. A
+// follower receiving it would import it and prune the segments holding
+// its acknowledged records past the snapshot — silent data loss.
+func TestShipperSkipsStaleSnapshotFrames(t *testing.T) {
+	dir := t.TempDir()
+	sh := NewShipper(ShipperOptions{Dir: dir, HeartbeatEvery: time.Millisecond})
+	j := openJournal(t, dir, wal.Options{Ship: sh.Tap, ShipSnapshot: sh.TapSnapshot})
+	sh.Attach(j)
+	m := buildVelMiddleware(t)()
+	if err := m.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := m.Submit(loc("c"+string(rune('0'+i)), uint64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resume := j.LastSeq() // the follower already holds every record
+
+	live := make(chan struct{}) // closed on the first heartbeat: feed registered, catch-up done
+	var snapshots, records int
+	feedDone := make(chan error, 1)
+	go func() {
+		liveOnce := false
+		feedDone <- sh.ServeFeed(resume, func(fr daemon.ReplFrame) bool {
+			switch {
+			case fr.Heartbeat != nil:
+				if !liveOnce {
+					liveOnce = true
+					close(live)
+				}
+			case fr.Snapshot != nil:
+				snapshots++
+			case fr.Record != nil:
+				records++
+				return false // the post-checkpoint record arrived: end the feed
+			}
+			return true
+		}, nil)
+	}()
+	select {
+	case <-live:
+	case <-time.After(5 * time.Second):
+		t.Fatal("feed never went live")
+	}
+	// Checkpoint at exactly the follower's resume position, then append:
+	// the stale snapshot frame sits in the live queue ahead of the record.
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(loc("after", 9, 0)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-feedDone:
+		if err != nil {
+			t.Fatalf("ServeFeed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("feed did not end")
+	}
+	if snapshots != 0 {
+		t.Fatalf("feed forwarded %d stale snapshot frame(s) at/behind the delivered position", snapshots)
+	}
+	if records != 1 {
+		t.Fatalf("feed delivered %d records, want exactly the post-checkpoint one", records)
+	}
+	if err := m.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestShipperOverflowFailsFeed proves a follower that cannot drain its
 // live queue is failed (to redial and resync) instead of stalling the
 // leader's append path.

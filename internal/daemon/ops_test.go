@@ -97,7 +97,7 @@ func TestOpsMetricsMatchesStatsOp(t *testing.T) {
 	if _, err := client.Use("o-00"); err != nil && !errors.Is(err, middleware.ErrInconsistent) {
 		t.Fatal(err)
 	}
-	_, _ = client.Use("missing") // drives a request_errors_total{code="app"} increment
+	_, _ = client.Use("missing") // drives a request_errors_total{code="not-found"} increment
 
 	mwStats, _, err := client.Stats()
 	if err != nil {
@@ -141,7 +141,7 @@ func TestOpsMetricsMatchesStatsOp(t *testing.T) {
 	if !strings.Contains(body, `ctxres_request_seconds_bucket{op="submit",le="+Inf"}`) {
 		t.Fatalf("exposition missing request histogram:\n%s", body)
 	}
-	if !strings.Contains(body, `ctxres_request_errors_total{code="app"}`) {
+	if !strings.Contains(body, `ctxres_request_errors_total{code="not-found"}`) {
 		t.Fatalf("exposition missing request error counter:\n%s", body)
 	}
 	// Scrape-time mirrors: the requests counter must match the transport

@@ -127,6 +127,10 @@ const (
 	// CodeDupSubscription rejects an OpSubscribe whose ID is already
 	// registered on the same connection.
 	CodeDupSubscription Code = "duplicate-subscription"
+	// CodeNotFound rejects a use/use-latest for a context the pool does
+	// not hold: never submitted, already consumed, or swept. Routing
+	// layers rely on it to tell "this shard has no match" from a failure.
+	CodeNotFound Code = "not-found"
 )
 
 // Request is one client request.

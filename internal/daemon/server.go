@@ -722,7 +722,7 @@ func (s *Server) handle(req Request) Response {
 	case OpUse:
 		c, err := s.mw.Use(req.ID)
 		if err != nil {
-			return errResponse(err)
+			return errResponseCode(codeFor(err), err)
 		}
 		return Response{OK: true, Context: c}
 	case OpUseLatest:
@@ -731,7 +731,7 @@ func (s *Server) handle(req Request) Response {
 		}
 		c, err := s.mw.UseLatest(req.Kind, req.Subject)
 		if err != nil {
-			return errResponse(err)
+			return errResponseCode(codeFor(err), err)
 		}
 		return Response{OK: true, Context: c}
 	case OpStats:
@@ -778,6 +778,8 @@ func codeFor(err error) Code {
 		return CodeQuarantined
 	case errors.Is(err, middleware.ErrCheckTimeout), errors.Is(err, middleware.ErrCheckFailed):
 		return CodeCheckTimeout
+	case errors.Is(err, middleware.ErrNotFound):
+		return CodeNotFound
 	default:
 		return CodeApp
 	}
