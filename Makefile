@@ -31,16 +31,17 @@ race:
 soak:
 	CTXRES_SOAK=$(SOAKTIME) $(GO) test -race -v -run 'TestSoak' -timeout 30m ./internal/soak
 
-# bench regenerates BENCH_6.json, the machine-readable perf trajectory:
-# Figure 9/10 wall-clock, telemetry overhead on the same workloads, the
-# daemon's per-stage latency histograms after a real TCP run, and the
-# open-loop wire/commit load generator (both wire formats, batch sizes,
-# and group commit, all at fsync=always). scripts/benchcheck -full
-# enforces the report schema and the 2x group-commit speedup floor.
+# bench regenerates BENCH_9.json, the machine-readable perf trajectory:
+# Figure 9/10 wall-clock, telemetry and distributed-tracing overhead on
+# the same workloads, the daemon's per-stage latency histograms after a
+# real TCP run, and the open-loop wire/commit load generator (both wire
+# formats, batch sizes, and group commit, all at fsync=always).
+# scripts/benchcheck -full enforces the report schema, the 2x
+# group-commit speedup floor, and the <5% tracing-overhead ceiling.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
-	$(GO) run ./cmd/ctxbench -perf BENCH_6.json -groups 2
-	$(GO) run ./scripts/benchcheck -full BENCH_6.json
+	$(GO) run ./cmd/ctxbench -perf BENCH_9.json -groups 2
+	$(GO) run ./scripts/benchcheck -full BENCH_9.json
 
 # bench-smoke is the CI-sized slice of `make bench`: the load generator
 # runs for well under a minute across both wire formats, and benchcheck

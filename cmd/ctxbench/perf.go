@@ -19,7 +19,7 @@ import (
 )
 
 // perfReport is the machine-readable perf trajectory `make bench` writes
-// to BENCH_4.json: wall-clock for the Figure 9/10 workloads, the
+// to BENCH_9.json: wall-clock for the Figure 9/10 workloads, the
 // telemetry overhead measured on the same workloads, and the daemon's
 // per-stage latency histograms after a real TCP run.
 type perfReport struct {
@@ -27,6 +27,7 @@ type perfReport struct {
 	Build     telemetry.Build   `json:"build"`
 	Figures   []figurePerf      `json:"figures,omitempty"`
 	Telemetry []telemetryPerf   `json:"telemetryOverhead,omitempty"`
+	Tracing   []tracingPerf     `json:"tracingOverhead,omitempty"`
 	Daemon    *daemonPerf       `json:"daemon,omitempty"`
 	Push      *pushPerf         `json:"push,omitempty"`
 	Loadgen   *loadgenReport    `json:"loadgen,omitempty"`
@@ -50,6 +51,19 @@ type telemetryPerf struct {
 	Repeats          int     `json:"repeats"`
 	BaselineNsPerCtx float64 `json:"baselineNsPerCtx"`
 	InstrumentedNs   float64 `json:"instrumentedNsPerCtx"`
+	OverheadPct      float64 `json:"overheadPct"`
+}
+
+// tracingPerf compares one figure workload replayed through the
+// middleware with distributed tracing off against the production
+// configuration: a span sink installed and 1% of submissions sampled.
+type tracingPerf struct {
+	App              string  `json:"app"`
+	Contexts         int     `json:"contexts"`
+	Repeats          int     `json:"repeats"`
+	SampleRate       float64 `json:"sampleRate"`
+	BaselineNsPerCtx float64 `json:"baselineNsPerCtx"`
+	TracedNsPerCtx   float64 `json:"tracedNsPerCtx"`
 	OverheadPct      float64 `json:"overheadPct"`
 }
 
@@ -91,6 +105,7 @@ func runPerf(out io.Writer, path string, opts perfOptions) error {
 		Build:     telemetry.BuildInfo(),
 		Notes: map[string]string{
 			"overhead": "same workload replayed through RunOnce with and without a telemetry registry; single-process wall clock, not a statistical benchmark",
+			"tracing":  "same workload replayed through the middleware with tracing off vs a span sink plus 1% sampling; fastest of interleaved runs per side",
 			"daemon":   "figure workload over TCP against an in-process daemon with telemetry and an fsync-always WAL; histogram unit is seconds",
 			"loadgen":  "open-loop coordinated-omission-safe load generator over TCP; all configs fsync=always; see loadgen.method",
 			"push":     "submit→activation→push round trip from a subscribed client over TCP (empty checker: transport + evaluation cost, no constraint checking); serverPushSeconds is enqueue→flush",
@@ -140,6 +155,16 @@ func runPerf(out io.Writer, path string, opts perfOptions) error {
 		rep.Telemetry = append(rep.Telemetry, tp)
 		fmt.Fprintf(out, "perf: telemetry overhead on %s: %.0f -> %.0f ns/ctx (%+.1f%%)\n",
 			tp.App, tp.BaselineNsPerCtx, tp.InstrumentedNs, tp.OverheadPct)
+	}
+
+	for _, spec := range []experiment.AppSpec{experiment.CallForwardingApp(), experiment.RFIDApp()} {
+		tp, err := measureTracingOverhead(spec, seed)
+		if err != nil {
+			return fmt.Errorf("tracing overhead %s: %w", spec.Name, err)
+		}
+		rep.Tracing = append(rep.Tracing, tp)
+		fmt.Fprintf(out, "perf: tracing overhead on %s at %.0f%% sampling: %.0f -> %.0f ns/ctx (%+.1f%%)\n",
+			tp.App, tp.SampleRate*100, tp.BaselineNsPerCtx, tp.TracedNsPerCtx, tp.OverheadPct)
 	}
 
 	dp, err := measureDaemon(seed)
@@ -223,6 +248,85 @@ func measureOverhead(spec experiment.AppSpec, seed int64) (telemetryPerf, error)
 	}
 	if base > 0 {
 		tp.OverheadPct = (float64(instr)/float64(base) - 1) * 100
+	}
+	return tp, nil
+}
+
+// measureTracingOverhead replays one workload through the middleware
+// with tracing off and with the production tracing configuration — a
+// span sink installed and 1% of submissions rooted in a fresh trace.
+// Each side keeps its fastest of several interleaved runs, so the
+// reported overhead reflects the instrumentation, not machine drift.
+func measureTracingOverhead(spec experiment.AppSpec, seed int64) (tracingPerf, error) {
+	const (
+		repeats    = 5
+		sampleRate = 0.01
+	)
+	w, err := spec.NewWorkload(0.2, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return tracingPerf{}, err
+	}
+	replay := func(traced bool) (time.Duration, error) {
+		strat, err := experiment.NewStrategy(experiment.DBad, rand.New(rand.NewSource(seed)), nil)
+		if err != nil {
+			return 0, err
+		}
+		var mwOpts []middleware.Option
+		var spans *telemetry.SpanWriter
+		var sampler *telemetry.Sampler
+		if traced {
+			spans = telemetry.NewSpanWriter(io.Discard)
+			sampler = telemetry.NewSampler(sampleRate)
+			mwOpts = append(mwOpts, middleware.WithSpanSink(spans))
+		}
+		m := middleware.New(spec.NewChecker(), strat, mwOpts...)
+		start := time.Now()
+		for _, step := range w.Steps {
+			for _, c := range step {
+				var so middleware.SubmitOptions
+				if sampler.Sample() {
+					so.Trace = telemetry.TraceContext{TraceID: telemetry.NewTraceID()}
+				}
+				if _, err := m.SubmitOpts(c.Clone(), so); err != nil {
+					return 0, err
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		if spans != nil {
+			if err := spans.Close(); err != nil {
+				return 0, err
+			}
+		}
+		return elapsed, nil
+	}
+
+	var base, traced time.Duration
+	for i := 0; i < repeats; i++ {
+		for _, on := range []bool{false, true} {
+			d, err := replay(on)
+			if err != nil {
+				return tracingPerf{}, err
+			}
+			if on && (traced == 0 || d < traced) {
+				traced = d
+			}
+			if !on && (base == 0 || d < base) {
+				base = d
+			}
+		}
+	}
+	n := float64(w.Contexts())
+	tp := tracingPerf{
+		App:              spec.Name,
+		Contexts:         w.Contexts(),
+		Repeats:          repeats,
+		SampleRate:       sampleRate,
+		BaselineNsPerCtx: float64(base.Nanoseconds()) / n,
+		TracedNsPerCtx:   float64(traced.Nanoseconds()) / n,
+	}
+	if base > 0 {
+		tp.OverheadPct = (float64(traced)/float64(base) - 1) * 100
 	}
 	return tp, nil
 }

@@ -56,7 +56,15 @@
 // The telemetry registry is always on — the stats op carries its
 // snapshot either way — so -metrics-addr only controls the HTTP surface.
 // -span-log appends one JSON line per pipeline operation (with per-stage
-// timings) to a file. -version prints build information and exits.
+// timings) to a file. -trace-sample additionally roots a distributed
+// trace for that fraction of operations: spans gain trace/span/parent
+// IDs linking router fan-out, shard pipelines, WAL commit waits,
+// replication shipping and applies, and subscription pushes into one
+// tree (merge the per-node span logs with ctxspan), and every resolved
+// constraint violation lands in a bounded provenance ring served by the
+// protocol's provenance op and /statusz. Incoming requests that already
+// carry a trace are always honored regardless of the sample rate.
+// -version prints build information and exits.
 package main
 
 import (
@@ -179,6 +187,9 @@ func setup(args []string) (*daemonProc, error) {
 			"serve /metrics, /healthz, /statusz, and /debug/pprof on this address (empty disables)")
 		spanLog = fs.String("span-log", "",
 			"append per-operation pipeline spans as JSON lines to this file (empty disables)")
+		traceSample = fs.Float64("trace-sample", 0,
+			"fraction of operations that root a distributed trace, in [0,1] "+
+				"(needs -span-log; requests already carrying a trace are always honored)")
 		maxPending = fs.Int("max-pending", 0,
 			"submit queue cap; excess submissions are shed as overloaded (0 disables)")
 		degradeAt = fs.Int("degrade-at", 0,
@@ -222,6 +233,7 @@ func setup(args []string) (*daemonProc, error) {
 		groupCommit: *groupCommit, commitDelay: *commitDelay, commitBatch: *commitBatch,
 		dataDir: *dataDir, maxSubscribers: *maxSubscribers, subQueue: *subQueue,
 		router: *routerMode, shards: *shardList, follow: *follow, promoteAfter: *promoteAfter,
+		traceSample: *traceSample, spanLog: *spanLog,
 	}); err != nil {
 		return nil, err
 	}
@@ -246,11 +258,41 @@ func setup(args []string) (*daemonProc, error) {
 		checker = loaded
 	}
 
+	// The registry is always on: its per-observation cost is atomic adds,
+	// and the stats op serves its snapshot even without -metrics-addr.
+	reg := telemetry.NewRegistry()
+
+	// The span log is shared by every role: shard daemons write pipeline
+	// spans, the router writes routing spans, leaders and followers write
+	// replication spans. Tracing uses it as the sink, so -trace-sample
+	// requires it.
+	var spans *telemetry.SpanWriter
+	var spanFile *os.File
+	if *spanLog != "" {
+		spanFile, err = os.OpenFile(*spanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("open span log: %w", err)
+		}
+		spans = telemetry.NewSpanWriter(spanFile)
+		reg.CounterFunc("ctxres_spans_dropped_total",
+			"Spans dropped because the span-log queue was full or its writer had failed.",
+			func() float64 { return float64(spans.Drops()) })
+	}
+	closeSpans := func() error {
+		if spans == nil {
+			return nil
+		}
+		if err := spans.Flush(); err != nil {
+			_ = spanFile.Close()
+			return fmt.Errorf("flush span log: %w", err)
+		}
+		return spanFile.Close()
+	}
+
 	// Router mode needs only the checker (for the source-locality analysis
 	// that decides which constraints scatter); no middleware runs here.
 	if *routerMode {
-		reg := telemetry.NewRegistry()
-		r, err := cluster.ServeRouter(*addr, cluster.RouterOptions{
+		ropt := cluster.RouterOptions{
 			Shards:    splitShards(*shardList),
 			Checker:   checker,
 			Timeout:   10 * time.Second,
@@ -259,15 +301,21 @@ func setup(args []string) (*daemonProc, error) {
 			Logf: func(format string, args ...any) {
 				fmt.Printf("ctxmwd: "+format+"\n", args...)
 			},
-		})
+		}
+		if spans != nil {
+			ropt.SpanSink = spans
+			ropt.TraceSample = *traceSample
+		}
+		r, err := cluster.ServeRouter(*addr, ropt)
 		if err != nil {
+			_ = closeSpans()
 			return nil, err
 		}
 		d := &daemonProc{router: r, reg: reg}
 		start := time.Now()
 		if *metricsAddr != "" {
 			status := func() any {
-				return map[string]any{
+				m := map[string]any{
 					"build":         telemetry.BuildInfo(),
 					"uptimeSeconds": time.Since(start).Seconds(),
 					"addr":          r.Addr().String(),
@@ -275,6 +323,11 @@ func setup(args []string) (*daemonProc, error) {
 					"role":          "router",
 					"router":        r.Stats(),
 				}
+				if spans != nil {
+					m["traceSample"] = *traceSample
+					m["spansDropped"] = spans.Drops()
+				}
+				return m
 			}
 			ops, err := daemon.ServeOps(*metricsAddr, daemon.OpsConfig{
 				Registry: reg,
@@ -282,6 +335,7 @@ func setup(args []string) (*daemonProc, error) {
 			})
 			if err != nil {
 				r.Shutdown()
+				_ = closeSpans()
 				return nil, err
 			}
 			d.ops = ops
@@ -291,7 +345,7 @@ func setup(args []string) (*daemonProc, error) {
 			if d.ops != nil {
 				_ = d.ops.Close()
 			}
-			return nil
+			return closeSpans()
 		}
 		fmt.Printf("ctxmwd: routing %s application across %d shards on %s (%d spanning constraints)\n",
 			*app, len(splitShards(*shardList)), r.Addr(), len(r.Spanning()))
@@ -308,22 +362,15 @@ func setup(args []string) (*daemonProc, error) {
 		parallelism = constraint.DefaultParallelism()
 	}
 
-	// The registry is always on: its per-observation cost is atomic adds,
-	// and the stats op serves its snapshot even without -metrics-addr.
-	reg := telemetry.NewRegistry()
-	var spans *telemetry.SpanWriter
-	var spanFile *os.File
-	if *spanLog != "" {
-		spanFile, err = os.OpenFile(*spanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("open span log: %w", err)
-		}
-		spans = telemetry.NewSpanWriter(spanFile)
-	}
+	// The provenance ring is always on for a serving daemon: appends are
+	// bounded and only happen on resolutions, and the provenance op
+	// answers from it with or without tracing.
+	prov := telemetry.NewProvenanceRing(0)
 	mwOpts := []middleware.Option{
 		middleware.WithSituations(engine),
 		middleware.WithCheckerOptions(middleware.CheckerOptions{Parallelism: parallelism}),
 		middleware.WithTelemetry(reg),
+		middleware.WithProvenance(prov),
 	}
 	if spans != nil {
 		mwOpts = append(mwOpts, middleware.WithSpanSink(spans))
@@ -351,17 +398,6 @@ func setup(args []string) (*daemonProc, error) {
 		return middleware.New(checker, strat, mwOpts...)
 	}
 
-	closeSpans := func() error {
-		if spans == nil {
-			return nil
-		}
-		if err := spans.Flush(); err != nil {
-			_ = spanFile.Close()
-			return fmt.Errorf("flush span log: %w", err)
-		}
-		return spanFile.Close()
-	}
-
 	// baseServe is the option set shared by the leader path and a promoted
 	// follower; the snapshot interval and replication source vary per path.
 	baseServe := []daemon.Option{
@@ -374,6 +410,11 @@ func setup(args []string) (*daemonProc, error) {
 			QueueLen:       *subQueue,
 		}),
 		daemon.WithTelemetry(reg),
+		daemon.WithProvenance(prov),
+	}
+	if spans != nil {
+		baseServe = append(baseServe,
+			daemon.WithTracing(spans, telemetry.NewSampler(*traceSample)))
 	}
 
 	// Follower mode: no middleware and no serving yet — tail the leader's
@@ -385,7 +426,7 @@ func setup(args []string) (*daemonProc, error) {
 			_ = closeSpans()
 			return nil, err
 		}
-		f, err := cluster.StartFollower(cluster.FollowerOptions{
+		fopt := cluster.FollowerOptions{
 			Leader:       *follow,
 			Dir:          *dataDir,
 			Fsync:        policy,
@@ -394,7 +435,11 @@ func setup(args []string) (*daemonProc, error) {
 			Logf: func(format string, args ...any) {
 				fmt.Printf("ctxmwd: "+format+"\n", args...)
 			},
-		})
+		}
+		if spans != nil {
+			fopt.SpanSink = spans
+		}
+		f, err := cluster.StartFollower(fopt)
 		if err != nil {
 			_ = closeSpans()
 			return nil, err
@@ -411,7 +456,11 @@ func setup(args []string) (*daemonProc, error) {
 			}
 			fmt.Printf("ctxmwd: recovered %s: snapshot seq %d, %d commands replayed, %d torn bytes truncated\n",
 				*dataDir, rep.SnapshotSeq, rep.Commands, rep.TornBytes)
-			sh := cluster.NewShipper(cluster.ShipperOptions{Dir: *dataDir, Telemetry: reg})
+			shOpt := cluster.ShipperOptions{Dir: *dataDir, Telemetry: reg}
+			if spans != nil {
+				shOpt.SpanSink = spans
+			}
+			sh := cluster.NewShipper(shOpt)
 			j, err := wal.Open(wal.Options{
 				Dir:          *dataDir,
 				Fsync:        policy,
@@ -455,7 +504,7 @@ func setup(args []string) (*daemonProc, error) {
 			status := func() any {
 				lagRecs, lagBytes := f.Lag()
 				leaderLast, leaderDurable := f.LeaderPositions()
-				return map[string]any{
+				m := map[string]any{
 					"build":            telemetry.BuildInfo(),
 					"uptimeSeconds":    time.Since(start).Seconds(),
 					"app":              *app,
@@ -468,6 +517,11 @@ func setup(args []string) (*daemonProc, error) {
 					"leaderLastSeq":    leaderLast,
 					"leaderDurableSeq": leaderDurable,
 				}
+				if spans != nil {
+					m["traceSample"] = *traceSample
+					m["spansDropped"] = spans.Drops()
+				}
+				return m
 			}
 			ops, err := daemon.ServeOps(*metricsAddr, daemon.OpsConfig{
 				Registry: reg,
@@ -503,6 +557,7 @@ func setup(args []string) (*daemonProc, error) {
 	}
 
 	var mw *middleware.Middleware
+	var shipper *cluster.Shipper
 	durShutdown := func() error { return nil }
 	snapInterval := time.Duration(0)
 	serveOpts := baseServe
@@ -524,7 +579,12 @@ func setup(args []string) (*daemonProc, error) {
 		}
 		// Any daemon with a journal is a potential leader: the shipper taps
 		// the append path and serves replication streams to followers.
-		sh := cluster.NewShipper(cluster.ShipperOptions{Dir: *dataDir, Telemetry: reg})
+		shOpt := cluster.ShipperOptions{Dir: *dataDir, Telemetry: reg}
+		if spans != nil {
+			shOpt.SpanSink = spans
+		}
+		sh := cluster.NewShipper(shOpt)
+		shipper = sh
 		j, err := wal.Open(wal.Options{
 			Dir:          *dataDir,
 			Fsync:        policy,
@@ -573,7 +633,7 @@ func setup(args []string) (*daemonProc, error) {
 	start := time.Now()
 	if *metricsAddr != "" {
 		status := func() any {
-			return map[string]any{
+			m := map[string]any{
 				"build":         telemetry.BuildInfo(),
 				"uptimeSeconds": time.Since(start).Seconds(),
 				"addr":          srv.Addr().String(),
@@ -586,7 +646,16 @@ func setup(args []string) (*daemonProc, error) {
 				"sigmaSize":     mw.SigmaSize(),
 				"middleware":    mw.Stats(),
 				"daemon":        srv.Stats(),
+				"provenance":    map[string]any{"total": prov.Total()},
 			}
+			if shipper != nil {
+				m["replication"] = shipper.Stats()
+			}
+			if spans != nil {
+				m["traceSample"] = *traceSample
+				m["spansDropped"] = spans.Drops()
+			}
+			return m
 		}
 		ops, err := daemon.ServeOps(*metricsAddr, daemon.OpsConfig{
 			Registry: reg,
@@ -637,6 +706,8 @@ type tunings struct {
 	shards                          string
 	follow                          string
 	promoteAfter                    time.Duration
+	traceSample                     float64
+	spanLog                         string
 }
 
 // validateTunings rejects flag values that would silently misconfigure
@@ -696,6 +767,10 @@ func validateTunings(t tunings) error {
 		return fmt.Errorf("-promote-after must be >= 0 (0 disables), got %v", t.promoteAfter)
 	case t.promoteAfter > 0 && t.follow == "":
 		return fmt.Errorf("-promote-after needs -follow")
+	case t.traceSample < 0 || t.traceSample > 1:
+		return fmt.Errorf("-trace-sample must be in [0,1], got %g", t.traceSample)
+	case t.traceSample > 0 && t.spanLog == "":
+		return fmt.Errorf("-trace-sample needs -span-log (traced spans have nowhere to go without it)")
 	}
 	return nil
 }

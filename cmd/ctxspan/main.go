@@ -1,0 +1,293 @@
+// Command ctxspan reconstructs distributed traces from per-node span
+// logs:
+//
+//	ctxspan -list router.spans shard0.spans follower.spans
+//	ctxspan -trace 4bf92f3577b34da6a3ce929d0e0e4736 *.spans
+//	ctxspan *.spans
+//
+// Each input file is a span JSONL log written by a ctxmwd process (the
+// -spans flag). ctxspan merges them, groups spans by trace ID, links
+// them into a tree by span/parent IDs, and renders the tree with
+// per-hop timings, pipeline stage breakdowns, and the resolution
+// provenance carried on resolve spans. Without -trace it renders the
+// trace with the most spans; -list summarizes every trace instead.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"ctxres/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ctxspan:", err)
+		os.Exit(1)
+	}
+}
+
+// node is one span plus where it came from and who it caused.
+type node struct {
+	span     telemetry.Span
+	source   string // basename of the log file the span was read from
+	children []*node
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 1 {
+		switch args[0] {
+		case "version", "-version", "--version":
+			fmt.Fprintln(out, telemetry.VersionString("ctxspan"))
+			return nil
+		}
+	}
+	fs := flag.NewFlagSet("ctxspan", flag.ContinueOnError)
+	var (
+		traceID = fs.String("trace", "", "trace ID to render (default: the trace with the most spans)")
+		list    = fs.Bool("list", false, "list every trace with span counts instead of rendering one")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: ctxspan [-list | -trace ID] span-log.jsonl...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no span logs given (usage: ctxspan [-list | -trace ID] span-log.jsonl...)")
+	}
+
+	traces, err := load(fs.Args())
+	if err != nil {
+		return err
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("no traced spans found (spans without a trace_id are skipped)")
+	}
+	if *list {
+		listTraces(out, traces)
+		return nil
+	}
+	id := *traceID
+	if id == "" {
+		id = biggest(traces)
+	}
+	nodes, ok := traces[id]
+	if !ok {
+		return fmt.Errorf("trace %s not found in the given logs (use -list to see trace IDs)", id)
+	}
+	render(out, id, nodes)
+	return nil
+}
+
+// load reads every file and groups its traced spans by trace ID.
+func load(paths []string) (map[string][]*node, error) {
+	traces := make(map[string][]*node)
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		source := filepath.Base(path)
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var sp telemetry.Span
+			if err := json.Unmarshal([]byte(line), &sp); err != nil {
+				_ = f.Close()
+				return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+			}
+			if sp.TraceID == "" {
+				continue // untraced local span; not part of any trace
+			}
+			traces[sp.TraceID] = append(traces[sp.TraceID], &node{span: sp, source: source})
+		}
+		if err := sc.Err(); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return traces, nil
+}
+
+func biggest(traces map[string][]*node) string {
+	best, bestN := "", -1
+	for id, ns := range traces {
+		if len(ns) > bestN || (len(ns) == bestN && id < best) {
+			best, bestN = id, len(ns)
+		}
+	}
+	return best
+}
+
+func listTraces(out io.Writer, traces map[string][]*node) {
+	ids := make([]string, 0, len(traces))
+	for id := range traces {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := traces[ids[i]], traces[ids[j]]
+		if len(a) != len(b) {
+			return len(a) > len(b)
+		}
+		return ids[i] < ids[j]
+	})
+	for _, id := range ids {
+		ns := traces[id]
+		sources := map[string]bool{}
+		for _, n := range ns {
+			sources[n.source] = true
+		}
+		names := make([]string, 0, len(sources))
+		for s := range sources {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(out, "%s  %3d spans  %6s  [%s]\n",
+			id, len(ns), duration(total(ns)), strings.Join(names, " "))
+	}
+}
+
+// total is the wall-clock extent of a trace: earliest start to latest end.
+func total(ns []*node) float64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	first := ns[0].span.Start
+	latest := spanEnd(ns[0])
+	for _, n := range ns[1:] {
+		if n.span.Start.Before(first) {
+			first = n.span.Start
+		}
+		if end := spanEnd(n); end.After(latest) {
+			latest = end
+		}
+	}
+	return latest.Sub(first).Seconds()
+}
+
+// link builds the forest for one trace: children attach to the node
+// carrying their parent span ID; spans whose parent is missing from the
+// logs (the parent node's log was not given, or the hop was not
+// spanned) become roots. Children sort by start time, roots likewise.
+func link(ns []*node) []*node {
+	byID := make(map[string]*node, len(ns))
+	for _, n := range ns {
+		if n.span.SpanID != "" {
+			byID[n.span.SpanID] = n
+		}
+	}
+	var roots []*node
+	for _, n := range ns {
+		if p, ok := byID[n.span.ParentID]; ok && n.span.ParentID != "" && p != n {
+			p.children = append(p.children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	order := func(a, b *node) bool {
+		if !a.span.Start.Equal(b.span.Start) {
+			return a.span.Start.Before(b.span.Start)
+		}
+		return a.span.SpanID < b.span.SpanID
+	}
+	sort.Slice(roots, func(i, j int) bool { return order(roots[i], roots[j]) })
+	for _, n := range ns {
+		c := n.children
+		sort.Slice(c, func(i, j int) bool { return order(c[i], c[j]) })
+	}
+	return roots
+}
+
+func render(out io.Writer, id string, ns []*node) {
+	fmt.Fprintf(out, "trace %s  (%d spans, %s)\n", id, len(ns), duration(total(ns)))
+	roots := link(ns)
+	for i, r := range roots {
+		renderNode(out, r, "", i == len(roots)-1)
+	}
+}
+
+func renderNode(out io.Writer, n *node, prefix string, last bool) {
+	branch, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		branch, childPrefix = "└─ ", prefix+"   "
+	}
+	fmt.Fprintf(out, "%s%s%s\n", prefix, branch, describe(n))
+	// Stage timings render as pseudo-children ahead of real child spans.
+	for i, st := range n.span.Stages {
+		lastLeaf := i == len(n.span.Stages)-1 && n.span.Resolution == nil && len(n.children) == 0
+		leaf := "├· "
+		if lastLeaf {
+			leaf = "└· "
+		}
+		fmt.Fprintf(out, "%s%s%-14s %8s\n", childPrefix, leaf, st.Stage, duration(st.Seconds))
+	}
+	if ev := n.span.Resolution; ev != nil {
+		leaf := "├· "
+		if len(n.children) == 0 {
+			leaf = "└· "
+		}
+		fmt.Fprintf(out, "%s%sresolved %s via %s: discarded %s\n",
+			childPrefix, leaf, ev.Constraint, ev.Strategy, joinIDs(ev.Discarded))
+	}
+	for i, c := range n.children {
+		renderNode(out, c, childPrefix, i == len(n.children)-1)
+	}
+}
+
+func describe(n *node) string {
+	sp := &n.span
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s", sp.Op)
+	if sp.ID != "" {
+		fmt.Fprintf(&b, " %s", sp.ID)
+	}
+	fmt.Fprintf(&b, "  %8s", duration(sp.Seconds))
+	if sp.Outcome != "" {
+		fmt.Fprintf(&b, "  %s", sp.Outcome)
+	}
+	fmt.Fprintf(&b, "  (%s)", n.source)
+	return b.String()
+}
+
+func joinIDs(ids []string) string {
+	if len(ids) == 0 {
+		return "nothing"
+	}
+	return strings.Join(ids, ", ")
+}
+
+func duration(sec float64) string {
+	switch {
+	case sec <= 0:
+		return "0s"
+	case sec < 1e-3:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", sec)
+	}
+}
+
+func spanEnd(n *node) time.Time {
+	return n.span.Start.Add(time.Duration(n.span.Seconds * float64(time.Second)))
+}

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ctxres/internal/telemetry"
+)
+
+// writeSpans writes spans as a JSONL log, one file per node.
+func writeSpans(t *testing.T, dir, name string, spans ...*telemetry.Span) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := telemetry.NewSpanWriter(f)
+	for _, sp := range spans {
+		sw.RecordSpan(sp)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRenderCrossNodeTree(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	trace := strings.Repeat("ab", 16)
+
+	router := writeSpans(t, dir, "router.spans",
+		&telemetry.Span{Op: "route_submit", ID: "ctx-1", Outcome: "delivered",
+			TraceID: trace, SpanID: "r000000000000001", Start: base, Seconds: 0.010},
+		&telemetry.Span{Op: "shard_submit", ID: "shard-0", Outcome: "ok",
+			TraceID: trace, SpanID: "r000000000000002", ParentID: "r000000000000001",
+			Start: base.Add(1 * time.Millisecond), Seconds: 0.008},
+	)
+	shard := writeSpans(t, dir, "shard0.spans",
+		&telemetry.Span{Op: "submit", ID: "ctx-1", Outcome: "accepted",
+			TraceID: trace, SpanID: "s000000000000001", ParentID: "r000000000000002",
+			Start: base.Add(2 * time.Millisecond), Seconds: 0.005,
+			Stages: []telemetry.StageTiming{
+				{Stage: telemetry.StageCheck, Seconds: 0.001},
+				{Stage: telemetry.StageResolve, Seconds: 0.002},
+			},
+			Resolution: &telemetry.ResolutionEvent{
+				Constraint: "same-location", Strategy: "drop-latest",
+				Discarded: []string{"ctx-0"}, Clock: base, TraceID: trace,
+			}},
+	)
+	follower := writeSpans(t, dir, "follower.spans",
+		&telemetry.Span{Op: "repl_apply", ID: "seq 4", Outcome: "applied",
+			TraceID: trace, SpanID: "f000000000000001", ParentID: "s000000000000001",
+			Start: base.Add(4 * time.Millisecond), Seconds: 0.001},
+		// An untraced local span must not appear in any trace.
+		&telemetry.Span{Op: "catchup", Start: base, Seconds: 0.2},
+	)
+
+	var out strings.Builder
+	if err := run([]string{router, shard, follower}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"trace " + trace, "4 spans",
+		"route_submit", "shard_submit", "submit", "repl_apply",
+		"(router.spans)", "(shard0.spans)", "(follower.spans)",
+		"check", "resolve",
+		"resolved same-location via drop-latest: discarded ctx-0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "catchup") {
+		t.Fatalf("untraced span leaked into render:\n%s", text)
+	}
+
+	// The tree must nest: repl_apply under submit under shard_submit
+	// under route_submit — deeper rows carry longer prefixes.
+	depth := func(op string) int {
+		for _, line := range strings.Split(text, "\n") {
+			if i := strings.Index(line, "─ "); i >= 0 && strings.HasPrefix(line[i+len("─ "):], op) {
+				return i
+			}
+		}
+		t.Fatalf("no row for %s:\n%s", op, text)
+		return -1
+	}
+	if !(depth("route_submit") < depth("shard_submit") &&
+		depth("shard_submit") < depth("submit ") &&
+		depth("submit ") < depth("repl_apply")) {
+		t.Fatalf("tree does not nest router→shard→follower:\n%s", text)
+	}
+}
+
+func TestListAndTraceSelection(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now()
+	big := strings.Repeat("aa", 16)
+	small := strings.Repeat("bb", 16)
+	log := writeSpans(t, dir, "node.spans",
+		&telemetry.Span{Op: "submit", TraceID: big, SpanID: "0000000000000001", Start: base, Seconds: 0.001},
+		&telemetry.Span{Op: "use", TraceID: big, SpanID: "0000000000000002", Start: base, Seconds: 0.001},
+		&telemetry.Span{Op: "submit", TraceID: small, SpanID: "0000000000000003", Start: base, Seconds: 0.001},
+	)
+
+	var out strings.Builder
+	if err := run([]string{"-list", log}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, big+"    2 spans") || !strings.Contains(text, small+"    1 spans") {
+		t.Fatalf("list output:\n%s", text)
+	}
+	// The larger trace must list first.
+	if strings.Index(text, big) > strings.Index(text, small) {
+		t.Fatalf("traces not sorted by span count:\n%s", text)
+	}
+
+	// Default selection picks the biggest trace.
+	out.Reset()
+	if err := run([]string{log}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace "+big) {
+		t.Fatalf("default selection:\n%s", out.String())
+	}
+
+	// Explicit -trace picks the named one.
+	out.Reset()
+	if err := run([]string{"-trace", small, log}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace "+small) {
+		t.Fatalf("-trace selection:\n%s", out.String())
+	}
+}
+
+func TestOrphanSpansBecomeRoots(t *testing.T) {
+	dir := t.TempDir()
+	trace := strings.Repeat("cd", 16)
+	log := writeSpans(t, dir, "only.spans",
+		// Parent lives in a log we were not given; the span still renders.
+		&telemetry.Span{Op: "repl_apply", TraceID: trace,
+			SpanID: "0000000000000009", ParentID: "feedfacefeedface",
+			Start: time.Now(), Seconds: 0.001},
+	)
+	var out strings.Builder
+	if err := run([]string{log}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "repl_apply") {
+		t.Fatalf("orphan span dropped:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no logs accepted")
+	}
+	if err := run([]string{"/does/not/exist.spans"}, &out); err == nil {
+		t.Fatal("missing log accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.spans")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &out); err == nil || !strings.Contains(err.Error(), "bad.spans:1") {
+		t.Fatalf("malformed line error = %v", err)
+	}
+	empty := filepath.Join(dir, "empty.spans")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &out); err == nil {
+		t.Fatal("log with no traced spans accepted")
+	}
+	if err := run([]string{"-trace", "beef", empty}, &out); err == nil {
+		t.Fatal("unknown trace accepted")
+	}
+}
+
+func TestVersion(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ctxspan") {
+		t.Fatalf("version output: %s", out.String())
+	}
+}
+
+func TestDurationFormatting(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{{0, "0s"}, {0.000002, "2µs"}, {0.0005, "500µs"}, {0.0042, "4.20ms"}, {1.5, "1.500s"}}
+	for _, c := range cases {
+		if got := duration(c.sec); got != c.want {
+			t.Errorf("duration(%v) = %q, want %q", c.sec, got, c.want)
+		}
+	}
+}

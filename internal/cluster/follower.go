@@ -44,6 +44,10 @@ type FollowerOptions struct {
 	PromoteAfter time.Duration
 	// Telemetry registers lag gauges and the promotion counter when set.
 	Telemetry *telemetry.Registry
+	// SpanSink records a "repl_apply" span for every traced record landed
+	// in the local journal (parented on the span stamped into the record
+	// by the leader's pipeline), timing the local append. Nil disables.
+	SpanSink telemetry.SpanSink
 	// Logf receives one line per session transition; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -319,8 +323,24 @@ func (f *Follower) apply(frame daemon.ReplFrame) error {
 		if frame.Record.Seq <= f.j.LastSeq() {
 			return nil // replay overlap after a resume; already appended
 		}
+		var start time.Time
+		if f.opt.SpanSink != nil && frame.Record.TraceID != "" {
+			start = time.Now()
+		}
 		if _, err := f.j.AppendShipped(*frame.Record); err != nil {
 			return fmt.Errorf("append seq %d: %w", frame.Record.Seq, err)
+		}
+		if !start.IsZero() {
+			f.opt.SpanSink.RecordSpan(&telemetry.Span{
+				Op:       "repl_apply",
+				ID:       fmt.Sprintf("seq %d", frame.Record.Seq),
+				TraceID:  frame.Record.TraceID,
+				ParentID: frame.Record.SpanID,
+				SpanID:   telemetry.NewSpanID(),
+				Start:    start,
+				Seconds:  time.Since(start).Seconds(),
+				Outcome:  "applied",
+			})
 		}
 		f.markHealthy()
 	case frame.Snapshot != nil:

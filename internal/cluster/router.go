@@ -34,6 +34,18 @@ type RouterOptions struct {
 	MaxConns int
 	// Telemetry registers the routing counters when set.
 	Telemetry *telemetry.Registry
+	// SpanSink records the router's distributed-tracing spans: one root
+	// span per routed operation plus one child span per shard hop (owner
+	// and mirrors). The router offers tracing to its upstream shard
+	// clients and forwards each hop's span as the parent of the shard's
+	// pipeline spans, so one trace covers gateway, shards, followers, and
+	// pushes. Nil disables tracing.
+	SpanSink telemetry.SpanSink
+	// TraceSample roots a fresh trace on this fraction (0..1] of
+	// operations arriving without trace context (ctxmwd's -trace-sample).
+	// Zero never roots: the router then only joins traces started by its
+	// callers.
+	TraceSample float64
 	// Logf receives per-connection and mirror-failure notices; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -79,6 +91,10 @@ type Router struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
+	// sampler elects untraced operations to root fresh traces
+	// (RouterOptions.TraceSample); nil never roots.
+	sampler *telemetry.Sampler
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -113,6 +129,7 @@ func ServeRouter(addr string, opt RouterOptions) (*Router, error) {
 		shardCtrs:     make(map[string]*shardCounters),
 		latestShard:   make(map[latestKey]string),
 		conns:         make(map[net.Conn]struct{}),
+		sampler:       telemetry.NewSampler(opt.TraceSample),
 		stop:          make(chan struct{}),
 	}
 	for _, shard := range ring.Addrs() {
@@ -236,6 +253,66 @@ func (r *Router) trackConn(conn net.Conn, add bool) {
 
 // owner returns the shard owning a source's contexts.
 func (r *Router) owner(source string) string { return r.ring.Owner(source) }
+
+// traceFor resolves the trace context one routed operation runs under:
+// join the caller's trace when the request carries one, or root a fresh
+// trace when the sampler elects an untraced request. Zero without a span
+// sink — tracing is then off end to end.
+func (r *Router) traceFor(req *daemon.Request) telemetry.TraceContext {
+	if r.opt.SpanSink == nil {
+		return telemetry.TraceContext{}
+	}
+	if req.TraceID != "" {
+		return telemetry.TraceContext{TraceID: req.TraceID, SpanID: req.SpanID}
+	}
+	if r.sampler.Sample() {
+		return telemetry.TraceContext{TraceID: telemetry.NewTraceID()}
+	}
+	return telemetry.TraceContext{}
+}
+
+// startSpan opens a router-side span in tr's trace; nil when the
+// operation is untraced.
+func (r *Router) startSpan(op, id string, tr telemetry.TraceContext) *telemetry.Span {
+	if r.opt.SpanSink == nil || !tr.Sampled() {
+		return nil
+	}
+	return &telemetry.Span{
+		Op:       op,
+		ID:       id,
+		TraceID:  tr.TraceID,
+		ParentID: tr.SpanID,
+		SpanID:   telemetry.NewSpanID(),
+		Start:    time.Now(),
+	}
+}
+
+// finishSpan stamps the outcome and duration and records the span.
+func (r *Router) finishSpan(sp *telemetry.Span, outcome string) {
+	if sp == nil {
+		return
+	}
+	sp.Outcome = outcome
+	sp.Seconds = time.Since(sp.Start).Seconds()
+	r.opt.SpanSink.RecordSpan(sp)
+}
+
+// spanCtx is the trace context operations under sp run in: sp's own span
+// as parent, or the original context when no span was opened.
+func spanCtx(sp *telemetry.Span, tr telemetry.TraceContext) telemetry.TraceContext {
+	if sp == nil {
+		return tr
+	}
+	return sp.Ctx()
+}
+
+// okOutcome maps a hop result to its span outcome label.
+func okOutcome(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}
 
 // maxLatestEntries caps the use-latest hint map so a long-running router
 // with high subject cardinality cannot grow it without bound. Eviction

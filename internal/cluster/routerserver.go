@@ -9,10 +9,13 @@ import (
 	"sync"
 	"time"
 
+	"sort"
+
 	"ctxres/internal/ctx"
 	"ctxres/internal/daemon"
 	"ctxres/internal/middleware"
 	"ctxres/internal/pool"
+	"ctxres/internal/telemetry"
 )
 
 // routerConn serves one downstream connection: it decodes requests in
@@ -137,6 +140,7 @@ func (rc *routerConn) client(shard string) (*daemon.Client, error) {
 		Timeout:    rc.r.opt.Timeout,
 		WireFormat: daemon.FormatBinary,
 		Role:       daemon.RoleRouter,
+		Trace:      rc.r.opt.SpanSink != nil,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("shard %s: %w", shard, err)
@@ -179,6 +183,8 @@ func (rc *routerConn) handle(req *daemon.Request) daemon.Response {
 		return rc.handleStats()
 	case daemon.OpSituations:
 		return rc.handleSituations()
+	case daemon.OpProvenance:
+		return rc.handleProvenance(req)
 	case daemon.OpSubscribe:
 		return rc.handleSubscribe(req)
 	case daemon.OpUnsubscribe:
@@ -204,11 +210,14 @@ func (rc *routerConn) handleHello(req *daemon.Request) daemon.Response {
 	default:
 		return daemon.ErrResponse(daemon.CodeApp, fmt.Errorf("hello: unknown role %q", req.Role))
 	}
+	// Like a shard daemon, the router acks the trace offer only when it
+	// can record spans itself.
+	traceOK := req.Trace && rc.r.opt.SpanSink != nil
 	switch req.Format {
 	case "", daemon.FormatJSON:
-		return daemon.Response{OK: true, Format: daemon.FormatJSON}
+		return daemon.Response{OK: true, Format: daemon.FormatJSON, Trace: traceOK}
 	case daemon.FormatBinary:
-		return daemon.Response{OK: true, Format: daemon.FormatBinary}
+		return daemon.Response{OK: true, Format: daemon.FormatBinary, Trace: traceOK}
 	default:
 		return daemon.ErrResponse(daemon.CodeApp, fmt.Errorf("hello: unknown format %q", req.Format))
 	}
@@ -230,6 +239,8 @@ func (rc *routerConn) handleSubmit(req *daemon.Request) daemon.Response {
 	r := rc.r
 	owner := r.owner(c.Source)
 	spanning := r.spanningKinds[c.Kind]
+	tr := r.traceFor(req)
+	root := r.startSpan("route_submit", string(c.ID), tr)
 	var ownerResp daemon.Response
 	if spanning {
 		r.scattered.Add(1)
@@ -240,21 +251,28 @@ func (rc *routerConn) handleSubmit(req *daemon.Request) daemon.Response {
 		if shard != owner && !spanning {
 			continue
 		}
+		hopOp := "shard_submit"
+		if shard != owner {
+			hopOp = "mirror_submit"
+		}
 		cl, err := rc.client(shard)
 		if err != nil {
 			if shard == owner {
+				r.finishSpan(root, "error")
 				return shardError(shard, err)
 			}
 			r.opt.Logf("cluster: router: mirror dial %s: %v", shard, err)
 			continue
 		}
-		vios, err := cl.SubmitBudget(c, budgetOf(req))
+		hop := r.startSpan(hopOp, shard, spanCtx(root, tr))
+		vios, err := cl.SubmitTrace(c, budgetOf(req), spanCtx(hop, tr))
+		r.finishSpan(hop, okOutcome(err))
 		if shard == owner {
 			r.shardCtrs[shard].owned.Add(1)
 			if err != nil {
 				ownerResp = shardError(shard, err)
 			} else {
-				ownerResp = daemon.Response{OK: true, Violations: vios}
+				ownerResp = daemon.Response{OK: true, Violations: vios, TraceID: tr.TraceID}
 				r.rememberLatest(c, owner)
 			}
 			continue
@@ -267,7 +285,17 @@ func (rc *routerConn) handleSubmit(req *daemon.Request) daemon.Response {
 			r.opt.Logf("cluster: router: mirror submit %s to %s: %v", c.ID, shard, err)
 		}
 	}
+	r.finishSpan(root, routeOutcome(ownerResp))
 	return ownerResp
+}
+
+// routeOutcome maps the authoritative response to the root span's
+// outcome label.
+func routeOutcome(resp daemon.Response) string {
+	if resp.OK {
+		return "ok"
+	}
+	return "error"
 }
 
 // handleBatch partitions a batch per shard, preserving the original
@@ -284,6 +312,8 @@ func (rc *routerConn) handleBatch(req *daemon.Request) daemon.Response {
 			fmt.Errorf("batch-submit: %d contexts exceeds cap %d", n, daemon.MaxBatchContexts))
 	}
 	r := rc.r
+	tr := r.traceFor(req)
+	root := r.startSpan("route_batch", fmt.Sprintf("%d items", n), tr)
 	type shardBatch struct {
 		items    []*ctx.Context
 		ownerIdx []int // original index per item; -1 for mirrored copies
@@ -329,7 +359,9 @@ func (rc *routerConn) handleBatch(req *daemon.Request) daemon.Response {
 		cl, err := rc.client(shard)
 		var shardResults []daemon.BatchResult
 		if err == nil {
-			shardResults, err = cl.SubmitBatch(b.items, budgetOf(req))
+			hop := r.startSpan("shard_batch", shard, spanCtx(root, tr))
+			shardResults, err = cl.SubmitBatchTrace(b.items, budgetOf(req), spanCtx(hop, tr))
+			r.finishSpan(hop, okOutcome(err))
 		}
 		if err != nil {
 			fail := shardError(shard, err)
@@ -353,7 +385,8 @@ func (rc *routerConn) handleBatch(req *daemon.Request) daemon.Response {
 			}
 		}
 	}
-	return daemon.Response{OK: true, Results: results}
+	r.finishSpan(root, "ok")
+	return daemon.Response{OK: true, Results: results, TraceID: tr.TraceID}
 }
 
 // handleUse probes the shards in ring order for the ID (context IDs do
@@ -362,6 +395,8 @@ func (rc *routerConn) handleBatch(req *daemon.Request) daemon.Response {
 // contexts are consumed from the remaining shards so they cannot linger.
 func (rc *routerConn) handleUse(req *daemon.Request) daemon.Response {
 	r := rc.r
+	tr := r.traceFor(req)
+	root := r.startSpan("route_use", string(req.ID), tr)
 	var lastErr daemon.Response
 	lastErr = daemon.ErrResponse(daemon.CodeApp, fmt.Errorf("use %s: no shards reachable", req.ID))
 	for probe, shard := range r.ring.Addrs() {
@@ -370,7 +405,9 @@ func (rc *routerConn) handleUse(req *daemon.Request) daemon.Response {
 			lastErr = shardError(shard, err)
 			continue
 		}
-		cc, err := cl.Use(req.ID)
+		hop := r.startSpan("shard_use", shard, spanCtx(root, tr))
+		cc, err := cl.UseTrace(req.ID, spanCtx(hop, tr))
+		r.finishSpan(hop, okOutcome(err))
 		if err != nil {
 			lastErr = shardError(shard, err)
 			continue
@@ -382,10 +419,12 @@ func (rc *routerConn) handleUse(req *daemon.Request) daemon.Response {
 		}
 		r.shardCtrs[shard].owned.Add(1)
 		if cc != nil && r.spanningKinds[cc.Kind] {
-			rc.consumeMirrors(req.ID, shard)
+			rc.consumeMirrors(req.ID, shard, spanCtx(root, tr))
 		}
-		return daemon.Response{OK: true, Context: cc}
+		r.finishSpan(root, "ok")
+		return daemon.Response{OK: true, Context: cc, TraceID: tr.TraceID}
 	}
+	r.finishSpan(root, "error")
 	return lastErr
 }
 
@@ -395,14 +434,14 @@ func (rc *routerConn) handleUse(req *daemon.Request) daemon.Response {
 // linger on that shard (later producing violations against an
 // already-consumed context), so it is logged like mirror-submit
 // failures are.
-func (rc *routerConn) consumeMirrors(id ctx.ID, except string) {
+func (rc *routerConn) consumeMirrors(id ctx.ID, except string, tr telemetry.TraceContext) {
 	for _, shard := range rc.r.ring.Addrs() {
 		if shard == except {
 			continue
 		}
 		cl, err := rc.client(shard)
 		if err == nil {
-			_, err = cl.Use(id)
+			_, err = cl.UseTrace(id, tr)
 		}
 		if err != nil && !isNotFound(err) {
 			rc.r.opt.Logf("cluster: router: mirror consume %s from %s: %v", id, shard, err)
@@ -425,6 +464,8 @@ func isNotFound(err error) bool {
 // the router delivers whenever a single node with the union pool would.
 func (rc *routerConn) handleUseLatest(req *daemon.Request) daemon.Response {
 	r := rc.r
+	tr := r.traceFor(req)
+	root := r.startSpan("route_use_latest", string(req.Kind)+"/"+req.Subject, tr)
 	hinted, hadHint := r.lookupLatest(req.Kind, req.Subject)
 	var lastErr daemon.Response
 	lastErr = daemon.ErrResponse(daemon.CodeApp,
@@ -433,13 +474,17 @@ func (rc *routerConn) handleUseLatest(req *daemon.Request) daemon.Response {
 		cl, err := rc.client(hinted)
 		if err == nil {
 			var cc *ctx.Context
-			if cc, err = cl.UseLatest(req.Kind, req.Subject); err == nil {
+			hop := r.startSpan("shard_use_latest", hinted, spanCtx(root, tr))
+			cc, err = cl.UseLatestTrace(req.Kind, req.Subject, spanCtx(hop, tr))
+			r.finishSpan(hop, okOutcome(err))
+			if err == nil {
 				r.routed.Add(1)
 				r.shardCtrs[hinted].owned.Add(1)
 				if cc != nil && r.spanningKinds[cc.Kind] {
-					rc.consumeMirrors(cc.ID, hinted)
+					rc.consumeMirrors(cc.ID, hinted, spanCtx(root, tr))
 				}
-				return daemon.Response{OK: true, Context: cc}
+				r.finishSpan(root, "ok")
+				return daemon.Response{OK: true, Context: cc, TraceID: tr.TraceID}
 			}
 		}
 		r.forgetLatest(req.Kind, req.Subject, hinted)
@@ -455,18 +500,51 @@ func (rc *routerConn) handleUseLatest(req *daemon.Request) daemon.Response {
 			lastErr = shardError(shard, err)
 			continue
 		}
-		cc, err := cl.UseLatest(req.Kind, req.Subject)
+		hop := r.startSpan("shard_use_latest", shard, spanCtx(root, tr))
+		cc, err := cl.UseLatestTrace(req.Kind, req.Subject, spanCtx(hop, tr))
+		r.finishSpan(hop, okOutcome(err))
 		if err != nil {
 			lastErr = shardError(shard, err)
 			continue
 		}
 		r.shardCtrs[shard].owned.Add(1)
 		if cc != nil && r.spanningKinds[cc.Kind] {
-			rc.consumeMirrors(cc.ID, shard)
+			rc.consumeMirrors(cc.ID, shard, spanCtx(root, tr))
 		}
-		return daemon.Response{OK: true, Context: cc}
+		r.finishSpan(root, "ok")
+		return daemon.Response{OK: true, Context: cc, TraceID: tr.TraceID}
 	}
+	r.finishSpan(root, "error")
 	return lastErr
+}
+
+// handleProvenance scatters the provenance query to every shard and
+// merges the rings' events newest-first by logical clock (per-node Seq
+// numbers are not comparable across shards).
+func (rc *routerConn) handleProvenance(req *daemon.Request) daemon.Response {
+	r := rc.r
+	var events []telemetry.ResolutionEvent
+	reached := 0
+	for _, shard := range r.ring.Addrs() {
+		cl, err := rc.client(shard)
+		if err != nil {
+			continue
+		}
+		evs, err := cl.Provenance(req.Limit)
+		if err != nil {
+			continue
+		}
+		reached++
+		events = append(events, evs...)
+	}
+	if reached == 0 {
+		return daemon.ErrResponse(daemon.CodeApp, errors.New("provenance: no shard reachable"))
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Clock.After(events[j].Clock) })
+	if req.Limit > 0 && len(events) > req.Limit {
+		events = events[:req.Limit]
+	}
+	return daemon.Response{OK: true, Provenance: events}
 }
 
 // handleStats merges every reachable shard's counters (the shards

@@ -29,6 +29,11 @@ type ShipperOptions struct {
 	HeartbeatEvery time.Duration
 	// Telemetry registers the shipper's gauges and counters when set.
 	Telemetry *telemetry.Registry
+	// SpanSink records a "repl_ship" span for every live traced record
+	// written to a feed (parented on the span stamped into the record by
+	// the leader's pipeline), measuring tap-to-wire shipping latency.
+	// Catch-up replays from disk are not spanned. Nil disables.
+	SpanSink telemetry.SpanSink
 }
 
 // Shipper is the leader half of WAL shipping. It taps the journal's
@@ -64,10 +69,12 @@ type feed struct {
 }
 
 // feedFrame carries one queued frame plus its framed size, so dequeuing
-// can settle the pending-bytes gauge the enqueue charged.
+// can settle the pending-bytes gauge the enqueue charged. enq is set
+// only for traced records under a span sink, to time the ship span.
 type feedFrame struct {
 	frame daemon.ReplFrame
 	bytes int64
+	enq   time.Time
 }
 
 func (f *feed) fail() { f.quitOnce.Do(func() { close(f.quit) }) }
@@ -116,6 +123,9 @@ func (sh *Shipper) Attach(j *wal.Journal) {
 func (sh *Shipper) Tap(r wal.Record, framedBytes int) {
 	rec := r
 	ff := feedFrame{frame: daemon.ReplFrame{Record: &rec}, bytes: int64(framedBytes)}
+	if sh.opt.SpanSink != nil && rec.TraceID != "" {
+		ff.enq = time.Now()
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for f := range sh.feeds {
@@ -144,6 +154,32 @@ func (sh *Shipper) TapSnapshot(snap wal.Snapshot) {
 			sh.overflows.Add(1)
 			f.fail()
 		}
+	}
+}
+
+// ShipperStats is a point-in-time view of the leader's replication tap,
+// the statusz complement to the ctxres_repl_* metrics.
+type ShipperStats struct {
+	// Followers is the number of live replication feeds.
+	Followers int `json:"followers"`
+	// PendingBytes is the framed bytes queued across all feeds.
+	PendingBytes int64 `json:"pendingBytes"`
+	// Overflows counts feeds failed because a follower outran its queue.
+	Overflows int64 `json:"overflows"`
+	// FeedsServed counts feeds accepted (one per follower (re)connect).
+	FeedsServed int64 `json:"feedsServed"`
+}
+
+// Stats snapshots the shipper's counters.
+func (sh *Shipper) Stats() ShipperStats {
+	sh.mu.Lock()
+	followers := len(sh.feeds)
+	sh.mu.Unlock()
+	return ShipperStats{
+		Followers:    followers,
+		PendingBytes: sh.pendingBytes(),
+		Overflows:    sh.overflows.Load(),
+		FeedsServed:  sh.served.Load(),
 	}
 }
 
@@ -206,6 +242,18 @@ func (sh *Shipper) ServeFeed(fromSeq uint64, send func(daemon.ReplFrame) bool, s
 					return nil
 				}
 				sentSeq = frame.Record.Seq
+				if sh.opt.SpanSink != nil && frame.Record.TraceID != "" && !ff.enq.IsZero() {
+					sh.opt.SpanSink.RecordSpan(&telemetry.Span{
+						Op:       "repl_ship",
+						ID:       fmt.Sprintf("seq %d", frame.Record.Seq),
+						TraceID:  frame.Record.TraceID,
+						ParentID: frame.Record.SpanID,
+						SpanID:   telemetry.NewSpanID(),
+						Start:    ff.enq,
+						Seconds:  time.Since(ff.enq).Seconds(),
+						Outcome:  "shipped",
+					})
+				}
 			case frame.Snapshot != nil:
 				// Skip any snapshot at or behind the delivered position:
 				// records past it are already on the follower's stream, and

@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ctxres/internal/daemon"
+	"ctxres/internal/middleware"
+	"ctxres/internal/strategy"
+	"ctxres/internal/telemetry"
+	"ctxres/internal/wal"
+)
+
+// traceSink captures spans in memory for assertions.
+type traceSink struct {
+	mu    sync.Mutex
+	spans []*telemetry.Span
+}
+
+func (s *traceSink) RecordSpan(sp *telemetry.Span) {
+	s.mu.Lock()
+	s.spans = append(s.spans, sp)
+	s.mu.Unlock()
+}
+
+// find returns the first recorded span with the given op, or nil.
+func (s *traceSink) find(op string) *telemetry.Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sp := range s.spans {
+		if sp.Op == op {
+			return sp
+		}
+	}
+	return nil
+}
+
+// waitFor polls for a span emitted by a background goroutine (the
+// shipper's feed writer, the follower's apply loop).
+func (s *traceSink) waitFor(t *testing.T, op string) *telemetry.Span {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if sp := s.find(op); sp != nil {
+			return sp
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no %q span recorded", op)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// startTracedShard is startShard with tracing wired end to end: the
+// middleware writes its pipeline spans to sink and the serving layer
+// joins the trace carried by incoming requests.
+func startTracedShard(t *testing.T, sink *traceSink) *daemon.Server {
+	t.Helper()
+	mw := middleware.New(routerChecker(), strategy.NewDropBad(),
+		middleware.WithSpanSink(sink))
+	srv, err := daemon.Serve("127.0.0.1:0", mw, nil, daemon.WithTracing(sink, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	return srv
+}
+
+// TestRouterTraceFanout pins the gateway's span tree for a mirrored
+// submission: one route_submit root, a shard_submit hop to the owner and
+// a mirror_submit hop to the other shard — both children of the root —
+// and each shard's own pipeline span parented on the hop that carried
+// the request to it.
+func TestRouterTraceFanout(t *testing.T) {
+	sink1, sink2 := &traceSink{}, &traceSink{}
+	s1, s2 := startTracedShard(t, sink1), startTracedShard(t, sink2)
+	sinkOf := map[string]*traceSink{
+		s1.Addr().String(): sink1,
+		s2.Addr().String(): sink2,
+	}
+
+	rsink := &traceSink{}
+	r, err := ServeRouter("127.0.0.1:0", RouterOptions{
+		Shards:      []string{s1.Addr().String(), s2.Addr().String()},
+		Checker:     routerChecker(),
+		Timeout:     5 * time.Second,
+		Logf:        t.Logf,
+		SpanSink:    rsink,
+		TraceSample: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown()
+
+	cl, err := daemon.Dial(r.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// A location context is quantified by the spanning agree-span
+	// constraint, so the router mirrors it to every shard.
+	if _, err := cl.Submit(srcLoc("t1", "src-0", 1, t0, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	root := rsink.find("route_submit")
+	if root == nil {
+		t.Fatal("no route_submit span recorded")
+	}
+	if len(root.TraceID) != telemetry.TraceIDLen || root.ParentID != "" {
+		t.Fatalf("root span = %+v, want a sampled trace root", root)
+	}
+	hop := rsink.find("shard_submit")
+	mirror := rsink.find("mirror_submit")
+	if hop == nil || mirror == nil {
+		t.Fatalf("hop spans missing: owner=%v mirror=%v", hop, mirror)
+	}
+	for _, sp := range []*telemetry.Span{hop, mirror} {
+		if sp.TraceID != root.TraceID || sp.ParentID != root.SpanID {
+			t.Fatalf("hop span %+v not a child of root %q", sp, root.SpanID)
+		}
+		if sp.Outcome != "ok" {
+			t.Fatalf("hop outcome = %q", sp.Outcome)
+		}
+	}
+
+	// Each shard's pipeline span must hang off the hop that reached it.
+	owner := r.owner("src-0")
+	for addr, sink := range sinkOf {
+		want := mirror
+		if addr == owner {
+			want = hop
+		}
+		sub := sink.find("submit")
+		if sub == nil {
+			t.Fatalf("shard %s recorded no submit span", addr)
+		}
+		if sub.TraceID != root.TraceID || sub.ParentID != want.SpanID {
+			t.Fatalf("shard %s submit span = %+v, want child of %q in trace %q",
+				addr, sub, want.SpanID, root.TraceID)
+		}
+	}
+}
+
+// TestRouterTraceJoin pins that a caller-supplied trace context flows
+// through the gateway: the route_submit span joins the caller's trace
+// instead of rooting a new one.
+func TestRouterTraceJoin(t *testing.T) {
+	sink := &traceSink{}
+	s1 := startTracedShard(t, sink)
+
+	rsink := &traceSink{}
+	r, err := ServeRouter("127.0.0.1:0", RouterOptions{
+		Shards:   []string{s1.Addr().String()},
+		Checker:  routerChecker(),
+		Timeout:  5 * time.Second,
+		Logf:     t.Logf,
+		SpanSink: rsink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown()
+
+	cl, err := daemon.DialOptions(r.Addr().String(), daemon.ClientOptions{
+		Timeout: 5 * time.Second,
+		Trace:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	caller := telemetry.TraceContext{
+		TraceID: strings.Repeat("5a", 16),
+		SpanID:  "1122334455667788",
+	}
+	if _, err := cl.SubmitTrace(srcLoc("t1", "src-0", 1, t0, 0), 0, caller); err != nil {
+		t.Fatal(err)
+	}
+	root := rsink.find("route_submit")
+	if root == nil || root.TraceID != caller.TraceID || root.ParentID != caller.SpanID {
+		t.Fatalf("route_submit span = %+v, want joined to %+v", root, caller)
+	}
+}
+
+// TestReplicationTraceChain is the end-to-end replication leg: a traced
+// submission on the leader yields a repl_ship span (tap-to-wire, in the
+// leader's sink) and a repl_apply span on the follower, both parented on
+// the submission's pipeline span so ctxspan can hang the replication hop
+// under the write that caused it.
+func TestReplicationTraceChain(t *testing.T) {
+	dir := t.TempDir()
+	lsink := &traceSink{}
+
+	mw, _, err := middleware.Recover(dir, func() *middleware.Middleware {
+		return middleware.New(velocityChecker(t, 2, 1.5), strategy.NewDropBad(),
+			middleware.WithSpanSink(lsink))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewShipper(ShipperOptions{
+		Dir:            dir,
+		HeartbeatEvery: 10 * time.Millisecond,
+		SpanSink:       lsink,
+	})
+	j := openJournal(t, dir, wal.Options{Ship: sh.Tap, ShipSnapshot: sh.TapSnapshot})
+	sh.Attach(j)
+	if err := mw.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := daemon.Serve("127.0.0.1:0", mw, nil,
+		daemon.WithReplicationSource(sh),
+		daemon.WithTracing(lsink, nil),
+		daemon.WithDrainTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	fsink := &traceSink{}
+	f, err := StartFollower(FollowerOptions{
+		Leader:       srv.Addr().String(),
+		Dir:          t.TempDir(),
+		Fsync:        wal.FsyncNever,
+		RedialMin:    10 * time.Millisecond,
+		StallTimeout: 2 * time.Second,
+		Logf:         t.Logf,
+		SpanSink:     fsink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+
+	cl, err := daemon.DialOptions(srv.Addr().String(), daemon.ClientOptions{
+		Timeout: 5 * time.Second,
+		Trace:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	caller := telemetry.TraceContext{
+		TraceID: strings.Repeat("c3", 16),
+		SpanID:  "aaaabbbbcccc0000",
+	}
+	if _, err := cl.SubmitTrace(loc("r1", 1, 0), 0, caller); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, f, j.LastSeq())
+
+	sub := lsink.find("submit")
+	if sub == nil || sub.TraceID != caller.TraceID {
+		t.Fatalf("leader submit span = %+v, want trace %q", sub, caller.TraceID)
+	}
+	ship := lsink.waitFor(t, "repl_ship")
+	if ship.TraceID != caller.TraceID || ship.ParentID != sub.SpanID {
+		t.Fatalf("repl_ship span = %+v, want child of submit %q", ship, sub.SpanID)
+	}
+	apply := fsink.waitFor(t, "repl_apply")
+	if apply.TraceID != caller.TraceID || apply.ParentID != sub.SpanID {
+		t.Fatalf("repl_apply span = %+v, want child of submit %q", apply, sub.SpanID)
+	}
+	if apply.Outcome != "applied" {
+		t.Fatalf("repl_apply outcome = %q", apply.Outcome)
+	}
+	if err := mw.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -42,12 +42,17 @@ type Client struct {
 	conn         net.Conn
 	reader       *bufio.Reader
 	binary       bool // negotiated per connection; reset on reconnect
+	traceOK      bool // server acked the hello trace offer; reset on reconnect
 	closed       bool
 	pump         *pumpState // owns reads on conn once subscriptions exist
 	reconnecting bool       // a background reestablish goroutine is running
 
 	subsMu sync.Mutex // guards subs; leaf lock, nests inside stateMu
 	subs   map[string]subscription
+
+	// sampler roots client-side traces (ClientOptions.TraceSample); nil
+	// when client-side sampling is off.
+	sampler *telemetry.Sampler
 }
 
 // subscription is the client-side record of one standing subscription,
@@ -108,6 +113,17 @@ type ClientOptions struct {
 	// reconnects). Connecting with FormatBinary to a server that does not
 	// speak the hello op fails rather than silently downgrading.
 	WireFormat string
+	// Trace offers distributed tracing in the hello handshake (forcing the
+	// hello exchange even on line-JSON connections). Trace context is
+	// stamped on requests only after the server acks the offer — a server
+	// without tracing configured declines, and the wire traffic stays
+	// byte-identical to an untraced client's.
+	Trace bool
+	// TraceSample roots a fresh trace on this fraction (0..1] of
+	// operations that carry no explicit trace context, letting a plain
+	// client originate traces without a router in front. Setting it
+	// implies Trace. Zero disables client-side sampling.
+	TraceSample float64
 	// OnSubscriptionLost is called (from the client's read goroutine) when
 	// a subscription is terminally cancelled: the server shed this
 	// connection as lagged (CodeSubscriberLagged), or a resubscription
@@ -184,7 +200,11 @@ func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("daemon: dial: no addresses")
 	}
-	c := &Client{addrs: addrs, opts: opts, subs: make(map[string]subscription)}
+	if opts.TraceSample > 0 {
+		opts.Trace = true
+	}
+	c := &Client{addrs: addrs, opts: opts, subs: make(map[string]subscription),
+		sampler: telemetry.NewSampler(opts.TraceSample)}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
@@ -210,8 +230,9 @@ func (c *Client) connect() error {
 	}
 	reader := bufio.NewReader(conn)
 	binary := false
-	if c.opts.WireFormat == FormatBinary || c.opts.Role != "" {
-		binary, err = c.hello(conn, reader)
+	traceOK := false
+	if c.opts.WireFormat == FormatBinary || c.opts.Role != "" || c.opts.Trace {
+		binary, traceOK, err = c.hello(conn, reader)
 		if err != nil {
 			_ = conn.Close()
 			return err
@@ -240,7 +261,7 @@ func (c *Client) connect() error {
 		_ = conn.Close()
 		return ErrClientClosed
 	}
-	c.conn, c.reader, c.binary = conn, reader, binary
+	c.conn, c.reader, c.binary, c.traceOK = conn, reader, binary, traceOK
 	c.startPumpLocked()
 	return nil
 }
@@ -444,23 +465,26 @@ func (c *Client) dialNext() (net.Conn, error) {
 }
 
 // hello performs the line-JSON handshake on a fresh connection,
-// negotiating the wire format and declaring the connection's role. Both
-// sides speak binary frames only after the ack.
-func (c *Client) hello(conn net.Conn, reader *bufio.Reader) (bool, error) {
+// negotiating the wire format, declaring the connection's role, and —
+// when the client offers tracing — learning whether the server will
+// honor trace context. Both sides speak binary frames only after the
+// ack. A declined trace offer is not an error: the client simply never
+// stamps trace fields on this connection.
+func (c *Client) hello(conn net.Conn, reader *bufio.Reader) (binary, trace bool, err error) {
 	want := c.opts.WireFormat
 	if want == "" {
 		want = FormatJSON
 	}
 	resp, err := c.exchangeOn(conn, reader, false,
-		Request{Op: OpHello, Format: want, Role: c.opts.Role})
+		Request{Op: OpHello, Format: want, Role: c.opts.Role, Trace: c.opts.Trace})
 	if err != nil {
-		return false, fmt.Errorf("daemon: hello: %w", err)
+		return false, false, fmt.Errorf("daemon: hello: %w", err)
 	}
 	if resp.Format != want {
-		return false, fmt.Errorf("daemon: hello: server negotiated format %q, want %q",
+		return false, false, fmt.Errorf("daemon: hello: server negotiated format %q, want %q",
 			resp.Format, want)
 	}
-	return resp.Format == FormatBinary, nil
+	return resp.Format == FormatBinary, resp.Trace, nil
 }
 
 // current returns the live connection, or nil when broken/unconnected.
@@ -468,6 +492,14 @@ func (c *Client) current() (net.Conn, *bufio.Reader, bool) {
 	c.stateMu.Lock()
 	defer c.stateMu.Unlock()
 	return c.conn, c.reader, c.binary
+}
+
+// traceAllowed reports whether the current connection negotiated trace
+// propagation in its hello.
+func (c *Client) traceAllowed() bool {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.traceOK
 }
 
 // dropConn discards conn (if still current) so no later attempt can read
@@ -531,6 +563,12 @@ func (c *Client) roundTripLocked(req Request) (Response, error) {
 				continue
 			}
 			conn, reader, binary = c.current()
+		}
+		if req.TraceID != "" && !c.traceAllowed() {
+			// The connection's hello did not negotiate tracing (the server
+			// declined, or this is an untraced reconnect): send the request
+			// untraced rather than leak fields the server never agreed to.
+			req.TraceID, req.SpanID = "", ""
 		}
 		resp, err := c.exchange(conn, reader, binary, req)
 		if err == nil {
@@ -677,10 +715,39 @@ func (c *Client) Ping() error {
 	return err
 }
 
+// traceFor resolves the trace context an operation is sent under: an
+// explicit trace is forwarded as-is; otherwise the client-side sampler
+// (ClientOptions.TraceSample) may root a fresh trace. Zero overhead when
+// neither applies.
+func (c *Client) traceFor(tr telemetry.TraceContext) telemetry.TraceContext {
+	if tr.Sampled() || c.sampler == nil {
+		return tr
+	}
+	if c.sampler.Sample() {
+		return telemetry.TraceContext{TraceID: telemetry.NewTraceID()}
+	}
+	return tr
+}
+
 // Submit sends a context addition change and returns the inconsistencies
 // it introduced.
 func (c *Client) Submit(cc *ctx.Context) ([]WireViolation, error) {
-	resp, err := c.roundTrip(Request{Op: OpSubmit, Context: cc})
+	return c.SubmitTrace(cc, 0, telemetry.TraceContext{})
+}
+
+// SubmitTrace submits under an explicit trace context (and optional
+// deadline budget, as SubmitBudget): the server's pipeline spans join
+// the caller's trace, with tr's span as their parent. Routers use it to
+// make every shard hop a child span of the gateway's. The zero
+// TraceContext degrades to plain sampling behavior.
+func (c *Client) SubmitTrace(cc *ctx.Context, budget time.Duration, tr telemetry.TraceContext) ([]WireViolation, error) {
+	req := Request{Op: OpSubmit, Context: cc}
+	if budget > 0 {
+		req.TimeoutMillis = int64(budget / time.Millisecond)
+	}
+	tr = c.traceFor(tr)
+	req.TraceID, req.SpanID = tr.TraceID, tr.SpanID
+	resp, err := c.roundTrip(req)
 	if err != nil {
 		return nil, err
 	}
@@ -694,15 +761,7 @@ func (c *Client) Submit(cc *ctx.Context) ([]WireViolation, error) {
 // would only deepen the overload); check ErrorCode(err) for
 // CodeOverloaded and back off before resubmitting.
 func (c *Client) SubmitBudget(cc *ctx.Context, budget time.Duration) ([]WireViolation, error) {
-	req := Request{Op: OpSubmit, Context: cc}
-	if budget > 0 {
-		req.TimeoutMillis = int64(budget / time.Millisecond)
-	}
-	resp, err := c.roundTrip(req)
-	if err != nil {
-		return nil, err
-	}
-	return resp.Violations, nil
+	return c.SubmitTrace(cc, budget, telemetry.TraceContext{})
 }
 
 // SubmitBatch submits contexts in one round trip and returns their
@@ -715,10 +774,18 @@ func (c *Client) SubmitBudget(cc *ctx.Context, budget time.Duration) ([]WireViol
 // whose first attempt actually landed reports duplicates per item rather
 // than applying anything twice.
 func (c *Client) SubmitBatch(cs []*ctx.Context, budget time.Duration) ([]BatchResult, error) {
+	return c.SubmitBatchTrace(cs, budget, telemetry.TraceContext{})
+}
+
+// SubmitBatchTrace is SubmitBatch under an explicit trace context; every
+// item's pipeline spans join the caller's trace.
+func (c *Client) SubmitBatchTrace(cs []*ctx.Context, budget time.Duration, tr telemetry.TraceContext) ([]BatchResult, error) {
 	req := Request{Op: OpBatchSubmit, Contexts: cs}
 	if budget > 0 {
 		req.TimeoutMillis = int64(budget / time.Millisecond)
 	}
+	tr = c.traceFor(tr)
+	req.TraceID, req.SpanID = tr.TraceID, tr.SpanID
 	resp, err := c.roundTrip(req)
 	if err != nil {
 		return nil, err
@@ -728,7 +795,15 @@ func (c *Client) SubmitBatch(cs []*ctx.Context, budget time.Duration) ([]BatchRe
 
 // Use performs a context deletion change for the identified context.
 func (c *Client) Use(id ctx.ID) (*ctx.Context, error) {
-	resp, err := c.roundTrip(Request{Op: OpUse, ID: id})
+	return c.UseTrace(id, telemetry.TraceContext{})
+}
+
+// UseTrace is Use under an explicit trace context.
+func (c *Client) UseTrace(id ctx.ID, tr telemetry.TraceContext) (*ctx.Context, error) {
+	req := Request{Op: OpUse, ID: id}
+	tr = c.traceFor(tr)
+	req.TraceID, req.SpanID = tr.TraceID, tr.SpanID
+	resp, err := c.roundTrip(req)
 	if err != nil {
 		return nil, err
 	}
@@ -737,11 +812,31 @@ func (c *Client) Use(id ctx.ID) (*ctx.Context, error) {
 
 // UseLatest uses the newest available context of the given kind/subject.
 func (c *Client) UseLatest(kind ctx.Kind, subject string) (*ctx.Context, error) {
-	resp, err := c.roundTrip(Request{Op: OpUseLatest, Kind: kind, Subject: subject})
+	return c.UseLatestTrace(kind, subject, telemetry.TraceContext{})
+}
+
+// UseLatestTrace is UseLatest under an explicit trace context.
+func (c *Client) UseLatestTrace(kind ctx.Kind, subject string, tr telemetry.TraceContext) (*ctx.Context, error) {
+	req := Request{Op: OpUseLatest, Kind: kind, Subject: subject}
+	tr = c.traceFor(tr)
+	req.TraceID, req.SpanID = tr.TraceID, tr.SpanID
+	resp, err := c.roundTrip(req)
 	if err != nil {
 		return nil, err
 	}
 	return resp.Context, nil
+}
+
+// Provenance fetches the newest resolution-provenance events retained by
+// the server's ring, newest first; limit caps the count (0 = all
+// retained). Servers running without provenance answer with an
+// application error.
+func (c *Client) Provenance(limit int) ([]telemetry.ResolutionEvent, error) {
+	resp, err := c.roundTrip(Request{Op: OpProvenance, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Provenance, nil
 }
 
 // Stats fetches middleware and pool counters.

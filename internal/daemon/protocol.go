@@ -53,6 +53,14 @@ const (
 	// when the ack is written may still be delivered; no new transitions
 	// are pushed after it.
 	OpUnsubscribe Op = "unsubscribe"
+	// OpProvenance returns the newest entries of the server's bounded
+	// resolution-provenance ring: one ResolutionEvent per violation the
+	// strategy resolved, naming the constraint, the strategy, the
+	// violating binding, the discarded contexts, and the trace that
+	// triggered it. Request.Limit caps the count (0 = all retained). A
+	// router answering the op scatters it to every shard and merges the
+	// events. Refused (unknown-op) by servers running without provenance.
+	OpProvenance Op = "provenance"
 	// OpReplicate turns the connection into a replication stream: the
 	// server acks, then pushes every journal record with sequence >
 	// Request.FromSeq as Response{Push:true, Repl:...} frames — interleaved
@@ -172,6 +180,22 @@ type Request struct {
 	// language, evaluated over the pool's available view (OpSubscribe).
 	// Exactly one of Situation and Formula must be set.
 	Formula string `json:"formula,omitempty"`
+	// Trace offers distributed tracing (OpHello): the client is willing to
+	// stamp trace context on requests. The server acks with Response.Trace
+	// true only when tracing is configured on its side (a span sink is
+	// installed); clients must not send TraceID/SpanID unless acked, so
+	// peers without tracing exchange byte-identical wire traffic.
+	Trace bool `json:"trace,omitempty"`
+	// TraceID/SpanID carry the caller's trace context on traced
+	// operations: the 32-hex-digit trace ID and the 16-hex-digit ID of the
+	// caller's span, which becomes the parent of the span the server opens
+	// for this request. Empty on untraced requests (the fields then do not
+	// appear on the wire at all).
+	TraceID string `json:"traceId,omitempty"`
+	SpanID  string `json:"spanId,omitempty"`
+	// Limit caps how many provenance events to return (OpProvenance);
+	// zero means all retained events.
+	Limit int `json:"limit,omitempty"`
 }
 
 // WireViolation is a violation with context IDs only (contexts stay on the
@@ -244,6 +268,16 @@ type Response struct {
 	// Router carries the shard router's counters when the stats op is
 	// answered by a ctxmwd -router gateway rather than a shard daemon.
 	Router *RouterStats `json:"router,omitempty"`
+	// Trace acks the hello trace offer: true when the server has tracing
+	// configured and will honor TraceID/SpanID on requests.
+	Trace bool `json:"trace,omitempty"`
+	// TraceID echoes the trace a traced request was recorded under (the
+	// server roots a new trace for sampled untraced requests), so a
+	// client can log the ID to correlate with server-side span files.
+	TraceID string `json:"traceId,omitempty"`
+	// Provenance carries the resolution-provenance events (OpProvenance),
+	// newest first.
+	Provenance []telemetry.ResolutionEvent `json:"provenance,omitempty"`
 }
 
 // ReplFrame is one frame of a replication stream. Exactly one of Record,

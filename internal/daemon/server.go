@@ -80,6 +80,9 @@ type options struct {
 	telemetry        *telemetry.Registry
 	subs             SubscriptionOptions
 	replSource       ReplicationSource
+	spanSink         telemetry.SpanSink
+	sampler          *telemetry.Sampler
+	prov             *telemetry.ProvenanceRing
 }
 
 func defaultOptions() options {
@@ -671,11 +674,15 @@ func (s *Server) handle(req Request) Response {
 		if !validRole(req.Role) {
 			return errResponse(fmt.Errorf("hello: unknown role %q", req.Role))
 		}
+		// The trace ack is true only when this server can actually record
+		// spans; a client must not stamp trace fields without it, so peers
+		// on either side of the upgrade exchange identical bytes.
+		traceOK := req.Trace && s.opt.spanSink != nil
 		switch req.Format {
 		case "", FormatJSON:
-			return Response{OK: true, Format: FormatJSON}
+			return Response{OK: true, Format: FormatJSON, Trace: traceOK}
 		case FormatBinary:
-			return Response{OK: true, Format: FormatBinary}
+			return Response{OK: true, Format: FormatBinary, Trace: traceOK}
 		default:
 			return errResponse(fmt.Errorf("hello: unknown format %q", req.Format))
 		}
@@ -685,7 +692,8 @@ func (s *Server) handle(req Request) Response {
 		if req.Context == nil {
 			return errResponse(errors.New("submit: missing context"))
 		}
-		var so middleware.SubmitOptions
+		tr := s.traceFor(req)
+		so := middleware.SubmitOptions{Trace: tr}
 		if req.TimeoutMillis > 0 {
 			so.Deadline = time.Now().Add(time.Duration(req.TimeoutMillis) * time.Millisecond)
 		}
@@ -693,7 +701,7 @@ func (s *Server) handle(req Request) Response {
 		if err != nil {
 			return errResponseCode(codeFor(err), err)
 		}
-		return Response{OK: true, Violations: toWire(vios)}
+		return Response{OK: true, Violations: toWire(vios), TraceID: tr.TraceID}
 	case OpBatchSubmit:
 		if len(req.Contexts) == 0 {
 			return errResponse(errors.New("batch-submit: missing contexts"))
@@ -702,7 +710,8 @@ func (s *Server) handle(req Request) Response {
 			return errResponseCode(CodeBadRequest,
 				fmt.Errorf("batch-submit: %d contexts exceeds limit %d", len(req.Contexts), MaxBatchContexts))
 		}
-		var so middleware.SubmitOptions
+		tr := s.traceFor(req)
+		so := middleware.SubmitOptions{Trace: tr}
 		if req.TimeoutMillis > 0 {
 			so.Deadline = time.Now().Add(time.Duration(req.TimeoutMillis) * time.Millisecond)
 		}
@@ -718,22 +727,29 @@ func (s *Server) handle(req Request) Response {
 				out[i] = BatchResult{OK: true, Violations: toWire(r.Violations)}
 			}
 		}
-		return Response{OK: true, Results: out}
+		return Response{OK: true, Results: out, TraceID: tr.TraceID}
 	case OpUse:
-		c, err := s.mw.Use(req.ID)
+		tr := s.traceFor(req)
+		c, err := s.mw.UseTrace(req.ID, tr)
 		if err != nil {
 			return errResponseCode(codeFor(err), err)
 		}
-		return Response{OK: true, Context: c}
+		return Response{OK: true, Context: c, TraceID: tr.TraceID}
 	case OpUseLatest:
 		if req.Kind == "" {
 			return errResponse(errors.New("use-latest: missing kind"))
 		}
-		c, err := s.mw.UseLatest(req.Kind, req.Subject)
+		tr := s.traceFor(req)
+		c, err := s.mw.UseLatestTrace(req.Kind, req.Subject, tr)
 		if err != nil {
 			return errResponseCode(codeFor(err), err)
 		}
-		return Response{OK: true, Context: c}
+		return Response{OK: true, Context: c, TraceID: tr.TraceID}
+	case OpProvenance:
+		if s.opt.prov == nil {
+			return errResponse(errors.New("provenance: not enabled on this server"))
+		}
+		return Response{OK: true, Provenance: s.opt.prov.Events(req.Limit)}
 	case OpStats:
 		mwStats := s.mw.Stats()
 		poolStats := s.mw.Pool().Stats()
@@ -765,6 +781,26 @@ func (s *Server) handle(req Request) Response {
 	default:
 		return errResponse(fmt.Errorf("unknown op %q", req.Op))
 	}
+}
+
+// traceFor resolves the trace context one request runs under. With no
+// span sink there is nowhere to record spans, so tracing is off
+// regardless of what the request carries. A request arriving with a
+// trace joins it (the caller's span becomes the parent of the spans the
+// middleware opens); an untraced request may root a fresh trace when the
+// server's sampler elects it — that is how a single-node daemon traces
+// without a router in front.
+func (s *Server) traceFor(req Request) telemetry.TraceContext {
+	if s.opt.spanSink == nil {
+		return telemetry.TraceContext{}
+	}
+	if req.TraceID != "" {
+		return telemetry.TraceContext{TraceID: req.TraceID, SpanID: req.SpanID}
+	}
+	if s.opt.sampler.Sample() {
+		return telemetry.TraceContext{TraceID: telemetry.NewTraceID()}
+	}
+	return telemetry.TraceContext{}
 }
 
 // codeFor maps a middleware rejection to its protocol code, so clients

@@ -26,6 +26,7 @@ import (
 	"ctxres/internal/ctx"
 	"ctxres/internal/middleware"
 	"ctxres/internal/situation"
+	"ctxres/internal/telemetry"
 )
 
 // Subscription tuning defaults (see WithSubscriptions).
@@ -121,10 +122,13 @@ func (cw *connWriter) setBinary(b bool) {
 }
 
 // pushItem is one queued event frame plus its enqueue instant for the
-// push-latency histogram.
+// push-latency histogram. trace links the push back to the operation
+// whose delta triggered it: when that operation ran under a sampled
+// trace, the delivered push gets a child span of the operation's.
 type pushItem struct {
-	resp Response
-	enq  time.Time
+	resp  Response
+	enq   time.Time
+	trace telemetry.TraceContext
 }
 
 // subscriber is the push side of one connection: a bounded event queue
@@ -351,16 +355,17 @@ func (h *hub) notify(d middleware.Delta) {
 			typ = situation.Deactivated
 		}
 		ev := &WireEvent{Situation: e.name, Type: typ.String(), At: d.Clock}
-		h.enqueueLocked(e.sub, Response{OK: true, Push: true, SubID: e.id, Event: ev}, now)
+		h.enqueueLocked(e.sub, Response{OK: true, Push: true, SubID: e.id, Event: ev}, now,
+			telemetry.TraceContext{TraceID: d.TraceID, SpanID: d.SpanID})
 	}
 }
 
-func (h *hub) enqueueLocked(sub *subscriber, resp Response, now time.Time) {
+func (h *hub) enqueueLocked(sub *subscriber, resp Response, now time.Time, tr telemetry.TraceContext) {
 	if sub.isLagged() {
 		return
 	}
 	select {
-	case sub.queue <- pushItem{resp: resp, enq: now}:
+	case sub.queue <- pushItem{resp: resp, enq: now, trace: tr}:
 	default:
 		h.shedLocked(sub)
 	}
@@ -440,6 +445,18 @@ func (s *Server) writePush(sub *subscriber, it pushItem, deadline time.Duration)
 	}
 	s.counters.pushesDelivered.Add(1)
 	s.tel.pushDone(it.enq)
+	if s.opt.spanSink != nil && it.trace.Sampled() {
+		s.opt.spanSink.RecordSpan(&telemetry.Span{
+			Op:       "push",
+			ID:       it.resp.SubID,
+			TraceID:  it.trace.TraceID,
+			ParentID: it.trace.SpanID,
+			SpanID:   telemetry.NewSpanID(),
+			Start:    it.enq,
+			Seconds:  time.Since(it.enq).Seconds(),
+			Outcome:  "delivered",
+		})
+	}
 	return true
 }
 

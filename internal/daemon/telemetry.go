@@ -18,6 +18,25 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(o *options) { o.telemetry = reg }
 }
 
+// WithTracing enables distributed tracing on the serving path: the
+// server acks hello trace offers, honors TraceID/SpanID on requests
+// (passing them into the middleware so pipeline spans join the caller's
+// trace), and roots a fresh trace for untraced requests the sampler
+// elects. The sink should be the same one the middleware records spans
+// to; a nil sampler never roots (the server then only joins traces
+// started upstream, the shard-behind-a-router configuration). A nil sink
+// disables tracing entirely.
+func WithTracing(sink telemetry.SpanSink, sampler *telemetry.Sampler) Option {
+	return func(o *options) { o.spanSink = sink; o.sampler = sampler }
+}
+
+// WithProvenance serves the resolution-provenance ring over OpProvenance.
+// The ring should be the one installed on the middleware via
+// middleware.WithProvenance; nil leaves the op refused.
+func WithProvenance(ring *telemetry.ProvenanceRing) Option {
+	return func(o *options) { o.prov = ring }
+}
+
 // serverTelemetry bundles the per-request instruments. The zero value is
 // "telemetry off": all instruments are nil and no clock is read.
 type serverTelemetry struct {
@@ -57,12 +76,18 @@ func (t *serverTelemetry) now() time.Time {
 }
 
 // requestDone observes one finished request: latency by op, and the
-// error code when the response reports a failure.
+// error code when the response reports a failure. A request that ran
+// under a sampled trace (the response echoes its ID) attaches the trace
+// ID as the latency bucket's exemplar.
 func (t *serverTelemetry) requestDone(op string, start time.Time, resp Response) {
 	if start.IsZero() {
 		return
 	}
-	t.requests.With(op).ObserveDuration(time.Since(start))
+	if resp.TraceID != "" {
+		t.requests.With(op).ObserveDurationExemplar(time.Since(start), resp.TraceID)
+	} else {
+		t.requests.With(op).ObserveDuration(time.Since(start))
+	}
 	if !resp.OK {
 		t.errcodes.With(string(resp.Code)).Inc()
 	}

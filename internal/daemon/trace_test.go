@@ -1,0 +1,417 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/middleware"
+	"ctxres/internal/situation"
+	"ctxres/internal/strategy"
+	"ctxres/internal/telemetry"
+)
+
+// collectSink captures spans in memory for assertions.
+type collectSink struct {
+	mu    sync.Mutex
+	spans []*telemetry.Span
+}
+
+func (c *collectSink) RecordSpan(s *telemetry.Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+// find returns the first recorded span with the given op, or nil.
+func (c *collectSink) find(op string) *telemetry.Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.spans {
+		if s.Op == op {
+			return s
+		}
+	}
+	return nil
+}
+
+// waitFor polls until a span with the op appears (push spans are emitted
+// by the pusher goroutine, after the response).
+func (c *collectSink) waitFor(t *testing.T, op string) *telemetry.Span {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if s := c.find(op); s != nil {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no %q span recorded", op)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// startTraceServer brings up a server with tracing (and optionally a
+// provenance ring) configured end to end: the middleware writes pipeline
+// spans to sink, and the serving layer joins or roots traces per req.
+func startTraceServer(t *testing.T, sink telemetry.SpanSink, sampler *telemetry.Sampler, prov *telemetry.ProvenanceRing) *Server {
+	t.Helper()
+	engine := situation.NewEngine()
+	engine.MustRegister(&situation.Situation{
+		Name: "present",
+		Formula: constraint.Exists("a", ctx.KindLocation,
+			constraint.SubjectIs("a", "peter")),
+	})
+	mwOpts := []middleware.Option{middleware.WithSituations(engine)}
+	if sink != nil {
+		mwOpts = append(mwOpts, middleware.WithSpanSink(sink))
+	}
+	if prov != nil {
+		mwOpts = append(mwOpts, middleware.WithProvenance(prov))
+	}
+	mw := middleware.New(velocityChecker(t), strategy.NewDropLatest(), mwOpts...)
+	var opts []Option
+	if sink != nil {
+		opts = append(opts, WithTracing(sink, sampler))
+	}
+	if prov != nil {
+		opts = append(opts, WithProvenance(prov))
+	}
+	srv, err := Serve("127.0.0.1:0", mw, engine, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	return srv
+}
+
+var hexID = regexp.MustCompile(`^[0-9a-f]+$`)
+
+// TestTraceHelloNegotiation pins the capability handshake: a server with
+// a span sink acks the trace offer, a server without one does not, and a
+// hello that does not offer tracing is never acked with it.
+func TestTraceHelloNegotiation(t *testing.T) {
+	traced := startTraceServer(t, &collectSink{}, nil, nil)
+	plain := startWireServer(t)
+
+	for _, tc := range []struct {
+		srv   *Server
+		offer bool
+		want  bool
+	}{
+		{traced, true, true},
+		{traced, false, false},
+		{plain, true, false},
+	} {
+		rc := dialRaw(t, tc.srv, FormatJSON)
+		var resp Response
+		if err := json.Unmarshal(rc.exchange(Request{Op: OpHello, Trace: tc.offer}), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK || resp.Trace != tc.want {
+			t.Fatalf("hello offer=%v on traced=%v: ack %+v, want trace %v",
+				tc.offer, tc.srv == traced, resp, tc.want)
+		}
+	}
+}
+
+// TestTraceJoinPropagation drives a traced submit through the protocol
+// and requires the pipeline span to join the caller's trace: same trace
+// ID, the request's span as parent, stage timings attached, and the
+// trace ID echoed on the response.
+func TestTraceJoinPropagation(t *testing.T) {
+	sink := &collectSink{}
+	srv := startTraceServer(t, sink, nil, nil)
+	rc := dialRaw(t, srv, FormatJSON)
+
+	traceID := strings.Repeat("ab", 16)
+	parent := "aaaabbbbccccdddd"
+	var resp Response
+	raw := rc.exchange(Request{Op: OpSubmit, Context: loc("w1", 1, 0),
+		TraceID: traceID, SpanID: parent})
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.TraceID != traceID {
+		t.Fatalf("submit response = %s, want echoed trace %s", raw, traceID)
+	}
+	sp := sink.find("submit")
+	if sp == nil {
+		t.Fatal("no submit span recorded")
+	}
+	if sp.TraceID != traceID || sp.ParentID != parent {
+		t.Fatalf("span trace/parent = %s/%s, want %s/%s", sp.TraceID, sp.ParentID, traceID, parent)
+	}
+	if len(sp.SpanID) != telemetry.SpanIDLen || !hexID.MatchString(sp.SpanID) {
+		t.Fatalf("span ID %q not %d hex chars", sp.SpanID, telemetry.SpanIDLen)
+	}
+	if len(sp.Stages) == 0 {
+		t.Fatal("traced span lost its stage timings")
+	}
+
+	// An untraced request on the same server stays untraced: no sampler,
+	// no incoming trace, no trace fields on the span or response.
+	raw = rc.exchange(Request{Op: OpSubmit, Context: loc("w2", 2, 0.5)})
+	var resp2 Response
+	if err := json.Unmarshal(raw, &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.TraceID != "" {
+		t.Fatalf("untraced submit echoed a trace: %s", raw)
+	}
+	sink.mu.Lock()
+	var untraced *telemetry.Span
+	for _, s := range sink.spans {
+		if s.Op == "submit" && s.ID == "w2" {
+			untraced = s
+		}
+	}
+	sink.mu.Unlock()
+	if untraced == nil || untraced.TraceID != "" || untraced.SpanID != "" {
+		t.Fatalf("untraced span = %+v, want no trace identity", untraced)
+	}
+}
+
+// TestTraceServerSampling pins head sampling on the serving daemon: at
+// rate 1 every request without an incoming trace roots a fresh one.
+func TestTraceServerSampling(t *testing.T) {
+	sink := &collectSink{}
+	srv := startTraceServer(t, sink, telemetry.NewSampler(1), nil)
+	rc := dialRaw(t, srv, FormatJSON)
+
+	var resp Response
+	if err := json.Unmarshal(rc.exchange(Request{Op: OpSubmit, Context: loc("w1", 1, 0)}), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.TraceID) != telemetry.TraceIDLen || !hexID.MatchString(resp.TraceID) {
+		t.Fatalf("sampled response trace %q, want %d hex chars", resp.TraceID, telemetry.TraceIDLen)
+	}
+	sp := sink.find("submit")
+	if sp == nil || sp.TraceID != resp.TraceID {
+		t.Fatalf("span = %+v, want rooted in trace %s", sp, resp.TraceID)
+	}
+	if sp.ParentID != "" {
+		t.Fatalf("server-rooted span has parent %q, want none", sp.ParentID)
+	}
+}
+
+// TestClientTraceGating pins the client side of the negotiation: trace
+// fields travel only on connections where the server acked the offer,
+// and a client that never offered strips them even from explicit
+// SubmitTrace calls.
+func TestClientTraceGating(t *testing.T) {
+	sink := &collectSink{}
+	srv := startTraceServer(t, sink, nil, nil)
+
+	tr := telemetry.TraceContext{TraceID: strings.Repeat("cd", 16), SpanID: "1111222233334444"}
+
+	plain, err := Dial(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := plain.SubmitTrace(loc("w1", 1, 0), 0, tr); err != nil {
+		t.Fatal(err)
+	}
+	if sp := sink.find("submit"); sp == nil || sp.TraceID != "" {
+		t.Fatalf("span over non-negotiated connection = %+v, want untraced", sp)
+	}
+
+	traced, err := DialOptions(srv.Addr().String(), ClientOptions{
+		Timeout: 5 * time.Second, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer traced.Close()
+	if _, err := traced.SubmitTrace(loc("w2", 2, 0.5), 0, tr); err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	var sp *telemetry.Span
+	for _, s := range sink.spans {
+		if s.Op == "submit" && s.ID == "w2" {
+			sp = s
+		}
+	}
+	sink.mu.Unlock()
+	if sp == nil || sp.TraceID != tr.TraceID || sp.ParentID != tr.SpanID {
+		t.Fatalf("span over negotiated connection = %+v, want joined to %+v", sp, tr)
+	}
+}
+
+// TestClientTraceSample pins client-side head sampling: -trace-sample on
+// the dialing side roots traces for plain Submit calls.
+func TestClientTraceSample(t *testing.T) {
+	sink := &collectSink{}
+	srv := startTraceServer(t, sink, nil, nil)
+	client, err := DialOptions(srv.Addr().String(), ClientOptions{
+		Timeout: 5 * time.Second, TraceSample: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Submit(loc("w1", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	sp := sink.find("submit")
+	if sp == nil || len(sp.TraceID) != telemetry.TraceIDLen {
+		t.Fatalf("span = %+v, want client-rooted trace", sp)
+	}
+}
+
+// TestProvenanceOp drives a resolution and reads it back through the
+// provenance op: constraint, strategy, violating and discarded context
+// IDs, and the trace of the submission that triggered it.
+func TestProvenanceOp(t *testing.T) {
+	sink := &collectSink{}
+	prov := telemetry.NewProvenanceRing(0)
+	srv := startTraceServer(t, sink, telemetry.NewSampler(1), prov)
+	client, err := Dial(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.Submit(loc("w1", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	vios, err := client.Submit(loc("w2", 2, 100)) // velocity violation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vios) == 0 {
+		t.Fatal("no violation provoked")
+	}
+
+	events, err := client.Provenance(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Constraint != "vel" {
+		t.Fatalf("constraint = %q", ev.Constraint)
+	}
+	if ev.Strategy == "" {
+		t.Fatalf("strategy missing: %+v", ev)
+	}
+	if len(ev.Violating) != 2 || len(ev.Discarded) == 0 {
+		t.Fatalf("binding/discard = %+v", ev)
+	}
+	if len(ev.TraceID) != telemetry.TraceIDLen {
+		t.Fatalf("event trace %q, want a sampled trace ID", ev.TraceID)
+	}
+	// The resolve span carries the same event.
+	sink.mu.Lock()
+	var resolved *telemetry.Span
+	for _, s := range sink.spans {
+		if s.Resolution != nil {
+			resolved = s
+		}
+	}
+	sink.mu.Unlock()
+	if resolved == nil || resolved.Resolution.Constraint != "vel" ||
+		resolved.Resolution.TraceID != ev.TraceID {
+		t.Fatalf("span resolution = %+v, want to match event %+v", resolved, ev)
+	}
+}
+
+// TestProvenanceNotEnabled pins the typed refusal on servers without a
+// ring.
+func TestProvenanceNotEnabled(t *testing.T) {
+	srv := startWireServer(t)
+	client, err := Dial(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Provenance(5); err == nil || !strings.Contains(err.Error(), "provenance") {
+		t.Fatalf("provenance on plain server: %v, want typed refusal", err)
+	}
+}
+
+// TestPushSpanCarriesTrace pins the last hop of the trace chain inside
+// one daemon: a traced submit that activates a subscribed situation
+// yields a push span in the submit's trace.
+func TestPushSpanCarriesTrace(t *testing.T) {
+	sink := &collectSink{}
+	srv := startTraceServer(t, sink, nil, nil)
+	rc := dialRaw(t, srv, FormatJSON)
+
+	var resp Response
+	if err := json.Unmarshal(rc.exchange(Request{Op: OpSubscribe, SubID: "s1", Situation: "present"}), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("subscribe refused: %+v", resp)
+	}
+	traceID := strings.Repeat("ef", 16)
+	submitResp, push := rc.exchangeWithPush(Request{Op: OpSubmit, Context: loc("w1", 1, 0),
+		TraceID: traceID, SpanID: "9999888877776666"})
+	if !bytes.Contains(submitResp, []byte(`"ok":true`)) || len(push) == 0 {
+		t.Fatalf("submit/push = %s / %s", submitResp, push)
+	}
+	sp := sink.waitFor(t, "push")
+	if sp.TraceID != traceID {
+		t.Fatalf("push span trace = %q, want %q", sp.TraceID, traceID)
+	}
+	submit := sink.find("submit")
+	if submit == nil || sp.ParentID != submit.SpanID {
+		t.Fatalf("push parent = %q, want submit span %+v", sp.ParentID, submit)
+	}
+	if sp.Outcome != "delivered" {
+		t.Fatalf("push outcome = %q", sp.Outcome)
+	}
+}
+
+// TestTraceFieldsInvisibleWithoutTracing is the compatibility pin for
+// old peers: on a server with no tracing configured, requests carrying
+// trace fields produce byte-identical responses to bare requests, in
+// both wire formats.
+func TestTraceFieldsInvisibleWithoutTracing(t *testing.T) {
+	for _, format := range []string{FormatJSON, FormatBinary} {
+		t.Run(format, func(t *testing.T) {
+			annotatedSrv := startWireServer(t)
+			bareSrv := startWireServer(t)
+			annotated := dialRaw(t, annotatedSrv, format)
+			bare := dialRaw(t, bareSrv, format)
+
+			traceID := strings.Repeat("09", 16)
+			steps := []struct {
+				label     string
+				withTrace Request
+				without   Request
+			}{
+				{"submit", Request{Op: OpSubmit, Context: loc("w1", 1, 0), TraceID: traceID, SpanID: "0123456789abcdef"},
+					Request{Op: OpSubmit, Context: loc("w1", 1, 0)}},
+				{"batch", Request{Op: OpBatchSubmit, Contexts: []*ctx.Context{loc("w2", 2, 0.5)}, TraceID: traceID},
+					Request{Op: OpBatchSubmit, Contexts: []*ctx.Context{loc("w2", 2, 0.5)}}},
+				{"use", Request{Op: OpUse, ID: "w1", TraceID: traceID, SpanID: "0123456789abcdef"},
+					Request{Op: OpUse, ID: "w1"}},
+				{"useLatest", Request{Op: OpUseLatest, Kind: ctx.KindLocation, Subject: "peter", TraceID: traceID},
+					Request{Op: OpUseLatest, Kind: ctx.KindLocation, Subject: "peter"}},
+			}
+			for _, step := range steps {
+				fromAnnotated := annotated.exchange(step.withTrace)
+				fromBare := bare.exchange(step.without)
+				if !bytes.Equal(fromAnnotated, fromBare) {
+					t.Errorf("%s: responses differ\n annotated: %s\n bare:      %s",
+						step.label, fromAnnotated, fromBare)
+				}
+				if bytes.Contains(fromAnnotated, []byte("traceId")) {
+					t.Errorf("%s: unconfigured server echoed a trace: %s", step.label, fromAnnotated)
+				}
+			}
+		})
+	}
+}

@@ -174,6 +174,13 @@ func TestWireFormatsDifferential(t *testing.T) {
 		{Op: OpUseLatest}, // missing kind → app error
 		{Op: OpSituations},
 		{Op: Op("bogus")}, // unknown op → app error
+		// Trace fields on a server with no tracing configured must be
+		// inert: same bytes across formats, and no trace echo — an old
+		// peer's responses are unchanged by a tracing-aware client.
+		{Op: OpSubmit, Context: loc("w5", 5, 101.5),
+			TraceID: strings.Repeat("77", 16), SpanID: "7777666655554444"},
+		{Op: OpUse, ID: "w5", TraceID: strings.Repeat("77", 16)},
+		{Op: OpProvenance, Limit: 3}, // not enabled → typed app error
 	}
 	for i, req := range reqs {
 		fromJSON := jsonConn.exchange(req)
@@ -181,6 +188,10 @@ func TestWireFormatsDifferential(t *testing.T) {
 		if !bytes.Equal(fromJSON, fromBin) {
 			t.Errorf("step %d (%s): payloads differ\n json:   %s\n binary: %s",
 				i, req.Op, fromJSON, fromBin)
+		}
+		if req.TraceID != "" && bytes.Contains(fromJSON, []byte("traceId")) {
+			t.Errorf("step %d (%s): untraced server echoed trace fields: %s",
+				i, req.Op, fromJSON)
 		}
 	}
 

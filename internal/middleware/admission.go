@@ -65,6 +65,13 @@ type SubmitOptions struct {
 	// deadline is checked against the wall clock once the submission
 	// reaches the front of the queue, never mid-check.
 	Deadline time.Time
+
+	// Trace is the distributed trace context the submission arrived
+	// under (the caller's span as parent). The zero value means
+	// untraced; when set and a span sink is installed, the submission's
+	// pipeline span joins the trace and every WAL record it appends is
+	// stamped with the trace.
+	Trace telemetry.TraceContext
 }
 
 // AdmissionOptions bounds the submit queue and configures degraded mode.
@@ -338,7 +345,7 @@ func (m *Middleware) CatchUp() (err error) {
 	defer m.commitDurable(&wait, &err)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	sp := m.tel.startSpan("catchup", "", opStart)
+	sp := m.tel.startSpan("catchup", "", opStart, telemetry.TraceContext{})
 	m.curSpan = sp
 	defer func() {
 		outcome := "caught-up"

@@ -19,6 +19,12 @@ type Delta struct {
 	Kinds []ctx.Kind
 	// Clock is the middleware's logical clock after the operation.
 	Clock time.Time
+	// TraceID/SpanID link the delta to the distributed trace of the
+	// operation that produced it (the operation's span as parent), so
+	// subscription pushes triggered by a sampled submission appear as
+	// child spans of it. Empty on untraced operations.
+	TraceID string
+	SpanID  string
 }
 
 // DeltaHook observes pool deltas. Like Hooks, it runs under the
@@ -69,5 +75,9 @@ func (m *Middleware) notifyDeltaLocked() {
 		delete(m.deltaKinds, k)
 	}
 	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
-	m.deltaHook(Delta{Kinds: kinds, Clock: m.clock})
+	d := Delta{Kinds: kinds, Clock: m.clock}
+	if sp := m.curSpan; sp != nil {
+		d.TraceID, d.SpanID = sp.TraceID, sp.SpanID
+	}
+	m.deltaHook(d)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"ctxres/internal/ctx"
 	"ctxres/internal/pool"
@@ -78,6 +79,10 @@ func (m *Middleware) jAppend(r wal.Record) {
 	if m.journal == nil || m.journalErr != nil {
 		return
 	}
+	if sp := m.curSpan; sp != nil && sp.TraceID != "" {
+		r.TraceID = sp.TraceID
+		r.SpanID = sp.SpanID
+	}
 	m.jbuf = append(m.jbuf, r)
 }
 
@@ -101,6 +106,13 @@ func (m *Middleware) journalHealthLocked() error {
 type commitWait struct {
 	j   *wal.Journal
 	seq uint64
+
+	// trace/sink capture the operation's trace context across the lock
+	// boundary: the fsync wait happens after opDone has already emitted
+	// the operation's span (defer LIFO), so the wait gets a span of its
+	// own, parented on the operation's.
+	trace telemetry.TraceContext
+	sink  telemetry.SpanSink
 }
 
 // journalCommitLocked appends the operation's queued records to the
@@ -131,6 +143,10 @@ func (m *Middleware) journalCommitLocked(errp *error, wait *commitWait) {
 		if wait != nil && m.journal.GroupCommit() {
 			wait.j = m.journal
 			wait.seq = seq
+			if sp := m.curSpan; sp != nil && sp.TraceID != "" && m.tel.sink != nil {
+				wait.trace = telemetry.TraceContext{TraceID: sp.TraceID, SpanID: sp.SpanID}
+				wait.sink = m.tel.sink
+			}
 		}
 	}
 }
@@ -146,7 +162,27 @@ func (m *Middleware) commitDurable(wait *commitWait, errp *error) {
 	if wait.j == nil {
 		return
 	}
-	if err := wait.j.WaitDurable(wait.seq); err != nil {
+	var start time.Time
+	if wait.sink != nil {
+		start = time.Now()
+	}
+	err := wait.j.WaitDurable(wait.seq)
+	if wait.sink != nil {
+		sp := &telemetry.Span{
+			Op:       "wal_wait",
+			TraceID:  wait.trace.TraceID,
+			ParentID: wait.trace.SpanID,
+			SpanID:   telemetry.NewSpanID(),
+			Start:    start,
+			Seconds:  time.Since(start).Seconds(),
+			Outcome:  "durable",
+		}
+		if err != nil {
+			sp.Outcome = "error"
+		}
+		wait.sink.RecordSpan(sp)
+	}
+	if err != nil {
 		m.mu.Lock()
 		if m.journal == wait.j && m.journalErr == nil {
 			m.journalErr = err

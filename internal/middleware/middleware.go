@@ -133,6 +133,9 @@ type Middleware struct {
 	telSink telemetry.SpanSink
 	tel     pipelineTelemetry
 	curSpan *telemetry.Span
+	// prov receives one ResolutionEvent per resolved violation (see
+	// WithProvenance); nil keeps provenance off.
+	prov *telemetry.ProvenanceRing
 
 	// Push delivery (see delta.go). deltaKinds accumulates the kinds an
 	// in-flight operation touches; notifyDeltaLocked flushes them to the
@@ -297,7 +300,7 @@ func (m *Middleware) submitOne(c *ctx.Context, so SubmitOptions, wait *commitWai
 	opStart := m.tel.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	sp := m.tel.startSpan("submit", string(c.ID), opStart)
+	sp := m.tel.startSpan("submit", string(c.ID), opStart, so.Trace)
 	m.curSpan = sp
 	outcome := "accepted"
 	// Registered before the journal-commit defer so that (LIFO) it runs
@@ -406,20 +409,70 @@ func (m *Middleware) processSubmitLocked(c *ctx.Context, sp *telemetry.Span, def
 			decision = "discard"
 		}
 		m.tel.decisions.With(decision).Inc()
+		if len(vios) > 0 {
+			m.emitResolutionLocked(sp, vios, out.Discard)
+		}
 	}
 	return vios, nil
+}
+
+// emitResolutionLocked records the provenance of one resolution: one
+// ResolutionEvent per violation the strategy just resolved, appended to
+// the provenance ring and — for the first violation — attached to the
+// operation's span, so the resolve span itself names the constraint, the
+// strategy, and the discarded contexts.
+func (m *Middleware) emitResolutionLocked(sp *telemetry.Span, vios []constraint.Violation, discarded []*ctx.Context) {
+	if m.prov == nil && sp == nil {
+		return
+	}
+	var ids []string
+	if len(discarded) > 0 {
+		ids = make([]string, len(discarded))
+		for i, d := range discarded {
+			ids[i] = string(d.ID)
+		}
+	}
+	for i, v := range vios {
+		ev := telemetry.ResolutionEvent{
+			Constraint: v.Constraint,
+			Strategy:   m.strat.Name(),
+			Discarded:  ids,
+			Clock:      m.clock,
+		}
+		if sp != nil {
+			ev.TraceID = sp.TraceID
+		}
+		bound := v.Link.Contexts()
+		if len(bound) > 0 {
+			ev.Violating = make([]string, len(bound))
+			for j, c := range bound {
+				ev.Violating[j] = string(c.ID)
+			}
+		}
+		m.prov.Append(ev)
+		if i == 0 && sp != nil {
+			first := ev
+			sp.Resolution = &first
+		}
+	}
 }
 
 // Use processes a context deletion change: the application asks to consume
 // the identified context. On success the context is returned and counted
 // as used; situations are re-evaluated over the delivered view.
-func (m *Middleware) Use(id ctx.ID) (c *ctx.Context, err error) {
+func (m *Middleware) Use(id ctx.ID) (*ctx.Context, error) {
+	return m.UseTrace(id, telemetry.TraceContext{})
+}
+
+// UseTrace is Use under a distributed trace context: the use's pipeline
+// span joins the caller's trace.
+func (m *Middleware) UseTrace(id ctx.ID, tr telemetry.TraceContext) (c *ctx.Context, err error) {
 	opStart := m.tel.now()
 	var wait commitWait
 	defer m.commitDurable(&wait, &err)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	sp := m.tel.startSpan("use", string(id), opStart)
+	sp := m.tel.startSpan("use", string(id), opStart, tr)
 	m.curSpan = sp
 	defer func() {
 		m.tel.opDone("use", opStart, sp, useOutcome(err))
@@ -439,13 +492,18 @@ func (m *Middleware) Use(id ctx.ID) (c *ctx.Context, err error) {
 // UseLatest finds the newest available context of the given kind and
 // subject (empty subject matches any) and uses it. It returns ErrNotFound
 // when nothing matches.
-func (m *Middleware) UseLatest(kind ctx.Kind, subject string) (c *ctx.Context, err error) {
+func (m *Middleware) UseLatest(kind ctx.Kind, subject string) (*ctx.Context, error) {
+	return m.UseLatestTrace(kind, subject, telemetry.TraceContext{})
+}
+
+// UseLatestTrace is UseLatest under a distributed trace context.
+func (m *Middleware) UseLatestTrace(kind ctx.Kind, subject string, tr telemetry.TraceContext) (c *ctx.Context, err error) {
 	opStart := m.tel.now()
 	var wait commitWait
 	defer m.commitDurable(&wait, &err)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	sp := m.tel.startSpan("use_latest", string(kind)+"/"+subject, opStart)
+	sp := m.tel.startSpan("use_latest", string(kind)+"/"+subject, opStart, tr)
 	m.curSpan = sp
 	defer func() {
 		m.tel.opDone("use_latest", opStart, sp, useOutcome(err))
@@ -592,7 +650,7 @@ func (m *Middleware) Compact() (removed int, err error) {
 	defer m.commitDurable(&wait, &err)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	sp := m.tel.startSpan("compact", "", opStart)
+	sp := m.tel.startSpan("compact", "", opStart, telemetry.TraceContext{})
 	m.curSpan = sp
 	defer func() {
 		outcome := "compacted"

@@ -25,6 +25,16 @@ func WithSpanSink(sink telemetry.SpanSink) Option {
 	return func(m *Middleware) { m.telSink = sink }
 }
 
+// WithProvenance installs a bounded resolution-provenance ring: every
+// constraint violation the strategy resolves appends a
+// telemetry.ResolutionEvent (constraint, strategy, violating binding,
+// discarded contexts, logical clock, trace ID) that stays queryable
+// after the fact via the daemon's provenance op and /statusz. A nil ring
+// leaves provenance off at zero cost.
+func WithProvenance(ring *telemetry.ProvenanceRing) Option {
+	return func(m *Middleware) { m.prov = ring }
+}
+
 // pipelineTelemetry bundles the middleware's instruments. The zero value
 // is "telemetry off": every instrument is nil and all methods no-op, so
 // instrumented code calls them unconditionally. Only the clock reads are
@@ -98,22 +108,39 @@ func (t *pipelineTelemetry) now() time.Time {
 }
 
 // stageDone observes one completed pipeline stage on the stage histogram
-// and, when a span is being recorded, on the span.
+// and, when a span is being recorded, on the span. Stages of a sampled
+// trace attach the trace ID as the histogram bucket's exemplar, so a p99
+// ctxres_stage_seconds bucket on /metrics links to a concrete trace.
 func (t *pipelineTelemetry) stageDone(sp *telemetry.Span, stage telemetry.Stage, start time.Time) {
 	if start.IsZero() {
 		return
 	}
 	d := time.Since(start)
-	t.stages.With(string(stage)).ObserveDuration(d)
+	if sp != nil && sp.TraceID != "" {
+		t.stages.With(string(stage)).ObserveDurationExemplar(d, sp.TraceID)
+	} else {
+		t.stages.With(string(stage)).ObserveDuration(d)
+	}
 	sp.AddStage(stage, d)
 }
 
 // startSpan opens a span for one operation when a sink is installed.
-func (t *pipelineTelemetry) startSpan(op, id string, start time.Time) *telemetry.Span {
+// When the operation arrived under a sampled trace, the span joins it:
+// same trace ID, the caller's span as parent, a fresh 64-bit span ID of
+// its own. Without a sink there is nowhere to record spans, so tracing
+// is off regardless of tr (the daemon's hello negotiation never offers
+// tracing in that case).
+func (t *pipelineTelemetry) startSpan(op, id string, start time.Time, tr telemetry.TraceContext) *telemetry.Span {
 	if t.sink == nil {
 		return nil
 	}
-	return &telemetry.Span{Op: op, ID: id, Start: start}
+	sp := &telemetry.Span{Op: op, ID: id, Start: start}
+	if tr.Sampled() {
+		sp.TraceID = tr.TraceID
+		sp.ParentID = tr.SpanID
+		sp.SpanID = telemetry.NewSpanID()
+	}
+	return sp
 }
 
 // opDone observes the operation's end-to-end latency and emits its span.

@@ -80,14 +80,16 @@ func writeHistogram(w *bufio.Writer, f *family, value string, h *Histogram) erro
 	var cum uint64
 	for i, bound := range h.bounds {
 		cum += h.counts[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			f.name, labelPart(f.label, value, formatFloat(bound)), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			f.name, labelPart(f.label, value, formatFloat(bound)), cum,
+			exemplarSuffix(h, i)); err != nil {
 			return err
 		}
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-		f.name, labelPart(f.label, value, "+Inf"), cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+		f.name, labelPart(f.label, value, "+Inf"), cum,
+		exemplarSuffix(h, len(h.bounds))); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
@@ -98,6 +100,21 @@ func writeHistogram(w *bufio.Writer, f *family, value string, h *Histogram) erro
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
 		f.name, labelPart(f.label, value, ""), h.count.Load())
 	return err
+}
+
+// exemplarSuffix renders a bucket's trace exemplar in OpenMetrics syntax
+// (` # {trace_id="..."} value`), or "" when the bucket never saw a
+// trace-linked observation — so with tracing unconfigured the exposition
+// is byte-identical to the pre-exemplar format.
+func exemplarSuffix(h *Histogram, bucket int) string {
+	if h.exemplars == nil {
+		return ""
+	}
+	ex := h.exemplars[bucket].Load()
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", escapeLabel(ex.TraceID), formatFloat(ex.Value))
 }
 
 // labelPart renders the {label="value"[,le="bound"]} block, or "" when
@@ -192,9 +209,18 @@ func ValidateExposition(data []byte) error {
 			}
 			continue
 		}
-		name, labels, value, err := parseSample(line)
+		sampleLine, exemplar := splitExemplar(line)
+		name, labels, value, err := parseSample(sampleLine)
 		if err != nil {
 			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if exemplar != "" {
+			if !strings.HasSuffix(name, "_bucket") {
+				return fmt.Errorf("line %d: exemplar on non-bucket series %s", lineNo, name)
+			}
+			if err := validateExemplar(exemplar); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
 		}
 		base, sub := histogramBase(name, types)
 		if types[name] == "" && base == "" {
@@ -246,6 +272,44 @@ func ValidateExposition(data []byte) error {
 		if st.infCum != st.countVal {
 			return fmt.Errorf("histogram %s: +Inf bucket %g != count %g", base, st.infCum, st.countVal)
 		}
+	}
+	return nil
+}
+
+// splitExemplar separates a sample line from its OpenMetrics exemplar
+// suffix (` # {labels} value [timestamp]`), returning the exemplar part
+// without the leading "# ". Lines without one return ("line", "").
+func splitExemplar(line string) (sample, exemplar string) {
+	idx := strings.LastIndex(line, " # {")
+	if idx < 0 {
+		return line, ""
+	}
+	return line[:idx], strings.TrimSpace(line[idx+3:])
+}
+
+// validateExemplar checks one exemplar body: a label set followed by a
+// parseable value and an optional timestamp.
+func validateExemplar(ex string) error {
+	if !strings.HasPrefix(ex, "{") {
+		return fmt.Errorf("exemplar %q missing label set", ex)
+	}
+	end := strings.IndexByte(ex, '}')
+	if end < 0 {
+		return fmt.Errorf("exemplar %q has unbalanced braces", ex)
+	}
+	labels := map[string]string{}
+	if err := parseLabels(ex[1:end], labels); err != nil {
+		return fmt.Errorf("exemplar labels: %w", err)
+	}
+	if len(labels) == 0 {
+		return fmt.Errorf("exemplar %q has no labels", ex)
+	}
+	fields := strings.Fields(ex[end+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("exemplar %q has %d value fields", ex, len(fields))
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("bad exemplar value %q", fields[0])
 	}
 	return nil
 }

@@ -24,11 +24,28 @@ type Histogram struct {
 	count   atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits of the observation sum
 	maxBits atomic.Uint64 // float64 bits of the largest observation
+
+	// exemplars holds, per bucket, the most recent trace-linked
+	// observation; nil pointers until the first one arrives. Only
+	// ObserveExemplar writes here, so the untraced observation path is
+	// untouched.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram bucket to a concrete trace: the last
+// sampled observation that landed in the bucket and the trace it
+// belonged to. Exposed on /metrics in OpenMetrics exemplar syntax so a
+// p99 bucket resolves to a trace ID an operator can pull up with
+// ctxspan.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	h := &Histogram{bounds: bounds}
 	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	h.exemplars = make([]atomic.Pointer[Exemplar], len(bounds)+1)
 	return h
 }
 
@@ -76,6 +93,29 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 		return
 	}
 	h.Observe(d.Seconds())
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// attaches it as the bucket's exemplar. An empty traceID is exactly
+// Observe — the untraced path allocates nothing.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+}
+
+// ObserveDurationExemplar records a duration with a trace exemplar.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID string) {
+	if h == nil {
+		return
+	}
+	h.ObserveExemplar(d.Seconds(), traceID)
 }
 
 // Count returns the number of observations.

@@ -196,6 +196,8 @@ func TestDisabledInstrumentsAllocateNothing(t *testing.T) {
 	cv := reg.CounterVec("cv_total", "", "k")
 	hv := reg.HistogramVec("hv_seconds", "", "k", nil)
 	var sp *Span
+	var sampler *Sampler
+	var ring *ProvenanceRing
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Inc()
 		c.Add(3)
@@ -206,6 +208,10 @@ func TestDisabledInstrumentsAllocateNothing(t *testing.T) {
 		cv.With("x").Inc()
 		hv.With("x").Observe(1)
 		sp.AddStage(StageCheck, time.Millisecond)
+		if sampler.Sample() {
+			panic("nil sampler fired")
+		}
+		ring.Append(ResolutionEvent{})
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled observation allocated %v per run, want 0", allocs)

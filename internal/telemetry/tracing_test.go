@@ -1,0 +1,283 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceAndSpanIDFormats(t *testing.T) {
+	hexOnly := regexp.MustCompile(`^[0-9a-f]+$`)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		tr, sp := NewTraceID(), NewSpanID()
+		if len(tr) != TraceIDLen || !hexOnly.MatchString(tr) {
+			t.Fatalf("trace ID %q: want %d lowercase hex chars", tr, TraceIDLen)
+		}
+		if len(sp) != SpanIDLen || !hexOnly.MatchString(sp) {
+			t.Fatalf("span ID %q: want %d lowercase hex chars", sp, SpanIDLen)
+		}
+		if seen[tr] || seen[sp] {
+			t.Fatalf("duplicate ID after %d draws", i)
+		}
+		seen[tr], seen[sp] = true, true
+	}
+}
+
+func TestSampler(t *testing.T) {
+	var nilSampler *Sampler
+	if nilSampler.Sample() {
+		t.Fatal("nil sampler fired")
+	}
+	if nilSampler.Rate() != 0 {
+		t.Fatal("nil sampler rate != 0")
+	}
+	if NewSampler(0) != nil || NewSampler(-1) != nil {
+		t.Fatal("non-positive rate must return the nil (disabled) sampler")
+	}
+	always := NewSampler(1)
+	for i := 0; i < 100; i++ {
+		if !always.Sample() {
+			t.Fatal("rate-1 sampler skipped")
+		}
+	}
+	if got := NewSampler(7).Rate(); got != 1 {
+		t.Fatalf("rate > 1 not clamped: %g", got)
+	}
+	// A mid-rate sampler should fire neither never nor always.
+	half := NewSampler(0.5)
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if half.Sample() {
+			fired++
+		}
+	}
+	if fired < 300 || fired > 700 {
+		t.Fatalf("rate-0.5 sampler fired %d/1000", fired)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if (TraceContext{}).Sampled() {
+		t.Fatal("zero context sampled")
+	}
+	tc := Child("t", "s")
+	if !tc.Sampled() || tc.TraceID != "t" || tc.SpanID != "s" {
+		t.Fatalf("child context = %+v", tc)
+	}
+	var nilSpan *Span
+	if nilSpan.Ctx() != (TraceContext{}) {
+		t.Fatal("nil span context not zero")
+	}
+	sp := &Span{TraceID: "t", SpanID: "s"}
+	if sp.Ctx() != (TraceContext{TraceID: "t", SpanID: "s"}) {
+		t.Fatalf("span context = %+v", sp.Ctx())
+	}
+}
+
+// TestAddStageNilSpanConcurrent pins the nil-safety contract under -race:
+// instrumentation calls AddStage unconditionally, and spans are nil
+// whenever no sink is installed.
+func TestAddStageNilSpanConcurrent(t *testing.T) {
+	var sp *Span
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				sp.AddStage(StageCheck, time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// gateWriter blocks every Write until released, wedging the SpanWriter's
+// background goroutine so the queue can be driven to overflow.
+type gateWriter struct {
+	gate chan struct{}
+	buf  bytes.Buffer
+}
+
+func (g *gateWriter) Write(p []byte) (int, error) {
+	<-g.gate
+	return g.buf.Write(p)
+}
+
+func TestSpanWriterDropsWhenQueueFull(t *testing.T) {
+	g := &gateWriter{gate: make(chan struct{})}
+	w := NewSpanWriter(g)
+	// The writer goroutine wedges on the first flush-sized write; every
+	// span is either queued, in flight, or dropped-and-counted.
+	const total = spanQueueLen + 200
+	for i := 0; i < total; i++ {
+		w.RecordSpan(&Span{Op: "submit"})
+	}
+	if w.Drops() == 0 {
+		t.Fatal("no drops despite a wedged writer")
+	}
+	close(g.gate)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	written := strings.Count(g.buf.String(), "\n")
+	if uint64(written)+w.Drops() != total {
+		t.Fatalf("written %d + dropped %d != recorded %d", written, w.Drops(), total)
+	}
+}
+
+// failWriter fails every write with the same error.
+type failWriter struct{ err error }
+
+func (f *failWriter) Write([]byte) (int, error) { return 0, f.err }
+
+func TestSpanWriterStickyError(t *testing.T) {
+	boom := errors.New("disk gone")
+	w := NewSpanWriter(&failWriter{err: boom})
+	w.RecordSpan(&Span{Op: "submit"})
+	if err := w.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("first flush error = %v, want %v", err, boom)
+	}
+	// The error is sticky: later spans drop instead of writing, and every
+	// later flush reports the original failure.
+	before := w.Drops()
+	for i := 0; i < 3; i++ {
+		w.RecordSpan(&Span{Op: "use"})
+	}
+	if err := w.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("second flush error = %v, want sticky %v", err, boom)
+	}
+	if got := w.Drops() - before; got != 3 {
+		t.Fatalf("drops after failure = %d, want 3", got)
+	}
+	if err := w.Close(); !errors.Is(err, boom) {
+		t.Fatalf("close error = %v, want sticky %v", err, boom)
+	}
+}
+
+func TestSpanWriterCloseIdempotentAndDropsAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSpanWriter(&buf)
+	w.RecordSpan(&Span{Op: "submit"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	before := w.Drops()
+	w.RecordSpan(&Span{Op: "late"})
+	if w.Drops() != before+1 {
+		t.Fatal("span recorded after close not counted as dropped")
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("lines written = %d, want 1", got)
+	}
+}
+
+func TestProvenanceRingWraparound(t *testing.T) {
+	r := NewProvenanceRing(4)
+	for i := 0; i < 10; i++ {
+		r.Append(ResolutionEvent{Constraint: "c", Strategy: "drop-latest"})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	evs := r.Events(0)
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(9 - i); ev.Seq != want {
+			t.Fatalf("events[%d].Seq = %d, want %d (newest first)", i, ev.Seq, want)
+		}
+	}
+	if got := r.Events(2); len(got) != 2 || got[0].Seq != 9 {
+		t.Fatalf("limited events = %+v", got)
+	}
+}
+
+func TestProvenanceRingNilSafe(t *testing.T) {
+	var r *ProvenanceRing
+	r.Append(ResolutionEvent{})
+	if r.Events(1) != nil || r.Total() != 0 {
+		t.Fatal("nil ring not inert")
+	}
+}
+
+func TestProvenanceRingDefaultCap(t *testing.T) {
+	r := NewProvenanceRing(0)
+	for i := 0; i < DefaultProvenanceCap+10; i++ {
+		r.Append(ResolutionEvent{})
+	}
+	if got := len(r.Events(0)); got != DefaultProvenanceCap {
+		t.Fatalf("retained = %d, want %d", got, DefaultProvenanceCap)
+	}
+}
+
+// TestExemplarExposition pins the OpenMetrics exemplar syntax: traced
+// observations annotate exactly the buckets they landed in, untraced
+// histograms render byte-identically to the pre-exemplar format, and the
+// exposition still passes the validator that scripts/promcheck runs.
+func TestExemplarExposition(t *testing.T) {
+	plain := NewRegistry()
+	plain.Histogram("ctxres_stage_seconds", "stages", []float64{0.01, 0.1}).Observe(0.005)
+
+	traced := NewRegistry()
+	h := traced.Histogram("ctxres_stage_seconds", "stages", []float64{0.01, 0.1})
+	h.Observe(0.005)
+
+	var before, after bytes.Buffer
+	if err := plain.WritePrometheus(&before); err != nil {
+		t.Fatal(err)
+	}
+	if err := traced.WritePrometheus(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatalf("untraced exposition differs:\n%s\nvs\n%s", &before, &after)
+	}
+
+	trace := NewTraceID()
+	h.ObserveExemplar(0.05, trace)
+	after.Reset()
+	if err := traced.WritePrometheus(&after); err != nil {
+		t.Fatal(err)
+	}
+	text := after.String()
+	if err := ValidateExposition(after.Bytes()); err != nil {
+		t.Fatalf("exposition with exemplars invalid: %v\n%s", err, text)
+	}
+	want := `# {trace_id="` + trace + `"}`
+	if !strings.Contains(text, want) {
+		t.Fatalf("exposition missing exemplar %s:\n%s", want, text)
+	}
+	// Only the 0.1 bucket (where the traced observation landed) may carry
+	// the exemplar.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "trace_id") && !strings.Contains(line, `le="0.1"`) {
+			t.Fatalf("exemplar on wrong bucket line: %s", line)
+		}
+	}
+}
+
+func TestExemplarOnDurationObservation(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.HistogramVec("ctxres_daemon_request_seconds", "requests", "op", DefaultTimeBuckets())
+	hv.With("submit").ObserveDurationExemplar(3*time.Millisecond, "cafe")
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `# {trace_id="cafe"}`) {
+		t.Fatalf("vec exposition missing exemplar:\n%s", buf.String())
+	}
+}

@@ -100,6 +100,15 @@ type Record struct {
 	Time *time.Time `json:"time,omitempty"`
 	// Stats is the marshaled middleware counter snapshot (RecordStats).
 	Stats json.RawMessage `json:"stats,omitempty"`
+
+	// TraceID/SpanID stamp the record with the distributed trace of the
+	// operation that appended it (the span is the operation's pipeline
+	// span on the node that wrote the record). They ride the replication
+	// feed unchanged, so a follower's apply spans join the leader's trace
+	// without a side channel. Empty on untraced operations — the encoded
+	// record bytes are then identical to the pre-tracing format.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // encode marshals the record to its frame payload.

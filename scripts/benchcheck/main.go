@@ -10,10 +10,11 @@
 //
 // By default only the loadgen section is required (the smoke run skips
 // the slow phases). -full additionally requires the figure, telemetry
-// overhead, daemon histogram, and push-latency sections, and enforces the
-// group-commit acceptance floor: the batched/group-commit configuration
-// must reach at least 2x the single-submit json baseline at equal
-// durability.
+// overhead, tracing overhead, daemon histogram, and push-latency
+// sections, and enforces two acceptance floors: the batched/group-commit
+// configuration must reach at least 2x the single-submit json baseline at
+// equal durability, and distributed tracing at its production 1% sampling
+// rate must stay under 5% submit-path overhead.
 package main
 
 import (
@@ -28,6 +29,13 @@ type report struct {
 	Build     json.RawMessage  `json:"build"`
 	Figures   []map[string]any `json:"figures"`
 	Telemetry []map[string]any `json:"telemetryOverhead"`
+	Tracing   []struct {
+		App              string  `json:"app"`
+		SampleRate       float64 `json:"sampleRate"`
+		BaselineNsPerCtx float64 `json:"baselineNsPerCtx"`
+		TracedNsPerCtx   float64 `json:"tracedNsPerCtx"`
+		OverheadPct      float64 `json:"overheadPct"`
+	} `json:"tracingOverhead"`
 	Daemon    *struct {
 		Histograms map[string]json.RawMessage `json:"histograms"`
 	} `json:"daemon"`
@@ -135,6 +143,24 @@ func check(path string, full bool) error {
 		}
 		if len(rep.Telemetry) == 0 {
 			return fmt.Errorf("missing telemetry overhead section")
+		}
+		if len(rep.Tracing) == 0 {
+			return fmt.Errorf("missing tracing overhead section")
+		}
+		// The tracing acceptance floor: at the production 1% sampling
+		// rate, distributed tracing must stay under 5% submit-path
+		// overhead.
+		for _, tr := range rep.Tracing {
+			if tr.BaselineNsPerCtx <= 0 || tr.TracedNsPerCtx <= 0 {
+				return fmt.Errorf("tracing %s: nonpositive per-context times", tr.App)
+			}
+			if tr.SampleRate <= 0 || tr.SampleRate > 1 {
+				return fmt.Errorf("tracing %s: sample rate %.4f outside (0,1]", tr.App, tr.SampleRate)
+			}
+			if tr.OverheadPct >= 5 {
+				return fmt.Errorf("tracing %s: %.1f%% submit-path overhead at %.0f%% sampling, want < 5%%",
+					tr.App, tr.OverheadPct, tr.SampleRate*100)
+			}
 		}
 		if rep.Daemon == nil || len(rep.Daemon.Histograms) == 0 {
 			return fmt.Errorf("missing daemon histograms")

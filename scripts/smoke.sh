@@ -132,4 +132,63 @@ faddr=$(wait_line "$workdir/follower.log" 's/^ctxmwd: promoted to leader, servin
 echo "smoke: follower promoted on $faddr"
 go run ./scripts/clustersmoke verify "$laddr" "$faddr"
 
+# Tracing leg: a traced conflicting submission through a mirroring router
+# backed by a journaled shard with a replicating follower must come back
+# out of ctxspan as one tree spanning all four processes — gateway fan-out,
+# shard pipeline with its resolution, and the replication hop.
+"$workdir/ctxmwd" -addr 127.0.0.1:0 -data-dir "$workdir/tshard1-wal" \
+    -span-log "$workdir/shard1.spans" >"$workdir/tshard1.log" 2>&1 &
+tpids=($!)
+"$workdir/ctxmwd" -addr 127.0.0.1:0 -span-log "$workdir/shard2.spans" \
+    >"$workdir/tshard2.log" 2>&1 &
+tpids+=($!)
+ts1=$(wait_line "$workdir/tshard1.log" "$serving_pat")
+ts2=$(wait_line "$workdir/tshard2.log" "$serving_pat")
+"$workdir/ctxmwd" -addr 127.0.0.1:0 -router -shards "$ts1,$ts2" \
+    -span-log "$workdir/router.spans" -trace-sample 1.0 >"$workdir/trouter.log" 2>&1 &
+tpids+=($!)
+traddr=$(wait_line "$workdir/trouter.log" 's/^ctxmwd: routing .* on \([0-9.:]*\) .*/\1/p')
+"$workdir/ctxmwd" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
+    -follow "$ts1" -data-dir "$workdir/tfollower-wal" \
+    -span-log "$workdir/follower.spans" >"$workdir/tfollower.log" 2>&1 &
+tpids+=($!)
+tfops=$(wait_line "$workdir/tfollower.log" 's/^ctxmwd: metrics on //p')
+echo "smoke: traced router on $traddr (shards $ts1 $ts2)"
+
+tid=$(go run ./scripts/tracesmoke "$traddr" "$ts1" "$ts2")
+echo "smoke: traced submission $tid"
+
+caught_up=""
+for _ in $(seq 1 100); do
+    status=$(curl -fsS "http://$tfops/statusz" || true)
+    if [[ "$status" == *'"lagRecords": 0'* && "$status" != *'"lastSeq": 0'* ]]; then
+        caught_up=yes
+        break
+    fi
+    sleep 0.1
+done
+[[ -n "$caught_up" ]] || { echo "smoke: traced follower never caught up"; cat "$workdir/tfollower.log"; exit 1; }
+
+# Span logs flush on graceful shutdown; stop the whole topology before
+# reading them.
+for p in "${tpids[@]}"; do kill -TERM "$p" 2>/dev/null || true; done
+for p in "${tpids[@]}"; do wait "$p" || true; done
+
+go run ./cmd/ctxspan -trace "$tid" \
+    "$workdir/router.spans" "$workdir/shard1.spans" "$workdir/shard2.spans" \
+    "$workdir/follower.spans" >"$workdir/trace.txt"
+for op in route_submit shard_submit mirror_submit submit repl_ship repl_apply; do
+    grep -q "$op" "$workdir/trace.txt" || {
+        echo "smoke: trace tree missing $op:"
+        cat "$workdir/trace.txt"
+        exit 1
+    }
+done
+grep -q "resolved cf-" "$workdir/trace.txt" || {
+    echo "smoke: trace tree missing the resolution provenance line:"
+    cat "$workdir/trace.txt"
+    exit 1
+}
+echo "smoke: trace tree spans router, shards, and follower"
+
 echo "smoke: ok"

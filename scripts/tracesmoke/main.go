@@ -1,0 +1,89 @@
+// Command tracesmoke is the smoke test's tracing leg: it submits a
+// conflicting pair of location contexts through the router under one
+// client-rooted trace, checks the violation actually fired, and then
+// reads the resolution back out of the shards' provenance rings tagged
+// with the same trace ID. The trace ID is the only thing printed on
+// stdout, so the smoke script can feed it straight to ctxspan.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ctxres/internal/ctx"
+	"ctxres/internal/daemon"
+	"ctxres/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		fmt.Fprintln(os.Stderr, "usage: tracesmoke <router-addr> <shard-addr> [shard-addr ...]")
+		os.Exit(2)
+	}
+	router, shards := os.Args[1], os.Args[2:]
+
+	client, err := daemon.DialOptions(router, daemon.ClientOptions{
+		Timeout: 5 * time.Second,
+		Trace:   true,
+	})
+	if err != nil {
+		fail("dial %s: %v", router, err)
+	}
+	defer client.Close()
+
+	// One client-rooted trace for both submissions. The second context
+	// teleports 8 m in half a second, violating the callforward profile's
+	// velocity and concurrent-agreement constraints on whichever shard
+	// owns the source (and on every mirror).
+	tr := telemetry.TraceContext{TraceID: telemetry.NewTraceID()}
+	now := time.Now().UTC()
+	pair := []*ctx.Context{
+		ctx.NewLocation("peter", now, ctx.Point{X: 1, Y: 1},
+			ctx.WithID("ts-1"), ctx.WithSeq(1), ctx.WithSource("ts-src-a")),
+		ctx.NewLocation("peter", now.Add(500*time.Millisecond), ctx.Point{X: 9, Y: 1},
+			ctx.WithID("ts-2"), ctx.WithSeq(2), ctx.WithSource("ts-src-a")),
+	}
+	var violations int
+	for _, c := range pair {
+		vios, err := client.SubmitTrace(c, 0, tr)
+		if err != nil {
+			fail("submit %s: %v", c.ID, err)
+		}
+		violations += len(vios)
+	}
+	if violations == 0 {
+		fail("conflicting pair provoked no violations")
+	}
+
+	// The resolution must be queryable after the fact, attributed to the
+	// submission's trace, from at least one shard's provenance ring.
+	found := false
+	for _, addr := range shards {
+		sc, err := daemon.Dial(addr, 5*time.Second)
+		if err != nil {
+			fail("dial shard %s: %v", addr, err)
+		}
+		events, err := sc.Provenance(50)
+		sc.Close()
+		if err != nil {
+			fail("provenance %s: %v", addr, err)
+		}
+		for _, ev := range events {
+			if ev.TraceID == tr.TraceID {
+				found = true
+				fmt.Fprintf(os.Stderr, "tracesmoke: %s resolved %s via %s (discarded %v)\n",
+					addr, ev.Constraint, ev.Strategy, ev.Discarded)
+			}
+		}
+	}
+	if !found {
+		fail("no provenance event carries trace %s", tr.TraceID)
+	}
+	fmt.Println(tr.TraceID)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
