@@ -24,10 +24,14 @@ race:
 # soak runs the chaos storms in internal/soak for SOAKTIME (default 3m)
 # under the race detector: overload bursts, a flapping corrupted source,
 # poisoned checks, and transport chaos against a live daemon (TestSoakStorm),
-# plus a push-delivery storm with flapping slow subscribers
-# (TestSoakSubscriberStorm), asserting typed shedding — including
-# subscriber-lagged — breaker trip + half-open recovery, bounded memory,
-# and no goroutine leaks. CI runs this nightly.
+# a push-delivery storm with flapping slow subscribers
+# (TestSoakSubscriberStorm), and the leader-kill gauntlet
+# (TestSoakFailoverGauntlet): storm a replicated leader, kill it
+# mid-storm, promote the follower with an epoch bump, and assert no
+# acked write is lost while a resurrected stale leader sheds every
+# write with the typed stale-leader code. All legs assert typed
+# shedding, breaker trip + half-open recovery, bounded memory, and no
+# goroutine leaks. CI runs this nightly.
 soak:
 	CTXRES_SOAK=$(SOAKTIME) $(GO) test -race -v -run 'TestSoak' -timeout 30m ./internal/soak
 
@@ -52,8 +56,9 @@ bench-smoke:
 	$(GO) run ./scripts/benchcheck BENCH_smoke.json
 	rm -f BENCH_smoke.json
 
-# smoke boots a real ctxmwd with -metrics-addr, scrapes /metrics and
-# /healthz, and fails on malformed Prometheus exposition.
+# smoke boots real ctxmwd processes: /metrics scrape, pushed
+# subscription, router round-trip, leader kill-and-promote, a
+# self-fenced stale leader, and a router failover across a replica set.
 smoke:
 	./scripts/smoke.sh
 

@@ -43,11 +43,22 @@
 // over — recover the replicated log and start serving on -addr — once
 // the leader has been unreachable that long. A leader needs no extra
 // flags: whenever -data-dir is set the daemon serves replication streams
-// to any follower that connects. -router runs a wire-compatible shard
-// router gateway instead of a daemon: -shards lists the shard daemons,
-// contexts partition across them by source over a consistent-hash ring,
-// and constraints that cannot be proven source-local take a counted
-// mirror path.
+// to any follower that connects. -lease-ttl arms the split-brain guard: a
+// leader that stops receiving follower acks for that long fences itself,
+// shedding state-changing operations with the typed "stale-leader" code
+// (reads keep working) until acks resume; pair it with a follower
+// -promote-after strictly longer than the TTL so the deposed side sheds
+// before the promoted side serves. Promotion bumps the journal's fencing
+// epoch, so a resurrected old leader's replication stream is refused by
+// followers that already saw the new epoch. -router runs a wire-compatible
+// shard router gateway instead of a daemon: -shards lists the shard
+// daemons, contexts partition across them by source over a consistent-hash
+// ring, and constraints that cannot be proven source-local take a counted
+// mirror path. A -shards element may be a replica set —
+// "primary|replica,..." — in which case the router health-probes the
+// members, follows the highest fencing epoch to the current leader, and
+// re-points the shard on failover (counted in
+// ctxres_router_failovers_total).
 //
 // -metrics-addr serves the operational HTTP endpoint: /metrics
 // (Prometheus text exposition), /healthz (503 once the WAL has
@@ -74,6 +85,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -216,6 +228,9 @@ func setup(args []string) (*daemonProc, error) {
 			"run as a replication follower of this leader address (needs -data-dir)")
 		promoteAfter = fs.Duration("promote-after", 0,
 			"follower promotes itself to leader after this long without a reachable leader (0 = never; needs -follow)")
+		leaseTTL = fs.Duration("lease-ttl", 0,
+			"leader self-fences (sheds writes as stale-leader) after this long without follower acks "+
+				"(0 disables; needs -data-dir; must be below the followers' -promote-after)")
 		version = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -233,7 +248,7 @@ func setup(args []string) (*daemonProc, error) {
 		groupCommit: *groupCommit, commitDelay: *commitDelay, commitBatch: *commitBatch,
 		dataDir: *dataDir, maxSubscribers: *maxSubscribers, subQueue: *subQueue,
 		router: *routerMode, shards: *shardList, follow: *follow, promoteAfter: *promoteAfter,
-		traceSample: *traceSample, spanLog: *spanLog,
+		leaseTTL: *leaseTTL, traceSample: *traceSample, spanLog: *spanLog,
 	}); err != nil {
 		return nil, err
 	}
@@ -449,6 +464,7 @@ func setup(args []string) (*daemonProc, error) {
 			d.autoPromote = f.AutoPromote()
 		}
 		var promotedShutdown func() error
+		var promotedEpoch atomic.Uint64
 		d.promote = func() error {
 			mw, rep, err := f.Promote(build)
 			if err != nil {
@@ -456,7 +472,11 @@ func setup(args []string) (*daemonProc, error) {
 			}
 			fmt.Printf("ctxmwd: recovered %s: snapshot seq %d, %d commands replayed, %d torn bytes truncated\n",
 				*dataDir, rep.SnapshotSeq, rep.Commands, rep.TornBytes)
-			shOpt := cluster.ShipperOptions{Dir: *dataDir, Telemetry: reg}
+			var lease *cluster.Lease
+			if *leaseTTL > 0 {
+				lease = cluster.NewLease(cluster.LeaseOptions{TTL: *leaseTTL, Telemetry: reg})
+			}
+			shOpt := cluster.ShipperOptions{Dir: *dataDir, Telemetry: reg, Lease: lease}
 			if spans != nil {
 				shOpt.SpanSink = spans
 			}
@@ -475,6 +495,14 @@ func setup(args []string) (*daemonProc, error) {
 			if err != nil {
 				return fmt.Errorf("promote: open wal %s: %w", *dataDir, err)
 			}
+			// Taking over is an epoch bump: records appended from here on
+			// carry the new epoch, and the deposed leader's stream — still
+			// stamped with the old one — is refused by anyone who saw ours.
+			epoch, err := j.AdvanceEpoch()
+			if err != nil {
+				_ = j.Close()
+				return fmt.Errorf("promote: advance epoch: %w", err)
+			}
 			sh.Attach(j)
 			if err := mw.AttachJournal(j); err != nil {
 				_ = j.Close()
@@ -482,12 +510,14 @@ func setup(args []string) (*daemonProc, error) {
 			}
 			srv, err := daemon.Serve(*addr, mw, engine, append(baseServe,
 				daemon.WithSnapshotInterval(*snapEvery),
-				daemon.WithReplicationSource(sh))...)
+				daemon.WithReplicationSource(sh),
+				daemon.WithFence(cluster.NewFence(j, lease)))...)
 			if err != nil {
 				_ = mw.CloseJournal()
 				return fmt.Errorf("promote: %w", err)
 			}
 			d.srv = srv
+			promotedEpoch.Store(epoch)
 			promotedShutdown = func() error {
 				if err := mw.Checkpoint(); err != nil {
 					_ = mw.CloseJournal()
@@ -495,8 +525,8 @@ func setup(args []string) (*daemonProc, error) {
 				}
 				return mw.CloseJournal()
 			}
-			fmt.Printf("ctxmwd: promoted to leader, serving %s application with %s on %s\n",
-				*app, strat.Name(), srv.Addr())
+			fmt.Printf("ctxmwd: promoted to leader at epoch %d, serving %s application with %s on %s\n",
+				epoch, *app, strat.Name(), srv.Addr())
 			return nil
 		}
 		start := time.Now()
@@ -516,6 +546,13 @@ func setup(args []string) (*daemonProc, error) {
 					"lagBytes":         lagBytes,
 					"leaderLastSeq":    leaderLast,
 					"leaderDurableSeq": leaderDurable,
+					"leaderEpoch":      f.LeaderEpoch(),
+					"redials":          f.Resyncs(),
+					"acksSent":         f.AcksSent(),
+				}
+				if epoch := promotedEpoch.Load(); epoch > 0 {
+					m["role"] = "promoted-leader"
+					m["epoch"] = epoch
 				}
 				if spans != nil {
 					m["traceSample"] = *traceSample
@@ -558,6 +595,8 @@ func setup(args []string) (*daemonProc, error) {
 
 	var mw *middleware.Middleware
 	var shipper *cluster.Shipper
+	var journal *wal.Journal
+	var lease *cluster.Lease
 	durShutdown := func() error { return nil }
 	snapInterval := time.Duration(0)
 	serveOpts := baseServe
@@ -578,8 +617,13 @@ func setup(args []string) (*daemonProc, error) {
 				*dataDir, rep.SnapshotSeq, rep.Commands, rep.TornBytes)
 		}
 		// Any daemon with a journal is a potential leader: the shipper taps
-		// the append path and serves replication streams to followers.
-		shOpt := cluster.ShipperOptions{Dir: *dataDir, Telemetry: reg}
+		// the append path and serves replication streams to followers. With
+		// -lease-ttl the follower acks flowing back through the shipper also
+		// renew the self-fencing lease.
+		if *leaseTTL > 0 {
+			lease = cluster.NewLease(cluster.LeaseOptions{TTL: *leaseTTL, Telemetry: reg})
+		}
+		shOpt := cluster.ShipperOptions{Dir: *dataDir, Telemetry: reg, Lease: lease}
 		if spans != nil {
 			shOpt.SpanSink = spans
 		}
@@ -606,8 +650,11 @@ func setup(args []string) (*daemonProc, error) {
 			_ = closeSpans()
 			return nil, err
 		}
+		journal = j
 		snapInterval = *snapEvery
-		serveOpts = append(serveOpts, daemon.WithReplicationSource(sh))
+		serveOpts = append(serveOpts,
+			daemon.WithReplicationSource(sh),
+			daemon.WithFence(cluster.NewFence(j, lease)))
 		durShutdown = func() error {
 			if err := mw.Checkpoint(); err != nil {
 				_ = mw.CloseJournal()
@@ -650,6 +697,17 @@ func setup(args []string) (*daemonProc, error) {
 			}
 			if shipper != nil {
 				m["replication"] = shipper.Stats()
+			}
+			if journal != nil {
+				m["epoch"] = journal.Epoch()
+			}
+			if lease != nil {
+				m["lease"] = map[string]any{
+					"valid":    lease.Valid(),
+					"ttl":      lease.TTL().String(),
+					"renewals": lease.Renewals(),
+					"fences":   lease.Fences(),
+				}
 			}
 			if spans != nil {
 				m["traceSample"] = *traceSample
@@ -706,6 +764,7 @@ type tunings struct {
 	shards                          string
 	follow                          string
 	promoteAfter                    time.Duration
+	leaseTTL                        time.Duration
 	traceSample                     float64
 	spanLog                         string
 }
@@ -767,10 +826,26 @@ func validateTunings(t tunings) error {
 		return fmt.Errorf("-promote-after must be >= 0 (0 disables), got %v", t.promoteAfter)
 	case t.promoteAfter > 0 && t.follow == "":
 		return fmt.Errorf("-promote-after needs -follow")
+	case t.leaseTTL < 0:
+		return fmt.Errorf("-lease-ttl must be >= 0 (0 disables), got %v", t.leaseTTL)
+	case t.leaseTTL > 0 && t.dataDir == "" && !t.router:
+		return fmt.Errorf("-lease-ttl needs -data-dir (only a journaled leader can fence itself)")
+	case t.router && t.leaseTTL > 0:
+		return fmt.Errorf("-lease-ttl belongs on the shard daemons; the router holds no lease")
+	case t.leaseTTL > 0 && t.promoteAfter > 0 && t.leaseTTL >= t.promoteAfter:
+		return fmt.Errorf("-lease-ttl (%v) must be below -promote-after (%v) so the old leader sheds before the promoted one serves",
+			t.leaseTTL, t.promoteAfter)
 	case t.traceSample < 0 || t.traceSample > 1:
 		return fmt.Errorf("-trace-sample must be in [0,1], got %g", t.traceSample)
 	case t.traceSample > 0 && t.spanLog == "":
 		return fmt.Errorf("-trace-sample needs -span-log (traced spans have nowhere to go without it)")
+	}
+	if t.router {
+		// Replica-set syntax ("primary|replica,...") is vetted here so a
+		// typo fails at startup, not at the first probe.
+		if _, err := cluster.ParseShardSpecs(splitShards(t.shards)); err != nil {
+			return fmt.Errorf("-shards: %w", err)
+		}
 	}
 	return nil
 }

@@ -154,6 +154,16 @@ func TestSetupFlagValidation(t *testing.T) {
 		{"follow without data-dir", []string{"-follow", "127.0.0.1:1"}, "-data-dir"},
 		{"negative promote-after", []string{"-follow", "127.0.0.1:1", "-data-dir", "/tmp/x", "-promote-after", "-1s"}, "-promote-after"},
 		{"promote-after without follow", []string{"-promote-after", "5s"}, "-follow"},
+		{"negative lease-ttl", []string{"-lease-ttl", "-1s"}, "-lease-ttl"},
+		{"lease-ttl without data-dir", []string{"-lease-ttl", "2s"}, "-data-dir"},
+		{"lease-ttl on router", []string{"-router", "-shards", "127.0.0.1:1", "-lease-ttl", "2s"}, "-lease-ttl"},
+		{"lease-ttl at promote-after", []string{"-follow", "127.0.0.1:1", "-data-dir", "/tmp/x",
+			"-promote-after", "5s", "-lease-ttl", "5s"}, "-lease-ttl"},
+		{"lease-ttl above promote-after", []string{"-follow", "127.0.0.1:1", "-data-dir", "/tmp/x",
+			"-promote-after", "5s", "-lease-ttl", "6s"}, "-lease-ttl"},
+		{"replica set with empty member", []string{"-router", "-shards", "127.0.0.1:1|"}, "-shards"},
+		{"replica set with duplicate member", []string{"-router", "-shards", "127.0.0.1:1|127.0.0.1:1"}, "-shards"},
+		{"duplicate member across sets", []string{"-router", "-shards", "127.0.0.1:1|127.0.0.1:2,127.0.0.1:2|127.0.0.1:3"}, "-shards"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

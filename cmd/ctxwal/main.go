@@ -92,7 +92,7 @@ func inspect(dir string, out io.Writer) error {
 	for _, seg := range rep.Segments {
 		line := fmt.Sprintf("  segment %s: %d bytes, %d records", seg.Name, seg.Bytes, seg.Records)
 		if seg.Records > 0 {
-			line += fmt.Sprintf(" (seq %d..%d)", seg.FirstSeq, seg.LastSeq)
+			line += fmt.Sprintf(" (seq %d..%d, epoch %d..%d)", seg.FirstSeq, seg.LastSeq, seg.FirstEpoch, seg.LastEpoch)
 		}
 		if seg.Torn {
 			line += fmt.Sprintf(", torn tail %d bytes", seg.TornLen)
@@ -107,7 +107,7 @@ func inspect(dir string, out io.Writer) error {
 		if sn.Corrupt != "" {
 			line += ", CORRUPT: " + sn.Corrupt
 		} else {
-			line += fmt.Sprintf(", seq %d, %d pool entries, clock %s", sn.Seq, sn.Entries, sn.Clock)
+			line += fmt.Sprintf(", seq %d, epoch %d, %d pool entries, clock %s", sn.Seq, sn.Epoch, sn.Entries, sn.Clock)
 			line += situationSummary(sn.Situations)
 		}
 		fmt.Fprintln(out, line)

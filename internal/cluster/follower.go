@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,9 @@ type FollowerOptions struct {
 	// leader (or the path to it) is gone and the session redials.
 	// Default 10s.
 	StallTimeout time.Duration
+	// AckEvery is the cadence of upstream position reports (OpReplAck)
+	// on a live session — the leader's lease renewals. Default 200ms.
+	AckEvery time.Duration
 	// PromoteAfter auto-signals promotion (see AutoPromote) once the
 	// follower has been without a healthy leader session this long.
 	// Zero disables the trigger; Promote can always be called manually.
@@ -68,6 +72,7 @@ type Follower struct {
 	leaderSeq     uint64
 	leaderDurable uint64
 	leaderPending int64
+	leaderEpoch   uint64
 	connected     bool
 	lastHealthy   time.Time
 
@@ -76,6 +81,8 @@ type Follower struct {
 	promotions    atomic.Int64
 	resyncs       atomic.Int64
 	snapsImported atomic.Int64
+	acksSent      atomic.Int64
+	heartbeats    atomic.Int64
 	closed        atomic.Bool
 }
 
@@ -100,6 +107,9 @@ func StartFollower(opt FollowerOptions) (*Follower, error) {
 	}
 	if opt.StallTimeout <= 0 {
 		opt.StallTimeout = 10 * time.Second
+	}
+	if opt.AckEvery <= 0 {
+		opt.AckEvery = 200 * time.Millisecond
 	}
 	if opt.Logf == nil {
 		opt.Logf = func(string, ...any) {}
@@ -167,6 +177,27 @@ func (f *Follower) LeaderPositions() (lastSeq, durableSeq uint64) {
 	return f.leaderSeq, f.leaderDurable
 }
 
+// LeaderEpoch is the fencing epoch announced by the leader's last
+// heartbeat (zero before the first, or against a pre-fencing leader).
+func (f *Follower) LeaderEpoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leaderEpoch
+}
+
+// Resyncs counts replication sessions restarted — the follower's redial
+// attempts, surfaced on /statusz alongside the telemetry counter.
+func (f *Follower) Resyncs() int64 { return f.resyncs.Load() }
+
+// AcksSent counts position reports sent upstream (lease renewals).
+func (f *Follower) AcksSent() int64 { return f.acksSent.Load() }
+
+// Heartbeats counts leader heartbeats received. The leader interleaves
+// heartbeats only once its disk catch-up has spliced onto the live
+// queue, so a nonzero count means the session is fully live: records
+// appended on the leader from here on ship through the live tap.
+func (f *Follower) Heartbeats() int64 { return f.heartbeats.Load() }
+
 // AutoPromote is closed when the follower has been without a healthy
 // leader session for PromoteAfter. The follower keeps redialing either
 // way; the caller decides whether to Promote.
@@ -227,10 +258,15 @@ func (f *Follower) run() {
 			backoff = f.opt.RedialMin // a session that ran a while earns a fresh ladder
 		}
 		f.checkPromoteDeadline()
+		// Jittered sleep (half fixed, half random): a leader bounce
+		// disconnects every follower at once, and without jitter they all
+		// redial in lockstep on the capped ladder — a reconnect storm the
+		// leader absorbs as a synchronized accept+catch-up burst forever.
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
 		select {
 		case <-f.stop:
 			return
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
 		backoff *= 2
 		if backoff > f.opt.RedialMax {
@@ -289,6 +325,25 @@ func (f *Follower) session() error {
 	f.setConnected(true)
 	defer f.setConnected(false)
 	f.opt.Logf("cluster: replicating from %s starting at seq %d", f.opt.Leader, fromSeq+1)
+
+	// The ack writer is the connection's sole writer from here on (the
+	// handshake exchanges above have completed): it reports the local
+	// durable position upstream every AckEvery, renewing the leader's
+	// lease. It is joined before session returns — the journal may be
+	// closed right after — with the conn closed first so a writer stuck
+	// in a send unblocks instead of riding out its write deadline.
+	ackStop := make(chan struct{})
+	var ackWG sync.WaitGroup
+	ackWG.Add(1)
+	go func() {
+		defer ackWG.Done()
+		f.ackLoop(conn, ackStop)
+	}()
+	defer func() {
+		close(ackStop)
+		_ = conn.Close()
+		ackWG.Wait()
+	}()
 
 	var buf []byte
 	for {
@@ -362,10 +417,41 @@ func (f *Follower) apply(frame daemon.ReplFrame) error {
 		f.leaderSeq = hb.LastSeq
 		f.leaderDurable = hb.DurableSeq
 		f.leaderPending = hb.PendingBytes
+		f.leaderEpoch = hb.Epoch
 		f.lastHealthy = time.Now()
 		f.mu.Unlock()
+		f.heartbeats.Add(1)
 	}
 	return nil
+}
+
+// ackLoop reports the local durable position upstream on a live session
+// until stop closes or a write fails (the session's read side then sees
+// the broken stream and redials). Each report renews the leader's lease.
+func (f *Follower) ackLoop(conn net.Conn, stop <-chan struct{}) {
+	t := time.NewTicker(f.opt.AckEvery)
+	defer t.Stop()
+	var wire []byte
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		payload, err := json.Marshal(daemon.Request{Op: daemon.OpReplAck, FromSeq: f.j.LastSeq()})
+		if err != nil {
+			return
+		}
+		wire, err = daemon.AppendBinFrame(wire[:0], payload)
+		if err != nil {
+			return
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(f.opt.StallTimeout))
+		if _, err := conn.Write(wire); err != nil {
+			return
+		}
+		f.acksSent.Add(1)
+	}
 }
 
 func (f *Follower) markHealthy() {

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"ctxres/internal/telemetry"
+	"ctxres/internal/wal"
+)
+
+// LeaseOptions configures a self-fencing leader lease.
+type LeaseOptions struct {
+	// TTL is how long the lease stays valid past the last renewal. It
+	// must be shorter than the followers' -promote-after so the deposed
+	// side fences before the promoting side serves.
+	TTL time.Duration
+	// Now overrides the clock (tests drive expiry deterministically).
+	Now func() time.Time
+	// Telemetry registers the lease gauge and fence counter when set.
+	Telemetry *telemetry.Registry
+}
+
+// Lease is the leader half of the fencing contract: the leader holds its
+// right to accept state-changing operations only while follower acks
+// keep arriving within the TTL. A partitioned leader therefore fences
+// itself — sheds writes with the stale-leader code — before any follower
+// configured with a longer promote-after starts serving the same data,
+// which is what makes promotion exclusive rather than merely observable.
+// Acks resuming after a partition heals re-arm the lease (re-fencing on
+// the next gap still applies); rejoining the cluster as a follower is a
+// separate, manual step.
+type Lease struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu      sync.Mutex
+	last    time.Time // last renewal (armed at construction: boot gets one TTL of grace)
+	fenced  bool      // last observed state, for transition counting
+	fences  int64     // transitions valid -> expired
+	renewed int64
+}
+
+// NewLease arms a lease; the boot instant counts as the first renewal,
+// so a leader has one TTL to find its followers before it fences.
+func NewLease(opt LeaseOptions) *Lease {
+	if opt.Now == nil {
+		opt.Now = time.Now
+	}
+	l := &Lease{ttl: opt.TTL, now: opt.Now}
+	l.last = l.now()
+	if reg := opt.Telemetry; reg != nil {
+		reg.GaugeFunc("ctxres_lease_valid", "1 while the leader lease is live (follower acks within the TTL); 0 once the leader has fenced itself.",
+			func() float64 {
+				if l.Valid() {
+					return 1
+				}
+				return 0
+			})
+		reg.CounterFunc("ctxres_lease_fences_total", "Times the leader lease expired and the leader fenced itself (shedding writes as stale-leader).",
+			func() float64 {
+				l.mu.Lock()
+				defer l.mu.Unlock()
+				return float64(l.fences)
+			})
+	}
+	return l
+}
+
+// Renew marks a follower ack: the lease is live for another TTL.
+func (l *Lease) Renew() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.last = l.now()
+	l.renewed++
+	l.fenced = false
+	l.mu.Unlock()
+}
+
+// Valid reports whether the lease is live. A nil lease is always valid
+// (fencing not configured). The expiry check is evaluated against the
+// clock on every call, so the transition to fenced needs no background
+// goroutine — the first write after the TTL gap observes it.
+func (l *Lease) Valid() bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	expired := l.now().Sub(l.last) >= l.ttl
+	if expired && !l.fenced {
+		l.fenced = true
+		l.fences++
+	}
+	return !expired
+}
+
+// Renewals returns how many acks have renewed the lease.
+func (l *Lease) Renewals() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.renewed
+}
+
+// Fences returns how many times the lease has expired.
+func (l *Lease) Fences() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fences
+}
+
+// TTL returns the configured lease TTL.
+func (l *Lease) TTL() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.ttl
+}
+
+// Fence adapts a journal's fencing epoch and an optional lease into the
+// daemon.FenceProvider contract: the daemon gates state-changing ops on
+// AllowWrites and stamps Epoch (and the known-leader hint, when one is
+// set) into hello acks and stale-leader responses. A nil lease means the
+// daemon never sheds — the fence then only announces the epoch.
+type Fence struct {
+	lease *Lease
+	j     *wal.Journal
+
+	mu   sync.Mutex
+	hint string
+}
+
+// NewFence builds a fence over the journal (required) and lease
+// (optional).
+func NewFence(j *wal.Journal, lease *Lease) *Fence {
+	return &Fence{lease: lease, j: j}
+}
+
+// AllowWrites reports whether state-changing operations may proceed.
+func (f *Fence) AllowWrites() bool { return f.lease.Valid() }
+
+// Epoch is the journal's current fencing epoch.
+func (f *Fence) Epoch() uint64 { return f.j.Epoch() }
+
+// LeaderHint is the last known current leader address ("" when unknown).
+func (f *Fence) LeaderHint() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hint
+}
+
+// SetLeaderHint records where clients shed with stale-leader should go.
+func (f *Fence) SetLeaderHint(addr string) {
+	f.mu.Lock()
+	f.hint = addr
+	f.mu.Unlock()
+}
+
+// Lease exposes the underlying lease (nil when fencing is epoch-only).
+func (f *Fence) Lease() *Lease { return f.lease }

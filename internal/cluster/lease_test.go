@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ctxres/internal/telemetry"
+	"ctxres/internal/wal"
+)
+
+// TestLeaseLifecycle drives the self-fencing lease with a fake clock:
+// boot grants one TTL of grace, renewals extend it, expiry fences (and is
+// counted once per gap, not once per check), and acks resuming after a
+// partition re-arm it for another fence.
+func TestLeaseLifecycle(t *testing.T) {
+	now := time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+	l := NewLease(LeaseOptions{TTL: time.Second, Now: func() time.Time { return now }})
+
+	if !l.Valid() {
+		t.Fatal("lease invalid at boot, want one TTL of grace")
+	}
+	now = now.Add(900 * time.Millisecond)
+	if !l.Valid() {
+		t.Fatal("lease expired inside the boot grace window")
+	}
+	l.Renew()
+	now = now.Add(900 * time.Millisecond)
+	if !l.Valid() {
+		t.Fatal("lease expired despite a renewal inside the TTL")
+	}
+	if got := l.Renewals(); got != 1 {
+		t.Fatalf("renewals = %d, want 1", got)
+	}
+
+	// Expiry: counted as one fence no matter how often it is observed.
+	now = now.Add(time.Second)
+	for i := 0; i < 3; i++ {
+		if l.Valid() {
+			t.Fatal("lease valid past the TTL")
+		}
+	}
+	if got := l.Fences(); got != 1 {
+		t.Fatalf("fences = %d after one expiry observed three times, want 1", got)
+	}
+
+	// Acks resuming re-arm the lease; the next gap fences again.
+	l.Renew()
+	if !l.Valid() {
+		t.Fatal("lease not re-armed by a renewal after fencing")
+	}
+	now = now.Add(2 * time.Second)
+	if l.Valid() {
+		t.Fatal("re-armed lease valid past the TTL")
+	}
+	if got := l.Fences(); got != 2 {
+		t.Fatalf("fences = %d after the second gap, want 2", got)
+	}
+
+	// A nil lease means fencing is off: always valid, zero counters.
+	var nilLease *Lease
+	if !nilLease.Valid() || nilLease.Renewals() != 0 || nilLease.Fences() != 0 || nilLease.TTL() != 0 {
+		t.Fatal("nil lease must be always-valid with zero counters")
+	}
+	nilLease.Renew() // must not panic
+}
+
+// TestLeaseTelemetry checks the registered gauge and counter track the
+// lease state.
+func TestLeaseTelemetry(t *testing.T) {
+	now := time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+	reg := telemetry.NewRegistry()
+	l := NewLease(LeaseOptions{TTL: time.Second, Now: func() time.Time { return now }, Telemetry: reg})
+
+	expo := func() string {
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if body := expo(); !strings.Contains(body, "ctxres_lease_valid 1") {
+		t.Fatalf("exposition missing live lease gauge:\n%s", body)
+	}
+	now = now.Add(2 * time.Second)
+	if body := expo(); !strings.Contains(body, "ctxres_lease_valid 0") || !strings.Contains(body, "ctxres_lease_fences_total 1") {
+		t.Fatalf("exposition missing fenced lease state:\n%s", body)
+	}
+	_ = l
+}
+
+// TestFenceAdapter checks the daemon-facing fence contract: writes gate on
+// the lease, the epoch tracks the journal, and the leader hint round-trips.
+func TestFenceAdapter(t *testing.T) {
+	now := time.Date(2008, 6, 17, 9, 0, 0, 0, time.UTC)
+	l := NewLease(LeaseOptions{TTL: time.Second, Now: func() time.Time { return now }})
+	j := openJournal(t, t.TempDir(), wal.Options{})
+	defer j.Close()
+
+	f := NewFence(j, l)
+	if !f.AllowWrites() {
+		t.Fatal("fence blocks writes while the lease is live")
+	}
+	if f.Epoch() != 0 {
+		t.Fatalf("fence epoch = %d on a fresh journal, want 0", f.Epoch())
+	}
+	if _, err := j.AdvanceEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Epoch() != 1 {
+		t.Fatalf("fence epoch = %d after AdvanceEpoch, want 1", f.Epoch())
+	}
+	now = now.Add(2 * time.Second)
+	if f.AllowWrites() {
+		t.Fatal("fence allows writes past the lease TTL")
+	}
+	if f.LeaderHint() != "" {
+		t.Fatalf("fresh fence leader hint = %q, want empty", f.LeaderHint())
+	}
+	f.SetLeaderHint("127.0.0.1:9")
+	if f.LeaderHint() != "127.0.0.1:9" {
+		t.Fatalf("leader hint = %q", f.LeaderHint())
+	}
+	if f.Lease() != l {
+		t.Fatal("fence does not expose its lease")
+	}
+
+	// Epoch-only fencing: a nil lease never sheds.
+	eo := NewFence(j, nil)
+	if !eo.AllowWrites() {
+		t.Fatal("epoch-only fence must never shed")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,13 +16,22 @@ import (
 	"ctxres/internal/middleware"
 	"ctxres/internal/pool"
 	"ctxres/internal/telemetry"
+	"ctxres/internal/wal"
 )
 
 // RouterOptions configures a shard router gateway.
 type RouterOptions struct {
 	// Shards are the shard daemons' protocol addresses; they define the
-	// hash ring.
+	// hash ring. Each element is either a single address or a replica
+	// set "primary|replica[|replica...]" (see ParseShardSpec): the ring
+	// is keyed by the set's primary — hashing is identical with or
+	// without replicas listed — and the router health-probes the members,
+	// re-pointing the shard's traffic at whichever reachable member
+	// reports the highest fencing epoch (a promoted follower).
 	Shards []string
+	// ProbeEvery is the member health-probe cadence for replica-set
+	// shards (default 500ms; irrelevant without replica sets).
+	ProbeEvery time.Duration
 	// Replicas is the virtual-node count per shard (0 = default).
 	Replicas int
 	// Checker supplies the constraint set for the spanning analysis: a
@@ -77,7 +87,14 @@ type Router struct {
 
 	routed    atomic.Int64
 	scattered atomic.Int64
-	shardCtrs map[string]*shardCounters // keyed by shard addr, fixed at start
+	shardCtrs map[string]*shardCounters // keyed by ring key (set primary), fixed at start
+
+	// sets maps each ring key to its replica set; failovers counts
+	// re-points across all sets. epochGauge exports each set's observed
+	// epoch, labeled by ring key.
+	sets       map[string]*shardSet
+	failovers  atomic.Int64
+	epochGauge *telemetry.GaugeVec
 
 	// latestShard remembers, per (kind, subject), the owner shard of the
 	// most recently routed submission, so use-latest can go straight to
@@ -105,6 +122,90 @@ type shardCounters struct {
 	mirrored atomic.Int64
 }
 
+// shardSet is one ring position's replica set: the configured primary
+// (the ring key), its members, and the member currently serving.
+type shardSet struct {
+	primary string
+	members []string
+
+	mu     sync.Mutex
+	active string
+	epoch  uint64 // highest fencing epoch observed from any member
+
+	failovers atomic.Int64
+	probes    map[string]*daemon.Client // probe goroutine only
+}
+
+// Active is the member currently serving this shard's traffic.
+func (s *shardSet) Active() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// Epoch is the highest fencing epoch observed from any member.
+func (s *shardSet) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// others lists the members except active, for the client's dial
+// rotation.
+func (s *shardSet) others(active string) []string {
+	var out []string
+	for _, m := range s.members {
+		if m != active {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ParseShardSpec parses one -shards element: a single daemon address,
+// or a replica set "primary|replica[|replica...]" whose members all
+// serve the same journal (one leader plus its followers). The primary
+// is the ring key. Members must be non-empty and unique within the set.
+func ParseShardSpec(spec string) ([]string, error) {
+	parts := strings.Split(spec, "|")
+	seen := make(map[string]bool, len(parts))
+	members := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("cluster: shard spec %q: empty member", spec)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: shard spec %q: duplicate member %q", spec, p)
+		}
+		seen[p] = true
+		members = append(members, p)
+	}
+	return members, nil
+}
+
+// ParseShardSpecs parses every -shards element and rejects an address
+// appearing in more than one set (a member cannot serve two ring
+// positions).
+func ParseShardSpecs(specs []string) ([][]string, error) {
+	seen := make(map[string]string)
+	sets := make([][]string, 0, len(specs))
+	for _, spec := range specs {
+		members, err := ParseShardSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range members {
+			if prev, dup := seen[m]; dup {
+				return nil, fmt.Errorf("cluster: shard member %q appears in both %q and %q", m, prev, spec)
+			}
+			seen[m] = spec
+		}
+		sets = append(sets, members)
+	}
+	return sets, nil
+}
+
 type latestKey struct {
 	kind    ctx.Kind
 	subject string
@@ -115,18 +216,30 @@ func ServeRouter(addr string, opt RouterOptions) (*Router, error) {
 	if len(opt.Shards) == 0 {
 		return nil, errors.New("cluster: router needs at least one shard address")
 	}
-	ring, err := NewRing(opt.Shards, opt.Replicas)
+	sets, err := ParseShardSpecs(opt.Shards)
+	if err != nil {
+		return nil, err
+	}
+	primaries := make([]string, len(sets))
+	for i, members := range sets {
+		primaries[i] = members[0]
+	}
+	ring, err := NewRing(primaries, opt.Replicas)
 	if err != nil {
 		return nil, err
 	}
 	if opt.Logf == nil {
 		opt.Logf = func(string, ...any) {}
 	}
+	if opt.ProbeEvery <= 0 {
+		opt.ProbeEvery = 500 * time.Millisecond
+	}
 	r := &Router{
 		opt:           opt,
 		ring:          ring,
 		spanningKinds: make(map[ctx.Kind]bool),
 		shardCtrs:     make(map[string]*shardCounters),
+		sets:          make(map[string]*shardSet),
 		latestShard:   make(map[latestKey]string),
 		conns:         make(map[net.Conn]struct{}),
 		sampler:       telemetry.NewSampler(opt.TraceSample),
@@ -134,6 +247,18 @@ func ServeRouter(addr string, opt RouterOptions) (*Router, error) {
 	}
 	for _, shard := range ring.Addrs() {
 		r.shardCtrs[shard] = &shardCounters{}
+	}
+	anyReplicas := false
+	for _, members := range sets {
+		r.sets[members[0]] = &shardSet{
+			primary: members[0],
+			members: members,
+			active:  members[0],
+			probes:  make(map[string]*daemon.Client),
+		}
+		if len(members) > 1 {
+			anyReplicas = true
+		}
 	}
 	if opt.Checker != nil {
 		for _, c := range opt.Checker.Constraints() {
@@ -156,6 +281,12 @@ func ServeRouter(addr string, opt RouterOptions) (*Router, error) {
 			func() float64 { return float64(len(ring.Addrs())) })
 		reg.GaugeFunc("ctxres_router_spanning_constraints", "Constraints forced onto the mirror path by the source-locality analysis.",
 			func() float64 { return float64(len(r.spanningNames)) })
+		reg.CounterFunc("ctxres_router_failovers_total", "Shard re-points at a different replica-set member (probe-observed promotions plus stale-leader rotations).",
+			func() float64 { return float64(r.failovers.Load()) })
+		r.epochGauge = reg.GaugeVec("ctxres_router_shard_epoch", "Highest fencing epoch the router has observed per shard (labeled by the set's primary address).", "shard")
+		for key := range r.sets {
+			r.epochGauge.With(key).Set(0)
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -164,7 +295,134 @@ func ServeRouter(addr string, opt RouterOptions) (*Router, error) {
 	r.ln = ln
 	r.wg.Add(1)
 	go r.acceptLoop()
+	if anyReplicas {
+		r.wg.Add(1)
+		go r.probeLoop()
+	}
 	return r, nil
+}
+
+// probeLoop health-probes every multi-member replica set, following
+// fencing epochs: each tick it asks every member for its journal stats
+// and re-points the set's traffic at the reachable member with the
+// highest epoch. A fenced old leader still answers stats — with a lower
+// epoch than the promoted follower's — so max-epoch-wins converges on
+// the promoted side even while both are reachable.
+func (r *Router) probeLoop() {
+	defer r.wg.Done()
+	defer func() {
+		for _, s := range r.sets {
+			for _, cl := range s.probes {
+				_ = cl.Close()
+			}
+		}
+	}()
+	t := time.NewTicker(r.opt.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+		}
+		for _, shard := range r.ring.Addrs() {
+			s := r.sets[shard]
+			if s == nil || len(s.members) < 2 {
+				continue
+			}
+			r.probeSet(s)
+		}
+	}
+}
+
+// probeSet probes one set's members and re-points its active member.
+// The current member is kept unless it is unreachable or another member
+// reports a strictly higher epoch, so healthy sets never flap.
+func (r *Router) probeSet(s *shardSet) {
+	cur := s.Active()
+	var best string
+	var bestEpoch, curEpoch uint64
+	curReachable := false
+	for _, m := range s.members {
+		st, err := s.probeStats(m, r.probeTimeout())
+		if err != nil {
+			continue
+		}
+		var epoch uint64
+		if st != nil {
+			epoch = st.Epoch
+		}
+		if m == cur {
+			curReachable = true
+			curEpoch = epoch
+		}
+		if best == "" || epoch > bestEpoch {
+			best, bestEpoch = m, epoch
+		}
+	}
+	if best == "" {
+		return // no member reachable; keep the current pointer
+	}
+	if curReachable && curEpoch >= bestEpoch {
+		best, bestEpoch = cur, curEpoch
+	}
+	s.mu.Lock()
+	changed := best != s.active
+	s.active = best
+	if bestEpoch > s.epoch {
+		s.epoch = bestEpoch
+	}
+	epoch := s.epoch
+	s.mu.Unlock()
+	r.epochGauge.With(s.primary).Set(float64(epoch))
+	if changed {
+		s.failovers.Add(1)
+		r.failovers.Add(1)
+		r.opt.Logf("cluster: router: shard %s now served by %s (epoch %d)", s.primary, best, epoch)
+	}
+}
+
+// probeTimeout bounds one probe round trip: the configured upstream
+// timeout, capped so a hung member cannot stall the probe cadence.
+func (r *Router) probeTimeout() time.Duration {
+	d := r.opt.Timeout
+	if d <= 0 || d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// probeStats fetches one member's journal stats over a cached probe
+// client (dropped on any failure so the next round redials).
+func (s *shardSet) probeStats(member string, timeout time.Duration) (*wal.Stats, error) {
+	cl := s.probes[member]
+	if cl == nil {
+		var err error
+		cl, err = daemon.DialOptions(member, daemon.ClientOptions{
+			Timeout: timeout, MaxAttempts: 1, Role: daemon.RoleRouter,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.probes[member] = cl
+	}
+	st, err := cl.JournalStats()
+	if err != nil {
+		_ = cl.Close()
+		delete(s.probes, member)
+		return nil, err
+	}
+	return st, nil
+}
+
+// noteStaleLeader records a stale-leader-triggered rotation on a
+// shard's upstream client: the deposed member answered, so the client
+// rotated to another member mid-operation, ahead of the probe loop.
+func (r *Router) noteStaleLeader(shard string) {
+	if s := r.sets[shard]; s != nil {
+		s.failovers.Add(1)
+	}
+	r.failovers.Add(1)
 }
 
 // Addr returns the router's listen address.
@@ -183,14 +441,24 @@ func (r *Router) Stats() daemon.RouterStats {
 		Routed:              r.routed.Load(),
 		Scattered:           r.scattered.Load(),
 		SpanningConstraints: r.Spanning(),
+		Failovers:           r.failovers.Load(),
 	}
 	for _, shard := range r.ring.Addrs() {
 		c := r.shardCtrs[shard]
-		rs.Shards = append(rs.Shards, daemon.RouterShardStats{
+		ss := daemon.RouterShardStats{
 			Addr:     shard,
 			Owned:    c.owned.Load(),
 			Mirrored: c.mirrored.Load(),
-		})
+		}
+		// Replica-set detail only for sets that actually have replicas,
+		// keeping single-member stats output identical to pre-failover.
+		if s := r.sets[shard]; s != nil && len(s.members) > 1 {
+			ss.Members = append([]string(nil), s.members...)
+			ss.Active = s.Active()
+			ss.Epoch = s.Epoch()
+			ss.Failovers = s.failovers.Load()
+		}
+		rs.Shards = append(rs.Shards, ss)
 	}
 	return rs
 }

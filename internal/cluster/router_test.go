@@ -369,7 +369,7 @@ func TestRouterBatchRemembersOnlyAcceptedItems(t *testing.T) {
 
 	// One source per shard, then kill srcDead's owner.
 	var srcLive, srcDead string
-	for i := 0; srcDead == ""; i++ {
+	for i := 0; srcLive == "" || srcDead == ""; i++ {
 		name := fmt.Sprintf("src-%d", i)
 		switch r.owner(name) {
 		case s1.Addr().String():

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ctxres/internal/daemon"
+	"ctxres/internal/middleware"
+	"ctxres/internal/strategy"
+	"ctxres/internal/telemetry"
+	"ctxres/internal/wal"
+)
+
+// startJournaledShard boots a daemon whose middleware journals into its
+// own directory, so probe clients can read its fencing epoch, and returns
+// the server plus the journal (for epoch bumps).
+func startJournaledShard(t *testing.T) (*daemon.Server, *wal.Journal) {
+	t.Helper()
+	mw := middleware.New(routerChecker(), strategy.NewDropBad())
+	j := openJournal(t, t.TempDir(), wal.Options{})
+	if err := mw.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := daemon.Serve("127.0.0.1:0", mw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Shutdown()
+		_ = mw.CloseJournal()
+	})
+	return srv, j
+}
+
+// TestRouterFailsOverToPromotedReplica drives the failover-aware routing
+// path: a replica-set shard ("primary|replica") starts out served by its
+// primary; when the replica's journal reports a higher fencing epoch and
+// the primary dies, the probe loop re-points the shard at the replica,
+// the failover counter increments, and traffic through the router keeps
+// succeeding with no client-visible error.
+func TestRouterFailsOverToPromotedReplica(t *testing.T) {
+	primary, _ := startJournaledShard(t)
+	replica, rj := startJournaledShard(t)
+	pAddr, rAddr := primary.Addr().String(), replica.Addr().String()
+
+	reg := telemetry.NewRegistry()
+	r, err := ServeRouter("127.0.0.1:0", RouterOptions{
+		Shards:     []string{pAddr + "|" + rAddr},
+		Checker:    routerChecker(),
+		Timeout:    2 * time.Second,
+		ProbeEvery: 25 * time.Millisecond,
+		Telemetry:  reg,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Shutdown()
+
+	cl, err := daemon.Dial(r.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Submit(srcLoc("f1", "src-a", 1, t0, 1)); err != nil {
+		t.Fatalf("pre-failover submit: %v", err)
+	}
+	st := r.Stats()
+	if len(st.Shards) != 1 || st.Shards[0].Active != pAddr {
+		t.Fatalf("shard stats = %+v, want the primary active", st.Shards)
+	}
+	if got := st.Shards[0].Members; len(got) != 2 {
+		t.Fatalf("shard members = %v, want both replica-set members", got)
+	}
+
+	// Failover: the replica is promoted (epoch bump) and the primary dies.
+	if _, err := rj.AdvanceEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	primary.Shutdown()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st = r.Stats()
+		if st.Shards[0].Active == rAddr {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never re-pointed the shard: %+v", st.Shards[0])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.Failovers == 0 || st.Shards[0].Failovers == 0 {
+		t.Fatalf("failovers not counted after re-point: %+v", st)
+	}
+	if st.Shards[0].Epoch != 1 {
+		t.Fatalf("shard epoch = %d after following the promotion, want 1", st.Shards[0].Epoch)
+	}
+
+	// Traffic keeps flowing through the router, now answered by the
+	// promoted replica.
+	if _, err := cl.Submit(srcLoc("f2", "src-a", 2, t0.Add(time.Second), 1.5)); err != nil {
+		t.Fatalf("post-failover submit: %v", err)
+	}
+
+	// The exposition carries the failover counter and the per-shard epoch.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if !strings.Contains(body, "ctxres_router_failovers_total 1") {
+		t.Fatalf("exposition missing failover counter:\n%s", body)
+	}
+	if !strings.Contains(body, "ctxres_router_shard_epoch") {
+		t.Fatalf("exposition missing shard epoch gauge:\n%s", body)
+	}
+}

@@ -31,9 +31,10 @@ type routerConn struct {
 	writeMu sync.Mutex // serializes frames: responses and forwarded pushes
 	binary  bool       // guarded by writeMu (changes only at hello, before pushes exist)
 
-	ups    map[string]*daemon.Client // keyed by shard addr; serving goroutine only
-	subs   map[string]*subState      // guarded by subsMu: push handlers read it
-	subsMu sync.Mutex
+	ups       map[string]*daemon.Client // keyed by ring key; serving goroutine only
+	upsActive map[string]string         // member each upstream client was dialed for
+	subs      map[string]*subState      // guarded by subsMu: push handlers read it
+	subsMu    sync.Mutex
 }
 
 // subState OR-aggregates one subscription across shards: the downstream
@@ -47,10 +48,11 @@ type subState struct {
 
 func (r *Router) serveConn(conn net.Conn) {
 	rc := &routerConn{
-		r:    r,
-		conn: conn,
-		ups:  make(map[string]*daemon.Client),
-		subs: make(map[string]*subState),
+		r:         r,
+		conn:      conn,
+		ups:       make(map[string]*daemon.Client),
+		upsActive: make(map[string]string),
+		subs:      make(map[string]*subState),
 	}
 	defer rc.closeUpstreams()
 	br := bufio.NewReader(conn)
@@ -131,13 +133,29 @@ func writeLineResponse(conn net.Conn, resp daemon.Response) {
 }
 
 // client returns (dialing lazily) this connection's upstream client for
-// a shard.
+// a ring key. With a replica set behind the key, the client dials the
+// set's probe-chosen active member and carries the remaining members as
+// dial fallbacks — a stale-leader rejection or a dead member rotates the
+// client onto the promoted follower without the router's help. When the
+// probe loop re-points the set, a cached client dialed for the old
+// member is replaced — unless this connection holds subscriptions, which
+// live on the client and survive failover through its own rotation.
 func (rc *routerConn) client(shard string) (*daemon.Client, error) {
-	if c, ok := rc.ups[shard]; ok {
-		return c, nil
+	active, fallbacks := shard, []string(nil)
+	if s := rc.r.sets[shard]; s != nil && len(s.members) > 1 {
+		active = s.Active()
+		fallbacks = s.others(active)
 	}
-	c, err := daemon.DialOptions(shard, daemon.ClientOptions{
+	if c, ok := rc.ups[shard]; ok {
+		if rc.upsActive[shard] == active || rc.hasSubs() {
+			return c, nil
+		}
+		_ = c.Close()
+		delete(rc.ups, shard)
+	}
+	c, err := daemon.DialOptions(active, daemon.ClientOptions{
 		Timeout:    rc.r.opt.Timeout,
+		Addrs:      fallbacks,
 		WireFormat: daemon.FormatBinary,
 		Role:       daemon.RoleRouter,
 		Trace:      rc.r.opt.SpanSink != nil,
@@ -146,7 +164,40 @@ func (rc *routerConn) client(shard string) (*daemon.Client, error) {
 		return nil, fmt.Errorf("shard %s: %w", shard, err)
 	}
 	rc.ups[shard] = c
+	rc.upsActive[shard] = active
 	return c, nil
+}
+
+func (rc *routerConn) hasSubs() bool {
+	rc.subsMu.Lock()
+	defer rc.subsMu.Unlock()
+	return len(rc.subs) > 0
+}
+
+// staleLeader reports a fenced leader's typed write rejection.
+func staleLeader(err error) bool {
+	var remote *daemon.RemoteError
+	return errors.As(err, &remote) && remote.Code == daemon.CodeStaleLeader
+}
+
+// withStaleRetry runs one write hop against a shard's client, retrying
+// exactly once when a fenced leader sheds it: on CodeStaleLeader the
+// client has already dropped the connection and rotated toward the
+// promoted member (preferring the rejection's leader hint), so the
+// second attempt lands there. The retry is safe for the same reason
+// transport retries are — the deposed leader rejected without applying
+// anything. Any other error, including a second stale-leader, surfaces.
+func (rc *routerConn) withStaleRetry(shard string, fn func(*daemon.Client) error) error {
+	cl, err := rc.client(shard)
+	if err != nil {
+		return err
+	}
+	err = fn(cl)
+	if staleLeader(err) {
+		rc.r.noteStaleLeader(shard)
+		err = fn(cl)
+	}
+	return err
 }
 
 func (rc *routerConn) closeUpstreams() {
@@ -255,17 +306,13 @@ func (rc *routerConn) handleSubmit(req *daemon.Request) daemon.Response {
 		if shard != owner {
 			hopOp = "mirror_submit"
 		}
-		cl, err := rc.client(shard)
-		if err != nil {
-			if shard == owner {
-				r.finishSpan(root, "error")
-				return shardError(shard, err)
-			}
-			r.opt.Logf("cluster: router: mirror dial %s: %v", shard, err)
-			continue
-		}
 		hop := r.startSpan(hopOp, shard, spanCtx(root, tr))
-		vios, err := cl.SubmitTrace(c, budgetOf(req), spanCtx(hop, tr))
+		var vios []daemon.WireViolation
+		err := rc.withStaleRetry(shard, func(cl *daemon.Client) error {
+			var herr error
+			vios, herr = cl.SubmitTrace(c, budgetOf(req), spanCtx(hop, tr))
+			return herr
+		})
 		r.finishSpan(hop, okOutcome(err))
 		if shard == owner {
 			r.shardCtrs[shard].owned.Add(1)
@@ -356,13 +403,14 @@ func (rc *routerConn) handleBatch(req *daemon.Request) daemon.Response {
 		if b == nil {
 			continue
 		}
-		cl, err := rc.client(shard)
 		var shardResults []daemon.BatchResult
-		if err == nil {
-			hop := r.startSpan("shard_batch", shard, spanCtx(root, tr))
-			shardResults, err = cl.SubmitBatchTrace(b.items, budgetOf(req), spanCtx(hop, tr))
-			r.finishSpan(hop, okOutcome(err))
-		}
+		hop := r.startSpan("shard_batch", shard, spanCtx(root, tr))
+		err := rc.withStaleRetry(shard, func(cl *daemon.Client) error {
+			var herr error
+			shardResults, herr = cl.SubmitBatchTrace(b.items, budgetOf(req), spanCtx(hop, tr))
+			return herr
+		})
+		r.finishSpan(hop, okOutcome(err))
 		if err != nil {
 			fail := shardError(shard, err)
 			for _, idx := range b.ownerIdx {
@@ -400,13 +448,13 @@ func (rc *routerConn) handleUse(req *daemon.Request) daemon.Response {
 	var lastErr daemon.Response
 	lastErr = daemon.ErrResponse(daemon.CodeApp, fmt.Errorf("use %s: no shards reachable", req.ID))
 	for probe, shard := range r.ring.Addrs() {
-		cl, err := rc.client(shard)
-		if err != nil {
-			lastErr = shardError(shard, err)
-			continue
-		}
 		hop := r.startSpan("shard_use", shard, spanCtx(root, tr))
-		cc, err := cl.UseTrace(req.ID, spanCtx(hop, tr))
+		var cc *ctx.Context
+		err := rc.withStaleRetry(shard, func(cl *daemon.Client) error {
+			var herr error
+			cc, herr = cl.UseTrace(req.ID, spanCtx(hop, tr))
+			return herr
+		})
 		r.finishSpan(hop, okOutcome(err))
 		if err != nil {
 			lastErr = shardError(shard, err)
@@ -439,10 +487,10 @@ func (rc *routerConn) consumeMirrors(id ctx.ID, except string, tr telemetry.Trac
 		if shard == except {
 			continue
 		}
-		cl, err := rc.client(shard)
-		if err == nil {
-			_, err = cl.UseTrace(id, tr)
-		}
+		err := rc.withStaleRetry(shard, func(cl *daemon.Client) error {
+			_, herr := cl.UseTrace(id, tr)
+			return herr
+		})
 		if err != nil && !isNotFound(err) {
 			rc.r.opt.Logf("cluster: router: mirror consume %s from %s: %v", id, shard, err)
 		}
@@ -471,21 +519,22 @@ func (rc *routerConn) handleUseLatest(req *daemon.Request) daemon.Response {
 	lastErr = daemon.ErrResponse(daemon.CodeApp,
 		fmt.Errorf("use-latest %s/%s: no shard holds a match", req.Kind, req.Subject))
 	if hadHint {
-		cl, err := rc.client(hinted)
+		var cc *ctx.Context
+		hop := r.startSpan("shard_use_latest", hinted, spanCtx(root, tr))
+		err := rc.withStaleRetry(hinted, func(cl *daemon.Client) error {
+			var herr error
+			cc, herr = cl.UseLatestTrace(req.Kind, req.Subject, spanCtx(hop, tr))
+			return herr
+		})
+		r.finishSpan(hop, okOutcome(err))
 		if err == nil {
-			var cc *ctx.Context
-			hop := r.startSpan("shard_use_latest", hinted, spanCtx(root, tr))
-			cc, err = cl.UseLatestTrace(req.Kind, req.Subject, spanCtx(hop, tr))
-			r.finishSpan(hop, okOutcome(err))
-			if err == nil {
-				r.routed.Add(1)
-				r.shardCtrs[hinted].owned.Add(1)
-				if cc != nil && r.spanningKinds[cc.Kind] {
-					rc.consumeMirrors(cc.ID, hinted, spanCtx(root, tr))
-				}
-				r.finishSpan(root, "ok")
-				return daemon.Response{OK: true, Context: cc, TraceID: tr.TraceID}
+			r.routed.Add(1)
+			r.shardCtrs[hinted].owned.Add(1)
+			if cc != nil && r.spanningKinds[cc.Kind] {
+				rc.consumeMirrors(cc.ID, hinted, spanCtx(root, tr))
 			}
+			r.finishSpan(root, "ok")
+			return daemon.Response{OK: true, Context: cc, TraceID: tr.TraceID}
 		}
 		r.forgetLatest(req.Kind, req.Subject, hinted)
 		lastErr = shardError(hinted, err)
@@ -495,13 +544,13 @@ func (rc *routerConn) handleUseLatest(req *daemon.Request) daemon.Response {
 		if hadHint && shard == hinted {
 			continue // already answered above
 		}
-		cl, err := rc.client(shard)
-		if err != nil {
-			lastErr = shardError(shard, err)
-			continue
-		}
 		hop := r.startSpan("shard_use_latest", shard, spanCtx(root, tr))
-		cc, err := cl.UseLatestTrace(req.Kind, req.Subject, spanCtx(hop, tr))
+		var cc *ctx.Context
+		err := rc.withStaleRetry(shard, func(cl *daemon.Client) error {
+			var herr error
+			cc, herr = cl.UseLatestTrace(req.Kind, req.Subject, spanCtx(hop, tr))
+			return herr
+		})
 		r.finishSpan(hop, okOutcome(err))
 		if err != nil {
 			lastErr = shardError(shard, err)

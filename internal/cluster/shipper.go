@@ -34,6 +34,10 @@ type ShipperOptions struct {
 	// the leader's pipeline), measuring tap-to-wire shipping latency.
 	// Catch-up replays from disk are not spanned. Nil disables.
 	SpanSink telemetry.SpanSink
+	// Lease, when set, is renewed by every follower position report
+	// (daemon.AckSink): the leader's right to accept writes is then tied
+	// to followers actually acking within the lease TTL.
+	Lease *Lease
 }
 
 // Shipper is the leader half of WAL shipping. It taps the journal's
@@ -58,6 +62,8 @@ type Shipper struct {
 
 	overflows atomic.Int64
 	served    atomic.Int64
+	acks      atomic.Int64
+	ackedSeq  atomic.Uint64 // highest follower-reported durable position
 }
 
 // feed is one follower's live queue.
@@ -116,6 +122,21 @@ func (sh *Shipper) Attach(j *wal.Journal) {
 	sh.mu.Unlock()
 }
 
+// FollowerAck implements daemon.AckSink: the daemon forwards every
+// OpReplAck read off a live replication stream here. Each ack renews the
+// leader lease (when one is configured) — this is the only renewal path,
+// so a leader cut off from every follower fences within one TTL.
+func (sh *Shipper) FollowerAck(fromSeq uint64) {
+	sh.acks.Add(1)
+	for {
+		old := sh.ackedSeq.Load()
+		if fromSeq <= old || sh.ackedSeq.CompareAndSwap(old, fromSeq) {
+			break
+		}
+	}
+	sh.opt.Lease.Renew()
+}
+
 // Tap is the wal.Options.Ship hook. It runs with the journal lock held,
 // so it must never block: each feed gets a non-blocking enqueue, and a
 // full queue fails that feed (the follower redials and resumes from its
@@ -168,6 +189,10 @@ type ShipperStats struct {
 	Overflows int64 `json:"overflows"`
 	// FeedsServed counts feeds accepted (one per follower (re)connect).
 	FeedsServed int64 `json:"feedsServed"`
+	// Acks counts follower position reports received (lease renewals).
+	Acks int64 `json:"acks,omitempty"`
+	// AckedSeq is the highest follower-reported durable position.
+	AckedSeq uint64 `json:"ackedSeq,omitempty"`
 }
 
 // Stats snapshots the shipper's counters.
@@ -180,6 +205,8 @@ func (sh *Shipper) Stats() ShipperStats {
 		PendingBytes: sh.pendingBytes(),
 		Overflows:    sh.overflows.Load(),
 		FeedsServed:  sh.served.Load(),
+		Acks:         sh.acks.Load(),
+		AckedSeq:     sh.ackedSeq.Load(),
 	}
 }
 
@@ -275,6 +302,7 @@ func (sh *Shipper) ServeFeed(fromSeq uint64, send func(daemon.ReplFrame) bool, s
 				LastSeq:      st.LastSeq,
 				DurableSeq:   st.DurableSeq,
 				PendingBytes: f.pending.Load(),
+				Epoch:        st.Epoch,
 			}}) {
 				return nil
 			}

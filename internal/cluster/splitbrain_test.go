@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ctxres/internal/middleware"
+	"ctxres/internal/wal"
+)
+
+// TestSplitBrainProperty drives the fencing contract end to end for 50
+// seeded workloads: a leader replicates a random prefix of the workload
+// to a follower while follower acks keep its lease alive, then the
+// network partitions. The lease expires, so every old-side write after
+// the partition must be shed (zero accepted); the promoted follower bumps
+// the fencing epoch, applies the rest of the workload, and must land on a
+// state byte-identical to an uninterrupted run of the full workload — the
+// surviving history is exactly the new-epoch timeline, with nothing from
+// the deposed leader leaking in. The deposed leader's stream (still
+// stamped with the old epoch) must be refused by the promoted journal.
+func TestSplitBrainProperty(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			ops := genWalOps(seed)
+			rng := rand.New(rand.NewSource(seed * 104729))
+			split := rng.Intn(len(ops) + 1)
+			prefix, suffix := ops[:split], ops[split:]
+			build := buildVelMiddleware(t)
+
+			// Reference: the new-epoch timeline is prefix + suffix applied
+			// without interruption (journaled so checkpoints behave the same).
+			refDir := t.TempDir()
+			ref := build()
+			if err := ref.AttachJournal(openJournal(t, refDir, wal.Options{SegmentBytes: 1 << 12})); err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range ops {
+				if err := applyWalOp(ref, o); err != nil {
+					t.Fatalf("reference run: %v", err)
+				}
+			}
+			want := fingerprint(t, ref)
+			if err := ref.CloseJournal(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Leader with a fake-clock lease; replication is synchronous while
+			// connected, and every applied frame acks back as a lease renewal.
+			now := t0
+			lease := NewLease(LeaseOptions{TTL: time.Second, Now: func() time.Time { return now }})
+			followerDir := t.TempDir()
+			fj := openJournal(t, followerDir, wal.Options{SegmentBytes: 1 << 12})
+			leaderDir := t.TempDir()
+			partitioned := false
+			lj := openJournal(t, leaderDir, wal.Options{
+				SegmentBytes: 1 << 12,
+				Ship: func(r wal.Record, framed int) {
+					if partitioned || r.Seq <= fj.LastSeq() {
+						return
+					}
+					if _, err := fj.AppendShipped(r); err != nil {
+						t.Errorf("append shipped seq %d: %v", r.Seq, err)
+						return
+					}
+					lease.Renew()
+				},
+				ShipSnapshot: func(snap wal.Snapshot) {
+					if partitioned {
+						return
+					}
+					if err := fj.ImportSnapshot(snap); err != nil {
+						t.Errorf("import snapshot seq %d: %v", snap.Seq, err)
+						return
+					}
+					lease.Renew()
+				},
+			})
+			fence := NewFence(lj, lease)
+			leader := build()
+			if err := leader.AttachJournal(lj); err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range prefix {
+				if !fence.AllowWrites() {
+					t.Fatal("leader fenced while replication was healthy")
+				}
+				if err := applyWalOp(leader, o); err != nil {
+					t.Fatalf("leader run: %v", err)
+				}
+			}
+			if t.Failed() {
+				return
+			}
+
+			// Partition: the stream drops frames, acks stop, the fake clock
+			// passes the TTL, and the leader must shed every post-partition
+			// write. This is the gate the daemon applies (fenceCheck before
+			// state-changing ops).
+			partitioned = true
+			now = now.Add(2 * time.Second)
+			oldAccepted := 0
+			for _, o := range suffix {
+				if fence.AllowWrites() {
+					oldAccepted++
+					_ = applyWalOp(leader, o)
+				}
+			}
+			if oldAccepted != 0 {
+				t.Fatalf("deposed leader accepted %d/%d post-partition writes, want 0", oldAccepted, len(suffix))
+			}
+			if lease.Fences() == 0 {
+				t.Fatal("lease expiry not counted as a fence transition")
+			}
+			oldEpoch := lj.Epoch()
+			if err := fj.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Promote the follower: recover its prefix, bump the epoch, and
+			// run the rest of the workload on the new timeline.
+			promoted, _, err := middleware.Recover(followerDir, build)
+			if err != nil {
+				t.Fatalf("promote (prefix %d/%d ops): %v", split, len(ops), err)
+			}
+			pj := openJournal(t, followerDir, wal.Options{SegmentBytes: 1 << 12})
+			newEpoch, err := pj.AdvanceEpoch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if newEpoch <= oldEpoch {
+				t.Fatalf("promoted epoch %d not above deposed epoch %d", newEpoch, oldEpoch)
+			}
+			if err := promoted.AttachJournal(pj); err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range suffix {
+				if err := applyWalOp(promoted, o); err != nil {
+					t.Fatalf("promoted run: %v", err)
+				}
+			}
+			if got := fingerprint(t, promoted); got != want {
+				t.Fatalf("split-brain result diverges from the new-epoch timeline (prefix %d/%d):\n got %s\nwant %s",
+					split, len(ops), got, want)
+			}
+
+			// The deposed leader's frames are refused at the promoted journal.
+			stale := wal.Record{Seq: pj.LastSeq() + 1, Type: wal.RecordAdvance, Time: &now, Epoch: oldEpoch}
+			if _, err := pj.AppendShipped(stale); !errors.Is(err, wal.ErrStaleEpoch) {
+				t.Fatalf("old-epoch frame at promoted journal = %v, want ErrStaleEpoch", err)
+			}
+
+			if err := leader.CloseJournal(); err != nil {
+				t.Fatal(err)
+			}
+			if err := promoted.CloseJournal(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

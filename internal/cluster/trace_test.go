@@ -247,6 +247,19 @@ func TestReplicationTraceChain(t *testing.T) {
 	}
 	defer cl.Close()
 
+	// repl_ship spans are only recorded for live-tapped records: a record
+	// that lands before the follower's feed registers (or during the
+	// leader's disk catch-up) is delivered from disk instead. The first
+	// heartbeat means the session is past catch-up, so the submit below is
+	// guaranteed to take the live path.
+	hbDeadline := time.Now().Add(5 * time.Second)
+	for f.Heartbeats() == 0 {
+		if time.Now().After(hbDeadline) {
+			t.Fatal("replication session never went live (no heartbeat)")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
 	caller := telemetry.TraceContext{
 		TraceID: strings.Repeat("c3", 16),
 		SpanID:  "aaaabbbbcccc0000",

@@ -147,9 +147,16 @@ var ErrClientClosed = errors.New("daemon: client closed")
 // answered, so resending the same request cannot change the outcome.
 type RemoteError struct {
 	// Code classifies the failure (CodeApp for middleware rejections,
-	// CodeBadRequest/CodeFrameTooLong/CodeBusy for protocol trouble).
+	// CodeBadRequest/CodeFrameTooLong/CodeBusy for protocol trouble,
+	// CodeStaleLeader for a fenced leader shedding writes).
 	Code    Code
 	Message string
+	// Epoch is the fencing epoch a CodeStaleLeader rejection was issued
+	// at (zero otherwise).
+	Epoch uint64
+	// Leader is the rejecting server's known-leader hint ("" when it has
+	// none); a client holding cluster addresses dials it next.
+	Leader string
 }
 
 // Error implements error.
@@ -442,6 +449,26 @@ func (c *Client) reestablish() {
 	}
 }
 
+// rotateAddr advances the dial rotation off the current address after a
+// stale-leader rejection: the next connect prefers the rejection's
+// leader hint when it names a configured address, otherwise simply the
+// next address in rotation.
+func (c *Client) rotateAddr(hint string) {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	if hint != "" {
+		for i, a := range c.addrs {
+			if a == hint {
+				c.addrIdx = i
+				return
+			}
+		}
+	}
+	if len(c.addrs) > 1 {
+		c.addrIdx = (c.addrIdx + 1) % len(c.addrs)
+	}
+}
+
 // dialNext dials the cluster addresses in rotation starting from the
 // last successful one, sticking with the first that accepts.
 func (c *Client) dialNext() (net.Conn, error) {
@@ -576,6 +603,16 @@ func (c *Client) roundTripLocked(req Request) (Response, error) {
 		}
 		var remote *RemoteError
 		if errors.As(err, &remote) {
+			if remote.Code == CodeStaleLeader {
+				// A fenced leader answered: this address cannot serve writes
+				// until it rejoins. Drop the connection and rotate so the next
+				// dial lands on the promoted member (the rejection's leader
+				// hint when it names a configured address). The error itself
+				// is still never retried — resending to the same deposed
+				// leader cannot change the outcome.
+				c.dropConn(conn)
+				c.rotateAddr(remote.Leader)
+			}
 			return Response{}, err
 		}
 		// Transport failure: the old stream may still hold (part of) a
@@ -656,7 +693,8 @@ func (c *Client) exchangeOn(conn net.Conn, reader *bufio.Reader, binary bool, re
 			continue
 		}
 		if !resp.OK {
-			return Response{}, &RemoteError{Code: resp.Code, Message: resp.Error}
+			return Response{}, &RemoteError{Code: resp.Code, Message: resp.Error,
+				Epoch: resp.Epoch, Leader: resp.Leader}
 		}
 		return resp, nil
 	}
@@ -699,7 +737,8 @@ func (c *Client) exchangePumped(p *pumpState, conn net.Conn, binary bool, req Re
 	select {
 	case resp := <-p.replies:
 		if !resp.OK {
-			return Response{}, &RemoteError{Code: resp.Code, Message: resp.Error}
+			return Response{}, &RemoteError{Code: resp.Code, Message: resp.Error,
+				Epoch: resp.Epoch, Leader: resp.Leader}
 		}
 		return resp, nil
 	case <-timeout:

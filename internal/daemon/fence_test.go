@@ -1,0 +1,196 @@
+package daemon
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ctxres/internal/ctx"
+	"ctxres/internal/middleware"
+	"ctxres/internal/situation"
+	"ctxres/internal/strategy"
+)
+
+// testFence is a controllable FenceProvider: tests flip allow to depose
+// the leader and count AllowWrites calls to prove shed operations are
+// never retried against the same server.
+type testFence struct {
+	allow  atomic.Bool
+	epoch  atomic.Uint64
+	leader atomic.Value // string
+	checks atomic.Int64
+}
+
+func (f *testFence) AllowWrites() bool { f.checks.Add(1); return f.allow.Load() }
+func (f *testFence) Epoch() uint64     { return f.epoch.Load() }
+func (f *testFence) LeaderHint() string {
+	s, _ := f.leader.Load().(string)
+	return s
+}
+
+func startFencedServer(t *testing.T, fence *testFence) *Server {
+	t.Helper()
+	engine := situation.NewEngine()
+	mw := middleware.New(velocityChecker(t), strategy.NewDropBad(),
+		middleware.WithSituations(engine))
+	srv, err := Serve("127.0.0.1:0", mw, engine, WithFence(fence))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	return srv
+}
+
+// TestFencedServerShedsWritesServesReads proves the daemon-side fencing
+// contract: with writes disallowed, every state-changing op comes back as
+// the typed stale-leader code carrying the fencing epoch and leader hint,
+// exactly once per call (no hidden retry against the deposed server),
+// while read-only ops keep answering.
+func TestFencedServerShedsWritesServesReads(t *testing.T) {
+	fence := &testFence{}
+	fence.allow.Store(true)
+	fence.epoch.Store(7)
+	fence.leader.Store("10.0.0.9:7654")
+	srv := startFencedServer(t, fence)
+	cl, err := Dial(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Live lease: writes flow.
+	if _, err := cl.Submit(loc("a", 1, 0)); err != nil {
+		t.Fatalf("submit with a live lease: %v", err)
+	}
+
+	// Deposed: every state-changing op is shed, typed and annotated.
+	fence.allow.Store(false)
+	shed := []struct {
+		op   string
+		call func() error
+	}{
+		{"submit", func() error { _, err := cl.Submit(loc("b", 2, 1)); return err }},
+		{"batch", func() error {
+			_, err := cl.SubmitBatch([]*ctx.Context{loc("c", 3, 2)}, 0)
+			return err
+		}},
+		{"use", func() error { _, err := cl.Use("a"); return err }},
+		{"use-latest", func() error { _, err := cl.UseLatest(ctx.KindLocation, "peter"); return err }},
+	}
+	for _, tc := range shed {
+		before := fence.checks.Load()
+		err := tc.call()
+		if ErrorCode(err) != CodeStaleLeader {
+			t.Fatalf("%s on a fenced leader = %v, want %s", tc.op, err, CodeStaleLeader)
+		}
+		var remote *RemoteError
+		if !errors.As(err, &remote) {
+			t.Fatalf("%s error %T is not a RemoteError", tc.op, err)
+		}
+		if remote.Epoch != 7 || remote.Leader != "10.0.0.9:7654" {
+			t.Fatalf("%s stale-leader error carries epoch %d leader %q, want 7 and the hint", tc.op, remote.Epoch, remote.Leader)
+		}
+		if got := fence.checks.Load() - before; got != 1 {
+			t.Fatalf("%s hit the fence %d times, want exactly 1 (stale-leader must not be retried here)", tc.op, got)
+		}
+	}
+
+	// Reads still answer: a partitioned-but-alive leader stays useful for
+	// queries even though it can no longer change state.
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping on a fenced leader: %v", err)
+	}
+	if _, _, err := cl.Stats(); err != nil {
+		t.Fatalf("stats on a fenced leader: %v", err)
+	}
+	if _, err := cl.ServerStats(); err != nil {
+		t.Fatalf("server stats on a fenced leader: %v", err)
+	}
+
+	// Re-fencing is reversible: acks resuming re-open the write path.
+	fence.allow.Store(true)
+	if _, err := cl.Submit(loc("d", 4, 1)); err != nil {
+		t.Fatalf("submit after the lease re-armed: %v", err)
+	}
+}
+
+// TestStaleLeaderRotatesClientToPromotedMember proves the client-side
+// failover contract: a stale-leader response surfaces to the caller
+// un-retried, and the very next call on the same client lands on the
+// promoted member named by the leader hint.
+func TestStaleLeaderRotatesClientToPromotedMember(t *testing.T) {
+	promoted, promotedClient := startServer(t)
+	defer promotedClient.Close()
+
+	fence := &testFence{}
+	fence.epoch.Store(2)
+	fence.leader.Store(promoted.Addr().String())
+	deposed := startFencedServer(t, fence) // allow=false from the start
+
+	cl, err := DialOptions(deposed.Addr().String(), ClientOptions{
+		Timeout: 5 * time.Second,
+		Addrs:   []string{promoted.Addr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// First call: the deposed leader sheds; the error reaches the caller.
+	_, err = cl.Submit(loc("r1", 1, 0))
+	if ErrorCode(err) != CodeStaleLeader {
+		t.Fatalf("submit at deposed leader = %v, want %s", err, CodeStaleLeader)
+	}
+	var remote *RemoteError
+	if !errors.As(err, &remote) || remote.Leader != promoted.Addr().String() {
+		t.Fatalf("stale-leader error %v does not name the promoted member", err)
+	}
+
+	// Second call: the client has rotated to the hinted address.
+	if _, err := cl.Submit(loc("r2", 2, 0)); err != nil {
+		t.Fatalf("submit after rotation: %v", err)
+	}
+	if st := promoted.Stats(); st.Requests == 0 {
+		t.Fatalf("promoted server saw no requests after rotation: %+v", st)
+	}
+	// The context really landed at the promoted member.
+	if _, err := promotedClient.Use("r2"); err != nil {
+		t.Fatalf("use at promoted member: %v", err)
+	}
+
+	// The deposed member was tried exactly once for the shed call: the
+	// rotation happened instead of a same-address retry.
+	if got := fence.checks.Load(); got != 1 {
+		t.Fatalf("deposed leader fence checked %d times, want 1", got)
+	}
+}
+
+// TestStaleLeaderWithoutHintAdvancesRotation covers the hint-less case: a
+// deposed leader that does not yet know its successor still pushes the
+// client off itself, onto the next address in rotation.
+func TestStaleLeaderWithoutHintAdvancesRotation(t *testing.T) {
+	promoted, _ := startServer(t)
+	fence := &testFence{} // allow=false, no leader hint
+	fence.epoch.Store(2)
+	deposed := startFencedServer(t, fence)
+
+	cl, err := DialOptions(deposed.Addr().String(), ClientOptions{
+		Timeout: 5 * time.Second,
+		Addrs:   []string{promoted.Addr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err = cl.Submit(loc("n1", 1, 0)); ErrorCode(err) != CodeStaleLeader {
+		t.Fatalf("submit at deposed leader = %v, want %s", err, CodeStaleLeader)
+	}
+	if _, err := cl.Submit(loc("n2", 2, 0)); err != nil {
+		t.Fatalf("submit after blind rotation: %v", err)
+	}
+	if got := fence.checks.Load(); got != 1 {
+		t.Fatalf("deposed leader fence checked %d times, want 1", got)
+	}
+}

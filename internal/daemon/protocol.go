@@ -67,8 +67,16 @@ const (
 	// with snapshot offers and heartbeats — until either side closes. The
 	// requester is a follower daemon (see internal/cluster); the op is
 	// refused unless the server was started with WithReplicationSource.
-	// No further requests are read on the connection after the ack.
+	// No requests other than OpReplAck are read on the connection after
+	// the ack.
 	OpReplicate Op = "replicate"
+	// OpReplAck is the follower's periodic position report on a live
+	// replication stream: a binary Request frame (never acked — the stream
+	// flows leader-to-follower) whose FromSeq is the follower's last
+	// locally appended sequence. It doubles as the leader's lease renewal:
+	// a leader running with -lease-ttl fences itself (sheds writes with
+	// CodeStaleLeader) once acks stop arriving within the TTL.
+	OpReplAck Op = "repl-ack"
 )
 
 // Connection roles carried by OpHello. A follower or router connection is
@@ -139,6 +147,15 @@ const (
 	// not hold: never submitted, already consumed, or swept. Routing
 	// layers rely on it to tell "this shard has no match" from a failure.
 	CodeNotFound Code = "not-found"
+	// CodeStaleLeader rejects a state-changing operation on a fenced
+	// leader: its lease expired (no follower acks within -lease-ttl), so
+	// a promoted follower may already be serving the same data under a
+	// higher epoch. The response carries the fenced node's Epoch and,
+	// when known, a Leader hint. Like the other typed sheds it is never
+	// retried against the same address — the client rotates to the next
+	// configured address instead, which is where the promoted member
+	// lives. Read-only operations keep being served.
+	CodeStaleLeader Code = "stale-leader"
 )
 
 // Request is one client request.
@@ -278,6 +295,15 @@ type Response struct {
 	// Provenance carries the resolution-provenance events (OpProvenance),
 	// newest first.
 	Provenance []telemetry.ResolutionEvent `json:"provenance,omitempty"`
+	// Epoch is the serving node's fencing epoch, stamped on hello acks and
+	// stale-leader rejections when the server runs with a fence (omitted
+	// — byte-identical wire traffic — otherwise). Routers use it to
+	// follow promotions: the member announcing the highest epoch is the
+	// current leader of a replica set.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Leader is the fenced node's best known current-leader address on a
+	// stale-leader rejection ("" when unknown).
+	Leader string `json:"leader,omitempty"`
 }
 
 // ReplFrame is one frame of a replication stream. Exactly one of Record,
@@ -302,6 +328,9 @@ type ReplHeartbeat struct {
 	// not yet written to the stream — the exact byte lag of the queued
 	// part (in-flight network bytes are not included).
 	PendingBytes int64 `json:"pendingBytes,omitempty"`
+	// Epoch is the leader's fencing epoch (0 — omitted — until a
+	// promotion anywhere in the chain bumps it).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // RouterStats is the shard router's counter snapshot, exposed through
@@ -317,6 +346,9 @@ type RouterStats struct {
 	// source-local (constraint.SourceLocal) and therefore force the
 	// mirror path for their kinds.
 	SpanningConstraints []string `json:"spanningConstraints,omitempty"`
+	// Failovers counts shard re-points at a different replica-set member
+	// (probe-observed promotions plus stale-leader-triggered rotations).
+	Failovers int64 `json:"failovers,omitempty"`
 	// Shards is the per-shard breakdown, ring order.
 	Shards []RouterShardStats `json:"shards,omitempty"`
 }
@@ -329,6 +361,16 @@ type RouterShardStats struct {
 	// Mirrored counts spanning-kind submissions this shard received as a
 	// non-owner mirror.
 	Mirrored int64 `json:"mirrored"`
+	// Members lists the shard's replica-set members (primary first, as
+	// configured); absent for single-member shards.
+	Members []string `json:"members,omitempty"`
+	// Active is the member currently serving the shard's traffic.
+	Active string `json:"active,omitempty"`
+	// Epoch is the highest fencing epoch the router has observed from the
+	// shard's members.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Failovers counts re-points of this shard at a different member.
+	Failovers int64 `json:"failovers,omitempty"`
 }
 
 // WireEvent is one pushed situation transition. At is the middleware's

@@ -8,7 +8,11 @@ package daemon
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
+	"net"
+	"sync"
+	"time"
 )
 
 // ReplicationSource streams journal records to one follower connection.
@@ -20,6 +24,15 @@ type ReplicationSource interface {
 	// follower redials and resumes from its local position). send must be
 	// called from a single goroutine.
 	ServeFeed(fromSeq uint64, send func(ReplFrame) bool, stop <-chan struct{}) error
+}
+
+// AckSink receives follower position reports read off a live
+// replication stream. A ReplicationSource that also implements AckSink
+// (cluster.Shipper does) gets every OpReplAck frame's FromSeq — the
+// follower's durable position — which is what renews the leader's
+// self-fencing lease.
+type AckSink interface {
+	FollowerAck(fromSeq uint64)
 }
 
 // WithReplicationSource enables the OpReplicate op, serving replication
@@ -42,12 +55,70 @@ func (s *Server) handleReplicate(req Request) Response {
 // serving goroutine. It returns when the follower disconnects, the
 // server shuts down, or the feed fails; the caller closes the
 // connection either way.
-func (s *Server) streamReplication(cw *connWriter, req Request) {
+//
+// The read side is handed to an ack-reader goroutine: followers send
+// OpReplAck position reports upstream on the same connection, and those
+// are what renew the leader's self-fencing lease. The reader owns br
+// from here on (the serving loop never reads again) and its death —
+// follower disconnect, malformed frame — stops the feed, so a follower
+// that stops acking also stops consuming shipper queue space.
+func (s *Server) streamReplication(conn net.Conn, br *bufio.Reader, binary bool, cw *connWriter, req Request) {
+	// The stream idles legitimately between acks; the per-request idle
+	// deadline set by the serving loop must not reap it.
+	_ = conn.SetReadDeadline(time.Time{})
+
+	// stop merges "server shutting down" with "ack reader died" for
+	// ServeFeed, which takes a single stop channel.
+	stop := make(chan struct{})
+	var once sync.Once
+	closeStop := func() { once.Do(func() { close(stop) }) }
+	go func() {
+		select {
+		case <-s.stop:
+			closeStop()
+		case <-stop:
+		}
+	}()
+
+	sink, _ := s.opt.replSource.(AckSink)
+	go func() {
+		defer closeStop()
+		// The reader outlives streamReplication by up to one read (it
+		// unblocks when the caller closes the connection), so it uses its
+		// own buffer rather than the pooled one the serving loop returns.
+		var buf []byte
+		for {
+			var payload []byte
+			var err error
+			if binary {
+				payload, err = readBinFrame(br, &buf)
+			} else {
+				payload, err = readLine(br, MaxLineBytes, &buf)
+			}
+			if err != nil {
+				return
+			}
+			if len(payload) == 0 {
+				continue
+			}
+			var ack Request
+			if json.Unmarshal(payload, &ack) != nil || ack.Op != OpReplAck {
+				// Anything else on a replication stream is a protocol
+				// violation; drop the stream so the follower redials clean.
+				return
+			}
+			if sink != nil {
+				sink.FollowerAck(ack.FromSeq)
+			}
+		}
+	}()
+
 	send := func(f ReplFrame) bool {
 		frame := f
 		return cw.write(Response{OK: true, Push: true, Repl: &frame}, s.opt.idleTimeout)
 	}
-	_ = s.opt.replSource.ServeFeed(req.FromSeq, send, s.stop)
+	_ = s.opt.replSource.ServeFeed(req.FromSeq, send, stop)
+	closeStop()
 }
 
 // validRole reports whether a hello role is known.

@@ -83,6 +83,7 @@ type options struct {
 	spanSink         telemetry.SpanSink
 	sampler          *telemetry.Sampler
 	prov             *telemetry.ProvenanceRing
+	fence            FenceProvider
 }
 
 func defaultOptions() options {
@@ -139,6 +140,42 @@ func WithSnapshotInterval(d time.Duration) Option {
 // periodic compaction.
 func WithCompactInterval(d time.Duration) Option {
 	return func(o *options) { o.compactInterval = d }
+}
+
+// FenceProvider is the split-brain fence consulted on every
+// state-changing operation. Implemented by cluster.Fence: AllowWrites
+// tracks the leader lease, Epoch is the journal's fencing epoch, and
+// LeaderHint is the last known current leader ("" when unknown). A
+// deposed or partitioned leader sheds writes with CodeStaleLeader while
+// continuing to serve reads.
+type FenceProvider interface {
+	AllowWrites() bool
+	Epoch() uint64
+	LeaderHint() string
+}
+
+// WithFence installs the split-brain fence. The hello ack then carries
+// the fencing epoch, and state-changing ops (submit, batch-submit, use,
+// use-latest — anything that appends journal records) are refused with
+// CodeStaleLeader once the fence withdraws write permission.
+func WithFence(f FenceProvider) Option {
+	return func(o *options) { o.fence = f }
+}
+
+// fenceCheck refuses one state-changing op when the fence has withdrawn
+// write permission. The response carries the epoch the server fenced at
+// and the known-leader hint so clients can rotate to the promoted
+// member instead of retrying here.
+func (s *Server) fenceCheck(op Op) (Response, bool) {
+	f := s.opt.fence
+	if f == nil || f.AllowWrites() {
+		return Response{}, false
+	}
+	resp := errResponseCode(CodeStaleLeader,
+		fmt.Errorf("%s: leader fenced at epoch %d (lease expired or deposed)", op, f.Epoch()))
+	resp.Epoch = f.Epoch()
+	resp.Leader = f.LeaderHint()
+	return resp, true
 }
 
 // serverCounters are the transport-level counters; ServerStats is their
@@ -653,9 +690,11 @@ func (s *Server) serveConn(cs *connState) {
 		}
 		// A replicate ack hands the connection over to the stream: the
 		// serving goroutine writes records until the follower disconnects
-		// or the server stops, and never reads another request.
+		// or the server stops. The read side is handed to an ack-reader
+		// goroutine that consumes the follower's repl-ack position
+		// reports (the leader lease renewals).
 		if req.Op == OpReplicate && resp.OK {
-			s.streamReplication(cw, req)
+			s.streamReplication(conn, br, binary, cw, req)
 			return
 		}
 	}
@@ -678,17 +717,28 @@ func (s *Server) handle(req Request) Response {
 		// spans; a client must not stamp trace fields without it, so peers
 		// on either side of the upgrade exchange identical bytes.
 		traceOK := req.Trace && s.opt.spanSink != nil
+		// With a fence installed the ack announces the fencing epoch, so
+		// routers and clients learn promotions at connect time without an
+		// extra stats round-trip. Epoch 0 (pre-fencing) is omitted on the
+		// wire, keeping the ack bytes identical to older peers'.
+		var epoch uint64
+		if s.opt.fence != nil {
+			epoch = s.opt.fence.Epoch()
+		}
 		switch req.Format {
 		case "", FormatJSON:
-			return Response{OK: true, Format: FormatJSON, Trace: traceOK}
+			return Response{OK: true, Format: FormatJSON, Trace: traceOK, Epoch: epoch}
 		case FormatBinary:
-			return Response{OK: true, Format: FormatBinary, Trace: traceOK}
+			return Response{OK: true, Format: FormatBinary, Trace: traceOK, Epoch: epoch}
 		default:
 			return errResponse(fmt.Errorf("hello: unknown format %q", req.Format))
 		}
 	case OpReplicate:
 		return s.handleReplicate(req)
 	case OpSubmit:
+		if resp, shed := s.fenceCheck(req.Op); shed {
+			return resp
+		}
 		if req.Context == nil {
 			return errResponse(errors.New("submit: missing context"))
 		}
@@ -703,6 +753,9 @@ func (s *Server) handle(req Request) Response {
 		}
 		return Response{OK: true, Violations: toWire(vios), TraceID: tr.TraceID}
 	case OpBatchSubmit:
+		if resp, shed := s.fenceCheck(req.Op); shed {
+			return resp
+		}
 		if len(req.Contexts) == 0 {
 			return errResponse(errors.New("batch-submit: missing contexts"))
 		}
@@ -729,6 +782,11 @@ func (s *Server) handle(req Request) Response {
 		}
 		return Response{OK: true, Results: out, TraceID: tr.TraceID}
 	case OpUse:
+		// Use ops append journal records (usage is replicated state), so
+		// they shed under the fence like submits do.
+		if resp, shed := s.fenceCheck(req.Op); shed {
+			return resp
+		}
 		tr := s.traceFor(req)
 		c, err := s.mw.UseTrace(req.ID, tr)
 		if err != nil {
@@ -736,6 +794,9 @@ func (s *Server) handle(req Request) Response {
 		}
 		return Response{OK: true, Context: c, TraceID: tr.TraceID}
 	case OpUseLatest:
+		if resp, shed := s.fenceCheck(req.Op); shed {
+			return resp
+		}
 		if req.Kind == "" {
 			return errResponse(errors.New("use-latest: missing kind"))
 		}

@@ -489,6 +489,10 @@ func (m *Middleware) replayRecord(rec wal.Record, rep *RecoveryReport) error {
 		// the journal fail-stopped right after), so there is nothing to
 		// re-apply.
 		rep.Annotations++
+	case wal.RecordEpochBump:
+		// A fencing-epoch advance: journal-level state, not middleware
+		// state. wal.Open recovers the epoch from it; replay skips it.
+		rep.Annotations++
 	default:
 		return fmt.Errorf("unknown record type %q", rec.Type)
 	}

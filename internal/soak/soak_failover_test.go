@@ -1,0 +1,368 @@
+package soak
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ctxres/internal/cluster"
+	"ctxres/internal/constraint"
+	"ctxres/internal/ctx"
+	"ctxres/internal/daemon"
+	"ctxres/internal/middleware"
+	"ctxres/internal/strategy"
+	"ctxres/internal/testutil/leakcheck"
+	"ctxres/internal/wal"
+)
+
+// gauntletChecker is the plain velocity constraint: the gauntlet's
+// workers move slowly enough that nothing ever violates, so every acked
+// submission must still be present after a failover — any divergence is
+// the harness losing a write, not the strategy dropping one.
+func gauntletChecker() *constraint.Checker {
+	ch := constraint.NewChecker()
+	ch.MustRegister(&constraint.Constraint{
+		Name: "vel",
+		Formula: constraint.Forall("a", ctx.KindLocation,
+			constraint.Forall("b", ctx.KindLocation,
+				constraint.Implies(
+					constraint.And(
+						constraint.SameSubject("a", "b"),
+						constraint.StreamWithin("a", "b", 2),
+					),
+					constraint.VelocityBelow("a", "b", 1.5),
+				))),
+	})
+	return ch
+}
+
+// TestSoakFailoverGauntlet is the leader-kill chaos leg: a storm runs
+// against a replicated leader, the leader is killed mid-storm, the
+// follower is promoted (epoch bump), and the storm continues against the
+// promoted node. Asserted: the promoted state is byte-identical to the
+// killed leader's quiesced state (no acked write lost), each worker's
+// last acked context is readable at the promoted node, writes keep
+// flowing after the failover, and a resurrected old leader with an
+// expired lease serves reads but sheds every write with the typed
+// stale-leader code naming the promoted member.
+func TestSoakFailoverGauntlet(t *testing.T) {
+	defer leakcheck.Check(t)()
+	dur := soakDuration(t)
+
+	build := func() *middleware.Middleware {
+		return middleware.New(gauntletChecker(), strategy.NewDropBad())
+	}
+
+	// Generation 0: a journaled leader whose shipper renews a lease on
+	// follower acks, and a follower tailing it into its own directory.
+	leaderDir := t.TempDir()
+	mw0, _, err := middleware.Recover(leaderDir, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease0 := cluster.NewLease(cluster.LeaseOptions{TTL: 5 * time.Second})
+	sh0 := cluster.NewShipper(cluster.ShipperOptions{
+		Dir: leaderDir, HeartbeatEvery: 50 * time.Millisecond, Lease: lease0,
+	})
+	j0, err := wal.Open(wal.Options{
+		Dir: leaderDir, Fsync: wal.FsyncNever,
+		Ship: sh0.Tap, ShipSnapshot: sh0.TapSnapshot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh0.Attach(j0)
+	if err := mw0.AttachJournal(j0); err != nil {
+		t.Fatal(err)
+	}
+	srv0, err := daemon.Serve("127.0.0.1:0", mw0, nil,
+		daemon.WithReplicationSource(sh0),
+		daemon.WithFence(cluster.NewFence(j0, lease0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr0 := srv0.Addr().String()
+
+	followerDir := t.TempDir()
+	f, err := cluster.StartFollower(cluster.FollowerOptions{
+		Leader:   addr0,
+		Dir:      followerDir,
+		Fsync:    wal.FsyncNever,
+		AckEvery: 25 * time.Millisecond,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The storm: workers submit slow, per-subject monotone movements and
+	// retire the previous context after each ack, keeping the checking
+	// buffer bounded. The current leader address is an atomic the driver
+	// swaps at failover; workers re-dial it after any error.
+	const workers = 4
+	var (
+		cur       atomic.Value // current leader address
+		paused    atomic.Bool
+		idle      [workers]atomic.Bool // worker is paused with nothing in flight
+		accepted  atomic.Int64
+		staleSeen atomic.Int64
+		dialErrs  atomic.Int64
+		otherErrs atomic.Int64
+		lastAcked [workers]atomic.Value // ctx.ID witness per worker
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+	)
+	cur.Store(addr0)
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var client *daemon.Client
+			defer func() {
+				if client != nil {
+					_ = client.Close()
+				}
+			}()
+			var seq uint64
+			var prev ctx.ID
+			for !stopped() {
+				if paused.Load() {
+					idle[w].Store(true)
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				idle[w].Store(false)
+				if client == nil {
+					c, err := daemon.DialOptions(cur.Load().(string), daemon.ClientOptions{
+						Timeout: 3 * time.Second, MaxAttempts: 2,
+					})
+					if err != nil {
+						dialErrs.Add(1)
+						time.Sleep(5 * time.Millisecond)
+						continue
+					}
+					client = c
+					prev = "" // the retire chain does not survive a re-dial
+				}
+				seq++
+				c := ctx.NewLocation(fmt.Sprintf("mover-%d", w),
+					t0.Add(time.Duration(seq)*time.Second),
+					ctx.Point{X: float64(seq)},
+					ctx.WithID(ctx.ID(fmt.Sprintf("g%d-%d", w, seq))),
+					ctx.WithSeq(seq),
+					ctx.WithSource(fmt.Sprintf("src-%d", w)))
+				_, err := client.Submit(c)
+				if err != nil {
+					if daemon.ErrorCode(err) == daemon.CodeStaleLeader {
+						staleSeen.Add(1)
+					} else {
+						otherErrs.Add(1)
+					}
+					_ = client.Close()
+					client = nil
+					continue
+				}
+				accepted.Add(1)
+				if prev != "" {
+					_, _ = client.Use(prev) // bounds the checking buffer; may race a driver read
+				}
+				prev = c.ID
+				lastAcked[w].Store(c.ID)
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+
+	// Phase 1: storm the original leader.
+	time.Sleep(dur / 2)
+	acceptedBefore := accepted.Load()
+	if acceptedBefore == 0 {
+		t.Fatal("storm accepted nothing before the failover; harness generated no load")
+	}
+
+	// Quiesce: pause the workers and wait until every one of them reports
+	// idle — a request already in flight when the pause lands can take
+	// seconds under the race detector, and a write landing after the
+	// fingerprint capture would diverge the two states for harness
+	// reasons, not real ones. Only then wait for the follower to fully
+	// catch up and capture the leader's state.
+	paused.Store(true)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		allIdle := true
+		for w := range idle {
+			if !idle[w].Load() {
+				allIdle = false
+				break
+			}
+		}
+		if allIdle {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("workers never went idle after the pause")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Catch-up barrier against the leader's own journal position, not
+	// Lag(): heartbeats stop during a feed-overflow redial gap, and the
+	// stale leader position makes Lag() read zero while the follower is
+	// genuinely behind.
+	for f.LastSeq() < j0.LastSeq() {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: at seq %d, leader at %d", f.LastSeq(), j0.LastSeq())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fpBefore, err := mw0.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lease0.Valid() {
+		t.Fatal("leader lease expired while its follower was acking")
+	}
+
+	// Kill the leader and promote the follower: recover the replicated
+	// log, bump the fencing epoch, serve on a fresh address.
+	srv0.Shutdown()
+	if err := mw0.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	mwP, rep, err := f.Promote(build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("promoted: %d commands replayed from the shipped log", rep.Commands)
+	shP := cluster.NewShipper(cluster.ShipperOptions{Dir: followerDir})
+	jP, err := wal.Open(wal.Options{
+		Dir: followerDir, Fsync: wal.FsyncNever,
+		Ship: shP.Tap, ShipSnapshot: shP.TapSnapshot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := jP.AdvanceEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("promoted epoch = %d, want 1", epoch)
+	}
+	shP.Attach(jP)
+	if err := mwP.AttachJournal(jP); err != nil {
+		t.Fatal(err)
+	}
+	srvP, err := daemon.Serve("127.0.0.1:0", mwP, nil,
+		daemon.WithReplicationSource(shP),
+		daemon.WithFence(cluster.NewFence(jP, nil))) // epoch-only: no followers yet
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srvP.Shutdown()
+		_ = mwP.CloseJournal()
+	}()
+
+	// No acked write lost: the promoted state equals the killed leader's
+	// quiesced state byte for byte, and every worker's last acked context
+	// is readable at the promoted node.
+	fpAfter, err := mwP.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpAfter != fpBefore {
+		t.Fatalf("promoted state diverges from the killed leader's:\n got %s\nwant %s", fpAfter, fpBefore)
+	}
+	check, err := daemon.Dial(srvP.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		id, _ := lastAcked[w].Load().(ctx.ID)
+		if id == "" {
+			continue
+		}
+		if _, err := check.Use(id); err != nil && !errors.Is(err, middleware.ErrInconsistent) {
+			t.Fatalf("worker %d's last acked context %s lost across failover: %v", w, id, err)
+		}
+	}
+	_ = check.Close()
+
+	// Phase 2: the storm continues against the promoted leader.
+	cur.Store(srvP.Addr().String())
+	paused.Store(false)
+	time.Sleep(dur / 2)
+	close(stop)
+	wg.Wait()
+	acceptedAfter := accepted.Load() - acceptedBefore
+	t.Logf("gauntlet %v: accepted=%d before, %d after failover; staleLeader=%d dialErrs=%d otherErrs=%d",
+		dur, acceptedBefore, acceptedAfter, staleSeen.Load(), dialErrs.Load(), otherErrs.Load())
+	if acceptedAfter == 0 {
+		t.Fatal("no submission was accepted at the promoted leader")
+	}
+
+	// Resurrect the deposed leader with an already-expired lease: it must
+	// keep answering reads but shed every write with the typed
+	// stale-leader code naming the promoted member.
+	mwOld, _, err := middleware.Recover(leaderDir, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jOld, err := wal.Open(wal.Options{Dir: leaderDir, Fsync: wal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mwOld.AttachJournal(jOld); err != nil {
+		t.Fatal(err)
+	}
+	expired := cluster.NewLease(cluster.LeaseOptions{TTL: time.Nanosecond})
+	time.Sleep(time.Millisecond) // burn the one-TTL boot grace
+	fence := cluster.NewFence(jOld, expired)
+	fence.SetLeaderHint(srvP.Addr().String())
+	srvOld, err := daemon.Serve("127.0.0.1:0", mwOld, nil, daemon.WithFence(fence))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srvOld.Shutdown()
+		_ = mwOld.CloseJournal()
+	}()
+	old, err := daemon.Dial(srvOld.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	if err := old.Ping(); err != nil {
+		t.Fatalf("resurrected leader refuses reads: %v", err)
+	}
+	if _, _, err := old.Stats(); err != nil {
+		t.Fatalf("resurrected leader refuses stats: %v", err)
+	}
+	js, err := old.JournalStats()
+	if err != nil {
+		t.Fatalf("resurrected leader refuses journal stats: %v", err)
+	}
+	if js.Epoch >= epoch {
+		t.Fatalf("resurrected leader epoch = %d, want below the promoted epoch %d", js.Epoch, epoch)
+	}
+	_, err = old.Submit(ctx.NewLocation("late", t0, ctx.Point{},
+		ctx.WithID("late-1"), ctx.WithSeq(1), ctx.WithSource("late")))
+	if daemon.ErrorCode(err) != daemon.CodeStaleLeader {
+		t.Fatalf("write at resurrected leader = %v, want %s", err, daemon.CodeStaleLeader)
+	}
+	var remote *daemon.RemoteError
+	if !errors.As(err, &remote) || remote.Leader != srvP.Addr().String() {
+		t.Fatalf("stale-leader error %v does not name the promoted member", err)
+	}
+}

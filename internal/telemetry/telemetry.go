@@ -277,6 +277,27 @@ func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *His
 	return &HistogramVec{fam: r.family(name, help, histogramType, label, bounds)}
 }
 
+// GaugeVec registers a gauge family keyed by one label.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.family(name, help, gaugeType, label, nil)}
+}
+
+// GaugeVec is a gauge family with one label dimension. Safe on nil.
+type GaugeVec struct {
+	fam *family
+}
+
+// With returns the gauge for one label value, creating it on first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.fam.getOrCreate(value, func() any { return &Gauge{} }).(*Gauge)
+}
+
 // CounterVec is a counter family with one label dimension. Safe on nil.
 type CounterVec struct {
 	fam *family

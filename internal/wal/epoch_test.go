@@ -1,0 +1,125 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestEpochLifecycle drives the fencing epoch through its full life:
+// fresh journals start at 0 with unchanged record bytes, AdvanceEpoch
+// stamps later appends, the epoch survives reopen via the bump record,
+// snapshots carry it, and pruned-log reopens recover it from the
+// snapshot alone.
+func TestEpochLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(Options{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Epoch() != 0 {
+		t.Fatalf("fresh journal epoch = %d, want 0", j.Epoch())
+	}
+	if _, err := j.Append(Record{Type: RecordAdvance, Time: &time.Time{}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Records(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Epoch != 0 {
+		t.Fatalf("epoch-0 record stamped %d", recs[0].Epoch)
+	}
+
+	e, err := j.AdvanceEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 1 || j.Epoch() != 1 {
+		t.Fatalf("AdvanceEpoch = %d, Epoch() = %d, want 1", e, j.Epoch())
+	}
+	if _, err := j.Append(Record{Type: RecordAdvance, Time: &time.Time{}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Epoch != 1 {
+		t.Fatalf("stats epoch = %d, want 1", st.Epoch)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the epoch comes back from the bump record.
+	j, err = Open(Options{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Epoch() != 1 {
+		t.Fatalf("reopened epoch = %d, want 1", j.Epoch())
+	}
+
+	// Snapshot at the current position, pruning the log; the next reopen
+	// must recover the epoch from the snapshot alone.
+	snap := Snapshot{Seq: j.LastSeq()}
+	if err := j.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := Snapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snaps[len(snaps)-1].Epoch; got != 1 {
+		t.Fatalf("snapshot epoch = %d, want 1", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j, err = Open(Options{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Epoch() != 1 {
+		t.Fatalf("post-prune reopened epoch = %d, want 1", j.Epoch())
+	}
+}
+
+// TestEpochFencesShippedRecords proves a follower journal refuses frames
+// from a deposed leader's epoch and learns newer epochs from the stream.
+func TestEpochFencesShippedRecords(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(Options{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	now := time.Now()
+	if _, err := j.AppendShipped(Record{Seq: 1, Type: RecordAdvance, Time: &now, Epoch: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// A higher epoch on the stream is a promotion announcement: learned.
+	if _, err := j.AppendShipped(Record{Seq: 2, Type: RecordEpochBump, Epoch: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Epoch() != 3 {
+		t.Fatalf("epoch after shipped bump = %d, want 3", j.Epoch())
+	}
+	// The deposed leader's frames are now refused, and the refusal is not
+	// sticky.
+	if _, err := j.AppendShipped(Record{Seq: 3, Type: RecordAdvance, Time: &now, Epoch: 2}); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale-epoch append = %v, want ErrStaleEpoch", err)
+	}
+	if _, err := j.AppendShipped(Record{Seq: 3, Type: RecordAdvance, Time: &now, Epoch: 3}); err != nil {
+		t.Fatalf("current-epoch append after refusal: %v", err)
+	}
+	// Same for snapshots.
+	if err := j.ImportSnapshot(Snapshot{Seq: 5, Epoch: 1}); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale-epoch import = %v, want ErrStaleEpoch", err)
+	}
+	if err := j.ImportSnapshot(Snapshot{Seq: 5, Epoch: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Epoch() != 4 {
+		t.Fatalf("epoch after imported snapshot = %d, want 4", j.Epoch())
+	}
+}

@@ -165,6 +165,13 @@ func (o *Options) withDefaults() Options {
 // ErrClosed reports an append to a closed journal.
 var ErrClosed = errors.New("wal: journal closed")
 
+// ErrStaleEpoch reports a shipped record or snapshot stamped with a
+// fencing epoch below the journal's own: the sender is a deposed leader
+// whose timeline this journal has already moved past. The error is not
+// sticky — the journal stays healthy and keeps accepting frames from the
+// current (or a newer) epoch.
+var ErrStaleEpoch = errors.New("wal: stale fencing epoch")
+
 // Stats is a snapshot of journal counters, exposed through the daemon
 // stats op so recovery behavior is observable.
 type Stats struct {
@@ -196,6 +203,8 @@ type Stats struct {
 	// LastSnapshotAgeSeconds is the age of the newest snapshot, or -1
 	// when no snapshot exists.
 	LastSnapshotAgeSeconds float64 `json:"lastSnapshotAgeSeconds"`
+	// Epoch is the journal's fencing epoch (0 until a promotion bumps it).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Journal is the append side of the write-ahead log. It is safe for
@@ -209,6 +218,7 @@ type Journal struct {
 	segStart uint64 // first seq the active segment may hold
 	segSize  int64
 	nextSeq  uint64
+	epoch    uint64     // fencing epoch stamped into every append
 	segments []fileInfo // live segments including the active one
 	lastSync time.Time
 	closed   bool
@@ -260,6 +270,11 @@ func Open(opt Options) (*Journal, error) {
 			j.snapTime = st.ModTime()
 		}
 		j.nextSeq = newest.seq + 1
+		// The snapshot carries the epoch it was taken under; the epoch can
+		// only move forward, so the newest snapshot is a floor.
+		if snap, err := readSnapshotFile(newest.path); err == nil && snap.Epoch > j.epoch {
+			j.epoch = snap.Epoch
+		}
 	}
 	if len(segs) > 0 {
 		last := segs[len(segs)-1]
@@ -285,6 +300,25 @@ func Open(opt Options) (*Journal, error) {
 			j.nextSeq = last.seq
 		}
 		j.segments = segs
+		// The epoch resumes from the newest on-disk record (records are
+		// stamped with the epoch they were appended under, and the epoch
+		// only rises, so the last record holds the highest). The final
+		// segment can be an empty leftover from a previous Open, so walk
+		// back to the newest segment that holds records.
+		for i := len(segs) - 1; i >= 0; i-- {
+			sc := scan
+			if i < len(segs)-1 {
+				if sc, err = readSegment(segs[i].path); err != nil {
+					return nil, fmt.Errorf("wal: open: %w", err)
+				}
+			}
+			if n := len(sc.records); n > 0 {
+				if e := sc.records[n-1].Epoch; e > j.epoch {
+					j.epoch = e
+				}
+				break
+			}
+		}
 	}
 	// Everything already on disk survived a scan, so it counts as durable.
 	j.durableSeq = j.nextSeq - 1
@@ -332,16 +366,21 @@ func (j *Journal) Append(r Record) (uint64, error) {
 		return 0, j.err
 	}
 	r.Seq = j.nextSeq
+	r.Epoch = j.epoch
 	return j.appendLocked(r)
 }
 
 // AppendShipped journals a record replicated from another journal,
-// preserving its leader-assigned sequence number. The record must be the
-// exact next sequence — replication is gap-free by construction, and a
-// gap here would mean the stream lost an acknowledged record. This is
-// the follower's write path: records land byte-compatible with the
-// leader's log, so recovery over the shipped directory reconstructs the
-// leader's state at the acknowledged prefix.
+// preserving its leader-assigned sequence number and fencing epoch. The
+// record must be the exact next sequence — replication is gap-free by
+// construction, and a gap here would mean the stream lost an
+// acknowledged record. A record from an epoch below the journal's own is
+// refused with ErrStaleEpoch (the sender is a deposed leader); a higher
+// epoch is learned — that is how a follower adopts a promotion it
+// observes through the stream. This is the follower's write path:
+// records land byte-compatible with the leader's log, so recovery over
+// the shipped directory reconstructs the leader's state at the
+// acknowledged prefix.
 func (j *Journal) AppendShipped(r Record) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -351,10 +390,51 @@ func (j *Journal) AppendShipped(r Record) (uint64, error) {
 	if j.err != nil {
 		return 0, j.err
 	}
+	if r.Epoch < j.epoch {
+		return 0, fmt.Errorf("%w: shipped record seq %d epoch %d, journal at epoch %d",
+			ErrStaleEpoch, r.Seq, r.Epoch, j.epoch)
+	}
 	if r.Seq != j.nextSeq {
 		return 0, fmt.Errorf("wal: shipped record seq %d, journal expects %d", r.Seq, j.nextSeq)
 	}
+	if r.Epoch > j.epoch {
+		j.epoch = r.Epoch
+	}
 	return j.appendLocked(r)
+}
+
+// AdvanceEpoch bumps the fencing epoch and journals the advance durably
+// (a RecordEpochBump annotation, fsynced before return whatever the sync
+// policy). A promoted follower calls it once, after recovery re-opens
+// its journal: every record it appends from here on — and every frame it
+// ships to its own followers — carries the new epoch, fencing out the
+// deposed leader's timeline. Returns the new epoch.
+func (j *Journal) AdvanceEpoch() (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, ErrClosed
+	}
+	if j.err != nil {
+		return 0, j.err
+	}
+	j.epoch++
+	if _, err := j.appendLocked(Record{Seq: j.nextSeq, Type: RecordEpochBump, Epoch: j.epoch}); err != nil {
+		return 0, err
+	}
+	j.waitGroupSyncLocked()
+	if err := j.syncLocked(); err != nil {
+		j.err = err
+		return 0, err
+	}
+	return j.epoch, nil
+}
+
+// Epoch returns the journal's fencing epoch.
+func (j *Journal) Epoch() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
 }
 
 // appendLocked writes one record whose Seq is already set to nextSeq.
@@ -577,6 +657,7 @@ func (j *Journal) Stats() Stats {
 		DurableSeq:             j.durableSeq,
 		LastSnapshotSeq:        j.snapSeq,
 		LastSnapshotAgeSeconds: -1,
+		Epoch:                  j.epoch,
 	}
 	if !j.snapTime.IsZero() {
 		s.LastSnapshotAgeSeconds = time.Since(j.snapTime).Seconds()

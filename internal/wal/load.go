@@ -102,9 +102,13 @@ type SegmentReport struct {
 	Records  int    `json:"records"`
 	FirstSeq uint64 `json:"firstSeq,omitempty"`
 	LastSeq  uint64 `json:"lastSeq,omitempty"`
-	Torn     bool   `json:"torn,omitempty"`
-	TornLen  int64  `json:"tornBytes,omitempty"`
-	Corrupt  string `json:"corrupt,omitempty"`
+	// FirstEpoch/LastEpoch are the fencing epochs of the first and last
+	// record — a segment spanning two epochs holds a promotion.
+	FirstEpoch uint64 `json:"firstEpoch,omitempty"`
+	LastEpoch  uint64 `json:"lastEpoch,omitempty"`
+	Torn       bool   `json:"torn,omitempty"`
+	TornLen    int64  `json:"tornBytes,omitempty"`
+	Corrupt    string `json:"corrupt,omitempty"`
 }
 
 // SnapshotReport describes one snapshot file.
@@ -112,6 +116,7 @@ type SnapshotReport struct {
 	Name    string `json:"name"`
 	Bytes   int64  `json:"bytes"`
 	Seq     uint64 `json:"seq,omitempty"`
+	Epoch   uint64 `json:"epoch,omitempty"`
 	Clock   string `json:"clock,omitempty"`
 	Entries int    `json:"entries,omitempty"`
 	// Situations is the raw situation-engine state carried by the
@@ -173,6 +178,8 @@ func Verify(dir string) (*VerifyReport, error) {
 		if n := len(scan.records); n > 0 {
 			sr.FirstSeq = scan.records[0].Seq
 			sr.LastSeq = scan.records[n-1].Seq
+			sr.FirstEpoch = scan.records[0].Epoch
+			sr.LastEpoch = scan.records[n-1].Epoch
 		}
 		for _, rec := range scan.records {
 			rep.RecordsByType[rec.Type]++
@@ -205,6 +212,7 @@ func Verify(dir string) (*VerifyReport, error) {
 			rep.CorruptFiles++
 		} else {
 			pr.Seq = snap.Seq
+			pr.Epoch = snap.Epoch
 			pr.Clock = snap.Clock.String()
 			pr.Entries = len(snap.Pool.Entries)
 			pr.Situations = snap.Situations

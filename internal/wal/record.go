@@ -59,6 +59,12 @@ const (
 	// rolled back — its submit record never reached the log — so replay
 	// skips this record; it exists for observability and `ctxwal dump`.
 	RecordCheckFail RecordType = "check-fail"
+	// RecordEpochBump annotates a fencing-epoch advance (a follower
+	// promotion). The record's Epoch field carries the new epoch; replay
+	// skips it — the epoch lives in the journal, not the middleware —
+	// but Journal.Open recovers the epoch from it, so a promoted
+	// leader's term survives its own restart.
+	RecordEpochBump RecordType = "epoch"
 )
 
 // Command reports whether the record type is replayed during recovery.
@@ -75,7 +81,8 @@ func (t RecordType) Command() bool {
 func (t RecordType) Valid() bool {
 	switch t {
 	case RecordSubmit, RecordUse, RecordAdvance, RecordCompact,
-		RecordDiscard, RecordExpire, RecordBad, RecordStats, RecordCheckFail:
+		RecordDiscard, RecordExpire, RecordBad, RecordStats, RecordCheckFail,
+		RecordEpochBump:
 		return true
 	default:
 		return false
@@ -88,6 +95,13 @@ func (t RecordType) Valid() bool {
 type Record struct {
 	Seq  uint64     `json:"seq"`
 	Type RecordType `json:"type"`
+
+	// Epoch is the fencing epoch the record was appended under. Fresh
+	// journals start at epoch 0 (omitted on the wire, so pre-fencing logs
+	// decode unchanged); every follower promotion bumps it. A replication
+	// follower refuses records from an epoch below its own — the deposed
+	// leader's fork can never overwrite the promoted timeline.
+	Epoch uint64 `json:"epoch,omitempty"`
 
 	// Context is the submitted context (RecordSubmit).
 	Context *ctx.Context `json:"context,omitempty"`

@@ -17,6 +17,12 @@ import (
 type Snapshot struct {
 	// Seq is the last journal sequence number the snapshot covers.
 	Seq uint64 `json:"seq"`
+	// Epoch is the fencing epoch the snapshot was taken under, stamped by
+	// WriteSnapshot (0 — omitted — until a promotion bumps the journal's
+	// epoch, keeping pre-fencing snapshot bytes unchanged). Recovery and
+	// replicated imports use it the same way records use theirs: a
+	// snapshot from a stale epoch is refused, a newer one is learned.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Clock is the middleware's logical clock.
 	Clock time.Time `json:"clock"`
 	// Strategy names the resolution strategy that produced State, so a
@@ -59,6 +65,7 @@ func (j *Journal) WriteSnapshot(snap Snapshot) error {
 	if snap.Seq != j.nextSeq-1 {
 		return fmt.Errorf("wal: snapshot at seq %d, journal at %d", snap.Seq, j.nextSeq-1)
 	}
+	snap.Epoch = j.epoch
 	// Seal the covered records before the snapshot claims to include them.
 	if err := j.syncLocked(); err != nil {
 		j.err = err
@@ -126,8 +133,15 @@ func (j *Journal) ImportSnapshot(snap Snapshot) error {
 	if j.err != nil {
 		return j.err
 	}
+	if snap.Epoch < j.epoch {
+		return fmt.Errorf("%w: shipped snapshot seq %d epoch %d, journal at epoch %d",
+			ErrStaleEpoch, snap.Seq, snap.Epoch, j.epoch)
+	}
 	if snap.Seq < j.snapSeq {
 		return fmt.Errorf("wal: import snapshot at seq %d behind local snapshot %d", snap.Seq, j.snapSeq)
+	}
+	if snap.Epoch > j.epoch {
+		j.epoch = snap.Epoch
 	}
 	if err := j.syncLocked(); err != nil {
 		j.err = err

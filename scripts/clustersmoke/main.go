@@ -3,7 +3,9 @@
 // `verify` reads the subject back with use-latest. Extra addresses after
 // the first are dial fallbacks (daemon.ClientOptions.Addrs), so `verify
 // <dead-leader> <promoted-follower>` exercises exactly the failover path
-// a real client takes.
+// a real client takes. `fenced` asserts the split-brain guard: the
+// daemon at <addr> must still answer reads but shed a write with the
+// typed stale-leader code (see ctxmwd -lease-ttl).
 package main
 
 import (
@@ -17,7 +19,7 @@ import (
 
 func main() {
 	if len(os.Args) < 3 {
-		fmt.Fprintln(os.Stderr, "usage: clustersmoke <seed|verify> <addr> [fallback-addr ...]")
+		fmt.Fprintln(os.Stderr, "usage: clustersmoke <seed|verify|fenced> <addr> [fallback-addr ...]")
 		os.Exit(2)
 	}
 	mode, addr := os.Args[1], os.Args[2]
@@ -51,6 +53,23 @@ func main() {
 			fail("use-latest: %v", err)
 		}
 		fmt.Printf("clustersmoke: read %s from source %s\n", c.ID, c.Source)
+	case "fenced":
+		// A fenced (lease-expired or deposed) leader stays useful for
+		// queries...
+		if err := client.Ping(); err != nil {
+			fail("ping at fenced leader: %v", err)
+		}
+		if _, _, err := client.Stats(); err != nil {
+			fail("stats at fenced leader: %v", err)
+		}
+		// ...but must shed state-changing operations with the typed code.
+		c := ctx.NewLocation("cluster-subject", time.Now().UTC(), ctx.Point{X: 99},
+			ctx.WithID("cs-fenced"), ctx.WithSeq(99), ctx.WithSource("cs-src-a"))
+		_, err := client.Submit(c)
+		if code := daemon.ErrorCode(err); code != daemon.CodeStaleLeader {
+			fail("write at fenced leader = %v (code %q), want %s", err, code, daemon.CodeStaleLeader)
+		}
+		fmt.Println("clustersmoke: fenced leader sheds writes, still serves reads")
 	default:
 		fail("unknown mode %q", mode)
 	}

@@ -1,0 +1,22 @@
+// Command freeport prints a free 127.0.0.1 TCP address. The smoke test
+// uses it to pick a follower's serving address up front, so a router can
+// list the follower as a replica-set member before it is ever promoted
+// (a follower only starts serving once it takes over).
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+)
+
+func main() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "freeport:", err)
+		os.Exit(1)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	fmt.Println(addr)
+}
